@@ -1,0 +1,258 @@
+package hdvideobench
+
+// Benchmark harness regenerating the paper's evaluation artifacts:
+//
+//	Figure 1(a) — BenchmarkFig1aDecodeScalar/<codec>/<resolution>
+//	Figure 1(b) — BenchmarkFig1bDecodeSIMD/...
+//	Figure 1(c) — BenchmarkFig1cEncodeScalar/...
+//	Figure 1(d) — BenchmarkFig1dEncodeSIMD/...
+//	Table V     — BenchmarkTableV (prints the RD table once; the timing
+//	              value is incidental)
+//	§VI ablations — BenchmarkAblationH264Entropy, BenchmarkAblationMotionSearch
+//
+// Every Figure 1 benchmark reports an "fps" metric: frames per second of
+// pure encode or decode work, the unit of the paper's Figure 1 axes.
+// Absolute values depend on the host (the paper used a 2.4 GHz Xeon); the
+// shapes to compare are the codec ordering, the resolution scaling and the
+// scalar→SIMD gain. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The frame counts are small (one full I-P-B-B GOP plus one) so the full
+// matrix completes in minutes; pass -frames via cmd/hdvbench for longer
+// paper-style runs (100 frames).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/motion"
+)
+
+// benchFrames is the number of frames per measurement (I P B B P).
+const benchFrames = 5
+
+// benchResolutions mirrors the paper's three sizes.
+var benchResolutions = Resolutions
+
+var benchCodecs = []Codec{MPEG2, MPEG4, H264}
+
+// inputCache avoids re-rendering source frames for every sub-benchmark.
+var (
+	inputMu    sync.Mutex
+	inputCache = map[string][]*Frame{}
+)
+
+func benchInputs(b *testing.B, seq Sequence, w, h int) []*Frame {
+	b.Helper()
+	key := fmt.Sprintf("%v-%dx%d", seq, w, h)
+	inputMu.Lock()
+	defer inputMu.Unlock()
+	if fs, ok := inputCache[key]; ok {
+		return fs
+	}
+	fs := NewSequence(seq, w, h).Generate(benchFrames)
+	inputCache[key] = fs
+	return fs
+}
+
+// streamCache holds pre-encoded packets for the decode benchmarks.
+var (
+	streamMu    sync.Mutex
+	streamCache = map[string]struct {
+		hdr  StreamHeader
+		pkts []Packet
+	}{}
+)
+
+func benchStream(b *testing.B, c Codec, seq Sequence, w, h int) (StreamHeader, []Packet) {
+	b.Helper()
+	key := fmt.Sprintf("%v-%v-%dx%d", c, seq, w, h)
+	streamMu.Lock()
+	defer streamMu.Unlock()
+	if s, ok := streamCache[key]; ok {
+		return s.hdr, s.pkts
+	}
+	inputs := NewSequence(seq, w, h).Generate(benchFrames)
+	enc, err := NewEncoder(c, EncoderOptions{Width: w, Height: h})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkts, err := EncodeFrames(enc, inputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	streamCache[key] = struct {
+		hdr  StreamHeader
+		pkts []Packet
+	}{enc.Header(), pkts}
+	return enc.Header(), pkts
+}
+
+func benchDecode(b *testing.B, simd bool) {
+	for _, c := range benchCodecs {
+		for _, res := range benchResolutions {
+			b.Run(fmt.Sprintf("%v/%s", c, res.Name), func(b *testing.B) {
+				hdr, pkts := benchStream(b, c, PedestrianArea, res.Width, res.Height)
+				b.ResetTimer()
+				frames := 0
+				for i := 0; i < b.N; i++ {
+					dec, err := NewDecoder(hdr, simd)
+					if err != nil {
+						b.Fatal(err)
+					}
+					out, err := DecodePackets(dec, pkts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					frames += len(out)
+				}
+				b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "fps")
+			})
+		}
+	}
+}
+
+func benchEncode(b *testing.B, simd bool) {
+	for _, c := range benchCodecs {
+		for _, res := range benchResolutions {
+			b.Run(fmt.Sprintf("%v/%s", c, res.Name), func(b *testing.B) {
+				inputs := benchInputs(b, PedestrianArea, res.Width, res.Height)
+				b.ResetTimer()
+				frames := 0
+				for i := 0; i < b.N; i++ {
+					enc, err := NewEncoder(c, EncoderOptions{
+						Width: res.Width, Height: res.Height, SIMD: simd,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := EncodeFrames(enc, inputs); err != nil {
+						b.Fatal(err)
+					}
+					frames += len(inputs)
+				}
+				b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "fps")
+			})
+		}
+	}
+}
+
+// BenchmarkFig1aDecodeScalar regenerates Figure 1(a): decoding fps, scalar.
+func BenchmarkFig1aDecodeScalar(b *testing.B) { benchDecode(b, false) }
+
+// BenchmarkFig1bDecodeSIMD regenerates Figure 1(b): decoding fps, SIMD.
+func BenchmarkFig1bDecodeSIMD(b *testing.B) { benchDecode(b, true) }
+
+// BenchmarkFig1cEncodeScalar regenerates Figure 1(c): encoding fps, scalar.
+func BenchmarkFig1cEncodeScalar(b *testing.B) { benchEncode(b, false) }
+
+// BenchmarkFig1dEncodeSIMD regenerates Figure 1(d): encoding fps, SIMD.
+func BenchmarkFig1dEncodeSIMD(b *testing.B) { benchEncode(b, true) }
+
+// BenchmarkTableV regenerates Table V on a reduced matrix (one run prints
+// the table; use cmd/hdvbench -table5 for the full 100-frame version).
+func BenchmarkTableV(b *testing.B) {
+	o := SuiteOptions{
+		Frames:      benchFrames,
+		Resolutions: []Resolution{{Name: "576p25", Width: 720, Height: 576}},
+	}
+	for i := 0; i < b.N; i++ {
+		rs, err := RunTableV(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s\n%s", FormatTableV(rs), Gains(rs))
+		}
+	}
+}
+
+// BenchmarkAblationH264Entropy measures the CABAC-vs-VLC trade
+// (DESIGN.md §5): compressed bits and speed for both entropy backends.
+func BenchmarkAblationH264Entropy(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		e    EntropyMode
+	}{{"CABAC", EntropyCABAC}, {"VLC", EntropyVLC}} {
+		b.Run(mode.name, func(b *testing.B) {
+			inputs := benchInputs(b, PedestrianArea, 320, 240)
+			bits := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc, err := NewEncoder(H264, EncoderOptions{
+					Width: 320, Height: 240, Entropy: mode.e,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pkts, err := EncodeFrames(enc, inputs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bits = 0
+				for _, p := range pkts {
+					bits += 8 * len(p.Payload)
+				}
+			}
+			b.ReportMetric(float64(bits), "stream-bits")
+		})
+	}
+}
+
+// BenchmarkAblationMotionSearch compares the search algorithms of §IV
+// (EPZS for MPEG-2/4, hexagon for H.264) against full search and diamond.
+func BenchmarkAblationMotionSearch(b *testing.B) {
+	// A realistic block-matching workload: smooth texture, moderate motion.
+	w, h, pad := 192, 192, 32
+	stride := w + 2*pad
+	ref := make([]byte, stride*(h+2*pad))
+	for i := range ref {
+		ref[i] = byte((i*7)%251) ^ byte(i/stride)
+	}
+	origin := pad*stride + pad
+	cur := make([]byte, w*h)
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			cur[r*w+c] = ref[origin+(r+5)*stride+(c-7)]
+		}
+	}
+	newEst := func() *motion.Estimator {
+		e := &motion.Estimator{
+			Kern: kernel.SWAR,
+			Cur:  cur, CurOff: 64*w + 64, CurStride: w,
+			Ref: ref, RefOrigin: origin, RefStride: stride,
+			PosX: 64, PosY: 64, W: 16, H: 16,
+			Lambda: 4,
+		}
+		e.Window(24, w, h, pad)
+		return e
+	}
+	b.Run("FullSearch", func(b *testing.B) {
+		e := newEst()
+		for i := 0; i < b.N; i++ {
+			e.FullSearch()
+		}
+	})
+	b.Run("EPZS", func(b *testing.B) {
+		e := newEst()
+		preds := []motion.MV{{X: -7, Y: 5}}
+		for i := 0; i < b.N; i++ {
+			e.EPZS(preds, 0)
+		}
+	})
+	b.Run("Hexagon", func(b *testing.B) {
+		e := newEst()
+		for i := 0; i < b.N; i++ {
+			e.HexagonSearch(motion.MV{})
+		}
+	})
+	b.Run("Diamond", func(b *testing.B) {
+		e := newEst()
+		for i := 0; i < b.N; i++ {
+			e.DiamondSearch(motion.MV{})
+		}
+	})
+}

@@ -1,0 +1,146 @@
+// Command hdvbench is the HD-VideoBench front end: it runs the benchmark
+// matrix and regenerates the paper's evaluation artifacts.
+//
+//	hdvbench -describe             # Tables I-IV: suite composition
+//	hdvbench -table5               # Table V: PSNR + bitrate matrix
+//	hdvbench -fig1a                # Figure 1(a): decode fps, scalar
+//	hdvbench -fig1b                # Figure 1(b): decode fps, SIMD
+//	hdvbench -fig1c                # Figure 1(c): encode fps, scalar
+//	hdvbench -fig1d                # Figure 1(d): encode fps, SIMD
+//	hdvbench -summary              # §VI: compression gains + SIMD speed-ups
+//
+// Common flags: -frames N (default 25; the paper uses 100), -q N
+// (quantizer, default 5), -res 576p25,720p25,1088p25, -seqs a,b,
+// -codecs mpeg2,mpeg4,h264.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hdvideobench"
+)
+
+func main() {
+	var (
+		describe = flag.Bool("describe", false, "print the suite composition (Tables I-IV)")
+		table5   = flag.Bool("table5", false, "run the rate-distortion matrix (Table V)")
+		fig1a    = flag.Bool("fig1a", false, "decode fps, scalar kernels (Figure 1a)")
+		fig1b    = flag.Bool("fig1b", false, "decode fps, SIMD kernels (Figure 1b)")
+		fig1c    = flag.Bool("fig1c", false, "encode fps, scalar kernels (Figure 1c)")
+		fig1d    = flag.Bool("fig1d", false, "encode fps, SIMD kernels (Figure 1d)")
+		summary  = flag.Bool("summary", false, "compression gains and SIMD speed-ups (§VI)")
+		frames   = flag.Int("frames", 25, "frames per sequence (paper: 100)")
+		repeats  = flag.Int("repeats", 3, "timing repetitions, fastest kept (paper: 5 runs)")
+		q        = flag.Int("q", 5, "quantizer, MPEG scale 1..31 (paper: 5)")
+		resList  = flag.String("res", "", "comma-separated resolutions (default: all three)")
+		seqList  = flag.String("seqs", "", "comma-separated sequences (default: all four)")
+		cdcList  = flag.String("codecs", "", "comma-separated codecs (default: all three)")
+	)
+	flag.Parse()
+
+	opts := hdvideobench.SuiteOptions{Frames: *frames, Q: *q, Repeats: *repeats}
+	if *resList != "" {
+		for _, name := range strings.Split(*resList, ",") {
+			found := false
+			for _, r := range hdvideobench.Resolutions {
+				if strings.EqualFold(r.Name, name) {
+					opts.Resolutions = append(opts.Resolutions, r)
+					found = true
+				}
+			}
+			if !found {
+				fatalf("unknown resolution %q", name)
+			}
+		}
+	}
+	if *seqList != "" {
+		for _, name := range strings.Split(*seqList, ",") {
+			s, err := hdvideobench.ParseSequence(name)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			opts.Sequences = append(opts.Sequences, s)
+		}
+	}
+	if *cdcList != "" {
+		for _, name := range strings.Split(*cdcList, ",") {
+			c, err := hdvideobench.ParseCodec(name)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			opts.Codecs = append(opts.Codecs, c)
+		}
+	}
+
+	ran := false
+	if *describe {
+		fmt.Print(hdvideobench.Describe())
+		ran = true
+	}
+	if *table5 {
+		rs, err := hdvideobench.RunTableV(opts)
+		if err != nil {
+			fatalf("table5: %v", err)
+		}
+		fmt.Print(hdvideobench.FormatTableV(rs))
+		fmt.Print(hdvideobench.Gains(rs))
+		ran = true
+	}
+	runFig := func(simd, encode bool, title string) {
+		o := opts
+		o.SIMD = simd
+		rs, err := hdvideobench.RunFigure1(o, encode)
+		if err != nil {
+			fatalf("%s: %v", title, err)
+		}
+		fmt.Print(hdvideobench.FormatFigure1(rs, title))
+		ran = true
+	}
+	if *fig1a {
+		runFig(false, false, "Figure 1(a): Decoding Performance Scalar Version")
+	}
+	if *fig1b {
+		runFig(true, false, "Figure 1(b): Decoding Performance with SIMD Optimizations")
+	}
+	if *fig1c {
+		runFig(false, true, "Figure 1(c): Encoding Performance Scalar Version")
+	}
+	if *fig1d {
+		runFig(true, true, "Figure 1(d): Encoding Performance with SIMD Optimizations")
+	}
+	if *summary {
+		rs, err := hdvideobench.RunTableV(opts)
+		if err != nil {
+			fatalf("summary: %v", err)
+		}
+		fmt.Print(hdvideobench.Gains(rs))
+		for _, enc := range []bool{false, true} {
+			oS := opts
+			oS.SIMD = false
+			scalar, err := hdvideobench.RunFigure1(oS, enc)
+			if err != nil {
+				fatalf("summary: %v", err)
+			}
+			oW := opts
+			oW.SIMD = true
+			simd, err := hdvideobench.RunFigure1(oW, enc)
+			if err != nil {
+				fatalf("summary: %v", err)
+			}
+			fmt.Print(hdvideobench.FormatSpeedupReport(scalar, simd))
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Print(hdvideobench.Describe())
+		fmt.Println("\nrun with -table5, -fig1a..-fig1d or -summary; see -help")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hdvbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command psnr computes the per-frame and average luma PSNR between two raw
+// I420 files — the measurement behind the paper's Table V quality column
+// (the `psnr` options of the Table IV encoder command lines).
+//
+//	psnr -w 720 -h 576 -a original.yuv -b decoded.yuv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hdvideobench"
+)
+
+func main() {
+	var (
+		aPath  = flag.String("a", "", "reference .yuv file")
+		bPath  = flag.String("b", "", "distorted .yuv file")
+		width  = flag.Int("w", 0, "width")
+		height = flag.Int("h", 0, "height")
+		quiet  = flag.Bool("quiet", false, "print only the average")
+	)
+	flag.Parse()
+	if *aPath == "" || *bPath == "" || *width <= 0 || *height <= 0 {
+		fatalf("-a, -b, -w and -h are required")
+	}
+
+	fa, err := os.Open(*aPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer fa.Close()
+	fb, err := os.Open(*bPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer fb.Close()
+	ra := bufio.NewReaderSize(fa, 1<<20)
+	rb := bufio.NewReaderSize(fb, 1<<20)
+
+	refF := hdvideobench.NewFrame(*width, *height)
+	disF := hdvideobench.NewFrame(*width, *height)
+	n := 0
+	sum := 0.0
+	for {
+		if err := refF.ReadRaw(ra); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			fatalf("reading %s: %v", *aPath, err)
+		}
+		if err := disF.ReadRaw(rb); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				fatalf("%s is shorter than %s", *bPath, *aPath)
+			}
+			fatalf("reading %s: %v", *bPath, err)
+		}
+		p := hdvideobench.PSNR(refF, disF)
+		if !*quiet {
+			fmt.Printf("frame %4d: %6.2f dB\n", n, p)
+		}
+		sum += p
+		n++
+	}
+	if n == 0 {
+		fatalf("no frames compared")
+	}
+	fmt.Printf("average luma PSNR over %d frames: %.2f dB\n", n, sum/float64(n))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "psnr: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command seqgen writes HD-VideoBench input sequences as raw planar I420
+// files — the role of the downloadable YUV inputs on the paper's web page.
+//
+//	seqgen -seq blue_sky -res 1088p25 -frames 100 -o blue_sky_1088p25.yuv
+//	seqgen -seq riverbed -w 320 -h 240 -frames 25 -o riverbed_small.yuv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"hdvideobench"
+)
+
+func main() {
+	var (
+		seqName = flag.String("seq", "blue_sky", "sequence: blue_sky, pedestrian_area, riverbed, rush_hour")
+		resName = flag.String("res", "", "benchmark resolution name (576p25, 720p25, 1088p25)")
+		width   = flag.Int("w", 0, "custom width (multiple of 16)")
+		height  = flag.Int("h", 0, "custom height (multiple of 16)")
+		frames  = flag.Int("frames", 100, "number of frames")
+		outPath = flag.String("o", "", "output .yuv file")
+	)
+	flag.Parse()
+
+	seq, err := hdvideobench.ParseSequence(*seqName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	w, h := *width, *height
+	if *resName != "" {
+		found := false
+		for _, r := range hdvideobench.Resolutions {
+			if r.Name == *resName {
+				w, h = r.Width, r.Height
+				found = true
+			}
+		}
+		if !found {
+			fatalf("unknown resolution %q", *resName)
+		}
+	}
+	if err := hdvideobench.ValidateResolution(w, h); err != nil {
+		fatalf("%v", err)
+	}
+	if *outPath == "" {
+		fatalf("-o is required")
+	}
+
+	out, err := os.Create(*outPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer out.Close()
+	bw := bufio.NewWriterSize(out, 1<<20)
+
+	gen := hdvideobench.NewSequence(seq, w, h)
+	f := hdvideobench.NewFrame(w, h)
+	for i := 0; i < *frames; i++ {
+		gen.FrameInto(f, i)
+		if err := f.WriteRaw(bw); err != nil {
+			fatalf("writing frame %d: %v", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "seqgen: wrote %d frames of %v at %dx%d (%d bytes)\n",
+		*frames, seq, w, h, *frames*hdvideobench.RawFrameSize(w, h))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "seqgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,180 @@
+// Command vcodec is the single encode/decode front end for all three
+// HD-VideoBench codecs — the role MPlayer/MEncoder play in the paper's
+// Table IV (one command that selects the right codec and runs it with
+// display output disabled).
+//
+// Encode raw I420 video to an HDVB stream:
+//
+//	vcodec -encode -codec h264 -w 720 -h 576 -i in.yuv -o out.hdvb -q 5
+//
+// Decode an HDVB stream back to raw I420 (use -o /dev/null to benchmark the
+// decoder alone, like the paper's `-vo null -benchmark`):
+//
+//	vcodec -decode -i out.hdvb -o out.yuv -benchmark
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hdvideobench"
+)
+
+func main() {
+	var (
+		encode    = flag.Bool("encode", false, "encode raw I420 input")
+		decode    = flag.Bool("decode", false, "decode an HDVB stream")
+		codecName = flag.String("codec", "h264", "codec: mpeg2, mpeg4, h264")
+		inPath    = flag.String("i", "", "input file")
+		outPath   = flag.String("o", "", "output file")
+		width     = flag.Int("w", 0, "width (encode)")
+		height    = flag.Int("h", 0, "height (encode)")
+		q         = flag.Int("q", 5, "quantizer (MPEG scale)")
+		frames    = flag.Int("frames", 0, "max frames (0 = all)")
+		bframes   = flag.Int("bframes", 2, "consecutive B frames (0 disables)")
+		refs      = flag.Int("refs", 4, "H.264 reference frames")
+		simd      = flag.Bool("simd", false, "use the SIMD (SWAR) kernels")
+		vlc       = flag.Bool("vlc", false, "H.264: use VLC entropy instead of CABAC")
+		bench     = flag.Bool("benchmark", false, "print fps timing")
+	)
+	flag.Parse()
+
+	switch {
+	case *encode == *decode:
+		fatalf("exactly one of -encode or -decode is required")
+	case *inPath == "" || *outPath == "":
+		fatalf("-i and -o are required")
+	}
+
+	in, err := os.Open(*inPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer in.Close()
+	out, err := os.Create(*outPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer out.Close()
+	bw := bufio.NewWriterSize(out, 1<<20)
+	defer bw.Flush()
+
+	if *encode {
+		runEncode(bufio.NewReaderSize(in, 1<<20), bw, encodeParams{
+			codec: *codecName, w: *width, h: *height, q: *q,
+			frames: *frames, bframes: *bframes, refs: *refs,
+			simd: *simd, vlc: *vlc, bench: *bench,
+		})
+		return
+	}
+	runDecode(bufio.NewReaderSize(in, 1<<20), bw, *simd, *bench)
+}
+
+type encodeParams struct {
+	codec     string
+	w, h, q   int
+	frames    int
+	bframes   int
+	refs      int
+	simd, vlc bool
+	bench     bool
+}
+
+func runEncode(in io.Reader, out io.Writer, p encodeParams) {
+	c, err := hdvideobench.ParseCodec(p.codec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := hdvideobench.ValidateResolution(p.w, p.h); err != nil {
+		fatalf("%v", err)
+	}
+	opts := hdvideobench.EncoderOptions{
+		Width: p.w, Height: p.h, Q: p.q,
+		BFrames: p.bframes, Refs: p.refs, SIMD: p.simd,
+	}
+	if p.bframes == 0 {
+		opts.BFrames = -1
+	}
+	if p.vlc {
+		opts.Entropy = hdvideobench.EntropyVLC
+	}
+	enc, err := hdvideobench.NewEncoder(c, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var pkts []hdvideobench.Packet
+	n := 0
+	start := time.Now()
+	for p.frames == 0 || n < p.frames {
+		f := hdvideobench.NewFrame(p.w, p.h)
+		if err := f.ReadRaw(in); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			fatalf("reading frame %d: %v", n, err)
+		}
+		ps, err := enc.Encode(f)
+		if err != nil {
+			fatalf("encoding frame %d: %v", n, err)
+		}
+		pkts = append(pkts, ps...)
+		n++
+	}
+	ps, err := enc.Flush()
+	if err != nil {
+		fatalf("flush: %v", err)
+	}
+	pkts = append(pkts, ps...)
+	elapsed := time.Since(start)
+
+	if err := hdvideobench.WriteStream(out, enc.Header(), pkts); err != nil {
+		fatalf("writing stream: %v", err)
+	}
+	bytes := 0
+	for _, pk := range pkts {
+		bytes += len(pk.Payload)
+	}
+	fmt.Fprintf(os.Stderr, "vcodec: encoded %d frames, %d bytes (%.1f kbit/s at 25 fps)\n",
+		n, bytes, float64(bytes*8*25)/float64(n)/1000)
+	if p.bench {
+		fmt.Fprintf(os.Stderr, "vcodec: %.2f fps (%v)\n", float64(n)/elapsed.Seconds(), elapsed)
+	}
+}
+
+func runDecode(in io.Reader, out io.Writer, simd, bench bool) {
+	hdr, pkts, err := hdvideobench.ReadStream(in)
+	if err != nil {
+		fatalf("reading stream: %v", err)
+	}
+	dec, err := hdvideobench.NewDecoder(hdr, simd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	start := time.Now()
+	frames, err := hdvideobench.DecodePackets(dec, pkts)
+	if err != nil {
+		fatalf("decoding: %v", err)
+	}
+	elapsed := time.Since(start)
+	for _, f := range frames {
+		if err := f.WriteRaw(out); err != nil {
+			fatalf("writing raw video: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vcodec: decoded %d frames of %s %dx%d\n",
+		len(frames), hdr.Codec, hdr.Width, hdr.Height)
+	if bench {
+		fmt.Fprintf(os.Stderr, "vcodec: %.2f fps (%v)\n",
+			float64(len(frames))/elapsed.Seconds(), elapsed)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vcodec: "+format+"\n", args...)
+	os.Exit(1)
+}

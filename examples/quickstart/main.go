@@ -1,0 +1,61 @@
+// Quickstart: encode one benchmark sequence with the H.264-class codec,
+// decode it back, and print the Table V metrics (PSNR and bitrate).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdvideobench"
+)
+
+func main() {
+	const w, h, frames = 320, 240, 10
+
+	// The four paper sequences are generated procedurally and
+	// deterministically — same frames on every run.
+	gen := hdvideobench.NewSequence(hdvideobench.RushHour, w, h)
+	inputs := gen.Generate(frames)
+
+	// The paper's coding options are the defaults: constant quantizer Q=5
+	// (H.264 QP 26 via Eq. 1), I-P-B-B GOP, hexagon motion search.
+	enc, err := hdvideobench.NewEncoder(hdvideobench.H264, hdvideobench.EncoderOptions{
+		Width: w, Height: h,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkts, err := hdvideobench.EncodeFrames(enc, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dec, err := hdvideobench.NewDecoder(enc.Header(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decoded, err := hdvideobench.DecodePackets(dec, pkts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bits := 0
+	for _, p := range pkts {
+		bits += 8 * len(p.Payload)
+	}
+	psnr := 0.0
+	for i := range decoded {
+		psnr += hdvideobench.PSNR(inputs[i], decoded[i])
+	}
+	fmt.Printf("H.264, %d frames of rush_hour at %dx%d\n", frames, w, h)
+	fmt.Printf("  coded frame types:")
+	for _, p := range pkts {
+		fmt.Printf(" %c", p.Type)
+	}
+	fmt.Println()
+	fmt.Printf("  average luma PSNR: %.2f dB\n", psnr/float64(frames))
+	fmt.Printf("  bitrate:           %.1f kbit/s at 25 fps\n",
+		float64(bits)*25/float64(frames)/1000)
+}

@@ -1,0 +1,30 @@
+// RD compare: run the three codecs over the four benchmark sequences at one
+// resolution and print a miniature of the paper's Table V together with the
+// §VI compression-gain summary.
+//
+//	go run ./examples/rdcompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdvideobench"
+)
+
+func main() {
+	opts := hdvideobench.SuiteOptions{
+		Frames: 8,
+		Resolutions: []hdvideobench.Resolution{
+			{Name: "cif+", Width: 352, Height: 288},
+		},
+	}
+	results, err := hdvideobench.RunTableV(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(hdvideobench.FormatTableV(results))
+	fmt.Println()
+	fmt.Print(hdvideobench.Gains(results))
+	fmt.Println("\n(the paper's §VI reports MPEG-4 saving 34-39% and H.264 48-52% vs MPEG-2)")
+}

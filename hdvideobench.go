@@ -1,0 +1,335 @@
+// Package hdvideobench is a Go reproduction of HD-VideoBench (Alvarez,
+// Salamí, Ramírez, Valero — IISWC 2007): a benchmark for High Definition
+// digital video applications.
+//
+// It provides three complete video codecs built from scratch —
+// MPEG-2-class, MPEG-4-ASP-class (Xvid role) and H.264-class (x264 role) —
+// together with the paper's four input sequences (procedural equivalents),
+// its three HD resolutions, the §IV coding options, and runners that
+// regenerate Table V (rate-distortion) and Figure 1(a-d) (decode/encode
+// throughput, scalar vs SIMD).
+//
+// Quick start:
+//
+//	gen := hdvideobench.NewSequence(hdvideobench.BlueSky, 1280, 720)
+//	enc, _ := hdvideobench.NewEncoder(hdvideobench.H264, hdvideobench.EncoderOptions{Width: 1280, Height: 720})
+//	for i := 0; i < 25; i++ {
+//		pkts, _ := enc.Encode(gen.Frame(i))
+//		// write pkts ...
+//	}
+//
+// See the examples/ directory for complete programs and cmd/hdvbench for
+// the benchmark front end.
+package hdvideobench
+
+import (
+	"fmt"
+	"io"
+
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/core"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/metrics"
+	"hdvideobench/internal/seqgen"
+)
+
+// Codec identifies one of the three benchmark codecs.
+type Codec = core.CodecID
+
+// The benchmark codecs, in the paper's table order.
+const (
+	MPEG2 = core.MPEG2
+	MPEG4 = core.MPEG4
+	H264  = core.H264
+)
+
+// ParseCodec maps names like "mpeg2", "xvid" or "h264" to a Codec.
+func ParseCodec(name string) (Codec, error) { return core.ParseCodec(name) }
+
+// Frame is a planar YUV 4:2:0 picture.
+type Frame = frame.Frame
+
+// NewFrame allocates a picture. Width and height must be even.
+func NewFrame(width, height int) *Frame { return frame.New(width, height) }
+
+// RawFrameSize returns the byte size of one raw I420 frame.
+func RawFrameSize(width, height int) int { return frame.RawSize(width, height) }
+
+// PSNR returns the luma peak signal-to-noise ratio between two frames in
+// decibels (the paper's Table V quality metric).
+func PSNR(ref, dist *Frame) float64 { return metrics.PSNRFrames(ref, dist) }
+
+// Sequence identifies one of the four benchmark input sequences (Table III).
+type Sequence = seqgen.Sequence
+
+// The four benchmark sequences.
+const (
+	BlueSky        = seqgen.BlueSky
+	PedestrianArea = seqgen.PedestrianArea
+	Riverbed       = seqgen.Riverbed
+	RushHour       = seqgen.RushHour
+)
+
+// Sequences lists all four in table order.
+var Sequences = seqgen.All
+
+// ParseSequence maps a sequence name ("blue_sky", ...) to its value.
+func ParseSequence(name string) (Sequence, error) { return seqgen.Parse(name) }
+
+// SequenceGenerator deterministically renders the frames of one benchmark
+// sequence at one resolution.
+type SequenceGenerator = seqgen.Generator
+
+// NewSequence returns a generator for the given sequence and resolution.
+func NewSequence(s Sequence, width, height int) *SequenceGenerator {
+	return seqgen.New(s, width, height)
+}
+
+// Resolution is one of the benchmark picture sizes (§IV).
+type Resolution = core.Resolution
+
+// Resolutions lists the paper's three sizes: 576p25, 720p25, 1088p25.
+var Resolutions = core.Resolutions
+
+// Packet is one coded frame in coding order.
+type Packet = container.Packet
+
+// StreamHeader describes a coded stream.
+type StreamHeader = container.Header
+
+// Frame types within a Packet.
+const (
+	FrameI = container.FrameI
+	FrameP = container.FrameP
+	FrameB = container.FrameB
+)
+
+// Encoder consumes display-order frames and produces coded packets.
+type Encoder = codec.Encoder
+
+// Decoder consumes coded packets and produces display-order frames.
+type Decoder = codec.Decoder
+
+// EntropyMode selects the H.264 entropy coder.
+type EntropyMode = codec.EntropyMode
+
+// Entropy coder choices (H.264 only).
+const (
+	EntropyCABAC = codec.EntropyCABAC
+	EntropyVLC   = codec.EntropyVLC
+)
+
+// EncoderOptions configures an encoder. Zero fields take the paper's §IV
+// defaults (Q=5, two B frames, first-frame-only intra, search range 24,
+// four references, CABAC, scalar kernels).
+type EncoderOptions struct {
+	Width, Height int
+	// Q is the quantizer in MPEG scale 1..31; H.264 maps it via Eq. 1.
+	Q int
+	// BFrames is the number of consecutive B pictures (paper: 2).
+	// Set to -1 for no B frames.
+	BFrames int
+	// IntraPeriod inserts an I frame every N frames; 0 = first frame only.
+	IntraPeriod int
+	// SearchRange is the full-pel motion search range.
+	SearchRange int
+	// Refs is the H.264 reference-frame count.
+	Refs int
+	// SIMD selects the SWAR kernel set (the paper's SIMD codec versions).
+	SIMD bool
+	// Entropy selects the H.264 entropy coder.
+	Entropy EntropyMode
+}
+
+// config converts public options to the internal configuration.
+func (o EncoderOptions) config() (codec.Config, error) {
+	cfg := codec.Default(o.Width, o.Height)
+	if o.Q != 0 {
+		cfg.Q = o.Q
+	}
+	switch {
+	case o.BFrames < 0:
+		cfg.BFrames = 0
+	case o.BFrames > 0:
+		cfg.BFrames = o.BFrames
+	}
+	cfg.IntraPeriod = o.IntraPeriod
+	if o.SearchRange != 0 {
+		cfg.SearchRange = o.SearchRange
+	}
+	if o.Refs != 0 {
+		cfg.Refs = o.Refs
+	}
+	if o.SIMD {
+		cfg.Kernels = kernel.SWAR
+	}
+	cfg.Entropy = o.Entropy
+	if err := cfg.Validate(); err != nil {
+		return codec.Config{}, err
+	}
+	return cfg, nil
+}
+
+// NewEncoder constructs an encoder for the given codec.
+func NewEncoder(c Codec, opts EncoderOptions) (Encoder, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEncoder(c, cfg)
+}
+
+// NewDecoder constructs a decoder for a coded stream. simd selects the SWAR
+// motion-compensation kernels (the paper's SIMD decoder versions).
+func NewDecoder(hdr StreamHeader, simd bool) (Decoder, error) {
+	k := kernel.Scalar
+	if simd {
+		k = kernel.SWAR
+	}
+	return core.NewDecoder(hdr, k)
+}
+
+// WriteStream writes a stream header and packets to w in HDVB container
+// format.
+func WriteStream(w io.Writer, hdr StreamHeader, pkts []Packet) error {
+	cw, err := container.NewWriter(w, hdr)
+	if err != nil {
+		return err
+	}
+	for _, p := range pkts {
+		if err := cw.WritePacket(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadStream reads a complete HDVB stream from r.
+func ReadStream(r io.Reader) (StreamHeader, []Packet, error) {
+	cr, err := container.NewReader(r)
+	if err != nil {
+		return StreamHeader{}, nil, err
+	}
+	var pkts []Packet
+	for {
+		p, err := cr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return StreamHeader{}, nil, err
+		}
+		pkts = append(pkts, p)
+	}
+	return cr.Header(), pkts, nil
+}
+
+// EncodeFrames is a convenience that drives enc over frames and flushes.
+func EncodeFrames(enc Encoder, frames []*Frame) ([]Packet, error) {
+	var pkts []Packet
+	for _, f := range frames {
+		ps, err := enc.Encode(f)
+		if err != nil {
+			return nil, err
+		}
+		pkts = append(pkts, ps...)
+	}
+	ps, err := enc.Flush()
+	if err != nil {
+		return nil, err
+	}
+	return append(pkts, ps...), nil
+}
+
+// DecodePackets is a convenience that drives dec over pkts and flushes,
+// returning frames in display order.
+func DecodePackets(dec Decoder, pkts []Packet) ([]*Frame, error) {
+	var out []*Frame
+	for _, p := range pkts {
+		fs, err := dec.Decode(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	return append(out, dec.Flush()...), nil
+}
+
+// --- benchmark suite ---------------------------------------------------------
+
+// SuiteOptions configures a benchmark run. Zero fields take the paper
+// defaults: the full codec/sequence/resolution matrix, Q=5, 25 frames.
+type SuiteOptions struct {
+	Frames      int
+	Q           int
+	SIMD        bool
+	Resolutions []Resolution
+	Sequences   []Sequence
+	Codecs      []Codec
+	// Repeats is the number of timing repetitions for speed runs (the
+	// fastest is kept); the paper used five runs of each application.
+	Repeats int
+}
+
+func (o SuiteOptions) core() core.Options {
+	k := kernel.Scalar
+	if o.SIMD {
+		k = kernel.SWAR
+	}
+	return core.Options{
+		Frames:      o.Frames,
+		Q:           o.Q,
+		Kernels:     k,
+		Resolutions: o.Resolutions,
+		Sequences:   o.Sequences,
+		Codecs:      o.Codecs,
+		Repeats:     o.Repeats,
+	}
+}
+
+// RDResult is one Table V row group.
+type RDResult = core.RDResult
+
+// SpeedResult is one Figure 1 bar.
+type SpeedResult = core.SpeedResult
+
+// RunTableV measures rate-distortion for the configured matrix.
+func RunTableV(o SuiteOptions) ([]RDResult, error) { return core.RunRD(o.core()) }
+
+// RunFigure1 measures throughput: encode=false gives panels (a)/(b)
+// depending on o.SIMD, encode=true gives panels (c)/(d).
+func RunFigure1(o SuiteOptions, encode bool) ([]SpeedResult, error) {
+	dir := core.Decode
+	if encode {
+		dir = core.Encode
+	}
+	return core.RunSpeed(o.core(), dir)
+}
+
+// FormatTableV renders RD results in the paper's Table V layout.
+func FormatTableV(rs []RDResult) string { return core.FormatTableV(rs) }
+
+// FormatFigure1 renders speed results as one Figure 1 panel.
+func FormatFigure1(rs []SpeedResult, title string) string { return core.FormatFigure1(rs, title) }
+
+// Describe summarizes the benchmark composition (Tables I-IV).
+func Describe() string { return core.Describe() }
+
+// FormatSpeedupReport joins a scalar and a SIMD speed run into the §VI
+// SIMD speed-up summary.
+func FormatSpeedupReport(scalar, simd []SpeedResult) string {
+	return core.FormatSpeedups(core.Speedups(scalar, simd))
+}
+
+// Gains summarizes compression gains versus MPEG-2 (§VI narrative).
+func Gains(rs []RDResult) string { return core.FormatGains(core.CompressionGains(rs)) }
+
+// ValidateResolution checks that a custom size is usable (multiple of 16).
+func ValidateResolution(width, height int) error {
+	if width <= 0 || height <= 0 || width%16 != 0 || height%16 != 0 {
+		return fmt.Errorf("hdvideobench: dimensions must be positive multiples of 16, got %dx%d", width, height)
+	}
+	return nil
+}

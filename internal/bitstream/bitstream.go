@@ -1,0 +1,168 @@
+// Package bitstream implements MSB-first bit-level writers and readers used
+// by the VLC entropy layers of the MPEG-2 and MPEG-4 codecs.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverrun is returned when a reader is asked for more bits than remain.
+var ErrOverrun = errors.New("bitstream: read past end of stream")
+
+// Writer accumulates bits MSB-first into a growing byte buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	acc  uint64 // pending bits, left-aligned within the low `n` bits
+	n    uint   // number of pending bits in acc (< 8 after flushAcc)
+	bits int    // total bits written
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBits writes the low n bits of v, MSB first. n must be in [0, 57].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 57 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d out of range", n))
+	}
+	if n == 0 {
+		return
+	}
+	v &= (1 << n) - 1
+	w.acc = w.acc<<n | v
+	w.n += n
+	w.bits += int(n)
+	for w.n >= 8 {
+		w.n -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.n))
+	}
+}
+
+// WriteBit writes a single bit.
+func (w *Writer) WriteBit(b int) {
+	w.WriteBits(uint64(b&1), 1)
+}
+
+// BitsWritten reports the total number of bits written so far.
+func (w *Writer) BitsWritten() int { return w.bits }
+
+// Len reports the number of complete bytes buffered so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Bytes flushes any partial byte (padding with zero bits) and returns the
+// underlying buffer. The Writer remains usable; further writes start on a
+// byte boundary.
+func (w *Writer) Bytes() []byte {
+	w.AlignByte()
+	return w.buf
+}
+
+// AlignByte pads the stream with zero bits up to the next byte boundary.
+func (w *Writer) AlignByte() {
+	if w.n > 0 {
+		pad := 8 - w.n
+		w.acc <<= pad
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc = 0
+		w.n = 0
+		w.bits += int(pad)
+	}
+}
+
+// Reset clears the writer for reuse, keeping the allocated buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.n = 0
+	w.bits = 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // next byte index
+	acc uint64
+	n   uint // valid bits in acc
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// Err returns the first error encountered (ErrOverrun), if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fill() {
+	for r.n <= 56 && r.pos < len(r.buf) {
+		r.acc = r.acc<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.n += 8
+	}
+}
+
+// ReadBits reads n bits MSB-first. n must be in [0, 57]. After the end of
+// the stream it returns 0 and records ErrOverrun.
+func (r *Reader) ReadBits(n uint) uint64 {
+	if n > 57 {
+		panic(fmt.Sprintf("bitstream: ReadBits n=%d out of range", n))
+	}
+	if n == 0 {
+		return 0
+	}
+	if r.n < n {
+		r.fill()
+		if r.n < n {
+			r.err = ErrOverrun
+			r.n = 0
+			return 0
+		}
+	}
+	r.n -= n
+	v := (r.acc >> r.n) & ((1 << n) - 1)
+	return v
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() int {
+	return int(r.ReadBits(1))
+}
+
+// PeekBits returns the next n bits without consuming them. Peeking past the
+// end of the stream returns the available bits padded with zeros and does
+// not set an error.
+func (r *Reader) PeekBits(n uint) uint64 {
+	if n > 57 {
+		panic(fmt.Sprintf("bitstream: PeekBits n=%d out of range", n))
+	}
+	if r.n < n {
+		r.fill()
+	}
+	if r.n >= n {
+		return (r.acc >> (r.n - n)) & ((1 << n) - 1)
+	}
+	// Fewer than n bits remain: left-align what we have.
+	return (r.acc & ((1 << r.n) - 1)) << (n - r.n)
+}
+
+// SkipBits discards n bits.
+func (r *Reader) SkipBits(n uint) {
+	r.ReadBits(n)
+}
+
+// BitsRemaining reports how many unread bits remain.
+func (r *Reader) BitsRemaining() int {
+	return int(r.n) + 8*(len(r.buf)-r.pos)
+}
+
+// AlignByte discards bits up to the next byte boundary.
+func (r *Reader) AlignByte() {
+	if rem := r.n % 8; rem != 0 {
+		r.ReadBits(rem)
+	}
+}

@@ -1,0 +1,175 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBasic(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 5)
+	w.WriteBits(0x12345, 20)
+	data := w.Bytes()
+
+	r := NewReader(data)
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Fatalf("got %b", got)
+	}
+	if got := r.ReadBits(8); got != 0xFF {
+		t.Fatalf("got %x", got)
+	}
+	if got := r.ReadBits(5); got != 0 {
+		t.Fatalf("got %x", got)
+	}
+	if got := r.ReadBits(20); got != 0x12345 {
+		t.Fatalf("got %x", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestSingleBits(t *testing.T) {
+	w := NewWriter(4)
+	bits := []int{1, 0, 1, 1, 0, 0, 1, 0, 1}
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range bits {
+		if got := r.ReadBit(); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestBitsWritten(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(1, 1)
+	w.WriteBits(3, 7)
+	if w.BitsWritten() != 8 {
+		t.Fatalf("BitsWritten = %d", w.BitsWritten())
+	}
+	w.WriteBits(1, 3)
+	if w.BitsWritten() != 11 {
+		t.Fatalf("BitsWritten = %d", w.BitsWritten())
+	}
+	w.AlignByte()
+	if w.BitsWritten() != 16 {
+		t.Fatalf("after align BitsWritten = %d", w.BitsWritten())
+	}
+}
+
+func TestOverrun(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	r.ReadBits(8)
+	if r.Err() != nil {
+		t.Fatal("unexpected early error")
+	}
+	if got := r.ReadBits(1); got != 0 {
+		t.Fatalf("overrun read = %d", got)
+	}
+	if r.Err() != ErrOverrun {
+		t.Fatalf("err = %v", r.Err())
+	}
+}
+
+func TestPeek(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0b1101_0110, 8)
+	w.WriteBits(0b1010, 4)
+	r := NewReader(w.Bytes())
+	if got := r.PeekBits(4); got != 0b1101 {
+		t.Fatalf("peek = %b", got)
+	}
+	// Peek must not consume.
+	if got := r.ReadBits(8); got != 0b1101_0110 {
+		t.Fatalf("read after peek = %b", got)
+	}
+	if got := r.PeekBits(4); got != 0b1010 {
+		t.Fatalf("second peek = %b", got)
+	}
+}
+
+func TestPeekPastEnd(t *testing.T) {
+	r := NewReader([]byte{0b1100_0000})
+	r.ReadBits(6)
+	// Only 2 bits remain; peeking 8 pads with zeros.
+	if got := r.PeekBits(8); got != 0 {
+		t.Fatalf("peek past end = %b", got)
+	}
+	if r.Err() != nil {
+		t.Fatal("peek must not set error")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(1, 1)
+	w.AlignByte()
+	w.WriteBits(0xCD, 8)
+	r := NewReader(w.Bytes())
+	r.ReadBits(1)
+	r.AlignByte()
+	if got := r.ReadBits(8); got != 0xCD {
+		t.Fatalf("after align got %x", got)
+	}
+}
+
+func TestBitsRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0, 0})
+	if r.BitsRemaining() != 24 {
+		t.Fatalf("BitsRemaining = %d", r.BitsRemaining())
+	}
+	r.ReadBits(5)
+	if r.BitsRemaining() != 19 {
+		t.Fatalf("BitsRemaining = %d", r.BitsRemaining())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	if w.Len() != 0 || w.BitsWritten() != 0 {
+		t.Fatal("reset did not clear writer")
+	}
+	w.WriteBits(0xA, 4)
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(4); got != 0xA {
+		t.Fatalf("after reset got %x", got)
+	}
+}
+
+// TestRoundTripProperty writes a random token sequence and reads it back.
+func TestRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		type tok struct {
+			v uint64
+			n uint
+		}
+		toks := make([]tok, n)
+		w := NewWriter(64)
+		for i := range toks {
+			bits := uint(1 + rng.Intn(57))
+			v := rng.Uint64() & ((1 << bits) - 1)
+			toks[i] = tok{v, bits}
+			w.WriteBits(v, bits)
+		}
+		r := NewReader(w.Bytes())
+		for _, tk := range toks {
+			if got := r.ReadBits(tk.n); got != tk.v {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package codec
+
+// Pixel-block helpers shared by the macroblock loops of all three codecs.
+// Offsets follow the plane+offset convention of the frame package: sample
+// (r,c) of a block based at off is plane[off + r*stride + c].
+
+// LoadBlock8 copies an 8×8 pixel block into an int32 coefficient block.
+func LoadBlock8(dst *[64]int32, plane []byte, off, stride int) {
+	for r := 0; r < 8; r++ {
+		base := off + r*stride
+		for c := 0; c < 8; c++ {
+			dst[r*8+c] = int32(plane[base+c])
+		}
+	}
+}
+
+// Residual8 computes cur − pred into an 8×8 coefficient block.
+func Residual8(dst *[64]int32, cur []byte, co, cStride int, pred []byte, po, pStride int) {
+	for r := 0; r < 8; r++ {
+		cb := co + r*cStride
+		pb := po + r*pStride
+		for c := 0; c < 8; c++ {
+			dst[r*8+c] = int32(cur[cb+c]) - int32(pred[pb+c])
+		}
+	}
+}
+
+// Store8Clip writes an 8×8 coefficient block into a plane with clamping to
+// [0, 255] (intra reconstruction).
+func Store8Clip(plane []byte, off, stride int, blk *[64]int32) {
+	for r := 0; r < 8; r++ {
+		base := off + r*stride
+		for c := 0; c < 8; c++ {
+			plane[base+c] = clip255(blk[r*8+c])
+		}
+	}
+}
+
+// Add8Clip writes pred + residual into a plane with clamping (inter
+// reconstruction).
+func Add8Clip(plane []byte, off, stride int, pred []byte, po, pStride int, res *[64]int32) {
+	for r := 0; r < 8; r++ {
+		base := off + r*stride
+		pb := po + r*pStride
+		for c := 0; c < 8; c++ {
+			plane[base+c] = clip255(int32(pred[pb+c]) + res[r*8+c])
+		}
+	}
+}
+
+// Copy8 copies an 8×8 block between planes.
+func Copy8(dst []byte, do, dStride int, src []byte, so, sStride int) {
+	for r := 0; r < 8; r++ {
+		copy(dst[do+r*dStride:do+r*dStride+8], src[so+r*sStride:so+r*sStride+8])
+	}
+}
+
+// Residual4 computes cur − pred into a 4×4 coefficient block.
+func Residual4(dst *[16]int32, cur []byte, co, cStride int, pred []byte, po, pStride int) {
+	for r := 0; r < 4; r++ {
+		cb := co + r*cStride
+		pb := po + r*pStride
+		for c := 0; c < 4; c++ {
+			dst[r*4+c] = int32(cur[cb+c]) - int32(pred[pb+c])
+		}
+	}
+}
+
+// Add4Clip writes pred + residual into a plane with clamping.
+func Add4Clip(plane []byte, off, stride int, pred []byte, po, pStride int, res *[16]int32) {
+	for r := 0; r < 4; r++ {
+		base := off + r*stride
+		pb := po + r*pStride
+		for c := 0; c < 4; c++ {
+			plane[base+c] = clip255(int32(pred[pb+c]) + res[r*4+c])
+		}
+	}
+}
+
+// SADBlockBytes is a small scalar SAD for mode decisions on prediction
+// buffers (the motion package owns the search-loop SAD kernels).
+func SADBlockBytes(a []byte, ao, aStride int, b []byte, bo, bStride, w, h int) int {
+	sad := 0
+	for r := 0; r < h; r++ {
+		ab := ao + r*aStride
+		bb := bo + r*bStride
+		for c := 0; c < w; c++ {
+			d := int(a[ab+c]) - int(b[bb+c])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+func clip255(v int32) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

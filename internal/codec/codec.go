@@ -1,0 +1,130 @@
+// Package codec provides the scaffolding shared by the three
+// HD-VideoBench codecs: configuration (the paper's §IV coding options),
+// IPBB group-of-pictures scheduling with frame reordering, decoder-side
+// display reordering, reference-frame lists, and the Encoder/Decoder
+// interfaces the benchmark harness drives.
+package codec
+
+import (
+	"fmt"
+
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/kernel"
+)
+
+// EntropyMode selects the H.264 entropy coder (the MPEG-2/-4 codecs always
+// use their VLC layers).
+type EntropyMode int
+
+const (
+	// EntropyCABAC is the adaptive binary arithmetic coder (default).
+	EntropyCABAC EntropyMode = iota
+	// EntropyVLC is the Exp-Golomb fallback, the CAVLC-class ablation.
+	EntropyVLC
+)
+
+// RefPad is the padding applied to reference frames. It must cover the
+// motion search range plus the 6-tap/quarter-pel filter margin.
+const RefPad = 32
+
+// Config carries the coding options of §IV and Table IV of the paper.
+type Config struct {
+	Width, Height  int
+	FPSNum, FPSDen int
+
+	// Q is the quantizer in MPEG scale (1..31). The paper's benchmark point
+	// is 5 (vqscale=5 / fixed_quant=5); H.264 maps it through Eq. 1.
+	Q int
+
+	// BFrames is the number of consecutive B pictures between references
+	// (paper: 2, "I-P-B-B", adaptive placement disabled).
+	BFrames int
+
+	// IntraPeriod is the distance between intra frames; 0 means only the
+	// first frame is intra (the paper's setting).
+	IntraPeriod int
+
+	// SearchRange is the full-pel motion search range (x264 line: 24).
+	SearchRange int
+
+	// Refs is the number of reference frames for H.264 P pictures.
+	Refs int
+
+	// Kernels selects scalar or SWAR implementations (Figure 1's axis).
+	Kernels kernel.Set
+
+	// Entropy selects the H.264 entropy coder.
+	Entropy EntropyMode
+}
+
+// Default returns the paper's coding options for a given resolution.
+func Default(width, height int) Config {
+	return Config{
+		Width: width, Height: height,
+		FPSNum: 25, FPSDen: 1,
+		Q:           5,
+		BFrames:     2,
+		IntraPeriod: 0,
+		SearchRange: 24,
+		Refs:        4,
+		Kernels:     kernel.Scalar,
+		Entropy:     EntropyCABAC,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("codec: invalid dimensions %dx%d", c.Width, c.Height)
+	}
+	if c.Width%16 != 0 || c.Height%16 != 0 {
+		return fmt.Errorf("codec: dimensions must be multiples of 16, got %dx%d (the paper uses 1088, not 1080, for the same reason)", c.Width, c.Height)
+	}
+	if c.Q < 1 || c.Q > 31 {
+		return fmt.Errorf("codec: quantizer %d out of range [1,31]", c.Q)
+	}
+	if c.BFrames < 0 || c.BFrames > 4 {
+		return fmt.Errorf("codec: BFrames %d out of range [0,4]", c.BFrames)
+	}
+	if c.SearchRange < 1 || c.SearchRange > RefPad-8 {
+		return fmt.Errorf("codec: search range %d out of range [1,%d]", c.SearchRange, RefPad-8)
+	}
+	if c.Refs < 1 || c.Refs > 8 {
+		return fmt.Errorf("codec: refs %d out of range [1,8]", c.Refs)
+	}
+	if c.FPSNum <= 0 || c.FPSDen <= 0 {
+		return fmt.Errorf("codec: invalid frame rate %d/%d", c.FPSNum, c.FPSDen)
+	}
+	return nil
+}
+
+// MBCols returns the number of macroblock columns.
+func (c Config) MBCols() int { return c.Width / 16 }
+
+// MBRows returns the number of macroblock rows.
+func (c Config) MBRows() int { return c.Height / 16 }
+
+// FPS returns the frame rate as a float (for bitrate reporting).
+func (c Config) FPS() float64 { return float64(c.FPSNum) / float64(c.FPSDen) }
+
+// Encoder is the interface all three encoders implement.
+type Encoder interface {
+	// Encode accepts the next frame in display order and returns zero or
+	// more coded packets (the IPBB reordering delays B frames until their
+	// backward reference is coded).
+	Encode(f *frame.Frame) ([]container.Packet, error)
+	// Flush drains buffered frames at end of stream.
+	Flush() ([]container.Packet, error)
+	// Header describes the stream for the container.
+	Header() container.Header
+}
+
+// Decoder is the interface all three decoders implement.
+type Decoder interface {
+	// Decode consumes one coded packet and returns zero or more frames in
+	// display order.
+	Decode(p container.Packet) ([]*frame.Frame, error)
+	// Flush drains the display reorder buffer at end of stream.
+	Flush() []*frame.Frame
+}

@@ -1,0 +1,221 @@
+package codec
+
+import (
+	"testing"
+
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/frame"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := Default(1280, 720)
+	if c.Q != 5 {
+		t.Errorf("Q = %d, want 5 (vqscale=5)", c.Q)
+	}
+	if c.BFrames != 2 {
+		t.Errorf("BFrames = %d, want 2 (I-P-B-B)", c.BFrames)
+	}
+	if c.IntraPeriod != 0 {
+		t.Errorf("IntraPeriod = %d, want 0 (only first frame intra)", c.IntraPeriod)
+	}
+	if c.SearchRange != 24 {
+		t.Errorf("SearchRange = %d, want 24 (x264 --merange 24)", c.SearchRange)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Width: 0, Height: 16, Q: 5, BFrames: 2, SearchRange: 16, Refs: 1, FPSNum: 25, FPSDen: 1},
+		{Width: 100, Height: 100, Q: 5, BFrames: 2, SearchRange: 16, Refs: 1, FPSNum: 25, FPSDen: 1},
+		{Width: 64, Height: 64, Q: 0, BFrames: 2, SearchRange: 16, Refs: 1, FPSNum: 25, FPSDen: 1},
+		{Width: 64, Height: 64, Q: 5, BFrames: 9, SearchRange: 16, Refs: 1, FPSNum: 25, FPSDen: 1},
+		{Width: 64, Height: 64, Q: 5, BFrames: 2, SearchRange: 99, Refs: 1, FPSNum: 25, FPSDen: 1},
+		{Width: 64, Height: 64, Q: 5, BFrames: 2, SearchRange: 16, Refs: 0, FPSNum: 25, FPSDen: 1},
+		{Width: 64, Height: 64, Q: 5, BFrames: 2, SearchRange: 16, Refs: 1, FPSNum: 0, FPSDen: 1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func mkFrame(pts int) *frame.Frame {
+	f := frame.New(16, 16)
+	f.PTS = pts
+	return f
+}
+
+func TestGOPSchedulerIPBB(t *testing.T) {
+	g := &GOPScheduler{BFrames: 2}
+	var order []GOPEntry
+	for i := 0; i < 7; i++ {
+		order = append(order, g.Push(mkFrame(i))...)
+	}
+	order = append(order, g.Flush()...)
+
+	wantTypes := []container.FrameType{'I', 'P', 'B', 'B', 'P', 'B', 'B'}
+	wantPTS := []int{0, 3, 1, 2, 6, 4, 5}
+	if len(order) != len(wantTypes) {
+		t.Fatalf("got %d entries, want %d", len(order), len(wantTypes))
+	}
+	for i, e := range order {
+		if e.Type != wantTypes[i] || e.Frame.PTS != wantPTS[i] {
+			t.Errorf("entry %d: type %c pts %d, want %c pts %d",
+				i, e.Type, e.Frame.PTS, wantTypes[i], wantPTS[i])
+		}
+	}
+}
+
+func TestGOPSchedulerTrailingBs(t *testing.T) {
+	g := &GOPScheduler{BFrames: 2}
+	var order []GOPEntry
+	for i := 0; i < 5; i++ { // I P B B + one trailing candidate
+		order = append(order, g.Push(mkFrame(i))...)
+	}
+	order = append(order, g.Flush()...)
+	// Display 4 has no backward reference → coded as P at flush.
+	last := order[len(order)-1]
+	if last.Type != container.FrameP || last.Frame.PTS != 4 {
+		t.Errorf("trailing frame: type %c pts %d", last.Type, last.Frame.PTS)
+	}
+}
+
+func TestGOPSchedulerNoBFrames(t *testing.T) {
+	g := &GOPScheduler{BFrames: 0}
+	var order []GOPEntry
+	for i := 0; i < 4; i++ {
+		order = append(order, g.Push(mkFrame(i))...)
+	}
+	for i, e := range order {
+		if e.Frame.PTS != i {
+			t.Errorf("entry %d: pts %d", i, e.Frame.PTS)
+		}
+		wantT := container.FrameP
+		if i == 0 {
+			wantT = container.FrameI
+		}
+		if e.Type != wantT {
+			t.Errorf("entry %d: type %c", i, e.Type)
+		}
+	}
+}
+
+func TestGOPSchedulerIntraPeriod(t *testing.T) {
+	g := &GOPScheduler{BFrames: 0, IntraPeriod: 3}
+	var types []container.FrameType
+	for i := 0; i < 7; i++ {
+		for _, e := range g.Push(mkFrame(i)) {
+			types = append(types, e.Type)
+		}
+	}
+	want := []container.FrameType{'I', 'P', 'P', 'I', 'P', 'P', 'I'}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Errorf("frame %d: %c, want %c", i, types[i], want[i])
+		}
+	}
+}
+
+func TestDisplayReorderer(t *testing.T) {
+	var d DisplayReorderer
+	// Coding order 0,3,1,2 (IPBB) must come out 0,1,2,3.
+	var got []int
+	for _, pts := range []int{0, 3, 1, 2} {
+		for _, f := range d.Add(mkFrame(pts)) {
+			got = append(got, f.PTS)
+		}
+	}
+	want := []int{0, 1, 2, 3}
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDisplayReordererFlushWithGap(t *testing.T) {
+	var d DisplayReorderer
+	d.Add(mkFrame(0))
+	d.Add(mkFrame(2)) // 1 missing (truncated stream)
+	out := d.Flush()
+	if len(out) != 1 || out[0].PTS != 2 {
+		t.Fatalf("flush = %v", out)
+	}
+}
+
+func TestRefList(t *testing.T) {
+	l := RefList{Max: 2}
+	a, b, c := mkFrame(0), mkFrame(1), mkFrame(2)
+	l.Add(a)
+	l.Add(b)
+	l.Add(c)
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if l.Get(0) != c || l.Get(1) != b {
+		t.Fatal("wrong eviction order")
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBlockHelpers(t *testing.T) {
+	plane := make([]byte, 32*32)
+	for i := range plane {
+		plane[i] = byte(i)
+	}
+	var blk [64]int32
+	LoadBlock8(&blk, plane, 5*32+3, 32)
+	if blk[0] != int32(plane[5*32+3]) || blk[63] != int32(plane[12*32+10]) {
+		t.Fatal("LoadBlock8 wrong samples")
+	}
+
+	pred := make([]byte, 8*8)
+	for i := range pred {
+		pred[i] = 100
+	}
+	var res [64]int32
+	Residual8(&res, plane, 0, 32, pred, 0, 8)
+	if res[0] != int32(plane[0])-100 {
+		t.Fatalf("Residual8: %d", res[0])
+	}
+
+	out := make([]byte, 8*8)
+	for i := range res {
+		res[i] = 300 // force clipping
+	}
+	Add8Clip(out, 0, 8, pred, 0, 8, &res)
+	if out[0] != 255 {
+		t.Fatalf("Add8Clip must clip to 255, got %d", out[0])
+	}
+	for i := range res {
+		res[i] = -300
+	}
+	Add8Clip(out, 0, 8, pred, 0, 8, &res)
+	if out[0] != 0 {
+		t.Fatalf("Add8Clip must clip to 0, got %d", out[0])
+	}
+
+	var blk4 [16]int32
+	Residual4(&blk4, plane, 0, 32, pred, 0, 8)
+	if blk4[15] != int32(plane[3*32+3])-100 {
+		t.Fatal("Residual4 wrong")
+	}
+}
+
+func TestSADBlockBytes(t *testing.T) {
+	a := []byte{10, 20, 30, 40}
+	b := []byte{12, 18, 33, 40}
+	if got := SADBlockBytes(a, 0, 2, b, 0, 2, 2, 2); got != 2+2+3+0 {
+		t.Fatalf("SAD = %d", got)
+	}
+}

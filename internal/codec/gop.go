@@ -1,0 +1,132 @@
+package codec
+
+import (
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/frame"
+)
+
+// GOPEntry is one scheduling decision: code Frame as Type now.
+type GOPEntry struct {
+	Frame *frame.Frame
+	Type  container.FrameType
+}
+
+// GOPScheduler turns display-order input into coding-order entries for the
+// paper's GOP: first frame I, then repeating B…B P groups ("I-P-B-B" with
+// adaptive placement disabled), optional periodic intra refresh.
+type GOPScheduler struct {
+	BFrames     int
+	IntraPeriod int
+
+	pending []*frame.Frame // buffered B candidates
+	count   int            // display frames consumed
+}
+
+// Push accepts the next display-order frame and returns the entries that
+// can be coded now (a reference frame followed by its leading B pictures).
+func (g *GOPScheduler) Push(f *frame.Frame) []GOPEntry {
+	idx := g.count
+	g.count++
+	if idx == 0 {
+		return []GOPEntry{{f, container.FrameI}}
+	}
+	// Position within the B…B P group.
+	pos := (idx - 1) % (g.BFrames + 1)
+	if pos < g.BFrames {
+		g.pending = append(g.pending, f)
+		return nil
+	}
+	// Reference frame: I on refresh boundary, else P. It is coded before
+	// the buffered B frames that precede it in display order.
+	t := container.FrameP
+	if g.IntraPeriod > 0 && idx%g.IntraPeriod == 0 {
+		t = container.FrameI
+	}
+	entries := make([]GOPEntry, 0, 1+len(g.pending))
+	entries = append(entries, GOPEntry{f, t})
+	for _, b := range g.pending {
+		entries = append(entries, GOPEntry{b, container.FrameB})
+	}
+	g.pending = g.pending[:0]
+	return entries
+}
+
+// Flush codes any trailing buffered frames. Without a backward reference
+// they are coded as P pictures (standard end-of-stream encoder behaviour).
+func (g *GOPScheduler) Flush() []GOPEntry {
+	entries := make([]GOPEntry, 0, len(g.pending))
+	for _, b := range g.pending {
+		entries = append(entries, GOPEntry{b, container.FrameP})
+	}
+	g.pending = g.pending[:0]
+	return entries
+}
+
+// DisplayReorderer restores display order from coding order on the decoder
+// side using the packets' display indices.
+type DisplayReorderer struct {
+	next    int
+	pending map[int]*frame.Frame
+}
+
+// Add registers a decoded frame (PTS = display index) and returns all
+// frames that are now contiguously displayable.
+func (d *DisplayReorderer) Add(f *frame.Frame) []*frame.Frame {
+	if d.pending == nil {
+		d.pending = make(map[int]*frame.Frame)
+	}
+	d.pending[f.PTS] = f
+	var out []*frame.Frame
+	for {
+		nf, ok := d.pending[d.next]
+		if !ok {
+			return out
+		}
+		delete(d.pending, d.next)
+		d.next++
+		out = append(out, nf)
+	}
+}
+
+// Flush returns any frames still buffered, in display order (gaps are
+// skipped — they indicate a truncated stream).
+func (d *DisplayReorderer) Flush() []*frame.Frame {
+	var out []*frame.Frame
+	for len(d.pending) > 0 {
+		// Find the smallest pending index.
+		best := -1
+		for idx := range d.pending {
+			if best == -1 || idx < best {
+				best = idx
+			}
+		}
+		out = append(out, d.pending[best])
+		delete(d.pending, best)
+		d.next = best + 1
+	}
+	return out
+}
+
+// RefList is a most-recent-first list of reconstructed reference frames
+// with a fixed capacity (H.264 multi-reference prediction).
+type RefList struct {
+	Max    int
+	frames []*frame.Frame
+}
+
+// Add pushes a new reference, evicting the oldest beyond Max.
+func (l *RefList) Add(f *frame.Frame) {
+	l.frames = append([]*frame.Frame{f}, l.frames...)
+	if len(l.frames) > l.Max {
+		l.frames = l.frames[:l.Max]
+	}
+}
+
+// Len returns the number of available references.
+func (l *RefList) Len() int { return len(l.frames) }
+
+// Get returns reference i (0 = most recent).
+func (l *RefList) Get(i int) *frame.Frame { return l.frames[i] }
+
+// Reset clears the list (intra refresh).
+func (l *RefList) Reset() { l.frames = l.frames[:0] }

@@ -1,0 +1,183 @@
+// Package container defines the HDVB elementary-stream container that the
+// three codecs write and read. It plays the role the .m2v/.avi/.h264 files
+// play in the paper's Table IV commands: a self-describing file holding one
+// coded video stream.
+//
+// Layout (all integers little-endian):
+//
+//	header:  magic "HDVB" | u8 version | u8 codec | u16 flags |
+//	         u16 width | u16 height | u16 fpsNum | u16 fpsDen | u32 frames
+//	frame:   u8 type ('I','P','B') | u32 displayIndex | u32 size | payload
+//
+// Frames are stored in coding order; displayIndex carries the presentation
+// order (the IPBB GOP reorders B frames after their backward reference).
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Codec identifies the coded stream format.
+type Codec uint8
+
+const (
+	CodecMPEG2 Codec = 1
+	CodecMPEG4 Codec = 2
+	CodecH264  Codec = 3
+)
+
+// String returns the codec name as used in the paper.
+func (c Codec) String() string {
+	switch c {
+	case CodecMPEG2:
+		return "MPEG-2"
+	case CodecMPEG4:
+		return "MPEG-4"
+	case CodecH264:
+		return "H.264"
+	}
+	return fmt.Sprintf("Codec(%d)", uint8(c))
+}
+
+// FrameType is the picture coding type.
+type FrameType uint8
+
+const (
+	FrameI FrameType = 'I'
+	FrameP FrameType = 'P'
+	FrameB FrameType = 'B'
+)
+
+// Header describes a stream.
+type Header struct {
+	Codec          Codec
+	Flags          uint16
+	Width, Height  int
+	FPSNum, FPSDen int
+	Frames         int
+}
+
+// Packet is one coded frame.
+type Packet struct {
+	Type         FrameType
+	DisplayIndex int
+	Payload      []byte
+}
+
+const magic = "HDVB"
+
+var (
+	// ErrBadMagic indicates the input is not an HDVB stream.
+	ErrBadMagic = errors.New("container: bad magic")
+	// ErrBadVersion indicates an unsupported container version.
+	ErrBadVersion = errors.New("container: unsupported version")
+)
+
+const version = 1
+
+// headerSize is the fixed byte length of the stream header.
+const headerSize = 20
+
+// Writer writes an HDVB stream.
+type Writer struct {
+	w     io.Writer
+	count int
+}
+
+// NewWriter writes the stream header and returns a Writer. hdr.Frames may
+// be zero if unknown (readers then consume until EOF).
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	buf := make([]byte, 0, headerSize)
+	buf = append(buf, magic...)
+	buf = append(buf, version, uint8(hdr.Codec))
+	buf = binary.LittleEndian.AppendUint16(buf, hdr.Flags)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(hdr.Width))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(hdr.Height))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(hdr.FPSNum))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(hdr.FPSDen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(hdr.Frames))
+	if _, err := w.Write(buf); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w}, nil
+}
+
+// WritePacket appends one coded frame.
+func (w *Writer) WritePacket(p Packet) error {
+	var hdr [9]byte
+	hdr[0] = byte(p.Type)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(p.DisplayIndex))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(p.Payload)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(p.Payload); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of packets written.
+func (w *Writer) Count() int { return w.count }
+
+// Reader reads an HDVB stream.
+type Reader struct {
+	r   io.Reader
+	hdr Header
+}
+
+// NewReader parses the stream header.
+func NewReader(r io.Reader) (*Reader, error) {
+	buf := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("container: reading header: %w", err)
+	}
+	if string(buf[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	if buf[4] != version {
+		return nil, ErrBadVersion
+	}
+	hdr := Header{
+		Codec:  Codec(buf[5]),
+		Flags:  binary.LittleEndian.Uint16(buf[6:]),
+		Width:  int(binary.LittleEndian.Uint16(buf[8:])),
+		Height: int(binary.LittleEndian.Uint16(buf[10:])),
+		FPSNum: int(binary.LittleEndian.Uint16(buf[12:])),
+		FPSDen: int(binary.LittleEndian.Uint16(buf[14:])),
+		Frames: int(binary.LittleEndian.Uint32(buf[16:])),
+	}
+	return &Reader{r: r, hdr: hdr}, nil
+}
+
+// Header returns the parsed stream header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// ReadPacket reads the next coded frame; io.EOF signals the clean end of
+// the stream.
+func (r *Reader) ReadPacket() (Packet, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Packet{}, io.EOF
+		}
+		return Packet{}, fmt.Errorf("container: reading packet header: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(hdr[5:])
+	if size > 1<<30 {
+		return Packet{}, fmt.Errorf("container: implausible packet size %d", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return Packet{}, fmt.Errorf("container: reading payload: %w", err)
+	}
+	return Packet{
+		Type:         FrameType(hdr[0]),
+		DisplayIndex: int(binary.LittleEndian.Uint32(hdr[1:])),
+		Payload:      payload,
+	}, nil
+}

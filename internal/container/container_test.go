@@ -1,0 +1,97 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := Header{
+		Codec: CodecH264, Flags: 3,
+		Width: 1280, Height: 720,
+		FPSNum: 25, FPSDen: 1,
+		Frames: 2,
+	}
+	w, err := NewWriter(&buf, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []Packet{
+		{Type: FrameI, DisplayIndex: 0, Payload: []byte{1, 2, 3}},
+		{Type: FrameP, DisplayIndex: 3, Payload: bytes.Repeat([]byte{7}, 1000)},
+		{Type: FrameB, DisplayIndex: 1, Payload: nil},
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Header(); got != hdr {
+		t.Fatalf("header = %+v, want %+v", got, hdr)
+	}
+	for i, want := range pkts {
+		got, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.DisplayIndex != want.DisplayIndex {
+			t.Fatalf("packet %d: %+v", i, got)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("packet %d payload mismatch", i)
+		}
+	}
+	if _, err := r.ReadPacket(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	buf := bytes.NewBufferString("NOTAVIDEOSTREAMHEADER!")
+	if _, err := NewReader(buf); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Header{Codec: CodecMPEG2}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99
+	if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Codec: CodecMPEG4, Width: 16, Height: 16})
+	_ = w.WritePacket(Packet{Type: FrameI, Payload: []byte{1, 2, 3, 4}})
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadPacket(); err == nil || err == io.EOF {
+		t.Fatalf("truncated payload must error, got %v", err)
+	}
+}
+
+func TestCodecNames(t *testing.T) {
+	if CodecMPEG2.String() != "MPEG-2" || CodecMPEG4.String() != "MPEG-4" || CodecH264.String() != "H.264" {
+		t.Fatal("codec names must match the paper")
+	}
+}

@@ -1,0 +1,351 @@
+// Package core implements the HD-VideoBench suite itself — the paper's
+// primary contribution: the codec/sequence/resolution benchmark matrix, the
+// §IV coding-option presets, the rate-distortion runner behind Table V, the
+// fps runners behind Figure 1(a-d), and the report formatting that
+// regenerates the paper's tables.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/h264"
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/metrics"
+	"hdvideobench/internal/mpeg2"
+	"hdvideobench/internal/mpeg4"
+	"hdvideobench/internal/seqgen"
+)
+
+// CodecID identifies one of the three benchmark codecs.
+type CodecID int
+
+const (
+	MPEG2 CodecID = iota
+	MPEG4
+	H264
+)
+
+// AllCodecs lists the codecs in the paper's table order.
+var AllCodecs = []CodecID{MPEG2, MPEG4, H264}
+
+// String returns the codec name as printed in the paper's tables.
+func (c CodecID) String() string {
+	switch c {
+	case MPEG2:
+		return "MPEG-2"
+	case MPEG4:
+		return "MPEG-4"
+	case H264:
+		return "H.264"
+	}
+	return fmt.Sprintf("CodecID(%d)", int(c))
+}
+
+// ParseCodec maps a codec name to its ID.
+func ParseCodec(name string) (CodecID, error) {
+	switch strings.ToLower(strings.ReplaceAll(name, "-", "")) {
+	case "mpeg2":
+		return MPEG2, nil
+	case "mpeg4", "xvid":
+		return MPEG4, nil
+	case "h264", "h.264", "x264", "avc":
+		return H264, nil
+	}
+	return 0, fmt.Errorf("core: unknown codec %q", name)
+}
+
+// Resolution is one of the benchmark picture sizes.
+type Resolution struct {
+	Name          string
+	Width, Height int
+}
+
+// Resolutions are the paper's three sizes: DVD, HD-720 and HD-1088
+// (1088 rather than 1080 so the height is a multiple of 16 — §IV).
+var Resolutions = []Resolution{
+	{"576p25", 720, 576},
+	{"720p25", 1280, 720},
+	{"1088p25", 1920, 1088},
+}
+
+// ResolutionByName finds a benchmark resolution.
+func ResolutionByName(name string) (Resolution, error) {
+	for _, r := range Resolutions {
+		if strings.EqualFold(r.Name, name) {
+			return r, nil
+		}
+	}
+	return Resolution{}, fmt.Errorf("core: unknown resolution %q", name)
+}
+
+// NewEncoder constructs the encoder for a codec ID.
+func NewEncoder(id CodecID, cfg codec.Config) (codec.Encoder, error) {
+	switch id {
+	case MPEG2:
+		return mpeg2.NewEncoder(cfg)
+	case MPEG4:
+		return mpeg4.NewEncoder(cfg)
+	case H264:
+		return h264.NewEncoder(cfg)
+	}
+	return nil, fmt.Errorf("core: unknown codec %d", id)
+}
+
+// NewDecoder constructs the decoder for a coded stream header.
+func NewDecoder(hdr container.Header, kern kernel.Set) (codec.Decoder, error) {
+	switch hdr.Codec {
+	case container.CodecMPEG2:
+		return mpeg2.NewDecoder(hdr, kern)
+	case container.CodecMPEG4:
+		return mpeg4.NewDecoder(hdr, kern)
+	case container.CodecH264:
+		return h264.NewDecoder(hdr, kern)
+	}
+	return nil, fmt.Errorf("core: unknown stream codec %v", hdr.Codec)
+}
+
+// Options configures a suite run. The zero value is completed by
+// (*Options).defaults: the full paper matrix at the paper's settings with a
+// reduced frame count.
+type Options struct {
+	Frames      int
+	Q           int
+	Kernels     kernel.Set
+	Resolutions []Resolution
+	Sequences   []seqgen.Sequence
+	Codecs      []CodecID
+	BFrames     int
+	Refs        int
+	Entropy     codec.EntropyMode
+
+	// Repeats is the number of timing repetitions per speed measurement;
+	// the fastest run is reported (filters scheduler/steal noise on shared
+	// machines). Zero means one run.
+	Repeats int
+}
+
+func (o Options) defaults() Options {
+	if o.Frames == 0 {
+		o.Frames = 25
+	}
+	if o.Q == 0 {
+		o.Q = 5
+	}
+	if o.Resolutions == nil {
+		o.Resolutions = Resolutions
+	}
+	if o.Sequences == nil {
+		o.Sequences = seqgen.All
+	}
+	if o.Codecs == nil {
+		o.Codecs = AllCodecs
+	}
+	if o.BFrames == 0 {
+		o.BFrames = 2
+	}
+	if o.Refs == 0 {
+		o.Refs = 4
+	}
+	return o
+}
+
+// Config builds the codec configuration for one resolution under o.
+func (o Options) Config(res Resolution) codec.Config {
+	o = o.defaults()
+	cfg := codec.Default(res.Width, res.Height)
+	cfg.Q = o.Q
+	cfg.Kernels = o.Kernels
+	cfg.BFrames = o.BFrames
+	cfg.Refs = o.Refs
+	cfg.Entropy = o.Entropy
+	return cfg
+}
+
+// EncodeSequence encodes frames with the given codec and returns the
+// packets in coding order.
+func EncodeSequence(id CodecID, cfg codec.Config, frames []*frame.Frame) ([]container.Packet, container.Header, error) {
+	enc, err := NewEncoder(id, cfg)
+	if err != nil {
+		return nil, container.Header{}, err
+	}
+	var pkts []container.Packet
+	for _, f := range frames {
+		ps, err := enc.Encode(f)
+		if err != nil {
+			return nil, container.Header{}, err
+		}
+		pkts = append(pkts, ps...)
+	}
+	ps, err := enc.Flush()
+	if err != nil {
+		return nil, container.Header{}, err
+	}
+	pkts = append(pkts, ps...)
+	return pkts, enc.Header(), nil
+}
+
+// DecodePackets decodes a packet stream back to display-order frames.
+func DecodePackets(hdr container.Header, kern kernel.Set, pkts []container.Packet) ([]*frame.Frame, error) {
+	dec, err := NewDecoder(hdr, kern)
+	if err != nil {
+		return nil, err
+	}
+	var out []*frame.Frame
+	for _, p := range pkts {
+		fs, err := dec.Decode(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	out = append(out, dec.Flush()...)
+	return out, nil
+}
+
+// RDResult is one Table V cell group: quality and rate for a codec on a
+// sequence at a resolution.
+type RDResult struct {
+	Resolution Resolution
+	Sequence   seqgen.Sequence
+	Codec      CodecID
+	PSNR       float64
+	Kbps       float64
+	Frames     int
+	Bits       int64
+}
+
+// RunRD measures rate-distortion for the full matrix in o (Table V).
+func RunRD(o Options) ([]RDResult, error) {
+	o = o.defaults()
+	var results []RDResult
+	for _, res := range o.Resolutions {
+		cfg := o.Config(res)
+		for _, seq := range o.Sequences {
+			inputs := seqgen.New(seq, res.Width, res.Height).Generate(o.Frames)
+			for _, id := range o.Codecs {
+				pkts, hdr, err := EncodeSequence(id, cfg, inputs)
+				if err != nil {
+					return nil, fmt.Errorf("encoding %v/%v/%v: %w", res.Name, seq, id, err)
+				}
+				decoded, err := DecodePackets(hdr, o.Kernels, pkts)
+				if err != nil {
+					return nil, fmt.Errorf("decoding %v/%v/%v: %w", res.Name, seq, id, err)
+				}
+				if len(decoded) != len(inputs) {
+					return nil, fmt.Errorf("%v/%v/%v: decoded %d of %d frames",
+						res.Name, seq, id, len(decoded), len(inputs))
+				}
+				var acc metrics.Accumulator
+				for i := range inputs {
+					bits := 0
+					if i < len(pkts) {
+						bits = 8 * len(pkts[i].Payload)
+					}
+					acc.AddFrame(inputs[i], decoded[i], bits)
+				}
+				results = append(results, RDResult{
+					Resolution: res,
+					Sequence:   seq,
+					Codec:      id,
+					PSNR:       acc.PSNR(),
+					Kbps:       acc.BitrateKbps(cfg.FPS()),
+					Frames:     len(inputs),
+					Bits:       acc.TotalBits(),
+				})
+			}
+		}
+	}
+	return results, nil
+}
+
+// Direction selects encode or decode for speed runs.
+type Direction int
+
+const (
+	Decode Direction = iota
+	Encode
+)
+
+func (d Direction) String() string {
+	if d == Encode {
+		return "Encoding"
+	}
+	return "Decoding"
+}
+
+// SpeedResult is one Figure 1 bar: frames per second for a codec at a
+// resolution (averaged over the benchmark sequences).
+type SpeedResult struct {
+	Resolution Resolution
+	Codec      CodecID
+	Direction  Direction
+	Kernels    kernel.Set
+	FPS        float64
+	Frames     int
+}
+
+// RunSpeed measures encode or decode throughput for the matrix in o
+// (Figure 1: a = decode scalar, b = decode SIMD, c = encode scalar,
+// d = encode SIMD, depending on o.Kernels and dir).
+func RunSpeed(o Options, dir Direction) ([]SpeedResult, error) {
+	o = o.defaults()
+	var results []SpeedResult
+	repeats := o.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	for _, res := range o.Resolutions {
+		cfg := o.Config(res)
+		for _, id := range o.Codecs {
+			totalFrames := 0
+			var bestTime time.Duration
+			for rep := 0; rep < repeats; rep++ {
+				frames := 0
+				var totalTime time.Duration
+				for _, seq := range o.Sequences {
+					inputs := seqgen.New(seq, res.Width, res.Height).Generate(o.Frames)
+					if dir == Encode {
+						start := time.Now()
+						_, _, err := EncodeSequence(id, cfg, inputs)
+						totalTime += time.Since(start)
+						if err != nil {
+							return nil, err
+						}
+						frames += len(inputs)
+						continue
+					}
+					pkts, hdr, err := EncodeSequence(id, cfg, inputs)
+					if err != nil {
+						return nil, err
+					}
+					start := time.Now()
+					decoded, err := DecodePackets(hdr, o.Kernels, pkts)
+					totalTime += time.Since(start)
+					if err != nil {
+						return nil, err
+					}
+					frames += len(decoded)
+				}
+				totalFrames = frames
+				if rep == 0 || totalTime < bestTime {
+					bestTime = totalTime
+				}
+			}
+			fps := float64(totalFrames) / bestTime.Seconds()
+			results = append(results, SpeedResult{
+				Resolution: res,
+				Codec:      id,
+				Direction:  dir,
+				Kernels:    o.Kernels,
+				FPS:        fps,
+				Frames:     totalFrames,
+			})
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,116 @@
+package dct
+
+// Forward4 applies the H.264 4×4 forward core transform in place
+// (Y = C·X·Cᵀ with C = [[1,1,1,1],[2,1,-1,-2],[1,-1,-1,1],[1,-2,2,-1]]).
+// The transform gain is absorbed by the H.264 quantizer tables.
+func Forward4(blk *[16]int32) {
+	// Rows.
+	for i := 0; i < 16; i += 4 {
+		s03 := blk[i] + blk[i+3]
+		d03 := blk[i] - blk[i+3]
+		s12 := blk[i+1] + blk[i+2]
+		d12 := blk[i+1] - blk[i+2]
+		blk[i] = s03 + s12
+		blk[i+1] = 2*d03 + d12
+		blk[i+2] = s03 - s12
+		blk[i+3] = d03 - 2*d12
+	}
+	// Columns.
+	for i := 0; i < 4; i++ {
+		s03 := blk[i] + blk[i+12]
+		d03 := blk[i] - blk[i+12]
+		s12 := blk[i+4] + blk[i+8]
+		d12 := blk[i+4] - blk[i+8]
+		blk[i] = s03 + s12
+		blk[i+4] = 2*d03 + d12
+		blk[i+8] = s03 - s12
+		blk[i+12] = d03 - 2*d12
+	}
+}
+
+// Inverse4 applies the H.264 4×4 inverse core transform in place, including
+// the final (x+32)>>6 rounding of the standard. Input is dequantized
+// coefficients; output is the residual in the sample domain.
+func Inverse4(blk *[16]int32) {
+	// Rows.
+	for i := 0; i < 16; i += 4 {
+		s02 := blk[i] + blk[i+2]
+		d02 := blk[i] - blk[i+2]
+		d13 := (blk[i+1] >> 1) - blk[i+3]
+		s13 := blk[i+1] + (blk[i+3] >> 1)
+		blk[i] = s02 + s13
+		blk[i+1] = d02 + d13
+		blk[i+2] = d02 - d13
+		blk[i+3] = s02 - s13
+	}
+	// Columns with final rounding.
+	for i := 0; i < 4; i++ {
+		s02 := blk[i] + blk[i+8]
+		d02 := blk[i] - blk[i+8]
+		d13 := (blk[i+4] >> 1) - blk[i+12]
+		s13 := blk[i+4] + (blk[i+12] >> 1)
+		blk[i] = (s02 + s13 + 32) >> 6
+		blk[i+4] = (d02 + d13 + 32) >> 6
+		blk[i+8] = (d02 - d13 + 32) >> 6
+		blk[i+12] = (s02 - s13 + 32) >> 6
+	}
+}
+
+// Hadamard4 applies the 4×4 Hadamard transform in place. With div2 true the
+// result is divided by 2 with rounding (the forward luma-DC convention in
+// H.264); with div2 false the raw ±1 butterfly output is produced.
+func Hadamard4(blk *[16]int32, div2 bool) {
+	for i := 0; i < 16; i += 4 {
+		s03 := blk[i] + blk[i+3]
+		d03 := blk[i] - blk[i+3]
+		s12 := blk[i+1] + blk[i+2]
+		d12 := blk[i+1] - blk[i+2]
+		blk[i] = s03 + s12
+		blk[i+1] = d03 + d12
+		blk[i+2] = s03 - s12
+		blk[i+3] = d03 - d12
+	}
+	for i := 0; i < 4; i++ {
+		s03 := blk[i] + blk[i+12]
+		d03 := blk[i] - blk[i+12]
+		s12 := blk[i+4] + blk[i+8]
+		d12 := blk[i+4] - blk[i+8]
+		if div2 {
+			blk[i] = (s03 + s12 + 1) >> 1
+			blk[i+4] = (d03 + d12 + 1) >> 1
+			blk[i+8] = (s03 - s12 + 1) >> 1
+			blk[i+12] = (d03 - d12 + 1) >> 1
+		} else {
+			blk[i] = s03 + s12
+			blk[i+4] = d03 + d12
+			blk[i+8] = s03 - s12
+			blk[i+12] = d03 - d12
+		}
+	}
+}
+
+// Hadamard2 applies the 2×2 Hadamard transform (chroma DC) in place.
+func Hadamard2(blk *[4]int32) {
+	a, b, c, d := blk[0], blk[1], blk[2], blk[3]
+	blk[0] = a + b + c + d
+	blk[1] = a - b + c - d
+	blk[2] = a + b - c - d
+	blk[3] = a - b - c + d
+}
+
+// SATD4 returns the sum of absolute Hadamard-transformed differences of a
+// 4×4 difference block — the cost metric x264-class encoders use for
+// sub-pel refinement and mode decision.
+func SATD4(diff *[16]int32) int32 {
+	var tmp [16]int32
+	copy(tmp[:], diff[:])
+	Hadamard4(&tmp, false)
+	var sum int32
+	for _, v := range tmp {
+		if v < 0 {
+			v = -v
+		}
+		sum += v
+	}
+	return (sum + 1) >> 1
+}

@@ -1,0 +1,239 @@
+// Package dct implements the block transforms used by the HD-VideoBench
+// codecs: a fast fixed-point 8×8 DCT-II / inverse pair (MPEG-2 and MPEG-4)
+// and the H.264 4×4 integer core transform with its Hadamard DC transforms.
+//
+// The 8×8 pair uses the Loeffler/Ligtenberg/Moshovitz factorization with
+// 13-bit fixed-point constants (the same structure libjpeg's jfdctint and
+// FFmpeg's simple_idct families use). Both directions are pure-integer and
+// deterministic, so encoder reconstruction and decoder output are bit-exact
+// regardless of kernel selection.
+package dct
+
+// Fixed-point constants: round(c * 2^13) for the LLM factorization.
+const (
+	constBits = 13
+	pass1Bits = 2
+
+	fix0_298631336 = 2446
+	fix0_390180644 = 3196
+	fix0_541196100 = 4433
+	fix0_765366865 = 6270
+	fix0_899976223 = 7373
+	fix1_175875602 = 9633
+	fix1_501321110 = 12299
+	fix1_847759065 = 15137
+	fix1_961570560 = 16069
+	fix2_053119869 = 16819
+	fix2_562915447 = 20995
+	fix3_072711026 = 25172
+)
+
+func descale(x int32, n uint) int32 {
+	return (x + (1 << (n - 1))) >> n
+}
+
+// Forward8 computes the 8×8 forward DCT of blk in place. The output uses the
+// MPEG convention: F(0,0) equals the block sum divided by 8 (DC of a flat
+// block of value v is 8·v). Input samples should be in [-256, 255]; this
+// covers both level-shifted intra blocks and inter residuals.
+func Forward8(blk *[64]int32) {
+	// Pass 1: process rows, scaling output up by 2^pass1Bits.
+	for r := 0; r < 8; r++ {
+		p := blk[r*8 : r*8+8 : r*8+8]
+		tmp0 := p[0] + p[7]
+		tmp7 := p[0] - p[7]
+		tmp1 := p[1] + p[6]
+		tmp6 := p[1] - p[6]
+		tmp2 := p[2] + p[5]
+		tmp5 := p[2] - p[5]
+		tmp3 := p[3] + p[4]
+		tmp4 := p[3] - p[4]
+
+		tmp10 := tmp0 + tmp3
+		tmp13 := tmp0 - tmp3
+		tmp11 := tmp1 + tmp2
+		tmp12 := tmp1 - tmp2
+
+		p[0] = (tmp10 + tmp11) << pass1Bits
+		p[4] = (tmp10 - tmp11) << pass1Bits
+
+		z1 := (tmp12 + tmp13) * fix0_541196100
+		p[2] = descale(z1+tmp13*fix0_765366865, constBits-pass1Bits)
+		p[6] = descale(z1-tmp12*fix1_847759065, constBits-pass1Bits)
+
+		z1 = tmp4 + tmp7
+		z2 := tmp5 + tmp6
+		z3 := tmp4 + tmp6
+		z4 := tmp5 + tmp7
+		z5 := (z3 + z4) * fix1_175875602
+
+		t4 := tmp4 * fix0_298631336
+		t5 := tmp5 * fix2_053119869
+		t6 := tmp6 * fix3_072711026
+		t7 := tmp7 * fix1_501321110
+		z1 = -z1 * fix0_899976223
+		z2 = -z2 * fix2_562915447
+		z3 = -z3*fix1_961570560 + z5
+		z4 = -z4*fix0_390180644 + z5
+
+		p[7] = descale(t4+z1+z3, constBits-pass1Bits)
+		p[5] = descale(t5+z2+z4, constBits-pass1Bits)
+		p[3] = descale(t6+z2+z3, constBits-pass1Bits)
+		p[1] = descale(t7+z1+z4, constBits-pass1Bits)
+	}
+
+	// Pass 2: process columns, removing the pass-1 scale and the ×8 DCT
+	// gain (hence the extra +3).
+	for c := 0; c < 8; c++ {
+		tmp0 := blk[c] + blk[c+56]
+		tmp7 := blk[c] - blk[c+56]
+		tmp1 := blk[c+8] + blk[c+48]
+		tmp6 := blk[c+8] - blk[c+48]
+		tmp2 := blk[c+16] + blk[c+40]
+		tmp5 := blk[c+16] - blk[c+40]
+		tmp3 := blk[c+24] + blk[c+32]
+		tmp4 := blk[c+24] - blk[c+32]
+
+		tmp10 := tmp0 + tmp3
+		tmp13 := tmp0 - tmp3
+		tmp11 := tmp1 + tmp2
+		tmp12 := tmp1 - tmp2
+
+		blk[c] = descale(tmp10+tmp11, pass1Bits+3)
+		blk[c+32] = descale(tmp10-tmp11, pass1Bits+3)
+
+		z1 := (tmp12 + tmp13) * fix0_541196100
+		blk[c+16] = descale(z1+tmp13*fix0_765366865, constBits+pass1Bits+3)
+		blk[c+48] = descale(z1-tmp12*fix1_847759065, constBits+pass1Bits+3)
+
+		z1 = tmp4 + tmp7
+		z2 := tmp5 + tmp6
+		z3 := tmp4 + tmp6
+		z4 := tmp5 + tmp7
+		z5 := (z3 + z4) * fix1_175875602
+
+		t4 := tmp4 * fix0_298631336
+		t5 := tmp5 * fix2_053119869
+		t6 := tmp6 * fix3_072711026
+		t7 := tmp7 * fix1_501321110
+		z1 = -z1 * fix0_899976223
+		z2 = -z2 * fix2_562915447
+		z3 = -z3*fix1_961570560 + z5
+		z4 = -z4*fix0_390180644 + z5
+
+		blk[c+56] = descale(t4+z1+z3, constBits+pass1Bits+3)
+		blk[c+40] = descale(t5+z2+z4, constBits+pass1Bits+3)
+		blk[c+24] = descale(t6+z2+z3, constBits+pass1Bits+3)
+		blk[c+8] = descale(t7+z1+z4, constBits+pass1Bits+3)
+	}
+}
+
+// Inverse8 computes the 8×8 inverse DCT of blk in place, for coefficients in
+// the scale produced by Forward8. Output is in the sample domain.
+func Inverse8(blk *[64]int32) {
+	// Pass 1: columns, producing intermediates scaled by 2^pass1Bits.
+	for c := 0; c < 8; c++ {
+		z2 := blk[c+16]
+		z3 := blk[c+48]
+		z1 := (z2 + z3) * fix0_541196100
+		tmp2 := z1 - z3*fix1_847759065
+		tmp3 := z1 + z2*fix0_765366865
+
+		tmp0 := (blk[c] + blk[c+32]) << constBits
+		tmp1 := (blk[c] - blk[c+32]) << constBits
+
+		tmp10 := tmp0 + tmp3
+		tmp13 := tmp0 - tmp3
+		tmp11 := tmp1 + tmp2
+		tmp12 := tmp1 - tmp2
+
+		t0 := blk[c+56]
+		t1 := blk[c+40]
+		t2 := blk[c+24]
+		t3 := blk[c+8]
+
+		z1 = t0 + t3
+		z2 = t1 + t2
+		z3 = t0 + t2
+		z4 := t1 + t3
+		z5 := (z3 + z4) * fix1_175875602
+
+		t0 *= fix0_298631336
+		t1 *= fix2_053119869
+		t2 *= fix3_072711026
+		t3 *= fix1_501321110
+		z1 = -z1 * fix0_899976223
+		z2 = -z2 * fix2_562915447
+		z3 = -z3*fix1_961570560 + z5
+		z4 = -z4*fix0_390180644 + z5
+
+		t0 += z1 + z3
+		t1 += z2 + z4
+		t2 += z2 + z3
+		t3 += z1 + z4
+
+		blk[c] = descale(tmp10+t3, constBits-pass1Bits)
+		blk[c+56] = descale(tmp10-t3, constBits-pass1Bits)
+		blk[c+8] = descale(tmp11+t2, constBits-pass1Bits)
+		blk[c+48] = descale(tmp11-t2, constBits-pass1Bits)
+		blk[c+16] = descale(tmp12+t1, constBits-pass1Bits)
+		blk[c+40] = descale(tmp12-t1, constBits-pass1Bits)
+		blk[c+24] = descale(tmp13+t0, constBits-pass1Bits)
+		blk[c+32] = descale(tmp13-t0, constBits-pass1Bits)
+	}
+
+	// Pass 2: rows. Each 1-D pass of this network carries a gain of 2√2
+	// (×8 over both passes), so the final descale removes pass1Bits plus
+	// those 3 extra bits.
+	for r := 0; r < 8; r++ {
+		p := blk[r*8 : r*8+8 : r*8+8]
+
+		z2 := p[2]
+		z3 := p[6]
+		z1 := (z2 + z3) * fix0_541196100
+		tmp2 := z1 - z3*fix1_847759065
+		tmp3 := z1 + z2*fix0_765366865
+
+		tmp0 := (p[0] + p[4]) << constBits
+		tmp1 := (p[0] - p[4]) << constBits
+
+		tmp10 := tmp0 + tmp3
+		tmp13 := tmp0 - tmp3
+		tmp11 := tmp1 + tmp2
+		tmp12 := tmp1 - tmp2
+
+		t0 := p[7]
+		t1 := p[5]
+		t2 := p[3]
+		t3 := p[1]
+
+		z1 = t0 + t3
+		z2 = t1 + t2
+		z3 = t0 + t2
+		z4 := t1 + t3
+		z5 := (z3 + z4) * fix1_175875602
+
+		t0 *= fix0_298631336
+		t1 *= fix2_053119869
+		t2 *= fix3_072711026
+		t3 *= fix1_501321110
+		z1 = -z1 * fix0_899976223
+		z2 = -z2 * fix2_562915447
+		z3 = -z3*fix1_961570560 + z5
+		z4 = -z4*fix0_390180644 + z5
+
+		t0 += z1 + z3
+		t1 += z2 + z4
+		t2 += z2 + z3
+		t3 += z1 + z4
+
+		p[0] = descale(tmp10+t3, constBits+pass1Bits+3)
+		p[7] = descale(tmp10-t3, constBits+pass1Bits+3)
+		p[1] = descale(tmp11+t2, constBits+pass1Bits+3)
+		p[6] = descale(tmp11-t2, constBits+pass1Bits+3)
+		p[2] = descale(tmp12+t1, constBits+pass1Bits+3)
+		p[5] = descale(tmp12-t1, constBits+pass1Bits+3)
+		p[3] = descale(tmp13+t0, constBits+pass1Bits+3)
+		p[4] = descale(tmp13-t0, constBits+pass1Bits+3)
+	}
+}

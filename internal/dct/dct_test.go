@@ -1,0 +1,386 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refDCT8 is an O(n⁴) float reference of the orthonormal 2-D DCT-II with the
+// MPEG scale convention (DC of a flat block of value v equals 8v).
+func refDCT8(in *[64]int32) [64]float64 {
+	var out [64]float64
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			sum := 0.0
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					sum += float64(in[y*8+x]) *
+						math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) *
+						math.Cos(float64(2*y+1)*float64(v)*math.Pi/16)
+				}
+			}
+			cu, cv := 1.0, 1.0
+			if u == 0 {
+				cu = 1 / math.Sqrt2
+			}
+			if v == 0 {
+				cv = 1 / math.Sqrt2
+			}
+			out[v*8+u] = sum * cu * cv / 4
+		}
+	}
+	return out
+}
+
+func refIDCT8(in *[64]float64) [64]float64 {
+	var out [64]float64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			sum := 0.0
+			for v := 0; v < 8; v++ {
+				for u := 0; u < 8; u++ {
+					cu, cv := 1.0, 1.0
+					if u == 0 {
+						cu = 1 / math.Sqrt2
+					}
+					if v == 0 {
+						cv = 1 / math.Sqrt2
+					}
+					sum += cu * cv * in[v*8+u] *
+						math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) *
+						math.Cos(float64(2*y+1)*float64(v)*math.Pi/16)
+				}
+			}
+			out[y*8+x] = sum / 4
+		}
+	}
+	return out
+}
+
+func randomBlock(rng *rand.Rand, lo, hi int) [64]int32 {
+	var b [64]int32
+	for i := range b {
+		b[i] = int32(lo + rng.Intn(hi-lo+1))
+	}
+	return b
+}
+
+func TestForward8MatchesFloatReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		in := randomBlock(rng, -256, 255)
+		want := refDCT8(&in)
+		got := in
+		Forward8(&got)
+		for i := range got {
+			if diff := math.Abs(float64(got[i]) - want[i]); diff > 2.0 {
+				t.Fatalf("trial %d coeff %d: got %d want %.2f (diff %.2f)",
+					trial, i, got[i], want[i], diff)
+			}
+		}
+	}
+}
+
+func TestForward8DC(t *testing.T) {
+	var in [64]int32
+	for i := range in {
+		in[i] = 100
+	}
+	Forward8(&in)
+	if in[0] < 798 || in[0] > 802 {
+		t.Fatalf("DC of flat 100 block = %d, want ~800", in[0])
+	}
+	for i := 1; i < 64; i++ {
+		if in[i] != 0 {
+			t.Fatalf("AC coeff %d = %d, want 0", i, in[i])
+		}
+	}
+}
+
+func TestInverse8MatchesFloatReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		// Realistic coefficient magnitudes: large DC, decaying AC.
+		var coeffs [64]int32
+		var coeffsF [64]float64
+		for i := range coeffs {
+			mag := 2040 / (1 + i)
+			if mag < 4 {
+				mag = 4
+			}
+			v := int32(rng.Intn(2*mag+1) - mag)
+			coeffs[i] = v
+			coeffsF[i] = float64(v)
+		}
+		want := refIDCT8(&coeffsF)
+		got := coeffs
+		Inverse8(&got)
+		for i := range got {
+			if diff := math.Abs(float64(got[i]) - want[i]); diff > 2.0 {
+				t.Fatalf("trial %d sample %d: got %d want %.2f",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRoundTrip8(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		in := randomBlock(rng, -255, 255)
+		work := in
+		Forward8(&work)
+		Inverse8(&work)
+		for i := range work {
+			if d := work[i] - in[i]; d < -2 || d > 2 {
+				t.Fatalf("trial %d sample %d: round trip %d -> %d", trial, i, in[i], work[i])
+			}
+		}
+	}
+}
+
+func TestForward8Linearity(t *testing.T) {
+	// Property: DCT(a) + DCT(b) ≈ DCT(a+b) (within fixed-point rounding).
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomBlock(rng, -100, 100)
+		b := randomBlock(rng, -100, 100)
+		var sum [64]int32
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		Forward8(&a)
+		Forward8(&b)
+		Forward8(&sum)
+		for i := range sum {
+			if d := sum[i] - a[i] - b[i]; d < -3 || d > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refForward4 is a direct integer matrix evaluation of C·X·Cᵀ.
+func refForward4(in *[16]int32) [16]int32 {
+	c := [4][4]int32{{1, 1, 1, 1}, {2, 1, -1, -2}, {1, -1, -1, 1}, {1, -2, 2, -1}}
+	var tmp, out [16]int32
+	for i := 0; i < 4; i++ { // tmp = C·X
+		for j := 0; j < 4; j++ {
+			var s int32
+			for k := 0; k < 4; k++ {
+				s += c[i][k] * in[k*4+j]
+			}
+			tmp[i*4+j] = s
+		}
+	}
+	for i := 0; i < 4; i++ { // out = tmp·Cᵀ
+		for j := 0; j < 4; j++ {
+			var s int32
+			for k := 0; k < 4; k++ {
+				s += tmp[i*4+k] * c[j][k]
+			}
+			out[i*4+j] = s
+		}
+	}
+	return out
+}
+
+func TestForward4MatchesMatrixReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 1000; trial++ {
+		var in [16]int32
+		for i := range in {
+			in[i] = int32(rng.Intn(511) - 255)
+		}
+		want := refForward4(&in)
+		got := in
+		Forward4(&got)
+		if got != want {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+	}
+}
+
+// refInverse4 evaluates the H.264 inverse core with exact 0.5 coefficients
+// in floating point; the integer implementation truncates its >>1 terms, so
+// results may differ by a small bounded amount.
+func refInverse4(in *[16]int32) [16]float64 {
+	ci := [4][4]float64{{1, 1, 1, 0.5}, {1, 0.5, -1, -1}, {1, -0.5, -1, 1}, {1, -1, 1, -0.5}}
+	var tmp [16]float64
+	for j := 0; j < 4; j++ { // tmp = Ciᵀ-style column pass on rows first
+		for i := 0; i < 4; i++ {
+			var s float64
+			for k := 0; k < 4; k++ {
+				s += ci[i][k] * float64(in[j*4+k])
+			}
+			tmp[j*4+i] = s
+		}
+	}
+	var out [16]float64
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 4; i++ {
+			var s float64
+			for k := 0; k < 4; k++ {
+				s += ci[i][k] * tmp[k*4+j]
+			}
+			out[i*4+j] = (s + 32) / 64
+		}
+	}
+	return out
+}
+
+func TestInverse4MatchesFloatReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 500; trial++ {
+		var in [16]int32
+		for i := range in {
+			in[i] = int32(rng.Intn(2001) - 1000)
+		}
+		want := refInverse4(&in)
+		got := in
+		Inverse4(&got)
+		for i := range got {
+			if diff := math.Abs(float64(got[i]) - want[i]); diff > 2.5 {
+				t.Fatalf("trial %d sample %d: got %d want %.2f", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInverse4DCOnly(t *testing.T) {
+	// A DC-only block d reconstructs to (d+32)>>6 everywhere.
+	var in [16]int32
+	in[0] = 640
+	Inverse4(&in)
+	for i, v := range in {
+		if v != (640+32)>>6 {
+			t.Fatalf("sample %d = %d, want %d", i, v, (640+32)>>6)
+		}
+	}
+}
+
+func TestForward4DC(t *testing.T) {
+	var in [16]int32
+	for i := range in {
+		in[i] = 10
+	}
+	Forward4(&in)
+	if in[0] != 160 {
+		t.Fatalf("DC = %d, want 160 (16×10)", in[0])
+	}
+	for i := 1; i < 16; i++ {
+		if in[i] != 0 {
+			t.Fatalf("AC %d = %d", i, in[i])
+		}
+	}
+}
+
+func TestHadamard4Involution(t *testing.T) {
+	// Property: H(H(x)) = 16x for the undivided transform.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var in [16]int32
+		for i := range in {
+			in[i] = int32(rng.Intn(2001) - 1000)
+		}
+		work := in
+		Hadamard4(&work, false)
+		Hadamard4(&work, false)
+		for i := range work {
+			if work[i] != 16*in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHadamard2Involution(t *testing.T) {
+	in := [4]int32{3, -7, 11, 100}
+	work := in
+	Hadamard2(&work)
+	Hadamard2(&work)
+	for i := range work {
+		if work[i] != 4*in[i] {
+			t.Fatalf("H2(H2(x)) != 4x at %d: %d vs %d", i, work[i], 4*in[i])
+		}
+	}
+}
+
+func TestSATD4ZeroAndScale(t *testing.T) {
+	var zero [16]int32
+	if SATD4(&zero) != 0 {
+		t.Fatal("SATD of zero block must be 0")
+	}
+	var dc [16]int32
+	for i := range dc {
+		dc[i] = 4
+	}
+	// Hadamard of flat block: only DC = 16*4 = 64 → SATD = 32.
+	if got := SATD4(&dc); got != 32 {
+		t.Fatalf("SATD flat = %d, want 32", got)
+	}
+}
+
+func TestZigzagPermutations(t *testing.T) {
+	seen8 := map[int]bool{}
+	for _, v := range Zigzag8 {
+		if v < 0 || v > 63 || seen8[v] {
+			t.Fatalf("Zigzag8 invalid entry %d", v)
+		}
+		seen8[v] = true
+	}
+	seen4 := map[int]bool{}
+	for _, v := range Zigzag4 {
+		if v < 0 || v > 15 || seen4[v] {
+			t.Fatalf("Zigzag4 invalid entry %d", v)
+		}
+		seen4[v] = true
+	}
+	// Low-frequency coefficients must come first.
+	if Zigzag8[0] != 0 || Zigzag8[1] != 1 || Zigzag8[2] != 8 {
+		t.Fatal("Zigzag8 must start 0,1,8")
+	}
+	if Zigzag4[0] != 0 || Zigzag4[1] != 1 || Zigzag4[2] != 4 {
+		t.Fatal("Zigzag4 must start 0,1,4")
+	}
+}
+
+func BenchmarkForward8(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	blk := randomBlock(rng, -255, 255)
+	for i := 0; i < b.N; i++ {
+		work := blk
+		Forward8(&work)
+	}
+}
+
+func BenchmarkInverse8(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	blk := randomBlock(rng, -255, 255)
+	Forward8(&blk)
+	for i := 0; i < b.N; i++ {
+		work := blk
+		Inverse8(&work)
+	}
+}
+
+func BenchmarkForward4(b *testing.B) {
+	var blk [16]int32
+	for i := range blk {
+		blk[i] = int32(i*7 - 50)
+	}
+	for i := 0; i < b.N; i++ {
+		work := blk
+		Forward4(&work)
+	}
+}

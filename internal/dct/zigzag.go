@@ -1,0 +1,22 @@
+package dct
+
+// Zigzag8 is the classic 8×8 zigzag scan order (MPEG-2/-4 progressive scan):
+// Zigzag8[k] is the raster index of the k-th scanned coefficient.
+var Zigzag8 = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// Zigzag4 is the 4×4 zigzag scan order used by H.264.
+var Zigzag4 = [16]int{
+	0, 1, 4, 8,
+	5, 2, 3, 6,
+	9, 12, 13, 10,
+	7, 11, 14, 15,
+}

@@ -1,0 +1,73 @@
+// Package entropy provides the entropy-coding primitives of the three
+// codecs: Exp-Golomb variable-length codes for the MPEG-2/MPEG-4 VLC layers
+// and an adaptive binary range coder (the arithmetic-coding engine class
+// that gives H.264/CABAC its compression edge).
+package entropy
+
+import (
+	"math/bits"
+
+	"hdvideobench/internal/bitstream"
+)
+
+// WriteUE writes v as an unsigned Exp-Golomb code: ⌊log2(v+1)⌋ zero bits,
+// then the binary representation of v+1.
+func WriteUE(w *bitstream.Writer, v uint32) {
+	x := uint64(v) + 1
+	n := bitLen64(x)
+	w.WriteBits(0, n-1)
+	w.WriteBits(x, n)
+}
+
+// ReadUE reads an unsigned Exp-Golomb code. The fast path peeks 32 bits and
+// counts the zero prefix in one instruction (the role of the optimized VLC
+// lookup tables in libmpeg2/FFmpeg).
+func ReadUE(r *bitstream.Reader) uint32 {
+	peek := uint32(r.PeekBits(32))
+	if peek != 0 {
+		lz := uint(bits.LeadingZeros32(peek))
+		if lz <= 28 { // whole code within the peek window
+			return uint32(r.ReadBits(2*lz+1) - 1)
+		}
+	}
+	// Slow path: long codes or end of stream.
+	zeros := uint(0)
+	for r.ReadBits(1) == 0 {
+		zeros++
+		if zeros > 32 || r.Err() != nil {
+			return 0
+		}
+	}
+	rest := r.ReadBits(zeros)
+	return uint32((1<<zeros | rest) - 1)
+}
+
+// WriteSE writes v as a signed Exp-Golomb code using the H.264 mapping
+// (0, 1, -1, 2, -2, ... → 0, 1, 2, 3, 4, ...).
+func WriteSE(w *bitstream.Writer, v int32) {
+	var u uint32
+	if v > 0 {
+		u = uint32(2*v - 1)
+	} else {
+		u = uint32(-2 * v)
+	}
+	WriteUE(w, u)
+}
+
+// ReadSE reads a signed Exp-Golomb code.
+func ReadSE(r *bitstream.Reader) int32 {
+	u := ReadUE(r)
+	if u%2 == 1 {
+		return int32(u/2 + 1)
+	}
+	return -int32(u / 2)
+}
+
+func bitLen64(x uint64) uint {
+	n := uint(0)
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,275 @@
+package entropy
+
+// The range coder below is a carry-less binary arithmetic coder with
+// adaptive 11-bit probabilities (the construction used by LZMA; the same
+// coder class as H.264 CABAC's M-coder). Encoder and decoder are exact
+// inverses for any interleaving of context-coded and bypass bits.
+
+// probBits is the probability resolution; probInit is p=0.5.
+const (
+	probBits  = 11
+	probInit  = 1 << (probBits - 1)
+	probMoves = 5 // adaptation rate
+	topValue  = 1 << 24
+)
+
+// Prob is an adaptive binary probability (context model). The zero value is
+// NOT valid; initialize with NewProb or ResetProbs.
+type Prob uint16
+
+// NewProb returns a context initialized to probability one half.
+func NewProb() Prob { return probInit }
+
+// ResetProbs reinitializes a slice of contexts to one half.
+func ResetProbs(ps []Prob) {
+	for i := range ps {
+		ps[i] = probInit
+	}
+}
+
+// Encoder is the range-coder encoder. Create with NewEncoder.
+type Encoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	buf       []byte
+}
+
+// NewEncoder returns an encoder with sizeHint bytes preallocated.
+func NewEncoder(sizeHint int) *Encoder {
+	return &Encoder{rng: 0xFFFFFFFF, cacheSize: 1, buf: make([]byte, 0, sizeHint)}
+}
+
+// Reset prepares the encoder for a new stream, keeping its buffer.
+func (e *Encoder) Reset() {
+	e.low = 0
+	e.rng = 0xFFFFFFFF
+	e.cache = 0
+	e.cacheSize = 1
+	e.buf = e.buf[:0]
+}
+
+func (e *Encoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || (e.low>>32) != 0 {
+		temp := e.cache
+		carry := byte(e.low >> 32)
+		for {
+			e.buf = append(e.buf, temp+carry)
+			temp = 0xFF
+			e.cacheSize--
+			if e.cacheSize == 0 {
+				break
+			}
+		}
+		e.cache = byte(e.low >> 24)
+	}
+	e.cacheSize++
+	e.low = (e.low & 0x00FFFFFF) << 8
+}
+
+// EncodeBit encodes one bit with the adaptive context p.
+func (e *Encoder) EncodeBit(p *Prob, bit int) {
+	bound := (e.rng >> probBits) * uint32(*p)
+	if bit == 0 {
+		e.rng = bound
+		*p += (1<<probBits - *p) >> probMoves
+	} else {
+		e.low += uint64(bound)
+		e.rng -= bound
+		*p -= *p >> probMoves
+	}
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeBypass encodes one equiprobable bit without context adaptation.
+func (e *Encoder) EncodeBypass(bit int) {
+	e.rng >>= 1
+	if bit != 0 {
+		e.low += uint64(e.rng)
+	}
+	for e.rng < topValue {
+		e.rng <<= 8
+		e.shiftLow()
+	}
+}
+
+// EncodeBypassBits encodes the low n bits of v, MSB first, as bypass bits.
+func (e *Encoder) EncodeBypassBits(v uint32, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		e.EncodeBypass(int(v>>uint(i)) & 1)
+	}
+}
+
+// EncodeUE encodes v with a unary context-coded prefix (contexts from ctx,
+// clamped to its last element) followed by a bypass Exp-Golomb suffix once
+// the prefix exceeds escape. This is the UEG-style binarization CABAC uses
+// for levels and motion vector differences.
+func (e *Encoder) EncodeUE(ctx []Prob, escape int, v uint32) {
+	i := 0
+	for ; i < escape && v > 0; i++ {
+		e.EncodeBit(&ctx[min(i, len(ctx)-1)], 1)
+		v--
+	}
+	if i < escape {
+		e.EncodeBit(&ctx[min(i, len(ctx)-1)], 0)
+		return
+	}
+	// Escape: bypass Exp-Golomb of the remainder.
+	x := uint64(v) + 1
+	n := bitLen64(x)
+	for j := uint(0); j < n-1; j++ {
+		e.EncodeBypass(0)
+	}
+	for j := int(n) - 1; j >= 0; j-- {
+		e.EncodeBypass(int(x>>uint(j)) & 1)
+	}
+}
+
+// EncodeSE encodes a signed value as EncodeUE of the magnitude mapping plus
+// a bypass sign bit for non-zero values.
+func (e *Encoder) EncodeSE(ctx []Prob, escape int, v int32) {
+	mag := v
+	if mag < 0 {
+		mag = -mag
+	}
+	e.EncodeUE(ctx, escape, uint32(mag))
+	if mag != 0 {
+		sign := 0
+		if v < 0 {
+			sign = 1
+		}
+		e.EncodeBypass(sign)
+	}
+}
+
+// Finish flushes the encoder and returns the coded bytes. The encoder must
+// be Reset before reuse.
+func (e *Encoder) Finish() []byte {
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.buf
+}
+
+// Len returns the current number of output bytes (before Finish).
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Decoder is the range-coder decoder. Create with NewDecoder over the bytes
+// produced by Encoder.Finish.
+type Decoder struct {
+	rng  uint32
+	code uint32
+	buf  []byte
+	pos  int
+}
+
+// NewDecoder returns a decoder over buf.
+func NewDecoder(buf []byte) *Decoder {
+	d := &Decoder{rng: 0xFFFFFFFF, buf: buf, pos: 1} // first byte is always 0
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return d
+}
+
+func (d *Decoder) nextByte() byte {
+	if d.pos < len(d.buf) {
+		b := d.buf[d.pos]
+		d.pos++
+		return b
+	}
+	d.pos++
+	return 0
+}
+
+// DecodeBit decodes one bit with the adaptive context p.
+func (d *Decoder) DecodeBit(p *Prob) int {
+	bound := (d.rng >> probBits) * uint32(*p)
+	var bit int
+	if d.code < bound {
+		d.rng = bound
+		*p += (1<<probBits - *p) >> probMoves
+	} else {
+		d.code -= bound
+		d.rng -= bound
+		*p -= *p >> probMoves
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return bit
+}
+
+// DecodeBypass decodes one equiprobable bit.
+func (d *Decoder) DecodeBypass() int {
+	d.rng >>= 1
+	var bit int
+	if d.code >= d.rng {
+		d.code -= d.rng
+		bit = 1
+	}
+	for d.rng < topValue {
+		d.rng <<= 8
+		d.code = d.code<<8 | uint32(d.nextByte())
+	}
+	return bit
+}
+
+// DecodeBypassBits decodes n bypass bits MSB-first.
+func (d *Decoder) DecodeBypassBits(n uint) uint32 {
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		v = v<<1 | uint32(d.DecodeBypass())
+	}
+	return v
+}
+
+// DecodeUE mirrors Encoder.EncodeUE.
+func (d *Decoder) DecodeUE(ctx []Prob, escape int) uint32 {
+	v := uint32(0)
+	i := 0
+	for ; i < escape; i++ {
+		if d.DecodeBit(&ctx[min(i, len(ctx)-1)]) == 0 {
+			return v
+		}
+		v++
+	}
+	// Escape suffix: bypass Exp-Golomb.
+	zeros := uint(0)
+	for d.DecodeBypass() == 0 {
+		zeros++
+		if zeros > 32 {
+			return v
+		}
+	}
+	rest := uint64(0)
+	for j := uint(0); j < zeros; j++ {
+		rest = rest<<1 | uint64(d.DecodeBypass())
+	}
+	return v + uint32((1<<zeros|rest)-1)
+}
+
+// DecodeSE mirrors Encoder.EncodeSE.
+func (d *Decoder) DecodeSE(ctx []Prob, escape int) int32 {
+	mag := int32(d.DecodeUE(ctx, escape))
+	if mag == 0 {
+		return 0
+	}
+	if d.DecodeBypass() == 1 {
+		return -mag
+	}
+	return mag
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

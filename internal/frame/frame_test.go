@@ -1,0 +1,197 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDimensions(t *testing.T) {
+	f := New(720, 576)
+	if f.Width != 720 || f.Height != 576 {
+		t.Fatalf("got %dx%d", f.Width, f.Height)
+	}
+	if f.ChromaWidth() != 360 || f.ChromaHeight() != 288 {
+		t.Fatalf("chroma %dx%d", f.ChromaWidth(), f.ChromaHeight())
+	}
+	if len(f.Y) != 720*576 {
+		t.Fatalf("luma plane size: %d", len(f.Y))
+	}
+}
+
+func TestNewPanicsOnOddDimensions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd width")
+		}
+	}()
+	New(721, 576)
+}
+
+func TestNewPanicsOnOddPad(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd pad")
+		}
+	}()
+	NewPadded(16, 16, 3)
+}
+
+func TestPaddedAddressing(t *testing.T) {
+	f := NewPadded(16, 16, 8)
+	// Writing to the full padded region must be legal.
+	for r := -8; r < 16+8; r++ {
+		for c := -8; c < 16+8; c++ {
+			f.Y[f.YOrigin+r*f.YStride+c] = byte(r + c)
+		}
+	}
+	for r := -4; r < 8+4; r++ {
+		for c := -4; c < 8+4; c++ {
+			f.Cb[f.COrigin+r*f.CStride+c] = 1
+			f.Cr[f.COrigin+r*f.CStride+c] = 2
+		}
+	}
+}
+
+func TestLumaAccessors(t *testing.T) {
+	f := NewPadded(16, 16, 4)
+	f.SetLuma(3, 5, 99)
+	if f.LumaAt(3, 5) != 99 {
+		t.Fatal("LumaAt/SetLuma mismatch")
+	}
+}
+
+func TestExtendBorders(t *testing.T) {
+	f := NewPadded(8, 8, 4)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			f.SetLuma(r, c, byte(10*r+c))
+		}
+	}
+	f.ExtendBorders()
+	at := func(r, c int) byte { return f.Y[f.YOrigin+r*f.YStride+c] }
+	if got := at(0, -1); got != at(0, 0) {
+		t.Errorf("left border = %d, want %d", got, at(0, 0))
+	}
+	if got := at(-1, 0); got != at(0, 0) {
+		t.Errorf("top border = %d, want %d", got, at(0, 0))
+	}
+	if got := at(-1, -1); got != at(0, 0) {
+		t.Errorf("corner = %d, want %d", got, at(0, 0))
+	}
+	if got := at(8, 7); got != at(7, 7) {
+		t.Errorf("bottom border = %d, want %d", got, at(7, 7))
+	}
+	if got := at(11, 11); got != at(7, 7) {
+		t.Errorf("bottom-right far corner = %d, want %d", got, at(7, 7))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := NewPadded(16, 16, 2)
+	f.Fill(100, 110, 120)
+	g := f.Clone()
+	g.Y[g.YOrigin] = 7
+	if f.Y[f.YOrigin] == 7 {
+		t.Fatal("clone shares storage with original")
+	}
+	if g.Cb[g.COrigin] != 110 || g.Cr[g.COrigin] != 120 {
+		t.Fatal("clone did not copy chroma")
+	}
+}
+
+func TestCopyFromDifferentPadding(t *testing.T) {
+	src := NewPadded(16, 16, 8)
+	src.Fill(50, 60, 70)
+	src.PTS = 42
+	dst := New(16, 16)
+	dst.CopyFrom(src)
+	if dst.LumaAt(5, 5) != 50 || dst.Cb[dst.COrigin] != 60 || dst.Cr[dst.COrigin] != 70 {
+		t.Fatal("copy content mismatch")
+	}
+	if dst.PTS != 42 {
+		t.Fatalf("PTS not copied: %d", dst.PTS)
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	f := NewPadded(32, 16, 4)
+	n := 0
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 32; c++ {
+			f.SetLuma(r, c, byte(n))
+			n++
+		}
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 16; c++ {
+			f.Cb[f.COrigin+r*f.CStride+c] = byte(200 + r)
+			f.Cr[f.COrigin+r*f.CStride+c] = byte(100 + c)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.WriteRaw(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != RawSize(32, 16) {
+		t.Fatalf("raw size = %d, want %d", buf.Len(), RawSize(32, 16))
+	}
+	g := New(32, 16)
+	if err := g.ReadRaw(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 32; c++ {
+			if g.LumaAt(r, c) != f.LumaAt(r, c) {
+				t.Fatalf("luma mismatch at %d,%d", r, c)
+			}
+		}
+	}
+	if g.Cb[g.COrigin+3*g.CStride+4] != 203 || g.Cr[g.COrigin+3*g.CStride+4] != 104 {
+		t.Fatal("chroma mismatch after round trip")
+	}
+}
+
+func TestRawSize(t *testing.T) {
+	if got := RawSize(720, 576); got != 720*576*3/2 {
+		t.Fatalf("RawSize = %d", got)
+	}
+}
+
+func TestExtendBordersProperty(t *testing.T) {
+	// Property: after ExtendBorders, every padding pixel equals the nearest
+	// visible pixel (clamped coordinates).
+	check := func(seed uint8) bool {
+		f := NewPadded(16, 8, 6)
+		v := seed
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 16; c++ {
+				v = v*31 + 7
+				f.SetLuma(r, c, v)
+			}
+		}
+		f.ExtendBorders()
+		for r := -6; r < 8+6; r++ {
+			for c := -6; c < 16+6; c++ {
+				cr, cc := clamp(r, 0, 7), clamp(c, 0, 15)
+				if f.Y[f.YOrigin+r*f.YStride+c] != f.LumaAt(cr, cc) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

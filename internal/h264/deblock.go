@@ -1,0 +1,127 @@
+package h264
+
+import (
+	"hdvideobench/internal/frame"
+)
+
+// In-loop deblocking filter. A simplified but faithful H.264-style filter:
+// boundary strength derived from intra/coded/motion discontinuities, α and β
+// thresholds derived from QP with the standard's documented approximations
+// (α ≈ 0.8·(2^(QP/6) − 1), β ≈ QP/2 − 7), and the standard normal-filter
+// delta clip. Encoder and decoder run the identical code on the identical
+// reconstruction, so the loop stays closed.
+
+// alphaBeta returns the edge thresholds for a QP.
+func alphaBeta(qp int) (alpha, beta int32) {
+	a := int32(1)
+	for i := 0; i < qp/6; i++ {
+		a *= 2
+	}
+	alpha = 4 * (a - 1) / 5
+	beta = int32(qp/2 - 7)
+	if beta < 0 {
+		beta = 0
+	}
+	return alpha, beta
+}
+
+// boundaryStrength classifies the edge between two 4×4 blocks.
+func boundaryStrength(m *frameMeta, ax4, ay4, bx4, by4 int) int32 {
+	ra := m.ref[ay4*m.w4+ax4]
+	rb := m.ref[by4*m.w4+bx4]
+	if ra < 0 || rb < 0 {
+		return 3 // intra on either side
+	}
+	if m.nz[ay4*m.w4+ax4] || m.nz[by4*m.w4+bx4] {
+		return 2
+	}
+	mva := m.mv[ay4*m.w4+ax4]
+	mvb := m.mv[by4*m.w4+bx4]
+	dx := int32(mva.X) - int32(mvb.X)
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := int32(mva.Y) - int32(mvb.Y)
+	if dy < 0 {
+		dy = -dy
+	}
+	if ra != rb || dx >= 4 || dy >= 4 {
+		return 1
+	}
+	return 0
+}
+
+// deblockFrame filters all internal 4×4 luma edges of f in place.
+func deblockFrame(f *frame.Frame, m *frameMeta, qp int) {
+	alpha, beta := alphaBeta(qp)
+	if alpha == 0 {
+		return
+	}
+	// Vertical edges (filter across columns), left neighbour | current.
+	for by := 0; by < m.h4; by++ {
+		for bx := 1; bx < m.w4; bx++ {
+			bs := boundaryStrength(m, bx-1, by, bx, by)
+			if bs == 0 {
+				continue
+			}
+			tc := bs + int32(qp/16)
+			base := f.YOrigin + (by*4)*f.YStride + bx*4
+			for r := 0; r < 4; r++ {
+				filterEdge(f.Y, base+r*f.YStride, 1, alpha, beta, tc)
+			}
+		}
+	}
+	// Horizontal edges (filter across rows), top neighbour | current.
+	for by := 1; by < m.h4; by++ {
+		for bx := 0; bx < m.w4; bx++ {
+			bs := boundaryStrength(m, bx, by-1, bx, by)
+			if bs == 0 {
+				continue
+			}
+			tc := bs + int32(qp/16)
+			base := f.YOrigin + (by*4)*f.YStride + bx*4
+			for c := 0; c < 4; c++ {
+				filterEdge(f.Y, base+c, f.YStride, alpha, beta, tc)
+			}
+		}
+	}
+}
+
+// filterEdge applies the normal filter to one sample quadruple
+// (p1 p0 | q0 q1) where q0 is at pos and the pitch points across the edge.
+func filterEdge(plane []byte, pos, pitch int, alpha, beta, tc int32) {
+	p1 := int32(plane[pos-2*pitch])
+	p0 := int32(plane[pos-pitch])
+	q0 := int32(plane[pos])
+	q1 := int32(plane[pos+pitch])
+
+	if absd(p0-q0) >= alpha || absd(p1-p0) >= beta || absd(q1-q0) >= beta {
+		return
+	}
+	delta := ((q0-p0)*4 + (p1 - q1) + 4) >> 3
+	if delta > tc {
+		delta = tc
+	}
+	if delta < -tc {
+		delta = -tc
+	}
+	plane[pos-pitch] = clip255(p0 + delta)
+	plane[pos] = clip255(q0 - delta)
+}
+
+func absd(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func clip255(v int32) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

@@ -1,0 +1,97 @@
+package h264
+
+import (
+	"testing"
+
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/motion"
+)
+
+func TestFilterEdgeSmoothsSmallStep(t *testing.T) {
+	// p1 p0 | q0 q1 = 100 100 | 108 108 — a quantization blocking step,
+	// below alpha(26) so the filter engages (like the real filter, steps
+	// above alpha are treated as natural edges).
+	plane := []byte{100, 100, 108, 108}
+	alpha, beta := alphaBeta(26)
+	filterEdge(plane, 2, 1, alpha, beta, 2)
+	if plane[1] <= 100 || plane[2] >= 108 {
+		t.Fatalf("edge not smoothed: %v", plane)
+	}
+	// Samples move toward each other symmetrically.
+	if int(plane[1])-100 != 108-int(plane[2]) {
+		t.Fatalf("asymmetric filter: %v", plane)
+	}
+}
+
+func TestFilterEdgePreservesRealEdge(t *testing.T) {
+	// A strong natural edge (|p0-q0| >= alpha) must not be filtered.
+	plane := []byte{10, 10, 240, 240}
+	alpha, beta := alphaBeta(26)
+	filterEdge(plane, 2, 1, alpha, beta, 2)
+	if plane[1] != 10 || plane[2] != 240 {
+		t.Fatalf("real edge was smoothed: %v", plane)
+	}
+}
+
+func TestFilterEdgeDeltaClamp(t *testing.T) {
+	// Moderate step with tiny tc: movement limited to ±tc.
+	plane := []byte{100, 100, 110, 110}
+	alpha, beta := alphaBeta(40) // generous thresholds
+	filterEdge(plane, 2, 1, alpha, beta, 1)
+	if int(plane[1]) > 101 || int(plane[2]) < 109 {
+		t.Fatalf("delta exceeded tc: %v", plane)
+	}
+}
+
+func TestBoundaryStrengthRules(t *testing.T) {
+	m := newFrameMeta(32, 32)
+	m.reset()
+	// Both intra → 3.
+	if bs := boundaryStrength(m, 0, 0, 1, 0); bs != 3 {
+		t.Fatalf("intra bs = %d", bs)
+	}
+	// Inter both sides, coefficients on one side → 2.
+	m.setBlock(0, 0, 2, 1, motion.MV{}, 0)
+	m.nz[1] = true
+	if bs := boundaryStrength(m, 0, 0, 1, 0); bs != 2 {
+		t.Fatalf("coded bs = %d", bs)
+	}
+	// Inter, no coefficients, large MV difference → 1.
+	m.nz[1] = false
+	m.mv[0] = motion.MV{X: 0, Y: 0}
+	m.mv[1] = motion.MV{X: 8, Y: 0} // 2 full pixels
+	if bs := boundaryStrength(m, 0, 0, 1, 0); bs != 1 {
+		t.Fatalf("mv-diff bs = %d", bs)
+	}
+	// Same MV, same ref, no coefficients → 0.
+	m.mv[1] = motion.MV{}
+	if bs := boundaryStrength(m, 0, 0, 1, 0); bs != 0 {
+		t.Fatalf("continuous bs = %d", bs)
+	}
+	// Different reference index → 1.
+	m.ref[1] = 1
+	if bs := boundaryStrength(m, 0, 0, 1, 0); bs != 1 {
+		t.Fatalf("ref-diff bs = %d", bs)
+	}
+}
+
+func TestDeblockFrameLeavesCleanContentAlone(t *testing.T) {
+	// A flat inter frame with continuous motion has bs=0 everywhere: the
+	// filter must not change a single sample.
+	f := frame.NewPadded(32, 32, codecRefPadForTest)
+	f.Fill(123, 128, 128)
+	m := newFrameMeta(32, 32)
+	m.reset()
+	for i := range m.ref {
+		m.ref[i] = 0
+	}
+	before := append([]byte(nil), f.Y...)
+	deblockFrame(f, m, 26)
+	for i := range f.Y {
+		if f.Y[i] != before[i] {
+			t.Fatalf("sample %d changed on clean content", i)
+		}
+	}
+}
+
+const codecRefPadForTest = 32

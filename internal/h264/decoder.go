@@ -1,0 +1,526 @@
+package h264
+
+import (
+	"fmt"
+
+	"hdvideobench/internal/bitstream"
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/dct"
+	"hdvideobench/internal/entropy"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/interp"
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/motion"
+	"hdvideobench/internal/quant"
+)
+
+// Decoder is the H.264-class decoder (the paper's FFmpeg-H.264 role).
+type Decoder struct {
+	hdr  container.Header
+	kern kernel.Set
+	qp   int
+	qpc  int
+
+	refs    codec.RefList
+	reorder codec.DisplayReorderer
+	meta    *frameMeta
+	ctx     *contexts
+
+	qpel  interp.QPel
+	predY [256]byte
+	predC [2][64]byte
+
+	bwdPredRow motion.MV
+}
+
+// NewDecoder returns a decoder for the stream described by hdr.
+func NewDecoder(hdr container.Header, kern kernel.Set) (*Decoder, error) {
+	if hdr.Codec != container.CodecH264 {
+		return nil, fmt.Errorf("h264: stream codec is %v", hdr.Codec)
+	}
+	if err := validateSize(hdr); err != nil {
+		return nil, err
+	}
+	refs := int(hdr.Flags>>flagRefsShift) & flagRefsMask
+	if refs < 1 {
+		refs = 1
+	}
+	return &Decoder{
+		hdr:  hdr,
+		kern: kern,
+		refs: codec.RefList{Max: refs},
+		meta: newFrameMeta(hdr.Width, hdr.Height),
+	}, nil
+}
+
+// Decode implements codec.Decoder.
+func (d *Decoder) Decode(p container.Packet) ([]*frame.Frame, error) {
+	recon, err := d.decodeFrame(p)
+	if err != nil {
+		return nil, err
+	}
+	return d.reorder.Add(recon), nil
+}
+
+// Flush implements codec.Decoder.
+func (d *Decoder) Flush() []*frame.Frame { return d.reorder.Flush() }
+
+func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
+	if p.Type == container.FrameP && d.refs.Len() < 1 {
+		return nil, fmt.Errorf("h264: P frame before any reference")
+	}
+	if p.Type == container.FrameB && d.refs.Len() < 2 {
+		return nil, fmt.Errorf("h264: B frame without two references")
+	}
+	if len(p.Payload) < 1 {
+		return nil, fmt.Errorf("h264: empty packet")
+	}
+	// Payload layout: one QP byte, then the entropy-coded macroblock data.
+	d.qp = int(p.Payload[0])
+	if d.qp > 51 {
+		return nil, fmt.Errorf("h264: invalid QP %d", d.qp)
+	}
+	d.qpc = quant.H264ChromaQP(d.qp)
+
+	var r symReader
+	if d.hdr.Flags&flagVLC != 0 {
+		r = vlcReader{bitstream.NewReader(p.Payload[1:])}
+	} else {
+		r = cabacReader{entropy.NewDecoder(p.Payload[1:])}
+	}
+	d.ctx = newContexts()
+	d.meta.reset()
+
+	recon := frame.NewPadded(d.hdr.Width, d.hdr.Height, codec.RefPad)
+	recon.PTS = p.DisplayIndex
+
+	mbCols := d.hdr.Width / 16
+	mbRows := d.hdr.Height / 16
+	for mby := 0; mby < mbRows; mby++ {
+		d.bwdPredRow = motion.MV{}
+		for mbx := 0; mbx < mbCols; mbx++ {
+			var err error
+			switch p.Type {
+			case container.FrameI:
+				err = d.decodeIMB(r, recon, mbx, mby)
+			case container.FrameP:
+				err = d.decodePMB(r, recon, mbx, mby)
+			case container.FrameB:
+				err = d.decodeBMB(r, recon, mbx, mby)
+			default:
+				err = fmt.Errorf("h264: unknown frame type %c", p.Type)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := r.err(); err != nil {
+		return nil, fmt.Errorf("h264: bitstream overrun: %w", err)
+	}
+
+	deblockFrame(recon, d.meta, d.qp)
+	recon.ExtendBorders()
+	if p.Type != container.FrameB {
+		d.refs.Add(recon)
+	}
+	return recon, nil
+}
+
+// --- residual ----------------------------------------------------------------
+
+// readResidual parses CBP and coefficients into md.
+func (d *Decoder) readResidual(r symReader, md *mbData, i16 bool) error {
+	md.cbpLuma = 0
+	for g := 0; g < 4; g++ {
+		md.cbpLuma |= r.bit(&d.ctx.cbpLuma[g]) << g
+	}
+	md.cbpChroma = int(r.ue(d.ctx.chromaCBP[:], 2))
+	if md.cbpChroma > 2 {
+		return fmt.Errorf("h264: invalid chroma CBP %d", md.cbpChroma)
+	}
+
+	var scan [16]int32
+	if i16 {
+		md.lumaDCNZ = readCoeffs(r, &d.ctx.cbf[catLumaDC], d.ctx.sigDC[:], d.ctx.lastDC[:], d.ctx.levelDC[:], scan[:16])
+		unscanBlock4(scan[:16], 0, &md.lumaDC)
+	}
+	start := 0
+	if i16 {
+		start = 1
+	}
+	for bi := 0; bi < 16; bi++ {
+		md.luma[bi] = [16]int32{}
+		md.lumaNZ[bi] = false
+	}
+	for g := 0; g < 4; g++ {
+		if md.cbpLuma&(1<<g) == 0 {
+			continue
+		}
+		for _, bi := range lumaGroupBlocks[g] {
+			nz := readCoeffs(r, &d.ctx.cbf[catLuma], d.ctx.sig[:], d.ctx.last[:], d.ctx.level[:], scan[:16-start])
+			unscanBlock4(scan[:16-start], start, &md.luma[bi])
+			md.lumaNZ[bi] = nz
+		}
+	}
+	for pl := 0; pl < 2; pl++ {
+		md.chromaDC[pl] = [4]int32{}
+		for ci := 0; ci < 4; ci++ {
+			md.chroma[pl][ci] = [16]int32{}
+		}
+	}
+	if md.cbpChroma >= 1 {
+		for pl := 0; pl < 2; pl++ {
+			var dcs [4]int32
+			readCoeffs(r, &d.ctx.cbf[catChromaDC], d.ctx.sigDC[:], d.ctx.lastDC[:], d.ctx.levelDC[:], dcs[:])
+			md.chromaDC[pl] = dcs
+		}
+	}
+	if md.cbpChroma == 2 {
+		for pl := 0; pl < 2; pl++ {
+			for ci := 0; ci < 4; ci++ {
+				readCoeffs(r, &d.ctx.cbf[catChromaAC], d.ctx.sig[:], d.ctx.last[:], d.ctx.level[:], scan[:15])
+				unscanBlock4(scan[:15], 1, &md.chroma[pl][ci])
+			}
+		}
+	}
+	return r.err()
+}
+
+// reconLumaInter mirrors the encoder's inter luma reconstruction.
+func (d *Decoder) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
+	for bi := 0; bi < 16; bi++ {
+		bx, by := 4*(bi%4), 4*(bi/4)
+		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
+		po := by*16 + bx
+		if md.lumaNZ[bi] {
+			blk := md.luma[bi]
+			quant.H264Dequant(&blk, d.qp)
+			dct.Inverse4(&blk)
+			codec.Add4Clip(recon.Y, ro, recon.YStride, d.predY[:], po, 16, &blk)
+		} else {
+			for r := 0; r < 4; r++ {
+				copy(recon.Y[ro+r*recon.YStride:ro+r*recon.YStride+4],
+					d.predY[po+r*16:po+r*16+4])
+			}
+		}
+	}
+}
+
+func (d *Decoder) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
+	cx, cy := px/2, py/2
+	for pl := 0; pl < 2; pl++ {
+		plane := recon.Cb
+		if pl == 1 {
+			plane = recon.Cr
+		}
+		dc := md.chromaDC[pl]
+		if md.cbpChroma >= 1 {
+			dct.Hadamard2(&dc)
+			quant.H264DequantChromaDC(&dc, d.qpc)
+		} else {
+			dc = [4]int32{}
+		}
+		for ci := 0; ci < 4; ci++ {
+			ox, oy := 4*(ci%2), 4*(ci/2)
+			ro := recon.COrigin + (cy+oy)*recon.CStride + cx + ox
+			po := oy*8 + ox
+			blk := md.chroma[pl][ci]
+			if md.cbpChroma == 2 {
+				quant.H264Dequant(&blk, d.qpc)
+			} else {
+				blk = [16]int32{}
+			}
+			blk[0] = dc[ci]
+			if md.cbpChroma >= 1 {
+				dct.Inverse4(&blk)
+				codec.Add4Clip(plane, ro, recon.CStride, d.predC[pl][:], po, 8, &blk)
+			} else {
+				for r := 0; r < 4; r++ {
+					copy(plane[ro+r*recon.CStride:ro+r*recon.CStride+4],
+						d.predC[pl][po+r*8:po+r*8+4])
+				}
+			}
+		}
+	}
+}
+
+func (d *Decoder) updateMetaNZ(px, py int, md *mbData, i16 bool) {
+	bx4, by4 := px/4, py/4
+	for bi := 0; bi < 16; bi++ {
+		nz := md.lumaNZ[bi]
+		if i16 && md.lumaDCNZ {
+			nz = true
+		}
+		d.meta.nz[(by4+bi/4)*d.meta.w4+bx4+bi%4] = nz
+	}
+}
+
+// --- intra -------------------------------------------------------------------
+
+// reconI16 mirrors encodeI16Into's reconstruction.
+func (d *Decoder) reconI16(recon *frame.Frame, px, py int, md *mbData) {
+	availLeft := px > 0
+	availTop := py > 0
+	predI16(d.predY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, md.i16Mode, availLeft, availTop)
+	dcRec := md.lumaDC
+	dct.Hadamard4(&dcRec, false)
+	quant.H264DequantDC(&dcRec, d.qp)
+	for bi := 0; bi < 16; bi++ {
+		bx, by := 4*(bi%4), 4*(bi/4)
+		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
+		po := by*16 + bx
+		blk := md.luma[bi]
+		quant.H264Dequant(&blk, d.qp)
+		blk[0] = dcRec[bi]
+		dct.Inverse4(&blk)
+		codec.Add4Clip(recon.Y, ro, recon.YStride, d.predY[:], po, 16, &blk)
+	}
+}
+
+// reconI4 mirrors encodeI4Into's sequential reconstruction.
+func (d *Decoder) reconI4(recon *frame.Frame, px, py int, md *mbData) {
+	var pred [16]byte
+	for bi := 0; bi < 16; bi++ {
+		bx, by := 4*(bi%4), 4*(bi/4)
+		gx4, gy4 := (px+bx)/4, (py+by)/4
+		av := availI4(gx4, gy4, d.meta.w4)
+		predI4(pred[:], 4, recon.Y, recon.YOrigin, recon.YStride, px+bx, py+by, md.i4Modes[bi], av)
+		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
+		blk := md.luma[bi]
+		quant.H264Dequant(&blk, d.qp)
+		dct.Inverse4(&blk)
+		codec.Add4Clip(recon.Y, ro, recon.YStride, pred[:], 0, 4, &blk)
+	}
+}
+
+func (d *Decoder) intraChromaPred(recon *frame.Frame, px, py int) {
+	cx, cy := px/2, py/2
+	predChromaDC(d.predC[0][:], recon.Cb, recon.COrigin, recon.CStride, cx, cy, px > 0, py > 0)
+	predChromaDC(d.predC[1][:], recon.Cr, recon.COrigin, recon.CStride, cx, cy, px > 0, py > 0)
+}
+
+func (d *Decoder) decodeIMB(r symReader, recon *frame.Frame, mbx, mby int) error {
+	px, py := mbx*16, mby*16
+	var md mbData
+	isI4 := r.bit(&d.ctx.mbType[0]) == 1
+	if isI4 {
+		md.mode = mI4x4
+		for bi := 0; bi < 16; bi++ {
+			md.i4Modes[bi] = int(r.ue(d.ctx.i4Mode[:], 3))
+			if md.i4Modes[bi] >= numI4Modes {
+				return fmt.Errorf("h264: invalid I4 mode %d", md.i4Modes[bi])
+			}
+		}
+	} else {
+		md.mode = mI16x16
+		md.i16Mode = int(r.ue(d.ctx.i16Mode[:], 2))
+		if md.i16Mode >= numI16Modes {
+			return fmt.Errorf("h264: invalid I16 mode %d", md.i16Mode)
+		}
+	}
+	if err := d.readResidual(r, &md, md.mode == mI16x16); err != nil {
+		return err
+	}
+	if md.mode == mI4x4 {
+		d.reconI4(recon, px, py, &md)
+	} else {
+		d.reconI16(recon, px, py, &md)
+	}
+	d.intraChromaPred(recon, px, py)
+	d.reconChroma(recon, px, py, &md)
+	d.meta.setBlock(px/4, py/4, 4, 4, motion.MV{}, -1)
+	d.updateMetaNZ(px, py, &md, md.mode == mI16x16)
+	return nil
+}
+
+// --- inter -------------------------------------------------------------------
+
+// mcLumaPart motion-compensates one luma partition into predY.
+func (d *Decoder) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
+	ix, fx := splitQuarter(int(mv.X))
+	iy, fy := splitQuarter(int(mv.Y))
+	ix = clampMVToWindow(ix, px+ox, d.hdr.Width, w)
+	iy = clampMVToWindow(iy, py+oy, d.hdr.Height, h)
+	so := ref.YOrigin + (py+oy+iy)*ref.YStride + px + ox + ix
+	d.qpel.Luma(d.predY[oy*16+ox:], 16, ref.Y, so, ref.YStride, w, h, fx, fy, d.kern)
+}
+
+func (d *Decoder) mcChromaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
+	cx := (px + ox) / 2
+	cy := (py + oy) / 2
+	ix := int(mv.X) >> 3
+	iy := int(mv.Y) >> 3
+	dx := int(mv.X) & 7
+	dy := int(mv.Y) & 7
+	ix = clampMVToWindow(ix, cx, d.hdr.Width/2, w/2)
+	iy = clampMVToWindow(iy, cy, d.hdr.Height/2, h/2)
+	so := ref.COrigin + (cy+iy)*ref.CStride + cx + ix
+	do := (oy/2)*8 + ox/2
+	interp.ChromaBilin(d.predC[0][do:], 8, ref.Cb[so:], ref.CStride, w/2, h/2, dx, dy, d.kern)
+	interp.ChromaBilin(d.predC[1][do:], 8, ref.Cr[so:], ref.CStride, w/2, h/2, dx, dy, d.kern)
+}
+
+func (d *Decoder) decodePMB(r symReader, recon *frame.Frame, mbx, mby int) error {
+	px, py := mbx*16, mby*16
+	bx4, by4 := px/4, py/4
+
+	if r.bit(&d.ctx.skip[0]) == 1 {
+		mvp := d.meta.predictMV(bx4, by4, 4)
+		ref := d.refs.Get(0)
+		d.mcLumaPart(ref, px, py, 0, 0, 16, 16, mvp)
+		d.mcChromaPart(ref, px, py, 0, 0, 16, 16, mvp)
+		var md mbData
+		d.reconLumaInter(recon, px, py, &md)
+		d.reconChroma(recon, px, py, &md)
+		d.meta.setBlock(bx4, by4, 4, 4, mvp, 0)
+		d.updateMetaNZ(px, py, &md, false)
+		return nil
+	}
+
+	mode := int(r.ue(d.ctx.mbType[:], 3))
+	switch mode {
+	case mI16x16:
+		var md mbData
+		md.mode = mI16x16
+		md.i16Mode = int(r.ue(d.ctx.i16Mode[:], 2))
+		if md.i16Mode >= numI16Modes {
+			return fmt.Errorf("h264: invalid I16 mode %d", md.i16Mode)
+		}
+		if err := d.readResidual(r, &md, true); err != nil {
+			return err
+		}
+		d.reconI16(recon, px, py, &md)
+		d.intraChromaPred(recon, px, py)
+		d.reconChroma(recon, px, py, &md)
+		d.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
+		d.updateMetaNZ(px, py, &md, true)
+		return nil
+	case mP16x16, mP16x8, mP8x16, mP8x8:
+		refIdx := 0
+		if d.refs.Len() > 1 {
+			refIdx = int(r.ue(d.ctx.refIdx[:], 2))
+		}
+		if refIdx >= d.refs.Len() {
+			return fmt.Errorf("h264: reference %d out of range", refIdx)
+		}
+		ref := d.refs.Get(refIdx)
+		parts := partGeom[mode]
+		var md mbData
+		md.mode = mode
+		md.ref = int8(refIdx)
+		for pi, g := range parts {
+			pmvp := d.meta.predictMV(bx4+g[0]/4, by4+g[1]/4, g[2]/4)
+			mv := motion.MV{
+				X: int16(int32(pmvp.X) + r.se(d.ctx.mvd[:], 8)),
+				Y: int16(int32(pmvp.Y) + r.se(d.ctx.mvd[:], 8)),
+			}
+			md.mvs[pi] = mv
+			d.meta.setBlock(bx4+g[0]/4, by4+g[1]/4, g[2]/4, g[3]/4, mv, int8(refIdx))
+			d.mcLumaPart(ref, px, py, g[0], g[1], g[2], g[3], mv)
+			d.mcChromaPart(ref, px, py, g[0], g[1], g[2], g[3], mv)
+		}
+		if err := d.readResidual(r, &md, false); err != nil {
+			return err
+		}
+		d.reconLumaInter(recon, px, py, &md)
+		d.reconChroma(recon, px, py, &md)
+		d.updateMetaNZ(px, py, &md, false)
+		return nil
+	}
+	return fmt.Errorf("h264: invalid P macroblock mode %d", mode)
+}
+
+func (d *Decoder) decodeBMB(r symReader, recon *frame.Frame, mbx, mby int) error {
+	px, py := mbx*16, mby*16
+	bx4, by4 := px/4, py/4
+	fwdRef := d.refs.Get(1)
+	bwdRef := d.refs.Get(0)
+
+	if r.bit(&d.ctx.skip[0]) == 1 {
+		mvp := d.meta.predictMV(bx4, by4, 4)
+		d.mcLumaPart(fwdRef, px, py, 0, 0, 16, 16, mvp)
+		d.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, mvp)
+		var md mbData
+		d.reconLumaInter(recon, px, py, &md)
+		d.reconChroma(recon, px, py, &md)
+		d.meta.setBlock(bx4, by4, 4, 4, mvp, 0)
+		d.updateMetaNZ(px, py, &md, false)
+		return nil
+	}
+
+	mode := int(r.ue(d.ctx.mbType[:], 3))
+	if mode == mBI16x16 {
+		var md mbData
+		md.mode = mI16x16
+		md.i16Mode = int(r.ue(d.ctx.i16Mode[:], 2))
+		if md.i16Mode >= numI16Modes {
+			return fmt.Errorf("h264: invalid I16 mode %d", md.i16Mode)
+		}
+		if err := d.readResidual(r, &md, true); err != nil {
+			return err
+		}
+		d.reconI16(recon, px, py, &md)
+		d.intraChromaPred(recon, px, py)
+		d.reconChroma(recon, px, py, &md)
+		d.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
+		d.updateMetaNZ(px, py, &md, true)
+		return nil
+	}
+	if mode > mBBi {
+		return fmt.Errorf("h264: invalid B macroblock mode %d", mode)
+	}
+
+	mvpF := d.meta.predictMV(bx4, by4, 4)
+	var fwdMV, bwdMV motion.MV
+	if mode == mBFwd || mode == mBBi {
+		fwdMV = motion.MV{
+			X: int16(int32(mvpF.X) + r.se(d.ctx.mvd[:], 8)),
+			Y: int16(int32(mvpF.Y) + r.se(d.ctx.mvd[:], 8)),
+		}
+	}
+	if mode == mBBwd || mode == mBBi {
+		bwdMV = motion.MV{
+			X: int16(int32(d.bwdPredRow.X) + r.se(d.ctx.mvd[:], 8)),
+			Y: int16(int32(d.bwdPredRow.Y) + r.se(d.ctx.mvd[:], 8)),
+		}
+		d.bwdPredRow = bwdMV
+	}
+
+	switch mode {
+	case mBFwd:
+		d.mcLumaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		d.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		d.meta.setBlock(bx4, by4, 4, 4, fwdMV, 0)
+	case mBBwd:
+		d.mcLumaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		d.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		d.meta.setBlock(bx4, by4, 4, 4, bwdMV, 0)
+	case mBBi:
+		var alt [256]byte
+		d.mcLumaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		copy(alt[:], d.predY[:])
+		d.mcLumaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		interp.Avg(d.predY[:], 16, alt[:], 16, 16, 16, d.kern)
+
+		var cbF, crF [64]byte
+		d.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		copy(cbF[:], d.predC[0][:])
+		copy(crF[:], d.predC[1][:])
+		d.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		interp.Avg(d.predC[0][:], 8, cbF[:], 8, 8, 8, d.kern)
+		interp.Avg(d.predC[1][:], 8, crF[:], 8, 8, 8, d.kern)
+		d.meta.setBlock(bx4, by4, 4, 4, fwdMV, 0)
+	}
+
+	var md mbData
+	md.mode = mode
+	if err := d.readResidual(r, &md, false); err != nil {
+		return err
+	}
+	d.reconLumaInter(recon, px, py, &md)
+	d.reconChroma(recon, px, py, &md)
+	d.updateMetaNZ(px, py, &md, false)
+	return nil
+}

@@ -1,0 +1,868 @@
+package h264
+
+import (
+	"fmt"
+
+	"hdvideobench/internal/bitstream"
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/dct"
+	"hdvideobench/internal/entropy"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/interp"
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/motion"
+	"hdvideobench/internal/quant"
+	"hdvideobench/internal/swar"
+)
+
+// mbData carries one macroblock's decisions and quantized coefficients
+// between the decision phase and the syntax/reconstruction phase.
+type mbData struct {
+	mode int
+	ref  int8
+	mvs  [4]motion.MV // per-partition quarter-pel vectors
+
+	i16Mode int
+	i4Modes [16]int
+
+	luma     [16][16]int32
+	lumaDC   [16]int32
+	lumaDCNZ bool
+	chroma   [2][4][16]int32
+	chromaDC [2][4]int32
+
+	cbpLuma   int
+	cbpChroma int
+	lumaNZ    [16]bool
+}
+
+// Encoder is the H.264-class encoder (the paper's x264 role).
+type Encoder struct {
+	cfg    codec.Config
+	qp     int // H.264 luma QP via Eq. 1
+	qpc    int // chroma QP
+	lambda int
+
+	gop  codec.GOPScheduler
+	refs codec.RefList
+
+	meta *frameMeta
+	ctx  *contexts
+
+	qpel  interp.QPel
+	predY [256]byte
+	predC [2][64]byte
+	tmpY  [256]byte
+	candY [256]byte // sub-pel candidate buffer inside searchRef
+
+	bwdPredRow motion.MV // backward MV predictor within a B row
+
+	inCount int
+}
+
+// NewEncoder returns an H.264 encoder for cfg. The MPEG-scale quantizer
+// cfg.Q is mapped to the H.264 QP with the paper's Eq. 1.
+func NewEncoder(cfg codec.Config) (*Encoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("h264: %w", err)
+	}
+	qp := quant.H264QPFromMPEG(cfg.Q)
+	lambda := (1 << uint(qp/6)) >> 2
+	if lambda < 1 {
+		lambda = 1
+	}
+	return &Encoder{
+		cfg:    cfg,
+		qp:     qp,
+		qpc:    quant.H264ChromaQP(qp),
+		lambda: lambda,
+		gop:    codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
+		refs:   codec.RefList{Max: cfg.Refs},
+		meta:   newFrameMeta(cfg.Width, cfg.Height),
+	}, nil
+}
+
+// QP returns the mapped H.264 quantizer (exported for the harness report).
+func (e *Encoder) QP() int { return e.qp }
+
+// Header implements codec.Encoder.
+func (e *Encoder) Header() container.Header { return header(e.cfg, 0) }
+
+// Encode implements codec.Encoder.
+func (e *Encoder) Encode(f *frame.Frame) ([]container.Packet, error) {
+	if f.Width != e.cfg.Width || f.Height != e.cfg.Height {
+		return nil, fmt.Errorf("h264: frame is %dx%d, config is %dx%d",
+			f.Width, f.Height, e.cfg.Width, e.cfg.Height)
+	}
+	f.PTS = e.inCount
+	e.inCount++
+	var pkts []container.Packet
+	for _, entry := range e.gop.Push(f) {
+		pkts = append(pkts, e.encodeFrame(entry.Frame, entry.Type))
+	}
+	return pkts, nil
+}
+
+// Flush implements codec.Encoder.
+func (e *Encoder) Flush() ([]container.Packet, error) {
+	var pkts []container.Packet
+	for _, entry := range e.gop.Flush() {
+		pkts = append(pkts, e.encodeFrame(entry.Frame, entry.Type))
+	}
+	return pkts, nil
+}
+
+func (e *Encoder) newWriter() symWriter {
+	if e.cfg.Entropy == codec.EntropyVLC {
+		return vlcWriter{bitstream.NewWriter(e.cfg.Width * e.cfg.Height / 8)}
+	}
+	return cabacWriter{entropy.NewEncoder(e.cfg.Width * e.cfg.Height / 8)}
+}
+
+func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) container.Packet {
+	recon := frame.NewPadded(e.cfg.Width, e.cfg.Height, codec.RefPad)
+	recon.PTS = src.PTS
+	e.meta.reset()
+	e.ctx = newContexts()
+	w := e.newWriter()
+
+	for mby := 0; mby < e.cfg.MBRows(); mby++ {
+		e.bwdPredRow = motion.MV{}
+		for mbx := 0; mbx < e.cfg.MBCols(); mbx++ {
+			switch ftype {
+			case container.FrameI:
+				e.encodeIMB(w, src, recon, mbx, mby)
+			case container.FrameP:
+				e.encodePMB(w, src, recon, mbx, mby)
+			default:
+				e.encodeBMB(w, src, recon, mbx, mby)
+			}
+		}
+	}
+
+	deblockFrame(recon, e.meta, e.qp)
+	recon.ExtendBorders()
+	if ftype != container.FrameB {
+		e.refs.Add(recon)
+	}
+	// Payload layout: one QP byte, then the entropy-coded macroblock data.
+	body := w.finish()
+	payload := make([]byte, 1+len(body))
+	payload[0] = byte(e.qp)
+	copy(payload[1:], body)
+	return container.Packet{Type: ftype, DisplayIndex: src.PTS, Payload: payload}
+}
+
+// --- cost helpers -------------------------------------------------------------
+
+func (e *Encoder) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
+	off := src.YOrigin + py*src.YStride + px
+	if e.cfg.Kernels == kernel.SWAR {
+		return swar.SADBlock(src.Y[off:], src.YStride, pred, pstride, w, h)
+	}
+	return codec.SADBlockBytes(src.Y, off, src.YStride, pred, 0, pstride, w, h)
+}
+
+func seBits(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	u := 2 * v
+	n := 1
+	for u > 0 {
+		u = (u - 1) >> 1
+		n += 2
+	}
+	return n
+}
+
+func mvdBits(mv, pred motion.MV) int {
+	return seBits(int(mv.X)-int(pred.X)) + seBits(int(mv.Y)-int(pred.Y))
+}
+
+// --- motion search ------------------------------------------------------------
+
+// mcLumaInto fills dst (stride 16) with the quarter-pel prediction.
+func (e *Encoder) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
+	ix, fx := splitQuarter(int(mv.X))
+	iy, fy := splitQuarter(int(mv.Y))
+	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
+	e.qpel.Luma(dst, 16, ref.Y, so, ref.YStride, w, h, fx, fy, e.cfg.Kernels)
+}
+
+// searchRef runs seed selection + hexagon + two-stage quarter-pel
+// refinement against one reference, filling pred with the winner.
+func (e *Encoder) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.MV, pred []byte) (motion.MV, int) {
+	var est motion.Estimator
+	est.Kern = e.cfg.Kernels
+	est.Cur = src.Y
+	est.CurOff = src.YOrigin + py*src.YStride + px
+	est.CurStride = src.YStride
+	est.Ref = ref.Y
+	est.RefOrigin = ref.YOrigin
+	est.RefStride = ref.YStride
+	est.PosX, est.PosY = px, py
+	est.W, est.H = w, h
+	est.Lambda = e.lambda
+	est.Pred = motion.MV{X: mvpQ.X >> 2, Y: mvpQ.Y >> 2}
+	est.Window(e.cfg.SearchRange, e.cfg.Width, e.cfg.Height, codec.RefPad)
+
+	// Seed from spatial neighbours in the meta grid (quarter-pel → full).
+	bx4, by4 := px/4, py/4
+	var seeds [3]motion.MV
+	ns := 0
+	seeds[ns] = est.Pred
+	ns++
+	if bx4 > 0 && e.meta.ref[by4*e.meta.w4+bx4-1] >= 0 {
+		m := e.meta.mv[by4*e.meta.w4+bx4-1]
+		seeds[ns] = motion.MV{X: m.X >> 2, Y: m.Y >> 2}
+		ns++
+	}
+	if by4 > 0 && e.meta.ref[(by4-1)*e.meta.w4+bx4] >= 0 {
+		m := e.meta.mv[(by4-1)*e.meta.w4+bx4]
+		seeds[ns] = motion.MV{X: m.X >> 2, Y: m.Y >> 2}
+		ns++
+	}
+	res := est.EPZS(seeds[:ns], 0)
+	res = est.HexagonSearch(res.MV)
+
+	// Quarter-pel refinement (step 2 then 1) on plain SAD.
+	bestMV := motion.MV{X: res.MV.X * 4, Y: res.MV.Y * 4}
+	e.mcLumaInto(ref, px, py, w, h, bestMV, pred)
+	bestSAD := e.sadBlock(src, px, py, w, h, pred, 16)
+	for _, step := range []int{2, 1} {
+		center := bestMV
+		for dy := -step; dy <= step; dy += step {
+			for dx := -step; dx <= step; dx += step {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				mv := motion.MV{X: center.X + int16(dx), Y: center.Y + int16(dy)}
+				e.mcLumaInto(ref, px, py, w, h, mv, e.candY[:])
+				if sad := e.sadBlock(src, px, py, w, h, e.candY[:], 16); sad < bestSAD {
+					bestSAD = sad
+					bestMV = mv
+					copy(pred[:h*16], e.candY[:h*16])
+				}
+			}
+		}
+	}
+	return bestMV, bestSAD
+}
+
+// mcChromaPart motion-compensates one chroma partition region for both
+// planes into predC with stride 8. (ox, oy, w, h) are luma-partition pixel
+// geometry relative to the MB origin.
+func (e *Encoder) mcChromaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
+	cx := (px + ox) / 2
+	cy := (py + oy) / 2
+	ix := int(mv.X) >> 3
+	iy := int(mv.Y) >> 3
+	dx := int(mv.X) & 7
+	dy := int(mv.Y) & 7
+	so := ref.COrigin + (cy+iy)*ref.CStride + cx + ix
+	do := (oy/2)*8 + ox/2
+	interp.ChromaBilin(e.predC[0][do:], 8, ref.Cb[so:], ref.CStride, w/2, h/2, dx, dy, e.cfg.Kernels)
+	interp.ChromaBilin(e.predC[1][do:], 8, ref.Cr[so:], ref.CStride, w/2, h/2, dx, dy, e.cfg.Kernels)
+}
+
+// --- residual pipeline ----------------------------------------------------------
+
+// lumaGroupBlocks lists the 4×4 block indices of each 8×8 CBP group.
+var lumaGroupBlocks = [4][4]int{
+	{0, 1, 4, 5}, {2, 3, 6, 7}, {8, 9, 12, 13}, {10, 11, 14, 15},
+}
+
+// transformLumaInter quantizes the luma residual of an inter (or I4-less)
+// MB against predY and fills md.luma/cbpLuma/lumaNZ.
+func (e *Encoder) transformLumaInter(src *frame.Frame, px, py int, md *mbData) {
+	md.cbpLuma = 0
+	for bi := 0; bi < 16; bi++ {
+		bx, by := 4*(bi%4), 4*(bi/4)
+		var blk [16]int32
+		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride,
+			e.predY[:], by*16+bx, 16)
+		dct.Forward4(&blk)
+		nz := quant.H264Quant(&blk, e.qp, false)
+		md.luma[bi] = blk
+		md.lumaNZ[bi] = nz > 0
+	}
+	for g := 0; g < 4; g++ {
+		for _, bi := range lumaGroupBlocks[g] {
+			if md.lumaNZ[bi] {
+				md.cbpLuma |= 1 << g
+				break
+			}
+		}
+	}
+}
+
+// reconLumaInter reconstructs the luma of an inter MB from md into recon.
+func (e *Encoder) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
+	for bi := 0; bi < 16; bi++ {
+		bx, by := 4*(bi%4), 4*(bi/4)
+		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
+		po := by*16 + bx
+		if md.lumaNZ[bi] {
+			blk := md.luma[bi]
+			quant.H264Dequant(&blk, e.qp)
+			dct.Inverse4(&blk)
+			codec.Add4Clip(recon.Y, ro, recon.YStride, e.predY[:], po, 16, &blk)
+		} else {
+			for r := 0; r < 4; r++ {
+				copy(recon.Y[ro+r*recon.YStride:ro+r*recon.YStride+4],
+					e.predY[po+r*16:po+r*16+4])
+			}
+		}
+	}
+}
+
+// transformChroma quantizes both chroma planes against predC and fills
+// md.chroma/chromaDC/cbpChroma.
+func (e *Encoder) transformChroma(src *frame.Frame, px, py int, intra bool, md *mbData) {
+	cx, cy := px/2, py/2
+	anyAC, anyDC := false, false
+	for pl := 0; pl < 2; pl++ {
+		plane := src.Cb
+		if pl == 1 {
+			plane = src.Cr
+		}
+		var dc [4]int32
+		for ci := 0; ci < 4; ci++ {
+			ox, oy := 4*(ci%2), 4*(ci/2)
+			var blk [16]int32
+			codec.Residual4(&blk, plane, src.COrigin+(cy+oy)*src.CStride+cx+ox, src.CStride,
+				e.predC[pl][:], oy*8+ox, 8)
+			dct.Forward4(&blk)
+			dc[ci] = blk[0]
+			blk[0] = 0
+			if quant.H264Quant(&blk, e.qpc, intra) > 0 {
+				anyAC = true
+			}
+			md.chroma[pl][ci] = blk
+		}
+		dct.Hadamard2(&dc)
+		if quant.H264QuantChromaDC(&dc, e.qpc, intra) > 0 {
+			anyDC = true
+		}
+		md.chromaDC[pl] = dc
+	}
+	switch {
+	case anyAC:
+		md.cbpChroma = 2
+	case anyDC:
+		md.cbpChroma = 1
+	default:
+		md.cbpChroma = 0
+	}
+}
+
+// reconChroma reconstructs both chroma planes from md into recon.
+func (e *Encoder) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
+	cx, cy := px/2, py/2
+	for pl := 0; pl < 2; pl++ {
+		plane := recon.Cb
+		if pl == 1 {
+			plane = recon.Cr
+		}
+		dc := md.chromaDC[pl]
+		if md.cbpChroma >= 1 {
+			dct.Hadamard2(&dc)
+			quant.H264DequantChromaDC(&dc, e.qpc)
+		} else {
+			dc = [4]int32{}
+		}
+		for ci := 0; ci < 4; ci++ {
+			ox, oy := 4*(ci%2), 4*(ci/2)
+			ro := recon.COrigin + (cy+oy)*recon.CStride + cx + ox
+			po := oy*8 + ox
+			blk := md.chroma[pl][ci]
+			if md.cbpChroma == 2 {
+				quant.H264Dequant(&blk, e.qpc)
+			} else {
+				blk = [16]int32{}
+			}
+			blk[0] = dc[ci]
+			if md.cbpChroma >= 1 {
+				dct.Inverse4(&blk)
+				codec.Add4Clip(plane, ro, recon.CStride, e.predC[pl][:], po, 8, &blk)
+			} else {
+				for r := 0; r < 4; r++ {
+					copy(plane[ro+r*recon.CStride:ro+r*recon.CStride+4],
+						e.predC[pl][po+r*8:po+r*8+4])
+				}
+			}
+		}
+	}
+}
+
+// writeResidual emits CBP and coefficient blocks for the MB.
+func (e *Encoder) writeResidual(w symWriter, md *mbData, i16 bool) {
+	for g := 0; g < 4; g++ {
+		w.bit(&e.ctx.cbpLuma[g], (md.cbpLuma>>g)&1)
+	}
+	w.ue(e.ctx.chromaCBP[:], 2, uint32(md.cbpChroma))
+
+	var scan [16]int32
+	if i16 {
+		scanBlock4(&md.lumaDC, 0, scan[:])
+		writeCoeffs(w, &e.ctx.cbf[catLumaDC], e.ctx.sigDC[:], e.ctx.lastDC[:], e.ctx.levelDC[:], scan[:16])
+	}
+	start := 0
+	if i16 {
+		start = 1
+	}
+	for g := 0; g < 4; g++ {
+		if md.cbpLuma&(1<<g) == 0 {
+			continue
+		}
+		for _, bi := range lumaGroupBlocks[g] {
+			scanBlock4(&md.luma[bi], start, scan[:])
+			writeCoeffs(w, &e.ctx.cbf[catLuma], e.ctx.sig[:], e.ctx.last[:], e.ctx.level[:], scan[:16-start])
+		}
+	}
+	if md.cbpChroma >= 1 {
+		for pl := 0; pl < 2; pl++ {
+			dcs := md.chromaDC[pl]
+			writeCoeffs(w, &e.ctx.cbf[catChromaDC], e.ctx.sigDC[:], e.ctx.lastDC[:], e.ctx.levelDC[:], dcs[:])
+		}
+	}
+	if md.cbpChroma == 2 {
+		for pl := 0; pl < 2; pl++ {
+			for ci := 0; ci < 4; ci++ {
+				scanBlock4(&md.chroma[pl][ci], 1, scan[:])
+				writeCoeffs(w, &e.ctx.cbf[catChromaAC], e.ctx.sig[:], e.ctx.last[:], e.ctx.level[:], scan[:15])
+			}
+		}
+	}
+}
+
+// updateMetaNZ records per-4×4 non-zero flags for deblocking.
+func (e *Encoder) updateMetaNZ(px, py int, md *mbData, i16 bool) {
+	bx4, by4 := px/4, py/4
+	for bi := 0; bi < 16; bi++ {
+		nz := md.lumaNZ[bi]
+		if i16 && md.lumaDCNZ {
+			nz = true
+		}
+		e.meta.nz[(by4+bi/4)*e.meta.w4+bx4+bi%4] = nz
+	}
+}
+
+// --- intra coding ----------------------------------------------------------------
+
+// bestI16 selects the best I16×16 mode by SAD and returns (mode, cost).
+func (e *Encoder) bestI16(src, recon *frame.Frame, px, py int) (int, int) {
+	availLeft := px > 0
+	availTop := py > 0
+	bestMode, bestCost := -1, 1<<30
+	for _, mode := range i16Candidates(availLeft, availTop) {
+		predI16(e.tmpY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, mode, availLeft, availTop)
+		if sad := e.sadBlock(src, px, py, 16, 16, e.tmpY[:], 16); sad < bestCost {
+			bestCost = sad
+			bestMode = mode
+		}
+	}
+	return bestMode, bestCost
+}
+
+// encodeI16Into performs the full I16 pipeline: prediction, transform with
+// DC Hadamard, quantization, reconstruction, and meta update. The caller
+// writes the syntax.
+func (e *Encoder) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *mbData) {
+	availLeft := px > 0
+	availTop := py > 0
+	predI16(e.predY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, mode, availLeft, availTop)
+	md.i16Mode = mode
+
+	var dcs [16]int32
+	md.cbpLuma = 0
+	for bi := 0; bi < 16; bi++ {
+		bx, by := 4*(bi%4), 4*(bi/4)
+		var blk [16]int32
+		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride,
+			e.predY[:], by*16+bx, 16)
+		dct.Forward4(&blk)
+		dcs[bi] = blk[0]
+		blk[0] = 0
+		nz := quant.H264Quant(&blk, e.qp, true)
+		md.luma[bi] = blk
+		md.lumaNZ[bi] = nz > 0
+	}
+	// Reorder DCs to raster 4×4 of the DC block: dcs are already in raster
+	// block order, matching the Hadamard layout.
+	dct.Hadamard4(&dcs, true)
+	md.lumaDCNZ = quant.H264QuantDC(&dcs, e.qp) > 0
+	md.lumaDC = dcs
+	for g := 0; g < 4; g++ {
+		for _, bi := range lumaGroupBlocks[g] {
+			if md.lumaNZ[bi] {
+				md.cbpLuma |= 1 << g
+				break
+			}
+		}
+	}
+
+	// Reconstruction.
+	dcRec := md.lumaDC
+	dct.Hadamard4(&dcRec, false)
+	quant.H264DequantDC(&dcRec, e.qp)
+	for bi := 0; bi < 16; bi++ {
+		bx, by := 4*(bi%4), 4*(bi/4)
+		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
+		po := by*16 + bx
+		blk := md.luma[bi]
+		quant.H264Dequant(&blk, e.qp)
+		blk[0] = dcRec[bi]
+		dct.Inverse4(&blk)
+		codec.Add4Clip(recon.Y, ro, recon.YStride, e.predY[:], po, 16, &blk)
+	}
+}
+
+// encodeI4Into performs the sequential I4×4 pipeline, choosing a mode per
+// block and reconstructing as it goes.
+func (e *Encoder) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) {
+	md.cbpLuma = 0
+	for bi := 0; bi < 16; bi++ {
+		bx, by := 4*(bi%4), 4*(bi/4)
+		gx4, gy4 := (px+bx)/4, (py+by)/4
+		av := availI4(gx4, gy4, e.meta.w4)
+		var best [16]byte
+		bestMode, bestCost := -1, 1<<30
+		var cand [16]byte
+		for _, mode := range i4Candidates(av) {
+			predI4(cand[:], 4, recon.Y, recon.YOrigin, recon.YStride, px+bx, py+by, mode, av)
+			cost := e.sadBlock(src, px+bx, py+by, 4, 4, cand[:], 4) + e.lambda*2
+			if mode == i4DC {
+				cost -= e.lambda * 2 // cheap-mode bias
+			}
+			if cost < bestCost {
+				bestCost = cost
+				bestMode = mode
+				best = cand
+			}
+		}
+		md.i4Modes[bi] = bestMode
+
+		var blk [16]int32
+		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride, best[:], 0, 4)
+		dct.Forward4(&blk)
+		nz := quant.H264Quant(&blk, e.qp, true)
+		md.luma[bi] = blk
+		md.lumaNZ[bi] = nz > 0
+
+		// Immediate reconstruction: later blocks predict from it.
+		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
+		rblk := blk
+		quant.H264Dequant(&rblk, e.qp)
+		dct.Inverse4(&rblk)
+		codec.Add4Clip(recon.Y, ro, recon.YStride, best[:], 0, 4, &rblk)
+	}
+	for g := 0; g < 4; g++ {
+		for _, bi := range lumaGroupBlocks[g] {
+			if md.lumaNZ[bi] {
+				md.cbpLuma |= 1 << g
+				break
+			}
+		}
+	}
+}
+
+// intraChroma predicts chroma with the DC mode and runs the chroma
+// residual pipeline.
+func (e *Encoder) intraChroma(src, recon *frame.Frame, px, py int, md *mbData) {
+	cx, cy := px/2, py/2
+	predChromaDC(e.predC[0][:], recon.Cb, recon.COrigin, recon.CStride, cx, cy, px > 0, py > 0)
+	predChromaDC(e.predC[1][:], recon.Cr, recon.COrigin, recon.CStride, cx, cy, px > 0, py > 0)
+	e.transformChroma(src, px, py, true, md)
+}
+
+// i4CostEstimate returns the summed best-mode SAD over the 16 blocks,
+// predicting from the source (cheap approximation used only for the
+// I4-vs-I16 decision).
+func (e *Encoder) i4CostEstimate(src, recon *frame.Frame, px, py int) int {
+	total := 0
+	var cand [16]byte
+	for bi := 0; bi < 16; bi++ {
+		bx, by := 4*(bi%4), 4*(bi/4)
+		gx4, gy4 := (px+bx)/4, (py+by)/4
+		av := availI4(gx4, gy4, e.meta.w4)
+		best := 1 << 30
+		for _, mode := range i4Candidates(av) {
+			predI4(cand[:], 4, recon.Y, recon.YOrigin, recon.YStride, px+bx, py+by, mode, av)
+			if sad := e.sadBlock(src, px+bx, py+by, 4, 4, cand[:], 4); sad < best {
+				best = sad
+			}
+		}
+		total += best + e.lambda*3
+	}
+	return total
+}
+
+// --- I macroblocks ---------------------------------------------------------------
+
+func (e *Encoder) encodeIMB(w symWriter, src, recon *frame.Frame, mbx, mby int) {
+	px, py := mbx*16, mby*16
+	var md mbData
+
+	i16Mode, i16Cost := e.bestI16(src, recon, px, py)
+	// The I4 estimate predicts from already-reconstructed pixels only
+	// approximately (blocks inside the MB are not yet coded), so bias I16.
+	i4Cost := e.i4CostEstimate(src, recon, px, py) + e.lambda*24
+
+	if i4Cost < i16Cost {
+		w.bit(&e.ctx.mbType[0], 1) // 1 = I4x4
+		e.encodeI4Into(src, recon, px, py, &md)
+		for bi := 0; bi < 16; bi++ {
+			w.ue(e.ctx.i4Mode[:], 3, uint32(md.i4Modes[bi]))
+		}
+		md.mode = mI4x4
+	} else {
+		w.bit(&e.ctx.mbType[0], 0) // 0 = I16x16
+		w.ue(e.ctx.i16Mode[:], 2, uint32(i16Mode))
+		e.encodeI16Into(src, recon, px, py, i16Mode, &md)
+		md.mode = mI16x16
+	}
+	e.intraChroma(src, recon, px, py, &md)
+	e.writeResidual(w, &md, md.mode == mI16x16)
+	e.reconChroma(recon, px, py, &md)
+
+	e.meta.setBlock(px/4, py/4, 4, 4, motion.MV{}, -1)
+	e.updateMetaNZ(px, py, &md, md.mode == mI16x16)
+}
+
+// --- P macroblocks ---------------------------------------------------------------
+
+// partition geometry per mode: offsets and sizes in pixels.
+var partGeom = map[int][][4]int{
+	mP16x16: {{0, 0, 16, 16}},
+	mP16x8:  {{0, 0, 16, 8}, {0, 8, 16, 8}},
+	mP8x16:  {{0, 0, 8, 16}, {8, 0, 8, 16}},
+	mP8x8:   {{0, 0, 8, 8}, {8, 0, 8, 8}, {0, 8, 8, 8}, {8, 8, 8, 8}},
+}
+
+func (e *Encoder) encodePMB(w symWriter, src, recon *frame.Frame, mbx, mby int) {
+	px, py := mbx*16, mby*16
+	bx4, by4 := px/4, py/4
+	nRefs := e.refs.Len()
+	mvp := e.meta.predictMV(bx4, by4, 4)
+
+	// 16×16 search across references.
+	bestRef := int8(0)
+	var bestMV motion.MV
+	bestCost := 1 << 30
+	bestSAD := 0
+	for ri := 0; ri < nRefs; ri++ {
+		mv, sad := e.searchRef(src, e.refs.Get(ri), px, py, 16, 16, mvp, e.tmpY[:])
+		cost := sad + e.lambda*(mvdBits(mv, mvp)+2*ri)
+		if cost < bestCost {
+			bestCost = cost
+			bestSAD = sad
+			bestRef = int8(ri)
+			bestMV = mv
+		}
+	}
+	ref := e.refs.Get(int(bestRef))
+	mode := mP16x16
+	mvs := [4]motion.MV{bestMV}
+
+	// Partition hypotheses only when 16×16 leaves real residual energy.
+	if bestSAD > 16*16*3 {
+		type hyp struct {
+			mode  int
+			cost  int
+			mvs   [4]motion.MV
+			parts [][4]int
+		}
+		hyps := []hyp{}
+		for _, m := range []int{mP16x8, mP8x16, mP8x8} {
+			parts := partGeom[m]
+			total := e.lambda * 4 // mode overhead
+			var pmvs [4]motion.MV
+			for pi, g := range parts {
+				mv, sad := e.searchRef(src, ref, px+g[0], py+g[1], g[2], g[3], bestMV, e.tmpY[:])
+				pmvs[pi] = mv
+				total += sad + e.lambda*mvdBits(mv, bestMV)
+			}
+			hyps = append(hyps, hyp{m, total, pmvs, parts})
+		}
+		for _, h := range hyps {
+			if h.cost < bestCost {
+				bestCost = h.cost
+				mode = h.mode
+				mvs = h.mvs
+			}
+		}
+	}
+
+	// Intra hypothesis.
+	i16Mode, i16Cost := e.bestI16(src, recon, px, py)
+	if i16Cost+e.lambda*16 < bestCost {
+		w.bit(&e.ctx.skip[0], 0)
+		w.ue(e.ctx.mbType[:], 3, uint32(mI16x16))
+		w.ue(e.ctx.i16Mode[:], 2, uint32(i16Mode))
+		var md mbData
+		md.mode = mI16x16
+		e.encodeI16Into(src, recon, px, py, i16Mode, &md)
+		e.intraChroma(src, recon, px, py, &md)
+		e.writeResidual(w, &md, true)
+		e.reconChroma(recon, px, py, &md)
+		e.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
+		e.updateMetaNZ(px, py, &md, true)
+		return
+	}
+
+	// Build the inter prediction for the chosen mode.
+	parts := partGeom[mode]
+	for pi, g := range parts {
+		e.mcLumaPart(ref, px, py, g[0], g[1], g[2], g[3], mvs[pi])
+		e.mcChromaPart(ref, px, py, g[0], g[1], g[2], g[3], mvs[pi])
+	}
+
+	var md mbData
+	md.mode = mode
+	md.ref = bestRef
+	md.mvs = mvs
+	e.transformLumaInter(src, px, py, &md)
+	e.transformChroma(src, px, py, false, &md)
+
+	// P-skip: 16×16, ref 0, MV == predictor, no residual.
+	if mode == mP16x16 && bestRef == 0 && bestMV == mvp &&
+		md.cbpLuma == 0 && md.cbpChroma == 0 {
+		w.bit(&e.ctx.skip[0], 1)
+		e.reconLumaInter(recon, px, py, &md)
+		e.reconChroma(recon, px, py, &md)
+		e.meta.setBlock(bx4, by4, 4, 4, mvp, 0)
+		e.updateMetaNZ(px, py, &md, false)
+		return
+	}
+
+	w.bit(&e.ctx.skip[0], 0)
+	w.ue(e.ctx.mbType[:], 3, uint32(mode))
+	if nRefs > 1 {
+		w.ue(e.ctx.refIdx[:], 2, uint32(bestRef))
+	}
+	for pi, g := range parts {
+		pmvp := e.meta.predictMV(bx4+g[0]/4, by4+g[1]/4, g[2]/4)
+		w.se(e.ctx.mvd[:], 8, int32(mvs[pi].X)-int32(pmvp.X))
+		w.se(e.ctx.mvd[:], 8, int32(mvs[pi].Y)-int32(pmvp.Y))
+		e.meta.setBlock(bx4+g[0]/4, by4+g[1]/4, g[2]/4, g[3]/4, mvs[pi], bestRef)
+	}
+	e.writeResidual(w, &md, false)
+	e.reconLumaInter(recon, px, py, &md)
+	e.reconChroma(recon, px, py, &md)
+	e.updateMetaNZ(px, py, &md, false)
+}
+
+// mcLumaPart motion-compensates one luma partition into predY.
+func (e *Encoder) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
+	ix, fx := splitQuarter(int(mv.X))
+	iy, fy := splitQuarter(int(mv.Y))
+	so := ref.YOrigin + (py+oy+iy)*ref.YStride + px + ox + ix
+	e.qpel.Luma(e.predY[oy*16+ox:], 16, ref.Y, so, ref.YStride, w, h, fx, fy, e.cfg.Kernels)
+}
+
+// --- B macroblocks ---------------------------------------------------------------
+
+func (e *Encoder) encodeBMB(w symWriter, src, recon *frame.Frame, mbx, mby int) {
+	px, py := mbx*16, mby*16
+	bx4, by4 := px/4, py/4
+	fwdRef := e.refs.Get(1)
+	bwdRef := e.refs.Get(0)
+	mvpF := e.meta.predictMV(bx4, by4, 4)
+
+	var fwdPred, bwdPred [256]byte
+	fwdMV, fwdSAD := e.searchRef(src, fwdRef, px, py, 16, 16, mvpF, fwdPred[:])
+	bwdMV, bwdSAD := e.searchRef(src, bwdRef, px, py, 16, 16, e.bwdPredRow, bwdPred[:])
+
+	var bi [256]byte
+	copy(bi[:], fwdPred[:])
+	interp.Avg(bi[:], 16, bwdPred[:], 16, 16, 16, e.cfg.Kernels)
+	biSAD := e.sadBlock(src, px, py, 16, 16, bi[:], 16)
+
+	fwdCost := fwdSAD + e.lambda*mvdBits(fwdMV, mvpF)
+	bwdCost := bwdSAD + e.lambda*mvdBits(bwdMV, e.bwdPredRow)
+	biCost := biSAD + e.lambda*(mvdBits(fwdMV, mvpF)+mvdBits(bwdMV, e.bwdPredRow)+4)
+
+	mode := mBFwd
+	best := fwdCost
+	if bwdCost < best {
+		mode, best = mBBwd, bwdCost
+	}
+	if biCost < best {
+		mode, best = mBBi, biCost
+	}
+
+	i16Mode, i16Cost := e.bestI16(src, recon, px, py)
+	if i16Cost+e.lambda*16 < best {
+		w.bit(&e.ctx.skip[0], 0)
+		w.ue(e.ctx.mbType[:], 3, uint32(mBI16x16))
+		w.ue(e.ctx.i16Mode[:], 2, uint32(i16Mode))
+		var md mbData
+		md.mode = mI16x16
+		e.encodeI16Into(src, recon, px, py, i16Mode, &md)
+		e.intraChroma(src, recon, px, py, &md)
+		e.writeResidual(w, &md, true)
+		e.reconChroma(recon, px, py, &md)
+		e.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
+		e.updateMetaNZ(px, py, &md, true)
+		return
+	}
+
+	// Assemble the final prediction.
+	switch mode {
+	case mBFwd:
+		copy(e.predY[:], fwdPred[:])
+		e.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+	case mBBwd:
+		copy(e.predY[:], bwdPred[:])
+		e.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+	case mBBi:
+		copy(e.predY[:], bi[:])
+		e.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		var cbF, crF [64]byte
+		copy(cbF[:], e.predC[0][:])
+		copy(crF[:], e.predC[1][:])
+		e.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		interp.Avg(e.predC[0][:], 8, cbF[:], 8, 8, 8, e.cfg.Kernels)
+		interp.Avg(e.predC[1][:], 8, crF[:], 8, 8, 8, e.cfg.Kernels)
+	}
+
+	var md mbData
+	md.mode = mode
+	e.transformLumaInter(src, px, py, &md)
+	e.transformChroma(src, px, py, false, &md)
+
+	// B-skip: forward, MV == predictor, no residual.
+	if mode == mBFwd && fwdMV == mvpF && md.cbpLuma == 0 && md.cbpChroma == 0 {
+		w.bit(&e.ctx.skip[0], 1)
+		e.reconLumaInter(recon, px, py, &md)
+		e.reconChroma(recon, px, py, &md)
+		e.meta.setBlock(bx4, by4, 4, 4, mvpF, 0)
+		e.updateMetaNZ(px, py, &md, false)
+		return
+	}
+
+	w.bit(&e.ctx.skip[0], 0)
+	w.ue(e.ctx.mbType[:], 3, uint32(mode))
+	if mode == mBFwd || mode == mBBi {
+		w.se(e.ctx.mvd[:], 8, int32(fwdMV.X)-int32(mvpF.X))
+		w.se(e.ctx.mvd[:], 8, int32(fwdMV.Y)-int32(mvpF.Y))
+	}
+	if mode == mBBwd || mode == mBBi {
+		w.se(e.ctx.mvd[:], 8, int32(bwdMV.X)-int32(e.bwdPredRow.X))
+		w.se(e.ctx.mvd[:], 8, int32(bwdMV.Y)-int32(e.bwdPredRow.Y))
+		e.bwdPredRow = bwdMV
+	}
+	switch mode {
+	case mBFwd, mBBi:
+		e.meta.setBlock(bx4, by4, 4, 4, fwdMV, 0)
+	default:
+		e.meta.setBlock(bx4, by4, 4, 4, bwdMV, 0)
+	}
+	e.writeResidual(w, &md, false)
+	e.reconLumaInter(recon, px, py, &md)
+	e.reconChroma(recon, px, py, &md)
+	e.updateMetaNZ(px, py, &md, false)
+}

@@ -1,0 +1,347 @@
+package h264
+
+import (
+	"testing"
+
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/metrics"
+	"hdvideobench/internal/seqgen"
+)
+
+func encodeDecode(t *testing.T, cfg codec.Config, seq seqgen.Sequence, n int, encK, decK kernel.Set) ([]*frame.Frame, []*frame.Frame, int) {
+	t.Helper()
+	cfg.Kernels = encK
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(enc.Header(), decK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := seqgen.New(seq, cfg.Width, cfg.Height)
+	inputs := gen.Generate(n)
+
+	var decoded []*frame.Frame
+	bits := 0
+	feed := func(pkts []container.Packet, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			bits += 8 * len(p.Payload)
+			fs, err := dec.Decode(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded = append(decoded, fs...)
+		}
+	}
+	for _, f := range inputs {
+		feed(enc.Encode(f))
+	}
+	feed(enc.Flush())
+	decoded = append(decoded, dec.Flush()...)
+	return inputs, decoded, bits
+}
+
+func TestQPMapping(t *testing.T) {
+	cfg := codec.Default(96, 80)
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.QP() != 26 {
+		t.Fatalf("QP = %d, want 26 for MPEG Q=5 (Table IV: --qp=26)", enc.QP())
+	}
+}
+
+func TestRoundTripQuality(t *testing.T) {
+	cfg := codec.Default(96, 80)
+	inputs, decoded, bits := encodeDecode(t, cfg, seqgen.RushHour, 7, kernel.Scalar, kernel.Scalar)
+	if len(decoded) != len(inputs) {
+		t.Fatalf("decoded %d frames, want %d", len(decoded), len(inputs))
+	}
+	for i, f := range decoded {
+		if f.PTS != i {
+			t.Fatalf("frame %d has PTS %d", i, f.PTS)
+		}
+		psnr := metrics.PSNRFrames(inputs[i], f)
+		if psnr < 28 {
+			t.Errorf("frame %d PSNR %.2f dB too low", i, psnr)
+		}
+	}
+	raw := 8 * frame.RawSize(cfg.Width, cfg.Height) * len(inputs)
+	if bits >= raw/4 {
+		t.Errorf("poor compression: %d bits vs %d raw", bits, raw)
+	}
+}
+
+func TestRoundTripAllSequences(t *testing.T) {
+	for _, seq := range seqgen.All {
+		cfg := codec.Default(96, 80)
+		inputs, decoded, _ := encodeDecode(t, cfg, seq, 4, kernel.Scalar, kernel.Scalar)
+		if len(decoded) != len(inputs) {
+			t.Fatalf("%v: decoded %d frames", seq, len(decoded))
+		}
+		for i := range decoded {
+			if psnr := metrics.PSNRFrames(inputs[i], decoded[i]); psnr < 22 {
+				t.Errorf("%v frame %d: PSNR %.2f", seq, i, psnr)
+			}
+		}
+	}
+}
+
+func TestScalarSWARBitExact(t *testing.T) {
+	cfg := codec.Default(96, 80)
+	cfgS := cfg
+	cfgS.Kernels = kernel.Scalar
+	cfgW := cfg
+	cfgW.Kernels = kernel.SWAR
+	encS, _ := NewEncoder(cfgS)
+	encW, _ := NewEncoder(cfgW)
+	gen := seqgen.New(seqgen.PedestrianArea, cfg.Width, cfg.Height)
+
+	var pktsS, pktsW []container.Packet
+	for i := 0; i < 7; i++ {
+		ps, err := encS.Encode(gen.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw, err := encW.Encode(gen.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pktsS = append(pktsS, ps...)
+		pktsW = append(pktsW, pw...)
+	}
+	ps, _ := encS.Flush()
+	pw, _ := encW.Flush()
+	pktsS = append(pktsS, ps...)
+	pktsW = append(pktsW, pw...)
+
+	for i := range pktsS {
+		if len(pktsS[i].Payload) != len(pktsW[i].Payload) {
+			t.Fatalf("packet %d size differs: %d vs %d", i, len(pktsS[i].Payload), len(pktsW[i].Payload))
+		}
+		for j := range pktsS[i].Payload {
+			if pktsS[i].Payload[j] != pktsW[i].Payload[j] {
+				t.Fatalf("packet %d byte %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDecoderKernelEquivalence(t *testing.T) {
+	cfg := codec.Default(96, 80)
+	cfg.Kernels = kernel.Scalar
+	enc, _ := NewEncoder(cfg)
+	gen := seqgen.New(seqgen.BlueSky, cfg.Width, cfg.Height)
+	var pkts []container.Packet
+	for i := 0; i < 7; i++ {
+		ps, err := enc.Encode(gen.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, ps...)
+	}
+	ps, _ := enc.Flush()
+	pkts = append(pkts, ps...)
+
+	decS, _ := NewDecoder(enc.Header(), kernel.Scalar)
+	decW, _ := NewDecoder(enc.Header(), kernel.SWAR)
+	for _, p := range pkts {
+		fs, err := decS.Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, err := decW.Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range fs {
+			if metrics.PSNRFrames(fs[k], fw[k]) != 100 {
+				t.Fatalf("decoded frame %d differs between kernel sets", fs[k].PTS)
+			}
+		}
+	}
+}
+
+func TestVLCEntropyMode(t *testing.T) {
+	cfg := codec.Default(96, 80)
+	cfg.Entropy = codec.EntropyVLC
+	inputs, decoded, vlcBits := encodeDecode(t, cfg, seqgen.PedestrianArea, 5, kernel.Scalar, kernel.Scalar)
+	for i := range decoded {
+		if psnr := metrics.PSNRFrames(inputs[i], decoded[i]); psnr < 25 {
+			t.Errorf("VLC frame %d PSNR %.2f", i, psnr)
+		}
+	}
+	// CABAC must compress better than VLC on identical decisions... the
+	// decisions differ slightly (none depend on entropy), so compare sizes
+	// loosely: CABAC should not be larger.
+	cfg2 := codec.Default(96, 80)
+	cfg2.Entropy = codec.EntropyCABAC
+	_, _, cabacBits := encodeDecode(t, cfg2, seqgen.PedestrianArea, 5, kernel.Scalar, kernel.Scalar)
+	if cabacBits >= vlcBits {
+		t.Errorf("CABAC (%d bits) must beat VLC (%d bits)", cabacBits, vlcBits)
+	}
+}
+
+func TestGOPStructure(t *testing.T) {
+	cfg := codec.Default(96, 80)
+	cfg.Kernels = kernel.Scalar
+	enc, _ := NewEncoder(cfg)
+	gen := seqgen.New(seqgen.RushHour, cfg.Width, cfg.Height)
+	var types []container.FrameType
+	for i := 0; i < 7; i++ {
+		pkts, err := enc.Encode(gen.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			types = append(types, p.Type)
+		}
+	}
+	pkts, _ := enc.Flush()
+	for _, p := range pkts {
+		types = append(types, p.Type)
+	}
+	want := []container.FrameType{'I', 'P', 'B', 'B', 'P', 'B', 'B'}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("coding order %c, want %c", types, want)
+		}
+	}
+}
+
+func TestMultiRefConfigurations(t *testing.T) {
+	for _, refs := range []int{1, 2, 4} {
+		cfg := codec.Default(96, 80)
+		cfg.Refs = refs
+		cfg.BFrames = 0
+		inputs, decoded, _ := encodeDecode(t, cfg, seqgen.PedestrianArea, 6, kernel.Scalar, kernel.Scalar)
+		if len(decoded) != len(inputs) {
+			t.Fatalf("refs=%d: decoded %d frames", refs, len(decoded))
+		}
+		for i := range decoded {
+			if psnr := metrics.PSNRFrames(inputs[i], decoded[i]); psnr < 25 {
+				t.Errorf("refs=%d frame %d: PSNR %.2f", refs, i, psnr)
+			}
+		}
+	}
+}
+
+func TestQualityBitrateTradeoff(t *testing.T) {
+	run := func(q int) (float64, int) {
+		cfg := codec.Default(96, 80)
+		cfg.Q = q
+		inputs, decoded, bits := encodeDecode(t, cfg, seqgen.PedestrianArea, 4, kernel.Scalar, kernel.Scalar)
+		sum := 0.0
+		for i := range decoded {
+			sum += metrics.PSNRFrames(inputs[i], decoded[i])
+		}
+		return sum / float64(len(decoded)), bits
+	}
+	psnrLo, bitsLo := run(2)
+	psnrHi, bitsHi := run(20)
+	if psnrLo <= psnrHi {
+		t.Errorf("PSNR at Q=2 (%.2f) must exceed Q=20 (%.2f)", psnrLo, psnrHi)
+	}
+	if bitsLo <= bitsHi {
+		t.Errorf("bits at Q=2 (%d) must exceed Q=20 (%d)", bitsLo, bitsHi)
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	hdr := container.Header{Codec: container.CodecH264, Width: 96, Height: 80, FPSNum: 25, FPSDen: 1}
+	dec, err := NewDecoder(hdr, kernel.Scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(container.Packet{Type: container.FrameP, Payload: []byte{26, 0}}); err == nil {
+		t.Error("P without reference must fail")
+	}
+	if _, err := dec.Decode(container.Packet{Type: container.FrameI, Payload: nil}); err == nil {
+		t.Error("empty packet must fail")
+	}
+	if _, err := dec.Decode(container.Packet{Type: container.FrameI, Payload: []byte{99, 0, 0, 0, 0, 0}}); err == nil {
+		t.Error("invalid QP must fail")
+	}
+	if _, err := NewDecoder(container.Header{Codec: container.CodecMPEG2, Width: 96, Height: 80}, kernel.Scalar); err == nil {
+		t.Error("wrong codec must be rejected")
+	}
+}
+
+func TestDeblockingSmoothsBlockEdges(t *testing.T) {
+	// Deblocking must reduce the mean step across 4×4 boundaries relative
+	// to the unfiltered reconstruction on a blocky low-rate encode.
+	cfg := codec.Default(96, 80)
+	cfg.Q = 25 // very coarse → visible blocking
+	inputs, decoded, _ := encodeDecode(t, cfg, seqgen.BlueSky, 2, kernel.Scalar, kernel.Scalar)
+	_ = inputs
+	f := decoded[1]
+	edgeStep, innerStep := 0, 0
+	edgeN, innerN := 0, 0
+	for r := 0; r < f.Height; r++ {
+		for c := 1; c < f.Width; c++ {
+			d := int(f.LumaAt(r, c)) - int(f.LumaAt(r, c-1))
+			if d < 0 {
+				d = -d
+			}
+			if c%4 == 0 {
+				edgeStep += d
+				edgeN++
+			} else {
+				innerStep += d
+				innerN++
+			}
+		}
+	}
+	edgeAvg := float64(edgeStep) / float64(edgeN)
+	innerAvg := float64(innerStep) / float64(innerN)
+	// Without deblocking, block-edge steps are typically ≥2× inner steps at
+	// this rate; with the filter they should be comparable.
+	if edgeAvg > 3*innerAvg {
+		t.Errorf("block edges remain sharp: edge %.2f vs inner %.2f", edgeAvg, innerAvg)
+	}
+}
+
+func TestAlphaBetaMonotone(t *testing.T) {
+	prevA, prevB := int32(-1), int32(-1)
+	for qp := 0; qp <= 51; qp++ {
+		a, b := alphaBeta(qp)
+		if a < prevA || b < prevB {
+			t.Fatalf("thresholds not monotone at qp=%d", qp)
+		}
+		prevA, prevB = a, b
+	}
+}
+
+func TestAvailI4(t *testing.T) {
+	w4 := 24 // 96 px wide
+	// Top-left block of the picture: nothing available.
+	av := availI4(0, 0, w4)
+	if av.left || av.top || av.topRight {
+		t.Fatalf("corner availability wrong: %+v", av)
+	}
+	// Block at (1,1) inside MB 0: everything available (top-right is (2,0),
+	// inside the same MB).
+	av = availI4(1, 1, w4)
+	if !av.left || !av.top || !av.topRight {
+		t.Fatalf("(1,1) availability wrong: %+v", av)
+	}
+	// Block at (3,1): top-right (4,1-1=0)... (4,0) is in the next MB but the
+	// row above is in the same MB row band → unavailable.
+	av = availI4(3, 1, w4)
+	if av.topRight {
+		t.Fatalf("(3,1) top-right must be unavailable: %+v", av)
+	}
+	// Block at (3,4): top-right (4,3) is in the MB row above → available.
+	av = availI4(3, 4, w4)
+	if !av.topRight {
+		t.Fatalf("(3,4) top-right must be available: %+v", av)
+	}
+}

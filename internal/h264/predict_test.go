@@ -1,0 +1,165 @@
+package h264
+
+import (
+	"testing"
+)
+
+// plane builds a test plane with origin inset so negative-neighbour reads
+// are legal, returning (plane, origin, stride).
+func testPlane(w, h int) ([]byte, int, int) {
+	stride := w + 16
+	p := make([]byte, stride*(h+16))
+	origin := 8*stride + 8
+	return p, origin, stride
+}
+
+func TestPredI4Vertical(t *testing.T) {
+	p, origin, stride := testPlane(32, 32)
+	// Top neighbours of block at (4,4): row above holds 10,20,30,40.
+	for i, v := range []byte{10, 20, 30, 40} {
+		p[origin+3*stride+4+i] = v
+	}
+	var dst [16]byte
+	predI4(dst[:], 4, p, origin, stride, 4, 4, i4Vertical, i4Avail{top: true})
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := byte(10 * (c + 1))
+			if dst[r*4+c] != want {
+				t.Fatalf("V pred (%d,%d) = %d, want %d", r, c, dst[r*4+c], want)
+			}
+		}
+	}
+}
+
+func TestPredI4Horizontal(t *testing.T) {
+	p, origin, stride := testPlane(32, 32)
+	for i, v := range []byte{50, 60, 70, 80} {
+		p[origin+(4+i)*stride+3] = v
+	}
+	var dst [16]byte
+	predI4(dst[:], 4, p, origin, stride, 4, 4, i4Horizontal, i4Avail{left: true})
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := byte(50 + 10*r)
+			if dst[r*4+c] != want {
+				t.Fatalf("H pred (%d,%d) = %d, want %d", r, c, dst[r*4+c], want)
+			}
+		}
+	}
+}
+
+func TestPredI4DCFallback(t *testing.T) {
+	p, origin, stride := testPlane(32, 32)
+	var dst [16]byte
+	// No neighbours at all: DC must be 128.
+	predI4(dst[:], 4, p, origin, stride, 4, 4, i4DC, i4Avail{})
+	for i, v := range dst {
+		if v != 128 {
+			t.Fatalf("DC fallback sample %d = %d, want 128", i, v)
+		}
+	}
+	// Top-only: mean of the four top samples.
+	for i, v := range []byte{100, 104, 108, 112} {
+		p[origin+3*stride+4+i] = v
+	}
+	predI4(dst[:], 4, p, origin, stride, 4, 4, i4DC, i4Avail{top: true})
+	if dst[0] != 106 {
+		t.Fatalf("DC top-only = %d, want 106", dst[0])
+	}
+}
+
+func TestPredI4DiagDownLeftFlat(t *testing.T) {
+	p, origin, stride := testPlane(32, 32)
+	for i := 0; i < 8; i++ {
+		p[origin+3*stride+4+i] = 77
+	}
+	var dst [16]byte
+	predI4(dst[:], 4, p, origin, stride, 4, 4, i4DiagDownLeft,
+		i4Avail{top: true, topRight: true})
+	for i, v := range dst {
+		if v != 77 {
+			t.Fatalf("DDL flat sample %d = %d, want 77", i, v)
+		}
+	}
+}
+
+func TestPredI4DiagDownRightFlat(t *testing.T) {
+	p, origin, stride := testPlane(32, 32)
+	for i := 0; i < 4; i++ {
+		p[origin+3*stride+4+i] = 90   // top
+		p[origin+(4+i)*stride+3] = 90 // left
+	}
+	p[origin+3*stride+3] = 90 // corner
+	var dst [16]byte
+	predI4(dst[:], 4, p, origin, stride, 4, 4, i4DiagDownRight,
+		i4Avail{top: true, left: true})
+	for i, v := range dst {
+		if v != 90 {
+			t.Fatalf("DDR flat sample %d = %d, want 90", i, v)
+		}
+	}
+}
+
+func TestPredI16DCAndPlane(t *testing.T) {
+	p, origin, stride := testPlane(64, 64)
+	// Borders of MB at (16,16): top row = 40, left col = 80 → DC = 60.
+	for i := 0; i < 16; i++ {
+		p[origin+15*stride+16+i] = 40
+		p[origin+(16+i)*stride+15] = 80
+	}
+	var dst [256]byte
+	predI16(dst[:], p, origin, stride, 16, 16, i16DC, true, true)
+	if dst[0] != 60 {
+		t.Fatalf("I16 DC = %d, want 60", dst[0])
+	}
+	// Plane prediction of flat borders is flat.
+	for i := -1; i < 16; i++ {
+		p[origin+15*stride+16+i] = 120
+		if i >= 0 {
+			p[origin+(16+i)*stride+15] = 120
+		}
+	}
+	predI16(dst[:], p, origin, stride, 16, 16, i16Plane, true, true)
+	for i, v := range dst {
+		if v < 119 || v > 121 {
+			t.Fatalf("I16 plane flat sample %d = %d", i, v)
+		}
+	}
+}
+
+func TestI4CandidatesRespectAvailability(t *testing.T) {
+	mods := i4Candidates(i4Avail{})
+	if len(mods) != 1 || mods[0] != i4DC {
+		t.Fatalf("no-neighbour candidates = %v", mods)
+	}
+	mods = i4Candidates(i4Avail{left: true, top: true, topRight: true})
+	if len(mods) != numI4Modes {
+		t.Fatalf("full availability should offer all %d modes, got %v", numI4Modes, mods)
+	}
+}
+
+func TestI16CandidatesRespectAvailability(t *testing.T) {
+	if got := i16Candidates(false, false); len(got) != 1 || got[0] != i16DC {
+		t.Fatalf("corner MB candidates = %v", got)
+	}
+	if got := i16Candidates(true, true); len(got) != numI16Modes {
+		t.Fatalf("full availability = %v", got)
+	}
+}
+
+func TestPredChromaDC(t *testing.T) {
+	p, origin, stride := testPlane(32, 32)
+	for i := 0; i < 8; i++ {
+		p[origin+7*stride+8+i] = 100   // top
+		p[origin+(8+i)*stride+7] = 200 // left
+	}
+	var dst [64]byte
+	predChromaDC(dst[:], p, origin, stride, 8, 8, true, true)
+	if dst[0] != 150 {
+		t.Fatalf("chroma DC = %d, want 150", dst[0])
+	}
+	predChromaDC(dst[:], p, origin, stride, 8, 8, false, false)
+	if dst[0] != 128 {
+		t.Fatalf("chroma DC fallback = %d, want 128", dst[0])
+	}
+}

@@ -1,0 +1,249 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdvideobench/internal/kernel"
+)
+
+// paddedPlane builds a random plane with margin on every side and returns
+// (plane, stride, origin) where origin is a sample safely inside.
+func paddedPlane(rng *rand.Rand, w, h, margin int) ([]byte, int, int) {
+	stride := w + 2*margin
+	p := make([]byte, stride*(h+2*margin))
+	rng.Read(p)
+	return p, stride, margin*stride + margin
+}
+
+func TestHalfPelScalarSWAREquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		src, stride, so := paddedPlane(rng, 48, 48, 16)
+		for fy := 0; fy < 2; fy++ {
+			for fx := 0; fx < 2; fx++ {
+				for _, wh := range [][2]int{{16, 16}, {8, 8}, {16, 8}, {8, 16}} {
+					w, h := wh[0], wh[1]
+					ds := make([]byte, 16*16)
+					dw := make([]byte, 16*16)
+					HalfPel(ds, 16, src[so:], stride, w, h, fx, fy, kernel.Scalar)
+					HalfPel(dw, 16, src[so:], stride, w, h, fx, fy, kernel.SWAR)
+					for i := range ds {
+						if ds[i] != dw[i] {
+							t.Fatalf("halfpel (%d,%d) %dx%d: scalar/SWAR differ at %d: %d vs %d",
+								fx, fy, w, h, i, ds[i], dw[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHalfPelValues(t *testing.T) {
+	// A tiny deterministic case computed by hand.
+	src := []byte{
+		10, 20, 30, 40,
+		50, 60, 70, 80,
+		90, 100, 110, 120,
+		130, 140, 150, 160,
+	}
+	dst := make([]byte, 16)
+	HalfPel(dst, 4, src, 4, 2, 2, 1, 0, kernel.Scalar)
+	if dst[0] != 15 || dst[1] != 25 {
+		t.Fatalf("h halfpel row0 = %v", dst[:2])
+	}
+	HalfPel(dst, 4, src, 4, 2, 2, 0, 1, kernel.Scalar)
+	if dst[0] != 30 || dst[1] != 40 {
+		t.Fatalf("v halfpel row0 = %v", dst[:2])
+	}
+	HalfPel(dst, 4, src, 4, 2, 2, 1, 1, kernel.Scalar)
+	if dst[0] != (10+20+50+60+2)/4 {
+		t.Fatalf("hv halfpel = %d", dst[0])
+	}
+}
+
+func TestQPelScalarSWAREquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var qs, qw QPel
+	for trial := 0; trial < 30; trial++ {
+		src, stride, so := paddedPlane(rng, 48, 48, 16)
+		for fy := 0; fy < 4; fy++ {
+			for fx := 0; fx < 4; fx++ {
+				for _, wh := range [][2]int{{16, 16}, {8, 8}, {16, 8}, {4, 4}} {
+					w, h := wh[0], wh[1]
+					ds := make([]byte, 16*16)
+					dw := make([]byte, 16*16)
+					qs.Luma(ds, 16, src, so, stride, w, h, fx, fy, kernel.Scalar)
+					qw.Luma(dw, 16, src, so, stride, w, h, fx, fy, kernel.SWAR)
+					for r := 0; r < h; r++ {
+						for c := 0; c < w; c++ {
+							if ds[r*16+c] != dw[r*16+c] {
+								t.Fatalf("qpel (%d,%d) %dx%d trial %d: differ at %d,%d: %d vs %d",
+									fx, fy, w, h, trial, r, c, ds[r*16+c], dw[r*16+c])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQPelIntegerPositionIsCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src, stride, so := paddedPlane(rng, 32, 32, 8)
+	var q QPel
+	dst := make([]byte, 16*16)
+	q.Luma(dst, 16, src, so, stride, 16, 16, 0, 0, kernel.Scalar)
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			if dst[r*16+c] != src[so+r*stride+c] {
+				t.Fatalf("(0,0) must copy; mismatch at %d,%d", r, c)
+			}
+		}
+	}
+}
+
+func TestQPelFlatPlaneStaysFlat(t *testing.T) {
+	// Interpolating a constant plane must return the constant at every
+	// fractional position (filter DC gain is exactly 32/32).
+	src := make([]byte, 64*64)
+	for i := range src {
+		src[i] = 173
+	}
+	var q QPel
+	for fy := 0; fy < 4; fy++ {
+		for fx := 0; fx < 4; fx++ {
+			dst := make([]byte, 16*16)
+			q.Luma(dst, 16, src, 20*64+20, 64, 16, 16, fx, fy, kernel.Scalar)
+			for i, v := range dst {
+				if v != 173 {
+					t.Fatalf("(%d,%d): flat plane produced %d at %d", fx, fy, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSixTapHalfPelKnownValue(t *testing.T) {
+	// A horizontal step edge: samples ...0,0,0,255,255,255... The 6-tap at
+	// the edge midpoint: (0 -5·0 +20·0 +20·255 -5·255 +255 +16)>>5 =
+	// (5100-1275+255+16)>>5 = 4096>>5 = 128.
+	src := make([]byte, 16*16)
+	for r := 0; r < 16; r++ {
+		for c := 8; c < 16; c++ {
+			src[r*16+c] = 255
+		}
+	}
+	dst := make([]byte, 16)
+	filterH(dst, 16, src, 5*16+7, 16, 1, 1, kernel.Scalar)
+	if dst[0] != 128 {
+		t.Fatalf("step edge half-pel = %d, want 128", dst[0])
+	}
+}
+
+func TestSixTapClipping(t *testing.T) {
+	// Alternating extremes overshoot the [0,255] range and must clip
+	// identically in both kernel sets.
+	rng := rand.New(rand.NewSource(4))
+	src := make([]byte, 64*64)
+	for i := range src {
+		if rng.Intn(2) == 0 {
+			src[i] = 255
+		}
+	}
+	ds := make([]byte, 16*16)
+	dw := make([]byte, 16*16)
+	filterH(ds, 16, src, 20*64+20, 64, 16, 16, kernel.Scalar)
+	filterH(dw, 16, src, 20*64+20, 64, 16, 16, kernel.SWAR)
+	for i := range ds {
+		if ds[i] != dw[i] {
+			t.Fatalf("clipping differs at %d: %d vs %d", i, ds[i], dw[i])
+		}
+	}
+	dsv := make([]byte, 16*16)
+	dwv := make([]byte, 16*16)
+	filterV(dsv, 16, src, 20*64+20, 64, 16, 16, kernel.Scalar)
+	filterV(dwv, 16, src, 20*64+20, 64, 16, 16, kernel.SWAR)
+	for i := range dsv {
+		if dsv[i] != dwv[i] {
+			t.Fatalf("vertical clipping differs at %d: %d vs %d", i, dsv[i], dwv[i])
+		}
+	}
+}
+
+func TestChromaBilin(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src, stride, so := paddedPlane(rng, 16, 16, 8)
+	// dx=dy=0 is a copy.
+	dst := make([]byte, 8*8)
+	ChromaBilin(dst, 8, src[so:], stride, 8, 8, 0, 0, kernel.Scalar)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if dst[r*8+c] != src[so+r*stride+c] {
+				t.Fatal("chroma (0,0) must copy")
+			}
+		}
+	}
+	// dx=4, dy=0 equals the rounded 2-tap average... weights 32,32:
+	ChromaBilin(dst, 8, src[so:], stride, 8, 8, 4, 0, kernel.Scalar)
+	for c := 0; c < 8; c++ {
+		want := byte((32*int(src[so+c]) + 32*int(src[so+c+1]) + 32) >> 6)
+		if dst[c] != want {
+			t.Fatalf("chroma (4,0) col %d: got %d want %d", c, dst[c], want)
+		}
+	}
+	// Flat region stays flat for all fractions.
+	flat := make([]byte, 32*32)
+	for i := range flat {
+		flat[i] = 99
+	}
+	for dy := 0; dy < 8; dy++ {
+		for dx := 0; dx < 8; dx++ {
+			ChromaBilin(dst, 8, flat[5*32+5:], 32, 8, 8, dx, dy, kernel.Scalar)
+			for i, v := range dst {
+				if v != 99 {
+					t.Fatalf("chroma (%d,%d) flat -> %d at %d", dx, dy, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAvgKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		a := make([]byte, 16*20)
+		b := make([]byte, 16*20)
+		rng.Read(a)
+		rng.Read(b)
+		as := append([]byte(nil), a...)
+		aw := append([]byte(nil), a...)
+		Avg(as, 20, b, 20, 16, 16, kernel.Scalar)
+		Avg(aw, 20, b, 20, 16, 16, kernel.SWAR)
+		for i := range as {
+			if as[i] != aw[i] {
+				t.Fatalf("Avg differs at %d", i)
+			}
+		}
+	}
+}
+
+func BenchmarkFilterHScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	src, stride, so := paddedPlane(rng, 64, 64, 16)
+	dst := make([]byte, 16*16)
+	for i := 0; i < b.N; i++ {
+		filterH(dst, 16, src, so, stride, 16, 16, kernel.Scalar)
+	}
+}
+
+func BenchmarkFilterHSWAR(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	src, stride, so := paddedPlane(rng, 64, 64, 16)
+	dst := make([]byte, 16*16)
+	for i := 0; i < b.N; i++ {
+		filterH(dst, 16, src, so, stride, 16, 16, kernel.SWAR)
+	}
+}

@@ -1,0 +1,239 @@
+package interp
+
+import (
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/swar"
+)
+
+// QPel interpolates luma blocks at quarter-pel positions using the 6-tap
+// (1,-5,20,20,-5,1) half-pel filter and bilinear quarter positions (the
+// H.264 scheme; also used by the MPEG-4 codec's quarter-pel tool). A QPel
+// value holds the scratch buffers, so one instance per encoder/decoder
+// avoids per-block allocation. Blocks up to 16×16 are supported.
+//
+// All source accesses are expressed as plane+offset (src[so+r*stride+c])
+// because the filter reads up to 2 samples left/above the block: the
+// caller's offset must sit at least 2 rows and 2 columns inside the padded
+// plane (guaranteed by frame padding plus MV clamping in the codecs).
+type QPel struct {
+	bbuf [16 * 16]byte  // horizontal half-pel (b / s)
+	hbuf [16 * 16]byte  // vertical half-pel (h / m)
+	jbuf [16 * 16]byte  // centre half-pel (j)
+	ibuf [21 * 16]int32 // unrounded horizontal intermediates for j
+}
+
+// Luma writes the w×h luma prediction for quarter-pel fractions
+// fx, fy ∈ [0, 3]. src[so] is the integer-pel top-left reference sample.
+func (q *QPel) Luma(dst []byte, dStride int, src []byte, so, sStride, w, h, fx, fy int, k kernel.Set) {
+	switch fy*4 + fx {
+	case 0: // G
+		Copy(dst, dStride, src[so:], sStride, w, h)
+	case 1: // a = avg(G, b)
+		filterH(q.bbuf[:], 16, src, so, sStride, w, h, k)
+		avg2(dst, dStride, src[so:], sStride, q.bbuf[:], 16, w, h, k)
+	case 2: // b
+		filterH(dst, dStride, src, so, sStride, w, h, k)
+	case 3: // c = avg(b, H)
+		filterH(q.bbuf[:], 16, src, so, sStride, w, h, k)
+		avg2(dst, dStride, src[so+1:], sStride, q.bbuf[:], 16, w, h, k)
+	case 4: // d = avg(G, h)
+		filterV(q.hbuf[:], 16, src, so, sStride, w, h, k)
+		avg2(dst, dStride, src[so:], sStride, q.hbuf[:], 16, w, h, k)
+	case 5: // e = avg(b, h)
+		filterH(q.bbuf[:], 16, src, so, sStride, w, h, k)
+		filterV(q.hbuf[:], 16, src, so, sStride, w, h, k)
+		avg2(dst, dStride, q.bbuf[:], 16, q.hbuf[:], 16, w, h, k)
+	case 6: // f = avg(b, j)
+		filterH(q.bbuf[:], 16, src, so, sStride, w, h, k)
+		q.filterHV(q.jbuf[:], 16, src, so, sStride, w, h)
+		avg2(dst, dStride, q.bbuf[:], 16, q.jbuf[:], 16, w, h, k)
+	case 7: // g = avg(b, m)  [m = h one column right]
+		filterH(q.bbuf[:], 16, src, so, sStride, w, h, k)
+		filterV(q.hbuf[:], 16, src, so+1, sStride, w, h, k)
+		avg2(dst, dStride, q.bbuf[:], 16, q.hbuf[:], 16, w, h, k)
+	case 8: // h
+		filterV(dst, dStride, src, so, sStride, w, h, k)
+	case 9: // i = avg(h, j)
+		filterV(q.hbuf[:], 16, src, so, sStride, w, h, k)
+		q.filterHV(q.jbuf[:], 16, src, so, sStride, w, h)
+		avg2(dst, dStride, q.hbuf[:], 16, q.jbuf[:], 16, w, h, k)
+	case 10: // j
+		q.filterHV(dst, dStride, src, so, sStride, w, h)
+	case 11: // k = avg(j, m)
+		q.filterHV(q.jbuf[:], 16, src, so, sStride, w, h)
+		filterV(q.hbuf[:], 16, src, so+1, sStride, w, h, k)
+		avg2(dst, dStride, q.jbuf[:], 16, q.hbuf[:], 16, w, h, k)
+	case 12: // n = avg(h, M)  [M = G one row down]
+		filterV(q.hbuf[:], 16, src, so, sStride, w, h, k)
+		avg2(dst, dStride, src[so+sStride:], sStride, q.hbuf[:], 16, w, h, k)
+	case 13: // p = avg(h, s)  [s = b one row down]
+		filterV(q.hbuf[:], 16, src, so, sStride, w, h, k)
+		filterH(q.bbuf[:], 16, src, so+sStride, sStride, w, h, k)
+		avg2(dst, dStride, q.hbuf[:], 16, q.bbuf[:], 16, w, h, k)
+	case 14: // q = avg(j, s)
+		q.filterHV(q.jbuf[:], 16, src, so, sStride, w, h)
+		filterH(q.bbuf[:], 16, src, so+sStride, sStride, w, h, k)
+		avg2(dst, dStride, q.jbuf[:], 16, q.bbuf[:], 16, w, h, k)
+	default: // 15: r = avg(m, s)
+		filterV(q.hbuf[:], 16, src, so+1, sStride, w, h, k)
+		filterH(q.bbuf[:], 16, src, so+sStride, sStride, w, h, k)
+		avg2(dst, dStride, q.hbuf[:], 16, q.bbuf[:], 16, w, h, k)
+	}
+}
+
+// avg2 writes the rounded average of two blocks into dst.
+func avg2(dst []byte, dStride int, a []byte, aStride int, b []byte, bStride, w, h int, k kernel.Set) {
+	if k == kernel.SWAR {
+		swar.AvgBlockRound(dst, dStride, a, aStride, b, bStride, w, h)
+		return
+	}
+	for r := 0; r < h; r++ {
+		d := dst[r*dStride : r*dStride+w]
+		ar := a[r*aStride:]
+		br := b[r*bStride:]
+		for i := 0; i < w; i++ {
+			d[i] = byte((int(ar[i]) + int(br[i]) + 1) >> 1)
+		}
+	}
+}
+
+// sixTap is the raw unclipped 6-tap filter value.
+func sixTap(e, f, g, h, i, j int32) int32 {
+	return e - 5*f + 20*g + 20*h - 5*i + j
+}
+
+// filterH computes horizontal half-pel samples: clip((6tap+16)>>5).
+func filterH(dst []byte, dStride int, src []byte, so, sStride, w, h int, k kernel.Set) {
+	if k == kernel.SWAR && w >= 8 {
+		filterHSWAR(dst, dStride, src, so, sStride, w, h)
+		return
+	}
+	for r := 0; r < h; r++ {
+		base := so + r*sStride
+		d := dst[r*dStride : r*dStride+w]
+		for c := 0; c < w; c++ {
+			p := base + c
+			v := sixTap(int32(src[p-2]), int32(src[p-1]), int32(src[p]),
+				int32(src[p+1]), int32(src[p+2]), int32(src[p+3]))
+			d[c] = clip255((v + 16) >> 5)
+		}
+	}
+}
+
+// filterV computes vertical half-pel samples.
+func filterV(dst []byte, dStride int, src []byte, so, sStride, w, h int, k kernel.Set) {
+	if k == kernel.SWAR && w >= 8 {
+		filterVSWAR(dst, dStride, src, so, sStride, w, h)
+		return
+	}
+	for r := 0; r < h; r++ {
+		d := dst[r*dStride : r*dStride+w]
+		for c := 0; c < w; c++ {
+			p := so + r*sStride + c
+			v := sixTap(int32(src[p-2*sStride]), int32(src[p-sStride]),
+				int32(src[p]), int32(src[p+sStride]),
+				int32(src[p+2*sStride]), int32(src[p+3*sStride]))
+			d[c] = clip255((v + 16) >> 5)
+		}
+	}
+}
+
+// filterHV computes the centre half-pel sample j: a vertical 6-tap over
+// unrounded horizontal 6-tap intermediates, clip((v+512)>>10). The
+// intermediates exceed 16-bit lanes, so scalar and SWAR kernel sets share
+// this implementation (centre positions are the rarest in real streams).
+func (q *QPel) filterHV(dst []byte, dStride int, src []byte, so, sStride, w, h int) {
+	ib := q.ibuf[:]
+	rows := h + 5
+	for r := 0; r < rows; r++ {
+		base := so + (r-2)*sStride
+		out := ib[r*w : r*w+w]
+		for c := 0; c < w; c++ {
+			p := base + c
+			out[c] = sixTap(int32(src[p-2]), int32(src[p-1]), int32(src[p]),
+				int32(src[p+1]), int32(src[p+2]), int32(src[p+3]))
+		}
+	}
+	for r := 0; r < h; r++ {
+		d := dst[r*dStride : r*dStride+w]
+		for c := 0; c < w; c++ {
+			v := sixTap(ib[r*w+c], ib[(r+1)*w+c], ib[(r+2)*w+c],
+				ib[(r+3)*w+c], ib[(r+4)*w+c], ib[(r+5)*w+c])
+			d[c] = clip255((v + 512) >> 10)
+		}
+	}
+}
+
+// SWAR 6-tap constants: 16-bit lanes holding 8-bit inputs.
+const (
+	lane1   = uint64(0x0001000100010001)
+	laneLo8 = uint64(0x00FF00FF00FF00FF)
+	// sixTap min is -5*(255+255) = -2550; bias keeps lanes non-negative.
+	laneBias = 2560 * lane1
+	lane9FF  = uint64(0x01FF01FF01FF01FF)
+	lane80   = 80 * lane1
+	lane335  = 335 * lane1
+)
+
+// sixTapLanes evaluates clip255((6tap(e..j)+16)>>5) for four samples held in
+// 16-bit lanes, via a bias to [80, 335] and back.
+func sixTapLanes(e, f, g, h, i, j uint64) uint64 {
+	t := 20*(g+h) + (e + j) + laneBias - 5*(f+i) // lanes in [10, 13270]
+	v80 := ((t + 16*lane1) >> 5) & lane9FF       // value+80, in [0, 415]
+	// max(v80, 80):
+	m80 := (((v80 + 432*lane1) >> 9) & lane1) * 0xFFFF
+	lo := (v80 & m80) | (lane80 &^ m80)
+	// min(lo, 335):
+	m335 := (((lo + 176*lane1) >> 9) & lane1) * 0xFFFF
+	hi := (lo &^ m335) | (lane335 & m335)
+	return hi - lane80 // lanes now hold clip255 results
+}
+
+func filterHSWAR(dst []byte, dStride int, src []byte, so, sStride, w, h int) {
+	for r := 0; r < h; r++ {
+		row := so + r*sStride
+		c := 0
+		for ; c+8 <= w; c += 8 {
+			e := swar.Load64(src[row+c-2:])
+			f := swar.Load64(src[row+c-1:])
+			g := swar.Load64(src[row+c:])
+			hh := swar.Load64(src[row+c+1:])
+			i := swar.Load64(src[row+c+2:])
+			j := swar.Load64(src[row+c+3:])
+			even := sixTapLanes(e&laneLo8, f&laneLo8, g&laneLo8, hh&laneLo8, i&laneLo8, j&laneLo8)
+			odd := sixTapLanes((e>>8)&laneLo8, (f>>8)&laneLo8, (g>>8)&laneLo8, (hh>>8)&laneLo8, (i>>8)&laneLo8, (j>>8)&laneLo8)
+			swar.Store64(dst[r*dStride+c:], even|odd<<8)
+		}
+		for ; c < w; c++ {
+			p := row + c
+			v := sixTap(int32(src[p-2]), int32(src[p-1]), int32(src[p]),
+				int32(src[p+1]), int32(src[p+2]), int32(src[p+3]))
+			dst[r*dStride+c] = clip255((v + 16) >> 5)
+		}
+	}
+}
+
+func filterVSWAR(dst []byte, dStride int, src []byte, so, sStride, w, h int) {
+	for r := 0; r < h; r++ {
+		base := so + r*sStride
+		c := 0
+		for ; c+8 <= w; c += 8 {
+			e := swar.Load64(src[base+c-2*sStride:])
+			f := swar.Load64(src[base+c-sStride:])
+			g := swar.Load64(src[base+c:])
+			hh := swar.Load64(src[base+c+sStride:])
+			i := swar.Load64(src[base+c+2*sStride:])
+			j := swar.Load64(src[base+c+3*sStride:])
+			even := sixTapLanes(e&laneLo8, f&laneLo8, g&laneLo8, hh&laneLo8, i&laneLo8, j&laneLo8)
+			odd := sixTapLanes((e>>8)&laneLo8, (f>>8)&laneLo8, (g>>8)&laneLo8, (hh>>8)&laneLo8, (i>>8)&laneLo8, (j>>8)&laneLo8)
+			swar.Store64(dst[r*dStride+c:], even|odd<<8)
+		}
+		for ; c < w; c++ {
+			p := base + c
+			v := sixTap(int32(src[p-2*sStride]), int32(src[p-sStride]),
+				int32(src[p]), int32(src[p+sStride]),
+				int32(src[p+2*sStride]), int32(src[p+3*sStride]))
+			dst[r*dStride+c] = clip255((v + 16) >> 5)
+		}
+	}
+}

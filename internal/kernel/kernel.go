@@ -1,0 +1,26 @@
+// Package kernel defines the kernel-set selector that reproduces the
+// paper's scalar-vs-SIMD axis (Figure 1). Every hot loop in the codecs is
+// implemented twice — a plain scalar version and a SWAR version — selected
+// by this type. Both versions are bit-exact, so the selection changes only
+// execution speed, never output.
+package kernel
+
+// Set selects the implementation family for performance-critical kernels.
+type Set int
+
+const (
+	// Scalar is the plain-Go reference implementation (the paper's
+	// "scalar version, plain C code").
+	Scalar Set = iota
+	// SWAR is the SIMD-within-a-register implementation (the paper's
+	// "version which includes SIMD optimizations").
+	SWAR
+)
+
+// String returns the label used in benchmark reports.
+func (s Set) String() string {
+	if s == SWAR {
+		return "SIMD"
+	}
+	return "Scalar"
+}

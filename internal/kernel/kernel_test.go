@@ -1,0 +1,12 @@
+package kernel
+
+import "testing"
+
+func TestString(t *testing.T) {
+	if Scalar.String() != "Scalar" {
+		t.Errorf("Scalar.String() = %q", Scalar.String())
+	}
+	if SWAR.String() != "SIMD" {
+		t.Errorf("SWAR.String() = %q (the reports use the paper's label)", SWAR.String())
+	}
+}

@@ -1,0 +1,91 @@
+// Package metrics implements the measurements HD-VideoBench reports:
+// PSNR (Table V quality), bitrate in kbit/s (Table V compression), and
+// frames-per-second aggregation (Figure 1).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"hdvideobench/internal/frame"
+)
+
+// MSEPlanes returns the mean squared error of the luma and chroma planes
+// between a reference and a distorted frame.
+func MSEPlanes(ref, dist *frame.Frame) (y, cb, cr float64) {
+	if ref.Width != dist.Width || ref.Height != dist.Height {
+		panic(fmt.Sprintf("metrics: size mismatch %dx%d vs %dx%d",
+			ref.Width, ref.Height, dist.Width, dist.Height))
+	}
+	y = msePlane(ref.Y[ref.YOrigin:], ref.YStride, dist.Y[dist.YOrigin:], dist.YStride, ref.Width, ref.Height)
+	cb = msePlane(ref.Cb[ref.COrigin:], ref.CStride, dist.Cb[dist.COrigin:], dist.CStride, ref.ChromaWidth(), ref.ChromaHeight())
+	cr = msePlane(ref.Cr[ref.COrigin:], ref.CStride, dist.Cr[dist.COrigin:], dist.CStride, ref.ChromaWidth(), ref.ChromaHeight())
+	return
+}
+
+func msePlane(a []byte, aStride int, b []byte, bStride, w, h int) float64 {
+	var sum uint64
+	for r := 0; r < h; r++ {
+		ar := a[r*aStride : r*aStride+w]
+		br := b[r*bStride : r*bStride+w]
+		for i := 0; i < w; i++ {
+			d := int(ar[i]) - int(br[i])
+			sum += uint64(d * d)
+		}
+	}
+	return float64(sum) / float64(w*h)
+}
+
+// PSNR converts an MSE to decibels (infinite for identical content is
+// clamped to 100 dB, the convention of video quality tools).
+func PSNR(mse float64) float64 {
+	if mse <= 0 {
+		return 100
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// PSNRFrames returns the luma PSNR between two frames — the metric of the
+// paper's Table V.
+func PSNRFrames(ref, dist *frame.Frame) float64 {
+	y, _, _ := MSEPlanes(ref, dist)
+	return PSNR(y)
+}
+
+// Accumulator aggregates quality and rate over a sequence.
+type Accumulator struct {
+	frames  int
+	mseYSum float64
+	bits    int64
+}
+
+// AddFrame accumulates one frame's distortion and coded size.
+func (a *Accumulator) AddFrame(ref, dist *frame.Frame, codedBits int) {
+	y, _, _ := MSEPlanes(ref, dist)
+	a.mseYSum += y
+	a.bits += int64(codedBits)
+	a.frames++
+}
+
+// Frames returns the number of accumulated frames.
+func (a *Accumulator) Frames() int { return a.frames }
+
+// PSNR returns the average-MSE luma PSNR over all accumulated frames.
+func (a *Accumulator) PSNR() float64 {
+	if a.frames == 0 {
+		return 0
+	}
+	return PSNR(a.mseYSum / float64(a.frames))
+}
+
+// BitrateKbps returns the stream bitrate in kbit/s at the given frame rate,
+// the unit of Table V.
+func (a *Accumulator) BitrateKbps(fps float64) float64 {
+	if a.frames == 0 {
+		return 0
+	}
+	return float64(a.bits) * fps / float64(a.frames) / 1000
+}
+
+// TotalBits returns the accumulated coded size in bits.
+func (a *Accumulator) TotalBits() int64 { return a.bits }

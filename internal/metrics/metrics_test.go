@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"hdvideobench/internal/frame"
+)
+
+func TestPSNRIdentical(t *testing.T) {
+	a := frame.New(64, 64)
+	a.Fill(100, 110, 120)
+	b := a.Clone()
+	if got := PSNRFrames(a, b); got != 100 {
+		t.Fatalf("identical frames PSNR = %f", got)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	// Uniform error of 5 → MSE 25 → PSNR = 10*log10(65025/25) ≈ 34.15 dB.
+	a := frame.New(64, 64)
+	a.Fill(100, 128, 128)
+	b := frame.New(64, 64)
+	b.Fill(105, 128, 128)
+	want := 10 * math.Log10(255*255/25.0)
+	if got := PSNRFrames(a, b); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PSNR = %f, want %f", got, want)
+	}
+}
+
+func TestMSEPlanesSeparate(t *testing.T) {
+	a := frame.New(32, 32)
+	a.Fill(100, 100, 100)
+	b := frame.New(32, 32)
+	b.Fill(100, 110, 100) // only Cb differs
+	y, cb, cr := MSEPlanes(a, b)
+	if y != 0 || cr != 0 {
+		t.Fatalf("y=%f cr=%f, want 0", y, cr)
+	}
+	if cb != 100 {
+		t.Fatalf("cb=%f, want 100", cb)
+	}
+}
+
+func TestMSEMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MSEPlanes(frame.New(16, 16), frame.New(32, 32))
+}
+
+func TestAccumulator(t *testing.T) {
+	var acc Accumulator
+	ref := frame.New(32, 32)
+	ref.Fill(100, 128, 128)
+	dist := frame.New(32, 32)
+	dist.Fill(105, 128, 128)
+	acc.AddFrame(ref, dist, 8000)
+	acc.AddFrame(ref, dist, 12000)
+	if acc.Frames() != 2 {
+		t.Fatalf("frames = %d", acc.Frames())
+	}
+	// 20000 bits over 2 frames at 25 fps = 250000 bit/s = 250 kbps.
+	if got := acc.BitrateKbps(25); math.Abs(got-250) > 1e-9 {
+		t.Fatalf("bitrate = %f", got)
+	}
+	want := 10 * math.Log10(255*255/25.0)
+	if got := acc.PSNR(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PSNR = %f want %f", got, want)
+	}
+	if acc.TotalBits() != 20000 {
+		t.Fatalf("bits = %d", acc.TotalBits())
+	}
+}
+
+func TestEmptyAccumulator(t *testing.T) {
+	var acc Accumulator
+	if acc.PSNR() != 0 || acc.BitrateKbps(25) != 0 {
+		t.Fatal("empty accumulator must report zeros")
+	}
+}

@@ -1,0 +1,276 @@
+// Package motion implements full-pel motion estimation for the
+// HD-VideoBench encoders: exhaustive full search (reference), small-diamond
+// refinement, EPZS (Enhanced Predictive Zonal Search — the paper's choice
+// for the MPEG-2 and MPEG-4 encoders) and hexagon search (the paper's
+// choice for H.264, x264's `--me hex`).
+//
+// The SAD cost kernel follows the session-wide scalar/SWAR selection, which
+// is the single largest SIMD lever in the encoders.
+package motion
+
+import (
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/swar"
+)
+
+// MV is a full-pel motion vector.
+type MV struct {
+	X, Y int16
+}
+
+// Estimator evaluates block-matching costs for one current block against
+// one reference plane. Fields are plain data so codecs can reuse a single
+// value per macroblock loop without allocation.
+type Estimator struct {
+	Kern kernel.Set
+
+	// Cur addresses the current block: Cur[CurOff + r*CurStride + c].
+	Cur       []byte
+	CurOff    int
+	CurStride int
+
+	// Ref addresses the reference plane: sample (y,x) of the picture is
+	// Ref[RefOrigin + y*RefStride + x]. The plane must be padded.
+	Ref       []byte
+	RefOrigin int
+	RefStride int
+
+	// Block geometry: position of the block in the picture and its size.
+	PosX, PosY int
+	W, H       int
+
+	// Search window clamp in MV units (inclusive); must keep PosX+mv within
+	// the padded reference area.
+	MinX, MinY, MaxX, MaxY int
+
+	// Lambda scales the motion-vector cost added to SAD; Pred is the
+	// predicted MV against which vector bits are estimated.
+	Lambda int
+	Pred   MV
+}
+
+// Window sets the clamp window from a search range and the picture/padding
+// geometry: vectors stay within ±searchRange and within pad-safe bounds.
+func (e *Estimator) Window(searchRange, width, height, pad int) {
+	margin := pad - 8 // keep 6-tap + qpel margin legal after refinement
+	if margin < 0 {
+		margin = 0
+	}
+	e.MinX = max(-searchRange, -e.PosX-margin)
+	e.MaxX = min(searchRange, width-e.PosX-e.W+margin)
+	e.MinY = max(-searchRange, -e.PosY-margin)
+	e.MaxY = min(searchRange, height-e.PosY-e.H+margin)
+	if e.MaxX < e.MinX {
+		e.MinX, e.MaxX = 0, 0
+	}
+	if e.MaxY < e.MinY {
+		e.MinY, e.MaxY = 0, 0
+	}
+}
+
+// SAD returns the sum of absolute differences at motion vector (x, y).
+func (e *Estimator) SAD(x, y int) int {
+	so := e.RefOrigin + (e.PosY+y)*e.RefStride + (e.PosX + x)
+	if e.Kern == kernel.SWAR {
+		return swar.SADBlock(e.Cur[e.CurOff:], e.CurStride, e.Ref[so:], e.RefStride, e.W, e.H)
+	}
+	return sadScalar(e.Cur[e.CurOff:], e.CurStride, e.Ref[so:], e.RefStride, e.W, e.H)
+}
+
+func sadScalar(a []byte, aStride int, b []byte, bStride, w, h int) int {
+	sad := 0
+	for r := 0; r < h; r++ {
+		ar := a[r*aStride : r*aStride+w]
+		br := b[r*bStride : r*bStride+w]
+		for i := 0; i < w; i++ {
+			d := int(ar[i]) - int(br[i])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// Cost returns SAD plus the λ-weighted estimated bit cost of coding
+// (x,y) − Pred.
+func (e *Estimator) Cost(x, y int) int {
+	return e.SAD(x, y) + e.Lambda*mvBits(x-int(e.Pred.X), y-int(e.Pred.Y))
+}
+
+// mvBits estimates the Exp-Golomb bit cost of a motion vector difference.
+func mvBits(dx, dy int) int {
+	return seBits(dx) + seBits(dy)
+}
+
+func seBits(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	u := 2 * v // signed Exp-Golomb index magnitude
+	n := 1
+	for u > 0 {
+		u = (u - 1) >> 1
+		n += 2
+	}
+	return n
+}
+
+func (e *Estimator) inWindow(x, y int) bool {
+	return x >= e.MinX && x <= e.MaxX && y >= e.MinY && y <= e.MaxY
+}
+
+// clampMV clamps v into the estimator window.
+func (e *Estimator) clampMV(v MV) MV {
+	x := min(max(int(v.X), e.MinX), e.MaxX)
+	y := min(max(int(v.Y), e.MinY), e.MaxY)
+	return MV{int16(x), int16(y)}
+}
+
+// Result is the outcome of a search: the best vector and its cost
+// (SAD + λ·bits).
+type Result struct {
+	MV   MV
+	Cost int
+}
+
+// FullSearch exhaustively scans the window. It is the reference searcher
+// (and the ablation baseline — the paper's codecs use fast searches
+// precisely because full search is unusably slow at HD).
+func (e *Estimator) FullSearch() Result {
+	best := Result{Cost: 1 << 30}
+	for y := e.MinY; y <= e.MaxY; y++ {
+		for x := e.MinX; x <= e.MaxX; x++ {
+			if c := e.Cost(x, y); c < best.Cost {
+				best = Result{MV{int16(x), int16(y)}, c}
+			}
+		}
+	}
+	return best
+}
+
+var smallDiamond = [4]MV{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
+
+// DiamondSearch refines start with a small-diamond pattern until no move
+// improves the cost.
+func (e *Estimator) DiamondSearch(start MV) Result {
+	cur := e.clampMV(start)
+	best := Result{cur, e.Cost(int(cur.X), int(cur.Y))}
+	for {
+		improved := false
+		for _, d := range smallDiamond {
+			x := int(best.MV.X) + int(d.X)
+			y := int(best.MV.Y) + int(d.Y)
+			if !e.inWindow(x, y) {
+				continue
+			}
+			if c := e.Cost(x, y); c < best.Cost {
+				best = Result{MV{int16(x), int16(y)}, c}
+				improved = true
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+// hexPattern is the large hexagon (x264's hex search step).
+var hexPattern = [6]MV{{-2, 0}, {-1, -2}, {1, -2}, {2, 0}, {1, 2}, {-1, 2}}
+
+// HexagonSearch runs a large-hexagon descent from start followed by
+// small-diamond refinement — the `--me hex` algorithm of the paper's x264
+// configuration (Zhu/Lin/Chau hexagon-based search).
+func (e *Estimator) HexagonSearch(start MV) Result {
+	cur := e.clampMV(start)
+	best := Result{cur, e.Cost(int(cur.X), int(cur.Y))}
+	for steps := 0; steps < 64; steps++ {
+		improved := false
+		center := best.MV
+		for _, d := range hexPattern {
+			x := int(center.X) + int(d.X)
+			y := int(center.Y) + int(d.Y)
+			if !e.inWindow(x, y) {
+				continue
+			}
+			if c := e.Cost(x, y); c < best.Cost {
+				best = Result{MV{int16(x), int16(y)}, c}
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	// Final small-diamond refinement.
+	return e.DiamondSearch(best.MV)
+}
+
+// EPZS implements Enhanced Predictive Zonal Search: evaluate a predictor
+// set (median/spatial neighbours, collocated, accelerated, zero), early-out
+// if the best predictor is already below the adaptive threshold, otherwise
+// refine with a small diamond. preds may contain duplicates; they are
+// deduplicated cheaply.
+func (e *Estimator) EPZS(preds []MV, earlyExit int) Result {
+	best := Result{Cost: 1 << 30}
+	var seen [12]MV
+	n := 0
+	try := func(v MV) {
+		v = e.clampMV(v)
+		for i := 0; i < n; i++ {
+			if seen[i] == v {
+				return
+			}
+		}
+		if n < len(seen) {
+			seen[n] = v
+			n++
+		}
+		if c := e.Cost(int(v.X), int(v.Y)); c < best.Cost {
+			best = Result{v, c}
+		}
+	}
+	try(MV{0, 0})
+	try(e.Pred)
+	for _, p := range preds {
+		try(p)
+	}
+	if best.Cost <= earlyExit {
+		return best
+	}
+	return e.DiamondSearch(best.MV)
+}
+
+// MedianMV returns the component-wise median of three predictors, the
+// standard spatial MV predictor of MPEG-4 and H.264.
+func MedianMV(a, b, c MV) MV {
+	return MV{median3(a.X, b.X, c.X), median3(a.Y, b.Y, c.Y)}
+}
+
+func median3(a, b, c int16) int16 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,534 @@
+package mpeg2
+
+import (
+	"fmt"
+
+	"hdvideobench/internal/bitstream"
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/dct"
+	"hdvideobench/internal/entropy"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/interp"
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/motion"
+	"hdvideobench/internal/quant"
+	"hdvideobench/internal/swar"
+)
+
+// Encoder is the MPEG-2-class encoder (the paper's FFmpeg-mpeg2 role).
+type Encoder struct {
+	cfg codec.Config
+	gop codec.GOPScheduler
+
+	prevRef, lastRef *frame.Frame // reconstructed references, coding order
+
+	bw   *bitstream.Writer
+	pred predBuf
+
+	// Per-row encoder state.
+	dcPred  [3]int32
+	fwdPred motion.MV   // half-pel forward MV predictor within the row
+	bwdPred motion.MV   // half-pel backward MV predictor within the row
+	mvRow   []motion.MV // full-pel MVs of the current row (predictor source)
+	mvAbove []motion.MV // full-pel MVs of the row above
+
+	inCount int // display frames accepted
+	frames  int // frames coded
+}
+
+// NewEncoder returns an MPEG-2 encoder for cfg.
+func NewEncoder(cfg codec.Config) (*Encoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("mpeg2: %w", err)
+	}
+	return &Encoder{
+		cfg:     cfg,
+		gop:     codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
+		bw:      bitstream.NewWriter(cfg.Width * cfg.Height / 4),
+		mvRow:   make([]motion.MV, cfg.MBCols()),
+		mvAbove: make([]motion.MV, cfg.MBCols()),
+	}, nil
+}
+
+// Header implements codec.Encoder.
+func (e *Encoder) Header() container.Header { return header(e.cfg, 0) }
+
+// Encode implements codec.Encoder.
+func (e *Encoder) Encode(f *frame.Frame) ([]container.Packet, error) {
+	if f.Width != e.cfg.Width || f.Height != e.cfg.Height {
+		return nil, fmt.Errorf("mpeg2: frame is %dx%d, config is %dx%d",
+			f.Width, f.Height, e.cfg.Width, e.cfg.Height)
+	}
+	f.PTS = e.inCount // display index = arrival order
+	e.inCount++
+	var pkts []container.Packet
+	for _, entry := range e.gop.Push(f) {
+		pkts = append(pkts, e.encodeFrame(entry.Frame, entry.Type))
+	}
+	return pkts, nil
+}
+
+// Flush implements codec.Encoder.
+func (e *Encoder) Flush() ([]container.Packet, error) {
+	var pkts []container.Packet
+	for _, entry := range e.gop.Flush() {
+		pkts = append(pkts, e.encodeFrame(entry.Frame, entry.Type))
+	}
+	return pkts, nil
+}
+
+func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) container.Packet {
+	recon := frame.NewPadded(e.cfg.Width, e.cfg.Height, codec.RefPad)
+	recon.PTS = src.PTS
+
+	e.bw.Reset()
+	e.bw.WriteBits(uint64(e.cfg.Q), 5)
+
+	for i := range e.mvAbove {
+		e.mvAbove[i] = motion.MV{}
+	}
+	for mby := 0; mby < e.cfg.MBRows(); mby++ {
+		e.resetRowState()
+		for mbx := 0; mbx < e.cfg.MBCols(); mbx++ {
+			switch ftype {
+			case container.FrameI:
+				e.encodeIntraMB(src, recon, mbx, mby)
+			case container.FrameP:
+				e.encodePMB(src, recon, mbx, mby)
+			default:
+				e.encodeBMB(src, recon, mbx, mby)
+			}
+		}
+		e.mvRow, e.mvAbove = e.mvAbove, e.mvRow
+	}
+
+	recon.ExtendBorders()
+	if ftype != container.FrameB {
+		e.prevRef = e.lastRef
+		e.lastRef = recon
+	}
+	e.frames++
+
+	payload := append([]byte(nil), e.bw.Bytes()...)
+	return container.Packet{Type: ftype, DisplayIndex: src.PTS, Payload: payload}
+}
+
+func (e *Encoder) resetRowState() {
+	e.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+	e.fwdPred = motion.MV{}
+	e.bwdPred = motion.MV{}
+}
+
+// encodeIntraMB codes all six blocks of a macroblock in intra mode.
+func (e *Encoder) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
+	px, py := mbx*16, mby*16
+	q := int32(e.cfg.Q)
+	// Luma blocks Y0..Y3.
+	for i := 0; i < 4; i++ {
+		off := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
+		roff := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
+		e.intraBlock(src.Y, off, src.YStride, recon.Y, roff, recon.YStride, q, 0)
+	}
+	cx, cy := px/2, py/2
+	coff := src.COrigin + cy*src.CStride + cx
+	croff := recon.COrigin + cy*recon.CStride + cx
+	e.intraBlock(src.Cb, coff, src.CStride, recon.Cb, croff, recon.CStride, q, 1)
+	e.intraBlock(src.Cr, coff, src.CStride, recon.Cr, croff, recon.CStride, q, 2)
+	e.mvRow[mbx] = motion.MV{}
+}
+
+// intraBlock transforms, quantizes, writes and reconstructs one 8×8 intra
+// block. comp selects the DC predictor (0=Y, 1=Cb, 2=Cr).
+func (e *Encoder) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
+	var blk [64]int32
+	codec.LoadBlock8(&blk, plane, off, stride)
+	dct.Forward8(&blk)
+	quant.Mpeg2QuantIntra(&blk, q)
+
+	entropy.WriteSE(e.bw, blk[0]-e.dcPred[comp])
+	e.dcPred[comp] = blk[0]
+	writeRunLevels(e.bw, &blk, 1, eob8)
+
+	quant.Mpeg2DequantIntra(&blk, q)
+	dct.Inverse8(&blk)
+	codec.Store8Clip(rec, roff, rstride, &blk)
+}
+
+// interBlock codes one residual 8×8 block; returns whether it has
+// coefficients and reconstructs into rec (pred + residual).
+func (e *Encoder) interBlock(cur []byte, co, cstride int, pred []byte, po, pstride int, rec []byte, ro, rstride int, q int32, write bool) bool {
+	var blk [64]int32
+	codec.Residual8(&blk, cur, co, cstride, pred, po, pstride)
+	dct.Forward8(&blk)
+	nz := quant.Mpeg2QuantInter(&blk, q)
+	if nz == 0 {
+		codec.Copy8(rec, ro, rstride, pred, po, pstride)
+		return false
+	}
+	if write {
+		writeRunLevels(e.bw, &blk, 0, eob64)
+	}
+	quant.Mpeg2DequantInter(&blk, q)
+	dct.Inverse8(&blk)
+	codec.Add8Clip(rec, ro, rstride, pred, po, pstride, &blk)
+	return true
+}
+
+// writeRunLevels codes the zigzag run/level pairs from scan position start,
+// terminated by the eob marker.
+func writeRunLevels(bw *bitstream.Writer, blk *[64]int32, start int, eob uint32) {
+	run := uint32(0)
+	for i := start; i < 64; i++ {
+		v := blk[dct.Zigzag8[i]]
+		if v == 0 {
+			run++
+			continue
+		}
+		entropy.WriteUE(bw, run)
+		entropy.WriteSE(bw, v)
+		run = 0
+	}
+	entropy.WriteUE(bw, eob)
+}
+
+// sadMB computes SAD between the current 16×16 luma block and a prediction
+// buffer using the configured kernel set.
+func (e *Encoder) sadMB(src *frame.Frame, px, py int, pred []byte) int {
+	off := src.YOrigin + py*src.YStride + px
+	if e.cfg.Kernels == kernel.SWAR {
+		return swar.SADBlock(src.Y[off:], src.YStride, pred, 16, 16, 16)
+	}
+	return codec.SADBlockBytes(src.Y, off, src.YStride, pred, 0, 16, 16, 16)
+}
+
+// intraCostMB estimates the intra coding cost of a macroblock as the mean
+// absolute deviation from the block mean (plus a fixed mode bias).
+func intraCostMB(src *frame.Frame, px, py int) int {
+	off := src.YOrigin + py*src.YStride + px
+	sum := 0
+	for r := 0; r < 16; r++ {
+		sum += swar.SumRow(src.Y[off+r*src.YStride:], 16)
+	}
+	mean := byte(sum / 256)
+	cost := 0
+	for r := 0; r < 16; r++ {
+		row := src.Y[off+r*src.YStride:]
+		for c := 0; c < 16; c++ {
+			d := int(row[c]) - int(mean)
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	return cost + 512 // intra mode bias
+}
+
+// setupEstimator points the shared estimator at the current luma block.
+func (e *Encoder) setupEstimator(est *motion.Estimator, src, ref *frame.Frame, px, py int, predFull motion.MV) {
+	est.Kern = e.cfg.Kernels
+	est.Cur = src.Y
+	est.CurOff = src.YOrigin + py*src.YStride + px
+	est.CurStride = src.YStride
+	est.Ref = ref.Y
+	est.RefOrigin = ref.YOrigin
+	est.RefStride = ref.YStride
+	est.PosX, est.PosY = px, py
+	est.W, est.H = 16, 16
+	est.Lambda = lambdaFor(e.cfg.Q)
+	est.Pred = predFull
+	est.Window(e.cfg.SearchRange, e.cfg.Width, e.cfg.Height, codec.RefPad)
+}
+
+// searchLuma runs EPZS + half-pel refinement against ref and returns the
+// best half-pel MV, its SAD, and fills pred with the winning prediction.
+func (e *Encoder) searchLuma(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV, pred []byte) (motion.MV, int) {
+	var est motion.Estimator
+	predFull := motion.MV{X: predHalf.X >> 1, Y: predHalf.Y >> 1}
+	e.setupEstimator(&est, src, ref, px, py, predFull)
+
+	preds := make([]motion.MV, 0, 3)
+	if mbx > 0 {
+		preds = append(preds, e.mvRow[mbx-1])
+	}
+	preds = append(preds, e.mvAbove[mbx])
+	if mbx+1 < len(e.mvAbove) {
+		preds = append(preds, e.mvAbove[mbx+1])
+	}
+	res := est.EPZS(preds, 2*e.cfg.Q*16)
+
+	// Half-pel refinement around the full-pel winner.
+	bestMV := motion.MV{X: res.MV.X * 2, Y: res.MV.Y * 2}
+	interp.HalfPel(pred, 16,
+		ref.Y[ref.YOrigin+(py+int(res.MV.Y))*ref.YStride+px+int(res.MV.X):],
+		ref.YStride, 16, 16, 0, 0, e.cfg.Kernels)
+	bestSAD := e.sadMB(src, px, py, pred)
+	var cand [256]byte
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			hx := int(res.MV.X)*2 + dx
+			hy := int(res.MV.Y)*2 + dy
+			ix, fx := splitHalf(hx)
+			iy, fy := splitHalf(hy)
+			so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
+			interp.HalfPel(cand[:], 16, ref.Y[so:], ref.YStride, 16, 16, fx, fy, e.cfg.Kernels)
+			if sad := e.sadMB(src, px, py, cand[:]); sad < bestSAD {
+				bestSAD = sad
+				bestMV = motion.MV{X: int16(hx), Y: int16(hy)}
+				copy(pred, cand[:])
+			}
+		}
+	}
+	return bestMV, bestSAD
+}
+
+// predictChroma fills the chroma prediction for a half-pel luma MV.
+func predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte, k kernel.Set) {
+	cvx := chromaMV(int(mv.X))
+	cvy := chromaMV(int(mv.Y))
+	ix, fx := splitHalf(cvx)
+	iy, fy := splitHalf(cvy)
+	cx, cy := px/2, py/2
+	so := ref.COrigin + (cy+iy)*ref.CStride + cx + ix
+	interp.HalfPel(cb, 8, ref.Cb[so:], ref.CStride, 8, 8, fx, fy, k)
+	interp.HalfPel(cr, 8, ref.Cr[so:], ref.CStride, 8, 8, fx, fy, k)
+}
+
+// codeResidualMB writes CBP and residual blocks for an inter MB, using the
+// prediction in e.pred (y/cb/cr), and reconstructs into recon.
+// Returns the CBP.
+func (e *Encoder) codeResidualMB(src, recon *frame.Frame, px, py int) int {
+	q := int32(e.cfg.Q)
+	// First pass: find CBP.
+	var blks [6][64]int32
+	cbp := 0
+	for i := 0; i < 4; i++ {
+		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
+		po := 8*(i/2)*16 + 8*(i%2)
+		codec.Residual8(&blks[i], src.Y, co, src.YStride, e.pred.y[:], po, 16)
+		dct.Forward8(&blks[i])
+		if quant.Mpeg2QuantInter(&blks[i], q) > 0 {
+			cbp |= 1 << (5 - i)
+		}
+	}
+	cx, cy := px/2, py/2
+	co := src.COrigin + cy*src.CStride + cx
+	codec.Residual8(&blks[4], src.Cb, co, src.CStride, e.pred.cb[:], 0, 8)
+	dct.Forward8(&blks[4])
+	if quant.Mpeg2QuantInter(&blks[4], q) > 0 {
+		cbp |= 1 << 1
+	}
+	codec.Residual8(&blks[5], src.Cr, co, src.CStride, e.pred.cr[:], 0, 8)
+	dct.Forward8(&blks[5])
+	if quant.Mpeg2QuantInter(&blks[5], q) > 0 {
+		cbp |= 1
+	}
+
+	e.bw.WriteBits(uint64(cbp), 6)
+	for i := 0; i < 6; i++ {
+		if cbp&(1<<(5-i)) != 0 {
+			writeRunLevels(e.bw, &blks[i], 0, eob64)
+		}
+	}
+
+	// Reconstruction.
+	for i := 0; i < 4; i++ {
+		ro := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
+		po := 8*(i/2)*16 + 8*(i%2)
+		if cbp&(1<<(5-i)) != 0 {
+			quant.Mpeg2DequantInter(&blks[i], q)
+			dct.Inverse8(&blks[i])
+			codec.Add8Clip(recon.Y, ro, recon.YStride, e.pred.y[:], po, 16, &blks[i])
+		} else {
+			codec.Copy8(recon.Y, ro, recon.YStride, e.pred.y[:], po, 16)
+		}
+	}
+	cro := recon.COrigin + cy*recon.CStride + cx
+	if cbp&2 != 0 {
+		quant.Mpeg2DequantInter(&blks[4], q)
+		dct.Inverse8(&blks[4])
+		codec.Add8Clip(recon.Cb, cro, recon.CStride, e.pred.cb[:], 0, 8, &blks[4])
+	} else {
+		codec.Copy8(recon.Cb, cro, recon.CStride, e.pred.cb[:], 0, 8)
+	}
+	if cbp&1 != 0 {
+		quant.Mpeg2DequantInter(&blks[5], q)
+		dct.Inverse8(&blks[5])
+		codec.Add8Clip(recon.Cr, cro, recon.CStride, e.pred.cr[:], 0, 8, &blks[5])
+	} else {
+		codec.Copy8(recon.Cr, cro, recon.CStride, e.pred.cr[:], 0, 8)
+	}
+	return cbp
+}
+
+// residualIsZero checks cheaply whether the quantized residual of the MB
+// would be all zero for the current prediction (used for skip decisions).
+func (e *Encoder) residualWouldBeZero(src *frame.Frame, px, py int) bool {
+	q := int32(e.cfg.Q)
+	var blk [64]int32
+	for i := 0; i < 4; i++ {
+		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
+		po := 8*(i/2)*16 + 8*(i%2)
+		codec.Residual8(&blk, src.Y, co, src.YStride, e.pred.y[:], po, 16)
+		dct.Forward8(&blk)
+		if quant.Mpeg2QuantInter(&blk, q) > 0 {
+			return false
+		}
+	}
+	cx, cy := px/2, py/2
+	co := src.COrigin + cy*src.CStride + cx
+	codec.Residual8(&blk, src.Cb, co, src.CStride, e.pred.cb[:], 0, 8)
+	dct.Forward8(&blk)
+	if quant.Mpeg2QuantInter(&blk, q) > 0 {
+		return false
+	}
+	codec.Residual8(&blk, src.Cr, co, src.CStride, e.pred.cr[:], 0, 8)
+	dct.Forward8(&blk)
+	return quant.Mpeg2QuantInter(&blk, q) == 0
+}
+
+// copyPredToRecon writes the current prediction unchanged into recon
+// (skip macroblocks).
+func (e *Encoder) copyPredToRecon(recon *frame.Frame, px, py int) {
+	for r := 0; r < 16; r++ {
+		ro := recon.YOrigin + (py+r)*recon.YStride + px
+		copy(recon.Y[ro:ro+16], e.pred.y[r*16:r*16+16])
+	}
+	cx, cy := px/2, py/2
+	for r := 0; r < 8; r++ {
+		ro := recon.COrigin + (cy+r)*recon.CStride + cx
+		copy(recon.Cb[ro:ro+8], e.pred.cb[r*8:r*8+8])
+		copy(recon.Cr[ro:ro+8], e.pred.cr[r*8:r*8+8])
+	}
+}
+
+// encodePMB codes one macroblock of a P frame.
+func (e *Encoder) encodePMB(src, recon *frame.Frame, mbx, mby int) {
+	px, py := mbx*16, mby*16
+	ref := e.lastRef
+
+	mv, interSAD := e.searchLuma(src, ref, px, py, mbx, e.fwdPred, e.pred.y[:])
+	intraCost := intraCostMB(src, px, py)
+
+	if intraCost < interSAD {
+		entropy.WriteUE(e.bw, pIntra)
+		e.encodeIntraBlocks(src, recon, mbx, mby)
+		e.fwdPred = motion.MV{}
+		e.mvRow[mbx] = motion.MV{}
+		return
+	}
+
+	predictChroma(ref, px, py, mv, e.pred.cb[:], e.pred.cr[:], e.cfg.Kernels)
+
+	// Skip: zero MV and empty residual.
+	if mv == (motion.MV{}) && e.residualWouldBeZero(src, px, py) {
+		entropy.WriteUE(e.bw, pSkip)
+		e.copyPredToRecon(recon, px, py)
+		e.fwdPred = motion.MV{}
+		e.mvRow[mbx] = motion.MV{}
+		e.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+		return
+	}
+
+	entropy.WriteUE(e.bw, pInter)
+	entropy.WriteSE(e.bw, int32(mv.X)-int32(e.fwdPred.X))
+	entropy.WriteSE(e.bw, int32(mv.Y)-int32(e.fwdPred.Y))
+	e.fwdPred = mv
+	e.mvRow[mbx] = motion.MV{X: mv.X >> 1, Y: mv.Y >> 1}
+	e.codeResidualMB(src, recon, px, py)
+	e.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+}
+
+// encodeIntraBlocks writes the six intra blocks (shared by I-frame MBs and
+// intra MBs inside P/B frames).
+func (e *Encoder) encodeIntraBlocks(src, recon *frame.Frame, mbx, mby int) {
+	e.encodeIntraMB(src, recon, mbx, mby)
+}
+
+// encodeBMB codes one macroblock of a B frame.
+func (e *Encoder) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
+	px, py := mbx*16, mby*16
+	fwdRef, bwdRef := e.prevRef, e.lastRef
+
+	fwdMV, fwdSAD := e.searchLuma(src, fwdRef, px, py, mbx, e.fwdPred, e.pred.y[:])
+	// Keep the forward prediction; search backward into yAlt.
+	bwdMV, bwdSAD := e.searchLumaAlt(src, bwdRef, px, py, mbx, e.bwdPred)
+
+	// Bi-directional hypothesis: average of both predictions.
+	var bi [256]byte
+	copy(bi[:], e.pred.y[:])
+	interp.Avg(bi[:], 16, e.pred.yAlt[:], 16, 16, 16, e.cfg.Kernels)
+	biSAD := e.sadMB(src, px, py, bi[:]) + 2*lambdaFor(e.cfg.Q) // extra MV cost
+
+	intraCost := intraCostMB(src, px, py)
+
+	mode := bFwd
+	best := fwdSAD
+	if bwdSAD < best {
+		mode, best = bBwd, bwdSAD
+	}
+	if biSAD < best {
+		mode, best = bBi, biSAD
+	}
+	if intraCost < best {
+		entropy.WriteUE(e.bw, bIntra)
+		e.encodeIntraBlocks(src, recon, mbx, mby)
+		e.fwdPred = motion.MV{}
+		e.bwdPred = motion.MV{}
+		e.mvRow[mbx] = motion.MV{}
+		return
+	}
+
+	// Assemble final prediction into e.pred.
+	switch mode {
+	case bFwd:
+		predictChroma(fwdRef, px, py, fwdMV, e.pred.cb[:], e.pred.cr[:], e.cfg.Kernels)
+	case bBwd:
+		copy(e.pred.y[:], e.pred.yAlt[:])
+		predictChroma(bwdRef, px, py, bwdMV, e.pred.cb[:], e.pred.cr[:], e.cfg.Kernels)
+	case bBi:
+		copy(e.pred.y[:], bi[:])
+		predictChroma(fwdRef, px, py, fwdMV, e.pred.cb[:], e.pred.cr[:], e.cfg.Kernels)
+		predictChroma(bwdRef, px, py, bwdMV, e.pred.cbAlt[:], e.pred.crAlt[:], e.cfg.Kernels)
+		interp.Avg(e.pred.cb[:], 8, e.pred.cbAlt[:], 8, 8, 8, e.cfg.Kernels)
+		interp.Avg(e.pred.cr[:], 8, e.pred.crAlt[:], 8, 8, 8, e.cfg.Kernels)
+	}
+
+	// Skip: forward mode with MV equal to the predictor and no residual.
+	if mode == bFwd && fwdMV == e.fwdPred && e.residualWouldBeZero(src, px, py) {
+		entropy.WriteUE(e.bw, bSkip)
+		e.copyPredToRecon(recon, px, py)
+		e.mvRow[mbx] = motion.MV{X: fwdMV.X >> 1, Y: fwdMV.Y >> 1}
+		e.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+		return
+	}
+
+	entropy.WriteUE(e.bw, uint32(mode))
+	if mode == bFwd || mode == bBi {
+		entropy.WriteSE(e.bw, int32(fwdMV.X)-int32(e.fwdPred.X))
+		entropy.WriteSE(e.bw, int32(fwdMV.Y)-int32(e.fwdPred.Y))
+		e.fwdPred = fwdMV
+	}
+	if mode == bBwd || mode == bBi {
+		entropy.WriteSE(e.bw, int32(bwdMV.X)-int32(e.bwdPred.X))
+		entropy.WriteSE(e.bw, int32(bwdMV.Y)-int32(e.bwdPred.Y))
+		e.bwdPred = bwdMV
+	}
+	switch mode {
+	case bFwd, bBi:
+		e.mvRow[mbx] = motion.MV{X: fwdMV.X >> 1, Y: fwdMV.Y >> 1}
+	default:
+		e.mvRow[mbx] = motion.MV{X: bwdMV.X >> 1, Y: bwdMV.Y >> 1}
+	}
+	e.codeResidualMB(src, recon, px, py)
+	e.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+}
+
+// searchLumaAlt is searchLuma writing its prediction into pred.yAlt.
+func (e *Encoder) searchLumaAlt(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV) (motion.MV, int) {
+	return e.searchLuma(src, ref, px, py, mbx, predHalf, e.pred.yAlt[:])
+}

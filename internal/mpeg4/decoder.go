@@ -1,0 +1,369 @@
+package mpeg4
+
+import (
+	"fmt"
+
+	"hdvideobench/internal/bitstream"
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/dct"
+	"hdvideobench/internal/entropy"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/interp"
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/motion"
+	"hdvideobench/internal/quant"
+)
+
+// Decoder is the MPEG-4 ASP-class decoder (the paper's Xvid decoder role).
+type Decoder struct {
+	hdr  container.Header
+	kern kernel.Set
+
+	prevRef, lastRef *frame.Frame
+	reorder          codec.DisplayReorderer
+
+	pred predBuf
+	qpel interp.QPel
+
+	dcInit  int32
+	dcPred  [3]int32
+	fwdPred motion.MV
+	bwdPred motion.MV
+}
+
+// NewDecoder returns a decoder for the stream described by hdr.
+func NewDecoder(hdr container.Header, kern kernel.Set) (*Decoder, error) {
+	if hdr.Codec != container.CodecMPEG4 {
+		return nil, fmt.Errorf("mpeg4: stream codec is %v", hdr.Codec)
+	}
+	if err := validateSize(hdr); err != nil {
+		return nil, err
+	}
+	return &Decoder{hdr: hdr, kern: kern}, nil
+}
+
+// Decode implements codec.Decoder.
+func (d *Decoder) Decode(p container.Packet) ([]*frame.Frame, error) {
+	recon, err := d.decodeFrame(p)
+	if err != nil {
+		return nil, err
+	}
+	return d.reorder.Add(recon), nil
+}
+
+// Flush implements codec.Decoder.
+func (d *Decoder) Flush() []*frame.Frame { return d.reorder.Flush() }
+
+func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
+	br := bitstream.NewReader(p.Payload)
+	q := int32(br.ReadBits(5))
+	if q < 1 || q > 31 {
+		return nil, fmt.Errorf("mpeg4: invalid quantizer %d", q)
+	}
+	if p.Type == container.FrameP && d.lastRef == nil {
+		return nil, fmt.Errorf("mpeg4: P frame before any reference")
+	}
+	if p.Type == container.FrameB && (d.lastRef == nil || d.prevRef == nil) {
+		return nil, fmt.Errorf("mpeg4: B frame without two references")
+	}
+	d.dcInit = 1024 / quant.Mpeg4DCScaler(q)
+
+	recon := frame.NewPadded(d.hdr.Width, d.hdr.Height, codec.RefPad)
+	recon.PTS = p.DisplayIndex
+
+	mbCols := d.hdr.Width / 16
+	mbRows := d.hdr.Height / 16
+	for mby := 0; mby < mbRows; mby++ {
+		d.dcPred = [3]int32{d.dcInit, d.dcInit, d.dcInit}
+		d.fwdPred = motion.MV{}
+		d.bwdPred = motion.MV{}
+		for mbx := 0; mbx < mbCols; mbx++ {
+			var err error
+			switch p.Type {
+			case container.FrameI:
+				err = d.decodeIntraMB(br, recon, mbx, mby, q)
+			case container.FrameP:
+				err = d.decodePMB(br, recon, mbx, mby, q)
+			case container.FrameB:
+				err = d.decodeBMB(br, recon, mbx, mby, q)
+			default:
+				err = fmt.Errorf("mpeg4: unknown frame type %c", p.Type)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if br.Err() != nil {
+		return nil, fmt.Errorf("mpeg4: bitstream overrun: %w", br.Err())
+	}
+
+	recon.ExtendBorders()
+	if p.Type != container.FrameB {
+		d.prevRef = d.lastRef
+		d.lastRef = recon
+	}
+	return recon, nil
+}
+
+func (d *Decoder) resetDCPred() {
+	d.dcPred = [3]int32{d.dcInit, d.dcInit, d.dcInit}
+}
+
+func (d *Decoder) decodeIntraMB(br *bitstream.Reader, recon *frame.Frame, mbx, mby int, q int32) error {
+	px, py := mbx*16, mby*16
+	for i := 0; i < 4; i++ {
+		roff := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
+		if err := d.intraBlock(br, recon.Y, roff, recon.YStride, q, 0); err != nil {
+			return err
+		}
+	}
+	cx, cy := px/2, py/2
+	croff := recon.COrigin + cy*recon.CStride + cx
+	if err := d.intraBlock(br, recon.Cb, croff, recon.CStride, q, 1); err != nil {
+		return err
+	}
+	return d.intraBlock(br, recon.Cr, croff, recon.CStride, q, 2)
+}
+
+func (d *Decoder) intraBlock(br *bitstream.Reader, rec []byte, roff, rstride int, q int32, comp int) error {
+	var blk [64]int32
+	dc := d.dcPred[comp] + entropy.ReadSE(br)
+	d.dcPred[comp] = dc
+	blk[0] = dc
+	if err := readRunLevels(br, &blk, 1, eob8); err != nil {
+		return err
+	}
+	quant.Mpeg4DequantIntra(&blk, q)
+	dct.Inverse8(&blk)
+	codec.Store8Clip(rec, roff, rstride, &blk)
+	return nil
+}
+
+func readRunLevels(br *bitstream.Reader, blk *[64]int32, start int, eob uint32) error {
+	pos := start
+	for {
+		run := entropy.ReadUE(br)
+		if run == eob {
+			return nil
+		}
+		if br.Err() != nil {
+			return fmt.Errorf("mpeg4: truncated block: %w", br.Err())
+		}
+		pos += int(run)
+		if pos > 63 {
+			return fmt.Errorf("mpeg4: run overflows block (pos %d)", pos)
+		}
+		level := entropy.ReadSE(br)
+		if level == 0 {
+			return fmt.Errorf("mpeg4: zero level")
+		}
+		blk[dct.Zigzag8[pos]] = level
+		pos++
+	}
+}
+
+// mcLuma fills dst (stride 16) with the quarter-pel luma prediction.
+func (d *Decoder) mcLuma(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
+	ix, fx := splitQuarter(int(mv.X))
+	iy, fy := splitQuarter(int(mv.Y))
+	ix = clampMVToWindow(ix, px, d.hdr.Width, w)
+	iy = clampMVToWindow(iy, py, d.hdr.Height, h)
+	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
+	d.qpel.Luma(dst, 16, ref.Y, so, ref.YStride, w, h, fx, fy, d.kern)
+}
+
+func (d *Decoder) mcChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte) {
+	cvx := chromaFromLuma(int(mv.X))
+	cvy := chromaFromLuma(int(mv.Y))
+	ix, fx := splitHalf(cvx)
+	iy, fy := splitHalf(cvy)
+	cx, cy := px/2, py/2
+	ix = clampMVToWindow(ix, cx, d.hdr.Width/2, 8)
+	iy = clampMVToWindow(iy, cy, d.hdr.Height/2, 8)
+	so := ref.COrigin + (cy+iy)*ref.CStride + cx + ix
+	interp.HalfPel(cb, 8, ref.Cb[so:], ref.CStride, 8, 8, fx, fy, d.kern)
+	interp.HalfPel(cr, 8, ref.Cr[so:], ref.CStride, 8, 8, fx, fy, d.kern)
+}
+
+func (d *Decoder) mcChroma4MV(ref *frame.Frame, px, py int, mvs *[4]motion.MV, cb, cr []byte) {
+	sx, sy := 0, 0
+	for _, v := range mvs {
+		sx += int(v.X)
+		sy += int(v.Y)
+	}
+	avg := motion.MV{X: int16(sx / 4), Y: int16(sy / 4)}
+	d.mcChroma(ref, px, py, avg, cb, cr)
+}
+
+func (d *Decoder) decodeResidualMB(br *bitstream.Reader, recon *frame.Frame, px, py int, q int32) error {
+	cbp := int(br.ReadBits(6))
+	var blk [64]int32
+	for i := 0; i < 4; i++ {
+		ro := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
+		po := 8*(i/2)*16 + 8*(i%2)
+		if cbp&(1<<(5-i)) != 0 {
+			blk = [64]int32{}
+			if err := readRunLevels(br, &blk, 0, eob64); err != nil {
+				return err
+			}
+			quant.Mpeg4DequantInter(&blk, q)
+			dct.Inverse8(&blk)
+			codec.Add8Clip(recon.Y, ro, recon.YStride, d.pred.y[:], po, 16, &blk)
+		} else {
+			codec.Copy8(recon.Y, ro, recon.YStride, d.pred.y[:], po, 16)
+		}
+	}
+	cx, cy := px/2, py/2
+	cro := recon.COrigin + cy*recon.CStride + cx
+	if cbp&2 != 0 {
+		blk = [64]int32{}
+		if err := readRunLevels(br, &blk, 0, eob64); err != nil {
+			return err
+		}
+		quant.Mpeg4DequantInter(&blk, q)
+		dct.Inverse8(&blk)
+		codec.Add8Clip(recon.Cb, cro, recon.CStride, d.pred.cb[:], 0, 8, &blk)
+	} else {
+		codec.Copy8(recon.Cb, cro, recon.CStride, d.pred.cb[:], 0, 8)
+	}
+	if cbp&1 != 0 {
+		blk = [64]int32{}
+		if err := readRunLevels(br, &blk, 0, eob64); err != nil {
+			return err
+		}
+		quant.Mpeg4DequantInter(&blk, q)
+		dct.Inverse8(&blk)
+		codec.Add8Clip(recon.Cr, cro, recon.CStride, d.pred.cr[:], 0, 8, &blk)
+	} else {
+		codec.Copy8(recon.Cr, cro, recon.CStride, d.pred.cr[:], 0, 8)
+	}
+	return nil
+}
+
+func (d *Decoder) copyPredToRecon(recon *frame.Frame, px, py int) {
+	for r := 0; r < 16; r++ {
+		ro := recon.YOrigin + (py+r)*recon.YStride + px
+		copy(recon.Y[ro:ro+16], d.pred.y[r*16:r*16+16])
+	}
+	cx, cy := px/2, py/2
+	for r := 0; r < 8; r++ {
+		ro := recon.COrigin + (cy+r)*recon.CStride + cx
+		copy(recon.Cb[ro:ro+8], d.pred.cb[r*8:r*8+8])
+		copy(recon.Cr[ro:ro+8], d.pred.cr[r*8:r*8+8])
+	}
+}
+
+func (d *Decoder) readMV(br *bitstream.Reader, pred motion.MV) motion.MV {
+	return motion.MV{
+		X: int16(int32(pred.X) + entropy.ReadSE(br)),
+		Y: int16(int32(pred.Y) + entropy.ReadSE(br)),
+	}
+}
+
+func (d *Decoder) decodePMB(br *bitstream.Reader, recon *frame.Frame, mbx, mby int, q int32) error {
+	px, py := mbx*16, mby*16
+	mode := entropy.ReadUE(br)
+	switch mode {
+	case pIntra:
+		if err := d.decodeIntraMB(br, recon, mbx, mby, q); err != nil {
+			return err
+		}
+		d.fwdPred = motion.MV{}
+		return nil
+	case pSkip:
+		d.mcLuma(d.lastRef, px, py, 16, 16, motion.MV{}, d.pred.y[:])
+		d.mcChroma(d.lastRef, px, py, motion.MV{}, d.pred.cb[:], d.pred.cr[:])
+		d.copyPredToRecon(recon, px, py)
+		d.fwdPred = motion.MV{}
+		d.resetDCPred()
+		return nil
+	case pInter:
+		mv := d.readMV(br, d.fwdPred)
+		d.fwdPred = mv
+		d.mcLuma(d.lastRef, px, py, 16, 16, mv, d.pred.y[:])
+		d.mcChroma(d.lastRef, px, py, mv, d.pred.cb[:], d.pred.cr[:])
+		if err := d.decodeResidualMB(br, recon, px, py, q); err != nil {
+			return err
+		}
+		d.resetDCPred()
+		return nil
+	case pInter4V:
+		var mvs [4]motion.MV
+		prev := d.fwdPred
+		for i := 0; i < 4; i++ {
+			mvs[i] = d.readMV(br, prev)
+			prev = mvs[i]
+		}
+		d.fwdPred = mvs[3]
+		var sub [256]byte
+		for i := 0; i < 4; i++ {
+			bx := px + 8*(i%2)
+			by := py + 8*(i/2)
+			d.mcLuma(d.lastRef, bx, by, 8, 8, mvs[i], sub[:])
+			for r := 0; r < 8; r++ {
+				copy(d.pred.y[(8*(i/2)+r)*16+8*(i%2):(8*(i/2)+r)*16+8*(i%2)+8], sub[r*16:r*16+8])
+			}
+		}
+		d.mcChroma4MV(d.lastRef, px, py, &mvs, d.pred.cb[:], d.pred.cr[:])
+		if err := d.decodeResidualMB(br, recon, px, py, q); err != nil {
+			return err
+		}
+		d.resetDCPred()
+		return nil
+	}
+	return fmt.Errorf("mpeg4: invalid P macroblock mode %d", mode)
+}
+
+func (d *Decoder) decodeBMB(br *bitstream.Reader, recon *frame.Frame, mbx, mby int, q int32) error {
+	px, py := mbx*16, mby*16
+	mode := entropy.ReadUE(br)
+	switch mode {
+	case bIntra:
+		if err := d.decodeIntraMB(br, recon, mbx, mby, q); err != nil {
+			return err
+		}
+		d.fwdPred = motion.MV{}
+		d.bwdPred = motion.MV{}
+		return nil
+	case bSkip:
+		d.mcLuma(d.prevRef, px, py, 16, 16, d.fwdPred, d.pred.y[:])
+		d.mcChroma(d.prevRef, px, py, d.fwdPred, d.pred.cb[:], d.pred.cr[:])
+		d.copyPredToRecon(recon, px, py)
+		d.resetDCPred()
+		return nil
+	case bFwd, bBwd, bBi:
+		var fwdMV, bwdMV motion.MV
+		if mode == bFwd || mode == bBi {
+			fwdMV = d.readMV(br, d.fwdPred)
+			d.fwdPred = fwdMV
+		}
+		if mode == bBwd || mode == bBi {
+			bwdMV = d.readMV(br, d.bwdPred)
+			d.bwdPred = bwdMV
+		}
+		switch mode {
+		case bFwd:
+			d.mcLuma(d.prevRef, px, py, 16, 16, fwdMV, d.pred.y[:])
+			d.mcChroma(d.prevRef, px, py, fwdMV, d.pred.cb[:], d.pred.cr[:])
+		case bBwd:
+			d.mcLuma(d.lastRef, px, py, 16, 16, bwdMV, d.pred.y[:])
+			d.mcChroma(d.lastRef, px, py, bwdMV, d.pred.cb[:], d.pred.cr[:])
+		case bBi:
+			d.mcLuma(d.prevRef, px, py, 16, 16, fwdMV, d.pred.y[:])
+			d.mcLuma(d.lastRef, px, py, 16, 16, bwdMV, d.pred.yAlt[:])
+			interp.Avg(d.pred.y[:], 16, d.pred.yAlt[:], 16, 16, 16, d.kern)
+			d.mcChroma(d.prevRef, px, py, fwdMV, d.pred.cb[:], d.pred.cr[:])
+			d.mcChroma(d.lastRef, px, py, bwdMV, d.pred.cbAlt[:], d.pred.crAlt[:])
+			interp.Avg(d.pred.cb[:], 8, d.pred.cbAlt[:], 8, 8, 8, d.kern)
+			interp.Avg(d.pred.cr[:], 8, d.pred.crAlt[:], 8, 8, 8, d.kern)
+		}
+		if err := d.decodeResidualMB(br, recon, px, py, q); err != nil {
+			return err
+		}
+		d.resetDCPred()
+		return nil
+	}
+	return fmt.Errorf("mpeg4: invalid B macroblock mode %d", mode)
+}

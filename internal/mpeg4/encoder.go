@@ -1,0 +1,561 @@
+package mpeg4
+
+import (
+	"fmt"
+
+	"hdvideobench/internal/bitstream"
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/dct"
+	"hdvideobench/internal/entropy"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/interp"
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/motion"
+	"hdvideobench/internal/quant"
+	"hdvideobench/internal/swar"
+)
+
+// Encoder is the MPEG-4 ASP-class encoder (the paper's Xvid role).
+type Encoder struct {
+	cfg codec.Config
+	gop codec.GOPScheduler
+
+	prevRef, lastRef *frame.Frame
+
+	bw   *bitstream.Writer
+	pred predBuf
+	qpel interp.QPel
+
+	dcInit  int32
+	dcPred  [3]int32
+	fwdPred motion.MV // quarter-pel forward predictor within the row
+	bwdPred motion.MV
+	mvRow   []motion.MV // full-pel MVs for EPZS predictors
+	mvAbove []motion.MV
+
+	inCount int
+}
+
+// NewEncoder returns an MPEG-4 encoder for cfg.
+func NewEncoder(cfg codec.Config) (*Encoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("mpeg4: %w", err)
+	}
+	return &Encoder{
+		cfg:     cfg,
+		gop:     codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
+		bw:      bitstream.NewWriter(cfg.Width * cfg.Height / 4),
+		dcInit:  1024 / quant.Mpeg4DCScaler(int32(cfg.Q)),
+		mvRow:   make([]motion.MV, cfg.MBCols()),
+		mvAbove: make([]motion.MV, cfg.MBCols()),
+	}, nil
+}
+
+// Header implements codec.Encoder.
+func (e *Encoder) Header() container.Header { return header(e.cfg, 0) }
+
+// Encode implements codec.Encoder.
+func (e *Encoder) Encode(f *frame.Frame) ([]container.Packet, error) {
+	if f.Width != e.cfg.Width || f.Height != e.cfg.Height {
+		return nil, fmt.Errorf("mpeg4: frame is %dx%d, config is %dx%d",
+			f.Width, f.Height, e.cfg.Width, e.cfg.Height)
+	}
+	f.PTS = e.inCount
+	e.inCount++
+	var pkts []container.Packet
+	for _, entry := range e.gop.Push(f) {
+		pkts = append(pkts, e.encodeFrame(entry.Frame, entry.Type))
+	}
+	return pkts, nil
+}
+
+// Flush implements codec.Encoder.
+func (e *Encoder) Flush() ([]container.Packet, error) {
+	var pkts []container.Packet
+	for _, entry := range e.gop.Flush() {
+		pkts = append(pkts, e.encodeFrame(entry.Frame, entry.Type))
+	}
+	return pkts, nil
+}
+
+func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) container.Packet {
+	recon := frame.NewPadded(e.cfg.Width, e.cfg.Height, codec.RefPad)
+	recon.PTS = src.PTS
+
+	e.bw.Reset()
+	e.bw.WriteBits(uint64(e.cfg.Q), 5)
+
+	for i := range e.mvAbove {
+		e.mvAbove[i] = motion.MV{}
+	}
+	for mby := 0; mby < e.cfg.MBRows(); mby++ {
+		e.resetRowState()
+		for mbx := 0; mbx < e.cfg.MBCols(); mbx++ {
+			switch ftype {
+			case container.FrameI:
+				e.encodeIntraMB(src, recon, mbx, mby)
+			case container.FrameP:
+				e.encodePMB(src, recon, mbx, mby)
+			default:
+				e.encodeBMB(src, recon, mbx, mby)
+			}
+		}
+		e.mvRow, e.mvAbove = e.mvAbove, e.mvRow
+	}
+
+	recon.ExtendBorders()
+	if ftype != container.FrameB {
+		e.prevRef = e.lastRef
+		e.lastRef = recon
+	}
+	payload := append([]byte(nil), e.bw.Bytes()...)
+	return container.Packet{Type: ftype, DisplayIndex: src.PTS, Payload: payload}
+}
+
+func (e *Encoder) resetRowState() {
+	e.dcPred = [3]int32{e.dcInit, e.dcInit, e.dcInit}
+	e.fwdPred = motion.MV{}
+	e.bwdPred = motion.MV{}
+}
+
+func (e *Encoder) resetDCPred() {
+	e.dcPred = [3]int32{e.dcInit, e.dcInit, e.dcInit}
+}
+
+// --- intra ------------------------------------------------------------------
+
+func (e *Encoder) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
+	px, py := mbx*16, mby*16
+	q := int32(e.cfg.Q)
+	for i := 0; i < 4; i++ {
+		off := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
+		roff := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
+		e.intraBlock(src.Y, off, src.YStride, recon.Y, roff, recon.YStride, q, 0)
+	}
+	cx, cy := px/2, py/2
+	coff := src.COrigin + cy*src.CStride + cx
+	croff := recon.COrigin + cy*recon.CStride + cx
+	e.intraBlock(src.Cb, coff, src.CStride, recon.Cb, croff, recon.CStride, q, 1)
+	e.intraBlock(src.Cr, coff, src.CStride, recon.Cr, croff, recon.CStride, q, 2)
+	e.mvRow[mbx] = motion.MV{}
+}
+
+func (e *Encoder) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
+	var blk [64]int32
+	codec.LoadBlock8(&blk, plane, off, stride)
+	dct.Forward8(&blk)
+	quant.Mpeg4QuantIntra(&blk, q)
+
+	entropy.WriteSE(e.bw, blk[0]-e.dcPred[comp])
+	e.dcPred[comp] = blk[0]
+	writeRunLevels(e.bw, &blk, 1, eob8)
+
+	quant.Mpeg4DequantIntra(&blk, q)
+	dct.Inverse8(&blk)
+	codec.Store8Clip(rec, roff, rstride, &blk)
+}
+
+func writeRunLevels(bw *bitstream.Writer, blk *[64]int32, start int, eob uint32) {
+	run := uint32(0)
+	for i := start; i < 64; i++ {
+		v := blk[dct.Zigzag8[i]]
+		if v == 0 {
+			run++
+			continue
+		}
+		entropy.WriteUE(bw, run)
+		entropy.WriteSE(bw, v)
+		run = 0
+	}
+	entropy.WriteUE(bw, eob)
+}
+
+// --- motion search -----------------------------------------------------------
+
+func (e *Encoder) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
+	off := src.YOrigin + py*src.YStride + px
+	if e.cfg.Kernels == kernel.SWAR {
+		return swar.SADBlock(src.Y[off:], src.YStride, pred, pstride, w, h)
+	}
+	return codec.SADBlockBytes(src.Y, off, src.YStride, pred, 0, pstride, w, h)
+}
+
+func intraCostMB(src *frame.Frame, px, py int) int {
+	off := src.YOrigin + py*src.YStride + px
+	sum := 0
+	for r := 0; r < 16; r++ {
+		sum += swar.SumRow(src.Y[off+r*src.YStride:], 16)
+	}
+	mean := byte(sum / 256)
+	cost := 0
+	for r := 0; r < 16; r++ {
+		row := src.Y[off+r*src.YStride:]
+		for c := 0; c < 16; c++ {
+			d := int(row[c]) - int(mean)
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	return cost + 512
+}
+
+// searchQPel runs full-pel EPZS then two-stage sub-pel refinement in the
+// quarter-pel domain, filling pred (stride 16) with the winning prediction.
+// blockW/blockH select 16×16 or 8×8 partitions; (px,py) addresses the
+// block, predQ is the quarter-pel MV predictor.
+func (e *Encoder) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx int, predQ motion.MV, pred []byte, usePreds bool) (motion.MV, int) {
+	var est motion.Estimator
+	est.Kern = e.cfg.Kernels
+	est.Cur = src.Y
+	est.CurOff = src.YOrigin + py*src.YStride + px
+	est.CurStride = src.YStride
+	est.Ref = ref.Y
+	est.RefOrigin = ref.YOrigin
+	est.RefStride = ref.YStride
+	est.PosX, est.PosY = px, py
+	est.W, est.H = blockW, blockH
+	est.Lambda = lambdaFor(e.cfg.Q)
+	est.Pred = motion.MV{X: predQ.X >> 2, Y: predQ.Y >> 2}
+	est.Window(e.cfg.SearchRange, e.cfg.Width, e.cfg.Height, codec.RefPad)
+
+	var preds []motion.MV
+	if usePreds {
+		preds = make([]motion.MV, 0, 3)
+		if mbx > 0 {
+			preds = append(preds, e.mvRow[mbx-1])
+		}
+		preds = append(preds, e.mvAbove[mbx])
+		if mbx+1 < len(e.mvAbove) {
+			preds = append(preds, e.mvAbove[mbx+1])
+		}
+	}
+	res := est.EPZS(preds, 2*e.cfg.Q*blockW*blockH/16)
+
+	// Sub-pel refinement: half-pel stage (step 2) then quarter-pel (step 1).
+	bestMV := motion.MV{X: res.MV.X * 4, Y: res.MV.Y * 4}
+	e.mcLumaInto(ref, px, py, blockW, blockH, bestMV, pred)
+	bestSAD := e.sadBlock(src, px, py, blockW, blockH, pred, 16)
+	var cand [256]byte
+	for _, step := range []int{2, 1} {
+		center := bestMV
+		for dy := -step; dy <= step; dy += step {
+			for dx := -step; dx <= step; dx += step {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				mv := motion.MV{X: center.X + int16(dx), Y: center.Y + int16(dy)}
+				e.mcLumaInto(ref, px, py, blockW, blockH, mv, cand[:])
+				if sad := e.sadBlock(src, px, py, blockW, blockH, cand[:], 16); sad < bestSAD {
+					bestSAD = sad
+					bestMV = mv
+					copy(pred[:blockH*16], cand[:blockH*16])
+				}
+			}
+		}
+	}
+	return bestMV, bestSAD
+}
+
+// mcLumaInto fills dst (stride 16) with the quarter-pel prediction for mv.
+func (e *Encoder) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
+	ix, fx := splitQuarter(int(mv.X))
+	iy, fy := splitQuarter(int(mv.Y))
+	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
+	e.qpel.Luma(dst, 16, ref.Y, so, ref.YStride, w, h, fx, fy, e.cfg.Kernels)
+}
+
+// predictChroma fills 8×8 chroma predictions for a 16×16 quarter-pel MV.
+func (e *Encoder) predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte) {
+	cvx := chromaFromLuma(int(mv.X))
+	cvy := chromaFromLuma(int(mv.Y))
+	ix, fx := splitHalf(cvx)
+	iy, fy := splitHalf(cvy)
+	cx, cy := px/2, py/2
+	so := ref.COrigin + (cy+iy)*ref.CStride + cx + ix
+	interp.HalfPel(cb, 8, ref.Cb[so:], ref.CStride, 8, 8, fx, fy, e.cfg.Kernels)
+	interp.HalfPel(cr, 8, ref.Cr[so:], ref.CStride, 8, 8, fx, fy, e.cfg.Kernels)
+}
+
+// predictChroma4MV derives chroma from the sum of four 8×8 vectors.
+func (e *Encoder) predictChroma4MV(ref *frame.Frame, px, py int, mvs *[4]motion.MV, cb, cr []byte) {
+	sx, sy := 0, 0
+	for _, v := range mvs {
+		sx += int(v.X)
+		sy += int(v.Y)
+	}
+	avg := motion.MV{X: int16(sx / 4), Y: int16(sy / 4)}
+	e.predictChroma(ref, px, py, avg, cb, cr)
+}
+
+// --- residual ----------------------------------------------------------------
+
+func (e *Encoder) codeResidualMB(src, recon *frame.Frame, px, py int) int {
+	q := int32(e.cfg.Q)
+	var blks [6][64]int32
+	cbp := 0
+	for i := 0; i < 4; i++ {
+		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
+		po := 8*(i/2)*16 + 8*(i%2)
+		codec.Residual8(&blks[i], src.Y, co, src.YStride, e.pred.y[:], po, 16)
+		dct.Forward8(&blks[i])
+		if quant.Mpeg4QuantInter(&blks[i], q) > 0 {
+			cbp |= 1 << (5 - i)
+		}
+	}
+	cx, cy := px/2, py/2
+	co := src.COrigin + cy*src.CStride + cx
+	codec.Residual8(&blks[4], src.Cb, co, src.CStride, e.pred.cb[:], 0, 8)
+	dct.Forward8(&blks[4])
+	if quant.Mpeg4QuantInter(&blks[4], q) > 0 {
+		cbp |= 2
+	}
+	codec.Residual8(&blks[5], src.Cr, co, src.CStride, e.pred.cr[:], 0, 8)
+	dct.Forward8(&blks[5])
+	if quant.Mpeg4QuantInter(&blks[5], q) > 0 {
+		cbp |= 1
+	}
+
+	e.bw.WriteBits(uint64(cbp), 6)
+	for i := 0; i < 6; i++ {
+		if cbp&(1<<(5-i)) != 0 {
+			writeRunLevels(e.bw, &blks[i], 0, eob64)
+		}
+	}
+
+	for i := 0; i < 4; i++ {
+		ro := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
+		po := 8*(i/2)*16 + 8*(i%2)
+		if cbp&(1<<(5-i)) != 0 {
+			quant.Mpeg4DequantInter(&blks[i], q)
+			dct.Inverse8(&blks[i])
+			codec.Add8Clip(recon.Y, ro, recon.YStride, e.pred.y[:], po, 16, &blks[i])
+		} else {
+			codec.Copy8(recon.Y, ro, recon.YStride, e.pred.y[:], po, 16)
+		}
+	}
+	cro := recon.COrigin + cy*recon.CStride + cx
+	if cbp&2 != 0 {
+		quant.Mpeg4DequantInter(&blks[4], q)
+		dct.Inverse8(&blks[4])
+		codec.Add8Clip(recon.Cb, cro, recon.CStride, e.pred.cb[:], 0, 8, &blks[4])
+	} else {
+		codec.Copy8(recon.Cb, cro, recon.CStride, e.pred.cb[:], 0, 8)
+	}
+	if cbp&1 != 0 {
+		quant.Mpeg4DequantInter(&blks[5], q)
+		dct.Inverse8(&blks[5])
+		codec.Add8Clip(recon.Cr, cro, recon.CStride, e.pred.cr[:], 0, 8, &blks[5])
+	} else {
+		codec.Copy8(recon.Cr, cro, recon.CStride, e.pred.cr[:], 0, 8)
+	}
+	return cbp
+}
+
+func (e *Encoder) residualWouldBeZero(src *frame.Frame, px, py int) bool {
+	q := int32(e.cfg.Q)
+	var blk [64]int32
+	for i := 0; i < 4; i++ {
+		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
+		po := 8*(i/2)*16 + 8*(i%2)
+		codec.Residual8(&blk, src.Y, co, src.YStride, e.pred.y[:], po, 16)
+		dct.Forward8(&blk)
+		if quant.Mpeg4QuantInter(&blk, q) > 0 {
+			return false
+		}
+	}
+	cx, cy := px/2, py/2
+	co := src.COrigin + cy*src.CStride + cx
+	codec.Residual8(&blk, src.Cb, co, src.CStride, e.pred.cb[:], 0, 8)
+	dct.Forward8(&blk)
+	if quant.Mpeg4QuantInter(&blk, q) > 0 {
+		return false
+	}
+	codec.Residual8(&blk, src.Cr, co, src.CStride, e.pred.cr[:], 0, 8)
+	dct.Forward8(&blk)
+	return quant.Mpeg4QuantInter(&blk, q) == 0
+}
+
+func (e *Encoder) copyPredToRecon(recon *frame.Frame, px, py int) {
+	for r := 0; r < 16; r++ {
+		ro := recon.YOrigin + (py+r)*recon.YStride + px
+		copy(recon.Y[ro:ro+16], e.pred.y[r*16:r*16+16])
+	}
+	cx, cy := px/2, py/2
+	for r := 0; r < 8; r++ {
+		ro := recon.COrigin + (cy+r)*recon.CStride + cx
+		copy(recon.Cb[ro:ro+8], e.pred.cb[r*8:r*8+8])
+		copy(recon.Cr[ro:ro+8], e.pred.cr[r*8:r*8+8])
+	}
+}
+
+// --- P macroblocks -------------------------------------------------------------
+
+func mvBitsQ(mv, pred motion.MV) int {
+	return seBits(int(mv.X)-int(pred.X)) + seBits(int(mv.Y)-int(pred.Y))
+}
+
+func seBits(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	u := 2 * v
+	n := 1
+	for u > 0 {
+		u = (u - 1) >> 1
+		n += 2
+	}
+	return n
+}
+
+func (e *Encoder) encodePMB(src, recon *frame.Frame, mbx, mby int) {
+	px, py := mbx*16, mby*16
+	ref := e.lastRef
+	lambda := lambdaFor(e.cfg.Q)
+
+	// 16×16 hypothesis.
+	mv16, sad16 := e.searchQPel(src, ref, px, py, 16, 16, mbx, e.fwdPred, e.pred.y[:], true)
+	cost16 := sad16 + lambda*mvBitsQ(mv16, e.fwdPred)
+
+	// 4MV hypothesis: four 8×8 searches seeded from the 16×16 winner.
+	var mvs4 [4]motion.MV
+	var pred4 [256]byte
+	cost4 := lambda * 8 // mode overhead bias
+	prev := e.fwdPred
+	for i := 0; i < 4; i++ {
+		bx := px + 8*(i%2)
+		by := py + 8*(i/2)
+		var sub [256]byte
+		mv, sad := e.searchQPel(src, ref, bx, by, 8, 8, mbx, mv16, sub[:], false)
+		mvs4[i] = mv
+		cost4 += sad + lambda*mvBitsQ(mv, prev)
+		prev = mv
+		// Place into the 16×16 prediction layout.
+		for r := 0; r < 8; r++ {
+			copy(pred4[(8*(i/2)+r)*16+8*(i%2):(8*(i/2)+r)*16+8*(i%2)+8], sub[r*16:r*16+8])
+		}
+	}
+
+	intraCost := intraCostMB(src, px, py)
+
+	if intraCost < cost16 && intraCost < cost4 {
+		entropy.WriteUE(e.bw, pIntra)
+		e.encodeIntraMB(src, recon, mbx, mby)
+		e.fwdPred = motion.MV{}
+		e.mvRow[mbx] = motion.MV{}
+		return
+	}
+
+	if cost4 < cost16 {
+		copy(e.pred.y[:], pred4[:])
+		e.predictChroma4MV(ref, px, py, &mvs4, e.pred.cb[:], e.pred.cr[:])
+		entropy.WriteUE(e.bw, pInter4V)
+		prev = e.fwdPred
+		for i := 0; i < 4; i++ {
+			entropy.WriteSE(e.bw, int32(mvs4[i].X)-int32(prev.X))
+			entropy.WriteSE(e.bw, int32(mvs4[i].Y)-int32(prev.Y))
+			prev = mvs4[i]
+		}
+		e.fwdPred = mvs4[3]
+		e.mvRow[mbx] = motion.MV{X: mvs4[3].X >> 2, Y: mvs4[3].Y >> 2}
+		e.codeResidualMB(src, recon, px, py)
+		e.resetDCPred()
+		return
+	}
+
+	e.predictChroma(ref, px, py, mv16, e.pred.cb[:], e.pred.cr[:])
+	if mv16 == (motion.MV{}) && e.residualWouldBeZero(src, px, py) {
+		entropy.WriteUE(e.bw, pSkip)
+		e.copyPredToRecon(recon, px, py)
+		e.fwdPred = motion.MV{}
+		e.mvRow[mbx] = motion.MV{}
+		e.resetDCPred()
+		return
+	}
+
+	entropy.WriteUE(e.bw, pInter)
+	entropy.WriteSE(e.bw, int32(mv16.X)-int32(e.fwdPred.X))
+	entropy.WriteSE(e.bw, int32(mv16.Y)-int32(e.fwdPred.Y))
+	e.fwdPred = mv16
+	e.mvRow[mbx] = motion.MV{X: mv16.X >> 2, Y: mv16.Y >> 2}
+	e.codeResidualMB(src, recon, px, py)
+	e.resetDCPred()
+}
+
+// --- B macroblocks -------------------------------------------------------------
+
+func (e *Encoder) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
+	px, py := mbx*16, mby*16
+	fwdRef, bwdRef := e.prevRef, e.lastRef
+	lambda := lambdaFor(e.cfg.Q)
+
+	fwdMV, fwdSAD := e.searchQPel(src, fwdRef, px, py, 16, 16, mbx, e.fwdPred, e.pred.y[:], true)
+	bwdMV, bwdSAD := e.searchQPel(src, bwdRef, px, py, 16, 16, mbx, e.bwdPred, e.pred.yAlt[:], true)
+
+	var bi [256]byte
+	copy(bi[:], e.pred.y[:])
+	interp.Avg(bi[:], 16, e.pred.yAlt[:], 16, 16, 16, e.cfg.Kernels)
+	biSAD := e.sadBlock(src, px, py, 16, 16, bi[:], 16) + 2*lambda
+
+	intraCost := intraCostMB(src, px, py)
+
+	mode := bFwd
+	best := fwdSAD
+	if bwdSAD < best {
+		mode, best = bBwd, bwdSAD
+	}
+	if biSAD < best {
+		mode, best = bBi, biSAD
+	}
+	if intraCost < best {
+		entropy.WriteUE(e.bw, bIntra)
+		e.encodeIntraMB(src, recon, mbx, mby)
+		e.fwdPred = motion.MV{}
+		e.bwdPred = motion.MV{}
+		return
+	}
+
+	switch mode {
+	case bFwd:
+		e.predictChroma(fwdRef, px, py, fwdMV, e.pred.cb[:], e.pred.cr[:])
+	case bBwd:
+		copy(e.pred.y[:], e.pred.yAlt[:])
+		e.predictChroma(bwdRef, px, py, bwdMV, e.pred.cb[:], e.pred.cr[:])
+	case bBi:
+		copy(e.pred.y[:], bi[:])
+		e.predictChroma(fwdRef, px, py, fwdMV, e.pred.cb[:], e.pred.cr[:])
+		e.predictChroma(bwdRef, px, py, bwdMV, e.pred.cbAlt[:], e.pred.crAlt[:])
+		interp.Avg(e.pred.cb[:], 8, e.pred.cbAlt[:], 8, 8, 8, e.cfg.Kernels)
+		interp.Avg(e.pred.cr[:], 8, e.pred.crAlt[:], 8, 8, 8, e.cfg.Kernels)
+	}
+
+	if mode == bFwd && fwdMV == e.fwdPred && e.residualWouldBeZero(src, px, py) {
+		entropy.WriteUE(e.bw, bSkip)
+		e.copyPredToRecon(recon, px, py)
+		e.mvRow[mbx] = motion.MV{X: fwdMV.X >> 2, Y: fwdMV.Y >> 2}
+		e.resetDCPred()
+		return
+	}
+
+	entropy.WriteUE(e.bw, uint32(mode))
+	if mode == bFwd || mode == bBi {
+		entropy.WriteSE(e.bw, int32(fwdMV.X)-int32(e.fwdPred.X))
+		entropy.WriteSE(e.bw, int32(fwdMV.Y)-int32(e.fwdPred.Y))
+		e.fwdPred = fwdMV
+	}
+	if mode == bBwd || mode == bBi {
+		entropy.WriteSE(e.bw, int32(bwdMV.X)-int32(e.bwdPred.X))
+		entropy.WriteSE(e.bw, int32(bwdMV.Y)-int32(e.bwdPred.Y))
+		e.bwdPred = bwdMV
+	}
+	switch mode {
+	case bFwd, bBi:
+		e.mvRow[mbx] = motion.MV{X: fwdMV.X >> 2, Y: fwdMV.Y >> 2}
+	default:
+		e.mvRow[mbx] = motion.MV{X: bwdMV.X >> 2, Y: bwdMV.Y >> 2}
+	}
+	e.codeResidualMB(src, recon, px, py)
+	e.resetDCPred()
+}

@@ -1,0 +1,236 @@
+package mpeg4
+
+import (
+	"testing"
+
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/metrics"
+	"hdvideobench/internal/seqgen"
+)
+
+func encodeDecode(t *testing.T, cfg codec.Config, seq seqgen.Sequence, n int, encK, decK kernel.Set) ([]*frame.Frame, []*frame.Frame, int) {
+	t.Helper()
+	cfg.Kernels = encK
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(enc.Header(), decK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := seqgen.New(seq, cfg.Width, cfg.Height)
+	inputs := gen.Generate(n)
+
+	var decoded []*frame.Frame
+	bits := 0
+	feed := func(pkts []container.Packet, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			bits += 8 * len(p.Payload)
+			fs, err := dec.Decode(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded = append(decoded, fs...)
+		}
+	}
+	for _, f := range inputs {
+		feed(enc.Encode(f))
+	}
+	feed(enc.Flush())
+	decoded = append(decoded, dec.Flush()...)
+	return inputs, decoded, bits
+}
+
+func TestRoundTripQuality(t *testing.T) {
+	cfg := codec.Default(96, 80)
+	inputs, decoded, bits := encodeDecode(t, cfg, seqgen.RushHour, 7, kernel.Scalar, kernel.Scalar)
+	if len(decoded) != len(inputs) {
+		t.Fatalf("decoded %d frames, want %d", len(decoded), len(inputs))
+	}
+	for i, f := range decoded {
+		if f.PTS != i {
+			t.Fatalf("frame %d has PTS %d", i, f.PTS)
+		}
+		psnr := metrics.PSNRFrames(inputs[i], f)
+		if psnr < 26 {
+			t.Errorf("frame %d PSNR %.2f dB too low", i, psnr)
+		}
+	}
+	raw := 8 * frame.RawSize(cfg.Width, cfg.Height) * len(inputs)
+	if bits >= raw/2 {
+		t.Errorf("no compression: %d bits vs %d raw", bits, raw)
+	}
+}
+
+func TestScalarSWARBitExact(t *testing.T) {
+	cfg := codec.Default(96, 80)
+	cfgS := cfg
+	cfgS.Kernels = kernel.Scalar
+	cfgW := cfg
+	cfgW.Kernels = kernel.SWAR
+	encS, _ := NewEncoder(cfgS)
+	encW, _ := NewEncoder(cfgW)
+	gen := seqgen.New(seqgen.PedestrianArea, cfg.Width, cfg.Height)
+
+	var pktsS, pktsW []container.Packet
+	for i := 0; i < 7; i++ {
+		ps, err := encS.Encode(gen.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pw, err := encW.Encode(gen.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pktsS = append(pktsS, ps...)
+		pktsW = append(pktsW, pw...)
+	}
+	ps, _ := encS.Flush()
+	pw, _ := encW.Flush()
+	pktsS = append(pktsS, ps...)
+	pktsW = append(pktsW, pw...)
+
+	if len(pktsS) != len(pktsW) {
+		t.Fatalf("packet counts differ")
+	}
+	for i := range pktsS {
+		if len(pktsS[i].Payload) != len(pktsW[i].Payload) {
+			t.Fatalf("packet %d size differs: %d vs %d", i, len(pktsS[i].Payload), len(pktsW[i].Payload))
+		}
+		for j := range pktsS[i].Payload {
+			if pktsS[i].Payload[j] != pktsW[i].Payload[j] {
+				t.Fatalf("packet %d byte %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDecoderKernelEquivalence(t *testing.T) {
+	cfg := codec.Default(96, 80)
+	cfg.Kernels = kernel.Scalar
+	enc, _ := NewEncoder(cfg)
+	gen := seqgen.New(seqgen.BlueSky, cfg.Width, cfg.Height)
+	var pkts []container.Packet
+	for i := 0; i < 7; i++ {
+		ps, _ := enc.Encode(gen.Frame(i))
+		pkts = append(pkts, ps...)
+	}
+	ps, _ := enc.Flush()
+	pkts = append(pkts, ps...)
+
+	decS, _ := NewDecoder(enc.Header(), kernel.Scalar)
+	decW, _ := NewDecoder(enc.Header(), kernel.SWAR)
+	for _, p := range pkts {
+		fs, err := decS.Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, err := decW.Decode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range fs {
+			if metrics.PSNRFrames(fs[k], fw[k]) != 100 {
+				t.Fatalf("decoded frame %d differs between kernel sets", fs[k].PTS)
+			}
+		}
+	}
+}
+
+func TestGOPStructure(t *testing.T) {
+	cfg := codec.Default(96, 80)
+	cfg.Kernels = kernel.Scalar
+	enc, _ := NewEncoder(cfg)
+	gen := seqgen.New(seqgen.RushHour, cfg.Width, cfg.Height)
+	var types []container.FrameType
+	for i := 0; i < 7; i++ {
+		pkts, _ := enc.Encode(gen.Frame(i))
+		for _, p := range pkts {
+			types = append(types, p.Type)
+		}
+	}
+	pkts, _ := enc.Flush()
+	for _, p := range pkts {
+		types = append(types, p.Type)
+	}
+	want := []container.FrameType{'I', 'P', 'B', 'B', 'P', 'B', 'B'}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("coding order %c, want %c", types, want)
+		}
+	}
+}
+
+func TestQualityBitrateTradeoff(t *testing.T) {
+	run := func(q int) (float64, int) {
+		cfg := codec.Default(96, 80)
+		cfg.Q = q
+		inputs, decoded, bits := encodeDecode(t, cfg, seqgen.PedestrianArea, 4, kernel.Scalar, kernel.Scalar)
+		sum := 0.0
+		for i := range decoded {
+			sum += metrics.PSNRFrames(inputs[i], decoded[i])
+		}
+		return sum / float64(len(decoded)), bits
+	}
+	psnrLo, bitsLo := run(2)
+	psnrHi, bitsHi := run(20)
+	if psnrLo <= psnrHi {
+		t.Errorf("PSNR at Q=2 (%.2f) must exceed Q=20 (%.2f)", psnrLo, psnrHi)
+	}
+	if bitsLo <= bitsHi {
+		t.Errorf("bits at Q=2 (%d) must exceed Q=20 (%d)", bitsLo, bitsHi)
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	hdr := container.Header{Codec: container.CodecMPEG4, Width: 96, Height: 80, FPSNum: 25, FPSDen: 1}
+	dec, err := NewDecoder(hdr, kernel.Scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(container.Packet{Type: container.FrameP, Payload: []byte{0x28}}); err == nil {
+		t.Error("P without reference must fail")
+	}
+	if _, err := NewDecoder(container.Header{Codec: container.CodecMPEG2, Width: 96, Height: 80}, kernel.Scalar); err == nil {
+		t.Error("wrong codec must be rejected")
+	}
+	dec2, _ := NewDecoder(hdr, kernel.Scalar)
+	if _, err := dec2.Decode(container.Packet{Type: container.FrameI, Payload: []byte{0xFF, 0x01}}); err == nil {
+		t.Error("truncated I frame must fail")
+	}
+}
+
+func TestPSkipOnStaticContent(t *testing.T) {
+	// A fully static sequence must produce tiny P frames (skip-dominated).
+	cfg := codec.Default(96, 80)
+	cfg.Kernels = kernel.Scalar
+	cfg.BFrames = 0
+	enc, _ := NewEncoder(cfg)
+	static := frame.New(96, 80)
+	static.Fill(120, 128, 128)
+	var sizes []int
+	for i := 0; i < 3; i++ {
+		pkts, err := enc.Encode(static.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			sizes = append(sizes, len(p.Payload))
+		}
+	}
+	if len(sizes) != 3 {
+		t.Fatalf("got %d packets", len(sizes))
+	}
+	// P frames of a static scene: ~1 skip symbol per MB.
+	mbCount := (96 / 16) * (80 / 16)
+	if sizes[1] > mbCount || sizes[2] > mbCount {
+		t.Errorf("static P frames too large: %v (MBs=%d)", sizes, mbCount)
+	}
+}

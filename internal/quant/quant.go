@@ -1,0 +1,400 @@
+// Package quant implements the quantizers of the three HD-VideoBench
+// codecs: MPEG-2 matrix quantization, MPEG-4/H.263-style quantization with
+// dead zone, and the H.264 QP-table quantizer, together with the paper's
+// Eq. 1 mapping between the MPEG quantizer scale and the H.264 QP.
+package quant
+
+import "math"
+
+// H264QPFromMPEG implements Eq. 1 of the paper:
+//
+//	H264_QP = 12 + 6·log2(MPEG_QP)
+//
+// rounded to the nearest integer. The paper's benchmark point MPEG QP=5 maps
+// to H.264 QP=26 (matching the x264 command line in Table IV).
+func H264QPFromMPEG(mpegQP int) int {
+	if mpegQP < 1 {
+		mpegQP = 1
+	}
+	qp := 12 + 6*math.Log2(float64(mpegQP))
+	return int(math.Round(qp))
+}
+
+// ---------------------------------------------------------------------------
+// MPEG-2
+// ---------------------------------------------------------------------------
+
+// Mpeg2IntraMatrix is the default MPEG-2 intra quantizer matrix.
+var Mpeg2IntraMatrix = [64]int32{
+	8, 16, 19, 22, 26, 27, 29, 34,
+	16, 16, 22, 24, 27, 29, 34, 37,
+	19, 22, 26, 27, 29, 34, 34, 38,
+	22, 22, 26, 27, 29, 34, 37, 40,
+	22, 26, 27, 29, 32, 35, 40, 48,
+	26, 27, 29, 32, 35, 40, 48, 58,
+	26, 27, 29, 34, 38, 46, 56, 69,
+	27, 29, 35, 38, 46, 56, 69, 83,
+}
+
+// Mpeg2DCScale is the divisor applied to the intra DC coefficient
+// (8-bit intra DC precision).
+const Mpeg2DCScale = 8
+
+// Mpeg2QuantIntra quantizes an intra DCT block in place with the given
+// quantizer scale (1..31) and returns the number of non-zero coefficients.
+func Mpeg2QuantIntra(blk *[64]int32, qscale int32) int {
+	nz := 0
+	blk[0] = divRound(blk[0], Mpeg2DCScale)
+	if blk[0] != 0 {
+		nz++
+	}
+	for i := 1; i < 64; i++ {
+		d := Mpeg2IntraMatrix[i] * qscale
+		blk[i] = divRound(16*blk[i], d)
+		if blk[i] != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// Mpeg2DequantIntra reconstructs an intra block quantized by
+// Mpeg2QuantIntra.
+func Mpeg2DequantIntra(blk *[64]int32, qscale int32) {
+	blk[0] *= Mpeg2DCScale
+	for i := 1; i < 64; i++ {
+		blk[i] = blk[i] * Mpeg2IntraMatrix[i] * qscale / 16
+	}
+}
+
+// Mpeg2QuantInter quantizes a non-intra (residual) DCT block in place.
+// The non-intra matrix is flat 16, so the divisor is 2·16·qscale/... with
+// truncation toward zero providing the MPEG-2 dead zone.
+func Mpeg2QuantInter(blk *[64]int32, qscale int32) int {
+	nz := 0
+	d := 2 * 16 * qscale
+	for i := 0; i < 64; i++ {
+		v := blk[i]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		q := 32 * v / d // truncation = dead zone
+		if neg {
+			q = -q
+		}
+		blk[i] = q
+		if q != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// Mpeg2DequantInter reconstructs a non-intra block: F = (2·L + sign)·16·q/32.
+func Mpeg2DequantInter(blk *[64]int32, qscale int32) {
+	for i := 0; i < 64; i++ {
+		l := blk[i]
+		if l == 0 {
+			continue
+		}
+		s := int32(1)
+		if l < 0 {
+			s = -1
+		}
+		blk[i] = (2*l + s) * 16 * qscale / 32
+	}
+}
+
+// ---------------------------------------------------------------------------
+// MPEG-4 (H.263-style quantization, the Xvid/"method 2" path)
+// ---------------------------------------------------------------------------
+
+// Mpeg4DCScaler returns the intra DC divisor for a given quantizer, per the
+// MPEG-4 luminance dc_scaler table.
+func Mpeg4DCScaler(q int32) int32 {
+	switch {
+	case q <= 4:
+		return 8
+	case q <= 8:
+		return 2 * q
+	case q <= 24:
+		return q + 8
+	default:
+		return 2*q - 16
+	}
+}
+
+// Mpeg4QuantIntra quantizes an intra block in place (H.263 quantization:
+// DC by dc_scaler, AC by 2q with centered reconstruction).
+func Mpeg4QuantIntra(blk *[64]int32, q int32) int {
+	nz := 0
+	dcs := Mpeg4DCScaler(q)
+	blk[0] = divRound(blk[0], dcs)
+	if blk[0] != 0 {
+		nz++
+	}
+	for i := 1; i < 64; i++ {
+		v := blk[i]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		l := v / (2 * q)
+		if neg {
+			l = -l
+		}
+		blk[i] = l
+		if l != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// Mpeg4DequantIntra reconstructs an intra block quantized by
+// Mpeg4QuantIntra using the H.263 oddification rule.
+func Mpeg4DequantIntra(blk *[64]int32, q int32) {
+	blk[0] *= Mpeg4DCScaler(q)
+	for i := 1; i < 64; i++ {
+		blk[i] = h263Dequant(blk[i], q)
+	}
+}
+
+// Mpeg4QuantInter quantizes a residual block in place with the H.263 dead
+// zone (threshold q/2 below the intra one).
+func Mpeg4QuantInter(blk *[64]int32, q int32) int {
+	nz := 0
+	for i := 0; i < 64; i++ {
+		v := blk[i]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		v -= q / 2
+		var l int32
+		if v > 0 {
+			l = v / (2 * q)
+		}
+		if neg {
+			l = -l
+		}
+		blk[i] = l
+		if l != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// Mpeg4DequantInter reconstructs a residual block quantized by
+// Mpeg4QuantInter.
+func Mpeg4DequantInter(blk *[64]int32, q int32) {
+	for i := 0; i < 64; i++ {
+		blk[i] = h263Dequant(blk[i], q)
+	}
+}
+
+// h263Dequant reconstructs one coefficient: |F| = q·(2|L|+1), minus one if q
+// is even, zero for L = 0.
+func h263Dequant(l, q int32) int32 {
+	if l == 0 {
+		return 0
+	}
+	neg := l < 0
+	if neg {
+		l = -l
+	}
+	f := q * (2*l + 1)
+	if q%2 == 0 {
+		f--
+	}
+	if neg {
+		f = -f
+	}
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// H.264
+// ---------------------------------------------------------------------------
+
+// h264MF holds the forward-quantizer multipliers per QP%6 for the three
+// coefficient position classes (a, b, c).
+var h264MF = [6][3]int32{
+	{13107, 5243, 8066},
+	{11916, 4660, 7490},
+	{10082, 4194, 6554},
+	{9362, 3647, 5825},
+	{8192, 3355, 5243},
+	{7282, 2893, 4559},
+}
+
+// h264V holds the dequantizer multipliers per QP%6 for the three classes.
+var h264V = [6][3]int32{
+	{10, 16, 13},
+	{11, 18, 14},
+	{13, 20, 16},
+	{14, 23, 18},
+	{16, 25, 20},
+	{18, 29, 23},
+}
+
+// h264PosClass maps a raster position in a 4×4 block to its class:
+// 0 for (even,even), 1 for (odd,odd), 2 otherwise.
+var h264PosClass = [16]int{
+	0, 2, 0, 2,
+	2, 1, 2, 1,
+	0, 2, 0, 2,
+	2, 1, 2, 1,
+}
+
+// H264Quant quantizes a 4×4 transformed block in place. intra selects the
+// larger rounding offset (f = 2^qbits/3 vs /6). Returns non-zero count.
+func H264Quant(blk *[16]int32, qp int, intra bool) int {
+	qbits := uint(15 + qp/6)
+	var f int32
+	if intra {
+		f = int32((1 << qbits) / 3)
+	} else {
+		f = int32((1 << qbits) / 6)
+	}
+	mf := &h264MF[qp%6]
+	nz := 0
+	for i := 0; i < 16; i++ {
+		v := blk[i]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		z := int32((int64(v)*int64(mf[h264PosClass[i]]) + int64(f)) >> qbits)
+		if neg {
+			z = -z
+		}
+		blk[i] = z
+		if z != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// H264Dequant reconstructs a 4×4 block quantized by H264Quant.
+func H264Dequant(blk *[16]int32, qp int) {
+	shift := uint(qp / 6)
+	v := &h264V[qp%6]
+	for i := 0; i < 16; i++ {
+		blk[i] = (blk[i] * v[h264PosClass[i]]) << shift
+	}
+}
+
+// H264QuantDC quantizes the 4×4 Hadamard-transformed luma DC block
+// (doubled rounding, one extra shift per the standard).
+func H264QuantDC(blk *[16]int32, qp int) int {
+	qbits := uint(15 + qp/6)
+	f := int32((1 << qbits) / 3)
+	mf := h264MF[qp%6][0]
+	nz := 0
+	for i := 0; i < 16; i++ {
+		v := blk[i]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		z := int32((int64(v)*int64(mf) + int64(2*f)) >> (qbits + 1))
+		if neg {
+			z = -z
+		}
+		blk[i] = z
+		if z != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// H264DequantDC reconstructs the luma DC block.
+func H264DequantDC(blk *[16]int32, qp int) {
+	v := h264V[qp%6][0]
+	if qp >= 12 {
+		shift := uint(qp/6 - 2)
+		for i := 0; i < 16; i++ {
+			blk[i] = (blk[i] * v) << shift
+		}
+		return
+	}
+	shift := uint(2 - qp/6)
+	round := int32(1) << (shift - 1)
+	for i := 0; i < 16; i++ {
+		blk[i] = (blk[i]*v + round) >> shift
+	}
+}
+
+// H264QuantChromaDC quantizes the 2×2 chroma DC block.
+func H264QuantChromaDC(blk *[4]int32, qp int, intra bool) int {
+	qbits := uint(15 + qp/6)
+	var f int32
+	if intra {
+		f = int32((1 << qbits) / 3)
+	} else {
+		f = int32((1 << qbits) / 6)
+	}
+	mf := h264MF[qp%6][0]
+	nz := 0
+	for i := 0; i < 4; i++ {
+		v := blk[i]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		z := int32((int64(v)*int64(mf) + int64(2*f)) >> (qbits + 1))
+		if neg {
+			z = -z
+		}
+		blk[i] = z
+		if z != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// H264DequantChromaDC reconstructs the 2×2 chroma DC block.
+func H264DequantChromaDC(blk *[4]int32, qp int) {
+	v := h264V[qp%6][0]
+	if qp >= 6 {
+		shift := uint(qp/6 - 1)
+		for i := 0; i < 4; i++ {
+			blk[i] = (blk[i] * v) << shift
+		}
+		return
+	}
+	for i := 0; i < 4; i++ {
+		blk[i] = (blk[i] * v) >> 1
+	}
+}
+
+// H264ChromaQP maps a luma QP to the chroma QP per the standard table.
+var h264ChromaQPTable = [22]int{
+	29, 30, 31, 32, 32, 33, 34, 34, 35, 35, 36, 36, 37, 37, 37, 38, 38, 38, 39, 39, 39, 39,
+}
+
+// H264ChromaQP returns the chroma quantizer for a luma QP in [0, 51].
+func H264ChromaQP(qp int) int {
+	if qp < 30 {
+		return qp
+	}
+	if qp > 51 {
+		qp = 51
+	}
+	return h264ChromaQPTable[qp-30]
+}
+
+// divRound divides with rounding to nearest (ties away from zero),
+// correctly for negative numerators.
+func divRound(n, d int32) int32 {
+	if n >= 0 {
+		return (n + d/2) / d
+	}
+	return -((-n + d/2) / d)
+}

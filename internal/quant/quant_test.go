@@ -1,0 +1,266 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdvideobench/internal/dct"
+)
+
+func TestH264QPFromMPEG(t *testing.T) {
+	cases := []struct{ mpeg, h264 int }{
+		{1, 12},
+		{2, 18},
+		{4, 24},
+		{5, 26}, // the paper's benchmark point (Table IV: vqscale=5 ↔ --qp=26)
+		{8, 30},
+		{16, 36},
+		{31, 42},
+	}
+	for _, c := range cases {
+		if got := H264QPFromMPEG(c.mpeg); got != c.h264 {
+			t.Errorf("H264QPFromMPEG(%d) = %d, want %d", c.mpeg, got, c.h264)
+		}
+	}
+	if got := H264QPFromMPEG(0); got != 12 {
+		t.Errorf("QP clamp failed: %d", got)
+	}
+}
+
+func TestMpeg2IntraRoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, q := range []int32{2, 5, 10, 31} {
+		for trial := 0; trial < 100; trial++ {
+			var blk, orig [64]int32
+			for i := range blk {
+				blk[i] = int32(rng.Intn(2001) - 1000)
+			}
+			blk[0] = int32(rng.Intn(2041)) // intra DC is non-negative
+			orig = blk
+			Mpeg2QuantIntra(&blk, q)
+			Mpeg2DequantIntra(&blk, q)
+			// DC error bounded by scale/2; AC error bounded by step.
+			if d := abs32(blk[0] - orig[0]); d > Mpeg2DCScale/2+1 {
+				t.Fatalf("q=%d DC error %d", q, d)
+			}
+			for i := 1; i < 64; i++ {
+				step := Mpeg2IntraMatrix[i] * q / 16
+				if d := abs32(blk[i] - orig[i]); d > step+1 {
+					t.Fatalf("q=%d coeff %d error %d > step %d", q, i, d, step)
+				}
+			}
+		}
+	}
+}
+
+func TestMpeg2InterRoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, q := range []int32{2, 5, 10, 31} {
+		for trial := 0; trial < 100; trial++ {
+			var blk, orig [64]int32
+			for i := range blk {
+				blk[i] = int32(rng.Intn(2001) - 1000)
+			}
+			orig = blk
+			Mpeg2QuantInter(&blk, q)
+			Mpeg2DequantInter(&blk, q)
+			for i := 0; i < 64; i++ {
+				// Dead-zone quantizer: error bounded by the step size 2·16·q/32 = q.
+				if d := abs32(blk[i] - orig[i]); d > 2*q {
+					t.Fatalf("q=%d coeff %d: %d -> %d", q, i, orig[i], blk[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMpeg2QuantSignSymmetry(t *testing.T) {
+	check := func(v int16, qi uint8) bool {
+		q := int32(qi%31) + 1
+		var a, b [64]int32
+		a[10] = int32(v)
+		b[10] = -int32(v)
+		Mpeg2QuantInter(&a, q)
+		Mpeg2QuantInter(&b, q)
+		return a[10] == -b[10]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMpeg4DCScaler(t *testing.T) {
+	cases := []struct{ q, want int32 }{
+		{1, 8}, {4, 8}, {5, 10}, {8, 16}, {9, 17}, {24, 32}, {25, 34}, {31, 46},
+	}
+	for _, c := range cases {
+		if got := Mpeg4DCScaler(c.q); got != c.want {
+			t.Errorf("Mpeg4DCScaler(%d) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMpeg4RoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, q := range []int32{1, 2, 5, 10, 31} {
+		for trial := 0; trial < 100; trial++ {
+			var blk, orig [64]int32
+			for i := range blk {
+				blk[i] = int32(rng.Intn(2001) - 1000)
+			}
+			blk[0] = int32(rng.Intn(2041))
+			orig = blk
+			Mpeg4QuantIntra(&blk, q)
+			Mpeg4DequantIntra(&blk, q)
+			if d := abs32(blk[0] - orig[0]); d > Mpeg4DCScaler(q)/2+1 {
+				t.Fatalf("q=%d DC error %d", q, d)
+			}
+			for i := 1; i < 64; i++ {
+				if d := abs32(blk[i] - orig[i]); d > 2*q {
+					t.Fatalf("q=%d intra coeff %d: %d -> %d", q, i, orig[i], blk[i])
+				}
+			}
+
+			blk = orig
+			Mpeg4QuantInter(&blk, q)
+			Mpeg4DequantInter(&blk, q)
+			for i := 0; i < 64; i++ {
+				if d := abs32(blk[i] - orig[i]); d > 3*q {
+					t.Fatalf("q=%d inter coeff %d: %d -> %d", q, i, orig[i], blk[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMpeg4DeadZoneShrinksLevels(t *testing.T) {
+	// The inter dead zone must quantize small coefficients to zero more
+	// aggressively than the intra quantizer.
+	q := int32(5)
+	var intra, inter [64]int32
+	for i := range intra {
+		intra[i] = 7
+		inter[i] = 7
+	}
+	intraNZ := Mpeg4QuantIntra(&intra, q)
+	interNZ := Mpeg4QuantInter(&inter, q)
+	if interNZ > intraNZ {
+		t.Fatalf("dead zone inverted: intra nz %d < inter nz %d", intraNZ, interNZ)
+	}
+}
+
+// TestH264TransformQuantRoundTrip runs the full H.264 path: forward 4×4
+// transform → quant → dequant → inverse transform, which is where the
+// transform/quant scale factors must cancel.
+func TestH264TransformQuantRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, qp := range []int{0, 10, 20, 26, 35, 51} {
+		maxErr := int32(0)
+		for trial := 0; trial < 200; trial++ {
+			var in [16]int32
+			for i := range in {
+				in[i] = int32(rng.Intn(511) - 255)
+			}
+			blk := in
+			dct.Forward4(&blk)
+			H264Quant(&blk, qp, false)
+			H264Dequant(&blk, qp)
+			dct.Inverse4(&blk)
+			for i := range blk {
+				if d := abs32(blk[i] - in[i]); d > maxErr {
+					maxErr = d
+				}
+			}
+		}
+		// Quantization error grows as ~2^(qp/6); qp=26 step ≈ 26, qp=51 ≈ 466.
+		bound := int32(1) << uint(qp/6+2)
+		if bound < 4 {
+			bound = 4
+		}
+		if maxErr > bound {
+			t.Errorf("qp=%d: max reconstruction error %d > bound %d", qp, maxErr, bound)
+		}
+		if qp <= 10 && maxErr > 8 {
+			t.Errorf("qp=%d: low-QP error too large: %d", qp, maxErr)
+		}
+	}
+}
+
+func TestH264QuantMonotoneInQP(t *testing.T) {
+	// Higher QP must never produce more non-zero coefficients.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		var in [16]int32
+		for i := range in {
+			in[i] = int32(rng.Intn(511) - 255)
+		}
+		dct.Forward4(&in)
+		prev := 17
+		for qp := 0; qp <= 51; qp += 3 {
+			blk := in
+			nz := H264Quant(&blk, qp, true)
+			if nz > prev {
+				t.Fatalf("trial %d: nz grew from %d to %d at qp=%d", trial, prev, nz, qp)
+			}
+			prev = nz
+		}
+	}
+}
+
+func TestH264DCRoundTrip(t *testing.T) {
+	// Follows the standard decoder order: forward Hadamard (÷2) + QuantDC on
+	// the encoder side; inverse Hadamard THEN DequantDC on the decoder side.
+	// The result is 4× the original DC (the same 4× the regular AC path
+	// carries, cancelled later by Inverse4).
+	rng := rand.New(rand.NewSource(6))
+	for _, qp := range []int{12, 26, 40} {
+		for trial := 0; trial < 100; trial++ {
+			var dc [16]int32
+			for i := range dc {
+				dc[i] = int32(rng.Intn(4001) - 2000)
+			}
+			orig := dc
+			dct.Hadamard4(&dc, true)
+			H264QuantDC(&dc, qp)
+			dct.Hadamard4(&dc, false)
+			H264DequantDC(&dc, qp)
+			for i := range dc {
+				got := (dc[i] + 2) >> 2 // remove the pipeline 4× gain
+				step := int32(1) << uint(qp/6+3)
+				if d := abs32(got - orig[i]); d > step {
+					t.Fatalf("qp=%d DC[%d]: %d -> %d", qp, i, orig[i], got)
+				}
+			}
+		}
+	}
+}
+
+func TestH264ChromaQP(t *testing.T) {
+	if H264ChromaQP(20) != 20 {
+		t.Error("low QPs map to themselves")
+	}
+	if H264ChromaQP(30) != 29 {
+		t.Errorf("H264ChromaQP(30) = %d", H264ChromaQP(30))
+	}
+	if H264ChromaQP(51) != 39 {
+		t.Errorf("H264ChromaQP(51) = %d", H264ChromaQP(51))
+	}
+	if H264ChromaQP(60) != 39 {
+		t.Error("over-range QP must clamp")
+	}
+}
+
+func TestH264QuantZeroBlock(t *testing.T) {
+	var blk [16]int32
+	if nz := H264Quant(&blk, 26, true); nz != 0 {
+		t.Fatalf("zero block produced %d non-zeros", nz)
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,43 @@
+package swar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func scalarSAD16(a []byte, as int, b []byte, bs, h int) int {
+	s := 0
+	for r := 0; r < h; r++ {
+		ar, br := a[r*as:r*as+16], b[r*bs:r*bs+16]
+		for i := 0; i < 16; i++ {
+			d := int(ar[i]) - int(br[i])
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+	}
+	return s
+}
+
+func BenchmarkSAD16SWAR(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]byte, 1920*32)
+	y := make([]byte, 1920*32)
+	rng.Read(x)
+	rng.Read(y)
+	for i := 0; i < b.N; i++ {
+		sadSink += SAD16(x[i%64:], 1920, y[(i*7)%64:], 1920, 16)
+	}
+}
+
+func BenchmarkSAD16Scalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]byte, 1920*32)
+	y := make([]byte, 1920*32)
+	rng.Read(x)
+	rng.Read(y)
+	for i := 0; i < b.N; i++ {
+		sadSink += scalarSAD16(x[i%64:], 1920, y[(i*7)%64:], 1920, 16)
+	}
+}

@@ -1,0 +1,191 @@
+// Package swar implements SIMD-within-a-register kernels on uint64 values.
+//
+// The paper's "SIMD" codec versions use x86 SSE/MMX intrinsics; this package
+// is the portable Go substitute (see DESIGN.md §2). Each kernel processes 8
+// packed bytes (or 4 packed 16-bit lanes) per operation and is bit-exact
+// with the scalar reference implementations it replaces, so scalar and SWAR
+// codec builds produce identical bitstreams and reconstructions — only the
+// speed differs, which is the axis Figure 1 measures.
+package swar
+
+import "encoding/binary"
+
+const (
+	lo8    = 0x00FF00FF00FF00FF // even-byte mask / 16-bit lane low bytes
+	bias16 = 0x0100010001000100 // +256 per 16-bit lane
+	lsb16  = 0x0001000100010001
+	low7   = 0x7F7F7F7F7F7F7F7F
+)
+
+// Load64 loads 8 bytes little-endian from b.
+func Load64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// Store64 stores v little-endian into b.
+func Store64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// AbsDiffSum8 returns sum(|a_i - b_i|) over the 8 packed bytes of a and b.
+func AbsDiffSum8(a, b uint64) int {
+	s := absDiff16(a&lo8, b&lo8) + absDiff16((a>>8)&lo8, (b>>8)&lo8)
+	return fold16(s)
+}
+
+// fold16 sums the four 16-bit lanes of s (total must fit in 16 bits... the
+// callers guarantee each lane ≤ 16383 so the staged fold below is exact).
+func fold16(s uint64) int {
+	s = (s & 0x0000FFFF0000FFFF) + ((s >> 16) & 0x0000FFFF0000FFFF)
+	return int((s & 0xFFFFFFFF) + (s >> 32))
+}
+
+// absDiff16 computes per-16-bit-lane |x-y| where every lane of x and y holds
+// an 8-bit value. Result lanes are in [0, 255].
+func absDiff16(x, y uint64) uint64 {
+	d := x + bias16 - y    // per lane: 256 + x - y ∈ [1, 511]
+	ge := (d >> 8) & lsb16 // 1 iff x >= y
+	lt := lsb16 - ge       // 1 iff x < y
+	// ge lane: d & 0xFF == x-y.  lt lane: ((d&0xFF) ^ 0xFF) + 1 == 256-d == y-x.
+	return ((d & lo8) ^ (lt * 0xFF)) + lt
+}
+
+// SADRow returns the sum of absolute differences between a[:n] and b[:n].
+// n need not be a multiple of 8.
+func SADRow(a, b []byte, n int) int {
+	sad := 0
+	i := 0
+	for i+8 <= n {
+		// Accumulate packed lanes, folding at most every 24 chunks so the
+		// 16-bit lanes (≤ 510 gain per chunk) cannot overflow.
+		var acc uint64
+		lim := i + 24*8
+		for ; i+8 <= n && i < lim; i += 8 {
+			av, bv := Load64(a[i:]), Load64(b[i:])
+			acc += absDiff16(av&lo8, bv&lo8) + absDiff16((av>>8)&lo8, (bv>>8)&lo8)
+		}
+		sad += fold16(acc)
+	}
+	for ; i < n; i++ {
+		d := int(a[i]) - int(b[i])
+		if d < 0 {
+			d = -d
+		}
+		sad += d
+	}
+	return sad
+}
+
+// SADBlock returns the SAD between a w×h block at a (stride aStride) and the
+// corresponding block at b (stride bStride).
+func SADBlock(a []byte, aStride int, b []byte, bStride, w, h int) int {
+	if w == 16 {
+		return SAD16(a, aStride, b, bStride, h)
+	}
+	if w == 8 {
+		return SAD8x(a, aStride, b, bStride, h)
+	}
+	sad := 0
+	for r := 0; r < h; r++ {
+		sad += SADRow(a[r*aStride:], b[r*bStride:], w)
+	}
+	return sad
+}
+
+// SAD16 returns the SAD of a 16-wide, h-tall block. h must be ≤ 48 so the
+// packed accumulator lanes (≤ 1020 per row) cannot overflow.
+func SAD16(a []byte, aStride int, b []byte, bStride, h int) int {
+	var acc uint64
+	for r := 0; r < h; r++ {
+		a0 := Load64(a[r*aStride:])
+		b0 := Load64(b[r*bStride:])
+		a1 := Load64(a[r*aStride+8:])
+		b1 := Load64(b[r*bStride+8:])
+		acc += absDiff16(a0&lo8, b0&lo8) + absDiff16((a0>>8)&lo8, (b0>>8)&lo8)
+		acc += absDiff16(a1&lo8, b1&lo8) + absDiff16((a1>>8)&lo8, (b1>>8)&lo8)
+	}
+	return fold16(acc)
+}
+
+// SAD8x returns the SAD of an 8-wide, h-tall block. h must be ≤ 96.
+func SAD8x(a []byte, aStride int, b []byte, bStride, h int) int {
+	var acc uint64
+	for r := 0; r < h; r++ {
+		av := Load64(a[r*aStride:])
+		bv := Load64(b[r*bStride:])
+		acc += absDiff16(av&lo8, bv&lo8) + absDiff16((av>>8)&lo8, (bv>>8)&lo8)
+	}
+	return fold16(acc)
+}
+
+// AvgRound8 returns per-byte (a+b+1)>>1 of the 8 packed bytes.
+func AvgRound8(a, b uint64) uint64 {
+	return (a | b) - (((a ^ b) >> 1) & low7)
+}
+
+// AvgFloor8 returns per-byte (a+b)>>1 of the 8 packed bytes.
+func AvgFloor8(a, b uint64) uint64 {
+	return (a & b) + (((a ^ b) >> 1) & low7)
+}
+
+// AvgRowRound writes dst[i] = (a[i]+b[i]+1)>>1 for i in [0,n).
+func AvgRowRound(dst, a, b []byte, n int) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		Store64(dst[i:], AvgRound8(Load64(a[i:]), Load64(b[i:])))
+	}
+	for ; i < n; i++ {
+		dst[i] = byte((int(a[i]) + int(b[i]) + 1) >> 1)
+	}
+}
+
+// AvgBlockRound averages two w×h blocks with rounding into dst.
+func AvgBlockRound(dst []byte, dStride int, a []byte, aStride int, b []byte, bStride, w, h int) {
+	for r := 0; r < h; r++ {
+		AvgRowRound(dst[r*dStride:], a[r*aStride:], b[r*bStride:], w)
+	}
+}
+
+// CopyBlock copies a w×h block from src to dst using 8-byte moves.
+func CopyBlock(dst []byte, dStride int, src []byte, sStride, w, h int) {
+	for r := 0; r < h; r++ {
+		d := dst[r*dStride : r*dStride+w]
+		s := src[r*sStride : r*sStride+w]
+		copy(d, s)
+	}
+}
+
+// Avg4Round2 computes per-byte (a+b+c+d+2)>>2 of four packed-byte vectors.
+// It is exact: the computation widens to 16-bit lanes.
+func Avg4Round2(a, b, c, d uint64) uint64 {
+	// Even bytes.
+	se := (a & lo8) + (b & lo8) + (c & lo8) + (d & lo8) + (lsb16 << 1)
+	se = (se >> 2) & lo8
+	// Odd bytes.
+	so := ((a >> 8) & lo8) + ((b >> 8) & lo8) + ((c >> 8) & lo8) + ((d >> 8) & lo8) + (lsb16 << 1)
+	so = (so >> 2) & lo8
+	return se | so<<8
+}
+
+// Avg4RowRound2 writes dst[i] = (a[i]+b[i]+c[i]+d[i]+2)>>2.
+func Avg4RowRound2(dst, a, b, c, d []byte, n int) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		Store64(dst[i:], Avg4Round2(Load64(a[i:]), Load64(b[i:]), Load64(c[i:]), Load64(d[i:])))
+	}
+	for ; i < n; i++ {
+		dst[i] = byte((int(a[i]) + int(b[i]) + int(c[i]) + int(d[i]) + 2) >> 2)
+	}
+}
+
+// SumRow returns the sum of the first n bytes of a, using 16-bit lane
+// accumulation. Used by DC predictors and mean computations.
+func SumRow(a []byte, n int) int {
+	sum := 0
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		v := Load64(a[i:])
+		s := (v & lo8) + ((v >> 8) & lo8) // four lanes, each ≤ 510
+		sum += int((s & 0xFFFF) + ((s >> 16) & 0xFFFF) + ((s >> 32) & 0xFFFF) + (s >> 48))
+	}
+	for ; i < n; i++ {
+		sum += int(a[i])
+	}
+	return sum
+}

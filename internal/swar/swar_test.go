@@ -1,0 +1,257 @@
+package swar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func scalarSAD(a, b []byte, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		d := int(a[i]) - int(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+func TestAbsDiffSum8MatchesScalar(t *testing.T) {
+	check := func(a, b [8]byte) bool {
+		av := Load64(a[:])
+		bv := Load64(b[:])
+		return AbsDiffSum8(av, bv) == scalarSAD(a[:], b[:], 8)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbsDiffSum8Extremes(t *testing.T) {
+	cases := []struct{ a, b [8]byte }{
+		{[8]byte{0, 0, 0, 0, 0, 0, 0, 0}, [8]byte{255, 255, 255, 255, 255, 255, 255, 255}},
+		{[8]byte{255, 0, 255, 0, 255, 0, 255, 0}, [8]byte{0, 255, 0, 255, 0, 255, 0, 255}},
+		{[8]byte{128, 128, 128, 128, 128, 128, 128, 128}, [8]byte{128, 128, 128, 128, 128, 128, 128, 128}},
+	}
+	for _, c := range cases {
+		want := scalarSAD(c.a[:], c.b[:], 8)
+		if got := AbsDiffSum8(Load64(c.a[:]), Load64(c.b[:])); got != want {
+			t.Errorf("a=%v b=%v: got %d want %d", c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestSADRowOddLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 100} {
+		a := randBytes(rng, n)
+		b := randBytes(rng, n)
+		if got, want := SADRow(a, b, n), scalarSAD(a, b, n); got != want {
+			t.Errorf("n=%d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestSADBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randBytes(rng, 64*64)
+	b := randBytes(rng, 64*64)
+	want := 0
+	for r := 0; r < 16; r++ {
+		want += scalarSAD(a[r*64:], b[r*48:], 16)
+	}
+	if got := SADBlock(a, 64, b, 48, 16, 16); got != want {
+		t.Errorf("got %d want %d", got, want)
+	}
+}
+
+func TestSAD16AndSAD8x(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randBytes(rng, 64*64)
+	b := randBytes(rng, 64*64)
+	for _, h := range []int{4, 8, 16, 48} {
+		want := 0
+		for r := 0; r < h; r++ {
+			want += scalarSAD(a[r*64:], b[r*40:], 16)
+		}
+		if got := SAD16(a, 64, b, 40, h); got != want {
+			t.Errorf("SAD16 h=%d: got %d want %d", h, got, want)
+		}
+		want8 := 0
+		for r := 0; r < h; r++ {
+			want8 += scalarSAD(a[r*64:], b[r*40:], 8)
+		}
+		if got := SAD8x(a, 64, b, 40, h); got != want8 {
+			t.Errorf("SAD8x h=%d: got %d want %d", h, got, want8)
+		}
+	}
+	// SADBlock must dispatch consistently for all widths.
+	for _, w := range []int{4, 8, 12, 16} {
+		want := 0
+		for r := 0; r < 8; r++ {
+			want += scalarSAD(a[r*64:], b[r*40:], w)
+		}
+		if got := SADBlock(a, 64, b, 40, w, 8); got != want {
+			t.Errorf("SADBlock w=%d: got %d want %d", w, got, want)
+		}
+	}
+}
+
+func TestSADRowWorstCaseAccumulation(t *testing.T) {
+	// All-255 vs all-0 over a long row exercises lane saturation margins.
+	n := 4096
+	a := make([]byte, n)
+	b := make([]byte, n)
+	for i := range a {
+		a[i] = 255
+	}
+	if got := SADRow(a, b, n); got != 255*n {
+		t.Fatalf("got %d want %d", got, 255*n)
+	}
+}
+
+func TestAvgRound8MatchesScalar(t *testing.T) {
+	check := func(a, b [8]byte) bool {
+		got := AvgRound8(Load64(a[:]), Load64(b[:]))
+		for i := 0; i < 8; i++ {
+			want := byte((int(a[i]) + int(b[i]) + 1) >> 1)
+			if byte(got>>(8*uint(i))) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgFloor8MatchesScalar(t *testing.T) {
+	check := func(a, b [8]byte) bool {
+		got := AvgFloor8(Load64(a[:]), Load64(b[:]))
+		for i := 0; i < 8; i++ {
+			want := byte((int(a[i]) + int(b[i])) >> 1)
+			if byte(got>>(8*uint(i))) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvg4Round2MatchesScalar(t *testing.T) {
+	check := func(a, b, c, d [8]byte) bool {
+		got := Avg4Round2(Load64(a[:]), Load64(b[:]), Load64(c[:]), Load64(d[:]))
+		for i := 0; i < 8; i++ {
+			want := byte((int(a[i]) + int(b[i]) + int(c[i]) + int(d[i]) + 2) >> 2)
+			if byte(got>>(8*uint(i))) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvgRowRoundTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 7, 8, 9, 13, 24, 33} {
+		a := randBytes(rng, n)
+		b := randBytes(rng, n)
+		dst := make([]byte, n)
+		AvgRowRound(dst, a, b, n)
+		for i := 0; i < n; i++ {
+			want := byte((int(a[i]) + int(b[i]) + 1) >> 1)
+			if dst[i] != want {
+				t.Fatalf("n=%d i=%d: got %d want %d", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+func TestSumRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 8, 15, 16, 64, 100} {
+		a := randBytes(rng, n)
+		want := 0
+		for _, v := range a {
+			want += int(v)
+		}
+		if got := SumRow(a, n); got != want {
+			t.Errorf("n=%d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestCopyBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := randBytes(rng, 32*32)
+	dst := make([]byte, 32*32)
+	CopyBlock(dst, 32, src, 32, 16, 16)
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			if dst[r*32+c] != src[r*32+c] {
+				t.Fatalf("mismatch at %d,%d", r, c)
+			}
+		}
+	}
+}
+
+var sadSink int
+
+func BenchmarkSADRowSWAR(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := randBytes(rng, 1024)
+	y := randBytes(rng, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		sadSink += SADRow(x, y, 1024)
+	}
+}
+
+func BenchmarkSADRowScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := randBytes(rng, 1024)
+	y := randBytes(rng, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		sadSink += scalarSAD(x, y, 1024)
+	}
+}
+
+var avgSink = make([]byte, 1024)
+
+func BenchmarkAvgRowSWAR(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randBytes(rng, 1024)
+	y := randBytes(rng, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		AvgRowRound(avgSink, x, y, 1024)
+	}
+}
+
+func BenchmarkAvgRowScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randBytes(rng, 1024)
+	y := randBytes(rng, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1024; j++ {
+			avgSink[j] = byte((int(x[j]) + int(y[j]) + 1) >> 1)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package hdvideobench
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdvideobench/internal/container"
+)
+
+// TestDecodersRejectGarbage feeds random payloads to all three decoders:
+// they must return errors (or tolerate the input) without panicking — the
+// property that lets the benchmark harness run untrusted streams.
+func TestDecodersRejectGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	headers := map[Codec]StreamHeader{
+		MPEG2: {Codec: container.CodecMPEG2, Width: 96, Height: 80, FPSNum: 25, FPSDen: 1},
+		MPEG4: {Codec: container.CodecMPEG4, Width: 96, Height: 80, FPSNum: 25, FPSDen: 1},
+		H264:  {Codec: container.CodecH264, Width: 96, Height: 80, FPSNum: 25, FPSDen: 1, Flags: 4 << 1},
+	}
+	for c, hdr := range headers {
+		for trial := 0; trial < 50; trial++ {
+			payload := make([]byte, rng.Intn(300))
+			rng.Read(payload)
+			if c == H264 && len(payload) > 0 {
+				payload[0] = byte(rng.Intn(52)) // plausible QP so parsing proceeds
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%v: panic on garbage payload (trial %d): %v", c, trial, r)
+					}
+				}()
+				dec, err := NewDecoder(hdr, trial%2 == 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				types := []container.FrameType{FrameI, FrameP, FrameB}
+				_, _ = dec.Decode(Packet{
+					Type:         types[trial%3],
+					DisplayIndex: 0,
+					Payload:      payload,
+				})
+			}()
+		}
+	}
+}
+
+// TestTruncatedStreams truncates valid streams at every byte boundary of
+// the first packet: decoders must error or succeed, never panic.
+func TestTruncatedStreams(t *testing.T) {
+	for _, c := range []Codec{MPEG2, MPEG4, H264} {
+		gen := NewSequence(BlueSky, 96, 80)
+		enc, err := NewEncoder(c, EncoderOptions{Width: 96, Height: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts, err := EncodeFrames(enc, gen.Generate(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := pkts[0]
+		for cut := 0; cut < len(first.Payload); cut += 7 {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%v: panic at cut %d: %v", c, cut, r)
+					}
+				}()
+				dec, err := NewDecoder(enc.Header(), false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, _ = dec.Decode(Packet{
+					Type:         first.Type,
+					DisplayIndex: first.DisplayIndex,
+					Payload:      first.Payload[:cut],
+				})
+			}()
+		}
+	}
+}
+
+// TestBitFlippedStreams flips single bits in a valid I frame: the decoder
+// must never panic (it may decode to different content or error).
+func TestBitFlippedStreams(t *testing.T) {
+	for _, c := range []Codec{MPEG2, MPEG4, H264} {
+		gen := NewSequence(RushHour, 96, 80)
+		enc, err := NewEncoder(c, EncoderOptions{Width: 96, Height: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts, err := EncodeFrames(enc, gen.Generate(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := pkts[0]
+		step := len(first.Payload)/24 + 1
+		for pos := 0; pos < len(first.Payload); pos += step {
+			corrupted := append([]byte(nil), first.Payload...)
+			corrupted[pos] ^= 0x40
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%v: panic with bit flip at byte %d: %v", c, pos, r)
+					}
+				}()
+				dec, err := NewDecoder(enc.Header(), false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, _ = dec.Decode(Packet{Type: first.Type, Payload: corrupted})
+			}()
+		}
+	}
+}
