@@ -46,14 +46,19 @@ var (
 )
 
 func benchInputs(b *testing.B, seq Sequence, w, h int) []*Frame {
+	return benchInputsN(b, seq, w, h, benchFrames)
+}
+
+// benchInputsN renders and caches n source frames for sub-benchmarks.
+func benchInputsN(b *testing.B, seq Sequence, w, h, n int) []*Frame {
 	b.Helper()
-	key := fmt.Sprintf("%v-%dx%d", seq, w, h)
+	key := fmt.Sprintf("%v-%dx%d-%d", seq, w, h, n)
 	inputMu.Lock()
 	defer inputMu.Unlock()
 	if fs, ok := inputCache[key]; ok {
 		return fs
 	}
-	fs := NewSequence(seq, w, h).Generate(benchFrames)
+	fs := NewSequence(seq, w, h).Generate(n)
 	inputCache[key] = fs
 	return fs
 }
@@ -151,6 +156,77 @@ func BenchmarkFig1cEncodeScalar(b *testing.B) { benchEncode(b, false) }
 
 // BenchmarkFig1dEncodeSIMD regenerates Figure 1(d): encoding fps, SIMD.
 func BenchmarkFig1dEncodeSIMD(b *testing.B) { benchEncode(b, true) }
+
+// --- per-codec throughput with GOP-parallel scaling --------------------------
+//
+// Benchmark{Encode,Decode}{MPEG2,MPEG4,H264} measure one codec at a time
+// in raw bytes/s (b.SetBytes of the I420 input) and fps, with workers=N
+// sub-benchmarks exercising the GOP-parallel pipeline. The bitstream is
+// identical at every worker count, so the sub-benchmarks are directly
+// comparable: on a 4+ core machine workers=4 should approach 4× the
+// workers=1 figure.
+
+const (
+	scaleW, scaleH = 320, 240
+	scaleFrames    = 12 // 4 closed GOPs of scaleGOP
+	scaleGOP       = 3
+)
+
+var scaleWorkerCounts = []int{1, 2, 4}
+
+func benchEncodeCodec(b *testing.B, c Codec) {
+	inputs := benchInputsN(b, PedestrianArea, scaleW, scaleH, scaleFrames)
+	raw := int64(scaleFrames) * int64(RawFrameSize(scaleW, scaleH))
+	for _, workers := range scaleWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := EncoderOptions{
+				Width: scaleW, Height: scaleH,
+				IntraPeriod: scaleGOP, Workers: workers,
+			}
+			b.SetBytes(raw)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := EncodeFramesParallel(c, opts, inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*scaleFrames)/b.Elapsed().Seconds(), "fps")
+		})
+	}
+}
+
+func benchDecodeCodec(b *testing.B, c Codec) {
+	inputs := benchInputsN(b, PedestrianArea, scaleW, scaleH, scaleFrames)
+	pkts, hdr, err := EncodeFramesParallel(c, EncoderOptions{
+		Width: scaleW, Height: scaleH, IntraPeriod: scaleGOP,
+	}, inputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	raw := int64(scaleFrames) * int64(RawFrameSize(scaleW, scaleH))
+	for _, workers := range scaleWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(raw)
+			b.ResetTimer()
+			frames := 0
+			for i := 0; i < b.N; i++ {
+				out, err := DecodePacketsParallel(hdr, false, workers, pkts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames += len(out)
+			}
+			b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "fps")
+		})
+	}
+}
+
+func BenchmarkEncodeMPEG2(b *testing.B) { benchEncodeCodec(b, MPEG2) }
+func BenchmarkEncodeMPEG4(b *testing.B) { benchEncodeCodec(b, MPEG4) }
+func BenchmarkEncodeH264(b *testing.B)  { benchEncodeCodec(b, H264) }
+func BenchmarkDecodeMPEG2(b *testing.B) { benchDecodeCodec(b, MPEG2) }
+func BenchmarkDecodeMPEG4(b *testing.B) { benchDecodeCodec(b, MPEG4) }
+func BenchmarkDecodeH264(b *testing.B)  { benchDecodeCodec(b, H264) }
 
 // BenchmarkTableV regenerates Table V on a reduced matrix (one run prints
 // the table; use cmd/hdvbench -table5 for the full 100-frame version).

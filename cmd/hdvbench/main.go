@@ -7,17 +7,27 @@
 //	hdvbench -fig1b                # Figure 1(b): decode fps, SIMD
 //	hdvbench -fig1c                # Figure 1(c): encode fps, scalar
 //	hdvbench -fig1d                # Figure 1(d): encode fps, SIMD
+//	hdvbench -scaling              # Figure 1 scaling: encode+decode fps
+//	                               # at 1, 2, 4, NumCPU workers
 //	hdvbench -summary              # §VI: compression gains + SIMD speed-ups
 //
 // Common flags: -frames N (default 25; the paper uses 100), -q N
 // (quantizer, default 5), -res 576p25,720p25,1088p25, -seqs a,b,
 // -codecs mpeg2,mpeg4,h264.
+//
+// Parallelism flags: -workers N runs the codecs' GOP-parallel pipeline
+// on N goroutines (default runtime.NumCPU(); 1 = legacy serial path) and
+// -gop N sets the intra period that defines the closed GOP chunks
+// (default 0 = first frame only, the paper's setting — note parallel
+// encode needs -gop > 0 to have chunk boundaries to work with). Output
+// streams are byte-identical for every -workers value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"hdvideobench"
@@ -31,17 +41,23 @@ func main() {
 		fig1b    = flag.Bool("fig1b", false, "decode fps, SIMD kernels (Figure 1b)")
 		fig1c    = flag.Bool("fig1c", false, "encode fps, scalar kernels (Figure 1c)")
 		fig1d    = flag.Bool("fig1d", false, "encode fps, SIMD kernels (Figure 1d)")
+		scaling  = flag.Bool("scaling", false, "fps at 1,2,4,NumCPU workers (Figure 1 scaling dimension)")
 		summary  = flag.Bool("summary", false, "compression gains and SIMD speed-ups (§VI)")
 		frames   = flag.Int("frames", 25, "frames per sequence (paper: 100)")
 		repeats  = flag.Int("repeats", 3, "timing repetitions, fastest kept (paper: 5 runs)")
 		q        = flag.Int("q", 5, "quantizer, MPEG scale 1..31 (paper: 5)")
+		gop      = flag.Int("gop", 0, "intra period / closed-GOP length (0 = first frame only)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "GOP-parallel worker goroutines (1 = serial)")
 		resList  = flag.String("res", "", "comma-separated resolutions (default: all three)")
 		seqList  = flag.String("seqs", "", "comma-separated sequences (default: all four)")
 		cdcList  = flag.String("codecs", "", "comma-separated codecs (default: all three)")
 	)
 	flag.Parse()
 
-	opts := hdvideobench.SuiteOptions{Frames: *frames, Q: *q, Repeats: *repeats}
+	opts := hdvideobench.SuiteOptions{
+		Frames: *frames, Q: *q, Repeats: *repeats,
+		IntraPeriod: *gop, Workers: *workers,
+	}
 	if *resList != "" {
 		for _, name := range strings.Split(*resList, ",") {
 			found := false
@@ -110,6 +126,22 @@ func main() {
 	}
 	if *fig1d {
 		runFig(true, true, "Figure 1(d): Encoding Performance with SIMD Optimizations")
+	}
+	if *scaling {
+		for _, dir := range []struct {
+			encode bool
+			title  string
+		}{
+			{false, "Figure 1 scaling: Decoding Performance by Worker Count"},
+			{true, "Figure 1 scaling: Encoding Performance by Worker Count"},
+		} {
+			rs, err := hdvideobench.RunScalingReport(opts, dir.encode, nil)
+			if err != nil {
+				fatalf("scaling: %v", err)
+			}
+			fmt.Print(hdvideobench.FormatScaling(rs, dir.title))
+		}
+		ran = true
 	}
 	if *summary {
 		rs, err := hdvideobench.RunTableV(opts)

@@ -11,6 +11,12 @@
 // decoder alone, like the paper's `-vo null -benchmark`):
 //
 //	vcodec -decode -i out.hdvb -o out.yuv -benchmark
+//
+// Both directions run the GOP-parallel pipeline on -workers goroutines
+// (default runtime.NumCPU(); 1 = legacy serial path). Parallel encoding
+// needs closed GOPs to chunk on, so pass -gop N (intra period) when
+// encoding with more than one worker; output is byte-identical to the
+// serial path either way.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"hdvideobench"
@@ -37,6 +44,8 @@ func main() {
 		frames    = flag.Int("frames", 0, "max frames (0 = all)")
 		bframes   = flag.Int("bframes", 2, "consecutive B frames (0 disables)")
 		refs      = flag.Int("refs", 4, "H.264 reference frames")
+		gop       = flag.Int("gop", 0, "intra period / closed-GOP length (0 = first frame only)")
+		workers   = flag.Int("workers", runtime.NumCPU(), "GOP-parallel worker goroutines (1 = serial)")
 		simd      = flag.Bool("simd", false, "use the SIMD (SWAR) kernels")
 		vlc       = flag.Bool("vlc", false, "H.264: use VLC entropy instead of CABAC")
 		bench     = flag.Bool("benchmark", false, "print fps timing")
@@ -67,11 +76,12 @@ func main() {
 		runEncode(bufio.NewReaderSize(in, 1<<20), bw, encodeParams{
 			codec: *codecName, w: *width, h: *height, q: *q,
 			frames: *frames, bframes: *bframes, refs: *refs,
+			gop: *gop, workers: *workers,
 			simd: *simd, vlc: *vlc, bench: *bench,
 		})
 		return
 	}
-	runDecode(bufio.NewReaderSize(in, 1<<20), bw, *simd, *bench)
+	runDecode(bufio.NewReaderSize(in, 1<<20), bw, *simd, *workers, *bench)
 }
 
 type encodeParams struct {
@@ -80,6 +90,8 @@ type encodeParams struct {
 	frames    int
 	bframes   int
 	refs      int
+	gop       int
+	workers   int
 	simd, vlc bool
 	bench     bool
 }
@@ -95,6 +107,7 @@ func runEncode(in io.Reader, out io.Writer, p encodeParams) {
 	opts := hdvideobench.EncoderOptions{
 		Width: p.w, Height: p.h, Q: p.q,
 		BFrames: p.bframes, Refs: p.refs, SIMD: p.simd,
+		IntraPeriod: p.gop, Workers: p.workers,
 	}
 	if p.bframes == 0 {
 		opts.BFrames = -1
@@ -102,14 +115,9 @@ func runEncode(in io.Reader, out io.Writer, p encodeParams) {
 	if p.vlc {
 		opts.Entropy = hdvideobench.EntropyVLC
 	}
-	enc, err := hdvideobench.NewEncoder(c, opts)
-	if err != nil {
-		fatalf("%v", err)
-	}
 
-	var pkts []hdvideobench.Packet
+	var frames []*hdvideobench.Frame
 	n := 0
-	start := time.Now()
 	for p.frames == 0 || n < p.frames {
 		f := hdvideobench.NewFrame(p.w, p.h)
 		if err := f.ReadRaw(in); err != nil {
@@ -118,21 +126,18 @@ func runEncode(in io.Reader, out io.Writer, p encodeParams) {
 			}
 			fatalf("reading frame %d: %v", n, err)
 		}
-		ps, err := enc.Encode(f)
-		if err != nil {
-			fatalf("encoding frame %d: %v", n, err)
-		}
-		pkts = append(pkts, ps...)
+		frames = append(frames, f)
 		n++
 	}
-	ps, err := enc.Flush()
+
+	start := time.Now()
+	pkts, hdr, err := hdvideobench.EncodeFramesParallel(c, opts, frames)
 	if err != nil {
-		fatalf("flush: %v", err)
+		fatalf("encoding: %v", err)
 	}
-	pkts = append(pkts, ps...)
 	elapsed := time.Since(start)
 
-	if err := hdvideobench.WriteStream(out, enc.Header(), pkts); err != nil {
+	if err := hdvideobench.WriteStream(out, hdr, pkts); err != nil {
 		fatalf("writing stream: %v", err)
 	}
 	bytes := 0
@@ -146,17 +151,13 @@ func runEncode(in io.Reader, out io.Writer, p encodeParams) {
 	}
 }
 
-func runDecode(in io.Reader, out io.Writer, simd, bench bool) {
+func runDecode(in io.Reader, out io.Writer, simd bool, workers int, bench bool) {
 	hdr, pkts, err := hdvideobench.ReadStream(in)
 	if err != nil {
 		fatalf("reading stream: %v", err)
 	}
-	dec, err := hdvideobench.NewDecoder(hdr, simd)
-	if err != nil {
-		fatalf("%v", err)
-	}
 	start := time.Now()
-	frames, err := hdvideobench.DecodePackets(dec, pkts)
+	frames, err := hdvideobench.DecodePacketsParallel(hdr, simd, workers, pkts)
 	if err != nil {
 		fatalf("decoding: %v", err)
 	}

@@ -1,0 +1,3 @@
+module hdvideobench
+
+go 1.24

@@ -18,8 +18,33 @@
 //		// write pkts ...
 //	}
 //
-// See the examples/ directory for complete programs and cmd/hdvbench for
-// the benchmark front end.
+// # GOP-parallel encoding and decoding
+//
+// The paper's future-work direction — parallel codec versions for chip
+// multiprocessors — is built in. With EncoderOptions.IntraPeriod > 0 the
+// stream is a series of closed GOPs (no picture references across an I
+// frame), and EncodeFramesParallel / DecodePacketsParallel spread those
+// GOPs over EncoderOptions.Workers goroutines, each driving a private
+// codec instance, with an ordered merge stage reassembling the results:
+//
+//	frames := hdvideobench.NewSequence(hdvideobench.RushHour, 1280, 720).Generate(48)
+//	pkts, hdr, _ := hdvideobench.EncodeFramesParallel(hdvideobench.H264,
+//		hdvideobench.EncoderOptions{Width: 1280, Height: 720, IntraPeriod: 6, Workers: 8},
+//		frames)
+//	decoded, _ := hdvideobench.DecodePacketsParallel(hdr, false, 8, pkts)
+//
+// The parallel output — bitstream bytes, packet order, display stamps,
+// decoded pixels — is byte-identical to the serial path at every worker
+// count (a benchmark whose results change with GOMAXPROCS is worthless);
+// internal/pipeline's test suite proves it under the race detector.
+// SuiteOptions.Workers threads the same parallelism through the Table V
+// and Figure 1 runners, and RunScalingReport adds the frames/s-by-worker-
+// count dimension to Figure 1.
+//
+// See the examples/ directory for complete programs (examples/parallel is
+// the parallel API demo) and cmd/hdvbench for the benchmark front end;
+// both front ends expose a -workers flag (default runtime.NumCPU(),
+// 1 = serial).
 package hdvideobench
 
 import (
@@ -141,6 +166,11 @@ type EncoderOptions struct {
 	SIMD bool
 	// Entropy selects the H.264 entropy coder.
 	Entropy EntropyMode
+	// Workers is the GOP-chunk parallelism used by EncodeFramesParallel:
+	// closed GOPs (IntraPeriod frames each) are encoded concurrently on
+	// this many goroutines. 0 or 1 is the serial path, negative selects
+	// runtime.NumCPU(). Output is byte-identical for every value.
+	Workers int
 }
 
 // config converts public options to the internal configuration.
@@ -257,6 +287,33 @@ func DecodePackets(dec Decoder, pkts []Packet) ([]*Frame, error) {
 	return append(out, dec.Flush()...), nil
 }
 
+// EncodeFramesParallel encodes display-order frames with opts.Workers
+// parallel encoder instances, one closed GOP (opts.IntraPeriod frames)
+// per task, and returns the packets in coding order plus the stream
+// header. The stream is byte-identical to the serial path (NewEncoder +
+// EncodeFrames) for every worker count; opts.Workers of 0 or 1, or
+// opts.IntraPeriod == 0, simply run serially, and negative Workers
+// selects runtime.NumCPU().
+func EncodeFramesParallel(c Codec, opts EncoderOptions, frames []*Frame) ([]Packet, StreamHeader, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, StreamHeader{}, err
+	}
+	return core.EncodeSequenceParallel(c, cfg, frames, opts.Workers)
+}
+
+// DecodePacketsParallel decodes a coding-order packet stream with workers
+// parallel decoder instances, one closed GOP per task, returning frames
+// in display order — identical to the serial path for every worker
+// count. simd selects the SWAR kernels as in NewDecoder.
+func DecodePacketsParallel(hdr StreamHeader, simd bool, workers int, pkts []Packet) ([]*Frame, error) {
+	k := kernel.Scalar
+	if simd {
+		k = kernel.SWAR
+	}
+	return core.DecodePacketsParallel(hdr, k, pkts, workers)
+}
+
 // --- benchmark suite ---------------------------------------------------------
 
 // SuiteOptions configures a benchmark run. Zero fields take the paper
@@ -268,6 +325,14 @@ type SuiteOptions struct {
 	Resolutions []Resolution
 	Sequences   []Sequence
 	Codecs      []Codec
+	// IntraPeriod inserts an I frame every N frames (0 = first frame
+	// only, the paper's setting). Nonzero periods produce closed GOPs,
+	// the unit of Workers parallelism.
+	IntraPeriod int
+	// Workers is the GOP-chunk parallelism for the suite's encode and
+	// decode passes (0/1 = serial). Results are byte-identical across
+	// worker counts.
+	Workers int
 	// Repeats is the number of timing repetitions for speed runs (the
 	// fastest is kept); the paper used five runs of each application.
 	Repeats int
@@ -285,6 +350,8 @@ func (o SuiteOptions) core() core.Options {
 		Resolutions: o.Resolutions,
 		Sequences:   o.Sequences,
 		Codecs:      o.Codecs,
+		IntraPeriod: o.IntraPeriod,
+		Workers:     o.Workers,
 		Repeats:     o.Repeats,
 	}
 }
@@ -307,6 +374,23 @@ func RunFigure1(o SuiteOptions, encode bool) ([]SpeedResult, error) {
 	}
 	return core.RunSpeed(o.core(), dir)
 }
+
+// RunScalingReport measures throughput at each worker count — Figure 1's
+// scaling dimension (frames/s at 1, 2, 4, N workers). encode selects the
+// encode or decode direction; workerCounts nil defaults to
+// {1, 2, 4, runtime.NumCPU()}. All counts run identical coding options
+// (IntraPeriod defaults to core's scaling GOP so chunks exist), so the
+// bitstreams agree and only wall-clock varies.
+func RunScalingReport(o SuiteOptions, encode bool, workerCounts []int) ([]SpeedResult, error) {
+	dir := core.Decode
+	if encode {
+		dir = core.Encode
+	}
+	return core.RunScaling(o.core(), dir, workerCounts)
+}
+
+// FormatScaling renders scaling results as a worker-count table.
+func FormatScaling(rs []SpeedResult, title string) string { return core.FormatScaling(rs, title) }
 
 // FormatTableV renders RD results in the paper's Table V layout.
 func FormatTableV(rs []RDResult) string { return core.FormatTableV(rs) }

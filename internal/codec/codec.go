@@ -87,6 +87,9 @@ func (c Config) Validate() error {
 	if c.BFrames < 0 || c.BFrames > 4 {
 		return fmt.Errorf("codec: BFrames %d out of range [0,4]", c.BFrames)
 	}
+	if c.IntraPeriod < 0 {
+		return fmt.Errorf("codec: IntraPeriod %d must be >= 0 (0 = first frame only)", c.IntraPeriod)
+	}
 	if c.SearchRange < 1 || c.SearchRange > RefPad-8 {
 		return fmt.Errorf("codec: search range %d out of range [1,%d]", c.SearchRange, RefPad-8)
 	}

@@ -120,6 +120,30 @@ func TestGOPSchedulerIntraPeriod(t *testing.T) {
 	}
 }
 
+func TestGOPSchedulerClosedGOP(t *testing.T) {
+	// IntraPeriod with B frames must produce *closed* GOPs: the B
+	// candidates buffered when a refresh arrives are coded as trailing P
+	// pictures before the I, so nothing references across the boundary
+	// and each intra period is an independently codable chunk.
+	g := &GOPScheduler{BFrames: 2, IntraPeriod: 6}
+	var order []GOPEntry
+	for i := 0; i < 12; i++ {
+		order = append(order, g.Push(mkFrame(i))...)
+	}
+	order = append(order, g.Flush()...)
+	wantTypes := []container.FrameType{'I', 'P', 'B', 'B', 'P', 'P', 'I', 'P', 'B', 'B', 'P', 'P'}
+	wantPTS := []int{0, 3, 1, 2, 4, 5, 6, 9, 7, 8, 10, 11}
+	if len(order) != len(wantTypes) {
+		t.Fatalf("got %d entries, want %d", len(order), len(wantTypes))
+	}
+	for i, e := range order {
+		if e.Type != wantTypes[i] || e.Frame.PTS != wantPTS[i] {
+			t.Errorf("entry %d: type %c pts %d, want %c pts %d",
+				i, e.Type, e.Frame.PTS, wantTypes[i], wantPTS[i])
+		}
+	}
+}
+
 func TestDisplayReorderer(t *testing.T) {
 	var d DisplayReorderer
 	// Coding order 0,3,1,2 (IPBB) must come out 0,1,2,3.

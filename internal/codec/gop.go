@@ -14,12 +14,20 @@ type GOPEntry struct {
 // GOPScheduler turns display-order input into coding-order entries for the
 // paper's GOP: first frame I, then repeating B…B P groups ("I-P-B-B" with
 // adaptive placement disabled), optional periodic intra refresh.
+//
+// Intra refresh produces *closed* GOPs: at a refresh boundary any buffered
+// B candidates are coded as trailing P pictures (exactly as at end of
+// stream) before the I frame opens the next GOP, so no picture references
+// across an I frame. Every intra period is therefore independently
+// codable and decodable — the invariant the internal/pipeline GOP-chunk
+// parallelism relies on to keep parallel output byte-identical to serial.
 type GOPScheduler struct {
 	BFrames     int
 	IntraPeriod int
 
-	pending []*frame.Frame // buffered B candidates
-	count   int            // display frames consumed
+	pending  []*frame.Frame // buffered B candidates
+	count    int            // display frames consumed
+	gopStart int            // display index of the current GOP's I frame
 }
 
 // Push accepts the next display-order frame and returns the entries that
@@ -27,23 +35,27 @@ type GOPScheduler struct {
 func (g *GOPScheduler) Push(f *frame.Frame) []GOPEntry {
 	idx := g.count
 	g.count++
-	if idx == 0 {
-		return []GOPEntry{{f, container.FrameI}}
+	if idx == 0 || (g.IntraPeriod > 0 && idx%g.IntraPeriod == 0) {
+		// Closed-GOP boundary: drain B candidates as trailing P pictures,
+		// then open the new GOP with an I frame.
+		entries := make([]GOPEntry, 0, len(g.pending)+1)
+		for _, b := range g.pending {
+			entries = append(entries, GOPEntry{b, container.FrameP})
+		}
+		g.pending = g.pending[:0]
+		g.gopStart = idx
+		return append(entries, GOPEntry{f, container.FrameI})
 	}
-	// Position within the B…B P group.
-	pos := (idx - 1) % (g.BFrames + 1)
+	// Position within the current GOP's B…B P group.
+	pos := (idx - g.gopStart - 1) % (g.BFrames + 1)
 	if pos < g.BFrames {
 		g.pending = append(g.pending, f)
 		return nil
 	}
-	// Reference frame: I on refresh boundary, else P. It is coded before
-	// the buffered B frames that precede it in display order.
-	t := container.FrameP
-	if g.IntraPeriod > 0 && idx%g.IntraPeriod == 0 {
-		t = container.FrameI
-	}
+	// Reference frame, coded before the buffered B frames that precede it
+	// in display order.
 	entries := make([]GOPEntry, 0, 1+len(g.pending))
-	entries = append(entries, GOPEntry{f, t})
+	entries = append(entries, GOPEntry{f, container.FrameP})
 	for _, b := range g.pending {
 		entries = append(entries, GOPEntry{b, container.FrameB})
 	}

@@ -76,7 +76,12 @@ var (
 	ErrBadVersion = errors.New("container: unsupported version")
 )
 
-const version = 1
+// version 2 marks the closed-GOP reference semantics: decoders reset
+// their reference state at every I frame, so version-1 streams coded
+// with open GOPs (mid-stream I frames whose trailing B packets reference
+// across them) would fail mid-decode. Rejecting them at the header with
+// ErrBadVersion names the incompatibility instead.
+const version = 2
 
 // headerSize is the fixed byte length of the stream header.
 const headerSize = 20
@@ -124,6 +129,12 @@ func (w *Writer) WritePacket(p Packet) error {
 // Count returns the number of packets written.
 func (w *Writer) Count() int { return w.count }
 
+// readChunk bounds per-step payload allocation; zeroChunk is the shared
+// append source so growing the buffer costs no throwaway allocations.
+const readChunk = 1 << 16
+
+var zeroChunk [readChunk]byte
+
 // Reader reads an HDVB stream.
 type Reader struct {
 	r   io.Reader
@@ -167,13 +178,27 @@ func (r *Reader) ReadPacket() (Packet, error) {
 		}
 		return Packet{}, fmt.Errorf("container: reading packet header: %w", err)
 	}
+	switch FrameType(hdr[0]) {
+	case FrameI, FrameP, FrameB:
+	default:
+		return Packet{}, fmt.Errorf("container: invalid frame type 0x%02x", hdr[0])
+	}
 	size := binary.LittleEndian.Uint32(hdr[5:])
 	if size > 1<<30 {
 		return Packet{}, fmt.Errorf("container: implausible packet size %d", size)
 	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(r.r, payload); err != nil {
-		return Packet{}, fmt.Errorf("container: reading payload: %w", err)
+	// Read in bounded chunks rather than trusting the size field with one
+	// huge allocation: a corrupt or truncated stream then fails with a
+	// read error after at most one chunk, not an out-of-memory.
+	payload := make([]byte, 0, min(int(size), readChunk))
+	for remaining := int(size); remaining > 0; {
+		n := min(remaining, readChunk)
+		off := len(payload)
+		payload = append(payload, zeroChunk[:n]...)
+		if _, err := io.ReadFull(r.r, payload[off:]); err != nil {
+			return Packet{}, fmt.Errorf("container: reading payload: %w", err)
+		}
+		remaining -= n
 	}
 	return Packet{
 		Type:         FrameType(hdr[0]),

@@ -1,0 +1,95 @@
+package container
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// validStream builds a well-formed HDVB stream for the seed corpus.
+func validStream(t testing.TB, hdr Header, pkts []Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadStream feeds arbitrary bytes through the header and packet
+// readers. Truncated or corrupt input must surface as an error — never a
+// panic, and never an allocation proportional to a lying size field.
+func FuzzReadStream(f *testing.F) {
+	hdr := Header{Codec: CodecH264, Width: 64, Height: 32, FPSNum: 25, FPSDen: 1, Frames: 3}
+	full := validStream(f, hdr, []Packet{
+		{Type: FrameI, DisplayIndex: 0, Payload: []byte{0x1a, 0x2b, 0x3c}},
+		{Type: FrameP, DisplayIndex: 2, Payload: []byte{0xff}},
+		{Type: FrameB, DisplayIndex: 1, Payload: nil},
+	})
+	f.Add(full)
+	f.Add(full[:len(full)-2]) // truncated payload
+	f.Add(full[:headerSize])  // header only
+	f.Add(full[:3])           // truncated magic
+	f.Add([]byte("HDVB"))
+	f.Add(validStream(f, Header{Codec: CodecMPEG2, Width: 720, Height: 576, FPSNum: 25, FPSDen: 1}, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		got := r.Header()
+		if got.Width < 0 || got.Height < 0 || got.Frames < 0 {
+			t.Fatalf("negative header fields: %+v", got)
+		}
+		for i := 0; i < 1<<16; i++ {
+			p, err := r.ReadPacket()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // corrupt input must error, not panic
+			}
+			if int64(len(p.Payload)) > int64(len(data)) {
+				t.Fatalf("packet %d: %d payload bytes from %d input bytes", i, len(p.Payload), len(data))
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip writes a packet built from fuzz data and reads it back,
+// checking the container is lossless for everything it accepts.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8('I'), 0, []byte{1, 2, 3})
+	f.Add(uint8('P'), 41, []byte{})
+	f.Add(uint8('B'), 7, []byte{0})
+	f.Fuzz(func(t *testing.T, ft uint8, display int, payload []byte) {
+		switch FrameType(ft) {
+		case FrameI, FrameP, FrameB:
+		default:
+			return
+		}
+		if display < 0 || display > 1<<31-1 {
+			return
+		}
+		hdr := Header{Codec: CodecMPEG4, Width: 16, Height: 16, FPSNum: 25, FPSDen: 1}
+		stream := validStream(t, hdr, []Packet{{Type: FrameType(ft), DisplayIndex: display, Payload: payload}})
+		r, err := NewReader(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := r.ReadPacket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Type != FrameType(ft) || p.DisplayIndex != display || !bytes.Equal(p.Payload, payload) {
+			t.Fatalf("round trip mismatch: %+v", p)
+		}
+	})
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"hdvideobench/internal/metrics"
 	"hdvideobench/internal/mpeg2"
 	"hdvideobench/internal/mpeg4"
+	"hdvideobench/internal/pipeline"
 	"hdvideobench/internal/seqgen"
 )
 
@@ -123,6 +125,17 @@ type Options struct {
 	Refs        int
 	Entropy     codec.EntropyMode
 
+	// IntraPeriod inserts an I frame every N frames (0 = first frame
+	// only, the paper's setting). A nonzero period produces closed GOPs,
+	// the unit of the pipeline's parallelism: with IntraPeriod == 0 a
+	// Workers > 1 run degenerates to the serial path.
+	IntraPeriod int
+
+	// Workers is the codec-level parallelism: closed-GOP chunks are
+	// encoded/decoded concurrently on this many goroutines. 0 or 1 is
+	// the legacy serial path. Output is byte-identical for every value.
+	Workers int
+
 	// Repeats is the number of timing repetitions per speed measurement;
 	// the fastest run is reported (filters scheduler/steal noise on shared
 	// machines). Zero means one run.
@@ -163,6 +176,7 @@ func (o Options) Config(res Resolution) codec.Config {
 	cfg.BFrames = o.BFrames
 	cfg.Refs = o.Refs
 	cfg.Entropy = o.Entropy
+	cfg.IntraPeriod = o.IntraPeriod
 	return cfg
 }
 
@@ -187,6 +201,38 @@ func EncodeSequence(id CodecID, cfg codec.Config, frames []*frame.Frame) ([]cont
 	}
 	pkts = append(pkts, ps...)
 	return pkts, enc.Header(), nil
+}
+
+// EncodeSequenceParallel is EncodeSequence spread over workers goroutines
+// via the GOP-chunk pipeline. The packet stream is byte-identical to the
+// serial one for every worker count; parallelism requires
+// cfg.IntraPeriod > 0 (closed GOPs are the unit of work). workers <= 1
+// selects the serial path, workers < 0 selects runtime.NumCPU().
+func EncodeSequenceParallel(id CodecID, cfg codec.Config, frames []*frame.Frame, workers int) ([]container.Packet, container.Header, error) {
+	if workers < 0 {
+		workers = pipeline.Workers(0)
+	}
+	if workers <= 1 {
+		return EncodeSequence(id, cfg, frames)
+	}
+	return pipeline.EncodeFrames(func() (codec.Encoder, error) {
+		return NewEncoder(id, cfg)
+	}, cfg.IntraPeriod, workers, frames)
+}
+
+// DecodePacketsParallel is DecodePackets spread over workers goroutines,
+// one closed GOP per task. Decoded frames are identical to the serial
+// path for every worker count.
+func DecodePacketsParallel(hdr container.Header, kern kernel.Set, pkts []container.Packet, workers int) ([]*frame.Frame, error) {
+	if workers < 0 {
+		workers = pipeline.Workers(0)
+	}
+	if workers <= 1 {
+		return DecodePackets(hdr, kern, pkts)
+	}
+	return pipeline.DecodePackets(func() (codec.Decoder, error) {
+		return NewDecoder(hdr, kern)
+	}, workers, pkts)
 }
 
 // DecodePackets decodes a packet stream back to display-order frames.
@@ -228,11 +274,11 @@ func RunRD(o Options) ([]RDResult, error) {
 		for _, seq := range o.Sequences {
 			inputs := seqgen.New(seq, res.Width, res.Height).Generate(o.Frames)
 			for _, id := range o.Codecs {
-				pkts, hdr, err := EncodeSequence(id, cfg, inputs)
+				pkts, hdr, err := EncodeSequenceParallel(id, cfg, inputs, o.Workers)
 				if err != nil {
 					return nil, fmt.Errorf("encoding %v/%v/%v: %w", res.Name, seq, id, err)
 				}
-				decoded, err := DecodePackets(hdr, o.Kernels, pkts)
+				decoded, err := DecodePacketsParallel(hdr, o.Kernels, pkts, o.Workers)
 				if err != nil {
 					return nil, fmt.Errorf("decoding %v/%v/%v: %w", res.Name, seq, id, err)
 				}
@@ -285,6 +331,7 @@ type SpeedResult struct {
 	Codec      CodecID
 	Direction  Direction
 	Kernels    kernel.Set
+	Workers    int // goroutines used (0/1 = serial path)
 	FPS        float64
 	Frames     int
 }
@@ -311,7 +358,7 @@ func RunSpeed(o Options, dir Direction) ([]SpeedResult, error) {
 					inputs := seqgen.New(seq, res.Width, res.Height).Generate(o.Frames)
 					if dir == Encode {
 						start := time.Now()
-						_, _, err := EncodeSequence(id, cfg, inputs)
+						_, _, err := EncodeSequenceParallel(id, cfg, inputs, o.Workers)
 						totalTime += time.Since(start)
 						if err != nil {
 							return nil, err
@@ -319,12 +366,12 @@ func RunSpeed(o Options, dir Direction) ([]SpeedResult, error) {
 						frames += len(inputs)
 						continue
 					}
-					pkts, hdr, err := EncodeSequence(id, cfg, inputs)
+					pkts, hdr, err := EncodeSequenceParallel(id, cfg, inputs, o.Workers)
 					if err != nil {
 						return nil, err
 					}
 					start := time.Now()
-					decoded, err := DecodePackets(hdr, o.Kernels, pkts)
+					decoded, err := DecodePacketsParallel(hdr, o.Kernels, pkts, o.Workers)
 					totalTime += time.Since(start)
 					if err != nil {
 						return nil, err
@@ -342,10 +389,54 @@ func RunSpeed(o Options, dir Direction) ([]SpeedResult, error) {
 				Codec:      id,
 				Direction:  dir,
 				Kernels:    o.Kernels,
+				Workers:    o.Workers,
 				FPS:        fps,
 				Frames:     totalFrames,
 			})
 		}
+	}
+	return results, nil
+}
+
+// ScalingGOP is the intra period RunScaling pins when the caller has not
+// chosen one: parallel throughput needs closed GOPs to chunk on, and
+// every worker count must code the same stream for the comparison to
+// mean anything. Six frames is two full I-P-B-B groups' worth of work
+// per chunk at the paper's BFrames=2.
+const ScalingGOP = 6
+
+// RunScaling measures encode or decode throughput at each worker count —
+// Figure 1's new scaling dimension (frames/s at 1, 2, 4, N workers).
+// All counts run with identical coding options (same IntraPeriod, so
+// identical bitstreams); only the goroutine count varies. workerCounts
+// nil defaults to {1, 2, 4, runtime.NumCPU()}; duplicates are measured
+// once.
+func RunScaling(o Options, dir Direction, workerCounts []int) ([]SpeedResult, error) {
+	o = o.defaults()
+	if o.IntraPeriod == 0 {
+		o.IntraPeriod = ScalingGOP
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, pipeline.Workers(0)}
+	}
+	counts := make([]int, 0, len(workerCounts))
+	seen := map[int]bool{}
+	for _, wc := range workerCounts {
+		if !seen[wc] {
+			seen[wc] = true
+			counts = append(counts, wc)
+		}
+	}
+	sort.Ints(counts)
+	var results []SpeedResult
+	for _, wc := range counts {
+		ow := o
+		ow.Workers = wc
+		rs, err := RunSpeed(ow, dir)
+		if err != nil {
+			return nil, fmt.Errorf("scaling at %d workers: %w", wc, err)
+		}
+		results = append(results, rs...)
 	}
 	return results, nil
 }

@@ -101,6 +101,69 @@ func FormatFigure1(results []SpeedResult, title string) string {
 	return b.String()
 }
 
+// FormatScaling renders RunScaling results as one worker-count column per
+// measured count: the Figure 1 scaling dimension. Each cell shows frames
+// per second and, beyond one worker, the speed-up over the one-worker run.
+func FormatScaling(results []SpeedResult, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (frames per second by worker count; identical bitstreams)\n", title)
+
+	var counts []int
+	seen := map[int]bool{}
+	for _, r := range results {
+		if !seen[r.Workers] {
+			seen[r.Workers] = true
+			counts = append(counts, r.Workers)
+		}
+	}
+	sort.Ints(counts)
+
+	type key struct {
+		res   string
+		codec CodecID
+	}
+	cells := map[key]map[int]float64{}
+	var keys []key
+	for _, r := range results {
+		k := key{r.Resolution.Name, r.Codec}
+		if cells[k] == nil {
+			cells[k] = map[int]float64{}
+			keys = append(keys, k)
+		}
+		cells[k][r.Workers] = r.FPS
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		if keys[i].res != keys[j].res {
+			return resOrder(keys[i].res) < resOrder(keys[j].res)
+		}
+		return keys[i].codec < keys[j].codec
+	})
+
+	fmt.Fprintf(&b, "%-10s %-8s", "", "")
+	for _, wc := range counts {
+		fmt.Fprintf(&b, " %14s", fmt.Sprintf("%d worker(s)", wc))
+	}
+	b.WriteString("\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-10s %-8s", k.res, k.codec)
+		base := cells[k][counts[0]]
+		for i, wc := range counts {
+			fps, ok := cells[k][wc]
+			if !ok {
+				fmt.Fprintf(&b, " %14s", "-")
+				continue
+			}
+			if i == 0 || base == 0 {
+				fmt.Fprintf(&b, " %10.2f    ", fps)
+			} else {
+				fmt.Fprintf(&b, " %8.2f %4.1fx", fps, fps/base)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
 // GainResult summarizes compression gains at one resolution (the §VI
 // narrative numbers: "MPEG-4 achieves 39.4%, 36.7% and 34.1% ...").
 type GainResult struct {

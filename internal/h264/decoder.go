@@ -67,6 +67,10 @@ func (d *Decoder) Decode(p container.Packet) ([]*frame.Frame, error) {
 func (d *Decoder) Flush() []*frame.Frame { return d.reorder.Flush() }
 
 func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
+	if p.Type == container.FrameI {
+		// IDR semantics: mirror the encoder's reference-list reset.
+		d.refs.Reset()
+	}
 	if p.Type == container.FrameP && d.refs.Len() < 1 {
 		return nil, fmt.Errorf("h264: P frame before any reference")
 	}

@@ -143,6 +143,12 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 
 	deblockFrame(recon, e.meta, e.qp)
 	recon.ExtendBorders()
+	if ftype == container.FrameI {
+		// IDR semantics: an I frame empties the reference list, closing the
+		// GOP so chunk encoders reproduce the serial stream exactly (a P
+		// frame after a mid-stream I must not reach references behind it).
+		e.refs.Reset()
+	}
 	if ftype != container.FrameB {
 		e.refs.Add(recon)
 	}

@@ -98,7 +98,12 @@ func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 	}
 
 	recon.ExtendBorders()
-	if p.Type != container.FrameB {
+	switch p.Type {
+	case container.FrameI:
+		// Closed GOP: mirror the encoder's reference reset at I frames.
+		d.prevRef = nil
+		d.lastRef = recon
+	case container.FrameP:
 		d.prevRef = d.lastRef
 		d.lastRef = recon
 	}

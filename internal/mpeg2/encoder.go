@@ -104,7 +104,13 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	}
 
 	recon.ExtendBorders()
-	if ftype != container.FrameB {
+	switch ftype {
+	case container.FrameI:
+		// Closed GOP: an I frame invalidates earlier references, so a
+		// chunk encoder starting here matches the serial stream exactly.
+		e.prevRef = nil
+		e.lastRef = recon
+	case container.FrameP:
 		e.prevRef = e.lastRef
 		e.lastRef = recon
 	}
