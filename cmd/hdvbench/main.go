@@ -9,6 +9,9 @@
 //	hdvbench -fig1d                # Figure 1(d): encode fps, SIMD
 //	hdvbench -scaling              # Figure 1 scaling: encode+decode fps
 //	                               # at 1, 2, 4, NumCPU workers
+//	hdvbench -scaling -json f.json # same, plus machine-readable results
+//	                               # (the BENCH_*.json trajectory format;
+//	                               # "-" writes the JSON to stdout)
 //	hdvbench -summary              # §VI: compression gains + SIMD speed-ups
 //
 // Common flags: -frames N (default 25; the paper uses 100), -q N
@@ -42,6 +45,7 @@ func main() {
 		fig1c    = flag.Bool("fig1c", false, "encode fps, scalar kernels (Figure 1c)")
 		fig1d    = flag.Bool("fig1d", false, "encode fps, SIMD kernels (Figure 1d)")
 		scaling  = flag.Bool("scaling", false, "fps at 1,2,4,NumCPU workers (Figure 1 scaling dimension)")
+		jsonPath = flag.String("json", "", "with -scaling: write machine-readable results to this file (\"-\" = stdout)")
 		summary  = flag.Bool("summary", false, "compression gains and SIMD speed-ups (§VI)")
 		frames   = flag.Int("frames", 25, "frames per sequence (paper: 100)")
 		repeats  = flag.Int("repeats", 3, "timing repetitions, fastest kept (paper: 5 runs)")
@@ -128,6 +132,7 @@ func main() {
 		runFig(true, true, "Figure 1(d): Encoding Performance with SIMD Optimizations")
 	}
 	if *scaling {
+		var all []hdvideobench.SpeedResult
 		for _, dir := range []struct {
 			encode bool
 			title  string
@@ -139,7 +144,26 @@ func main() {
 			if err != nil {
 				fatalf("scaling: %v", err)
 			}
-			fmt.Print(hdvideobench.FormatScaling(rs, dir.title))
+			// With the JSON going to stdout, keep it parseable: the
+			// human-readable tables move to stderr.
+			table := hdvideobench.FormatScaling(rs, dir.title)
+			if *jsonPath == "-" {
+				fmt.Fprint(os.Stderr, table)
+			} else {
+				fmt.Print(table)
+			}
+			all = append(all, rs...)
+		}
+		if *jsonPath != "" {
+			out, err := hdvideobench.FormatScalingJSON(opts, all)
+			if err != nil {
+				fatalf("scaling json: %v", err)
+			}
+			if *jsonPath == "-" {
+				os.Stdout.Write(out)
+			} else if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+				fatalf("scaling json: %v", err)
+			}
 		}
 		ran = true
 	}

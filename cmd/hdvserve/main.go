@@ -1,0 +1,294 @@
+// Command hdvserve is the HTTP front end of the streaming subsystem: it
+// encodes benchmark sequences on the fly and streams the HDVB container
+// to the client with chunked transfer, one coded packet per flush, so
+// playback-side tooling can start decoding long before the sequence is
+// finished. It is the serving-tier workload the ROADMAP's north star
+// asks for on top of the codec core.
+//
+// Start the server and request a stream:
+//
+//	hdvserve -addr :8080
+//	curl -s 'http://localhost:8080/transcode?codec=h264&seq=blue_sky&width=1280&height=720' > blue_sky.hdvb
+//	vcodec -decode -i blue_sky.hdvb -o blue_sky.yuv
+//
+// GET /transcode query parameters:
+//
+//	codec    target codec: mpeg2, mpeg4, h264 (default h264)
+//	seq      source sequence: blue_sky, pedestrian_area, riverbed,
+//	         rush_hour (default blue_sky)
+//	width    frame width, multiple of 16 (default 1280)
+//	height   frame height, multiple of 16 (default 720)
+//	frames   frames to encode, 1..-max-frames (default 250)
+//	q        quantizer, MPEG scale 1..31 (default 5)
+//	gop      closed-GOP length in frames, 1..255 (default 8; the chunk
+//	         unit of the bounded-window streaming encoder, kept under
+//	         the decoder-side parallel-fallback threshold)
+//	workers  encoder goroutines for this request, clamped to -workers
+//	         (default: the full budget)
+//	simd     use the SWAR kernel set (default false)
+//	vlc      H.264 only: VLC entropy instead of CABAC (default false)
+//
+// GET /healthz reports readiness and current load.
+//
+// Each request runs the bounded-memory streaming encoder under a
+// per-request worker budget (-workers) and window (-window), so peak
+// memory per request is O(window × gop) frames at the requested
+// resolution. A semaphore caps concurrent requests (-max-concurrent);
+// excess requests get 503 + Retry-After rather than queueing without
+// bound. A dropped client aborts its encode promptly (the context
+// cancels the frame feed and the chunked writes fail), and SIGINT/
+// SIGTERM drain in-flight streams before exit (-shutdown-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hdvideobench"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", runtime.NumCPU(), "per-request worker-goroutine budget")
+		window      = flag.Int("window", 0, "per-request chunk window (0 = 2x workers)")
+		maxConc     = flag.Int("max-concurrent", 4, "max concurrent transcode requests (excess get 503)")
+		maxFrames   = flag.Int("max-frames", 5000, "max frames a single request may ask for")
+		shutdownSec = flag.Int("shutdown-timeout", 30, "seconds to drain in-flight streams on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	srv := newServer(serverConfig{
+		Workers:       *workers,
+		Window:        *window,
+		MaxConcurrent: *maxConc,
+		MaxFrames:     *maxFrames,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("hdvserve: listening on %s (workers=%d window=%d max-concurrent=%d)",
+			*addr, *workers, *window, *maxConc)
+		done <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-done:
+		log.Fatalf("hdvserve: %v", err)
+	case <-ctx.Done():
+		log.Printf("hdvserve: shutting down, draining in-flight streams")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Duration(*shutdownSec)*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("hdvserve: shutdown: %v", err)
+		}
+	}
+}
+
+// serverConfig carries the per-process limits.
+type serverConfig struct {
+	Workers       int // per-request worker budget
+	Window        int // per-request chunk window (0 = default)
+	MaxConcurrent int // concurrent /transcode requests before 503
+	MaxFrames     int // cap on the frames= parameter
+}
+
+// server is the HTTP transcoding service; it is constructed by
+// newServer so the httptest suite can drive the exact production
+// handler.
+type server struct {
+	cfg    serverConfig
+	sem    chan struct{}
+	active atomic.Int64
+	served atomic.Int64
+}
+
+func newServer(cfg serverConfig) *server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.MaxFrames < 1 {
+		cfg.MaxFrames = 5000
+	}
+	return &server{cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent)}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /transcode", s.handleTranscode)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// intParam parses an integer query parameter with a default and bounds.
+func intParam(q map[string][]string, name string, def, lo, hi int) (int, error) {
+	vs, ok := q[name]
+	if !ok || len(vs) == 0 || vs[0] == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(vs[0])
+	if err != nil {
+		return 0, fmt.Errorf("%s: not an integer: %q", name, vs[0])
+	}
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("%s: %d out of range [%d,%d]", name, v, lo, hi)
+	}
+	return v, nil
+}
+
+// transcodeRequest is a validated /transcode query.
+type transcodeRequest struct {
+	codec  hdvideobench.Codec
+	seq    hdvideobench.Sequence
+	frames int
+	opts   hdvideobench.EncoderOptions
+}
+
+func (s *server) parseTranscode(r *http.Request) (transcodeRequest, error) {
+	q := r.URL.Query()
+	var req transcodeRequest
+	var err error
+
+	codecName := q.Get("codec")
+	if codecName == "" {
+		codecName = "h264"
+	}
+	if req.codec, err = hdvideobench.ParseCodec(codecName); err != nil {
+		return req, err
+	}
+	seqName := q.Get("seq")
+	if seqName == "" {
+		seqName = "blue_sky"
+	}
+	if req.seq, err = hdvideobench.ParseSequence(seqName); err != nil {
+		return req, err
+	}
+
+	width, err := intParam(q, "width", 1280, 16, 4096)
+	if err != nil {
+		return req, err
+	}
+	height, err := intParam(q, "height", 720, 16, 4096)
+	if err != nil {
+		return req, err
+	}
+	if err := hdvideobench.ValidateResolution(width, height); err != nil {
+		return req, err
+	}
+	if req.frames, err = intParam(q, "frames", min(250, s.cfg.MaxFrames), 1, s.cfg.MaxFrames); err != nil {
+		return req, err
+	}
+	qp, err := intParam(q, "q", 5, 1, 31)
+	if err != nil {
+		return req, err
+	}
+	// The gop ceiling matches the streaming decoder's fallback
+	// threshold, so every stream this server emits stays fully
+	// GOP-parallel on the client's decode side.
+	gop, err := intParam(q, "gop", 8, 1, 255)
+	if err != nil {
+		return req, err
+	}
+	// workers clamps to the server's budget rather than rejecting, so
+	// one client request works against any replica's CPU budget.
+	workers, err := intParam(q, "workers", s.cfg.Workers, 1, 4096)
+	if err != nil {
+		return req, err
+	}
+	workers = min(workers, s.cfg.Workers)
+
+	req.opts = hdvideobench.EncoderOptions{
+		Width: width, Height: height, Q: qp,
+		IntraPeriod: gop,
+		Workers:     workers,
+		Window:      s.cfg.Window,
+		SIMD:        q.Get("simd") == "1" || q.Get("simd") == "true",
+	}
+	if q.Get("vlc") == "1" || q.Get("vlc") == "true" {
+		req.opts.Entropy = hdvideobench.EntropyVLC
+	}
+	return req, nil
+}
+
+func (s *server) handleTranscode(w http.ResponseWriter, r *http.Request) {
+	req, err := s.parseTranscode(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Admission control: hand back 503 instead of queueing unbounded
+	// work — the client can retry against another replica.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "transcoder at capacity", http.StatusServiceUnavailable)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	w.Header().Set("Content-Type", "application/x-hdvideobench")
+	w.Header().Set("X-HDVB-Codec", req.codec.String())
+	w.Header().Set("X-HDVB-Frames", strconv.Itoa(req.frames))
+
+	// The frame feed checks the request context so a dropped client
+	// aborts the encode from the input side too (the output side dies
+	// on its own when chunked writes start failing).
+	ctx := r.Context()
+	gen := hdvideobench.NewSequence(req.seq, req.opts.Width, req.opts.Height)
+	i := 0
+	start := time.Now()
+	stats, err := hdvideobench.EncodeStream(w, req.codec, req.opts, req.frames, func() (*hdvideobench.Frame, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if i >= req.frames {
+			return nil, io.EOF
+		}
+		f := gen.Frame(i)
+		i++
+		return f, nil
+	})
+	switch {
+	case err == nil:
+		s.served.Add(1)
+		log.Printf("hdvserve: %s %s %dx%d frames=%d workers=%d: %d bytes in %v",
+			req.codec, req.seq, req.opts.Width, req.opts.Height,
+			req.frames, req.opts.Workers, stats.Bytes, time.Since(start).Round(time.Millisecond))
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil:
+		log.Printf("hdvserve: client gone after %d frames (%d bytes)", stats.Frames, stats.Bytes)
+	case stats.Bytes == 0:
+		// Nothing on the wire yet: the error can still become a status.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		// Mid-stream failure; the truncated body is the only signal.
+		log.Printf("hdvserve: stream failed after %d frames: %v", stats.Frames, err)
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","active":%d,"capacity":%d,"served":%d}`+"\n",
+		s.active.Load(), s.cfg.MaxConcurrent, s.served.Load())
+}

@@ -38,21 +38,24 @@ func main() {
 		fatalf("%v", err)
 	}
 	defer fb.Close()
-	ra := bufio.NewReaderSize(fa, 1<<20)
-	rb := bufio.NewReaderSize(fb, 1<<20)
+	// Stream both files frame by frame through the raw readers, reusing
+	// one frame buffer per side: memory stays at two frames no matter
+	// how long the inputs are.
+	ra := hdvideobench.NewRawFrameReader(bufio.NewReaderSize(fa, 1<<20), *width, *height)
+	rb := hdvideobench.NewRawFrameReader(bufio.NewReaderSize(fb, 1<<20), *width, *height)
 
 	refF := hdvideobench.NewFrame(*width, *height)
 	disF := hdvideobench.NewFrame(*width, *height)
 	n := 0
 	sum := 0.0
 	for {
-		if err := refF.ReadRaw(ra); err != nil {
+		if err := ra.ReadInto(refF); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				break
 			}
 			fatalf("reading %s: %v", *aPath, err)
 		}
-		if err := disF.ReadRaw(rb); err != nil {
+		if err := rb.ReadInto(disF); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				fatalf("%s is shorter than %s", *bPath, *aPath)
 			}

@@ -12,15 +12,20 @@
 //
 //	vcodec -decode -i out.hdvb -o out.yuv -benchmark
 //
-// Both directions run the GOP-parallel pipeline on -workers goroutines
-// (default runtime.NumCPU(); 1 = legacy serial path). Parallel encoding
-// needs closed GOPs to chunk on, so pass -gop N (intra period) when
-// encoding with more than one worker; output is byte-identical to the
-// serial path either way.
+// Both directions run the bounded-memory streaming engine: frames are
+// read, coded and written incrementally with at most -window closed-GOP
+// chunks in flight across -workers goroutines (default runtime.NumCPU();
+// 1 = serial), so peak memory is O(window × gop) frames no matter how
+// long the input is — a multi-hour sequence transcodes at the same
+// footprint as a 25-frame one. Parallel encoding needs closed GOPs to
+// chunk on, so pass -gop N (intra period) when encoding with more than
+// one worker; output is byte-identical to the serial and batch paths
+// either way.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +51,7 @@ func main() {
 		refs      = flag.Int("refs", 4, "H.264 reference frames")
 		gop       = flag.Int("gop", 0, "intra period / closed-GOP length (0 = first frame only)")
 		workers   = flag.Int("workers", runtime.NumCPU(), "GOP-parallel worker goroutines (1 = serial)")
+		window    = flag.Int("window", 0, "closed-GOP chunks in flight (0 = 2x workers); caps peak memory")
 		simd      = flag.Bool("simd", false, "use the SIMD (SWAR) kernels")
 		vlc       = flag.Bool("vlc", false, "H.264: use VLC entropy instead of CABAC")
 		bench     = flag.Bool("benchmark", false, "print fps timing")
@@ -76,12 +82,12 @@ func main() {
 		runEncode(bufio.NewReaderSize(in, 1<<20), bw, encodeParams{
 			codec: *codecName, w: *width, h: *height, q: *q,
 			frames: *frames, bframes: *bframes, refs: *refs,
-			gop: *gop, workers: *workers,
+			gop: *gop, workers: *workers, window: *window,
 			simd: *simd, vlc: *vlc, bench: *bench,
 		})
 		return
 	}
-	runDecode(bufio.NewReaderSize(in, 1<<20), bw, *simd, *workers, *bench)
+	runDecode(bufio.NewReaderSize(in, 1<<20), bw, *simd, *workers, *window, *bench)
 }
 
 type encodeParams struct {
@@ -92,6 +98,7 @@ type encodeParams struct {
 	refs      int
 	gop       int
 	workers   int
+	window    int
 	simd, vlc bool
 	bench     bool
 }
@@ -107,7 +114,7 @@ func runEncode(in io.Reader, out io.Writer, p encodeParams) {
 	opts := hdvideobench.EncoderOptions{
 		Width: p.w, Height: p.h, Q: p.q,
 		BFrames: p.bframes, Refs: p.refs, SIMD: p.simd,
-		IntraPeriod: p.gop, Workers: p.workers,
+		IntraPeriod: p.gop, Workers: p.workers, Window: p.window,
 	}
 	if p.bframes == 0 {
 		opts.BFrames = -1
@@ -116,62 +123,49 @@ func runEncode(in io.Reader, out io.Writer, p encodeParams) {
 		opts.Entropy = hdvideobench.EntropyVLC
 	}
 
-	var frames []*hdvideobench.Frame
-	n := 0
-	for p.frames == 0 || n < p.frames {
-		f := hdvideobench.NewFrame(p.w, p.h)
-		if err := f.ReadRaw(in); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				break
-			}
-			fatalf("reading frame %d: %v", n, err)
-		}
-		frames = append(frames, f)
-		n++
-	}
-
+	// Frames flow straight from the raw reader into the streaming
+	// encoder — never more than the chunk window in memory.
+	rr := hdvideobench.NewRawFrameReader(in, p.w, p.h)
 	start := time.Now()
-	pkts, hdr, err := hdvideobench.EncodeFramesParallel(c, opts, frames)
+	stats, err := hdvideobench.EncodeStream(out, c, opts, 0, func() (*hdvideobench.Frame, error) {
+		if p.frames > 0 && rr.Count() >= p.frames {
+			return nil, io.EOF
+		}
+		f, err := rr.Next()
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, io.EOF // trailing partial frame: stop cleanly
+		}
+		return f, err
+	})
 	if err != nil {
 		fatalf("encoding: %v", err)
 	}
 	elapsed := time.Since(start)
+	if stats.Frames == 0 {
+		fatalf("no complete frames in %dx%d input", p.w, p.h)
+	}
 
-	if err := hdvideobench.WriteStream(out, hdr, pkts); err != nil {
-		fatalf("writing stream: %v", err)
-	}
-	bytes := 0
-	for _, pk := range pkts {
-		bytes += len(pk.Payload)
-	}
 	fmt.Fprintf(os.Stderr, "vcodec: encoded %d frames, %d bytes (%.1f kbit/s at 25 fps)\n",
-		n, bytes, float64(bytes*8*25)/float64(n)/1000)
+		stats.Frames, stats.Bytes, float64(stats.Bytes*8*25)/float64(stats.Frames)/1000)
 	if p.bench {
-		fmt.Fprintf(os.Stderr, "vcodec: %.2f fps (%v)\n", float64(n)/elapsed.Seconds(), elapsed)
+		fmt.Fprintf(os.Stderr, "vcodec: %.2f fps (%v)\n", float64(stats.Frames)/elapsed.Seconds(), elapsed)
 	}
 }
 
-func runDecode(in io.Reader, out io.Writer, simd bool, workers int, bench bool) {
-	hdr, pkts, err := hdvideobench.ReadStream(in)
-	if err != nil {
-		fatalf("reading stream: %v", err)
-	}
+func runDecode(in io.Reader, out io.Writer, simd bool, workers, window int, bench bool) {
 	start := time.Now()
-	frames, err := hdvideobench.DecodePacketsParallel(hdr, simd, workers, pkts)
+	hdr, stats, err := hdvideobench.DecodeStream(in, simd, workers, window, func(f *hdvideobench.Frame) error {
+		return f.WriteRaw(out)
+	})
 	if err != nil {
 		fatalf("decoding: %v", err)
 	}
 	elapsed := time.Since(start)
-	for _, f := range frames {
-		if err := f.WriteRaw(out); err != nil {
-			fatalf("writing raw video: %v", err)
-		}
-	}
 	fmt.Fprintf(os.Stderr, "vcodec: decoded %d frames of %s %dx%d\n",
-		len(frames), hdr.Codec, hdr.Width, hdr.Height)
+		stats.Frames, hdr.Codec, hdr.Width, hdr.Height)
 	if bench {
 		fmt.Fprintf(os.Stderr, "vcodec: %.2f fps (%v)\n",
-			float64(len(frames))/elapsed.Seconds(), elapsed)
+			float64(stats.Frames)/elapsed.Seconds(), elapsed)
 	}
 }
 

@@ -58,6 +58,7 @@ import (
 	"hdvideobench/internal/kernel"
 	"hdvideobench/internal/metrics"
 	"hdvideobench/internal/seqgen"
+	"hdvideobench/internal/stream"
 )
 
 // Codec identifies one of the three benchmark codecs.
@@ -171,6 +172,11 @@ type EncoderOptions struct {
 	// this many goroutines. 0 or 1 is the serial path, negative selects
 	// runtime.NumCPU(). Output is byte-identical for every value.
 	Workers int
+	// Window caps the closed-GOP chunks in flight on the streaming paths
+	// (NewStreamEncoder, EncodeStream, Transcode): peak memory is
+	// O(Window × IntraPeriod) frames regardless of sequence length.
+	// 0 selects 2×Workers. It does not affect the batch entry points.
+	Window int
 }
 
 // config converts public options to the internal configuration.
@@ -314,6 +320,124 @@ func DecodePacketsParallel(hdr StreamHeader, simd bool, workers int, pkts []Pack
 	return core.DecodePacketsParallel(hdr, k, pkts, workers)
 }
 
+// --- streaming ---------------------------------------------------------------
+
+// StreamEncoder is the bounded-memory streaming encoder: Write accepts
+// display-order frames, ReadPacket emits coded packets, and at most
+// Window closed-GOP chunks are in flight, so peak memory is independent
+// of sequence length. One goroutine writes (then calls Close exactly
+// once); another reads until io.EOF. See internal/stream for the full
+// scheduling model.
+type StreamEncoder = stream.Encoder
+
+// StreamDecoder is the streaming decoder: Write accepts coding-order
+// packets, ReadFrame emits display-order frames, same windowed contract
+// as StreamEncoder.
+type StreamDecoder = stream.Decoder
+
+// ErrStreamAborted is returned by streaming calls after the stream has
+// been torn down early (Abort, a failure on the other side, or a gone
+// client).
+var ErrStreamAborted = stream.ErrAborted
+
+// StreamStats summarizes one streaming pass.
+type StreamStats = core.StreamStats
+
+// TranscodeStats summarizes one streaming transcode.
+type TranscodeStats = core.TranscodeStats
+
+// NewStreamEncoder builds a streaming encoder for the given codec. The
+// chunk length is opts.IntraPeriod, the parallelism opts.Workers, the
+// window opts.Window; opts.Workers <= 1 or opts.IntraPeriod == 0 runs
+// the serial constant-memory mode. The packet stream is byte-identical
+// to the batch path for every worker count and window.
+func NewStreamEncoder(c Codec, opts EncoderOptions) (*StreamEncoder, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewStreamEncoder(c, cfg, opts.Workers, opts.Window)
+}
+
+// NewStreamDecoder builds a streaming decoder for a coded stream. simd
+// selects the SWAR kernels as in NewDecoder; workers and window as in
+// NewStreamEncoder.
+func NewStreamDecoder(hdr StreamHeader, simd bool, workers, window int) (*StreamDecoder, error) {
+	k := kernel.Scalar
+	if simd {
+		k = kernel.SWAR
+	}
+	return core.NewStreamDecoder(hdr, k, workers, window)
+}
+
+// EncodeStream pulls frames from next until it returns io.EOF, encodes
+// them as c, and writes the HDVB container to w incrementally — the
+// constant-memory counterpart of EncodeFramesParallel + WriteStream.
+// When w exposes an http.ResponseWriter-style Flush, every packet is
+// flushed onto the wire as it is coded. frames declares the sequence
+// length in the container header when known upfront (readers can then
+// detect truncated transfers); 0 means unknown, read until EOF.
+func EncodeStream(w io.Writer, c Codec, opts EncoderOptions, frames int, next func() (*Frame, error)) (StreamStats, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return StreamStats{}, err
+	}
+	return core.EncodeStream(w, c, cfg, opts.Workers, opts.Window, frames, next)
+}
+
+// DecodeStream reads an HDVB container from r incrementally, decodes it,
+// and hands each display-order frame to yield — the constant-memory
+// counterpart of ReadStream + DecodePacketsParallel. An error from yield
+// aborts the stream and is returned.
+func DecodeStream(r io.Reader, simd bool, workers, window int, yield func(*Frame) error) (StreamHeader, StreamStats, error) {
+	k := kernel.Scalar
+	if simd {
+		k = kernel.SWAR
+	}
+	return core.DecodeStream(r, k, workers, window, yield)
+}
+
+// Transcode decodes the HDVB stream on r and re-encodes it as c, writing
+// the new container to w. All stages run concurrently under the same
+// bounded window, so arbitrarily long streams transcode at constant
+// memory. opts supplies the target coding options; zero Width/Height
+// copy the input's dimensions (there is no scaler — explicit dimensions
+// must match the input), and opts.SIMD selects the kernels for both the
+// decode and encode stages.
+func Transcode(r io.Reader, w io.Writer, c Codec, opts EncoderOptions) (TranscodeStats, error) {
+	k := kernel.Scalar
+	if opts.SIMD {
+		k = kernel.SWAR
+	}
+	return core.Transcode(r, w, c, k, opts.Workers, opts.Window, func(hdr container.Header) (codec.Config, error) {
+		o := opts
+		if o.Width == 0 {
+			o.Width = hdr.Width
+		}
+		if o.Height == 0 {
+			o.Height = hdr.Height
+		}
+		cfg, err := o.config()
+		if err != nil {
+			return codec.Config{}, err
+		}
+		if hdr.FPSNum > 0 && hdr.FPSDen > 0 {
+			cfg.FPSNum, cfg.FPSDen = hdr.FPSNum, hdr.FPSDen
+		}
+		return cfg, nil
+	})
+}
+
+// RawFrameReader iterates a raw planar I420 stream frame by frame (the
+// input side of cmd/vcodec and cmd/psnr): Next allocates each frame,
+// ReadInto reuses one.
+type RawFrameReader = frame.RawReader
+
+// NewRawFrameReader returns a frame-by-frame reader over raw I420 data.
+func NewRawFrameReader(r io.Reader, width, height int) *RawFrameReader {
+	return frame.NewRawReader(r, width, height)
+}
+
 // --- benchmark suite ---------------------------------------------------------
 
 // SuiteOptions configures a benchmark run. Zero fields take the paper
@@ -391,6 +515,13 @@ func RunScalingReport(o SuiteOptions, encode bool, workerCounts []int) ([]SpeedR
 
 // FormatScaling renders scaling results as a worker-count table.
 func FormatScaling(rs []SpeedResult, title string) string { return core.FormatScaling(rs, title) }
+
+// FormatScalingJSON renders scaling results as machine-readable JSON
+// (the BENCH_*.json trajectory format), carrying the run configuration
+// so the file is self-describing.
+func FormatScalingJSON(o SuiteOptions, rs []SpeedResult) ([]byte, error) {
+	return core.FormatScalingJSON(o.core(), rs)
+}
 
 // FormatTableV renders RD results in the paper's Table V layout.
 func FormatTableV(rs []RDResult) string { return core.FormatTableV(rs) }

@@ -2,6 +2,8 @@ package hdvideobench
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"testing"
 	"time"
 )
@@ -181,5 +183,111 @@ func TestDescribeAndFormatters(t *testing.T) {
 	}
 	if FormatTableV(rs) == "" || Gains(rs) == "" {
 		t.Error("empty reports")
+	}
+}
+
+// TestPublicStreamingRoundTrip drives the public streaming API end to
+// end: EncodeStream must reproduce the batch container bytes, Transcode
+// must convert it, and DecodeStream must recover every frame.
+func TestPublicStreamingRoundTrip(t *testing.T) {
+	const w, h, n, gop = 96, 80, 10, 3
+	opts := EncoderOptions{Width: w, Height: h, IntraPeriod: gop, Workers: 4, SearchRange: 8, Refs: 2}
+
+	// Batch reference.
+	inputs := NewSequence(BlueSky, w, h).Generate(n)
+	pkts, hdr, err := EncodeFramesParallel(MPEG2, opts, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch bytes.Buffer
+	if err := WriteStream(&batch, hdr, pkts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming encode.
+	gen := NewSequence(BlueSky, w, h)
+	i := 0
+	var streamed bytes.Buffer
+	stats, err := EncodeStream(&streamed, MPEG2, opts, 0, func() (*Frame, error) {
+		if i >= n {
+			return nil, io.EOF
+		}
+		f := gen.Frame(i)
+		i++
+		return f, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames != n {
+		t.Fatalf("encoded %d frames, want %d", stats.Frames, n)
+	}
+	if !bytes.Equal(streamed.Bytes(), batch.Bytes()) {
+		t.Fatalf("streaming container differs from batch (%d vs %d bytes)", streamed.Len(), batch.Len())
+	}
+
+	// Streaming transcode MPEG-2 -> H.264.
+	var h264 bytes.Buffer
+	tstats, err := Transcode(bytes.NewReader(streamed.Bytes()), &h264, H264,
+		EncoderOptions{IntraPeriod: gop, Workers: 2, SearchRange: 8, Refs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tstats.Frames != n {
+		t.Fatalf("transcoded %d frames, want %d", tstats.Frames, n)
+	}
+
+	// Streaming decode of the transcoded stream.
+	count := 0
+	dhdr, _, err := DecodeStream(bytes.NewReader(h264.Bytes()), false, 2, 0, func(f *Frame) error {
+		if f.PTS != count {
+			return fmt.Errorf("frame %d: PTS %d", count, f.PTS)
+		}
+		if p := PSNR(inputs[count], f); p < 20 {
+			return fmt.Errorf("frame %d: PSNR %.2f dB after transcode", count, p)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dhdr.Width != w || dhdr.Height != h {
+		t.Fatalf("decoded header %dx%d", dhdr.Width, dhdr.Height)
+	}
+	if count != n {
+		t.Fatalf("decoded %d frames, want %d", count, n)
+	}
+}
+
+// TestRawFrameReader round-trips frames through WriteRaw and the
+// streaming raw reader, checking PTS stamping and clean EOF.
+func TestRawFrameReader(t *testing.T) {
+	const w, h, n = 96, 80, 4
+	frames := NewSequence(RushHour, w, h).Generate(n)
+	var raw bytes.Buffer
+	for _, f := range frames {
+		if err := f.WriteRaw(&raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rr := NewRawFrameReader(bytes.NewReader(raw.Bytes()), w, h)
+	for i := 0; i < n; i++ {
+		f, err := rr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.PTS != i {
+			t.Fatalf("frame %d: PTS %d", i, f.PTS)
+		}
+		if p := PSNR(frames[i], f); p < 100 {
+			t.Fatalf("frame %d: lossy raw round trip (PSNR %.2f)", i, p)
+		}
+	}
+	if _, err := rr.Next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+	if rr.Count() != n {
+		t.Fatalf("Count = %d, want %d", rr.Count(), n)
 	}
 }

@@ -1,0 +1,214 @@
+package container
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+var streamPkts = []Packet{
+	{Type: FrameI, DisplayIndex: 0, Payload: []byte{1, 2, 3}},
+	{Type: FrameP, DisplayIndex: 3, Payload: bytes.Repeat([]byte{7}, 500)},
+	{Type: FrameB, DisplayIndex: 1, Payload: []byte{9}},
+}
+
+func streamHdr(frames int) Header {
+	return Header{Codec: CodecMPEG2, Width: 96, Height: 80, FPSNum: 25, FPSDen: 1, Frames: frames}
+}
+
+// TestStreamWriterMatchesBatch checks the incremental writer produces
+// exactly the bytes of the batch Writer, and accounts bytes and packets.
+func TestStreamWriterMatchesBatch(t *testing.T) {
+	var batch bytes.Buffer
+	bw, err := NewWriter(&batch, streamHdr(len(streamPkts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range streamPkts {
+		if err := bw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var inc bytes.Buffer
+	sw, err := NewStreamWriter(&inc, streamHdr(len(streamPkts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range streamPkts {
+		if err := sw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(inc.Bytes(), batch.Bytes()) {
+		t.Fatalf("stream writer bytes differ from batch (%d vs %d)", inc.Len(), batch.Len())
+	}
+	if sw.Count() != len(streamPkts) {
+		t.Fatalf("count = %d, want %d", sw.Count(), len(streamPkts))
+	}
+	if sw.BytesWritten() != int64(inc.Len()) {
+		t.Fatalf("BytesWritten = %d, want %d", sw.BytesWritten(), inc.Len())
+	}
+}
+
+// netFlusher mimics http.ResponseWriter: error-less Flush.
+type netFlusher struct {
+	bytes.Buffer
+	flushes int
+}
+
+func (f *netFlusher) Flush() { f.flushes++ }
+
+// errFlusher mimics bufio.Writer: Flush returns an error.
+type errFlusher struct {
+	bytes.Buffer
+	flushes int
+}
+
+func (f *errFlusher) Flush() error { f.flushes++; return nil }
+
+// TestStreamWriterFlushThrough checks each packet is pushed through an
+// http-style flusher, while bufio-style flushers keep their batching
+// (only an explicit Flush reaches them).
+func TestStreamWriterFlushThrough(t *testing.T) {
+	var nf netFlusher
+	sw, err := NewStreamWriter(&nf, streamHdr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range streamPkts {
+		if err := sw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nf.flushes != len(streamPkts) {
+		t.Fatalf("http-style flushes = %d, want one per packet (%d)", nf.flushes, len(streamPkts))
+	}
+
+	var ef errFlusher
+	sw, err = NewStreamWriter(&ef, streamHdr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range streamPkts {
+		if err := sw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ef.flushes != 0 {
+		t.Fatalf("bufio-style flushes = %d, want 0 (batching preserved)", ef.flushes)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if ef.flushes != 1 {
+		t.Fatalf("explicit Flush reached the flusher %d times, want 1", ef.flushes)
+	}
+}
+
+// TestStreamReaderDeclaredLength checks a declared-length stream stops
+// cleanly after its packets without touching trailing bytes, so streams
+// can be concatenated or followed by other data.
+func TestStreamReaderDeclaredLength(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, streamHdr(len(streamPkts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range streamPkts {
+		if err := sw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	streamLen := buf.Len()
+	buf.WriteString("TRAILING GARBAGE")
+
+	sr, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range streamPkts {
+		p, err := sr.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if p.Type != streamPkts[i].Type || p.DisplayIndex != streamPkts[i].DisplayIndex ||
+			!bytes.Equal(p.Payload, streamPkts[i].Payload) {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("after declared count: %v, want io.EOF", err)
+	}
+	if sr.Count() != len(streamPkts) {
+		t.Fatalf("Count = %d, want %d", sr.Count(), len(streamPkts))
+	}
+	if sr.BytesRead() != int64(streamLen) {
+		t.Fatalf("BytesRead = %d, want %d (trailing bytes must stay unread)", sr.BytesRead(), streamLen)
+	}
+}
+
+// TestStreamReaderTruncated checks a declared-length stream that ends
+// early reports io.ErrUnexpectedEOF, not a clean EOF.
+func TestStreamReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, streamHdr(5)) // declares 5, delivers 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range streamPkts[:2] {
+		if err := sw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sr.Next(); err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+	}
+	if _, err := sr.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated stream: %v, want io.ErrUnexpectedEOF", err)
+	}
+	// The error must be sticky.
+	if _, err := sr.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("second read after truncation: %v, want sticky io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestStreamReaderUndeclaredLength checks the Frames=0 convention still
+// reads to EOF like the batch Reader.
+func TestStreamReaderUndeclaredLength(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, streamHdr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range streamPkts {
+		if err := sw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sr, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(streamPkts) {
+		t.Fatalf("read %d packets, want %d", n, len(streamPkts))
+	}
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -162,6 +164,70 @@ func FormatScaling(results []SpeedResult, title string) string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// ScalingRecord is one machine-readable scaling measurement — the JSON
+// shape of a SpeedResult, stable for trend tracking.
+type ScalingRecord struct {
+	Direction  string  `json:"direction"`
+	Resolution string  `json:"resolution"`
+	Codec      string  `json:"codec"`
+	Kernels    string  `json:"kernels"`
+	Workers    int     `json:"workers"`
+	FPS        float64 `json:"fps"`
+	Frames     int     `json:"frames"`
+}
+
+// ScalingReport is the machine-readable envelope for RunScaling results:
+// enough host and configuration metadata to compare runs across machines
+// and commits (the BENCH_*.json trajectory).
+type ScalingReport struct {
+	Benchmark string          `json:"benchmark"`
+	GoOS      string          `json:"goos"`
+	GoArch    string          `json:"goarch"`
+	NumCPU    int             `json:"num_cpu"`
+	Frames    int             `json:"frames_per_sequence"`
+	Q         int             `json:"q"`
+	GOP       int             `json:"gop"`
+	Repeats   int             `json:"repeats"`
+	Results   []ScalingRecord `json:"results"`
+}
+
+// FormatScalingJSON renders scaling results as indented JSON, carrying
+// the run configuration from o so a captured file is self-describing.
+func FormatScalingJSON(o Options, results []SpeedResult) ([]byte, error) {
+	o = o.defaults()
+	gop := o.IntraPeriod
+	if gop == 0 {
+		gop = ScalingGOP // RunScaling's pin when the caller chose none
+	}
+	rep := ScalingReport{
+		Benchmark: "hdvbench-scaling",
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Frames:    o.Frames,
+		Q:         o.Q,
+		GOP:       gop,
+		Repeats:   max(o.Repeats, 1),
+		Results:   make([]ScalingRecord, 0, len(results)),
+	}
+	for _, r := range results {
+		rep.Results = append(rep.Results, ScalingRecord{
+			Direction:  strings.ToLower(r.Direction.String()),
+			Resolution: r.Resolution.Name,
+			Codec:      r.Codec.String(),
+			Kernels:    r.Kernels.String(),
+			Workers:    r.Workers,
+			FPS:        r.FPS,
+			Frames:     r.Frames,
+		})
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
 }
 
 // GainResult summarizes compression gains at one resolution (the §VI

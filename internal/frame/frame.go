@@ -212,3 +212,48 @@ func readPlane(r io.Reader, p []byte, stride, width, height int) error {
 func RawSize(width, height int) int {
 	return width*height + 2*(width/2)*(height/2)
 }
+
+// RawReader iterates the frames of a raw planar I420 stream one at a
+// time, so arbitrarily long files flow through at single-frame memory —
+// the input side of the streaming paths in cmd/vcodec and cmd/psnr.
+type RawReader struct {
+	r             io.Reader
+	width, height int
+	count         int
+}
+
+// NewRawReader returns a frame-by-frame reader over raw I420 data of the
+// given dimensions.
+func NewRawReader(r io.Reader, width, height int) *RawReader {
+	return &RawReader{r: r, width: width, height: height}
+}
+
+// Next reads and returns the next frame, allocating it (use ReadInto to
+// reuse a buffer when the caller does not keep frames). io.EOF signals a
+// clean end on a frame boundary; a stream that ends mid-frame fails with
+// io.ErrUnexpectedEOF.
+func (rr *RawReader) Next() (*Frame, error) {
+	f := New(rr.width, rr.height)
+	if err := rr.ReadInto(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadInto fills f (whose dimensions must match the reader's) from the
+// stream, stamping its PTS with the frame's position.
+func (rr *RawReader) ReadInto(f *Frame) error {
+	if f.Width != rr.width || f.Height != rr.height {
+		return fmt.Errorf("frame: reader is %dx%d, frame is %dx%d",
+			rr.width, rr.height, f.Width, f.Height)
+	}
+	if err := f.ReadRaw(rr.r); err != nil {
+		return err
+	}
+	f.PTS = rr.count
+	rr.count++
+	return nil
+}
+
+// Count returns the number of frames read so far.
+func (rr *RawReader) Count() int { return rr.count }

@@ -138,14 +138,9 @@ func EncodeFrames(newEnc EncoderFactory, gop, workers int, frames []*frame.Frame
 				return nil, err
 			}
 		}
-		pkts, err := encodeAll(ce, frames[spans[i].lo:spans[i].hi])
+		pkts, err := EncodeChunk(ce, frames[spans[i].lo:spans[i].hi], spans[i].lo)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: chunk %d (frames %d-%d): %w", i, spans[i].lo, spans[i].hi-1, err)
-		}
-		// Chunk encoders stamp chunk-local display indices; shift them
-		// into the global timeline.
-		for j := range pkts {
-			pkts[j].DisplayIndex += spans[i].lo
 		}
 		return pkts, nil
 	})
@@ -184,6 +179,24 @@ func encodeAll(enc codec.Encoder, frames []*frame.Frame) ([]container.Packet, er
 		return nil, err
 	}
 	return append(pkts, ps...), nil
+}
+
+// EncodeChunk drives enc over one closed-GOP chunk of display-order
+// frames and flushes it, shifting the chunk-local display indices the
+// encoder stamps by base — the chunk's offset in the global timeline.
+// It is the unit of work of both the batch scheduler above and the
+// bounded-window streaming scheduler in internal/stream.
+func EncodeChunk(enc codec.Encoder, frames []*frame.Frame, base int) ([]container.Packet, error) {
+	pkts, err := encodeAll(enc, frames)
+	if err != nil {
+		return nil, err
+	}
+	if base != 0 {
+		for j := range pkts {
+			pkts[j].DisplayIndex += base
+		}
+	}
+	return pkts, nil
 }
 
 // segments splits a coding-order packet stream at closed-GOP boundaries:
@@ -242,11 +255,7 @@ func DecodePackets(newDec DecoderFactory, workers int, pkts []container.Packet) 
 		if err != nil {
 			return nil, err
 		}
-		// Each segment's display indices start at its I frame; the
-		// decoder's reorder buffer counts from zero, so decode with
-		// segment-local stamps and shift back afterwards.
-		base := pkts[spans[i].lo].DisplayIndex
-		out, err := decodeAll(dec, pkts[spans[i].lo:spans[i].hi], base)
+		out, err := DecodeSegment(dec, pkts[spans[i].lo:spans[i].hi])
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: segment %d (packets %d-%d): %w", i, spans[i].lo, spans[i].hi-1, err)
 		}
@@ -265,6 +274,21 @@ func DecodePackets(newDec DecoderFactory, workers int, pkts []container.Packet) 
 		merged = append(merged, fs...)
 	}
 	return merged, nil
+}
+
+// DecodeSegment decodes one closed-GOP segment of coding-order packets
+// with a fresh decoder, returning its frames in display order with
+// global PTS stamps. Each segment's display indices start at its I
+// frame; the decoder's reorder buffer counts from zero, so the segment
+// is decoded with segment-local stamps (rebased by the first packet's
+// display index) and shifted back afterwards. Like EncodeChunk, it is
+// shared by the batch scheduler and internal/stream.
+func DecodeSegment(dec codec.Decoder, pkts []container.Packet) ([]*frame.Frame, error) {
+	base := 0
+	if len(pkts) > 0 {
+		base = pkts[0].DisplayIndex
+	}
+	return decodeAll(dec, pkts, base)
 }
 
 // decodeAll drives dec over pkts with display indices rebased by -base,

@@ -1,0 +1,313 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/pipeline"
+)
+
+// Decoder is the streaming decoder: Write accepts coding-order packets,
+// ReadFrame emits decoded frames in display order, and a bounded window
+// of closed-GOP segments in flight keeps peak memory independent of
+// stream length. See the package comment for the scheduling model and
+// the concurrency contract.
+//
+// Segment boundaries are detected on the fly: a mid-stream I packet
+// whose display index exceeds everything seen so far opens a new
+// segment. That is exactly where the container's version-2 closed-GOP
+// semantics guarantee a reference reset, so each segment decodes
+// independently; a packet that displays before its segment's I frame
+// (an open GOP the version-2 container forbids) fails with a clean
+// error. A segment that reaches FallbackPackets packets without a
+// boundary — the paper's first-frame-only-intra setting, or any stream
+// whose I frames stop coming — switches the decoder to the serial
+// single-instance mode for the rest of the stream, preserving the
+// memory bound at the cost of parallelism.
+type Decoder struct {
+	window  int
+	factory pipeline.DecoderFactory
+
+	// chunked mode (workers > 1)
+	pool       *pipeline.OrderedPool[decSegment, []*frame.Frame]
+	cur        []container.Packet // segment being collected (writer goroutine only)
+	maxDisplay int                // highest display index seen (writer goroutine only)
+	submitted  int                // segments handed to the pool (writer goroutine only)
+	fellBack   atomic.Bool        // writer→reader signal: serial fallback engaged
+
+	// serial mode: one persistent decoder driven inline by Write. Also
+	// the landing spot of the chunked mode's boundary-less fallback;
+	// serialBase rebases display stamps when that takeover happens
+	// mid-stream (the codec's reorder buffer counts from zero).
+	dec        codec.Decoder
+	out        chan *frame.Frame
+	serialBase int
+
+	// reader-side state
+	pending   []*frame.Frame
+	useSerial bool // reader observed the fallback
+	rerr      error
+
+	closed   bool
+	closeErr error
+
+	closeOut sync.Once
+	aborted  chan struct{}
+	abortOne sync.Once
+
+	resident gauge
+}
+
+type decSegment struct {
+	pkts []container.Packet
+}
+
+// NewDecoder builds a streaming decoder. factory constructs the codec
+// instances (one per closed-GOP segment in chunked mode); workers is the
+// number of segment workers and window the maximum segments in flight
+// (<= 0 selects 2×workers). workers <= 1 selects the serial
+// single-instance mode, which handles any stream — including open-ended
+// single-segment ones — at the codec's own constant memory.
+func NewDecoder(factory pipeline.DecoderFactory, workers, window int) (*Decoder, error) {
+	d := &Decoder{
+		factory:    factory,
+		maxDisplay: -1,
+		aborted:    make(chan struct{}),
+	}
+	if workers <= 1 {
+		dec, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		d.window = normWindow(window, 1)
+		d.dec = dec
+		d.out = make(chan *frame.Frame, d.window)
+		return d, nil
+	}
+	d.window = normWindow(window, workers)
+	d.pool = pipeline.NewOrderedPool(workers, d.window,
+		func(s decSegment) ([]*frame.Frame, error) {
+			base := s.pkts[0].DisplayIndex
+			for _, p := range s.pkts {
+				if p.DisplayIndex < base {
+					return nil, fmt.Errorf("stream: packet (type %c, display %d) displays before its segment's I frame (display %d): open-GOP or malformed stream",
+						p.Type, p.DisplayIndex, base)
+				}
+			}
+			dec, err := factory()
+			if err != nil {
+				return nil, err
+			}
+			frames, err := pipeline.DecodeSegment(dec, s.pkts)
+			if err != nil {
+				return nil, err
+			}
+			// Decoded frames are the expensive payload from here on;
+			// account them until ReadFrame hands each one to the caller.
+			d.resident.add(len(frames))
+			return frames, nil
+		},
+		nil,
+	)
+	return d, nil
+}
+
+// Window reports the resolved segment window.
+func (d *Decoder) Window() int { return d.window }
+
+// PeakResident reports the high-water mark of decoded frames held by the
+// decoder (chunked mode), bounded by (Window+1)×GOP for a closed-GOP
+// stream. In serial mode frames flow through a small channel and this
+// reports zero; after a boundary-less fallback only the segments decoded
+// before the switch are counted.
+func (d *Decoder) PeakResident() int { return d.resident.high() }
+
+// Write accepts the next coding-order packet, blocking while the segment
+// window is full. It returns ErrAborted once the stream is torn down.
+func (d *Decoder) Write(p container.Packet) error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.dec != nil {
+		return d.writeSerial(p)
+	}
+	// A closed-GOP boundary: an I packet that displays after everything
+	// seen so far. The version-2 container guarantees no references
+	// cross it, so the collected segment is complete.
+	if len(d.cur) > 0 && p.Type == container.FrameI && p.DisplayIndex > d.maxDisplay {
+		if err := d.submit(); err != nil {
+			return err
+		}
+	}
+	d.cur = append(d.cur, p)
+	if p.DisplayIndex > d.maxDisplay {
+		d.maxDisplay = p.DisplayIndex
+	}
+	if len(d.cur) >= FallbackPackets {
+		return d.fallBackToSerial()
+	}
+	return nil
+}
+
+func (d *Decoder) writeSerial(p container.Packet) error {
+	if d.closeErr != nil {
+		return d.closeErr
+	}
+	p.DisplayIndex -= d.serialBase
+	frames, err := d.dec.Decode(p)
+	if err != nil {
+		d.closeErr = err
+		return err
+	}
+	return d.push(frames)
+}
+
+// fallBackToSerial abandons GOP parallelism for the rest of this
+// stream: FallbackPackets packets of the current segment arrived
+// without a closed-GOP boundary, so segment decoding would buffer
+// without bound. The segment always starts at a reference reset (the
+// stream head or a boundary I frame), so a persistent serial decoder —
+// rebased to the segment's first display index — replays the
+// compressed prefix and takes over. The pool is closed; earlier
+// segments drain to the reader in order, and the pool's EOF plus the
+// fallback flag tell it to switch to the serial channel.
+func (d *Decoder) fallBackToSerial() error {
+	dec, err := d.factory()
+	if err != nil {
+		return err
+	}
+	d.dec = dec
+	d.serialBase = d.cur[0].DisplayIndex
+	d.out = make(chan *frame.Frame, d.window)
+	d.fellBack.Store(true)
+	d.pool.Close()
+	pkts := d.cur
+	d.cur = nil
+	for _, p := range pkts {
+		if err := d.writeSerial(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Decoder) submit() error {
+	s := decSegment{pkts: d.cur}
+	d.cur = nil
+	d.submitted++
+	return d.pool.Submit(s)
+}
+
+// push queues serial-mode frames for the reader, restoring the global
+// display stamps a mid-stream fallback rebased away and honoring aborts.
+func (d *Decoder) push(frames []*frame.Frame) error {
+	for _, f := range frames {
+		f.PTS += d.serialBase
+		select {
+		case d.out <- f:
+		case <-d.aborted:
+			return ErrAborted
+		}
+	}
+	return nil
+}
+
+// Close flushes the final segment and marks the end of input; ReadFrame
+// drains the remaining frames and then reports io.EOF. Close must be
+// called exactly once from the writer side, even after an error or an
+// Abort.
+func (d *Decoder) Close() error {
+	if d.closed {
+		return ErrClosed
+	}
+	d.closed = true
+	if d.dec != nil { // serial mode, or chunked mode after the fallback
+		err := d.closeErr
+		if err == nil {
+			err = d.push(d.dec.Flush())
+			d.closeErr = err
+		}
+		d.closeOut.Do(func() { close(d.out) })
+		return err
+	}
+	var err error
+	if len(d.cur) > 0 {
+		err = d.submit()
+	}
+	d.pool.Close()
+	return err
+}
+
+// ReadFrame returns the next frame in display order, blocking until one
+// is available. It reports io.EOF after Close once everything has been
+// drained. On a worker failure it returns the error and aborts the
+// stream so a blocked writer unblocks too; errors are sticky.
+func (d *Decoder) ReadFrame() (*frame.Frame, error) {
+	if d.rerr != nil {
+		return nil, d.rerr
+	}
+	select { // an aborted stream is dead even if decoded frames remain
+	case <-d.aborted:
+		d.rerr = ErrAborted
+		return nil, d.rerr
+	default:
+	}
+	if d.pool == nil || d.useSerial {
+		return d.readSerial()
+	}
+	for len(d.pending) == 0 {
+		frames, err := d.pool.Next()
+		if err != nil {
+			if err == io.EOF {
+				if d.fellBack.Load() {
+					// The writer switched to the serial fallback; all
+					// frames now arrive on the serial channel.
+					d.useSerial = true
+					return d.readSerial()
+				}
+				d.rerr = io.EOF
+			} else {
+				d.rerr = err
+				d.Abort()
+			}
+			return nil, d.rerr
+		}
+		d.pending = frames
+	}
+	f := d.pending[0]
+	d.pending = d.pending[1:]
+	d.resident.add(-1)
+	return f, nil
+}
+
+func (d *Decoder) readSerial() (*frame.Frame, error) {
+	select {
+	case f, ok := <-d.out:
+		if !ok {
+			d.rerr = io.EOF
+			if d.closeErr != nil {
+				d.rerr = d.closeErr
+			}
+			return nil, d.rerr
+		}
+		return f, nil
+	case <-d.aborted:
+		d.rerr = ErrAborted
+		return nil, d.rerr
+	}
+}
+
+// Abort tears the stream down early: pending segments are dropped and
+// blocked Write/ReadFrame calls return ErrAborted. Safe from any
+// goroutine; idempotent. The writer must still call Close.
+func (d *Decoder) Abort() {
+	d.abortOne.Do(func() { close(d.aborted) })
+	if d.pool != nil {
+		d.pool.Abort()
+	}
+}

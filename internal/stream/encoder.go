@@ -1,0 +1,240 @@
+package stream
+
+import (
+	"io"
+	"sync"
+
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/pipeline"
+)
+
+// Encoder is the streaming encoder: Write accepts display-order frames,
+// ReadPacket emits the coded packets in coding order, and a bounded
+// window of closed-GOP chunks in flight keeps peak memory independent of
+// sequence length. See the package comment for the scheduling model and
+// the concurrency contract.
+type Encoder struct {
+	hdr    container.Header
+	gop    int
+	window int
+
+	// chunked mode (workers > 1 and gop > 0)
+	pool    *pipeline.OrderedPool[encChunk, []container.Packet]
+	cur     []*frame.Frame // chunk being filled (writer goroutine only)
+	written int            // frames accepted so far (writer goroutine only)
+
+	// serial mode: one persistent encoder driven inline by Write.
+	enc codec.Encoder
+	out chan container.Packet
+
+	// reader-side state
+	pending []container.Packet
+	rerr    error
+
+	closed   bool
+	closeErr error // serial mode: set before out is closed
+
+	closeOut sync.Once
+	aborted  chan struct{}
+	abortOne sync.Once
+
+	resident gauge
+}
+
+type encChunk struct {
+	base   int
+	frames []*frame.Frame
+}
+
+// NewEncoder builds a streaming encoder. factory constructs the codec
+// instances (one per chunk in chunked mode); gop is the closed-GOP chunk
+// length in frames, workers the number of chunk workers, and window the
+// maximum chunks in flight (<= 0 selects 2×workers). workers <= 1 or
+// gop <= 0 selects the serial single-instance mode.
+func NewEncoder(factory pipeline.EncoderFactory, gop, workers, window int) (*Encoder, error) {
+	enc, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	e := &Encoder{
+		hdr:     enc.Header(),
+		gop:     gop,
+		aborted: make(chan struct{}),
+	}
+	if workers <= 1 || gop <= 0 {
+		e.window = normWindow(window, 1)
+		e.enc = enc
+		// The serial queue holds coded packets, not frames; size it in
+		// GOP units so the writer can stay a window ahead of the reader.
+		e.out = make(chan container.Packet, e.window*max(gop, 4))
+		return e, nil
+	}
+	e.window = normWindow(window, workers)
+	e.pool = pipeline.NewOrderedPool(workers, e.window,
+		func(c encChunk) ([]container.Packet, error) {
+			ce, err := factory()
+			if err != nil {
+				e.resident.add(-len(c.frames))
+				return nil, err
+			}
+			pkts, err := pipeline.EncodeChunk(ce, c.frames, c.base)
+			// The chunk's raw frames are released here, whether or not
+			// the encode succeeded; only coded bytes travel onward.
+			e.resident.add(-len(c.frames))
+			return pkts, err
+		},
+		func(c encChunk) { e.resident.add(-len(c.frames)) },
+	)
+	return e, nil
+}
+
+// Header describes the stream being produced (same header as the batch
+// path: codec, dimensions, frame rate; Frames is zero, unknown upfront).
+func (e *Encoder) Header() container.Header { return e.hdr }
+
+// Window reports the resolved chunk window.
+func (e *Encoder) Window() int { return e.window }
+
+// PeakResident reports the high-water mark of raw input frames held by
+// the encoder (chunked mode). The scheduler bounds it by
+// (Window+1)×GOP: up to Window admitted chunks plus the chunk being
+// filled. In serial mode frames pass straight into the codec and this
+// reports zero.
+func (e *Encoder) PeakResident() int { return e.resident.high() }
+
+// Write accepts the next display-order frame. The encoder takes
+// ownership of f (it is handed to a codec instance and released once its
+// chunk is coded). Write blocks while the chunk window is full — the
+// backpressure that bounds memory — and returns ErrAborted once the
+// stream is torn down.
+func (e *Encoder) Write(f *frame.Frame) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.pool == nil {
+		if e.closeErr != nil {
+			return e.closeErr
+		}
+		pkts, err := e.enc.Encode(f)
+		if err != nil {
+			e.closeErr = err
+			return err
+		}
+		return e.push(pkts)
+	}
+	e.resident.add(1)
+	e.cur = append(e.cur, f)
+	e.written++
+	if len(e.cur) == e.gop {
+		return e.submit()
+	}
+	return nil
+}
+
+func (e *Encoder) submit() error {
+	c := encChunk{base: e.written - len(e.cur), frames: e.cur}
+	e.cur = nil
+	return e.pool.Submit(c)
+}
+
+// push queues serial-mode packets for the reader, honoring aborts.
+func (e *Encoder) push(pkts []container.Packet) error {
+	for _, p := range pkts {
+		select {
+		case e.out <- p:
+		case <-e.aborted:
+			return ErrAborted
+		}
+	}
+	return nil
+}
+
+// Close flushes the final (possibly partial) chunk and marks the end of
+// input; ReadPacket drains the remaining packets and then reports
+// io.EOF. Close must be called exactly once from the writer side, even
+// after an error or an Abort.
+func (e *Encoder) Close() error {
+	if e.closed {
+		return ErrClosed
+	}
+	e.closed = true
+	if e.pool == nil {
+		err := e.closeErr
+		if err == nil {
+			var pkts []container.Packet
+			if pkts, err = e.enc.Flush(); err == nil {
+				err = e.push(pkts)
+			}
+			e.closeErr = err
+		}
+		e.closeOut.Do(func() { close(e.out) })
+		return err
+	}
+	var err error
+	if len(e.cur) > 0 {
+		err = e.submit()
+	}
+	e.pool.Close()
+	return err
+}
+
+// ReadPacket returns the next packet in coding order, blocking until one
+// is available. It reports io.EOF after Close once everything has been
+// drained. On a worker failure it returns the error and aborts the
+// stream so a blocked writer unblocks too; errors are sticky.
+func (e *Encoder) ReadPacket() (container.Packet, error) {
+	if e.rerr != nil {
+		return container.Packet{}, e.rerr
+	}
+	select { // an aborted stream is dead even if coded data remains
+	case <-e.aborted:
+		e.rerr = ErrAborted
+		return container.Packet{}, e.rerr
+	default:
+	}
+	if e.pool == nil {
+		select {
+		case p, ok := <-e.out:
+			if !ok {
+				e.rerr = io.EOF
+				if e.closeErr != nil {
+					e.rerr = e.closeErr
+				}
+				return container.Packet{}, e.rerr
+			}
+			return p, nil
+		case <-e.aborted:
+			e.rerr = ErrAborted
+			return container.Packet{}, e.rerr
+		}
+	}
+	for len(e.pending) == 0 {
+		pkts, err := e.pool.Next()
+		if err != nil {
+			if err == io.EOF {
+				e.rerr = io.EOF
+			} else {
+				e.rerr = err
+				e.Abort() // unblock the writer; the stream is dead
+			}
+			return container.Packet{}, e.rerr
+		}
+		e.pending = pkts
+	}
+	p := e.pending[0]
+	e.pending = e.pending[1:]
+	return p, nil
+}
+
+// Abort tears the stream down early (client gone, downstream failure):
+// pending chunks are dropped, and blocked Write/ReadPacket calls return
+// ErrAborted. Safe from any goroutine; idempotent. The writer must still
+// call Close.
+func (e *Encoder) Abort() {
+	e.abortOne.Do(func() { close(e.aborted) })
+	if e.pool != nil {
+		e.pool.Abort()
+	}
+}

@@ -1,0 +1,113 @@
+// Package stream is the bounded-memory streaming subsystem: it turns the
+// batch GOP-parallel pipeline into an incremental engine that can encode,
+// decode and transcode sequences of any length at constant memory.
+//
+// # The window/backpressure model
+//
+// Both directions are scheduled the same way. The input side accumulates
+// work into closed-GOP chunks — GOP frames on the encode side, the
+// packets between consecutive closed-GOP I frames on the decode side —
+// and submits each completed chunk to a pipeline.OrderedPool: a fixed
+// set of worker goroutines, each running a private codec instance per
+// chunk, with results drained in submission order. The pool admits at
+// most Window chunks that are submitted, processing, or emitted but not
+// yet consumed. When the window is full, Write blocks until the reader
+// drains a chunk; when the reader outruns the writer, ReadPacket /
+// ReadFrame block until a chunk completes. Peak residency is therefore
+// O(Window × GOP) frames regardless of sequence length — the property
+// that lets cmd/vcodec transcode arbitrarily long sequences and
+// cmd/hdvserve cap per-request memory. The Encoder and Decoder track
+// their own raw-frame residency and expose the high-water mark via
+// PeakResident, so the bound is asserted, not assumed, in the tests.
+//
+// # Determinism
+//
+// Chunk workers inherit the closed-GOP invariant of internal/pipeline:
+// every chunk starts at an I frame, nothing references across the
+// boundary, and codec state resets there, so the streaming output is
+// byte-identical to the batch path (and to the serial path) for every
+// worker count and window size. stream_test.go proves the full
+// codec × resolution × workers matrix.
+//
+// # Concurrency contract
+//
+// One goroutine writes (Write then exactly one Close, even after an
+// abort); another reads until io.EOF or an error. Abort is safe from any
+// goroutine and tears the stream down early — pending work is dropped
+// and both sides unblock with ErrAborted. ReadPacket/ReadFrame abort the
+// stream automatically when a worker fails, so a blocked writer cannot
+// deadlock on an error the reader has already seen.
+//
+// With Workers <= 1 — or GOP <= 0, where no chunk boundaries exist — the
+// engine degrades to a single persistent codec instance driven inline by
+// Write, which is still constant-memory (the codec buffers only its
+// B-frame lookahead and reference frames) and still byte-identical to
+// the batch serial path.
+package stream
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"hdvideobench/internal/pipeline"
+)
+
+// ErrAborted is returned by blocked or subsequent calls after Abort (or
+// after a failure on the other side of the stream tore it down).
+var ErrAborted = pipeline.ErrAborted
+
+// ErrClosed is returned by Write after Close.
+var ErrClosed = errors.New("stream: write after Close")
+
+// DefaultWindowPerWorker sizes the default chunk window: two chunks per
+// worker keeps every worker busy while the reader drains the previous
+// result, without growing the frame footprint past 2×Workers×GOP.
+const DefaultWindowPerWorker = 2
+
+// FallbackPackets is the boundary-less segment length at which the
+// chunked decoder gives up on GOP parallelism and falls back to the
+// serial single-instance mode: a stream with no interior I frames (the
+// paper's first-frame-only-intra setting) is a single segment, and
+// buffering it whole would break the constant-memory guarantee. Only
+// compressed packets — never decoded frames — are buffered up to this
+// point, and serial decode of the replayed prefix is bit-identical, so
+// the fallback trades parallelism for the memory bound, not
+// correctness.
+const FallbackPackets = 256
+
+// normWindow resolves a window option against a worker count: non-positive
+// selects the default, and the window is never smaller than the worker
+// count (a tighter window would just idle workers).
+func normWindow(window, workers int) int {
+	if window <= 0 {
+		window = DefaultWindowPerWorker * workers
+	}
+	if window < workers {
+		window = workers
+	}
+	if window < 2 {
+		window = 2
+	}
+	return window
+}
+
+// gauge is an atomic level/high-water-mark pair: the residency
+// accounting both the Encoder and Decoder expose via PeakResident.
+type gauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// add moves the level by d, folding increases into the high-water mark.
+func (g *gauge) add(d int) {
+	n := g.cur.Add(int64(d))
+	for d > 0 {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+}
+
+// high reports the high-water mark.
+func (g *gauge) high() int { return int(g.peak.Load()) }

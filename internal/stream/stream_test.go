@@ -1,0 +1,476 @@
+// Streaming determinism and bounded-memory suite: the streaming engine
+// must reproduce the batch path byte for byte at every worker count, and
+// its frame residency must stay inside the window bound no matter how
+// long the sequence is. Run under -race (CI does) for the full story.
+package stream_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/core"
+	"hdvideobench/internal/frame"
+	"strings"
+
+	"hdvideobench/internal/seqgen"
+	"hdvideobench/internal/stream"
+)
+
+const (
+	eqFrames = 10 // with eqGOP=3: chunks of 3,3,3,1 — ragged tail
+	eqGOP    = 3
+)
+
+// eqWorkers exercises the serial path and the chunked scheduler.
+var eqWorkers = []int{1, 4}
+
+var eqResolutions = []struct {
+	name string
+	w, h int
+}{
+	{"576p", 720, 576},
+	{"720p", 1280, 720},
+}
+
+func eqConfig(w, h int) codec.Config {
+	cfg := codec.Default(w, h)
+	cfg.IntraPeriod = eqGOP
+	cfg.SearchRange = 8
+	cfg.Refs = 2
+	return cfg
+}
+
+func encFactory(id core.CodecID, cfg codec.Config) func() (codec.Encoder, error) {
+	return func() (codec.Encoder, error) { return core.NewEncoder(id, cfg) }
+}
+
+func decFactory(hdr container.Header, cfg codec.Config) func() (codec.Decoder, error) {
+	return func() (codec.Decoder, error) { return core.NewDecoder(hdr, cfg.Kernels) }
+}
+
+// streamEncode drives the streaming encoder over frames with a writer
+// goroutine and drains the packets from the test goroutine.
+func streamEncode(t *testing.T, id core.CodecID, cfg codec.Config, frames []*frame.Frame, workers, window int) ([]container.Packet, *stream.Encoder) {
+	t.Helper()
+	enc, err := stream.NewEncoder(encFactory(id, cfg), cfg.IntraPeriod, workers, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := make(chan error, 1)
+	go func() {
+		for _, f := range frames {
+			if err := enc.Write(f); err != nil {
+				enc.Close()
+				werr <- err
+				return
+			}
+		}
+		werr <- enc.Close()
+	}()
+	var pkts []container.Packet
+	for {
+		p, err := enc.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadPacket: %v", err)
+		}
+		pkts = append(pkts, p)
+	}
+	if err := <-werr; err != nil {
+		t.Fatalf("writer side: %v", err)
+	}
+	return pkts, enc
+}
+
+// streamDecode mirrors streamEncode for the decoder.
+func streamDecode(t *testing.T, hdr container.Header, cfg codec.Config, pkts []container.Packet, workers, window int) ([]*frame.Frame, *stream.Decoder) {
+	t.Helper()
+	dec, err := stream.NewDecoder(decFactory(hdr, cfg), workers, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := make(chan error, 1)
+	go func() {
+		for _, p := range pkts {
+			if err := dec.Write(p); err != nil {
+				dec.Close()
+				werr <- err
+				return
+			}
+		}
+		werr <- dec.Close()
+	}()
+	var frames []*frame.Frame
+	for {
+		f, err := dec.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		frames = append(frames, f)
+	}
+	if err := <-werr; err != nil {
+		t.Fatalf("writer side: %v", err)
+	}
+	return frames, dec
+}
+
+// containerBytes serializes a packet stream the way both vcodec paths do.
+func containerBytes(t *testing.T, hdr container.Header, pkts []container.Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cw, err := container.NewWriter(&buf, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := cw.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestStreamingMatchesBatch is the equivalence matrix: codec ×
+// {576p, 720p} × {1, 4} workers. The streaming encoder must produce a
+// container byte-identical to the batch path, and the streaming decoder
+// must reproduce the batch decode exactly (planes and PTS stamps).
+func TestStreamingMatchesBatch(t *testing.T) {
+	for _, res := range eqResolutions {
+		if testing.Short() && res.name == "720p" {
+			continue
+		}
+		for _, id := range core.AllCodecs {
+			t.Run(fmt.Sprintf("%s/%v", res.name, id), func(t *testing.T) {
+				cfg := eqConfig(res.w, res.h)
+				inputs := seqgen.New(seqgen.PedestrianArea, res.w, res.h).Generate(eqFrames)
+
+				batchPkts, hdr, err := core.EncodeSequence(id, cfg, inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				batchBytes := containerBytes(t, hdr, batchPkts)
+				batchFrames, err := core.DecodePackets(hdr, cfg.Kernels, batchPkts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for _, workers := range eqWorkers {
+					t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+						fresh := seqgen.New(seqgen.PedestrianArea, res.w, res.h).Generate(eqFrames)
+						pkts, enc := streamEncode(t, id, cfg, fresh, workers, 0)
+						if enc.Header() != hdr {
+							t.Fatalf("header %+v, batch has %+v", enc.Header(), hdr)
+						}
+						if got := containerBytes(t, enc.Header(), pkts); !bytes.Equal(got, batchBytes) {
+							t.Fatalf("streaming container differs from batch (%d vs %d bytes)",
+								len(got), len(batchBytes))
+						}
+
+						decoded, _ := streamDecode(t, hdr, cfg, pkts, workers, 0)
+						if len(decoded) != len(batchFrames) {
+							t.Fatalf("decoded %d frames, batch has %d", len(decoded), len(batchFrames))
+						}
+						for i := range decoded {
+							if decoded[i].PTS != batchFrames[i].PTS {
+								t.Fatalf("frame %d: PTS %d, batch has %d", i, decoded[i].PTS, batchFrames[i].PTS)
+							}
+							if !bytes.Equal(decoded[i].Y, batchFrames[i].Y) ||
+								!bytes.Equal(decoded[i].Cb, batchFrames[i].Cb) ||
+								!bytes.Equal(decoded[i].Cr, batchFrames[i].Cr) {
+								t.Fatalf("frame %d: decoded planes differ from batch", i)
+							}
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// TestBoundedResidency is the constant-memory proof: a sequence 16× the
+// window must flow through the chunked encoder and decoder with the
+// frame high-water mark inside the (Window+1)×GOP bound — a scheduler
+// that buffered the sequence would blow past it immediately.
+func TestBoundedResidency(t *testing.T) {
+	const (
+		w, h    = 96, 80
+		gop     = 3
+		workers = 2
+		window  = 2
+		frames  = 16 * window * gop // 96 frames, 16× the window
+		bound   = (window + 1) * gop
+	)
+	cfg := eqConfig(w, h)
+	cfg.IntraPeriod = gop
+	gen := seqgen.New(seqgen.RushHour, w, h)
+
+	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), gop, workers, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Window() != window {
+		t.Fatalf("window %d, want %d", enc.Window(), window)
+	}
+	werr := make(chan error, 1)
+	go func() {
+		for i := 0; i < frames; i++ {
+			if err := enc.Write(gen.Frame(i)); err != nil {
+				enc.Close()
+				werr <- err
+				return
+			}
+		}
+		werr <- enc.Close()
+	}()
+	var pkts []container.Packet
+	for {
+		p, err := enc.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+	if err := <-werr; err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != frames {
+		t.Fatalf("encoded %d packets, want %d", len(pkts), frames)
+	}
+	if peak := enc.PeakResident(); peak > bound || peak == 0 {
+		t.Fatalf("encoder peak residency %d frames, want within (0, %d]", peak, bound)
+	}
+
+	decoded, dec := streamDecode(t, enc.Header(), cfg, pkts, workers, window)
+	if len(decoded) != frames {
+		t.Fatalf("decoded %d frames, want %d", len(decoded), frames)
+	}
+	for i, f := range decoded {
+		if f.PTS != i {
+			t.Fatalf("frame %d: PTS %d", i, f.PTS)
+		}
+	}
+	if peak := dec.PeakResident(); peak > bound || peak == 0 {
+		t.Fatalf("decoder peak residency %d frames, want within (0, %d]", peak, bound)
+	}
+}
+
+// TestEncoderAbortUnblocksWriter reads a few packets, aborts, and checks
+// a writer mid-sequence gets ErrAborted instead of hanging on the window.
+func TestEncoderAbortUnblocksWriter(t *testing.T) {
+	const w, h = 96, 80
+	cfg := eqConfig(w, h)
+	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), eqGOP, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := seqgen.New(seqgen.BlueSky, w, h)
+	werr := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; err == nil; i++ { // unbounded: only an abort stops it
+			err = enc.Write(gen.Frame(i))
+		}
+		enc.Close()
+		werr <- err
+	}()
+	if _, err := enc.ReadPacket(); err != nil {
+		t.Fatalf("first packet: %v", err)
+	}
+	enc.Abort()
+	if err := <-werr; err != stream.ErrAborted {
+		t.Fatalf("writer got %v, want ErrAborted", err)
+	}
+	if _, err := enc.ReadPacket(); err != stream.ErrAborted {
+		t.Fatalf("reader after abort got %v, want ErrAborted", err)
+	}
+}
+
+// TestEncoderErrorPropagates feeds a wrong-size frame mid-stream: the
+// chunk worker fails and ReadPacket must surface the error (and tear the
+// stream down) rather than hang.
+func TestEncoderErrorPropagates(t *testing.T) {
+	cfg := eqConfig(96, 80)
+	for _, workers := range eqWorkers {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), eqGOP, workers, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen := seqgen.New(seqgen.BlueSky, 96, 80)
+			werr := make(chan error, 1)
+			go func() {
+				var err error
+				for i := 0; i < eqGOP && err == nil; i++ {
+					err = enc.Write(gen.Frame(i))
+				}
+				if err == nil {
+					err = enc.Write(frame.New(48, 48)) // wrong size: chunk must fail
+				}
+				if cerr := enc.Close(); err == nil {
+					err = cerr
+				}
+				werr <- err
+			}()
+			sawErr := false
+			for {
+				_, err := enc.ReadPacket()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					sawErr = true
+					break
+				}
+			}
+			if !sawErr {
+				t.Fatal("reader never saw the encode error")
+			}
+			<-werr // writer must unblock too, whatever error it reports
+		})
+	}
+}
+
+// TestDecoderSerialFallback streams a first-frame-only-intra sequence
+// longer than FallbackPackets through the chunked decoder: with no
+// closed-GOP boundary to split on it must fall back to the serial mode
+// (observable as zero pool residency) and still decode every frame
+// exactly as the batch path does.
+func TestDecoderSerialFallback(t *testing.T) {
+	const w, h = 96, 80
+	n := stream.FallbackPackets + 20
+	cfg := eqConfig(w, h)
+	cfg.IntraPeriod = 0 // the paper's setting: one segment, no boundaries
+
+	inputs := seqgen.New(seqgen.BlueSky, w, h).Generate(n)
+	pkts, hdr, err := core.EncodeSequence(core.MPEG2, cfg, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchFrames, err := core.DecodePackets(hdr, cfg.Kernels, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decoded, dec := streamDecode(t, hdr, cfg, pkts, 4, 2)
+	if len(decoded) != len(batchFrames) {
+		t.Fatalf("decoded %d frames, batch has %d", len(decoded), len(batchFrames))
+	}
+	for i := range decoded {
+		if decoded[i].PTS != batchFrames[i].PTS {
+			t.Fatalf("frame %d: PTS %d, batch has %d", i, decoded[i].PTS, batchFrames[i].PTS)
+		}
+		if !bytes.Equal(decoded[i].Y, batchFrames[i].Y) {
+			t.Fatalf("frame %d: luma differs from batch decode", i)
+		}
+	}
+	// The pool never decoded a segment: the whole stream went through
+	// the serial fallback, whose memory is the codec's own constant.
+	if peak := dec.PeakResident(); peak != 0 {
+		t.Fatalf("pool residency %d after fallback, want 0", peak)
+	}
+}
+
+// TestDecoderRejectsOpenGOP feeds a segment whose second packet displays
+// before its I frame — the open-GOP shape the version-2 container
+// forbids. The chunked decoder must fail with a clean error, not decode
+// garbage in a different order than the batch path would.
+func TestDecoderRejectsOpenGOP(t *testing.T) {
+	cfg := eqConfig(96, 80)
+	hdr := container.Header{Codec: container.CodecMPEG2, Width: 96, Height: 80, FPSNum: 25, FPSDen: 1}
+	dec, err := stream.NewDecoder(decFactory(hdr, cfg), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := make(chan error, 1)
+	go func() {
+		var err error
+		for _, p := range []container.Packet{
+			{Type: container.FrameI, DisplayIndex: 5, Payload: []byte{1}},
+			{Type: container.FrameP, DisplayIndex: 2, Payload: []byte{2}},
+		} {
+			if err = dec.Write(p); err != nil {
+				break
+			}
+		}
+		if cerr := dec.Close(); err == nil {
+			err = cerr
+		}
+		werr <- err
+	}()
+	_, rerr := dec.ReadFrame()
+	if rerr == nil || !strings.Contains(rerr.Error(), "displays before") {
+		t.Fatalf("ReadFrame: %v, want open-GOP rejection", rerr)
+	}
+	<-werr
+}
+
+// TestDecoderMidStreamFallback covers the mixed shape: a closed-GOP head
+// (segments flow through the pool) followed by a boundary-less tail
+// longer than FallbackPackets. The decoder must hand the head to the
+// pool, then fall back to serial for the tail — with display stamps
+// rebased across the switch — and the result must match the batch
+// decode frame for frame.
+func TestDecoderMidStreamFallback(t *testing.T) {
+	const w, h, headFrames, gop = 96, 80, 6, 3
+	tailFrames := stream.FallbackPackets + 10
+
+	headCfg := eqConfig(w, h)
+	headCfg.IntraPeriod = gop
+	head, hdr, err := core.EncodeSequence(core.MPEG2, headCfg, seqgen.New(seqgen.BlueSky, w, h).Generate(headFrames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailCfg := eqConfig(w, h)
+	tailCfg.IntraPeriod = 0 // no boundaries ever again
+	tail, _, err := core.EncodeSequence(core.MPEG2, tailCfg, seqgen.New(seqgen.RushHour, w, h).Generate(tailFrames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concatenate: the tail opens with an I frame (a reference reset
+	// under the version-2 semantics), display indices shifted behind
+	// the head.
+	pkts := append([]container.Packet{}, head...)
+	for _, p := range tail {
+		p.DisplayIndex += headFrames
+		pkts = append(pkts, p)
+	}
+
+	batchFrames, err := core.DecodePackets(hdr, headCfg.Kernels, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchFrames) != headFrames+tailFrames {
+		t.Fatalf("batch decoded %d frames, want %d", len(batchFrames), headFrames+tailFrames)
+	}
+
+	decoded, dec := streamDecode(t, hdr, headCfg, pkts, 4, 2)
+	if len(decoded) != len(batchFrames) {
+		t.Fatalf("decoded %d frames, batch has %d", len(decoded), len(batchFrames))
+	}
+	for i := range decoded {
+		if decoded[i].PTS != batchFrames[i].PTS {
+			t.Fatalf("frame %d: PTS %d, batch has %d", i, decoded[i].PTS, batchFrames[i].PTS)
+		}
+		if !bytes.Equal(decoded[i].Y, batchFrames[i].Y) {
+			t.Fatalf("frame %d: luma differs from batch decode", i)
+		}
+	}
+	// The head's segments went through the pool (nonzero residency);
+	// the unbounded tail did not (it would have pushed the peak toward
+	// tailFrames).
+	if peak := dec.PeakResident(); peak == 0 || peak > (dec.Window()+1)*gop {
+		t.Fatalf("pool residency %d, want within (0, %d] (head only)", peak, (dec.Window()+1)*gop)
+	}
+}
