@@ -101,6 +101,7 @@ func benchDecode(b *testing.B, simd bool) {
 		for _, res := range benchResolutions {
 			b.Run(fmt.Sprintf("%v/%s", c, res.Name), func(b *testing.B) {
 				hdr, pkts := benchStream(b, c, PedestrianArea, res.Width, res.Height)
+				b.ReportAllocs()
 				b.ResetTimer()
 				frames := 0
 				for i := 0; i < b.N; i++ {
@@ -125,6 +126,7 @@ func benchEncode(b *testing.B, simd bool) {
 		for _, res := range benchResolutions {
 			b.Run(fmt.Sprintf("%v/%s", c, res.Name), func(b *testing.B) {
 				inputs := benchInputs(b, PedestrianArea, res.Width, res.Height)
+				b.ReportAllocs()
 				b.ResetTimer()
 				frames := 0
 				for i := 0; i < b.N; i++ {
@@ -174,6 +176,11 @@ const (
 
 var scaleWorkerCounts = []int{1, 2, 4}
 
+// benchSliceCounts exercises the intra-frame axis: slices=4 sub-
+// benchmarks run at IntraPeriod 0 (the paper's default), where slices
+// are the only source of parallel speedup.
+var benchSliceCounts = []int{1, 4}
+
 func benchEncodeCodec(b *testing.B, c Codec) {
 	inputs := benchInputsN(b, PedestrianArea, scaleW, scaleH, scaleFrames)
 	raw := int64(scaleFrames) * int64(RawFrameSize(scaleW, scaleH))
@@ -184,6 +191,7 @@ func benchEncodeCodec(b *testing.B, c Codec) {
 				IntraPeriod: scaleGOP, Workers: workers,
 			}
 			b.SetBytes(raw)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := EncodeFramesParallel(c, opts, inputs); err != nil {
@@ -193,20 +201,40 @@ func benchEncodeCodec(b *testing.B, c Codec) {
 			b.ReportMetric(float64(b.N*scaleFrames)/b.Elapsed().Seconds(), "fps")
 		})
 	}
+	for _, slices := range benchSliceCounts {
+		for _, workers := range scaleWorkerCounts {
+			b.Run(fmt.Sprintf("slices=%d/workers=%d", slices, workers), func(b *testing.B) {
+				opts := EncoderOptions{
+					Width: scaleW, Height: scaleH,
+					Slices: slices, Workers: workers, // IntraPeriod 0: slice scaling only
+				}
+				b.SetBytes(raw)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := EncodeFramesParallel(c, opts, inputs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.N*scaleFrames)/b.Elapsed().Seconds(), "fps")
+			})
+		}
+	}
 }
 
 func benchDecodeCodec(b *testing.B, c Codec) {
 	inputs := benchInputsN(b, PedestrianArea, scaleW, scaleH, scaleFrames)
+	raw := int64(scaleFrames) * int64(RawFrameSize(scaleW, scaleH))
 	pkts, hdr, err := EncodeFramesParallel(c, EncoderOptions{
 		Width: scaleW, Height: scaleH, IntraPeriod: scaleGOP,
 	}, inputs)
 	if err != nil {
 		b.Fatal(err)
 	}
-	raw := int64(scaleFrames) * int64(RawFrameSize(scaleW, scaleH))
 	for _, workers := range scaleWorkerCounts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.SetBytes(raw)
+			b.ReportAllocs()
 			b.ResetTimer()
 			frames := 0
 			for i := 0; i < b.N; i++ {
@@ -218,6 +246,30 @@ func benchDecodeCodec(b *testing.B, c Codec) {
 			}
 			b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "fps")
 		})
+	}
+	for _, slices := range benchSliceCounts {
+		spkts, shdr, err := EncodeFramesParallel(c, EncoderOptions{
+			Width: scaleW, Height: scaleH, Slices: slices,
+		}, inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range scaleWorkerCounts {
+			b.Run(fmt.Sprintf("slices=%d/workers=%d", slices, workers), func(b *testing.B) {
+				b.SetBytes(raw)
+				b.ReportAllocs()
+				b.ResetTimer()
+				frames := 0
+				for i := 0; i < b.N; i++ {
+					out, err := DecodePacketsParallel(shdr, false, workers, spkts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					frames += len(out)
+				}
+				b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "fps")
+			})
+		}
 	}
 }
 

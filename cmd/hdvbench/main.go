@@ -8,7 +8,9 @@
 //	hdvbench -fig1c                # Figure 1(c): encode fps, scalar
 //	hdvbench -fig1d                # Figure 1(d): encode fps, SIMD
 //	hdvbench -scaling              # Figure 1 scaling: encode+decode fps
-//	                               # at 1, 2, 4, NumCPU workers
+//	                               # sweeping slices {1,2,4} × workers
+//	                               # {1,2,4,NumCPU} at the paper's
+//	                               # first-frame-only-intra default
 //	hdvbench -scaling -json f.json # same, plus machine-readable results
 //	                               # (the BENCH_*.json trajectory format;
 //	                               # "-" writes the JSON to stdout)
@@ -19,11 +21,13 @@
 // -codecs mpeg2,mpeg4,h264.
 //
 // Parallelism flags: -workers N runs the codecs' GOP-parallel pipeline
-// on N goroutines (default runtime.NumCPU(); 1 = legacy serial path) and
+// on N goroutines (default runtime.NumCPU(); 1 = legacy serial path);
 // -gop N sets the intra period that defines the closed GOP chunks
-// (default 0 = first frame only, the paper's setting — note parallel
-// encode needs -gop > 0 to have chunk boundaries to work with). Output
-// streams are byte-identical for every -workers value.
+// (default 0 = first frame only, the paper's setting); -slices N splits
+// every frame into N independently coded macroblock-row slices, the
+// axis that parallelizes encode and decode even at -gop 0 (default 1;
+// in -scaling mode 0 means "sweep {1,2,4}"). Output streams are
+// byte-identical for every -workers value at a fixed -slices count.
 package main
 
 import (
@@ -51,6 +55,7 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "timing repetitions, fastest kept (paper: 5 runs)")
 		q        = flag.Int("q", 5, "quantizer, MPEG scale 1..31 (paper: 5)")
 		gop      = flag.Int("gop", 0, "intra period / closed-GOP length (0 = first frame only)")
+		slices   = flag.Int("slices", 0, "macroblock-row slices per frame (0 = 1, or the {1,2,4} sweep in -scaling mode)")
 		workers  = flag.Int("workers", runtime.NumCPU(), "GOP-parallel worker goroutines (1 = serial)")
 		resList  = flag.String("res", "", "comma-separated resolutions (default: all three)")
 		seqList  = flag.String("seqs", "", "comma-separated sequences (default: all four)")
@@ -60,7 +65,7 @@ func main() {
 
 	opts := hdvideobench.SuiteOptions{
 		Frames: *frames, Q: *q, Repeats: *repeats,
-		IntraPeriod: *gop, Workers: *workers,
+		IntraPeriod: *gop, Workers: *workers, Slices: *slices,
 	}
 	if *resList != "" {
 		for _, name := range strings.Split(*resList, ",") {
@@ -132,6 +137,13 @@ func main() {
 		runFig(true, true, "Figure 1(d): Encoding Performance with SIMD Optimizations")
 	}
 	if *scaling {
+		// The scaling run sweeps slices × workers at the options' GOP
+		// setting — by default the paper's first-frame-only-intra shape,
+		// where slices are the only axis that buys multicore speedup.
+		sliceCounts := []int{1, 2, 4}
+		if *slices > 0 {
+			sliceCounts = []int{*slices}
+		}
 		var all []hdvideobench.SpeedResult
 		for _, dir := range []struct {
 			encode bool
@@ -140,7 +152,7 @@ func main() {
 			{false, "Figure 1 scaling: Decoding Performance by Worker Count"},
 			{true, "Figure 1 scaling: Encoding Performance by Worker Count"},
 		} {
-			rs, err := hdvideobench.RunScalingReport(opts, dir.encode, nil)
+			rs, err := hdvideobench.RunScalingMatrixReport(opts, dir.encode, nil, sliceCounts)
 			if err != nil {
 				fatalf("scaling: %v", err)
 			}

@@ -23,6 +23,10 @@
 //	gop      closed-GOP length in frames, 1..255 (default 8; the chunk
 //	         unit of the bounded-window streaming encoder, kept under
 //	         the decoder-side parallel-fallback threshold)
+//	slices   macroblock-row slices per frame, 1..255 (default 1),
+//	         clamped to the request's worker budget; slices let a
+//	         request scale inside each frame even at gop=1-per-stream
+//	         shapes, at a small compression cost baked into the stream
 //	workers  encoder goroutines for this request, clamped to -workers
 //	         (default: the full budget)
 //	simd     use the SWAR kernel set (default false)
@@ -214,10 +218,18 @@ func (s *server) parseTranscode(r *http.Request) (transcodeRequest, error) {
 		return req, err
 	}
 	workers = min(workers, s.cfg.Workers)
+	// slices clamps to the request's worker budget: more slices than
+	// workers would pay the compression cost without buying speedup.
+	slices, err := intParam(q, "slices", 1, 1, 255)
+	if err != nil {
+		return req, err
+	}
+	slices = min(slices, workers)
 
 	req.opts = hdvideobench.EncoderOptions{
 		Width: width, Height: height, Q: qp,
 		IntraPeriod: gop,
+		Slices:      slices,
 		Workers:     workers,
 		Window:      s.cfg.Window,
 		SIMD:        q.Get("simd") == "1" || q.Get("simd") == "true",

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hdvideobench"
+	"hdvideobench/internal/codec"
 	"hdvideobench/internal/container"
 )
 
@@ -261,5 +262,79 @@ func TestWorkersParamClamped(t *testing.T) {
 	}
 	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSlicesParamServedAndClamped requests sliced streams: a slices=
+// value within the worker budget must be honored in every frame's slice
+// table, a value above the budget must be clamped to it (not rejected),
+// out-of-range values are 400s, and the sliced stream stays decodable
+// end to end.
+func TestSlicesParamServedAndClamped(t *testing.T) {
+	_, ts := testServer(t, serverConfig{Workers: 2, MaxConcurrent: 1, MaxFrames: 100})
+	const w, h, frames = 96, 80, 3
+
+	fetch := func(query string) (hdvideobench.StreamHeader, []hdvideobench.Packet) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/transcode?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		hdr, pkts, err := hdvideobench.ReadStream(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hdr, pkts
+	}
+	sliceCount := func(p hdvideobench.Packet) int {
+		t.Helper()
+		spans, _, err := codec.ParseSliceTable(p.Payload[1:], h/16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(spans)
+	}
+
+	base := fmt.Sprintf("width=%d&height=%d&frames=%d&gop=2", w, h, frames)
+	hdr, pkts := fetch(base + "&slices=2")
+	for i, p := range pkts {
+		if got := sliceCount(p); got != 2 {
+			t.Fatalf("packet %d: %d slices, want 2", i, got)
+		}
+	}
+	dec, err := hdvideobench.NewDecoder(hdr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := hdvideobench.DecodePackets(dec, pkts)
+	if err != nil {
+		t.Fatalf("decoding sliced stream: %v", err)
+	}
+	if len(decoded) != frames {
+		t.Fatalf("decoded %d frames, want %d", len(decoded), frames)
+	}
+
+	// Over-budget slices clamp to the worker budget (2), like workers=.
+	_, pkts = fetch(base + "&slices=64&workers=64")
+	for i, p := range pkts {
+		if got := sliceCount(p); got != 2 {
+			t.Fatalf("clamped packet %d: %d slices, want 2", i, got)
+		}
+	}
+
+	for _, bad := range []string{"&slices=0", "&slices=256", "&slices=four"} {
+		resp, err := http.Get(ts.URL + "/transcode?" + base + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
 	}
 }

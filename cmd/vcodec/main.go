@@ -20,7 +20,12 @@
 // footprint as a 25-frame one. Parallel encoding needs closed GOPs to
 // chunk on, so pass -gop N (intra period) when encoding with more than
 // one worker; output is byte-identical to the serial and batch paths
-// either way.
+// either way. With -gop 0 (the paper's first-frame-only-intra default)
+// pass -slices N instead: each frame is split into N independently
+// coded macroblock-row slices that spread across the workers, at a
+// small compression cost. Decoding picks the slice count up from the
+// stream automatically. For a fixed -slices value the output bytes are
+// identical at every -workers count.
 package main
 
 import (
@@ -50,6 +55,7 @@ func main() {
 		bframes   = flag.Int("bframes", 2, "consecutive B frames (0 disables)")
 		refs      = flag.Int("refs", 4, "H.264 reference frames")
 		gop       = flag.Int("gop", 0, "intra period / closed-GOP length (0 = first frame only)")
+		slices    = flag.Int("slices", 1, "macroblock-row slices per frame (encode; parallelizes inside frames even with -gop 0, small quality cost)")
 		workers   = flag.Int("workers", runtime.NumCPU(), "GOP-parallel worker goroutines (1 = serial)")
 		window    = flag.Int("window", 0, "closed-GOP chunks in flight (0 = 2x workers); caps peak memory")
 		simd      = flag.Bool("simd", false, "use the SIMD (SWAR) kernels")
@@ -82,7 +88,7 @@ func main() {
 		runEncode(bufio.NewReaderSize(in, 1<<20), bw, encodeParams{
 			codec: *codecName, w: *width, h: *height, q: *q,
 			frames: *frames, bframes: *bframes, refs: *refs,
-			gop: *gop, workers: *workers, window: *window,
+			gop: *gop, slices: *slices, workers: *workers, window: *window,
 			simd: *simd, vlc: *vlc, bench: *bench,
 		})
 		return
@@ -97,6 +103,7 @@ type encodeParams struct {
 	bframes   int
 	refs      int
 	gop       int
+	slices    int
 	workers   int
 	window    int
 	simd, vlc bool
@@ -114,7 +121,8 @@ func runEncode(in io.Reader, out io.Writer, p encodeParams) {
 	opts := hdvideobench.EncoderOptions{
 		Width: p.w, Height: p.h, Q: p.q,
 		BFrames: p.bframes, Refs: p.refs, SIMD: p.simd,
-		IntraPeriod: p.gop, Workers: p.workers, Window: p.window,
+		IntraPeriod: p.gop, Slices: p.slices,
+		Workers: p.workers, Window: p.window,
 	}
 	if p.bframes == 0 {
 		opts.BFrames = -1

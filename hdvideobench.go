@@ -41,6 +41,19 @@
 // and Figure 1 runners, and RunScalingReport adds the frames/s-by-worker-
 // count dimension to Figure 1.
 //
+// # Slice-level parallelism
+//
+// GOP chunks need IntraPeriod > 0, but the paper's default is first-
+// frame-only intra — one chunk, no scaling. EncoderOptions.Slices splits
+// every frame into N independently coded macroblock-row slices (x264's
+// sliced-threads shape): prediction state resets and clamps at slice
+// boundaries, the frame packet carries a slice table, and the slices of
+// each frame are coded and decoded concurrently across the same Workers
+// budget — composing with GOP chunking when both exist. Slices change
+// the bitstream (a small, bounded quality cost), but for a fixed slice
+// count the output remains byte-identical at every worker count.
+// RunScalingMatrixReport sweeps the full slices × workers grid.
+//
 // See the examples/ directory for complete programs (examples/parallel is
 // the parallel API demo) and cmd/hdvbench for the benchmark front end;
 // both front ends expose a -workers flag (default runtime.NumCPU(),
@@ -172,6 +185,15 @@ type EncoderOptions struct {
 	// this many goroutines. 0 or 1 is the serial path, negative selects
 	// runtime.NumCPU(). Output is byte-identical for every value.
 	Workers int
+	// Slices splits every frame into this many independently coded
+	// macroblock-row slices (x264's sliced-threads shape; 0/1 = one
+	// slice). Unlike Workers, Slices affects the bitstream: prediction
+	// clamps at slice boundaries, costing a little compression. In
+	// exchange the slices of one frame are coded concurrently across
+	// the Workers budget, which is the only parallelism available at
+	// the paper's IntraPeriod == 0 default — and for a fixed slice
+	// count output stays byte-identical at every worker count.
+	Slices int
 	// Window caps the closed-GOP chunks in flight on the streaming paths
 	// (NewStreamEncoder, EncodeStream, Transcode): peak memory is
 	// O(Window × IntraPeriod) frames regardless of sequence length.
@@ -202,6 +224,7 @@ func (o EncoderOptions) config() (codec.Config, error) {
 		cfg.Kernels = kernel.SWAR
 	}
 	cfg.Entropy = o.Entropy
+	cfg.Slices = o.Slices
 	if err := cfg.Validate(); err != nil {
 		return codec.Config{}, err
 	}
@@ -457,6 +480,11 @@ type SuiteOptions struct {
 	// decode passes (0/1 = serial). Results are byte-identical across
 	// worker counts.
 	Workers int
+	// Slices is the per-frame macroblock-row slice count (0/1 = one
+	// slice). Slices parallelize inside each frame — the axis that
+	// scales the paper's IntraPeriod == 0 default — at a small,
+	// documented prediction-efficiency cost.
+	Slices int
 	// Repeats is the number of timing repetitions for speed runs (the
 	// fastest is kept); the paper used five runs of each application.
 	Repeats int
@@ -476,6 +504,7 @@ func (o SuiteOptions) core() core.Options {
 		Codecs:      o.Codecs,
 		IntraPeriod: o.IntraPeriod,
 		Workers:     o.Workers,
+		Slices:      o.Slices,
 		Repeats:     o.Repeats,
 	}
 }
@@ -511,6 +540,20 @@ func RunScalingReport(o SuiteOptions, encode bool, workerCounts []int) ([]SpeedR
 		dir = core.Encode
 	}
 	return core.RunScaling(o.core(), dir, workerCounts)
+}
+
+// RunScalingMatrixReport sweeps the full slices × workers grid: every
+// slice count is measured at every worker count under otherwise
+// identical options (IntraPeriod is honored as given — 0, the paper's
+// default, is exactly where slices are the only scaling axis). nil
+// workerCounts defaults to {1, 2, 4, runtime.NumCPU()}; nil sliceCounts
+// measures only o.Slices.
+func RunScalingMatrixReport(o SuiteOptions, encode bool, workerCounts, sliceCounts []int) ([]SpeedResult, error) {
+	dir := core.Decode
+	if encode {
+		dir = core.Encode
+	}
+	return core.RunScalingMatrix(o.core(), dir, workerCounts, sliceCounts)
 }
 
 // FormatScaling renders scaling results as a worker-count table.

@@ -95,6 +95,12 @@ func NewReader(buf []byte) *Reader {
 	return &Reader{buf: buf}
 }
 
+// Reset re-points the reader at buf and clears all state, allowing one
+// Reader to serve many payloads without reallocation.
+func (r *Reader) Reset(buf []byte) {
+	*r = Reader{buf: buf}
+}
+
 // Err returns the first error encountered (ErrOverrun), if any.
 func (r *Reader) Err() error { return r.err }
 

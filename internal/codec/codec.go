@@ -56,6 +56,15 @@ type Config struct {
 
 	// Entropy selects the H.264 entropy coder.
 	Entropy EntropyMode
+
+	// Slices splits every frame into this many independently coded
+	// macroblock-row bands (x264's sliced-threads shape). 0 or 1 keeps
+	// one slice per frame. Unlike Workers, this affects the bitstream:
+	// prediction state resets at every slice boundary, so different
+	// slice counts produce different (all valid) streams, while a fixed
+	// slice count is byte-identical at every worker count. More slices
+	// buy intra-frame parallelism at a small prediction-efficiency cost.
+	Slices int
 }
 
 // Default returns the paper's coding options for a given resolution.
@@ -98,6 +107,9 @@ func (c Config) Validate() error {
 	}
 	if c.FPSNum <= 0 || c.FPSDen <= 0 {
 		return fmt.Errorf("codec: invalid frame rate %d/%d", c.FPSNum, c.FPSDen)
+	}
+	if c.Slices < 0 || c.Slices > MaxSlices {
+		return fmt.Errorf("codec: slices %d out of range [0,%d]", c.Slices, MaxSlices)
 	}
 	return nil
 }

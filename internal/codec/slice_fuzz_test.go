@@ -1,0 +1,48 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseSliceTable hammers the slice-header parse path with arbitrary
+// bytes: it must never panic or over-read, and anything it accepts must
+// re-serialize to exactly the bytes it consumed (so a decoder can trust
+// the spans it hands to the per-slice workers).
+func FuzzParseSliceTable(f *testing.F) {
+	good := SliceRows(45, 4)
+	good[0].Size, good[1].Size, good[2].Size, good[3].Size = 3, 0, 9, 1
+	seed := AppendSliceTable(nil, good)
+	seed = append(seed, make([]byte, 13)...)
+	f.Add(seed, uint16(45))
+	f.Add([]byte{1, 0, 0, 1, 0, 0, 0, 0, 0}, uint16(1))
+	f.Add([]byte{}, uint16(8))
+	f.Add([]byte{255, 255, 255}, uint16(68))
+
+	f.Fuzz(func(t *testing.T, data []byte, rows uint16) {
+		mbRows := int(rows)
+		spans, off, err := ParseSliceTable(data, mbRows)
+		if err != nil {
+			return
+		}
+		// Accepted tables must be internally consistent...
+		if off != SliceTableSize(len(spans)) {
+			t.Fatalf("offset %d for %d slices", off, len(spans))
+		}
+		row, total := 0, 0
+		for _, s := range spans {
+			if s.Row != row || s.Rows < 1 {
+				t.Fatalf("non-contiguous spans: %+v", spans)
+			}
+			row += s.Rows
+			total += s.Size
+		}
+		if row != mbRows || total != len(data)-off {
+			t.Fatalf("coverage %d/%d rows, %d/%d body bytes", row, mbRows, total, len(data)-off)
+		}
+		// ...and round-trip byte-exactly.
+		if back := AppendSliceTable(nil, spans); !bytes.Equal(back, data[:off]) {
+			t.Fatalf("re-serialized table differs:\n  in  %x\n  out %x", data[:off], back)
+		}
+	})
+}

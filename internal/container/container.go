@@ -76,12 +76,16 @@ var (
 	ErrBadVersion = errors.New("container: unsupported version")
 )
 
-// version 2 marks the closed-GOP reference semantics: decoders reset
+// version 2 marked the closed-GOP reference semantics: decoders reset
 // their reference state at every I frame, so version-1 streams coded
 // with open GOPs (mid-stream I frames whose trailing B packets reference
-// across them) would fail mid-decode. Rejecting them at the header with
-// ErrBadVersion names the incompatibility instead.
-const version = 2
+// across them) would fail mid-decode. version 3 adds the slice layer:
+// every frame payload now opens with a one-byte quantizer field followed
+// by a slice table (count + per-slice row range and byte length) ahead
+// of the per-slice bitstreams, so version-2 payloads no longer parse.
+// Rejecting old streams at the header with ErrBadVersion names the
+// incompatibility instead.
+const version = 3
 
 // headerSize is the fixed byte length of the stream header.
 const headerSize = 20

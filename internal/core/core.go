@@ -136,6 +136,14 @@ type Options struct {
 	// the legacy serial path. Output is byte-identical for every value.
 	Workers int
 
+	// Slices splits every frame into this many independently coded
+	// macroblock-row slices (0/1 = one slice). Unlike Workers it
+	// affects the bitstream — prediction clamps at slice boundaries —
+	// but for a fixed slice count output stays byte-identical at every
+	// worker count, and slices are the parallelism that works at the
+	// paper's IntraPeriod == 0 setting where GOP chunking cannot.
+	Slices int
+
 	// Repeats is the number of timing repetitions per speed measurement;
 	// the fastest run is reported (filters scheduler/steal noise on shared
 	// machines). Zero means one run.
@@ -177,6 +185,7 @@ func (o Options) Config(res Resolution) codec.Config {
 	cfg.Refs = o.Refs
 	cfg.Entropy = o.Entropy
 	cfg.IntraPeriod = o.IntraPeriod
+	cfg.Slices = o.Slices
 	return cfg
 }
 
@@ -332,6 +341,8 @@ type SpeedResult struct {
 	Direction  Direction
 	Kernels    kernel.Set
 	Workers    int // goroutines used (0/1 = serial path)
+	Slices     int // macroblock-row slices per frame (0/1 = one slice)
+	GOP        int // effective intra period (0 = first frame only)
 	FPS        float64
 	Frames     int
 }
@@ -390,6 +401,8 @@ func RunSpeed(o Options, dir Direction) ([]SpeedResult, error) {
 				Direction:  dir,
 				Kernels:    o.Kernels,
 				Workers:    o.Workers,
+				Slices:     max(o.Slices, 1),
+				GOP:        o.IntraPeriod,
 				FPS:        fps,
 				Frames:     totalFrames,
 			})
@@ -407,36 +420,56 @@ const ScalingGOP = 6
 
 // RunScaling measures encode or decode throughput at each worker count —
 // Figure 1's new scaling dimension (frames/s at 1, 2, 4, N workers).
-// All counts run with identical coding options (same IntraPeriod, so
-// identical bitstreams); only the goroutine count varies. workerCounts
-// nil defaults to {1, 2, 4, runtime.NumCPU()}; duplicates are measured
-// once.
+// All counts run with identical coding options (same IntraPeriod and
+// Slices, so identical bitstreams); only the goroutine count varies.
+// workerCounts nil defaults to {1, 2, 4, runtime.NumCPU()}; duplicates
+// are measured once. When neither IntraPeriod nor Slices provides a
+// parallel axis, IntraPeriod is pinned to ScalingGOP so chunks exist.
 func RunScaling(o Options, dir Direction, workerCounts []int) ([]SpeedResult, error) {
-	o = o.defaults()
-	if o.IntraPeriod == 0 {
+	if o.IntraPeriod == 0 && o.Slices <= 1 {
 		o.IntraPeriod = ScalingGOP
 	}
+	return RunScalingMatrix(o, dir, workerCounts, nil)
+}
+
+// RunScalingMatrix sweeps the full slices × workers grid: for every
+// slice count the same bitstream is coded at every worker count, so the
+// matrix shows both the intra-frame scaling (slices at the paper's
+// IntraPeriod == 0 default) and the prediction-efficiency price of
+// slicing. sliceCounts nil measures only o.Slices; workerCounts nil
+// defaults to {1, 2, 4, runtime.NumCPU()}. Duplicates are measured once.
+func RunScalingMatrix(o Options, dir Direction, workerCounts, sliceCounts []int) ([]SpeedResult, error) {
+	o = o.defaults()
 	if len(workerCounts) == 0 {
 		workerCounts = []int{1, 2, 4, pipeline.Workers(0)}
 	}
-	counts := make([]int, 0, len(workerCounts))
-	seen := map[int]bool{}
-	for _, wc := range workerCounts {
-		if !seen[wc] {
-			seen[wc] = true
-			counts = append(counts, wc)
-		}
+	if len(sliceCounts) == 0 {
+		sliceCounts = []int{max(o.Slices, 1)}
 	}
-	sort.Ints(counts)
-	var results []SpeedResult
-	for _, wc := range counts {
-		ow := o
-		ow.Workers = wc
-		rs, err := RunSpeed(ow, dir)
-		if err != nil {
-			return nil, fmt.Errorf("scaling at %d workers: %w", wc, err)
+	dedup := func(in []int) []int {
+		out := make([]int, 0, len(in))
+		seen := map[int]bool{}
+		for _, v := range in {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
 		}
-		results = append(results, rs...)
+		sort.Ints(out)
+		return out
+	}
+	var results []SpeedResult
+	for _, sc := range dedup(sliceCounts) {
+		for _, wc := range dedup(workerCounts) {
+			ow := o
+			ow.Slices = sc
+			ow.Workers = wc
+			rs, err := RunSpeed(ow, dir)
+			if err != nil {
+				return nil, fmt.Errorf("scaling at %d slices, %d workers: %w", sc, wc, err)
+			}
+			results = append(results, rs...)
+		}
 	}
 	return results, nil
 }

@@ -108,7 +108,7 @@ func FormatFigure1(results []SpeedResult, title string) string {
 // per second and, beyond one worker, the speed-up over the one-worker run.
 func FormatScaling(results []SpeedResult, title string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s (frames per second by worker count; identical bitstreams)\n", title)
+	fmt.Fprintf(&b, "%s (frames per second by worker count; identical bitstreams per slice count)\n", title)
 
 	var counts []int
 	seen := map[int]bool{}
@@ -120,14 +120,24 @@ func FormatScaling(results []SpeedResult, title string) string {
 	}
 	sort.Ints(counts)
 
+	multiSlice := false
+	{
+		seen := map[int]bool{}
+		for _, r := range results {
+			seen[max(r.Slices, 1)] = true
+		}
+		multiSlice = len(seen) > 1
+	}
+
 	type key struct {
-		res   string
-		codec CodecID
+		res    string
+		codec  CodecID
+		slices int
 	}
 	cells := map[key]map[int]float64{}
 	var keys []key
 	for _, r := range results {
-		k := key{r.Resolution.Name, r.Codec}
+		k := key{r.Resolution.Name, r.Codec, max(r.Slices, 1)}
 		if cells[k] == nil {
 			cells[k] = map[int]float64{}
 			keys = append(keys, k)
@@ -138,16 +148,29 @@ func FormatScaling(results []SpeedResult, title string) string {
 		if keys[i].res != keys[j].res {
 			return resOrder(keys[i].res) < resOrder(keys[j].res)
 		}
-		return keys[i].codec < keys[j].codec
+		if keys[i].codec != keys[j].codec {
+			return keys[i].codec < keys[j].codec
+		}
+		return keys[i].slices < keys[j].slices
 	})
 
-	fmt.Fprintf(&b, "%-10s %-8s", "", "")
+	label := func(k key) string {
+		if multiSlice {
+			return fmt.Sprintf("%-8s s=%d", k.codec, k.slices)
+		}
+		return fmt.Sprintf("%-8s", k.codec)
+	}
+	lw := 8
+	if multiSlice {
+		lw = 13
+	}
+	fmt.Fprintf(&b, "%-10s %-*s", "", lw, "")
 	for _, wc := range counts {
 		fmt.Fprintf(&b, " %14s", fmt.Sprintf("%d worker(s)", wc))
 	}
 	b.WriteString("\n")
 	for _, k := range keys {
-		fmt.Fprintf(&b, "%-10s %-8s", k.res, k.codec)
+		fmt.Fprintf(&b, "%-10s %-*s", k.res, lw, label(k))
 		base := cells[k][counts[0]]
 		for i, wc := range counts {
 			fps, ok := cells[k][wc]
@@ -174,13 +197,19 @@ type ScalingRecord struct {
 	Codec      string  `json:"codec"`
 	Kernels    string  `json:"kernels"`
 	Workers    int     `json:"workers"`
+	Slices     int     `json:"slices"`
+	GOP        int     `json:"gop"` // effective intra period of this run
 	FPS        float64 `json:"fps"`
 	Frames     int     `json:"frames"`
 }
 
 // ScalingReport is the machine-readable envelope for RunScaling results:
 // enough host and configuration metadata to compare runs across machines
-// and commits (the BENCH_*.json trajectory).
+// and commits (the BENCH_*.json trajectory). The coding configuration
+// that can vary per measurement — workers, slices, and the effective
+// intra period — lives on each record, so a report assembled from a
+// sweep (RunScalingMatrix) or from RunScaling's legacy ScalingGOP pin
+// always describes exactly what ran.
 type ScalingReport struct {
 	Benchmark string          `json:"benchmark"`
 	GoOS      string          `json:"goos"`
@@ -188,7 +217,6 @@ type ScalingReport struct {
 	NumCPU    int             `json:"num_cpu"`
 	Frames    int             `json:"frames_per_sequence"`
 	Q         int             `json:"q"`
-	GOP       int             `json:"gop"`
 	Repeats   int             `json:"repeats"`
 	Results   []ScalingRecord `json:"results"`
 }
@@ -197,10 +225,6 @@ type ScalingReport struct {
 // the run configuration from o so a captured file is self-describing.
 func FormatScalingJSON(o Options, results []SpeedResult) ([]byte, error) {
 	o = o.defaults()
-	gop := o.IntraPeriod
-	if gop == 0 {
-		gop = ScalingGOP // RunScaling's pin when the caller chose none
-	}
 	rep := ScalingReport{
 		Benchmark: "hdvbench-scaling",
 		GoOS:      runtime.GOOS,
@@ -208,7 +232,6 @@ func FormatScalingJSON(o Options, results []SpeedResult) ([]byte, error) {
 		NumCPU:    runtime.NumCPU(),
 		Frames:    o.Frames,
 		Q:         o.Q,
-		GOP:       gop,
 		Repeats:   max(o.Repeats, 1),
 		Results:   make([]ScalingRecord, 0, len(results)),
 	}
@@ -219,6 +242,8 @@ func FormatScalingJSON(o Options, results []SpeedResult) ([]byte, error) {
 			Codec:      r.Codec.String(),
 			Kernels:    r.Kernels.String(),
 			Workers:    r.Workers,
+			Slices:     max(r.Slices, 1),
+			GOP:        r.GOP,
 			FPS:        r.FPS,
 			Frames:     r.Frames,
 		})

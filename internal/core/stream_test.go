@@ -274,8 +274,8 @@ func TestTranscodeTruncatedInput(t *testing.T) {
 func TestFormatScalingJSON(t *testing.T) {
 	o := core.Options{Frames: 4, Q: 5, IntraPeriod: 2, Repeats: 1}
 	results := []core.SpeedResult{
-		{Resolution: core.Resolutions[0], Codec: core.MPEG2, Direction: core.Encode, Workers: 1, FPS: 10, Frames: 4},
-		{Resolution: core.Resolutions[0], Codec: core.MPEG2, Direction: core.Encode, Workers: 2, FPS: 19, Frames: 4},
+		{Resolution: core.Resolutions[0], Codec: core.MPEG2, Direction: core.Encode, Workers: 1, GOP: 2, FPS: 10, Frames: 4},
+		{Resolution: core.Resolutions[0], Codec: core.MPEG2, Direction: core.Encode, Workers: 2, GOP: 2, FPS: 19, Frames: 4},
 	}
 	out, err := core.FormatScalingJSON(o, results)
 	if err != nil {

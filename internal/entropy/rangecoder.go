@@ -169,11 +169,18 @@ type Decoder struct {
 
 // NewDecoder returns a decoder over buf.
 func NewDecoder(buf []byte) *Decoder {
-	d := &Decoder{rng: 0xFFFFFFFF, buf: buf, pos: 1} // first byte is always 0
+	d := &Decoder{}
+	d.Reset(buf)
+	return d
+}
+
+// Reset re-points the decoder at a new coded buffer, allowing one
+// Decoder to serve many payloads without reallocation.
+func (d *Decoder) Reset(buf []byte) {
+	*d = Decoder{rng: 0xFFFFFFFF, buf: buf, pos: 1} // first byte is always 0
 	for i := 0; i < 4; i++ {
 		d.code = d.code<<8 | uint32(d.nextByte())
 	}
-	return d
 }
 
 func (d *Decoder) nextByte() byte {

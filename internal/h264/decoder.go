@@ -16,22 +16,43 @@ import (
 )
 
 // Decoder is the H.264-class decoder (the paper's FFmpeg-H.264 role).
+//
+// Each frame payload carries a slice table (see internal/codec); every
+// slice has its own entropy reader and context models and decodes its
+// macroblock rows independently, so the slices of one frame run
+// concurrently on the SliceRunner. Deblocking is a frame-level pass
+// after all slices have reconstructed, mirroring the encoder.
 type Decoder struct {
-	hdr  container.Header
-	kern kernel.Set
-	qp   int
-	qpc  int
+	hdr    container.Header
+	kern   kernel.Set
+	runner codec.SliceRunner
+	qp     int
+	qpc    int
 
 	refs    codec.RefList
 	reorder codec.DisplayReorderer
 	meta    *frameMeta
-	ctx     *contexts
+
+	slices []*sliceDec
+	errs   []error
+}
+
+// sliceDec carries the per-slice decoder state.
+type sliceDec struct {
+	d   *Decoder
+	r   symReader
+	br  *bitstream.Reader // VLC backend, reused across frames
+	ed  *entropy.Decoder  // CABAC backend, reused across frames
+	ctx *contexts
 
 	qpel  interp.QPel
 	predY [256]byte
 	predC [2][64]byte
 
 	bwdPredRow motion.MV
+
+	top4  int
+	topPx int
 }
 
 // NewDecoder returns a decoder for the stream described by hdr.
@@ -54,6 +75,11 @@ func NewDecoder(hdr container.Header, kern kernel.Set) (*Decoder, error) {
 	}, nil
 }
 
+// SetSliceRunner implements codec.SliceScheduler: per-frame slice jobs
+// run on r (nil restores the serial default). Decoded pixels do not
+// depend on the runner.
+func (d *Decoder) SetSliceRunner(r codec.SliceRunner) { d.runner = r }
+
 // Decode implements codec.Decoder.
 func (d *Decoder) Decode(p container.Packet) ([]*frame.Frame, error) {
 	recon, err := d.decodeFrame(p)
@@ -66,6 +92,16 @@ func (d *Decoder) Decode(p container.Packet) ([]*frame.Frame, error) {
 // Flush implements codec.Decoder.
 func (d *Decoder) Flush() []*frame.Frame { return d.reorder.Flush() }
 
+func (d *Decoder) grow(n int) {
+	for len(d.slices) < n {
+		d.slices = append(d.slices, &sliceDec{d: d, ctx: newContexts()})
+	}
+	if cap(d.errs) < n {
+		d.errs = make([]error, n)
+	}
+	d.errs = d.errs[:n]
+}
+
 func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 	if p.Type == container.FrameI {
 		// IDR semantics: mirror the encoder's reference-list reset.
@@ -77,51 +113,45 @@ func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 	if p.Type == container.FrameB && d.refs.Len() < 2 {
 		return nil, fmt.Errorf("h264: B frame without two references")
 	}
+	switch p.Type {
+	case container.FrameI, container.FrameP, container.FrameB:
+	default:
+		return nil, fmt.Errorf("h264: unknown frame type %c", p.Type)
+	}
 	if len(p.Payload) < 1 {
 		return nil, fmt.Errorf("h264: empty packet")
 	}
-	// Payload layout: one QP byte, then the entropy-coded macroblock data.
+	// Payload layout: one QP byte, the slice table, then the per-slice
+	// entropy-coded macroblock data.
 	d.qp = int(p.Payload[0])
 	if d.qp > 51 {
 		return nil, fmt.Errorf("h264: invalid QP %d", d.qp)
 	}
 	d.qpc = quant.H264ChromaQP(d.qp)
 
-	var r symReader
-	if d.hdr.Flags&flagVLC != 0 {
-		r = vlcReader{bitstream.NewReader(p.Payload[1:])}
-	} else {
-		r = cabacReader{entropy.NewDecoder(p.Payload[1:])}
+	spans, off, err := codec.ParseSliceTable(p.Payload[1:], d.hdr.Height/16)
+	if err != nil {
+		return nil, fmt.Errorf("h264: %w", err)
 	}
-	d.ctx = newContexts()
+	body := p.Payload[1+off:]
+	d.grow(len(spans))
 	d.meta.reset()
 
 	recon := frame.NewPadded(d.hdr.Width, d.hdr.Height, codec.RefPad)
 	recon.PTS = p.DisplayIndex
 
-	mbCols := d.hdr.Width / 16
-	mbRows := d.hdr.Height / 16
-	for mby := 0; mby < mbRows; mby++ {
-		d.bwdPredRow = motion.MV{}
-		for mbx := 0; mbx < mbCols; mbx++ {
-			var err error
-			switch p.Type {
-			case container.FrameI:
-				err = d.decodeIMB(r, recon, mbx, mby)
-			case container.FrameP:
-				err = d.decodePMB(r, recon, mbx, mby)
-			case container.FrameB:
-				err = d.decodeBMB(r, recon, mbx, mby)
-			default:
-				err = fmt.Errorf("h264: unknown frame type %c", p.Type)
-			}
-			if err != nil {
-				return nil, err
-			}
+	codec.RunSlices(d.runner, len(spans), func(i int) {
+		lo := 0
+		for _, s := range spans[:i] {
+			lo += s.Size
 		}
-	}
-	if err := r.err(); err != nil {
-		return nil, fmt.Errorf("h264: bitstream overrun: %w", err)
+		d.errs[i] = d.slices[i].decode(body[lo:lo+spans[i].Size], recon, p.Type, spans[i])
+	})
+	for i, err := range d.errs {
+		if err != nil {
+			return nil, fmt.Errorf("h264: slice %d (rows %d-%d): %w",
+				i, spans[i].Row, spans[i].Row+spans[i].Rows-1, err)
+		}
 	}
 
 	deblockFrame(recon, d.meta, d.qp)
@@ -132,22 +162,68 @@ func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 	return recon, nil
 }
 
+// decode parses one slice's entropy stream into its macroblock rows.
+func (s *sliceDec) decode(buf []byte, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan) error {
+	s.top4 = span.Row * 4
+	s.topPx = span.Row * 16
+	if s.d.hdr.Flags&flagVLC != 0 {
+		if s.br == nil {
+			s.br = bitstream.NewReader(buf)
+		} else {
+			s.br.Reset(buf)
+		}
+		s.r = vlcReader{s.br}
+	} else {
+		if s.ed == nil {
+			s.ed = entropy.NewDecoder(buf)
+		} else {
+			s.ed.Reset(buf)
+		}
+		s.r = cabacReader{s.ed}
+	}
+	s.ctx.reset()
+
+	mbCols := s.d.hdr.Width / 16
+	for mby := span.Row; mby < span.Row+span.Rows; mby++ {
+		s.bwdPredRow = motion.MV{}
+		for mbx := 0; mbx < mbCols; mbx++ {
+			var err error
+			switch ftype {
+			case container.FrameI:
+				err = s.decodeIMB(recon, mbx, mby)
+			case container.FrameP:
+				err = s.decodePMB(recon, mbx, mby)
+			default:
+				err = s.decodeBMB(recon, mbx, mby)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.r.err(); err != nil {
+		return fmt.Errorf("bitstream overrun: %w", err)
+	}
+	return nil
+}
+
 // --- residual ----------------------------------------------------------------
 
 // readResidual parses CBP and coefficients into md.
-func (d *Decoder) readResidual(r symReader, md *mbData, i16 bool) error {
+func (s *sliceDec) readResidual(md *mbData, i16 bool) error {
+	r := s.r
 	md.cbpLuma = 0
 	for g := 0; g < 4; g++ {
-		md.cbpLuma |= r.bit(&d.ctx.cbpLuma[g]) << g
+		md.cbpLuma |= r.bit(&s.ctx.cbpLuma[g]) << g
 	}
-	md.cbpChroma = int(r.ue(d.ctx.chromaCBP[:], 2))
+	md.cbpChroma = int(r.ue(s.ctx.chromaCBP[:], 2))
 	if md.cbpChroma > 2 {
-		return fmt.Errorf("h264: invalid chroma CBP %d", md.cbpChroma)
+		return fmt.Errorf("invalid chroma CBP %d", md.cbpChroma)
 	}
 
 	var scan [16]int32
 	if i16 {
-		md.lumaDCNZ = readCoeffs(r, &d.ctx.cbf[catLumaDC], d.ctx.sigDC[:], d.ctx.lastDC[:], d.ctx.levelDC[:], scan[:16])
+		md.lumaDCNZ = readCoeffs(r, &s.ctx.cbf[catLumaDC], s.ctx.sigDC[:], s.ctx.lastDC[:], s.ctx.levelDC[:], scan[:16])
 		unscanBlock4(scan[:16], 0, &md.lumaDC)
 	}
 	start := 0
@@ -163,7 +239,7 @@ func (d *Decoder) readResidual(r symReader, md *mbData, i16 bool) error {
 			continue
 		}
 		for _, bi := range lumaGroupBlocks[g] {
-			nz := readCoeffs(r, &d.ctx.cbf[catLuma], d.ctx.sig[:], d.ctx.last[:], d.ctx.level[:], scan[:16-start])
+			nz := readCoeffs(r, &s.ctx.cbf[catLuma], s.ctx.sig[:], s.ctx.last[:], s.ctx.level[:], scan[:16-start])
 			unscanBlock4(scan[:16-start], start, &md.luma[bi])
 			md.lumaNZ[bi] = nz
 		}
@@ -177,14 +253,14 @@ func (d *Decoder) readResidual(r symReader, md *mbData, i16 bool) error {
 	if md.cbpChroma >= 1 {
 		for pl := 0; pl < 2; pl++ {
 			var dcs [4]int32
-			readCoeffs(r, &d.ctx.cbf[catChromaDC], d.ctx.sigDC[:], d.ctx.lastDC[:], d.ctx.levelDC[:], dcs[:])
+			readCoeffs(r, &s.ctx.cbf[catChromaDC], s.ctx.sigDC[:], s.ctx.lastDC[:], s.ctx.levelDC[:], dcs[:])
 			md.chromaDC[pl] = dcs
 		}
 	}
 	if md.cbpChroma == 2 {
 		for pl := 0; pl < 2; pl++ {
 			for ci := 0; ci < 4; ci++ {
-				readCoeffs(r, &d.ctx.cbf[catChromaAC], d.ctx.sig[:], d.ctx.last[:], d.ctx.level[:], scan[:15])
+				readCoeffs(r, &s.ctx.cbf[catChromaAC], s.ctx.sig[:], s.ctx.last[:], s.ctx.level[:], scan[:15])
 				unscanBlock4(scan[:15], 1, &md.chroma[pl][ci])
 			}
 		}
@@ -193,26 +269,26 @@ func (d *Decoder) readResidual(r symReader, md *mbData, i16 bool) error {
 }
 
 // reconLumaInter mirrors the encoder's inter luma reconstruction.
-func (d *Decoder) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
+func (s *sliceDec) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
 		po := by*16 + bx
 		if md.lumaNZ[bi] {
 			blk := md.luma[bi]
-			quant.H264Dequant(&blk, d.qp)
+			quant.H264Dequant(&blk, s.d.qp)
 			dct.Inverse4(&blk)
-			codec.Add4Clip(recon.Y, ro, recon.YStride, d.predY[:], po, 16, &blk)
+			codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk)
 		} else {
 			for r := 0; r < 4; r++ {
 				copy(recon.Y[ro+r*recon.YStride:ro+r*recon.YStride+4],
-					d.predY[po+r*16:po+r*16+4])
+					s.predY[po+r*16:po+r*16+4])
 			}
 		}
 	}
 }
 
-func (d *Decoder) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
+func (s *sliceDec) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 	cx, cy := px/2, py/2
 	for pl := 0; pl < 2; pl++ {
 		plane := recon.Cb
@@ -222,7 +298,7 @@ func (d *Decoder) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 		dc := md.chromaDC[pl]
 		if md.cbpChroma >= 1 {
 			dct.Hadamard2(&dc)
-			quant.H264DequantChromaDC(&dc, d.qpc)
+			quant.H264DequantChromaDC(&dc, s.d.qpc)
 		} else {
 			dc = [4]int32{}
 		}
@@ -232,299 +308,301 @@ func (d *Decoder) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 			po := oy*8 + ox
 			blk := md.chroma[pl][ci]
 			if md.cbpChroma == 2 {
-				quant.H264Dequant(&blk, d.qpc)
+				quant.H264Dequant(&blk, s.d.qpc)
 			} else {
 				blk = [16]int32{}
 			}
 			blk[0] = dc[ci]
 			if md.cbpChroma >= 1 {
 				dct.Inverse4(&blk)
-				codec.Add4Clip(plane, ro, recon.CStride, d.predC[pl][:], po, 8, &blk)
+				codec.Add4Clip(plane, ro, recon.CStride, s.predC[pl][:], po, 8, &blk)
 			} else {
 				for r := 0; r < 4; r++ {
 					copy(plane[ro+r*recon.CStride:ro+r*recon.CStride+4],
-						d.predC[pl][po+r*8:po+r*8+4])
+						s.predC[pl][po+r*8:po+r*8+4])
 				}
 			}
 		}
 	}
 }
 
-func (d *Decoder) updateMetaNZ(px, py int, md *mbData, i16 bool) {
+func (s *sliceDec) updateMetaNZ(px, py int, md *mbData, i16 bool) {
+	m := s.d.meta
 	bx4, by4 := px/4, py/4
 	for bi := 0; bi < 16; bi++ {
 		nz := md.lumaNZ[bi]
 		if i16 && md.lumaDCNZ {
 			nz = true
 		}
-		d.meta.nz[(by4+bi/4)*d.meta.w4+bx4+bi%4] = nz
+		m.nz[(by4+bi/4)*m.w4+bx4+bi%4] = nz
 	}
 }
 
 // --- intra -------------------------------------------------------------------
 
 // reconI16 mirrors encodeI16Into's reconstruction.
-func (d *Decoder) reconI16(recon *frame.Frame, px, py int, md *mbData) {
+func (s *sliceDec) reconI16(recon *frame.Frame, px, py int, md *mbData) {
 	availLeft := px > 0
-	availTop := py > 0
-	predI16(d.predY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, md.i16Mode, availLeft, availTop)
+	availTop := py > s.topPx
+	predI16(s.predY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, md.i16Mode, availLeft, availTop)
 	dcRec := md.lumaDC
 	dct.Hadamard4(&dcRec, false)
-	quant.H264DequantDC(&dcRec, d.qp)
+	quant.H264DequantDC(&dcRec, s.d.qp)
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
 		po := by*16 + bx
 		blk := md.luma[bi]
-		quant.H264Dequant(&blk, d.qp)
+		quant.H264Dequant(&blk, s.d.qp)
 		blk[0] = dcRec[bi]
 		dct.Inverse4(&blk)
-		codec.Add4Clip(recon.Y, ro, recon.YStride, d.predY[:], po, 16, &blk)
+		codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk)
 	}
 }
 
 // reconI4 mirrors encodeI4Into's sequential reconstruction.
-func (d *Decoder) reconI4(recon *frame.Frame, px, py int, md *mbData) {
+func (s *sliceDec) reconI4(recon *frame.Frame, px, py int, md *mbData) {
 	var pred [16]byte
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		gx4, gy4 := (px+bx)/4, (py+by)/4
-		av := availI4(gx4, gy4, d.meta.w4)
+		av := availI4(gx4, gy4, s.d.meta.w4, s.top4)
 		predI4(pred[:], 4, recon.Y, recon.YOrigin, recon.YStride, px+bx, py+by, md.i4Modes[bi], av)
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
 		blk := md.luma[bi]
-		quant.H264Dequant(&blk, d.qp)
+		quant.H264Dequant(&blk, s.d.qp)
 		dct.Inverse4(&blk)
 		codec.Add4Clip(recon.Y, ro, recon.YStride, pred[:], 0, 4, &blk)
 	}
 }
 
-func (d *Decoder) intraChromaPred(recon *frame.Frame, px, py int) {
+func (s *sliceDec) intraChromaPred(recon *frame.Frame, px, py int) {
 	cx, cy := px/2, py/2
-	predChromaDC(d.predC[0][:], recon.Cb, recon.COrigin, recon.CStride, cx, cy, px > 0, py > 0)
-	predChromaDC(d.predC[1][:], recon.Cr, recon.COrigin, recon.CStride, cx, cy, px > 0, py > 0)
+	availTop := py > s.topPx
+	predChromaDC(s.predC[0][:], recon.Cb, recon.COrigin, recon.CStride, cx, cy, px > 0, availTop)
+	predChromaDC(s.predC[1][:], recon.Cr, recon.COrigin, recon.CStride, cx, cy, px > 0, availTop)
 }
 
-func (d *Decoder) decodeIMB(r symReader, recon *frame.Frame, mbx, mby int) error {
+func (s *sliceDec) decodeIMB(recon *frame.Frame, mbx, mby int) error {
 	px, py := mbx*16, mby*16
 	var md mbData
-	isI4 := r.bit(&d.ctx.mbType[0]) == 1
+	isI4 := s.r.bit(&s.ctx.mbType[0]) == 1
 	if isI4 {
 		md.mode = mI4x4
 		for bi := 0; bi < 16; bi++ {
-			md.i4Modes[bi] = int(r.ue(d.ctx.i4Mode[:], 3))
+			md.i4Modes[bi] = int(s.r.ue(s.ctx.i4Mode[:], 3))
 			if md.i4Modes[bi] >= numI4Modes {
-				return fmt.Errorf("h264: invalid I4 mode %d", md.i4Modes[bi])
+				return fmt.Errorf("invalid I4 mode %d", md.i4Modes[bi])
 			}
 		}
 	} else {
 		md.mode = mI16x16
-		md.i16Mode = int(r.ue(d.ctx.i16Mode[:], 2))
+		md.i16Mode = int(s.r.ue(s.ctx.i16Mode[:], 2))
 		if md.i16Mode >= numI16Modes {
-			return fmt.Errorf("h264: invalid I16 mode %d", md.i16Mode)
+			return fmt.Errorf("invalid I16 mode %d", md.i16Mode)
 		}
 	}
-	if err := d.readResidual(r, &md, md.mode == mI16x16); err != nil {
+	if err := s.readResidual(&md, md.mode == mI16x16); err != nil {
 		return err
 	}
 	if md.mode == mI4x4 {
-		d.reconI4(recon, px, py, &md)
+		s.reconI4(recon, px, py, &md)
 	} else {
-		d.reconI16(recon, px, py, &md)
+		s.reconI16(recon, px, py, &md)
 	}
-	d.intraChromaPred(recon, px, py)
-	d.reconChroma(recon, px, py, &md)
-	d.meta.setBlock(px/4, py/4, 4, 4, motion.MV{}, -1)
-	d.updateMetaNZ(px, py, &md, md.mode == mI16x16)
+	s.intraChromaPred(recon, px, py)
+	s.reconChroma(recon, px, py, &md)
+	s.d.meta.setBlock(px/4, py/4, 4, 4, motion.MV{}, -1)
+	s.updateMetaNZ(px, py, &md, md.mode == mI16x16)
 	return nil
 }
 
 // --- inter -------------------------------------------------------------------
 
 // mcLumaPart motion-compensates one luma partition into predY.
-func (d *Decoder) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
+func (s *sliceDec) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
-	ix = clampMVToWindow(ix, px+ox, d.hdr.Width, w)
-	iy = clampMVToWindow(iy, py+oy, d.hdr.Height, h)
+	ix = clampMVToWindow(ix, px+ox, s.d.hdr.Width, w)
+	iy = clampMVToWindow(iy, py+oy, s.d.hdr.Height, h)
 	so := ref.YOrigin + (py+oy+iy)*ref.YStride + px + ox + ix
-	d.qpel.Luma(d.predY[oy*16+ox:], 16, ref.Y, so, ref.YStride, w, h, fx, fy, d.kern)
+	s.qpel.Luma(s.predY[oy*16+ox:], 16, ref.Y, so, ref.YStride, w, h, fx, fy, s.d.kern)
 }
 
-func (d *Decoder) mcChromaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
+func (s *sliceDec) mcChromaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
 	cx := (px + ox) / 2
 	cy := (py + oy) / 2
 	ix := int(mv.X) >> 3
 	iy := int(mv.Y) >> 3
 	dx := int(mv.X) & 7
 	dy := int(mv.Y) & 7
-	ix = clampMVToWindow(ix, cx, d.hdr.Width/2, w/2)
-	iy = clampMVToWindow(iy, cy, d.hdr.Height/2, h/2)
+	ix = clampMVToWindow(ix, cx, s.d.hdr.Width/2, w/2)
+	iy = clampMVToWindow(iy, cy, s.d.hdr.Height/2, h/2)
 	so := ref.COrigin + (cy+iy)*ref.CStride + cx + ix
 	do := (oy/2)*8 + ox/2
-	interp.ChromaBilin(d.predC[0][do:], 8, ref.Cb[so:], ref.CStride, w/2, h/2, dx, dy, d.kern)
-	interp.ChromaBilin(d.predC[1][do:], 8, ref.Cr[so:], ref.CStride, w/2, h/2, dx, dy, d.kern)
+	interp.ChromaBilin(s.predC[0][do:], 8, ref.Cb[so:], ref.CStride, w/2, h/2, dx, dy, s.d.kern)
+	interp.ChromaBilin(s.predC[1][do:], 8, ref.Cr[so:], ref.CStride, w/2, h/2, dx, dy, s.d.kern)
 }
 
-func (d *Decoder) decodePMB(r symReader, recon *frame.Frame, mbx, mby int) error {
+func (s *sliceDec) decodePMB(recon *frame.Frame, mbx, mby int) error {
 	px, py := mbx*16, mby*16
 	bx4, by4 := px/4, py/4
 
-	if r.bit(&d.ctx.skip[0]) == 1 {
-		mvp := d.meta.predictMV(bx4, by4, 4)
-		ref := d.refs.Get(0)
-		d.mcLumaPart(ref, px, py, 0, 0, 16, 16, mvp)
-		d.mcChromaPart(ref, px, py, 0, 0, 16, 16, mvp)
+	if s.r.bit(&s.ctx.skip[0]) == 1 {
+		mvp := s.d.meta.predictMV(bx4, by4, 4, s.top4)
+		ref := s.d.refs.Get(0)
+		s.mcLumaPart(ref, px, py, 0, 0, 16, 16, mvp)
+		s.mcChromaPart(ref, px, py, 0, 0, 16, 16, mvp)
 		var md mbData
-		d.reconLumaInter(recon, px, py, &md)
-		d.reconChroma(recon, px, py, &md)
-		d.meta.setBlock(bx4, by4, 4, 4, mvp, 0)
-		d.updateMetaNZ(px, py, &md, false)
+		s.reconLumaInter(recon, px, py, &md)
+		s.reconChroma(recon, px, py, &md)
+		s.d.meta.setBlock(bx4, by4, 4, 4, mvp, 0)
+		s.updateMetaNZ(px, py, &md, false)
 		return nil
 	}
 
-	mode := int(r.ue(d.ctx.mbType[:], 3))
+	mode := int(s.r.ue(s.ctx.mbType[:], 3))
 	switch mode {
 	case mI16x16:
 		var md mbData
 		md.mode = mI16x16
-		md.i16Mode = int(r.ue(d.ctx.i16Mode[:], 2))
+		md.i16Mode = int(s.r.ue(s.ctx.i16Mode[:], 2))
 		if md.i16Mode >= numI16Modes {
-			return fmt.Errorf("h264: invalid I16 mode %d", md.i16Mode)
+			return fmt.Errorf("invalid I16 mode %d", md.i16Mode)
 		}
-		if err := d.readResidual(r, &md, true); err != nil {
+		if err := s.readResidual(&md, true); err != nil {
 			return err
 		}
-		d.reconI16(recon, px, py, &md)
-		d.intraChromaPred(recon, px, py)
-		d.reconChroma(recon, px, py, &md)
-		d.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
-		d.updateMetaNZ(px, py, &md, true)
+		s.reconI16(recon, px, py, &md)
+		s.intraChromaPred(recon, px, py)
+		s.reconChroma(recon, px, py, &md)
+		s.d.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
+		s.updateMetaNZ(px, py, &md, true)
 		return nil
 	case mP16x16, mP16x8, mP8x16, mP8x8:
 		refIdx := 0
-		if d.refs.Len() > 1 {
-			refIdx = int(r.ue(d.ctx.refIdx[:], 2))
+		if s.d.refs.Len() > 1 {
+			refIdx = int(s.r.ue(s.ctx.refIdx[:], 2))
 		}
-		if refIdx >= d.refs.Len() {
-			return fmt.Errorf("h264: reference %d out of range", refIdx)
+		if refIdx >= s.d.refs.Len() {
+			return fmt.Errorf("reference %d out of range", refIdx)
 		}
-		ref := d.refs.Get(refIdx)
+		ref := s.d.refs.Get(refIdx)
 		parts := partGeom[mode]
 		var md mbData
 		md.mode = mode
 		md.ref = int8(refIdx)
 		for pi, g := range parts {
-			pmvp := d.meta.predictMV(bx4+g[0]/4, by4+g[1]/4, g[2]/4)
+			pmvp := s.d.meta.predictMV(bx4+g[0]/4, by4+g[1]/4, g[2]/4, s.top4)
 			mv := motion.MV{
-				X: int16(int32(pmvp.X) + r.se(d.ctx.mvd[:], 8)),
-				Y: int16(int32(pmvp.Y) + r.se(d.ctx.mvd[:], 8)),
+				X: int16(int32(pmvp.X) + s.r.se(s.ctx.mvd[:], 8)),
+				Y: int16(int32(pmvp.Y) + s.r.se(s.ctx.mvd[:], 8)),
 			}
 			md.mvs[pi] = mv
-			d.meta.setBlock(bx4+g[0]/4, by4+g[1]/4, g[2]/4, g[3]/4, mv, int8(refIdx))
-			d.mcLumaPart(ref, px, py, g[0], g[1], g[2], g[3], mv)
-			d.mcChromaPart(ref, px, py, g[0], g[1], g[2], g[3], mv)
+			s.d.meta.setBlock(bx4+g[0]/4, by4+g[1]/4, g[2]/4, g[3]/4, mv, int8(refIdx))
+			s.mcLumaPart(ref, px, py, g[0], g[1], g[2], g[3], mv)
+			s.mcChromaPart(ref, px, py, g[0], g[1], g[2], g[3], mv)
 		}
-		if err := d.readResidual(r, &md, false); err != nil {
+		if err := s.readResidual(&md, false); err != nil {
 			return err
 		}
-		d.reconLumaInter(recon, px, py, &md)
-		d.reconChroma(recon, px, py, &md)
-		d.updateMetaNZ(px, py, &md, false)
+		s.reconLumaInter(recon, px, py, &md)
+		s.reconChroma(recon, px, py, &md)
+		s.updateMetaNZ(px, py, &md, false)
 		return nil
 	}
-	return fmt.Errorf("h264: invalid P macroblock mode %d", mode)
+	return fmt.Errorf("invalid P macroblock mode %d", mode)
 }
 
-func (d *Decoder) decodeBMB(r symReader, recon *frame.Frame, mbx, mby int) error {
+func (s *sliceDec) decodeBMB(recon *frame.Frame, mbx, mby int) error {
 	px, py := mbx*16, mby*16
 	bx4, by4 := px/4, py/4
-	fwdRef := d.refs.Get(1)
-	bwdRef := d.refs.Get(0)
+	fwdRef := s.d.refs.Get(1)
+	bwdRef := s.d.refs.Get(0)
 
-	if r.bit(&d.ctx.skip[0]) == 1 {
-		mvp := d.meta.predictMV(bx4, by4, 4)
-		d.mcLumaPart(fwdRef, px, py, 0, 0, 16, 16, mvp)
-		d.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, mvp)
+	if s.r.bit(&s.ctx.skip[0]) == 1 {
+		mvp := s.d.meta.predictMV(bx4, by4, 4, s.top4)
+		s.mcLumaPart(fwdRef, px, py, 0, 0, 16, 16, mvp)
+		s.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, mvp)
 		var md mbData
-		d.reconLumaInter(recon, px, py, &md)
-		d.reconChroma(recon, px, py, &md)
-		d.meta.setBlock(bx4, by4, 4, 4, mvp, 0)
-		d.updateMetaNZ(px, py, &md, false)
+		s.reconLumaInter(recon, px, py, &md)
+		s.reconChroma(recon, px, py, &md)
+		s.d.meta.setBlock(bx4, by4, 4, 4, mvp, 0)
+		s.updateMetaNZ(px, py, &md, false)
 		return nil
 	}
 
-	mode := int(r.ue(d.ctx.mbType[:], 3))
+	mode := int(s.r.ue(s.ctx.mbType[:], 3))
 	if mode == mBI16x16 {
 		var md mbData
 		md.mode = mI16x16
-		md.i16Mode = int(r.ue(d.ctx.i16Mode[:], 2))
+		md.i16Mode = int(s.r.ue(s.ctx.i16Mode[:], 2))
 		if md.i16Mode >= numI16Modes {
-			return fmt.Errorf("h264: invalid I16 mode %d", md.i16Mode)
+			return fmt.Errorf("invalid I16 mode %d", md.i16Mode)
 		}
-		if err := d.readResidual(r, &md, true); err != nil {
+		if err := s.readResidual(&md, true); err != nil {
 			return err
 		}
-		d.reconI16(recon, px, py, &md)
-		d.intraChromaPred(recon, px, py)
-		d.reconChroma(recon, px, py, &md)
-		d.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
-		d.updateMetaNZ(px, py, &md, true)
+		s.reconI16(recon, px, py, &md)
+		s.intraChromaPred(recon, px, py)
+		s.reconChroma(recon, px, py, &md)
+		s.d.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
+		s.updateMetaNZ(px, py, &md, true)
 		return nil
 	}
 	if mode > mBBi {
-		return fmt.Errorf("h264: invalid B macroblock mode %d", mode)
+		return fmt.Errorf("invalid B macroblock mode %d", mode)
 	}
 
-	mvpF := d.meta.predictMV(bx4, by4, 4)
+	mvpF := s.d.meta.predictMV(bx4, by4, 4, s.top4)
 	var fwdMV, bwdMV motion.MV
 	if mode == mBFwd || mode == mBBi {
 		fwdMV = motion.MV{
-			X: int16(int32(mvpF.X) + r.se(d.ctx.mvd[:], 8)),
-			Y: int16(int32(mvpF.Y) + r.se(d.ctx.mvd[:], 8)),
+			X: int16(int32(mvpF.X) + s.r.se(s.ctx.mvd[:], 8)),
+			Y: int16(int32(mvpF.Y) + s.r.se(s.ctx.mvd[:], 8)),
 		}
 	}
 	if mode == mBBwd || mode == mBBi {
 		bwdMV = motion.MV{
-			X: int16(int32(d.bwdPredRow.X) + r.se(d.ctx.mvd[:], 8)),
-			Y: int16(int32(d.bwdPredRow.Y) + r.se(d.ctx.mvd[:], 8)),
+			X: int16(int32(s.bwdPredRow.X) + s.r.se(s.ctx.mvd[:], 8)),
+			Y: int16(int32(s.bwdPredRow.Y) + s.r.se(s.ctx.mvd[:], 8)),
 		}
-		d.bwdPredRow = bwdMV
+		s.bwdPredRow = bwdMV
 	}
 
 	switch mode {
 	case mBFwd:
-		d.mcLumaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
-		d.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
-		d.meta.setBlock(bx4, by4, 4, 4, fwdMV, 0)
+		s.mcLumaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		s.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		s.d.meta.setBlock(bx4, by4, 4, 4, fwdMV, 0)
 	case mBBwd:
-		d.mcLumaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
-		d.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
-		d.meta.setBlock(bx4, by4, 4, 4, bwdMV, 0)
+		s.mcLumaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		s.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		s.d.meta.setBlock(bx4, by4, 4, 4, bwdMV, 0)
 	case mBBi:
 		var alt [256]byte
-		d.mcLumaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
-		copy(alt[:], d.predY[:])
-		d.mcLumaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
-		interp.Avg(d.predY[:], 16, alt[:], 16, 16, 16, d.kern)
+		s.mcLumaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		copy(alt[:], s.predY[:])
+		s.mcLumaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		interp.Avg(s.predY[:], 16, alt[:], 16, 16, 16, s.d.kern)
 
 		var cbF, crF [64]byte
-		d.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
-		copy(cbF[:], d.predC[0][:])
-		copy(crF[:], d.predC[1][:])
-		d.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
-		interp.Avg(d.predC[0][:], 8, cbF[:], 8, 8, 8, d.kern)
-		interp.Avg(d.predC[1][:], 8, crF[:], 8, 8, 8, d.kern)
-		d.meta.setBlock(bx4, by4, 4, 4, fwdMV, 0)
+		s.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		copy(cbF[:], s.predC[0][:])
+		copy(crF[:], s.predC[1][:])
+		s.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		interp.Avg(s.predC[0][:], 8, cbF[:], 8, 8, 8, s.d.kern)
+		interp.Avg(s.predC[1][:], 8, crF[:], 8, 8, 8, s.d.kern)
+		s.d.meta.setBlock(bx4, by4, 4, 4, fwdMV, 0)
 	}
 
 	var md mbData
 	md.mode = mode
-	if err := d.readResidual(r, &md, false); err != nil {
+	if err := s.readResidual(&md, false); err != nil {
 		return err
 	}
-	d.reconLumaInter(recon, px, py, &md)
-	d.reconChroma(recon, px, py, &md)
-	d.updateMetaNZ(px, py, &md, false)
+	s.reconLumaInter(recon, px, py, &md)
+	s.reconChroma(recon, px, py, &md)
+	s.updateMetaNZ(px, py, &md, false)
 	return nil
 }

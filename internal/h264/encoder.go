@@ -38,17 +38,40 @@ type mbData struct {
 }
 
 // Encoder is the H.264-class encoder (the paper's x264 role).
+//
+// Frames are coded as cfg.Slices independent macroblock-row slices (see
+// internal/codec's slice layer): each slice has its own CABAC/VLC
+// entropy state and context models, intra prediction and MV prediction
+// clamp at the slice's top row, and the in-loop deblocking filter runs
+// over the whole frame after all slices have reconstructed — exactly the
+// same frame on encoder and decoder, so the loop stays closed. Slices of
+// one frame run concurrently on the SliceRunner; the merged payload is
+// byte-identical for every schedule.
 type Encoder struct {
 	cfg    codec.Config
 	qp     int // H.264 luma QP via Eq. 1
 	qpc    int // chroma QP
 	lambda int
+	runner codec.SliceRunner
 
 	gop  codec.GOPScheduler
 	refs codec.RefList
 
 	meta *frameMeta
-	ctx  *contexts
+
+	spans  []codec.SliceSpan
+	slices []*sliceEnc
+
+	inCount int
+}
+
+// sliceEnc carries the per-slice encoder state: entropy writer, context
+// models, interpolation scratch and the backward MV predictor, all of
+// which reset at the slice boundary.
+type sliceEnc struct {
+	e   *Encoder
+	w   symWriter
+	ctx *contexts
 
 	qpel  interp.QPel
 	predY [256]byte
@@ -58,7 +81,9 @@ type Encoder struct {
 
 	bwdPredRow motion.MV // backward MV predictor within a B row
 
-	inCount int
+	top4  int    // slice top row in 4×4-block units
+	topPx int    // slice top row in pixels
+	body  []byte // finished slice bytes for the frame being assembled
 }
 
 // NewEncoder returns an H.264 encoder for cfg. The MPEG-scale quantizer
@@ -72,7 +97,7 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 	if lambda < 1 {
 		lambda = 1
 	}
-	return &Encoder{
+	e := &Encoder{
 		cfg:    cfg,
 		qp:     qp,
 		qpc:    quant.H264ChromaQP(qp),
@@ -80,8 +105,26 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 		gop:    codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
 		refs:   codec.RefList{Max: cfg.Refs},
 		meta:   newFrameMeta(cfg.Width, cfg.Height),
-	}, nil
+	}
+	e.spans = codec.SliceRows(cfg.MBRows(), cfg.Slices)
+	e.slices = make([]*sliceEnc, len(e.spans))
+	hint := cfg.Width*cfg.Height/8/len(e.spans) + 64
+	for i := range e.slices {
+		s := &sliceEnc{e: e, ctx: newContexts()}
+		if cfg.Entropy == codec.EntropyVLC {
+			s.w = vlcWriter{bitstream.NewWriter(hint)}
+		} else {
+			s.w = cabacWriter{entropy.NewEncoder(hint)}
+		}
+		e.slices[i] = s
+	}
+	return e, nil
 }
+
+// SetSliceRunner implements codec.SliceScheduler: per-frame slice jobs
+// run on r (nil restores the serial default). Output bytes do not depend
+// on the runner.
+func (e *Encoder) SetSliceRunner(r codec.SliceRunner) { e.runner = r }
 
 // QP returns the mapped H.264 quantizer (exported for the harness report).
 func (e *Encoder) QP() int { return e.qp }
@@ -113,34 +156,19 @@ func (e *Encoder) Flush() ([]container.Packet, error) {
 	return pkts, nil
 }
 
-func (e *Encoder) newWriter() symWriter {
-	if e.cfg.Entropy == codec.EntropyVLC {
-		return vlcWriter{bitstream.NewWriter(e.cfg.Width * e.cfg.Height / 8)}
-	}
-	return cabacWriter{entropy.NewEncoder(e.cfg.Width * e.cfg.Height / 8)}
-}
-
 func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) container.Packet {
 	recon := frame.NewPadded(e.cfg.Width, e.cfg.Height, codec.RefPad)
 	recon.PTS = src.PTS
 	e.meta.reset()
-	e.ctx = newContexts()
-	w := e.newWriter()
 
-	for mby := 0; mby < e.cfg.MBRows(); mby++ {
-		e.bwdPredRow = motion.MV{}
-		for mbx := 0; mbx < e.cfg.MBCols(); mbx++ {
-			switch ftype {
-			case container.FrameI:
-				e.encodeIMB(w, src, recon, mbx, mby)
-			case container.FrameP:
-				e.encodePMB(w, src, recon, mbx, mby)
-			default:
-				e.encodeBMB(w, src, recon, mbx, mby)
-			}
-		}
-	}
+	codec.RunSlices(e.runner, len(e.spans), func(i int) {
+		e.slices[i].run(src, recon, ftype, e.spans[i])
+	})
 
+	// Deblocking is a frame-level pass over the merged reconstruction and
+	// meta grids — slice-boundary edges are filtered like any other, on
+	// both sides of the codec, so slices cost prediction efficiency but
+	// not loop-filter coverage.
 	deblockFrame(recon, e.meta, e.qp)
 	recon.ExtendBorders()
 	if ftype == container.FrameI {
@@ -152,19 +180,50 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	if ftype != container.FrameB {
 		e.refs.Add(recon)
 	}
-	// Payload layout: one QP byte, then the entropy-coded macroblock data.
-	body := w.finish()
-	payload := make([]byte, 1+len(body))
-	payload[0] = byte(e.qp)
-	copy(payload[1:], body)
+
+	// Payload layout: one QP byte, the slice table, then the per-slice
+	// entropy-coded macroblock data in row order.
+	total := 1 + codec.SliceTableSize(len(e.spans))
+	for i, s := range e.slices {
+		e.spans[i].Size = len(s.body)
+		total += e.spans[i].Size
+	}
+	payload := make([]byte, 0, total)
+	payload = append(payload, byte(e.qp))
+	payload = codec.AppendSliceTable(payload, e.spans)
+	for _, s := range e.slices {
+		payload = append(payload, s.body...)
+	}
 	return container.Packet{Type: ftype, DisplayIndex: src.PTS, Payload: payload}
+}
+
+// run codes one slice's macroblock rows with slice-local entropy state.
+func (s *sliceEnc) run(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan) {
+	s.top4 = span.Row * 4
+	s.topPx = span.Row * 16
+	s.ctx.reset()
+	s.w.reset()
+	for mby := span.Row; mby < span.Row+span.Rows; mby++ {
+		s.bwdPredRow = motion.MV{}
+		for mbx := 0; mbx < s.e.cfg.MBCols(); mbx++ {
+			switch ftype {
+			case container.FrameI:
+				s.encodeIMB(src, recon, mbx, mby)
+			case container.FrameP:
+				s.encodePMB(src, recon, mbx, mby)
+			default:
+				s.encodeBMB(src, recon, mbx, mby)
+			}
+		}
+	}
+	s.body = s.w.finish()
 }
 
 // --- cost helpers -------------------------------------------------------------
 
-func (e *Encoder) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
+func (s *sliceEnc) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
 	off := src.YOrigin + py*src.YStride + px
-	if e.cfg.Kernels == kernel.SWAR {
+	if s.e.cfg.Kernels == kernel.SWAR {
 		return swar.SADBlock(src.Y[off:], src.YStride, pred, pstride, w, h)
 	}
 	return codec.SADBlockBytes(src.Y, off, src.YStride, pred, 0, pstride, w, h)
@@ -190,18 +249,18 @@ func mvdBits(mv, pred motion.MV) int {
 // --- motion search ------------------------------------------------------------
 
 // mcLumaInto fills dst (stride 16) with the quarter-pel prediction.
-func (e *Encoder) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
+func (s *sliceEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
-	e.qpel.Luma(dst, 16, ref.Y, so, ref.YStride, w, h, fx, fy, e.cfg.Kernels)
+	s.qpel.Luma(dst, 16, ref.Y, so, ref.YStride, w, h, fx, fy, s.e.cfg.Kernels)
 }
 
 // searchRef runs seed selection + hexagon + two-stage quarter-pel
 // refinement against one reference, filling pred with the winner.
-func (e *Encoder) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.MV, pred []byte) (motion.MV, int) {
+func (s *sliceEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.MV, pred []byte) (motion.MV, int) {
 	var est motion.Estimator
-	est.Kern = e.cfg.Kernels
+	est.Kern = s.e.cfg.Kernels
 	est.Cur = src.Y
 	est.CurOff = src.YOrigin + py*src.YStride + px
 	est.CurStride = src.YStride
@@ -210,24 +269,26 @@ func (e *Encoder) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion
 	est.RefStride = ref.YStride
 	est.PosX, est.PosY = px, py
 	est.W, est.H = w, h
-	est.Lambda = e.lambda
+	est.Lambda = s.e.lambda
 	est.Pred = motion.MV{X: mvpQ.X >> 2, Y: mvpQ.Y >> 2}
-	est.Window(e.cfg.SearchRange, e.cfg.Width, e.cfg.Height, codec.RefPad)
+	est.Window(s.e.cfg.SearchRange, s.e.cfg.Width, s.e.cfg.Height, codec.RefPad)
 
-	// Seed from spatial neighbours in the meta grid (quarter-pel → full).
+	// Seed from spatial neighbours in the meta grid (quarter-pel → full),
+	// never reaching above the slice's top row.
+	m := s.e.meta
 	bx4, by4 := px/4, py/4
 	var seeds [3]motion.MV
 	ns := 0
 	seeds[ns] = est.Pred
 	ns++
-	if bx4 > 0 && e.meta.ref[by4*e.meta.w4+bx4-1] >= 0 {
-		m := e.meta.mv[by4*e.meta.w4+bx4-1]
-		seeds[ns] = motion.MV{X: m.X >> 2, Y: m.Y >> 2}
+	if bx4 > 0 && m.ref[by4*m.w4+bx4-1] >= 0 {
+		v := m.mv[by4*m.w4+bx4-1]
+		seeds[ns] = motion.MV{X: v.X >> 2, Y: v.Y >> 2}
 		ns++
 	}
-	if by4 > 0 && e.meta.ref[(by4-1)*e.meta.w4+bx4] >= 0 {
-		m := e.meta.mv[(by4-1)*e.meta.w4+bx4]
-		seeds[ns] = motion.MV{X: m.X >> 2, Y: m.Y >> 2}
+	if by4 > s.top4 && m.ref[(by4-1)*m.w4+bx4] >= 0 {
+		v := m.mv[(by4-1)*m.w4+bx4]
+		seeds[ns] = motion.MV{X: v.X >> 2, Y: v.Y >> 2}
 		ns++
 	}
 	res := est.EPZS(seeds[:ns], 0)
@@ -235,8 +296,8 @@ func (e *Encoder) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion
 
 	// Quarter-pel refinement (step 2 then 1) on plain SAD.
 	bestMV := motion.MV{X: res.MV.X * 4, Y: res.MV.Y * 4}
-	e.mcLumaInto(ref, px, py, w, h, bestMV, pred)
-	bestSAD := e.sadBlock(src, px, py, w, h, pred, 16)
+	s.mcLumaInto(ref, px, py, w, h, bestMV, pred)
+	bestSAD := s.sadBlock(src, px, py, w, h, pred, 16)
 	for _, step := range []int{2, 1} {
 		center := bestMV
 		for dy := -step; dy <= step; dy += step {
@@ -245,11 +306,11 @@ func (e *Encoder) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion
 					continue
 				}
 				mv := motion.MV{X: center.X + int16(dx), Y: center.Y + int16(dy)}
-				e.mcLumaInto(ref, px, py, w, h, mv, e.candY[:])
-				if sad := e.sadBlock(src, px, py, w, h, e.candY[:], 16); sad < bestSAD {
+				s.mcLumaInto(ref, px, py, w, h, mv, s.candY[:])
+				if sad := s.sadBlock(src, px, py, w, h, s.candY[:], 16); sad < bestSAD {
 					bestSAD = sad
 					bestMV = mv
-					copy(pred[:h*16], e.candY[:h*16])
+					copy(pred[:h*16], s.candY[:h*16])
 				}
 			}
 		}
@@ -260,7 +321,7 @@ func (e *Encoder) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion
 // mcChromaPart motion-compensates one chroma partition region for both
 // planes into predC with stride 8. (ox, oy, w, h) are luma-partition pixel
 // geometry relative to the MB origin.
-func (e *Encoder) mcChromaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
+func (s *sliceEnc) mcChromaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
 	cx := (px + ox) / 2
 	cy := (py + oy) / 2
 	ix := int(mv.X) >> 3
@@ -269,8 +330,8 @@ func (e *Encoder) mcChromaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv mo
 	dy := int(mv.Y) & 7
 	so := ref.COrigin + (cy+iy)*ref.CStride + cx + ix
 	do := (oy/2)*8 + ox/2
-	interp.ChromaBilin(e.predC[0][do:], 8, ref.Cb[so:], ref.CStride, w/2, h/2, dx, dy, e.cfg.Kernels)
-	interp.ChromaBilin(e.predC[1][do:], 8, ref.Cr[so:], ref.CStride, w/2, h/2, dx, dy, e.cfg.Kernels)
+	interp.ChromaBilin(s.predC[0][do:], 8, ref.Cb[so:], ref.CStride, w/2, h/2, dx, dy, s.e.cfg.Kernels)
+	interp.ChromaBilin(s.predC[1][do:], 8, ref.Cr[so:], ref.CStride, w/2, h/2, dx, dy, s.e.cfg.Kernels)
 }
 
 // --- residual pipeline ----------------------------------------------------------
@@ -282,15 +343,15 @@ var lumaGroupBlocks = [4][4]int{
 
 // transformLumaInter quantizes the luma residual of an inter (or I4-less)
 // MB against predY and fills md.luma/cbpLuma/lumaNZ.
-func (e *Encoder) transformLumaInter(src *frame.Frame, px, py int, md *mbData) {
+func (s *sliceEnc) transformLumaInter(src *frame.Frame, px, py int, md *mbData) {
 	md.cbpLuma = 0
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		var blk [16]int32
 		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride,
-			e.predY[:], by*16+bx, 16)
+			s.predY[:], by*16+bx, 16)
 		dct.Forward4(&blk)
-		nz := quant.H264Quant(&blk, e.qp, false)
+		nz := quant.H264Quant(&blk, s.e.qp, false)
 		md.luma[bi] = blk
 		md.lumaNZ[bi] = nz > 0
 	}
@@ -305,20 +366,20 @@ func (e *Encoder) transformLumaInter(src *frame.Frame, px, py int, md *mbData) {
 }
 
 // reconLumaInter reconstructs the luma of an inter MB from md into recon.
-func (e *Encoder) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
+func (s *sliceEnc) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
 		po := by*16 + bx
 		if md.lumaNZ[bi] {
 			blk := md.luma[bi]
-			quant.H264Dequant(&blk, e.qp)
+			quant.H264Dequant(&blk, s.e.qp)
 			dct.Inverse4(&blk)
-			codec.Add4Clip(recon.Y, ro, recon.YStride, e.predY[:], po, 16, &blk)
+			codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk)
 		} else {
 			for r := 0; r < 4; r++ {
 				copy(recon.Y[ro+r*recon.YStride:ro+r*recon.YStride+4],
-					e.predY[po+r*16:po+r*16+4])
+					s.predY[po+r*16:po+r*16+4])
 			}
 		}
 	}
@@ -326,7 +387,7 @@ func (e *Encoder) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 
 // transformChroma quantizes both chroma planes against predC and fills
 // md.chroma/chromaDC/cbpChroma.
-func (e *Encoder) transformChroma(src *frame.Frame, px, py int, intra bool, md *mbData) {
+func (s *sliceEnc) transformChroma(src *frame.Frame, px, py int, intra bool, md *mbData) {
 	cx, cy := px/2, py/2
 	anyAC, anyDC := false, false
 	for pl := 0; pl < 2; pl++ {
@@ -339,17 +400,17 @@ func (e *Encoder) transformChroma(src *frame.Frame, px, py int, intra bool, md *
 			ox, oy := 4*(ci%2), 4*(ci/2)
 			var blk [16]int32
 			codec.Residual4(&blk, plane, src.COrigin+(cy+oy)*src.CStride+cx+ox, src.CStride,
-				e.predC[pl][:], oy*8+ox, 8)
+				s.predC[pl][:], oy*8+ox, 8)
 			dct.Forward4(&blk)
 			dc[ci] = blk[0]
 			blk[0] = 0
-			if quant.H264Quant(&blk, e.qpc, intra) > 0 {
+			if quant.H264Quant(&blk, s.e.qpc, intra) > 0 {
 				anyAC = true
 			}
 			md.chroma[pl][ci] = blk
 		}
 		dct.Hadamard2(&dc)
-		if quant.H264QuantChromaDC(&dc, e.qpc, intra) > 0 {
+		if quant.H264QuantChromaDC(&dc, s.e.qpc, intra) > 0 {
 			anyDC = true
 		}
 		md.chromaDC[pl] = dc
@@ -365,7 +426,7 @@ func (e *Encoder) transformChroma(src *frame.Frame, px, py int, intra bool, md *
 }
 
 // reconChroma reconstructs both chroma planes from md into recon.
-func (e *Encoder) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
+func (s *sliceEnc) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 	cx, cy := px/2, py/2
 	for pl := 0; pl < 2; pl++ {
 		plane := recon.Cb
@@ -375,7 +436,7 @@ func (e *Encoder) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 		dc := md.chromaDC[pl]
 		if md.cbpChroma >= 1 {
 			dct.Hadamard2(&dc)
-			quant.H264DequantChromaDC(&dc, e.qpc)
+			quant.H264DequantChromaDC(&dc, s.e.qpc)
 		} else {
 			dc = [4]int32{}
 		}
@@ -385,18 +446,18 @@ func (e *Encoder) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 			po := oy*8 + ox
 			blk := md.chroma[pl][ci]
 			if md.cbpChroma == 2 {
-				quant.H264Dequant(&blk, e.qpc)
+				quant.H264Dequant(&blk, s.e.qpc)
 			} else {
 				blk = [16]int32{}
 			}
 			blk[0] = dc[ci]
 			if md.cbpChroma >= 1 {
 				dct.Inverse4(&blk)
-				codec.Add4Clip(plane, ro, recon.CStride, e.predC[pl][:], po, 8, &blk)
+				codec.Add4Clip(plane, ro, recon.CStride, s.predC[pl][:], po, 8, &blk)
 			} else {
 				for r := 0; r < 4; r++ {
 					copy(plane[ro+r*recon.CStride:ro+r*recon.CStride+4],
-						e.predC[pl][po+r*8:po+r*8+4])
+						s.predC[pl][po+r*8:po+r*8+4])
 				}
 			}
 		}
@@ -404,16 +465,17 @@ func (e *Encoder) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 }
 
 // writeResidual emits CBP and coefficient blocks for the MB.
-func (e *Encoder) writeResidual(w symWriter, md *mbData, i16 bool) {
+func (s *sliceEnc) writeResidual(md *mbData, i16 bool) {
+	w := s.w
 	for g := 0; g < 4; g++ {
-		w.bit(&e.ctx.cbpLuma[g], (md.cbpLuma>>g)&1)
+		w.bit(&s.ctx.cbpLuma[g], (md.cbpLuma>>g)&1)
 	}
-	w.ue(e.ctx.chromaCBP[:], 2, uint32(md.cbpChroma))
+	w.ue(s.ctx.chromaCBP[:], 2, uint32(md.cbpChroma))
 
 	var scan [16]int32
 	if i16 {
 		scanBlock4(&md.lumaDC, 0, scan[:])
-		writeCoeffs(w, &e.ctx.cbf[catLumaDC], e.ctx.sigDC[:], e.ctx.lastDC[:], e.ctx.levelDC[:], scan[:16])
+		writeCoeffs(w, &s.ctx.cbf[catLumaDC], s.ctx.sigDC[:], s.ctx.lastDC[:], s.ctx.levelDC[:], scan[:16])
 	}
 	start := 0
 	if i16 {
@@ -425,47 +487,49 @@ func (e *Encoder) writeResidual(w symWriter, md *mbData, i16 bool) {
 		}
 		for _, bi := range lumaGroupBlocks[g] {
 			scanBlock4(&md.luma[bi], start, scan[:])
-			writeCoeffs(w, &e.ctx.cbf[catLuma], e.ctx.sig[:], e.ctx.last[:], e.ctx.level[:], scan[:16-start])
+			writeCoeffs(w, &s.ctx.cbf[catLuma], s.ctx.sig[:], s.ctx.last[:], s.ctx.level[:], scan[:16-start])
 		}
 	}
 	if md.cbpChroma >= 1 {
 		for pl := 0; pl < 2; pl++ {
 			dcs := md.chromaDC[pl]
-			writeCoeffs(w, &e.ctx.cbf[catChromaDC], e.ctx.sigDC[:], e.ctx.lastDC[:], e.ctx.levelDC[:], dcs[:])
+			writeCoeffs(w, &s.ctx.cbf[catChromaDC], s.ctx.sigDC[:], s.ctx.lastDC[:], s.ctx.levelDC[:], dcs[:])
 		}
 	}
 	if md.cbpChroma == 2 {
 		for pl := 0; pl < 2; pl++ {
 			for ci := 0; ci < 4; ci++ {
 				scanBlock4(&md.chroma[pl][ci], 1, scan[:])
-				writeCoeffs(w, &e.ctx.cbf[catChromaAC], e.ctx.sig[:], e.ctx.last[:], e.ctx.level[:], scan[:15])
+				writeCoeffs(w, &s.ctx.cbf[catChromaAC], s.ctx.sig[:], s.ctx.last[:], s.ctx.level[:], scan[:15])
 			}
 		}
 	}
 }
 
 // updateMetaNZ records per-4×4 non-zero flags for deblocking.
-func (e *Encoder) updateMetaNZ(px, py int, md *mbData, i16 bool) {
+func (s *sliceEnc) updateMetaNZ(px, py int, md *mbData, i16 bool) {
+	m := s.e.meta
 	bx4, by4 := px/4, py/4
 	for bi := 0; bi < 16; bi++ {
 		nz := md.lumaNZ[bi]
 		if i16 && md.lumaDCNZ {
 			nz = true
 		}
-		e.meta.nz[(by4+bi/4)*e.meta.w4+bx4+bi%4] = nz
+		m.nz[(by4+bi/4)*m.w4+bx4+bi%4] = nz
 	}
 }
 
 // --- intra coding ----------------------------------------------------------------
 
 // bestI16 selects the best I16×16 mode by SAD and returns (mode, cost).
-func (e *Encoder) bestI16(src, recon *frame.Frame, px, py int) (int, int) {
+func (s *sliceEnc) bestI16(src, recon *frame.Frame, px, py int) (int, int) {
 	availLeft := px > 0
-	availTop := py > 0
+	availTop := py > s.topPx
 	bestMode, bestCost := -1, 1<<30
-	for _, mode := range i16Candidates(availLeft, availTop) {
-		predI16(e.tmpY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, mode, availLeft, availTop)
-		if sad := e.sadBlock(src, px, py, 16, 16, e.tmpY[:], 16); sad < bestCost {
+	var cands [numI16Modes]int
+	for _, mode := range i16Candidates(availLeft, availTop, &cands) {
+		predI16(s.tmpY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, mode, availLeft, availTop)
+		if sad := s.sadBlock(src, px, py, 16, 16, s.tmpY[:], 16); sad < bestCost {
 			bestCost = sad
 			bestMode = mode
 		}
@@ -476,10 +540,10 @@ func (e *Encoder) bestI16(src, recon *frame.Frame, px, py int) (int, int) {
 // encodeI16Into performs the full I16 pipeline: prediction, transform with
 // DC Hadamard, quantization, reconstruction, and meta update. The caller
 // writes the syntax.
-func (e *Encoder) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *mbData) {
+func (s *sliceEnc) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *mbData) {
 	availLeft := px > 0
-	availTop := py > 0
-	predI16(e.predY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, mode, availLeft, availTop)
+	availTop := py > s.topPx
+	predI16(s.predY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, mode, availLeft, availTop)
 	md.i16Mode = mode
 
 	var dcs [16]int32
@@ -488,18 +552,18 @@ func (e *Encoder) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *m
 		bx, by := 4*(bi%4), 4*(bi/4)
 		var blk [16]int32
 		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride,
-			e.predY[:], by*16+bx, 16)
+			s.predY[:], by*16+bx, 16)
 		dct.Forward4(&blk)
 		dcs[bi] = blk[0]
 		blk[0] = 0
-		nz := quant.H264Quant(&blk, e.qp, true)
+		nz := quant.H264Quant(&blk, s.e.qp, true)
 		md.luma[bi] = blk
 		md.lumaNZ[bi] = nz > 0
 	}
 	// Reorder DCs to raster 4×4 of the DC block: dcs are already in raster
 	// block order, matching the Hadamard layout.
 	dct.Hadamard4(&dcs, true)
-	md.lumaDCNZ = quant.H264QuantDC(&dcs, e.qp) > 0
+	md.lumaDCNZ = quant.H264QuantDC(&dcs, s.e.qp) > 0
 	md.lumaDC = dcs
 	for g := 0; g < 4; g++ {
 		for _, bi := range lumaGroupBlocks[g] {
@@ -513,35 +577,36 @@ func (e *Encoder) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *m
 	// Reconstruction.
 	dcRec := md.lumaDC
 	dct.Hadamard4(&dcRec, false)
-	quant.H264DequantDC(&dcRec, e.qp)
+	quant.H264DequantDC(&dcRec, s.e.qp)
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
 		po := by*16 + bx
 		blk := md.luma[bi]
-		quant.H264Dequant(&blk, e.qp)
+		quant.H264Dequant(&blk, s.e.qp)
 		blk[0] = dcRec[bi]
 		dct.Inverse4(&blk)
-		codec.Add4Clip(recon.Y, ro, recon.YStride, e.predY[:], po, 16, &blk)
+		codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk)
 	}
 }
 
 // encodeI4Into performs the sequential I4×4 pipeline, choosing a mode per
 // block and reconstructing as it goes.
-func (e *Encoder) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) {
+func (s *sliceEnc) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) {
 	md.cbpLuma = 0
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		gx4, gy4 := (px+bx)/4, (py+by)/4
-		av := availI4(gx4, gy4, e.meta.w4)
+		av := availI4(gx4, gy4, s.e.meta.w4, s.top4)
 		var best [16]byte
 		bestMode, bestCost := -1, 1<<30
 		var cand [16]byte
-		for _, mode := range i4Candidates(av) {
+		var cands [numI4Modes]int
+		for _, mode := range i4Candidates(av, &cands) {
 			predI4(cand[:], 4, recon.Y, recon.YOrigin, recon.YStride, px+bx, py+by, mode, av)
-			cost := e.sadBlock(src, px+bx, py+by, 4, 4, cand[:], 4) + e.lambda*2
+			cost := s.sadBlock(src, px+bx, py+by, 4, 4, cand[:], 4) + s.e.lambda*2
 			if mode == i4DC {
-				cost -= e.lambda * 2 // cheap-mode bias
+				cost -= s.e.lambda * 2 // cheap-mode bias
 			}
 			if cost < bestCost {
 				bestCost = cost
@@ -554,14 +619,14 @@ func (e *Encoder) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) 
 		var blk [16]int32
 		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride, best[:], 0, 4)
 		dct.Forward4(&blk)
-		nz := quant.H264Quant(&blk, e.qp, true)
+		nz := quant.H264Quant(&blk, s.e.qp, true)
 		md.luma[bi] = blk
 		md.lumaNZ[bi] = nz > 0
 
 		// Immediate reconstruction: later blocks predict from it.
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
 		rblk := blk
-		quant.H264Dequant(&rblk, e.qp)
+		quant.H264Dequant(&rblk, s.e.qp)
 		dct.Inverse4(&rblk)
 		codec.Add4Clip(recon.Y, ro, recon.YStride, best[:], 0, 4, &rblk)
 	}
@@ -577,70 +642,72 @@ func (e *Encoder) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) 
 
 // intraChroma predicts chroma with the DC mode and runs the chroma
 // residual pipeline.
-func (e *Encoder) intraChroma(src, recon *frame.Frame, px, py int, md *mbData) {
+func (s *sliceEnc) intraChroma(src, recon *frame.Frame, px, py int, md *mbData) {
 	cx, cy := px/2, py/2
-	predChromaDC(e.predC[0][:], recon.Cb, recon.COrigin, recon.CStride, cx, cy, px > 0, py > 0)
-	predChromaDC(e.predC[1][:], recon.Cr, recon.COrigin, recon.CStride, cx, cy, px > 0, py > 0)
-	e.transformChroma(src, px, py, true, md)
+	availTop := py > s.topPx
+	predChromaDC(s.predC[0][:], recon.Cb, recon.COrigin, recon.CStride, cx, cy, px > 0, availTop)
+	predChromaDC(s.predC[1][:], recon.Cr, recon.COrigin, recon.CStride, cx, cy, px > 0, availTop)
+	s.transformChroma(src, px, py, true, md)
 }
 
 // i4CostEstimate returns the summed best-mode SAD over the 16 blocks,
 // predicting from the source (cheap approximation used only for the
 // I4-vs-I16 decision).
-func (e *Encoder) i4CostEstimate(src, recon *frame.Frame, px, py int) int {
+func (s *sliceEnc) i4CostEstimate(src, recon *frame.Frame, px, py int) int {
 	total := 0
 	var cand [16]byte
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		gx4, gy4 := (px+bx)/4, (py+by)/4
-		av := availI4(gx4, gy4, e.meta.w4)
+		av := availI4(gx4, gy4, s.e.meta.w4, s.top4)
 		best := 1 << 30
-		for _, mode := range i4Candidates(av) {
+		var cands [numI4Modes]int
+		for _, mode := range i4Candidates(av, &cands) {
 			predI4(cand[:], 4, recon.Y, recon.YOrigin, recon.YStride, px+bx, py+by, mode, av)
-			if sad := e.sadBlock(src, px+bx, py+by, 4, 4, cand[:], 4); sad < best {
+			if sad := s.sadBlock(src, px+bx, py+by, 4, 4, cand[:], 4); sad < best {
 				best = sad
 			}
 		}
-		total += best + e.lambda*3
+		total += best + s.e.lambda*3
 	}
 	return total
 }
 
 // --- I macroblocks ---------------------------------------------------------------
 
-func (e *Encoder) encodeIMB(w symWriter, src, recon *frame.Frame, mbx, mby int) {
+func (s *sliceEnc) encodeIMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	var md mbData
 
-	i16Mode, i16Cost := e.bestI16(src, recon, px, py)
+	i16Mode, i16Cost := s.bestI16(src, recon, px, py)
 	// The I4 estimate predicts from already-reconstructed pixels only
 	// approximately (blocks inside the MB are not yet coded), so bias I16.
-	i4Cost := e.i4CostEstimate(src, recon, px, py) + e.lambda*24
+	i4Cost := s.i4CostEstimate(src, recon, px, py) + s.e.lambda*24
 
 	if i4Cost < i16Cost {
-		w.bit(&e.ctx.mbType[0], 1) // 1 = I4x4
-		e.encodeI4Into(src, recon, px, py, &md)
+		s.w.bit(&s.ctx.mbType[0], 1) // 1 = I4x4
+		s.encodeI4Into(src, recon, px, py, &md)
 		for bi := 0; bi < 16; bi++ {
-			w.ue(e.ctx.i4Mode[:], 3, uint32(md.i4Modes[bi]))
+			s.w.ue(s.ctx.i4Mode[:], 3, uint32(md.i4Modes[bi]))
 		}
 		md.mode = mI4x4
 	} else {
-		w.bit(&e.ctx.mbType[0], 0) // 0 = I16x16
-		w.ue(e.ctx.i16Mode[:], 2, uint32(i16Mode))
-		e.encodeI16Into(src, recon, px, py, i16Mode, &md)
+		s.w.bit(&s.ctx.mbType[0], 0) // 0 = I16x16
+		s.w.ue(s.ctx.i16Mode[:], 2, uint32(i16Mode))
+		s.encodeI16Into(src, recon, px, py, i16Mode, &md)
 		md.mode = mI16x16
 	}
-	e.intraChroma(src, recon, px, py, &md)
-	e.writeResidual(w, &md, md.mode == mI16x16)
-	e.reconChroma(recon, px, py, &md)
+	s.intraChroma(src, recon, px, py, &md)
+	s.writeResidual(&md, md.mode == mI16x16)
+	s.reconChroma(recon, px, py, &md)
 
-	e.meta.setBlock(px/4, py/4, 4, 4, motion.MV{}, -1)
-	e.updateMetaNZ(px, py, &md, md.mode == mI16x16)
+	s.e.meta.setBlock(px/4, py/4, 4, 4, motion.MV{}, -1)
+	s.updateMetaNZ(px, py, &md, md.mode == mI16x16)
 }
 
 // --- P macroblocks ---------------------------------------------------------------
 
-// partition geometry per mode: offsets and sizes in pixels.
+// partGeom lists partition geometry per mode: offsets and sizes in pixels.
 var partGeom = map[int][][4]int{
 	mP16x16: {{0, 0, 16, 16}},
 	mP16x8:  {{0, 0, 16, 8}, {0, 8, 16, 8}},
@@ -648,11 +715,15 @@ var partGeom = map[int][][4]int{
 	mP8x8:   {{0, 0, 8, 8}, {8, 0, 8, 8}, {0, 8, 8, 8}, {8, 8, 8, 8}},
 }
 
-func (e *Encoder) encodePMB(w symWriter, src, recon *frame.Frame, mbx, mby int) {
+// partModes lists the sub-partition hypotheses tried when 16×16 leaves
+// residual energy, in decision order.
+var partModes = [3]int{mP16x8, mP8x16, mP8x8}
+
+func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	bx4, by4 := px/4, py/4
-	nRefs := e.refs.Len()
-	mvp := e.meta.predictMV(bx4, by4, 4)
+	nRefs := s.e.refs.Len()
+	mvp := s.e.meta.predictMV(bx4, by4, 4, s.top4)
 
 	// 16×16 search across references.
 	bestRef := int8(0)
@@ -660,8 +731,8 @@ func (e *Encoder) encodePMB(w symWriter, src, recon *frame.Frame, mbx, mby int) 
 	bestCost := 1 << 30
 	bestSAD := 0
 	for ri := 0; ri < nRefs; ri++ {
-		mv, sad := e.searchRef(src, e.refs.Get(ri), px, py, 16, 16, mvp, e.tmpY[:])
-		cost := sad + e.lambda*(mvdBits(mv, mvp)+2*ri)
+		mv, sad := s.searchRef(src, s.e.refs.Get(ri), px, py, 16, 16, mvp, s.tmpY[:])
+		cost := sad + s.e.lambda*(mvdBits(mv, mvp)+2*ri)
 		if cost < bestCost {
 			bestCost = cost
 			bestSAD = sad
@@ -669,127 +740,117 @@ func (e *Encoder) encodePMB(w symWriter, src, recon *frame.Frame, mbx, mby int) 
 			bestMV = mv
 		}
 	}
-	ref := e.refs.Get(int(bestRef))
+	ref := s.e.refs.Get(int(bestRef))
 	mode := mP16x16
 	mvs := [4]motion.MV{bestMV}
 
 	// Partition hypotheses only when 16×16 leaves real residual energy.
 	if bestSAD > 16*16*3 {
-		type hyp struct {
-			mode  int
-			cost  int
-			mvs   [4]motion.MV
-			parts [][4]int
-		}
-		hyps := []hyp{}
-		for _, m := range []int{mP16x8, mP8x16, mP8x8} {
+		for _, m := range partModes {
 			parts := partGeom[m]
-			total := e.lambda * 4 // mode overhead
+			total := s.e.lambda * 4 // mode overhead
 			var pmvs [4]motion.MV
 			for pi, g := range parts {
-				mv, sad := e.searchRef(src, ref, px+g[0], py+g[1], g[2], g[3], bestMV, e.tmpY[:])
+				mv, sad := s.searchRef(src, ref, px+g[0], py+g[1], g[2], g[3], bestMV, s.tmpY[:])
 				pmvs[pi] = mv
-				total += sad + e.lambda*mvdBits(mv, bestMV)
+				total += sad + s.e.lambda*mvdBits(mv, bestMV)
 			}
-			hyps = append(hyps, hyp{m, total, pmvs, parts})
-		}
-		for _, h := range hyps {
-			if h.cost < bestCost {
-				bestCost = h.cost
-				mode = h.mode
-				mvs = h.mvs
+			if total < bestCost {
+				bestCost = total
+				mode = m
+				mvs = pmvs
 			}
 		}
 	}
 
 	// Intra hypothesis.
-	i16Mode, i16Cost := e.bestI16(src, recon, px, py)
-	if i16Cost+e.lambda*16 < bestCost {
-		w.bit(&e.ctx.skip[0], 0)
-		w.ue(e.ctx.mbType[:], 3, uint32(mI16x16))
-		w.ue(e.ctx.i16Mode[:], 2, uint32(i16Mode))
+	i16Mode, i16Cost := s.bestI16(src, recon, px, py)
+	if i16Cost+s.e.lambda*16 < bestCost {
+		s.w.bit(&s.ctx.skip[0], 0)
+		s.w.ue(s.ctx.mbType[:], 3, uint32(mI16x16))
+		s.w.ue(s.ctx.i16Mode[:], 2, uint32(i16Mode))
 		var md mbData
 		md.mode = mI16x16
-		e.encodeI16Into(src, recon, px, py, i16Mode, &md)
-		e.intraChroma(src, recon, px, py, &md)
-		e.writeResidual(w, &md, true)
-		e.reconChroma(recon, px, py, &md)
-		e.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
-		e.updateMetaNZ(px, py, &md, true)
+		s.encodeI16Into(src, recon, px, py, i16Mode, &md)
+		s.intraChroma(src, recon, px, py, &md)
+		s.writeResidual(&md, true)
+		s.reconChroma(recon, px, py, &md)
+		s.e.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
+		s.updateMetaNZ(px, py, &md, true)
 		return
 	}
 
 	// Build the inter prediction for the chosen mode.
 	parts := partGeom[mode]
 	for pi, g := range parts {
-		e.mcLumaPart(ref, px, py, g[0], g[1], g[2], g[3], mvs[pi])
-		e.mcChromaPart(ref, px, py, g[0], g[1], g[2], g[3], mvs[pi])
+		s.mcLumaPart(ref, px, py, g[0], g[1], g[2], g[3], mvs[pi])
+		s.mcChromaPart(ref, px, py, g[0], g[1], g[2], g[3], mvs[pi])
 	}
 
 	var md mbData
 	md.mode = mode
 	md.ref = bestRef
 	md.mvs = mvs
-	e.transformLumaInter(src, px, py, &md)
-	e.transformChroma(src, px, py, false, &md)
+	s.transformLumaInter(src, px, py, &md)
+	s.transformChroma(src, px, py, false, &md)
 
 	// P-skip: 16×16, ref 0, MV == predictor, no residual.
 	if mode == mP16x16 && bestRef == 0 && bestMV == mvp &&
 		md.cbpLuma == 0 && md.cbpChroma == 0 {
-		w.bit(&e.ctx.skip[0], 1)
-		e.reconLumaInter(recon, px, py, &md)
-		e.reconChroma(recon, px, py, &md)
-		e.meta.setBlock(bx4, by4, 4, 4, mvp, 0)
-		e.updateMetaNZ(px, py, &md, false)
+		s.w.bit(&s.ctx.skip[0], 1)
+		s.reconLumaInter(recon, px, py, &md)
+		s.reconChroma(recon, px, py, &md)
+		s.e.meta.setBlock(bx4, by4, 4, 4, mvp, 0)
+		s.updateMetaNZ(px, py, &md, false)
 		return
 	}
 
-	w.bit(&e.ctx.skip[0], 0)
-	w.ue(e.ctx.mbType[:], 3, uint32(mode))
+	s.w.bit(&s.ctx.skip[0], 0)
+	s.w.ue(s.ctx.mbType[:], 3, uint32(mode))
 	if nRefs > 1 {
-		w.ue(e.ctx.refIdx[:], 2, uint32(bestRef))
+		s.w.ue(s.ctx.refIdx[:], 2, uint32(bestRef))
 	}
 	for pi, g := range parts {
-		pmvp := e.meta.predictMV(bx4+g[0]/4, by4+g[1]/4, g[2]/4)
-		w.se(e.ctx.mvd[:], 8, int32(mvs[pi].X)-int32(pmvp.X))
-		w.se(e.ctx.mvd[:], 8, int32(mvs[pi].Y)-int32(pmvp.Y))
-		e.meta.setBlock(bx4+g[0]/4, by4+g[1]/4, g[2]/4, g[3]/4, mvs[pi], bestRef)
+		pmvp := s.e.meta.predictMV(bx4+g[0]/4, by4+g[1]/4, g[2]/4, s.top4)
+		s.w.se(s.ctx.mvd[:], 8, int32(mvs[pi].X)-int32(pmvp.X))
+		s.w.se(s.ctx.mvd[:], 8, int32(mvs[pi].Y)-int32(pmvp.Y))
+		s.e.meta.setBlock(bx4+g[0]/4, by4+g[1]/4, g[2]/4, g[3]/4, mvs[pi], bestRef)
 	}
-	e.writeResidual(w, &md, false)
-	e.reconLumaInter(recon, px, py, &md)
-	e.reconChroma(recon, px, py, &md)
-	e.updateMetaNZ(px, py, &md, false)
+	s.writeResidual(&md, false)
+	s.reconLumaInter(recon, px, py, &md)
+	s.reconChroma(recon, px, py, &md)
+	s.updateMetaNZ(px, py, &md, false)
 }
 
 // mcLumaPart motion-compensates one luma partition into predY.
-func (e *Encoder) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
+func (s *sliceEnc) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+oy+iy)*ref.YStride + px + ox + ix
-	e.qpel.Luma(e.predY[oy*16+ox:], 16, ref.Y, so, ref.YStride, w, h, fx, fy, e.cfg.Kernels)
+	s.qpel.Luma(s.predY[oy*16+ox:], 16, ref.Y, so, ref.YStride, w, h, fx, fy, s.e.cfg.Kernels)
 }
 
 // --- B macroblocks ---------------------------------------------------------------
 
-func (e *Encoder) encodeBMB(w symWriter, src, recon *frame.Frame, mbx, mby int) {
+func (s *sliceEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	bx4, by4 := px/4, py/4
-	fwdRef := e.refs.Get(1)
-	bwdRef := e.refs.Get(0)
-	mvpF := e.meta.predictMV(bx4, by4, 4)
+	fwdRef := s.e.refs.Get(1)
+	bwdRef := s.e.refs.Get(0)
+	mvpF := s.e.meta.predictMV(bx4, by4, 4, s.top4)
 
 	var fwdPred, bwdPred [256]byte
-	fwdMV, fwdSAD := e.searchRef(src, fwdRef, px, py, 16, 16, mvpF, fwdPred[:])
-	bwdMV, bwdSAD := e.searchRef(src, bwdRef, px, py, 16, 16, e.bwdPredRow, bwdPred[:])
+	fwdMV, fwdSAD := s.searchRef(src, fwdRef, px, py, 16, 16, mvpF, fwdPred[:])
+	bwdMV, bwdSAD := s.searchRef(src, bwdRef, px, py, 16, 16, s.bwdPredRow, bwdPred[:])
 
 	var bi [256]byte
 	copy(bi[:], fwdPred[:])
-	interp.Avg(bi[:], 16, bwdPred[:], 16, 16, 16, e.cfg.Kernels)
-	biSAD := e.sadBlock(src, px, py, 16, 16, bi[:], 16)
+	interp.Avg(bi[:], 16, bwdPred[:], 16, 16, 16, s.e.cfg.Kernels)
+	biSAD := s.sadBlock(src, px, py, 16, 16, bi[:], 16)
 
-	fwdCost := fwdSAD + e.lambda*mvdBits(fwdMV, mvpF)
-	bwdCost := bwdSAD + e.lambda*mvdBits(bwdMV, e.bwdPredRow)
-	biCost := biSAD + e.lambda*(mvdBits(fwdMV, mvpF)+mvdBits(bwdMV, e.bwdPredRow)+4)
+	fwdCost := fwdSAD + s.e.lambda*mvdBits(fwdMV, mvpF)
+	bwdCost := bwdSAD + s.e.lambda*mvdBits(bwdMV, s.bwdPredRow)
+	biCost := biSAD + s.e.lambda*(mvdBits(fwdMV, mvpF)+mvdBits(bwdMV, s.bwdPredRow)+4)
 
 	mode := mBFwd
 	best := fwdCost
@@ -800,75 +861,75 @@ func (e *Encoder) encodeBMB(w symWriter, src, recon *frame.Frame, mbx, mby int) 
 		mode, best = mBBi, biCost
 	}
 
-	i16Mode, i16Cost := e.bestI16(src, recon, px, py)
-	if i16Cost+e.lambda*16 < best {
-		w.bit(&e.ctx.skip[0], 0)
-		w.ue(e.ctx.mbType[:], 3, uint32(mBI16x16))
-		w.ue(e.ctx.i16Mode[:], 2, uint32(i16Mode))
+	i16Mode, i16Cost := s.bestI16(src, recon, px, py)
+	if i16Cost+s.e.lambda*16 < best {
+		s.w.bit(&s.ctx.skip[0], 0)
+		s.w.ue(s.ctx.mbType[:], 3, uint32(mBI16x16))
+		s.w.ue(s.ctx.i16Mode[:], 2, uint32(i16Mode))
 		var md mbData
 		md.mode = mI16x16
-		e.encodeI16Into(src, recon, px, py, i16Mode, &md)
-		e.intraChroma(src, recon, px, py, &md)
-		e.writeResidual(w, &md, true)
-		e.reconChroma(recon, px, py, &md)
-		e.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
-		e.updateMetaNZ(px, py, &md, true)
+		s.encodeI16Into(src, recon, px, py, i16Mode, &md)
+		s.intraChroma(src, recon, px, py, &md)
+		s.writeResidual(&md, true)
+		s.reconChroma(recon, px, py, &md)
+		s.e.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
+		s.updateMetaNZ(px, py, &md, true)
 		return
 	}
 
 	// Assemble the final prediction.
 	switch mode {
 	case mBFwd:
-		copy(e.predY[:], fwdPred[:])
-		e.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		copy(s.predY[:], fwdPred[:])
+		s.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
 	case mBBwd:
-		copy(e.predY[:], bwdPred[:])
-		e.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		copy(s.predY[:], bwdPred[:])
+		s.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
 	case mBBi:
-		copy(e.predY[:], bi[:])
-		e.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
+		copy(s.predY[:], bi[:])
+		s.mcChromaPart(fwdRef, px, py, 0, 0, 16, 16, fwdMV)
 		var cbF, crF [64]byte
-		copy(cbF[:], e.predC[0][:])
-		copy(crF[:], e.predC[1][:])
-		e.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
-		interp.Avg(e.predC[0][:], 8, cbF[:], 8, 8, 8, e.cfg.Kernels)
-		interp.Avg(e.predC[1][:], 8, crF[:], 8, 8, 8, e.cfg.Kernels)
+		copy(cbF[:], s.predC[0][:])
+		copy(crF[:], s.predC[1][:])
+		s.mcChromaPart(bwdRef, px, py, 0, 0, 16, 16, bwdMV)
+		interp.Avg(s.predC[0][:], 8, cbF[:], 8, 8, 8, s.e.cfg.Kernels)
+		interp.Avg(s.predC[1][:], 8, crF[:], 8, 8, 8, s.e.cfg.Kernels)
 	}
 
 	var md mbData
 	md.mode = mode
-	e.transformLumaInter(src, px, py, &md)
-	e.transformChroma(src, px, py, false, &md)
+	s.transformLumaInter(src, px, py, &md)
+	s.transformChroma(src, px, py, false, &md)
 
 	// B-skip: forward, MV == predictor, no residual.
 	if mode == mBFwd && fwdMV == mvpF && md.cbpLuma == 0 && md.cbpChroma == 0 {
-		w.bit(&e.ctx.skip[0], 1)
-		e.reconLumaInter(recon, px, py, &md)
-		e.reconChroma(recon, px, py, &md)
-		e.meta.setBlock(bx4, by4, 4, 4, mvpF, 0)
-		e.updateMetaNZ(px, py, &md, false)
+		s.w.bit(&s.ctx.skip[0], 1)
+		s.reconLumaInter(recon, px, py, &md)
+		s.reconChroma(recon, px, py, &md)
+		s.e.meta.setBlock(bx4, by4, 4, 4, mvpF, 0)
+		s.updateMetaNZ(px, py, &md, false)
 		return
 	}
 
-	w.bit(&e.ctx.skip[0], 0)
-	w.ue(e.ctx.mbType[:], 3, uint32(mode))
+	s.w.bit(&s.ctx.skip[0], 0)
+	s.w.ue(s.ctx.mbType[:], 3, uint32(mode))
 	if mode == mBFwd || mode == mBBi {
-		w.se(e.ctx.mvd[:], 8, int32(fwdMV.X)-int32(mvpF.X))
-		w.se(e.ctx.mvd[:], 8, int32(fwdMV.Y)-int32(mvpF.Y))
+		s.w.se(s.ctx.mvd[:], 8, int32(fwdMV.X)-int32(mvpF.X))
+		s.w.se(s.ctx.mvd[:], 8, int32(fwdMV.Y)-int32(mvpF.Y))
 	}
 	if mode == mBBwd || mode == mBBi {
-		w.se(e.ctx.mvd[:], 8, int32(bwdMV.X)-int32(e.bwdPredRow.X))
-		w.se(e.ctx.mvd[:], 8, int32(bwdMV.Y)-int32(e.bwdPredRow.Y))
-		e.bwdPredRow = bwdMV
+		s.w.se(s.ctx.mvd[:], 8, int32(bwdMV.X)-int32(s.bwdPredRow.X))
+		s.w.se(s.ctx.mvd[:], 8, int32(bwdMV.Y)-int32(s.bwdPredRow.Y))
+		s.bwdPredRow = bwdMV
 	}
 	switch mode {
 	case mBFwd, mBBi:
-		e.meta.setBlock(bx4, by4, 4, 4, fwdMV, 0)
+		s.e.meta.setBlock(bx4, by4, 4, 4, fwdMV, 0)
 	default:
-		e.meta.setBlock(bx4, by4, 4, 4, bwdMV, 0)
+		s.e.meta.setBlock(bx4, by4, 4, 4, bwdMV, 0)
 	}
-	e.writeResidual(w, &md, false)
-	e.reconLumaInter(recon, px, py, &md)
-	e.reconChroma(recon, px, py, &md)
-	e.updateMetaNZ(px, py, &md, false)
+	s.writeResidual(&md, false)
+	s.reconLumaInter(recon, px, py, &md)
+	s.reconChroma(recon, px, py, &md)
+	s.updateMetaNZ(px, py, &md, false)
 }

@@ -150,20 +150,22 @@ func (m *frameMeta) setBlock(bx4, by4, bw4, bh4 int, mv motion.MV, ref int8) {
 // 4×4 block is (bx4, by4) and whose width is bw4 blocks, considering only
 // neighbours with the same reference... the simplified rule used here takes
 // the component median of left/top/top-right regardless of their reference,
-// matching encoder and decoder exactly.
-func (m *frameMeta) predictMV(bx4, by4, bw4 int) motion.MV {
+// matching encoder and decoder exactly. top4 is the slice's first 4×4 row:
+// neighbours above it belong to a different slice (possibly still being
+// coded) and must not be read, so every "above" test clamps against it.
+func (m *frameMeta) predictMV(bx4, by4, bw4, top4 int) motion.MV {
 	var a, b, c motion.MV
 	aOK := bx4 > 0 && m.ref[by4*m.w4+bx4-1] >= 0
 	if aOK {
 		a = m.mv[by4*m.w4+bx4-1]
 	}
-	bOK := by4 > 0 && m.ref[(by4-1)*m.w4+bx4] >= 0
+	bOK := by4 > top4 && m.ref[(by4-1)*m.w4+bx4] >= 0
 	if bOK {
 		b = m.mv[(by4-1)*m.w4+bx4]
 	}
 	cx := bx4 + bw4
-	cOK := by4 > 0 && cx < m.w4 && m.ref[(by4-1)*m.w4+cx] >= 0
-	if !cOK && by4 > 0 && bx4 > 0 && m.ref[(by4-1)*m.w4+bx4-1] >= 0 {
+	cOK := by4 > top4 && cx < m.w4 && m.ref[(by4-1)*m.w4+cx] >= 0
+	if !cOK && by4 > top4 && bx4 > 0 && m.ref[(by4-1)*m.w4+bx4-1] >= 0 {
 		c = m.mv[(by4-1)*m.w4+bx4-1]
 		cOK = true
 	} else if cOK {
@@ -199,6 +201,14 @@ type contexts struct {
 
 func newContexts() *contexts {
 	c := &contexts{}
+	c.reset()
+	return c
+}
+
+// reset reinitializes every probability model — a slice boundary in the
+// entropy layer. Reusing one contexts value across frames keeps the
+// macroblock loop allocation-free.
+func (c *contexts) reset() {
 	entropy.ResetProbs(c.skip[:])
 	entropy.ResetProbs(c.mbType[:])
 	entropy.ResetProbs(c.refIdx[:])
@@ -214,7 +224,6 @@ func newContexts() *contexts {
 	entropy.ResetProbs(c.sigDC[:])
 	entropy.ResetProbs(c.lastDC[:])
 	entropy.ResetProbs(c.levelDC[:])
-	return c
 }
 
 // symWriter abstracts the entropy backend: the CABAC range coder or the
@@ -226,6 +235,7 @@ type symWriter interface {
 	ue(ctx []entropy.Prob, escape int, v uint32)
 	se(ctx []entropy.Prob, escape int, v int32)
 	finish() []byte
+	reset() // prepare for a new slice, reusing the buffer
 }
 
 type symReader interface {
@@ -247,6 +257,7 @@ func (w cabacWriter) se(ctx []entropy.Prob, escape int, v int32) {
 	w.e.EncodeSE(ctx, escape, v)
 }
 func (w cabacWriter) finish() []byte { return w.e.Finish() }
+func (w cabacWriter) reset()         { w.e.Reset() }
 
 type cabacReader struct{ d *entropy.Decoder }
 
@@ -271,6 +282,7 @@ func (w vlcWriter) se(_ []entropy.Prob, _ int, v int32) {
 	entropy.WriteSE(w.w, v)
 }
 func (w vlcWriter) finish() []byte { return w.w.Bytes() }
+func (w vlcWriter) reset()         { w.w.Reset() }
 
 type vlcReader struct{ r *bitstream.Reader }
 

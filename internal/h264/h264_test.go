@@ -323,24 +323,24 @@ func TestAlphaBetaMonotone(t *testing.T) {
 func TestAvailI4(t *testing.T) {
 	w4 := 24 // 96 px wide
 	// Top-left block of the picture: nothing available.
-	av := availI4(0, 0, w4)
+	av := availI4(0, 0, w4, 0)
 	if av.left || av.top || av.topRight {
 		t.Fatalf("corner availability wrong: %+v", av)
 	}
 	// Block at (1,1) inside MB 0: everything available (top-right is (2,0),
 	// inside the same MB).
-	av = availI4(1, 1, w4)
+	av = availI4(1, 1, w4, 0)
 	if !av.left || !av.top || !av.topRight {
 		t.Fatalf("(1,1) availability wrong: %+v", av)
 	}
 	// Block at (3,1): top-right (4,1-1=0)... (4,0) is in the next MB but the
 	// row above is in the same MB row band → unavailable.
-	av = availI4(3, 1, w4)
+	av = availI4(3, 1, w4, 0)
 	if av.topRight {
 		t.Fatalf("(3,1) top-right must be unavailable: %+v", av)
 	}
 	// Block at (3,4): top-right (4,3) is in the MB row above → available.
-	av = availI4(3, 4, w4)
+	av = availI4(3, 4, w4, 0)
 	if !av.topRight {
 		t.Fatalf("(3,4) top-right must be available: %+v", av)
 	}

@@ -10,13 +10,15 @@ type i4Avail struct {
 }
 
 // availI4 computes availability for the 4×4 block at grid position
-// (bx4, by4) under raster MB / raster in-MB coding order.
-func availI4(bx4, by4, w4 int) i4Avail {
+// (bx4, by4) under raster MB / raster in-MB coding order. top4 is the
+// slice's first 4×4 row: blocks above it belong to another slice and are
+// unavailable (slices predict independently).
+func availI4(bx4, by4, w4, top4 int) i4Avail {
 	av := i4Avail{
 		left: bx4 > 0,
-		top:  by4 > 0,
+		top:  by4 > top4,
 	}
-	if by4 > 0 && bx4+1 < w4 {
+	if by4 > top4 && bx4+1 < w4 {
 		// Above-right block must already be coded: it is unless it belongs
 		// to the macroblock to our right within the same MB row band.
 		sameMBRowBand := (by4-1)/4 == by4/4
@@ -26,24 +28,31 @@ func availI4(bx4, by4, w4 int) i4Avail {
 	return av
 }
 
-// i4Candidates lists the modes usable under the given availability, best
-// candidates first.
-func i4Candidates(av i4Avail) []int {
-	modes := make([]int, 0, numI4Modes)
-	modes = append(modes, i4DC)
+// i4Candidates fills dst with the modes usable under the given
+// availability, best candidates first, and returns the filled prefix.
+// The caller-provided array keeps the per-4×4-block mode loop
+// allocation-free.
+func i4Candidates(av i4Avail, dst *[numI4Modes]int) []int {
+	n := 0
+	dst[n] = i4DC
+	n++
 	if av.top {
-		modes = append(modes, i4Vertical)
+		dst[n] = i4Vertical
+		n++
 	}
 	if av.left {
-		modes = append(modes, i4Horizontal)
+		dst[n] = i4Horizontal
+		n++
 	}
 	if av.top { // DDL pads the top-right half when unavailable
-		modes = append(modes, i4DiagDownLeft)
+		dst[n] = i4DiagDownLeft
+		n++
 	}
 	if av.top && av.left {
-		modes = append(modes, i4DiagDownRight)
+		dst[n] = i4DiagDownRight
+		n++
 	}
-	return modes
+	return dst[:n]
 }
 
 // predI4 writes the 4×4 intra prediction for mode into dst (stride
@@ -205,19 +214,26 @@ func predI16(dst []byte, plane []byte, origin, stride, px, py, mode int, availLe
 	}
 }
 
-// i16Candidates lists usable I16 modes under the given availability.
-func i16Candidates(availLeft, availTop bool) []int {
-	modes := []int{i16DC}
+// i16Candidates fills dst with the usable I16 modes under the given
+// availability and returns the filled prefix (allocation-free, as with
+// i4Candidates).
+func i16Candidates(availLeft, availTop bool, dst *[numI16Modes]int) []int {
+	n := 0
+	dst[n] = i16DC
+	n++
 	if availTop {
-		modes = append(modes, i16Vertical)
+		dst[n] = i16Vertical
+		n++
 	}
 	if availLeft {
-		modes = append(modes, i16Horizontal)
+		dst[n] = i16Horizontal
+		n++
 	}
 	if availLeft && availTop {
-		modes = append(modes, i16Plane)
+		dst[n] = i16Plane
+		n++
 	}
-	return modes
+	return dst[:n]
 }
 
 // predChromaDC writes the 8×8 DC intra prediction for one chroma plane.

@@ -128,21 +128,23 @@ func TestPredI16DCAndPlane(t *testing.T) {
 }
 
 func TestI4CandidatesRespectAvailability(t *testing.T) {
-	mods := i4Candidates(i4Avail{})
+	var buf [numI4Modes]int
+	mods := i4Candidates(i4Avail{}, &buf)
 	if len(mods) != 1 || mods[0] != i4DC {
 		t.Fatalf("no-neighbour candidates = %v", mods)
 	}
-	mods = i4Candidates(i4Avail{left: true, top: true, topRight: true})
+	mods = i4Candidates(i4Avail{left: true, top: true, topRight: true}, &buf)
 	if len(mods) != numI4Modes {
 		t.Fatalf("full availability should offer all %d modes, got %v", numI4Modes, mods)
 	}
 }
 
 func TestI16CandidatesRespectAvailability(t *testing.T) {
-	if got := i16Candidates(false, false); len(got) != 1 || got[0] != i16DC {
+	var buf [numI16Modes]int
+	if got := i16Candidates(false, false, &buf); len(got) != 1 || got[0] != i16DC {
 		t.Fatalf("corner MB candidates = %v", got)
 	}
-	if got := i16Candidates(true, true); len(got) != numI16Modes {
+	if got := i16Candidates(true, true, &buf); len(got) != numI16Modes {
 		t.Fatalf("full availability = %v", got)
 	}
 }

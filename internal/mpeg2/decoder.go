@@ -16,12 +16,27 @@ import (
 )
 
 // Decoder is the MPEG-2-class decoder (the paper's libmpeg2 role).
+//
+// Each frame payload carries a slice table (see internal/codec); every
+// slice is decoded independently — own bitstream reader, own predictors,
+// disjoint macroblock rows of the shared reconstruction — so the slices
+// of one frame run concurrently on the SliceRunner.
 type Decoder struct {
-	hdr  container.Header
-	kern kernel.Set
+	hdr    container.Header
+	kern   kernel.Set
+	runner codec.SliceRunner
 
 	prevRef, lastRef *frame.Frame
 	reorder          codec.DisplayReorderer
+
+	slices []*sliceDec // per-slice decoders, reused across frames
+	errs   []error     // per-slice decode results, reused across frames
+}
+
+// sliceDec carries the per-slice decoder state.
+type sliceDec struct {
+	d  *Decoder
+	br bitstream.Reader
 
 	pred predBuf
 
@@ -42,6 +57,11 @@ func NewDecoder(hdr container.Header, kern kernel.Set) (*Decoder, error) {
 	return &Decoder{hdr: hdr, kern: kern}, nil
 }
 
+// SetSliceRunner implements codec.SliceScheduler: per-frame slice jobs
+// run on r (nil restores the serial default). Decoded pixels do not
+// depend on the runner.
+func (d *Decoder) SetSliceRunner(r codec.SliceRunner) { d.runner = r }
+
 // Decode implements codec.Decoder.
 func (d *Decoder) Decode(p container.Packet) ([]*frame.Frame, error) {
 	recon, err := d.decodeFrame(p)
@@ -54,9 +74,22 @@ func (d *Decoder) Decode(p container.Packet) ([]*frame.Frame, error) {
 // Flush implements codec.Decoder.
 func (d *Decoder) Flush() []*frame.Frame { return d.reorder.Flush() }
 
+// grow ensures d.slices and d.errs cover n slices.
+func (d *Decoder) grow(n int) {
+	for len(d.slices) < n {
+		d.slices = append(d.slices, &sliceDec{d: d})
+	}
+	if cap(d.errs) < n {
+		d.errs = make([]error, n)
+	}
+	d.errs = d.errs[:n]
+}
+
 func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
-	br := bitstream.NewReader(p.Payload)
-	q := int32(br.ReadBits(5))
+	if len(p.Payload) < 1 {
+		return nil, fmt.Errorf("mpeg2: empty packet")
+	}
+	q := int32(p.Payload[0])
 	if q < 1 || q > 31 {
 		return nil, fmt.Errorf("mpeg2: invalid quantizer %d", q)
 	}
@@ -66,35 +99,34 @@ func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 	if p.Type == container.FrameB && (d.lastRef == nil || d.prevRef == nil) {
 		return nil, fmt.Errorf("mpeg2: B frame without two references")
 	}
+	switch p.Type {
+	case container.FrameI, container.FrameP, container.FrameB:
+	default:
+		return nil, fmt.Errorf("mpeg2: unknown frame type %c", p.Type)
+	}
+
+	spans, off, err := codec.ParseSliceTable(p.Payload[1:], d.hdr.Height/16)
+	if err != nil {
+		return nil, fmt.Errorf("mpeg2: %w", err)
+	}
+	body := p.Payload[1+off:]
+	d.grow(len(spans))
 
 	recon := frame.NewPadded(d.hdr.Width, d.hdr.Height, codec.RefPad)
 	recon.PTS = p.DisplayIndex
 
-	mbCols := d.hdr.Width / 16
-	mbRows := d.hdr.Height / 16
-	for mby := 0; mby < mbRows; mby++ {
-		d.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
-		d.fwdPred = motion.MV{}
-		d.bwdPred = motion.MV{}
-		for mbx := 0; mbx < mbCols; mbx++ {
-			var err error
-			switch p.Type {
-			case container.FrameI:
-				err = d.decodeIntraMB(br, recon, mbx, mby, q)
-			case container.FrameP:
-				err = d.decodePMB(br, recon, mbx, mby, q)
-			case container.FrameB:
-				err = d.decodeBMB(br, recon, mbx, mby, q)
-			default:
-				err = fmt.Errorf("mpeg2: unknown frame type %c", p.Type)
-			}
-			if err != nil {
-				return nil, err
-			}
+	codec.RunSlices(d.runner, len(spans), func(i int) {
+		lo := 0
+		for _, s := range spans[:i] {
+			lo += s.Size
 		}
-	}
-	if br.Err() != nil {
-		return nil, fmt.Errorf("mpeg2: bitstream overrun: %w", br.Err())
+		d.errs[i] = d.slices[i].decode(body[lo:lo+spans[i].Size], recon, p.Type, spans[i], q)
+	})
+	for i, err := range d.errs {
+		if err != nil {
+			return nil, fmt.Errorf("mpeg2: slice %d (rows %d-%d): %w",
+				i, spans[i].Row, spans[i].Row+spans[i].Rows-1, err)
+		}
 	}
 
 	recon.ExtendBorders()
@@ -110,28 +142,57 @@ func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 	return recon, nil
 }
 
-func (d *Decoder) decodeIntraMB(br *bitstream.Reader, recon *frame.Frame, mbx, mby int, q int32) error {
+// decode parses one slice bitstream into its macroblock rows.
+func (s *sliceDec) decode(buf []byte, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan, q int32) error {
+	s.br.Reset(buf)
+	mbCols := s.d.hdr.Width / 16
+	for mby := span.Row; mby < span.Row+span.Rows; mby++ {
+		s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+		s.fwdPred = motion.MV{}
+		s.bwdPred = motion.MV{}
+		for mbx := 0; mbx < mbCols; mbx++ {
+			var err error
+			switch ftype {
+			case container.FrameI:
+				err = s.decodeIntraMB(recon, mbx, mby, q)
+			case container.FrameP:
+				err = s.decodePMB(recon, mbx, mby, q)
+			default:
+				err = s.decodeBMB(recon, mbx, mby, q)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if s.br.Err() != nil {
+		return fmt.Errorf("bitstream overrun: %w", s.br.Err())
+	}
+	return nil
+}
+
+func (s *sliceDec) decodeIntraMB(recon *frame.Frame, mbx, mby int, q int32) error {
 	px, py := mbx*16, mby*16
 	for i := 0; i < 4; i++ {
 		roff := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
-		if err := d.intraBlock(br, recon.Y, roff, recon.YStride, q, 0); err != nil {
+		if err := s.intraBlock(recon.Y, roff, recon.YStride, q, 0); err != nil {
 			return err
 		}
 	}
 	cx, cy := px/2, py/2
 	croff := recon.COrigin + cy*recon.CStride + cx
-	if err := d.intraBlock(br, recon.Cb, croff, recon.CStride, q, 1); err != nil {
+	if err := s.intraBlock(recon.Cb, croff, recon.CStride, q, 1); err != nil {
 		return err
 	}
-	return d.intraBlock(br, recon.Cr, croff, recon.CStride, q, 2)
+	return s.intraBlock(recon.Cr, croff, recon.CStride, q, 2)
 }
 
-func (d *Decoder) intraBlock(br *bitstream.Reader, rec []byte, roff, rstride int, q int32, comp int) error {
+func (s *sliceDec) intraBlock(rec []byte, roff, rstride int, q int32, comp int) error {
 	var blk [64]int32
-	dc := d.dcPred[comp] + entropy.ReadSE(br)
-	d.dcPred[comp] = dc
+	dc := s.dcPred[comp] + entropy.ReadSE(&s.br)
+	s.dcPred[comp] = dc
 	blk[0] = dc
-	if err := readRunLevels(br, &blk, 1, eob8); err != nil {
+	if err := readRunLevels(&s.br, &blk, 1, eob8); err != nil {
 		return err
 	}
 	quant.Mpeg2DequantIntra(&blk, q)
@@ -149,197 +210,197 @@ func readRunLevels(br *bitstream.Reader, blk *[64]int32, start int, eob uint32) 
 			return nil
 		}
 		if br.Err() != nil {
-			return fmt.Errorf("mpeg2: truncated block: %w", br.Err())
+			return fmt.Errorf("truncated block: %w", br.Err())
 		}
 		pos += int(run)
 		if pos > 63 {
-			return fmt.Errorf("mpeg2: run overflows block (pos %d)", pos)
+			return fmt.Errorf("run overflows block (pos %d)", pos)
 		}
 		level := entropy.ReadSE(br)
 		if level == 0 {
-			return fmt.Errorf("mpeg2: zero level")
+			return fmt.Errorf("zero level")
 		}
 		blk[dct.Zigzag8[pos]] = level
 		pos++
 		if pos > 64 {
-			return fmt.Errorf("mpeg2: block overflow")
+			return fmt.Errorf("block overflow")
 		}
 	}
 }
 
 // mcLuma fills the decoder's luma prediction buffer for a half-pel MV.
-func (d *Decoder) mcLuma(ref *frame.Frame, px, py int, mv motion.MV, dst []byte) {
+func (s *sliceDec) mcLuma(ref *frame.Frame, px, py int, mv motion.MV, dst []byte) {
 	ix, fx := splitHalf(int(mv.X))
 	iy, fy := splitHalf(int(mv.Y))
-	ix = clampMVToWindow(ix, px, d.hdr.Width, 16)
-	iy = clampMVToWindow(iy, py, d.hdr.Height, 16)
+	ix = clampMVToWindow(ix, px, s.d.hdr.Width, 16)
+	iy = clampMVToWindow(iy, py, s.d.hdr.Height, 16)
 	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
-	interp.HalfPel(dst, 16, ref.Y[so:], ref.YStride, 16, 16, fx, fy, d.kern)
+	interp.HalfPel(dst, 16, ref.Y[so:], ref.YStride, 16, 16, fx, fy, s.d.kern)
 }
 
 // mcChroma fills the chroma prediction buffers.
-func (d *Decoder) mcChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte) {
+func (s *sliceDec) mcChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte) {
 	cvx := chromaMV(int(mv.X))
 	cvy := chromaMV(int(mv.Y))
 	ix, fx := splitHalf(cvx)
 	iy, fy := splitHalf(cvy)
 	cx, cy := px/2, py/2
-	ix = clampMVToWindow(ix, cx, d.hdr.Width/2, 8)
-	iy = clampMVToWindow(iy, cy, d.hdr.Height/2, 8)
+	ix = clampMVToWindow(ix, cx, s.d.hdr.Width/2, 8)
+	iy = clampMVToWindow(iy, cy, s.d.hdr.Height/2, 8)
 	so := ref.COrigin + (cy+iy)*ref.CStride + cx + ix
-	interp.HalfPel(cb, 8, ref.Cb[so:], ref.CStride, 8, 8, fx, fy, d.kern)
-	interp.HalfPel(cr, 8, ref.Cr[so:], ref.CStride, 8, 8, fx, fy, d.kern)
+	interp.HalfPel(cb, 8, ref.Cb[so:], ref.CStride, 8, 8, fx, fy, s.d.kern)
+	interp.HalfPel(cr, 8, ref.Cr[so:], ref.CStride, 8, 8, fx, fy, s.d.kern)
 }
 
 // decodeResidualMB parses CBP and residual blocks, reconstructing
 // pred + residual into recon.
-func (d *Decoder) decodeResidualMB(br *bitstream.Reader, recon *frame.Frame, px, py int, q int32) error {
-	cbp := int(br.ReadBits(6))
+func (s *sliceDec) decodeResidualMB(recon *frame.Frame, px, py int, q int32) error {
+	cbp := int(s.br.ReadBits(6))
 	var blk [64]int32
 	for i := 0; i < 4; i++ {
 		ro := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
 		po := 8*(i/2)*16 + 8*(i%2)
 		if cbp&(1<<(5-i)) != 0 {
 			blk = [64]int32{}
-			if err := readRunLevels(br, &blk, 0, eob64); err != nil {
+			if err := readRunLevels(&s.br, &blk, 0, eob64); err != nil {
 				return err
 			}
 			quant.Mpeg2DequantInter(&blk, q)
 			dct.Inverse8(&blk)
-			codec.Add8Clip(recon.Y, ro, recon.YStride, d.pred.y[:], po, 16, &blk)
+			codec.Add8Clip(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16, &blk)
 		} else {
-			codec.Copy8(recon.Y, ro, recon.YStride, d.pred.y[:], po, 16)
+			codec.Copy8(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16)
 		}
 	}
 	cx, cy := px/2, py/2
 	cro := recon.COrigin + cy*recon.CStride + cx
 	if cbp&2 != 0 {
 		blk = [64]int32{}
-		if err := readRunLevels(br, &blk, 0, eob64); err != nil {
+		if err := readRunLevels(&s.br, &blk, 0, eob64); err != nil {
 			return err
 		}
 		quant.Mpeg2DequantInter(&blk, q)
 		dct.Inverse8(&blk)
-		codec.Add8Clip(recon.Cb, cro, recon.CStride, d.pred.cb[:], 0, 8, &blk)
+		codec.Add8Clip(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8, &blk)
 	} else {
-		codec.Copy8(recon.Cb, cro, recon.CStride, d.pred.cb[:], 0, 8)
+		codec.Copy8(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8)
 	}
 	if cbp&1 != 0 {
 		blk = [64]int32{}
-		if err := readRunLevels(br, &blk, 0, eob64); err != nil {
+		if err := readRunLevels(&s.br, &blk, 0, eob64); err != nil {
 			return err
 		}
 		quant.Mpeg2DequantInter(&blk, q)
 		dct.Inverse8(&blk)
-		codec.Add8Clip(recon.Cr, cro, recon.CStride, d.pred.cr[:], 0, 8, &blk)
+		codec.Add8Clip(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8, &blk)
 	} else {
-		codec.Copy8(recon.Cr, cro, recon.CStride, d.pred.cr[:], 0, 8)
+		codec.Copy8(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8)
 	}
 	return nil
 }
 
 // copyPredToRecon mirrors the encoder's skip reconstruction.
-func (d *Decoder) copyPredToRecon(recon *frame.Frame, px, py int) {
+func (s *sliceDec) copyPredToRecon(recon *frame.Frame, px, py int) {
 	for r := 0; r < 16; r++ {
 		ro := recon.YOrigin + (py+r)*recon.YStride + px
-		copy(recon.Y[ro:ro+16], d.pred.y[r*16:r*16+16])
+		copy(recon.Y[ro:ro+16], s.pred.y[r*16:r*16+16])
 	}
 	cx, cy := px/2, py/2
 	for r := 0; r < 8; r++ {
 		ro := recon.COrigin + (cy+r)*recon.CStride + cx
-		copy(recon.Cb[ro:ro+8], d.pred.cb[r*8:r*8+8])
-		copy(recon.Cr[ro:ro+8], d.pred.cr[r*8:r*8+8])
+		copy(recon.Cb[ro:ro+8], s.pred.cb[r*8:r*8+8])
+		copy(recon.Cr[ro:ro+8], s.pred.cr[r*8:r*8+8])
 	}
 }
 
-func (d *Decoder) decodePMB(br *bitstream.Reader, recon *frame.Frame, mbx, mby int, q int32) error {
+func (s *sliceDec) decodePMB(recon *frame.Frame, mbx, mby int, q int32) error {
 	px, py := mbx*16, mby*16
-	mode := entropy.ReadUE(br)
+	mode := entropy.ReadUE(&s.br)
 	switch mode {
 	case pIntra:
-		if err := d.decodeIntraMB(br, recon, mbx, mby, q); err != nil {
+		if err := s.decodeIntraMB(recon, mbx, mby, q); err != nil {
 			return err
 		}
-		d.fwdPred = motion.MV{}
+		s.fwdPred = motion.MV{}
 		return nil
 	case pSkip:
-		d.mcLuma(d.lastRef, px, py, motion.MV{}, d.pred.y[:])
-		d.mcChroma(d.lastRef, px, py, motion.MV{}, d.pred.cb[:], d.pred.cr[:])
-		d.copyPredToRecon(recon, px, py)
-		d.fwdPred = motion.MV{}
-		d.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+		s.mcLuma(s.d.lastRef, px, py, motion.MV{}, s.pred.y[:])
+		s.mcChroma(s.d.lastRef, px, py, motion.MV{}, s.pred.cb[:], s.pred.cr[:])
+		s.copyPredToRecon(recon, px, py)
+		s.fwdPred = motion.MV{}
+		s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
 		return nil
 	case pInter:
 		mv := motion.MV{
-			X: int16(int32(d.fwdPred.X) + entropy.ReadSE(br)),
-			Y: int16(int32(d.fwdPred.Y) + entropy.ReadSE(br)),
+			X: int16(int32(s.fwdPred.X) + entropy.ReadSE(&s.br)),
+			Y: int16(int32(s.fwdPred.Y) + entropy.ReadSE(&s.br)),
 		}
-		d.fwdPred = mv
-		d.mcLuma(d.lastRef, px, py, mv, d.pred.y[:])
-		d.mcChroma(d.lastRef, px, py, mv, d.pred.cb[:], d.pred.cr[:])
-		if err := d.decodeResidualMB(br, recon, px, py, q); err != nil {
+		s.fwdPred = mv
+		s.mcLuma(s.d.lastRef, px, py, mv, s.pred.y[:])
+		s.mcChroma(s.d.lastRef, px, py, mv, s.pred.cb[:], s.pred.cr[:])
+		if err := s.decodeResidualMB(recon, px, py, q); err != nil {
 			return err
 		}
-		d.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+		s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
 		return nil
 	}
-	return fmt.Errorf("mpeg2: invalid P macroblock mode %d", mode)
+	return fmt.Errorf("invalid P macroblock mode %d", mode)
 }
 
-func (d *Decoder) decodeBMB(br *bitstream.Reader, recon *frame.Frame, mbx, mby int, q int32) error {
+func (s *sliceDec) decodeBMB(recon *frame.Frame, mbx, mby int, q int32) error {
 	px, py := mbx*16, mby*16
-	mode := entropy.ReadUE(br)
+	mode := entropy.ReadUE(&s.br)
 	switch mode {
 	case bIntra:
-		if err := d.decodeIntraMB(br, recon, mbx, mby, q); err != nil {
+		if err := s.decodeIntraMB(recon, mbx, mby, q); err != nil {
 			return err
 		}
-		d.fwdPred = motion.MV{}
-		d.bwdPred = motion.MV{}
+		s.fwdPred = motion.MV{}
+		s.bwdPred = motion.MV{}
 		return nil
 	case bSkip:
-		d.mcLuma(d.prevRef, px, py, d.fwdPred, d.pred.y[:])
-		d.mcChroma(d.prevRef, px, py, d.fwdPred, d.pred.cb[:], d.pred.cr[:])
-		d.copyPredToRecon(recon, px, py)
-		d.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+		s.mcLuma(s.d.prevRef, px, py, s.fwdPred, s.pred.y[:])
+		s.mcChroma(s.d.prevRef, px, py, s.fwdPred, s.pred.cb[:], s.pred.cr[:])
+		s.copyPredToRecon(recon, px, py)
+		s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
 		return nil
 	case bFwd, bBwd, bBi:
 		var fwdMV, bwdMV motion.MV
 		if mode == bFwd || mode == bBi {
 			fwdMV = motion.MV{
-				X: int16(int32(d.fwdPred.X) + entropy.ReadSE(br)),
-				Y: int16(int32(d.fwdPred.Y) + entropy.ReadSE(br)),
+				X: int16(int32(s.fwdPred.X) + entropy.ReadSE(&s.br)),
+				Y: int16(int32(s.fwdPred.Y) + entropy.ReadSE(&s.br)),
 			}
-			d.fwdPred = fwdMV
+			s.fwdPred = fwdMV
 		}
 		if mode == bBwd || mode == bBi {
 			bwdMV = motion.MV{
-				X: int16(int32(d.bwdPred.X) + entropy.ReadSE(br)),
-				Y: int16(int32(d.bwdPred.Y) + entropy.ReadSE(br)),
+				X: int16(int32(s.bwdPred.X) + entropy.ReadSE(&s.br)),
+				Y: int16(int32(s.bwdPred.Y) + entropy.ReadSE(&s.br)),
 			}
-			d.bwdPred = bwdMV
+			s.bwdPred = bwdMV
 		}
 		switch mode {
 		case bFwd:
-			d.mcLuma(d.prevRef, px, py, fwdMV, d.pred.y[:])
-			d.mcChroma(d.prevRef, px, py, fwdMV, d.pred.cb[:], d.pred.cr[:])
+			s.mcLuma(s.d.prevRef, px, py, fwdMV, s.pred.y[:])
+			s.mcChroma(s.d.prevRef, px, py, fwdMV, s.pred.cb[:], s.pred.cr[:])
 		case bBwd:
-			d.mcLuma(d.lastRef, px, py, bwdMV, d.pred.y[:])
-			d.mcChroma(d.lastRef, px, py, bwdMV, d.pred.cb[:], d.pred.cr[:])
+			s.mcLuma(s.d.lastRef, px, py, bwdMV, s.pred.y[:])
+			s.mcChroma(s.d.lastRef, px, py, bwdMV, s.pred.cb[:], s.pred.cr[:])
 		case bBi:
-			d.mcLuma(d.prevRef, px, py, fwdMV, d.pred.y[:])
-			d.mcLuma(d.lastRef, px, py, bwdMV, d.pred.yAlt[:])
-			interp.Avg(d.pred.y[:], 16, d.pred.yAlt[:], 16, 16, 16, d.kern)
-			d.mcChroma(d.prevRef, px, py, fwdMV, d.pred.cb[:], d.pred.cr[:])
-			d.mcChroma(d.lastRef, px, py, bwdMV, d.pred.cbAlt[:], d.pred.crAlt[:])
-			interp.Avg(d.pred.cb[:], 8, d.pred.cbAlt[:], 8, 8, 8, d.kern)
-			interp.Avg(d.pred.cr[:], 8, d.pred.crAlt[:], 8, 8, 8, d.kern)
+			s.mcLuma(s.d.prevRef, px, py, fwdMV, s.pred.y[:])
+			s.mcLuma(s.d.lastRef, px, py, bwdMV, s.pred.yAlt[:])
+			interp.Avg(s.pred.y[:], 16, s.pred.yAlt[:], 16, 16, 16, s.d.kern)
+			s.mcChroma(s.d.prevRef, px, py, fwdMV, s.pred.cb[:], s.pred.cr[:])
+			s.mcChroma(s.d.lastRef, px, py, bwdMV, s.pred.cbAlt[:], s.pred.crAlt[:])
+			interp.Avg(s.pred.cb[:], 8, s.pred.cbAlt[:], 8, 8, 8, s.d.kern)
+			interp.Avg(s.pred.cr[:], 8, s.pred.crAlt[:], 8, 8, 8, s.d.kern)
 		}
-		if err := d.decodeResidualMB(br, recon, px, py, q); err != nil {
+		if err := s.decodeResidualMB(recon, px, py, q); err != nil {
 			return err
 		}
-		d.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+		s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
 		return nil
 	}
-	return fmt.Errorf("mpeg2: invalid B macroblock mode %d", mode)
+	return fmt.Errorf("invalid B macroblock mode %d", mode)
 }

@@ -17,24 +17,43 @@ import (
 )
 
 // Encoder is the MPEG-2-class encoder (the paper's FFmpeg-mpeg2 role).
+//
+// Every frame is coded as cfg.Slices independent macroblock-row slices
+// (see internal/codec's slice layer): each slice has its own bitstream,
+// DC predictors and MV predictors, so the slices of one frame can run
+// concurrently on the SliceRunner while the merged payload stays
+// byte-identical for every schedule.
 type Encoder struct {
-	cfg codec.Config
-	gop codec.GOPScheduler
+	cfg    codec.Config
+	gop    codec.GOPScheduler
+	runner codec.SliceRunner
 
 	prevRef, lastRef *frame.Frame // reconstructed references, coding order
 
-	bw   *bitstream.Writer
+	spans  []codec.SliceSpan // fixed row split for cfg.Slices
+	slices []*sliceEnc       // per-slice coders, reused across frames
+
+	inCount int // display frames accepted
+	frames  int // frames coded
+}
+
+// sliceEnc carries the per-slice encoder state: the slice's bitstream
+// plus every predictor that must reset at the slice boundary. Slices of
+// one frame write disjoint macroblock rows of the shared reconstruction,
+// so concurrent slices never touch each other's state.
+type sliceEnc struct {
+	e  *Encoder
+	bw *bitstream.Writer
+
 	pred predBuf
 
-	// Per-row encoder state.
 	dcPred  [3]int32
 	fwdPred motion.MV   // half-pel forward MV predictor within the row
 	bwdPred motion.MV   // half-pel backward MV predictor within the row
 	mvRow   []motion.MV // full-pel MVs of the current row (predictor source)
 	mvAbove []motion.MV // full-pel MVs of the row above
 
-	inCount int // display frames accepted
-	frames  int // frames coded
+	epzsPreds [3]motion.MV // scratch for the EPZS candidate list
 }
 
 // NewEncoder returns an MPEG-2 encoder for cfg.
@@ -42,14 +61,28 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("mpeg2: %w", err)
 	}
-	return &Encoder{
-		cfg:     cfg,
-		gop:     codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
-		bw:      bitstream.NewWriter(cfg.Width * cfg.Height / 4),
-		mvRow:   make([]motion.MV, cfg.MBCols()),
-		mvAbove: make([]motion.MV, cfg.MBCols()),
-	}, nil
+	e := &Encoder{
+		cfg: cfg,
+		gop: codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
+	}
+	e.spans = codec.SliceRows(cfg.MBRows(), cfg.Slices)
+	e.slices = make([]*sliceEnc, len(e.spans))
+	hint := cfg.Width*cfg.Height/4/len(e.spans) + 64
+	for i := range e.slices {
+		e.slices[i] = &sliceEnc{
+			e:       e,
+			bw:      bitstream.NewWriter(hint),
+			mvRow:   make([]motion.MV, cfg.MBCols()),
+			mvAbove: make([]motion.MV, cfg.MBCols()),
+		}
+	}
+	return e, nil
 }
+
+// SetSliceRunner implements codec.SliceScheduler: per-frame slice jobs
+// run on r (nil restores the serial default). Output bytes do not depend
+// on the runner.
+func (e *Encoder) SetSliceRunner(r codec.SliceRunner) { e.runner = r }
 
 // Header implements codec.Encoder.
 func (e *Encoder) Header() container.Header { return header(e.cfg, 0) }
@@ -82,26 +115,9 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	recon := frame.NewPadded(e.cfg.Width, e.cfg.Height, codec.RefPad)
 	recon.PTS = src.PTS
 
-	e.bw.Reset()
-	e.bw.WriteBits(uint64(e.cfg.Q), 5)
-
-	for i := range e.mvAbove {
-		e.mvAbove[i] = motion.MV{}
-	}
-	for mby := 0; mby < e.cfg.MBRows(); mby++ {
-		e.resetRowState()
-		for mbx := 0; mbx < e.cfg.MBCols(); mbx++ {
-			switch ftype {
-			case container.FrameI:
-				e.encodeIntraMB(src, recon, mbx, mby)
-			case container.FrameP:
-				e.encodePMB(src, recon, mbx, mby)
-			default:
-				e.encodeBMB(src, recon, mbx, mby)
-			}
-		}
-		e.mvRow, e.mvAbove = e.mvAbove, e.mvRow
-	}
+	codec.RunSlices(e.runner, len(e.spans), func(i int) {
+		e.slices[i].encode(src, recon, ftype, e.spans[i])
+	})
 
 	recon.ExtendBorders()
 	switch ftype {
@@ -116,69 +132,85 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	}
 	e.frames++
 
-	payload := append([]byte(nil), e.bw.Bytes()...)
+	// Payload layout: one quantizer byte, the slice table, then the
+	// per-slice bitstreams in row order.
+	total := 1 + codec.SliceTableSize(len(e.spans))
+	for i, s := range e.slices {
+		e.spans[i].Size = len(s.bw.Bytes())
+		total += e.spans[i].Size
+	}
+	payload := make([]byte, 0, total)
+	payload = append(payload, byte(e.cfg.Q))
+	payload = codec.AppendSliceTable(payload, e.spans)
+	for _, s := range e.slices {
+		payload = append(payload, s.bw.Bytes()...)
+	}
 	return container.Packet{Type: ftype, DisplayIndex: src.PTS, Payload: payload}
 }
 
-func (e *Encoder) resetRowState() {
-	e.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
-	e.fwdPred = motion.MV{}
-	e.bwdPred = motion.MV{}
+// encode codes one slice: the macroblock rows [span.Row, span.Row+span.Rows)
+// with all prediction state starting from the slice-boundary reset.
+func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan) {
+	s.bw.Reset()
+	for i := range s.mvAbove {
+		s.mvAbove[i] = motion.MV{}
+	}
+	for mby := span.Row; mby < span.Row+span.Rows; mby++ {
+		s.resetRowState()
+		for mbx := 0; mbx < s.e.cfg.MBCols(); mbx++ {
+			switch ftype {
+			case container.FrameI:
+				s.encodeIntraMB(src, recon, mbx, mby)
+			case container.FrameP:
+				s.encodePMB(src, recon, mbx, mby)
+			default:
+				s.encodeBMB(src, recon, mbx, mby)
+			}
+		}
+		s.mvRow, s.mvAbove = s.mvAbove, s.mvRow
+	}
+	s.bw.AlignByte()
+}
+
+func (s *sliceEnc) resetRowState() {
+	s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+	s.fwdPred = motion.MV{}
+	s.bwdPred = motion.MV{}
 }
 
 // encodeIntraMB codes all six blocks of a macroblock in intra mode.
-func (e *Encoder) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *sliceEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
-	q := int32(e.cfg.Q)
+	q := int32(s.e.cfg.Q)
 	// Luma blocks Y0..Y3.
 	for i := 0; i < 4; i++ {
 		off := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		roff := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
-		e.intraBlock(src.Y, off, src.YStride, recon.Y, roff, recon.YStride, q, 0)
+		s.intraBlock(src.Y, off, src.YStride, recon.Y, roff, recon.YStride, q, 0)
 	}
 	cx, cy := px/2, py/2
 	coff := src.COrigin + cy*src.CStride + cx
 	croff := recon.COrigin + cy*recon.CStride + cx
-	e.intraBlock(src.Cb, coff, src.CStride, recon.Cb, croff, recon.CStride, q, 1)
-	e.intraBlock(src.Cr, coff, src.CStride, recon.Cr, croff, recon.CStride, q, 2)
-	e.mvRow[mbx] = motion.MV{}
+	s.intraBlock(src.Cb, coff, src.CStride, recon.Cb, croff, recon.CStride, q, 1)
+	s.intraBlock(src.Cr, coff, src.CStride, recon.Cr, croff, recon.CStride, q, 2)
+	s.mvRow[mbx] = motion.MV{}
 }
 
 // intraBlock transforms, quantizes, writes and reconstructs one 8×8 intra
 // block. comp selects the DC predictor (0=Y, 1=Cb, 2=Cr).
-func (e *Encoder) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
+func (s *sliceEnc) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
 	var blk [64]int32
 	codec.LoadBlock8(&blk, plane, off, stride)
 	dct.Forward8(&blk)
 	quant.Mpeg2QuantIntra(&blk, q)
 
-	entropy.WriteSE(e.bw, blk[0]-e.dcPred[comp])
-	e.dcPred[comp] = blk[0]
-	writeRunLevels(e.bw, &blk, 1, eob8)
+	entropy.WriteSE(s.bw, blk[0]-s.dcPred[comp])
+	s.dcPred[comp] = blk[0]
+	writeRunLevels(s.bw, &blk, 1, eob8)
 
 	quant.Mpeg2DequantIntra(&blk, q)
 	dct.Inverse8(&blk)
 	codec.Store8Clip(rec, roff, rstride, &blk)
-}
-
-// interBlock codes one residual 8×8 block; returns whether it has
-// coefficients and reconstructs into rec (pred + residual).
-func (e *Encoder) interBlock(cur []byte, co, cstride int, pred []byte, po, pstride int, rec []byte, ro, rstride int, q int32, write bool) bool {
-	var blk [64]int32
-	codec.Residual8(&blk, cur, co, cstride, pred, po, pstride)
-	dct.Forward8(&blk)
-	nz := quant.Mpeg2QuantInter(&blk, q)
-	if nz == 0 {
-		codec.Copy8(rec, ro, rstride, pred, po, pstride)
-		return false
-	}
-	if write {
-		writeRunLevels(e.bw, &blk, 0, eob64)
-	}
-	quant.Mpeg2DequantInter(&blk, q)
-	dct.Inverse8(&blk)
-	codec.Add8Clip(rec, ro, rstride, pred, po, pstride, &blk)
-	return true
 }
 
 // writeRunLevels codes the zigzag run/level pairs from scan position start,
@@ -200,9 +232,9 @@ func writeRunLevels(bw *bitstream.Writer, blk *[64]int32, start int, eob uint32)
 
 // sadMB computes SAD between the current 16×16 luma block and a prediction
 // buffer using the configured kernel set.
-func (e *Encoder) sadMB(src *frame.Frame, px, py int, pred []byte) int {
+func (s *sliceEnc) sadMB(src *frame.Frame, px, py int, pred []byte) int {
 	off := src.YOrigin + py*src.YStride + px
-	if e.cfg.Kernels == kernel.SWAR {
+	if s.e.cfg.Kernels == kernel.SWAR {
 		return swar.SADBlock(src.Y[off:], src.YStride, pred, 16, 16, 16)
 	}
 	return codec.SADBlockBytes(src.Y, off, src.YStride, pred, 0, 16, 16, 16)
@@ -232,8 +264,8 @@ func intraCostMB(src *frame.Frame, px, py int) int {
 }
 
 // setupEstimator points the shared estimator at the current luma block.
-func (e *Encoder) setupEstimator(est *motion.Estimator, src, ref *frame.Frame, px, py int, predFull motion.MV) {
-	est.Kern = e.cfg.Kernels
+func (s *sliceEnc) setupEstimator(est *motion.Estimator, src, ref *frame.Frame, px, py int, predFull motion.MV) {
+	est.Kern = s.e.cfg.Kernels
 	est.Cur = src.Y
 	est.CurOff = src.YOrigin + py*src.YStride + px
 	est.CurStride = src.YStride
@@ -242,34 +274,34 @@ func (e *Encoder) setupEstimator(est *motion.Estimator, src, ref *frame.Frame, p
 	est.RefStride = ref.YStride
 	est.PosX, est.PosY = px, py
 	est.W, est.H = 16, 16
-	est.Lambda = lambdaFor(e.cfg.Q)
+	est.Lambda = lambdaFor(s.e.cfg.Q)
 	est.Pred = predFull
-	est.Window(e.cfg.SearchRange, e.cfg.Width, e.cfg.Height, codec.RefPad)
+	est.Window(s.e.cfg.SearchRange, s.e.cfg.Width, s.e.cfg.Height, codec.RefPad)
 }
 
 // searchLuma runs EPZS + half-pel refinement against ref and returns the
 // best half-pel MV, its SAD, and fills pred with the winning prediction.
-func (e *Encoder) searchLuma(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV, pred []byte) (motion.MV, int) {
+func (s *sliceEnc) searchLuma(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV, pred []byte) (motion.MV, int) {
 	var est motion.Estimator
 	predFull := motion.MV{X: predHalf.X >> 1, Y: predHalf.Y >> 1}
-	e.setupEstimator(&est, src, ref, px, py, predFull)
+	s.setupEstimator(&est, src, ref, px, py, predFull)
 
-	preds := make([]motion.MV, 0, 3)
+	preds := s.epzsPreds[:0]
 	if mbx > 0 {
-		preds = append(preds, e.mvRow[mbx-1])
+		preds = append(preds, s.mvRow[mbx-1])
 	}
-	preds = append(preds, e.mvAbove[mbx])
-	if mbx+1 < len(e.mvAbove) {
-		preds = append(preds, e.mvAbove[mbx+1])
+	preds = append(preds, s.mvAbove[mbx])
+	if mbx+1 < len(s.mvAbove) {
+		preds = append(preds, s.mvAbove[mbx+1])
 	}
-	res := est.EPZS(preds, 2*e.cfg.Q*16)
+	res := est.EPZS(preds, 2*s.e.cfg.Q*16)
 
 	// Half-pel refinement around the full-pel winner.
 	bestMV := motion.MV{X: res.MV.X * 2, Y: res.MV.Y * 2}
 	interp.HalfPel(pred, 16,
 		ref.Y[ref.YOrigin+(py+int(res.MV.Y))*ref.YStride+px+int(res.MV.X):],
-		ref.YStride, 16, 16, 0, 0, e.cfg.Kernels)
-	bestSAD := e.sadMB(src, px, py, pred)
+		ref.YStride, 16, 16, 0, 0, s.e.cfg.Kernels)
+	bestSAD := s.sadMB(src, px, py, pred)
 	var cand [256]byte
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
@@ -281,8 +313,8 @@ func (e *Encoder) searchLuma(src, ref *frame.Frame, px, py, mbx int, predHalf mo
 			ix, fx := splitHalf(hx)
 			iy, fy := splitHalf(hy)
 			so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
-			interp.HalfPel(cand[:], 16, ref.Y[so:], ref.YStride, 16, 16, fx, fy, e.cfg.Kernels)
-			if sad := e.sadMB(src, px, py, cand[:]); sad < bestSAD {
+			interp.HalfPel(cand[:], 16, ref.Y[so:], ref.YStride, 16, 16, fx, fy, s.e.cfg.Kernels)
+			if sad := s.sadMB(src, px, py, cand[:]); sad < bestSAD {
 				bestSAD = sad
 				bestMV = motion.MV{X: int16(hx), Y: int16(hy)}
 				copy(pred, cand[:])
@@ -305,17 +337,17 @@ func predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte, k 
 }
 
 // codeResidualMB writes CBP and residual blocks for an inter MB, using the
-// prediction in e.pred (y/cb/cr), and reconstructs into recon.
+// prediction in s.pred (y/cb/cr), and reconstructs into recon.
 // Returns the CBP.
-func (e *Encoder) codeResidualMB(src, recon *frame.Frame, px, py int) int {
-	q := int32(e.cfg.Q)
+func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
+	q := int32(s.e.cfg.Q)
 	// First pass: find CBP.
 	var blks [6][64]int32
 	cbp := 0
 	for i := 0; i < 4; i++ {
 		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		po := 8*(i/2)*16 + 8*(i%2)
-		codec.Residual8(&blks[i], src.Y, co, src.YStride, e.pred.y[:], po, 16)
+		codec.Residual8(&blks[i], src.Y, co, src.YStride, s.pred.y[:], po, 16)
 		dct.Forward8(&blks[i])
 		if quant.Mpeg2QuantInter(&blks[i], q) > 0 {
 			cbp |= 1 << (5 - i)
@@ -323,21 +355,21 @@ func (e *Encoder) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	}
 	cx, cy := px/2, py/2
 	co := src.COrigin + cy*src.CStride + cx
-	codec.Residual8(&blks[4], src.Cb, co, src.CStride, e.pred.cb[:], 0, 8)
+	codec.Residual8(&blks[4], src.Cb, co, src.CStride, s.pred.cb[:], 0, 8)
 	dct.Forward8(&blks[4])
 	if quant.Mpeg2QuantInter(&blks[4], q) > 0 {
 		cbp |= 1 << 1
 	}
-	codec.Residual8(&blks[5], src.Cr, co, src.CStride, e.pred.cr[:], 0, 8)
+	codec.Residual8(&blks[5], src.Cr, co, src.CStride, s.pred.cr[:], 0, 8)
 	dct.Forward8(&blks[5])
 	if quant.Mpeg2QuantInter(&blks[5], q) > 0 {
 		cbp |= 1
 	}
 
-	e.bw.WriteBits(uint64(cbp), 6)
+	s.bw.WriteBits(uint64(cbp), 6)
 	for i := 0; i < 6; i++ {
 		if cbp&(1<<(5-i)) != 0 {
-			writeRunLevels(e.bw, &blks[i], 0, eob64)
+			writeRunLevels(s.bw, &blks[i], 0, eob64)
 		}
 	}
 
@@ -348,38 +380,38 @@ func (e *Encoder) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 		if cbp&(1<<(5-i)) != 0 {
 			quant.Mpeg2DequantInter(&blks[i], q)
 			dct.Inverse8(&blks[i])
-			codec.Add8Clip(recon.Y, ro, recon.YStride, e.pred.y[:], po, 16, &blks[i])
+			codec.Add8Clip(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16, &blks[i])
 		} else {
-			codec.Copy8(recon.Y, ro, recon.YStride, e.pred.y[:], po, 16)
+			codec.Copy8(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16)
 		}
 	}
 	cro := recon.COrigin + cy*recon.CStride + cx
 	if cbp&2 != 0 {
 		quant.Mpeg2DequantInter(&blks[4], q)
 		dct.Inverse8(&blks[4])
-		codec.Add8Clip(recon.Cb, cro, recon.CStride, e.pred.cb[:], 0, 8, &blks[4])
+		codec.Add8Clip(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8, &blks[4])
 	} else {
-		codec.Copy8(recon.Cb, cro, recon.CStride, e.pred.cb[:], 0, 8)
+		codec.Copy8(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8)
 	}
 	if cbp&1 != 0 {
 		quant.Mpeg2DequantInter(&blks[5], q)
 		dct.Inverse8(&blks[5])
-		codec.Add8Clip(recon.Cr, cro, recon.CStride, e.pred.cr[:], 0, 8, &blks[5])
+		codec.Add8Clip(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8, &blks[5])
 	} else {
-		codec.Copy8(recon.Cr, cro, recon.CStride, e.pred.cr[:], 0, 8)
+		codec.Copy8(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8)
 	}
 	return cbp
 }
 
-// residualIsZero checks cheaply whether the quantized residual of the MB
-// would be all zero for the current prediction (used for skip decisions).
-func (e *Encoder) residualWouldBeZero(src *frame.Frame, px, py int) bool {
-	q := int32(e.cfg.Q)
+// residualWouldBeZero checks cheaply whether the quantized residual of the
+// MB would be all zero for the current prediction (used for skip decisions).
+func (s *sliceEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
+	q := int32(s.e.cfg.Q)
 	var blk [64]int32
 	for i := 0; i < 4; i++ {
 		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		po := 8*(i/2)*16 + 8*(i%2)
-		codec.Residual8(&blk, src.Y, co, src.YStride, e.pred.y[:], po, 16)
+		codec.Residual8(&blk, src.Y, co, src.YStride, s.pred.y[:], po, 16)
 		dct.Forward8(&blk)
 		if quant.Mpeg2QuantInter(&blk, q) > 0 {
 			return false
@@ -387,88 +419,82 @@ func (e *Encoder) residualWouldBeZero(src *frame.Frame, px, py int) bool {
 	}
 	cx, cy := px/2, py/2
 	co := src.COrigin + cy*src.CStride + cx
-	codec.Residual8(&blk, src.Cb, co, src.CStride, e.pred.cb[:], 0, 8)
+	codec.Residual8(&blk, src.Cb, co, src.CStride, s.pred.cb[:], 0, 8)
 	dct.Forward8(&blk)
 	if quant.Mpeg2QuantInter(&blk, q) > 0 {
 		return false
 	}
-	codec.Residual8(&blk, src.Cr, co, src.CStride, e.pred.cr[:], 0, 8)
+	codec.Residual8(&blk, src.Cr, co, src.CStride, s.pred.cr[:], 0, 8)
 	dct.Forward8(&blk)
 	return quant.Mpeg2QuantInter(&blk, q) == 0
 }
 
 // copyPredToRecon writes the current prediction unchanged into recon
 // (skip macroblocks).
-func (e *Encoder) copyPredToRecon(recon *frame.Frame, px, py int) {
+func (s *sliceEnc) copyPredToRecon(recon *frame.Frame, px, py int) {
 	for r := 0; r < 16; r++ {
 		ro := recon.YOrigin + (py+r)*recon.YStride + px
-		copy(recon.Y[ro:ro+16], e.pred.y[r*16:r*16+16])
+		copy(recon.Y[ro:ro+16], s.pred.y[r*16:r*16+16])
 	}
 	cx, cy := px/2, py/2
 	for r := 0; r < 8; r++ {
 		ro := recon.COrigin + (cy+r)*recon.CStride + cx
-		copy(recon.Cb[ro:ro+8], e.pred.cb[r*8:r*8+8])
-		copy(recon.Cr[ro:ro+8], e.pred.cr[r*8:r*8+8])
+		copy(recon.Cb[ro:ro+8], s.pred.cb[r*8:r*8+8])
+		copy(recon.Cr[ro:ro+8], s.pred.cr[r*8:r*8+8])
 	}
 }
 
 // encodePMB codes one macroblock of a P frame.
-func (e *Encoder) encodePMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
-	ref := e.lastRef
+	ref := s.e.lastRef
 
-	mv, interSAD := e.searchLuma(src, ref, px, py, mbx, e.fwdPred, e.pred.y[:])
+	mv, interSAD := s.searchLuma(src, ref, px, py, mbx, s.fwdPred, s.pred.y[:])
 	intraCost := intraCostMB(src, px, py)
 
 	if intraCost < interSAD {
-		entropy.WriteUE(e.bw, pIntra)
-		e.encodeIntraBlocks(src, recon, mbx, mby)
-		e.fwdPred = motion.MV{}
-		e.mvRow[mbx] = motion.MV{}
+		entropy.WriteUE(s.bw, pIntra)
+		s.encodeIntraMB(src, recon, mbx, mby)
+		s.fwdPred = motion.MV{}
+		s.mvRow[mbx] = motion.MV{}
 		return
 	}
 
-	predictChroma(ref, px, py, mv, e.pred.cb[:], e.pred.cr[:], e.cfg.Kernels)
+	predictChroma(ref, px, py, mv, s.pred.cb[:], s.pred.cr[:], s.e.cfg.Kernels)
 
 	// Skip: zero MV and empty residual.
-	if mv == (motion.MV{}) && e.residualWouldBeZero(src, px, py) {
-		entropy.WriteUE(e.bw, pSkip)
-		e.copyPredToRecon(recon, px, py)
-		e.fwdPred = motion.MV{}
-		e.mvRow[mbx] = motion.MV{}
-		e.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+	if mv == (motion.MV{}) && s.residualWouldBeZero(src, px, py) {
+		entropy.WriteUE(s.bw, pSkip)
+		s.copyPredToRecon(recon, px, py)
+		s.fwdPred = motion.MV{}
+		s.mvRow[mbx] = motion.MV{}
+		s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
 		return
 	}
 
-	entropy.WriteUE(e.bw, pInter)
-	entropy.WriteSE(e.bw, int32(mv.X)-int32(e.fwdPred.X))
-	entropy.WriteSE(e.bw, int32(mv.Y)-int32(e.fwdPred.Y))
-	e.fwdPred = mv
-	e.mvRow[mbx] = motion.MV{X: mv.X >> 1, Y: mv.Y >> 1}
-	e.codeResidualMB(src, recon, px, py)
-	e.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
-}
-
-// encodeIntraBlocks writes the six intra blocks (shared by I-frame MBs and
-// intra MBs inside P/B frames).
-func (e *Encoder) encodeIntraBlocks(src, recon *frame.Frame, mbx, mby int) {
-	e.encodeIntraMB(src, recon, mbx, mby)
+	entropy.WriteUE(s.bw, pInter)
+	entropy.WriteSE(s.bw, int32(mv.X)-int32(s.fwdPred.X))
+	entropy.WriteSE(s.bw, int32(mv.Y)-int32(s.fwdPred.Y))
+	s.fwdPred = mv
+	s.mvRow[mbx] = motion.MV{X: mv.X >> 1, Y: mv.Y >> 1}
+	s.codeResidualMB(src, recon, px, py)
+	s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
 }
 
 // encodeBMB codes one macroblock of a B frame.
-func (e *Encoder) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *sliceEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
-	fwdRef, bwdRef := e.prevRef, e.lastRef
+	fwdRef, bwdRef := s.e.prevRef, s.e.lastRef
 
-	fwdMV, fwdSAD := e.searchLuma(src, fwdRef, px, py, mbx, e.fwdPred, e.pred.y[:])
+	fwdMV, fwdSAD := s.searchLuma(src, fwdRef, px, py, mbx, s.fwdPred, s.pred.y[:])
 	// Keep the forward prediction; search backward into yAlt.
-	bwdMV, bwdSAD := e.searchLumaAlt(src, bwdRef, px, py, mbx, e.bwdPred)
+	bwdMV, bwdSAD := s.searchLumaAlt(src, bwdRef, px, py, mbx, s.bwdPred)
 
 	// Bi-directional hypothesis: average of both predictions.
 	var bi [256]byte
-	copy(bi[:], e.pred.y[:])
-	interp.Avg(bi[:], 16, e.pred.yAlt[:], 16, 16, 16, e.cfg.Kernels)
-	biSAD := e.sadMB(src, px, py, bi[:]) + 2*lambdaFor(e.cfg.Q) // extra MV cost
+	copy(bi[:], s.pred.y[:])
+	interp.Avg(bi[:], 16, s.pred.yAlt[:], 16, 16, 16, s.e.cfg.Kernels)
+	biSAD := s.sadMB(src, px, py, bi[:]) + 2*lambdaFor(s.e.cfg.Q) // extra MV cost
 
 	intraCost := intraCostMB(src, px, py)
 
@@ -481,60 +507,60 @@ func (e *Encoder) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 		mode, best = bBi, biSAD
 	}
 	if intraCost < best {
-		entropy.WriteUE(e.bw, bIntra)
-		e.encodeIntraBlocks(src, recon, mbx, mby)
-		e.fwdPred = motion.MV{}
-		e.bwdPred = motion.MV{}
-		e.mvRow[mbx] = motion.MV{}
+		entropy.WriteUE(s.bw, bIntra)
+		s.encodeIntraMB(src, recon, mbx, mby)
+		s.fwdPred = motion.MV{}
+		s.bwdPred = motion.MV{}
+		s.mvRow[mbx] = motion.MV{}
 		return
 	}
 
-	// Assemble final prediction into e.pred.
+	// Assemble final prediction into s.pred.
 	switch mode {
 	case bFwd:
-		predictChroma(fwdRef, px, py, fwdMV, e.pred.cb[:], e.pred.cr[:], e.cfg.Kernels)
+		predictChroma(fwdRef, px, py, fwdMV, s.pred.cb[:], s.pred.cr[:], s.e.cfg.Kernels)
 	case bBwd:
-		copy(e.pred.y[:], e.pred.yAlt[:])
-		predictChroma(bwdRef, px, py, bwdMV, e.pred.cb[:], e.pred.cr[:], e.cfg.Kernels)
+		copy(s.pred.y[:], s.pred.yAlt[:])
+		predictChroma(bwdRef, px, py, bwdMV, s.pred.cb[:], s.pred.cr[:], s.e.cfg.Kernels)
 	case bBi:
-		copy(e.pred.y[:], bi[:])
-		predictChroma(fwdRef, px, py, fwdMV, e.pred.cb[:], e.pred.cr[:], e.cfg.Kernels)
-		predictChroma(bwdRef, px, py, bwdMV, e.pred.cbAlt[:], e.pred.crAlt[:], e.cfg.Kernels)
-		interp.Avg(e.pred.cb[:], 8, e.pred.cbAlt[:], 8, 8, 8, e.cfg.Kernels)
-		interp.Avg(e.pred.cr[:], 8, e.pred.crAlt[:], 8, 8, 8, e.cfg.Kernels)
+		copy(s.pred.y[:], bi[:])
+		predictChroma(fwdRef, px, py, fwdMV, s.pred.cb[:], s.pred.cr[:], s.e.cfg.Kernels)
+		predictChroma(bwdRef, px, py, bwdMV, s.pred.cbAlt[:], s.pred.crAlt[:], s.e.cfg.Kernels)
+		interp.Avg(s.pred.cb[:], 8, s.pred.cbAlt[:], 8, 8, 8, s.e.cfg.Kernels)
+		interp.Avg(s.pred.cr[:], 8, s.pred.crAlt[:], 8, 8, 8, s.e.cfg.Kernels)
 	}
 
 	// Skip: forward mode with MV equal to the predictor and no residual.
-	if mode == bFwd && fwdMV == e.fwdPred && e.residualWouldBeZero(src, px, py) {
-		entropy.WriteUE(e.bw, bSkip)
-		e.copyPredToRecon(recon, px, py)
-		e.mvRow[mbx] = motion.MV{X: fwdMV.X >> 1, Y: fwdMV.Y >> 1}
-		e.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+	if mode == bFwd && fwdMV == s.fwdPred && s.residualWouldBeZero(src, px, py) {
+		entropy.WriteUE(s.bw, bSkip)
+		s.copyPredToRecon(recon, px, py)
+		s.mvRow[mbx] = motion.MV{X: fwdMV.X >> 1, Y: fwdMV.Y >> 1}
+		s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
 		return
 	}
 
-	entropy.WriteUE(e.bw, uint32(mode))
+	entropy.WriteUE(s.bw, uint32(mode))
 	if mode == bFwd || mode == bBi {
-		entropy.WriteSE(e.bw, int32(fwdMV.X)-int32(e.fwdPred.X))
-		entropy.WriteSE(e.bw, int32(fwdMV.Y)-int32(e.fwdPred.Y))
-		e.fwdPred = fwdMV
+		entropy.WriteSE(s.bw, int32(fwdMV.X)-int32(s.fwdPred.X))
+		entropy.WriteSE(s.bw, int32(fwdMV.Y)-int32(s.fwdPred.Y))
+		s.fwdPred = fwdMV
 	}
 	if mode == bBwd || mode == bBi {
-		entropy.WriteSE(e.bw, int32(bwdMV.X)-int32(e.bwdPred.X))
-		entropy.WriteSE(e.bw, int32(bwdMV.Y)-int32(e.bwdPred.Y))
-		e.bwdPred = bwdMV
+		entropy.WriteSE(s.bw, int32(bwdMV.X)-int32(s.bwdPred.X))
+		entropy.WriteSE(s.bw, int32(bwdMV.Y)-int32(s.bwdPred.Y))
+		s.bwdPred = bwdMV
 	}
 	switch mode {
 	case bFwd, bBi:
-		e.mvRow[mbx] = motion.MV{X: fwdMV.X >> 1, Y: fwdMV.Y >> 1}
+		s.mvRow[mbx] = motion.MV{X: fwdMV.X >> 1, Y: fwdMV.Y >> 1}
 	default:
-		e.mvRow[mbx] = motion.MV{X: bwdMV.X >> 1, Y: bwdMV.Y >> 1}
+		s.mvRow[mbx] = motion.MV{X: bwdMV.X >> 1, Y: bwdMV.Y >> 1}
 	}
-	e.codeResidualMB(src, recon, px, py)
-	e.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
+	s.codeResidualMB(src, recon, px, py)
+	s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
 }
 
 // searchLumaAlt is searchLuma writing its prediction into pred.yAlt.
-func (e *Encoder) searchLumaAlt(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV) (motion.MV, int) {
-	return e.searchLuma(src, ref, px, py, mbx, predHalf, e.pred.yAlt[:])
+func (s *sliceEnc) searchLumaAlt(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV) (motion.MV, int) {
+	return s.searchLuma(src, ref, px, py, mbx, predHalf, s.pred.yAlt[:])
 }

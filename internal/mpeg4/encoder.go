@@ -17,24 +17,42 @@ import (
 )
 
 // Encoder is the MPEG-4 ASP-class encoder (the paper's Xvid role).
+//
+// Frames are coded as cfg.Slices independent macroblock-row slices (see
+// internal/codec's slice layer): each slice has its own bitstream, DC
+// and MV predictors, so slices run concurrently on the SliceRunner while
+// the merged payload stays byte-identical for every schedule.
 type Encoder struct {
-	cfg codec.Config
-	gop codec.GOPScheduler
+	cfg    codec.Config
+	gop    codec.GOPScheduler
+	runner codec.SliceRunner
 
 	prevRef, lastRef *frame.Frame
 
-	bw   *bitstream.Writer
+	dcInit int32
+
+	spans  []codec.SliceSpan
+	slices []*sliceEnc
+
+	inCount int
+}
+
+// sliceEnc carries the per-slice encoder state (bitstream, prediction
+// buffers and every predictor that resets at the slice boundary).
+type sliceEnc struct {
+	e  *Encoder
+	bw *bitstream.Writer
+
 	pred predBuf
 	qpel interp.QPel
 
-	dcInit  int32
 	dcPred  [3]int32
 	fwdPred motion.MV // quarter-pel forward predictor within the row
 	bwdPred motion.MV
 	mvRow   []motion.MV // full-pel MVs for EPZS predictors
 	mvAbove []motion.MV
 
-	inCount int
+	epzsPreds [3]motion.MV // scratch for the EPZS candidate list
 }
 
 // NewEncoder returns an MPEG-4 encoder for cfg.
@@ -42,15 +60,29 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("mpeg4: %w", err)
 	}
-	return &Encoder{
-		cfg:     cfg,
-		gop:     codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
-		bw:      bitstream.NewWriter(cfg.Width * cfg.Height / 4),
-		dcInit:  1024 / quant.Mpeg4DCScaler(int32(cfg.Q)),
-		mvRow:   make([]motion.MV, cfg.MBCols()),
-		mvAbove: make([]motion.MV, cfg.MBCols()),
-	}, nil
+	e := &Encoder{
+		cfg:    cfg,
+		gop:    codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
+		dcInit: 1024 / quant.Mpeg4DCScaler(int32(cfg.Q)),
+	}
+	e.spans = codec.SliceRows(cfg.MBRows(), cfg.Slices)
+	e.slices = make([]*sliceEnc, len(e.spans))
+	hint := cfg.Width*cfg.Height/4/len(e.spans) + 64
+	for i := range e.slices {
+		e.slices[i] = &sliceEnc{
+			e:       e,
+			bw:      bitstream.NewWriter(hint),
+			mvRow:   make([]motion.MV, cfg.MBCols()),
+			mvAbove: make([]motion.MV, cfg.MBCols()),
+		}
+	}
+	return e, nil
 }
+
+// SetSliceRunner implements codec.SliceScheduler: per-frame slice jobs
+// run on r (nil restores the serial default). Output bytes do not depend
+// on the runner.
+func (e *Encoder) SetSliceRunner(r codec.SliceRunner) { e.runner = r }
 
 // Header implements codec.Encoder.
 func (e *Encoder) Header() container.Header { return header(e.cfg, 0) }
@@ -83,26 +115,9 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	recon := frame.NewPadded(e.cfg.Width, e.cfg.Height, codec.RefPad)
 	recon.PTS = src.PTS
 
-	e.bw.Reset()
-	e.bw.WriteBits(uint64(e.cfg.Q), 5)
-
-	for i := range e.mvAbove {
-		e.mvAbove[i] = motion.MV{}
-	}
-	for mby := 0; mby < e.cfg.MBRows(); mby++ {
-		e.resetRowState()
-		for mbx := 0; mbx < e.cfg.MBCols(); mbx++ {
-			switch ftype {
-			case container.FrameI:
-				e.encodeIntraMB(src, recon, mbx, mby)
-			case container.FrameP:
-				e.encodePMB(src, recon, mbx, mby)
-			default:
-				e.encodeBMB(src, recon, mbx, mby)
-			}
-		}
-		e.mvRow, e.mvAbove = e.mvAbove, e.mvRow
-	}
+	codec.RunSlices(e.runner, len(e.spans), func(i int) {
+		e.slices[i].encode(src, recon, ftype, e.spans[i])
+	})
 
 	recon.ExtendBorders()
 	switch ftype {
@@ -115,47 +130,83 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 		e.prevRef = e.lastRef
 		e.lastRef = recon
 	}
-	payload := append([]byte(nil), e.bw.Bytes()...)
+
+	// Payload layout: one quantizer byte, the slice table, then the
+	// per-slice bitstreams in row order.
+	total := 1 + codec.SliceTableSize(len(e.spans))
+	for i, s := range e.slices {
+		e.spans[i].Size = len(s.bw.Bytes())
+		total += e.spans[i].Size
+	}
+	payload := make([]byte, 0, total)
+	payload = append(payload, byte(e.cfg.Q))
+	payload = codec.AppendSliceTable(payload, e.spans)
+	for _, s := range e.slices {
+		payload = append(payload, s.bw.Bytes()...)
+	}
 	return container.Packet{Type: ftype, DisplayIndex: src.PTS, Payload: payload}
 }
 
-func (e *Encoder) resetRowState() {
-	e.dcPred = [3]int32{e.dcInit, e.dcInit, e.dcInit}
-	e.fwdPred = motion.MV{}
-	e.bwdPred = motion.MV{}
+// encode codes one slice's macroblock rows with slice-local state.
+func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan) {
+	s.bw.Reset()
+	for i := range s.mvAbove {
+		s.mvAbove[i] = motion.MV{}
+	}
+	for mby := span.Row; mby < span.Row+span.Rows; mby++ {
+		s.resetRowState()
+		for mbx := 0; mbx < s.e.cfg.MBCols(); mbx++ {
+			switch ftype {
+			case container.FrameI:
+				s.encodeIntraMB(src, recon, mbx, mby)
+			case container.FrameP:
+				s.encodePMB(src, recon, mbx, mby)
+			default:
+				s.encodeBMB(src, recon, mbx, mby)
+			}
+		}
+		s.mvRow, s.mvAbove = s.mvAbove, s.mvRow
+	}
+	s.bw.AlignByte()
 }
 
-func (e *Encoder) resetDCPred() {
-	e.dcPred = [3]int32{e.dcInit, e.dcInit, e.dcInit}
+func (s *sliceEnc) resetRowState() {
+	s.dcPred = [3]int32{s.e.dcInit, s.e.dcInit, s.e.dcInit}
+	s.fwdPred = motion.MV{}
+	s.bwdPred = motion.MV{}
+}
+
+func (s *sliceEnc) resetDCPred() {
+	s.dcPred = [3]int32{s.e.dcInit, s.e.dcInit, s.e.dcInit}
 }
 
 // --- intra ------------------------------------------------------------------
 
-func (e *Encoder) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *sliceEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
-	q := int32(e.cfg.Q)
+	q := int32(s.e.cfg.Q)
 	for i := 0; i < 4; i++ {
 		off := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		roff := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
-		e.intraBlock(src.Y, off, src.YStride, recon.Y, roff, recon.YStride, q, 0)
+		s.intraBlock(src.Y, off, src.YStride, recon.Y, roff, recon.YStride, q, 0)
 	}
 	cx, cy := px/2, py/2
 	coff := src.COrigin + cy*src.CStride + cx
 	croff := recon.COrigin + cy*recon.CStride + cx
-	e.intraBlock(src.Cb, coff, src.CStride, recon.Cb, croff, recon.CStride, q, 1)
-	e.intraBlock(src.Cr, coff, src.CStride, recon.Cr, croff, recon.CStride, q, 2)
-	e.mvRow[mbx] = motion.MV{}
+	s.intraBlock(src.Cb, coff, src.CStride, recon.Cb, croff, recon.CStride, q, 1)
+	s.intraBlock(src.Cr, coff, src.CStride, recon.Cr, croff, recon.CStride, q, 2)
+	s.mvRow[mbx] = motion.MV{}
 }
 
-func (e *Encoder) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
+func (s *sliceEnc) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
 	var blk [64]int32
 	codec.LoadBlock8(&blk, plane, off, stride)
 	dct.Forward8(&blk)
 	quant.Mpeg4QuantIntra(&blk, q)
 
-	entropy.WriteSE(e.bw, blk[0]-e.dcPred[comp])
-	e.dcPred[comp] = blk[0]
-	writeRunLevels(e.bw, &blk, 1, eob8)
+	entropy.WriteSE(s.bw, blk[0]-s.dcPred[comp])
+	s.dcPred[comp] = blk[0]
+	writeRunLevels(s.bw, &blk, 1, eob8)
 
 	quant.Mpeg4DequantIntra(&blk, q)
 	dct.Inverse8(&blk)
@@ -179,9 +230,9 @@ func writeRunLevels(bw *bitstream.Writer, blk *[64]int32, start int, eob uint32)
 
 // --- motion search -----------------------------------------------------------
 
-func (e *Encoder) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
+func (s *sliceEnc) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
 	off := src.YOrigin + py*src.YStride + px
-	if e.cfg.Kernels == kernel.SWAR {
+	if s.e.cfg.Kernels == kernel.SWAR {
 		return swar.SADBlock(src.Y[off:], src.YStride, pred, pstride, w, h)
 	}
 	return codec.SADBlockBytes(src.Y, off, src.YStride, pred, 0, pstride, w, h)
@@ -212,9 +263,9 @@ func intraCostMB(src *frame.Frame, px, py int) int {
 // quarter-pel domain, filling pred (stride 16) with the winning prediction.
 // blockW/blockH select 16×16 or 8×8 partitions; (px,py) addresses the
 // block, predQ is the quarter-pel MV predictor.
-func (e *Encoder) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx int, predQ motion.MV, pred []byte, usePreds bool) (motion.MV, int) {
+func (s *sliceEnc) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx int, predQ motion.MV, pred []byte, usePreds bool) (motion.MV, int) {
 	var est motion.Estimator
-	est.Kern = e.cfg.Kernels
+	est.Kern = s.e.cfg.Kernels
 	est.Cur = src.Y
 	est.CurOff = src.YOrigin + py*src.YStride + px
 	est.CurStride = src.YStride
@@ -223,27 +274,27 @@ func (e *Encoder) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx 
 	est.RefStride = ref.YStride
 	est.PosX, est.PosY = px, py
 	est.W, est.H = blockW, blockH
-	est.Lambda = lambdaFor(e.cfg.Q)
+	est.Lambda = lambdaFor(s.e.cfg.Q)
 	est.Pred = motion.MV{X: predQ.X >> 2, Y: predQ.Y >> 2}
-	est.Window(e.cfg.SearchRange, e.cfg.Width, e.cfg.Height, codec.RefPad)
+	est.Window(s.e.cfg.SearchRange, s.e.cfg.Width, s.e.cfg.Height, codec.RefPad)
 
 	var preds []motion.MV
 	if usePreds {
-		preds = make([]motion.MV, 0, 3)
+		preds = s.epzsPreds[:0]
 		if mbx > 0 {
-			preds = append(preds, e.mvRow[mbx-1])
+			preds = append(preds, s.mvRow[mbx-1])
 		}
-		preds = append(preds, e.mvAbove[mbx])
-		if mbx+1 < len(e.mvAbove) {
-			preds = append(preds, e.mvAbove[mbx+1])
+		preds = append(preds, s.mvAbove[mbx])
+		if mbx+1 < len(s.mvAbove) {
+			preds = append(preds, s.mvAbove[mbx+1])
 		}
 	}
-	res := est.EPZS(preds, 2*e.cfg.Q*blockW*blockH/16)
+	res := est.EPZS(preds, 2*s.e.cfg.Q*blockW*blockH/16)
 
 	// Sub-pel refinement: half-pel stage (step 2) then quarter-pel (step 1).
 	bestMV := motion.MV{X: res.MV.X * 4, Y: res.MV.Y * 4}
-	e.mcLumaInto(ref, px, py, blockW, blockH, bestMV, pred)
-	bestSAD := e.sadBlock(src, px, py, blockW, blockH, pred, 16)
+	s.mcLumaInto(ref, px, py, blockW, blockH, bestMV, pred)
+	bestSAD := s.sadBlock(src, px, py, blockW, blockH, pred, 16)
 	var cand [256]byte
 	for _, step := range []int{2, 1} {
 		center := bestMV
@@ -253,8 +304,8 @@ func (e *Encoder) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx 
 					continue
 				}
 				mv := motion.MV{X: center.X + int16(dx), Y: center.Y + int16(dy)}
-				e.mcLumaInto(ref, px, py, blockW, blockH, mv, cand[:])
-				if sad := e.sadBlock(src, px, py, blockW, blockH, cand[:], 16); sad < bestSAD {
+				s.mcLumaInto(ref, px, py, blockW, blockH, mv, cand[:])
+				if sad := s.sadBlock(src, px, py, blockW, blockH, cand[:], 16); sad < bestSAD {
 					bestSAD = sad
 					bestMV = mv
 					copy(pred[:blockH*16], cand[:blockH*16])
@@ -266,46 +317,46 @@ func (e *Encoder) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx 
 }
 
 // mcLumaInto fills dst (stride 16) with the quarter-pel prediction for mv.
-func (e *Encoder) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
+func (s *sliceEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
-	e.qpel.Luma(dst, 16, ref.Y, so, ref.YStride, w, h, fx, fy, e.cfg.Kernels)
+	s.qpel.Luma(dst, 16, ref.Y, so, ref.YStride, w, h, fx, fy, s.e.cfg.Kernels)
 }
 
 // predictChroma fills 8×8 chroma predictions for a 16×16 quarter-pel MV.
-func (e *Encoder) predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte) {
+func (s *sliceEnc) predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte) {
 	cvx := chromaFromLuma(int(mv.X))
 	cvy := chromaFromLuma(int(mv.Y))
 	ix, fx := splitHalf(cvx)
 	iy, fy := splitHalf(cvy)
 	cx, cy := px/2, py/2
 	so := ref.COrigin + (cy+iy)*ref.CStride + cx + ix
-	interp.HalfPel(cb, 8, ref.Cb[so:], ref.CStride, 8, 8, fx, fy, e.cfg.Kernels)
-	interp.HalfPel(cr, 8, ref.Cr[so:], ref.CStride, 8, 8, fx, fy, e.cfg.Kernels)
+	interp.HalfPel(cb, 8, ref.Cb[so:], ref.CStride, 8, 8, fx, fy, s.e.cfg.Kernels)
+	interp.HalfPel(cr, 8, ref.Cr[so:], ref.CStride, 8, 8, fx, fy, s.e.cfg.Kernels)
 }
 
 // predictChroma4MV derives chroma from the sum of four 8×8 vectors.
-func (e *Encoder) predictChroma4MV(ref *frame.Frame, px, py int, mvs *[4]motion.MV, cb, cr []byte) {
+func (s *sliceEnc) predictChroma4MV(ref *frame.Frame, px, py int, mvs *[4]motion.MV, cb, cr []byte) {
 	sx, sy := 0, 0
 	for _, v := range mvs {
 		sx += int(v.X)
 		sy += int(v.Y)
 	}
 	avg := motion.MV{X: int16(sx / 4), Y: int16(sy / 4)}
-	e.predictChroma(ref, px, py, avg, cb, cr)
+	s.predictChroma(ref, px, py, avg, cb, cr)
 }
 
 // --- residual ----------------------------------------------------------------
 
-func (e *Encoder) codeResidualMB(src, recon *frame.Frame, px, py int) int {
-	q := int32(e.cfg.Q)
+func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
+	q := int32(s.e.cfg.Q)
 	var blks [6][64]int32
 	cbp := 0
 	for i := 0; i < 4; i++ {
 		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		po := 8*(i/2)*16 + 8*(i%2)
-		codec.Residual8(&blks[i], src.Y, co, src.YStride, e.pred.y[:], po, 16)
+		codec.Residual8(&blks[i], src.Y, co, src.YStride, s.pred.y[:], po, 16)
 		dct.Forward8(&blks[i])
 		if quant.Mpeg4QuantInter(&blks[i], q) > 0 {
 			cbp |= 1 << (5 - i)
@@ -313,21 +364,21 @@ func (e *Encoder) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	}
 	cx, cy := px/2, py/2
 	co := src.COrigin + cy*src.CStride + cx
-	codec.Residual8(&blks[4], src.Cb, co, src.CStride, e.pred.cb[:], 0, 8)
+	codec.Residual8(&blks[4], src.Cb, co, src.CStride, s.pred.cb[:], 0, 8)
 	dct.Forward8(&blks[4])
 	if quant.Mpeg4QuantInter(&blks[4], q) > 0 {
 		cbp |= 2
 	}
-	codec.Residual8(&blks[5], src.Cr, co, src.CStride, e.pred.cr[:], 0, 8)
+	codec.Residual8(&blks[5], src.Cr, co, src.CStride, s.pred.cr[:], 0, 8)
 	dct.Forward8(&blks[5])
 	if quant.Mpeg4QuantInter(&blks[5], q) > 0 {
 		cbp |= 1
 	}
 
-	e.bw.WriteBits(uint64(cbp), 6)
+	s.bw.WriteBits(uint64(cbp), 6)
 	for i := 0; i < 6; i++ {
 		if cbp&(1<<(5-i)) != 0 {
-			writeRunLevels(e.bw, &blks[i], 0, eob64)
+			writeRunLevels(s.bw, &blks[i], 0, eob64)
 		}
 	}
 
@@ -337,36 +388,36 @@ func (e *Encoder) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 		if cbp&(1<<(5-i)) != 0 {
 			quant.Mpeg4DequantInter(&blks[i], q)
 			dct.Inverse8(&blks[i])
-			codec.Add8Clip(recon.Y, ro, recon.YStride, e.pred.y[:], po, 16, &blks[i])
+			codec.Add8Clip(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16, &blks[i])
 		} else {
-			codec.Copy8(recon.Y, ro, recon.YStride, e.pred.y[:], po, 16)
+			codec.Copy8(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16)
 		}
 	}
 	cro := recon.COrigin + cy*recon.CStride + cx
 	if cbp&2 != 0 {
 		quant.Mpeg4DequantInter(&blks[4], q)
 		dct.Inverse8(&blks[4])
-		codec.Add8Clip(recon.Cb, cro, recon.CStride, e.pred.cb[:], 0, 8, &blks[4])
+		codec.Add8Clip(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8, &blks[4])
 	} else {
-		codec.Copy8(recon.Cb, cro, recon.CStride, e.pred.cb[:], 0, 8)
+		codec.Copy8(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8)
 	}
 	if cbp&1 != 0 {
 		quant.Mpeg4DequantInter(&blks[5], q)
 		dct.Inverse8(&blks[5])
-		codec.Add8Clip(recon.Cr, cro, recon.CStride, e.pred.cr[:], 0, 8, &blks[5])
+		codec.Add8Clip(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8, &blks[5])
 	} else {
-		codec.Copy8(recon.Cr, cro, recon.CStride, e.pred.cr[:], 0, 8)
+		codec.Copy8(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8)
 	}
 	return cbp
 }
 
-func (e *Encoder) residualWouldBeZero(src *frame.Frame, px, py int) bool {
-	q := int32(e.cfg.Q)
+func (s *sliceEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
+	q := int32(s.e.cfg.Q)
 	var blk [64]int32
 	for i := 0; i < 4; i++ {
 		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		po := 8*(i/2)*16 + 8*(i%2)
-		codec.Residual8(&blk, src.Y, co, src.YStride, e.pred.y[:], po, 16)
+		codec.Residual8(&blk, src.Y, co, src.YStride, s.pred.y[:], po, 16)
 		dct.Forward8(&blk)
 		if quant.Mpeg4QuantInter(&blk, q) > 0 {
 			return false
@@ -374,26 +425,26 @@ func (e *Encoder) residualWouldBeZero(src *frame.Frame, px, py int) bool {
 	}
 	cx, cy := px/2, py/2
 	co := src.COrigin + cy*src.CStride + cx
-	codec.Residual8(&blk, src.Cb, co, src.CStride, e.pred.cb[:], 0, 8)
+	codec.Residual8(&blk, src.Cb, co, src.CStride, s.pred.cb[:], 0, 8)
 	dct.Forward8(&blk)
 	if quant.Mpeg4QuantInter(&blk, q) > 0 {
 		return false
 	}
-	codec.Residual8(&blk, src.Cr, co, src.CStride, e.pred.cr[:], 0, 8)
+	codec.Residual8(&blk, src.Cr, co, src.CStride, s.pred.cr[:], 0, 8)
 	dct.Forward8(&blk)
 	return quant.Mpeg4QuantInter(&blk, q) == 0
 }
 
-func (e *Encoder) copyPredToRecon(recon *frame.Frame, px, py int) {
+func (s *sliceEnc) copyPredToRecon(recon *frame.Frame, px, py int) {
 	for r := 0; r < 16; r++ {
 		ro := recon.YOrigin + (py+r)*recon.YStride + px
-		copy(recon.Y[ro:ro+16], e.pred.y[r*16:r*16+16])
+		copy(recon.Y[ro:ro+16], s.pred.y[r*16:r*16+16])
 	}
 	cx, cy := px/2, py/2
 	for r := 0; r < 8; r++ {
 		ro := recon.COrigin + (cy+r)*recon.CStride + cx
-		copy(recon.Cb[ro:ro+8], e.pred.cb[r*8:r*8+8])
-		copy(recon.Cr[ro:ro+8], e.pred.cr[r*8:r*8+8])
+		copy(recon.Cb[ro:ro+8], s.pred.cb[r*8:r*8+8])
+		copy(recon.Cr[ro:ro+8], s.pred.cr[r*8:r*8+8])
 	}
 }
 
@@ -416,25 +467,25 @@ func seBits(v int) int {
 	return n
 }
 
-func (e *Encoder) encodePMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
-	ref := e.lastRef
-	lambda := lambdaFor(e.cfg.Q)
+	ref := s.e.lastRef
+	lambda := lambdaFor(s.e.cfg.Q)
 
 	// 16×16 hypothesis.
-	mv16, sad16 := e.searchQPel(src, ref, px, py, 16, 16, mbx, e.fwdPred, e.pred.y[:], true)
-	cost16 := sad16 + lambda*mvBitsQ(mv16, e.fwdPred)
+	mv16, sad16 := s.searchQPel(src, ref, px, py, 16, 16, mbx, s.fwdPred, s.pred.y[:], true)
+	cost16 := sad16 + lambda*mvBitsQ(mv16, s.fwdPred)
 
 	// 4MV hypothesis: four 8×8 searches seeded from the 16×16 winner.
 	var mvs4 [4]motion.MV
 	var pred4 [256]byte
 	cost4 := lambda * 8 // mode overhead bias
-	prev := e.fwdPred
+	prev := s.fwdPred
 	for i := 0; i < 4; i++ {
 		bx := px + 8*(i%2)
 		by := py + 8*(i/2)
 		var sub [256]byte
-		mv, sad := e.searchQPel(src, ref, bx, by, 8, 8, mbx, mv16, sub[:], false)
+		mv, sad := s.searchQPel(src, ref, bx, by, 8, 8, mbx, mv16, sub[:], false)
 		mvs4[i] = mv
 		cost4 += sad + lambda*mvBitsQ(mv, prev)
 		prev = mv
@@ -447,63 +498,63 @@ func (e *Encoder) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	intraCost := intraCostMB(src, px, py)
 
 	if intraCost < cost16 && intraCost < cost4 {
-		entropy.WriteUE(e.bw, pIntra)
-		e.encodeIntraMB(src, recon, mbx, mby)
-		e.fwdPred = motion.MV{}
-		e.mvRow[mbx] = motion.MV{}
+		entropy.WriteUE(s.bw, pIntra)
+		s.encodeIntraMB(src, recon, mbx, mby)
+		s.fwdPred = motion.MV{}
+		s.mvRow[mbx] = motion.MV{}
 		return
 	}
 
 	if cost4 < cost16 {
-		copy(e.pred.y[:], pred4[:])
-		e.predictChroma4MV(ref, px, py, &mvs4, e.pred.cb[:], e.pred.cr[:])
-		entropy.WriteUE(e.bw, pInter4V)
-		prev = e.fwdPred
+		copy(s.pred.y[:], pred4[:])
+		s.predictChroma4MV(ref, px, py, &mvs4, s.pred.cb[:], s.pred.cr[:])
+		entropy.WriteUE(s.bw, pInter4V)
+		prev = s.fwdPred
 		for i := 0; i < 4; i++ {
-			entropy.WriteSE(e.bw, int32(mvs4[i].X)-int32(prev.X))
-			entropy.WriteSE(e.bw, int32(mvs4[i].Y)-int32(prev.Y))
+			entropy.WriteSE(s.bw, int32(mvs4[i].X)-int32(prev.X))
+			entropy.WriteSE(s.bw, int32(mvs4[i].Y)-int32(prev.Y))
 			prev = mvs4[i]
 		}
-		e.fwdPred = mvs4[3]
-		e.mvRow[mbx] = motion.MV{X: mvs4[3].X >> 2, Y: mvs4[3].Y >> 2}
-		e.codeResidualMB(src, recon, px, py)
-		e.resetDCPred()
+		s.fwdPred = mvs4[3]
+		s.mvRow[mbx] = motion.MV{X: mvs4[3].X >> 2, Y: mvs4[3].Y >> 2}
+		s.codeResidualMB(src, recon, px, py)
+		s.resetDCPred()
 		return
 	}
 
-	e.predictChroma(ref, px, py, mv16, e.pred.cb[:], e.pred.cr[:])
-	if mv16 == (motion.MV{}) && e.residualWouldBeZero(src, px, py) {
-		entropy.WriteUE(e.bw, pSkip)
-		e.copyPredToRecon(recon, px, py)
-		e.fwdPred = motion.MV{}
-		e.mvRow[mbx] = motion.MV{}
-		e.resetDCPred()
+	s.predictChroma(ref, px, py, mv16, s.pred.cb[:], s.pred.cr[:])
+	if mv16 == (motion.MV{}) && s.residualWouldBeZero(src, px, py) {
+		entropy.WriteUE(s.bw, pSkip)
+		s.copyPredToRecon(recon, px, py)
+		s.fwdPred = motion.MV{}
+		s.mvRow[mbx] = motion.MV{}
+		s.resetDCPred()
 		return
 	}
 
-	entropy.WriteUE(e.bw, pInter)
-	entropy.WriteSE(e.bw, int32(mv16.X)-int32(e.fwdPred.X))
-	entropy.WriteSE(e.bw, int32(mv16.Y)-int32(e.fwdPred.Y))
-	e.fwdPred = mv16
-	e.mvRow[mbx] = motion.MV{X: mv16.X >> 2, Y: mv16.Y >> 2}
-	e.codeResidualMB(src, recon, px, py)
-	e.resetDCPred()
+	entropy.WriteUE(s.bw, pInter)
+	entropy.WriteSE(s.bw, int32(mv16.X)-int32(s.fwdPred.X))
+	entropy.WriteSE(s.bw, int32(mv16.Y)-int32(s.fwdPred.Y))
+	s.fwdPred = mv16
+	s.mvRow[mbx] = motion.MV{X: mv16.X >> 2, Y: mv16.Y >> 2}
+	s.codeResidualMB(src, recon, px, py)
+	s.resetDCPred()
 }
 
 // --- B macroblocks -------------------------------------------------------------
 
-func (e *Encoder) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *sliceEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
-	fwdRef, bwdRef := e.prevRef, e.lastRef
-	lambda := lambdaFor(e.cfg.Q)
+	fwdRef, bwdRef := s.e.prevRef, s.e.lastRef
+	lambda := lambdaFor(s.e.cfg.Q)
 
-	fwdMV, fwdSAD := e.searchQPel(src, fwdRef, px, py, 16, 16, mbx, e.fwdPred, e.pred.y[:], true)
-	bwdMV, bwdSAD := e.searchQPel(src, bwdRef, px, py, 16, 16, mbx, e.bwdPred, e.pred.yAlt[:], true)
+	fwdMV, fwdSAD := s.searchQPel(src, fwdRef, px, py, 16, 16, mbx, s.fwdPred, s.pred.y[:], true)
+	bwdMV, bwdSAD := s.searchQPel(src, bwdRef, px, py, 16, 16, mbx, s.bwdPred, s.pred.yAlt[:], true)
 
 	var bi [256]byte
-	copy(bi[:], e.pred.y[:])
-	interp.Avg(bi[:], 16, e.pred.yAlt[:], 16, 16, 16, e.cfg.Kernels)
-	biSAD := e.sadBlock(src, px, py, 16, 16, bi[:], 16) + 2*lambda
+	copy(bi[:], s.pred.y[:])
+	interp.Avg(bi[:], 16, s.pred.yAlt[:], 16, 16, 16, s.e.cfg.Kernels)
+	biSAD := s.sadBlock(src, px, py, 16, 16, bi[:], 16) + 2*lambda
 
 	intraCost := intraCostMB(src, px, py)
 
@@ -516,52 +567,52 @@ func (e *Encoder) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 		mode, best = bBi, biSAD
 	}
 	if intraCost < best {
-		entropy.WriteUE(e.bw, bIntra)
-		e.encodeIntraMB(src, recon, mbx, mby)
-		e.fwdPred = motion.MV{}
-		e.bwdPred = motion.MV{}
+		entropy.WriteUE(s.bw, bIntra)
+		s.encodeIntraMB(src, recon, mbx, mby)
+		s.fwdPred = motion.MV{}
+		s.bwdPred = motion.MV{}
 		return
 	}
 
 	switch mode {
 	case bFwd:
-		e.predictChroma(fwdRef, px, py, fwdMV, e.pred.cb[:], e.pred.cr[:])
+		s.predictChroma(fwdRef, px, py, fwdMV, s.pred.cb[:], s.pred.cr[:])
 	case bBwd:
-		copy(e.pred.y[:], e.pred.yAlt[:])
-		e.predictChroma(bwdRef, px, py, bwdMV, e.pred.cb[:], e.pred.cr[:])
+		copy(s.pred.y[:], s.pred.yAlt[:])
+		s.predictChroma(bwdRef, px, py, bwdMV, s.pred.cb[:], s.pred.cr[:])
 	case bBi:
-		copy(e.pred.y[:], bi[:])
-		e.predictChroma(fwdRef, px, py, fwdMV, e.pred.cb[:], e.pred.cr[:])
-		e.predictChroma(bwdRef, px, py, bwdMV, e.pred.cbAlt[:], e.pred.crAlt[:])
-		interp.Avg(e.pred.cb[:], 8, e.pred.cbAlt[:], 8, 8, 8, e.cfg.Kernels)
-		interp.Avg(e.pred.cr[:], 8, e.pred.crAlt[:], 8, 8, 8, e.cfg.Kernels)
+		copy(s.pred.y[:], bi[:])
+		s.predictChroma(fwdRef, px, py, fwdMV, s.pred.cb[:], s.pred.cr[:])
+		s.predictChroma(bwdRef, px, py, bwdMV, s.pred.cbAlt[:], s.pred.crAlt[:])
+		interp.Avg(s.pred.cb[:], 8, s.pred.cbAlt[:], 8, 8, 8, s.e.cfg.Kernels)
+		interp.Avg(s.pred.cr[:], 8, s.pred.crAlt[:], 8, 8, 8, s.e.cfg.Kernels)
 	}
 
-	if mode == bFwd && fwdMV == e.fwdPred && e.residualWouldBeZero(src, px, py) {
-		entropy.WriteUE(e.bw, bSkip)
-		e.copyPredToRecon(recon, px, py)
-		e.mvRow[mbx] = motion.MV{X: fwdMV.X >> 2, Y: fwdMV.Y >> 2}
-		e.resetDCPred()
+	if mode == bFwd && fwdMV == s.fwdPred && s.residualWouldBeZero(src, px, py) {
+		entropy.WriteUE(s.bw, bSkip)
+		s.copyPredToRecon(recon, px, py)
+		s.mvRow[mbx] = motion.MV{X: fwdMV.X >> 2, Y: fwdMV.Y >> 2}
+		s.resetDCPred()
 		return
 	}
 
-	entropy.WriteUE(e.bw, uint32(mode))
+	entropy.WriteUE(s.bw, uint32(mode))
 	if mode == bFwd || mode == bBi {
-		entropy.WriteSE(e.bw, int32(fwdMV.X)-int32(e.fwdPred.X))
-		entropy.WriteSE(e.bw, int32(fwdMV.Y)-int32(e.fwdPred.Y))
-		e.fwdPred = fwdMV
+		entropy.WriteSE(s.bw, int32(fwdMV.X)-int32(s.fwdPred.X))
+		entropy.WriteSE(s.bw, int32(fwdMV.Y)-int32(s.fwdPred.Y))
+		s.fwdPred = fwdMV
 	}
 	if mode == bBwd || mode == bBi {
-		entropy.WriteSE(e.bw, int32(bwdMV.X)-int32(e.bwdPred.X))
-		entropy.WriteSE(e.bw, int32(bwdMV.Y)-int32(e.bwdPred.Y))
-		e.bwdPred = bwdMV
+		entropy.WriteSE(s.bw, int32(bwdMV.X)-int32(s.bwdPred.X))
+		entropy.WriteSE(s.bw, int32(bwdMV.Y)-int32(s.bwdPred.Y))
+		s.bwdPred = bwdMV
 	}
 	switch mode {
 	case bFwd, bBi:
-		e.mvRow[mbx] = motion.MV{X: fwdMV.X >> 2, Y: fwdMV.Y >> 2}
+		s.mvRow[mbx] = motion.MV{X: fwdMV.X >> 2, Y: fwdMV.Y >> 2}
 	default:
-		e.mvRow[mbx] = motion.MV{X: bwdMV.X >> 2, Y: bwdMV.Y >> 2}
+		s.mvRow[mbx] = motion.MV{X: bwdMV.X >> 2, Y: bwdMV.Y >> 2}
 	}
-	e.codeResidualMB(src, recon, px, py)
-	e.resetDCPred()
+	s.codeResidualMB(src, recon, px, py)
+	s.resetDCPred()
 }

@@ -15,8 +15,11 @@
 // bearing and is enforced by pipeline_test.go.
 //
 // With IntraPeriod == 0 (the paper's first-frame-only-intra setting)
-// there are no chunk boundaries and both entry points fall back to the
-// serial path.
+// there are no chunk boundaries and both entry points fall back to a
+// single codec instance — but when Config.Slices > 1 that instance still
+// parallelizes inside each frame: its macroblock-row slices are fanned
+// out across the worker budget through a SliceGate, composing with the
+// chunk pool when both levels exist.
 package pipeline
 
 import (
@@ -119,12 +122,21 @@ func runOrdered[T any](n, workers int, job func(i int) (T, error)) ([]T, error) 
 // single encoder over the whole sequence. workers <= 1, gop <= 0, or a
 // single-chunk input all take the serial path.
 func EncodeFrames(newEnc EncoderFactory, gop, workers int, frames []*frame.Frame) ([]container.Packet, container.Header, error) {
+	spans := chunkSpans(len(frames), gop)
+	if workers > 1 {
+		// Slice-level parallelism inside each frame shares the worker
+		// budget with the chunk pool: the gate gets exactly the workers
+		// the chunk level leaves idle, so chunk goroutines plus slice
+		// goroutines never exceed the budget. With no chunk boundaries
+		// (the paper's first-frame-only-intra setting) the whole budget
+		// goes to slices — the only parallelism that encode has.
+		newEnc = NewSliceGate(SpareWorkers(workers, len(spans))).Encoders(newEnc)
+	}
 	enc, err := newEnc()
 	if err != nil {
 		return nil, container.Header{}, err
 	}
 	hdr := enc.Header()
-	spans := chunkSpans(len(frames), gop)
 	if workers <= 1 || len(spans) <= 1 {
 		pkts, err := encodeAll(enc, frames)
 		return pkts, hdr, err
@@ -242,6 +254,11 @@ func segments(pkts []container.Packet) []span {
 // serial path for every worker count.
 func DecodePackets(newDec DecoderFactory, workers int, pkts []container.Packet) ([]*frame.Frame, error) {
 	spans := segments(pkts)
+	if workers > 1 {
+		// As in EncodeFrames: intra-frame slice parallelism under the
+		// shared budget, covering the single-segment case too.
+		newDec = NewSliceGate(SpareWorkers(workers, len(spans))).Decoders(newDec)
+	}
 	if workers <= 1 || len(spans) <= 1 {
 		dec, err := newDec()
 		if err != nil {

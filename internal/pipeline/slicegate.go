@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"sync"
+
+	"hdvideobench/internal/codec"
+)
+
+// SliceGate schedules the codecs' per-frame slice jobs onto a bounded
+// goroutine budget. It is the second level of the pipeline's parallelism:
+// GOP chunks spread across the worker pool, and the slices inside each
+// frame spread across the gate — which is what finally makes the paper's
+// default first-frame-only-intra setting scale, since that setting has
+// exactly one GOP chunk.
+//
+// The gate banks workers-1 tokens shared by every codec instance it is
+// installed on; a slice job runs on a spawned goroutine only while a
+// token is available and inline on the calling worker otherwise, so the
+// gate itself never adds more than workers-1 goroutines. Callers keep
+// the OVERALL budget honest by sizing the gate to the workers the chunk
+// pool leaves idle (see SpareWorkers): chunk workers plus gate tokens
+// then sum to the requested budget exactly. Slices merge by index, so
+// the coded output is identical for every token schedule — only
+// wall-clock changes.
+type SliceGate struct {
+	tokens chan struct{}
+}
+
+// NewSliceGate returns a gate with a total budget of workers goroutines
+// (the calling worker counts as one, so workers-1 tokens are banked).
+// workers <= 1 yields a gate that always runs slices inline.
+func NewSliceGate(workers int) *SliceGate {
+	extra := workers - 1
+	if extra < 0 {
+		extra = 0
+	}
+	g := &SliceGate{tokens: make(chan struct{}, extra)}
+	for i := 0; i < extra; i++ {
+		g.tokens <- struct{}{}
+	}
+	return g
+}
+
+// SpareWorkers returns the slice-gate budget that keeps a combined
+// chunk-plus-slice schedule inside `workers` goroutines when the chunk
+// level runs min(workers, chunks) of them: one calling worker plus the
+// leftover. With a single chunk (the first-frame-only-intra shape) the
+// whole budget goes to slices; with chunks >= workers the gate runs
+// every slice inline and the chunk pool alone saturates the budget.
+func SpareWorkers(workers, chunks int) int {
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > workers {
+		chunks = workers
+	}
+	return workers - chunks + 1
+}
+
+// Run implements codec.SliceRunner: jobs 1..n-1 are spawned while tokens
+// last (released as each finishes) and run inline otherwise; job 0 always
+// runs on the caller. Run returns only after every job has completed.
+func (g *SliceGate) Run(n int, job func(i int)) {
+	if n <= 1 {
+		if n == 1 {
+			job(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		select {
+		case <-g.tokens:
+			wg.Add(1)
+			go func(i int) {
+				defer func() {
+					g.tokens <- struct{}{}
+					wg.Done()
+				}()
+				job(i)
+			}(i)
+		default:
+			job(i)
+		}
+	}
+	job(0)
+	wg.Wait()
+}
+
+// install points a codec instance's slice scheduling at the gate, when
+// the codec supports it.
+func (g *SliceGate) install(v any) {
+	if s, ok := v.(codec.SliceScheduler); ok {
+		s.SetSliceRunner(g.Run)
+	}
+}
+
+// Encoders wraps an encoder factory so every instance it creates runs
+// its slice jobs on the gate.
+func (g *SliceGate) Encoders(f EncoderFactory) EncoderFactory {
+	return func() (codec.Encoder, error) {
+		e, err := f()
+		if err == nil {
+			g.install(e)
+		}
+		return e, err
+	}
+}
+
+// Decoders wraps a decoder factory the same way.
+func (g *SliceGate) Decoders(f DecoderFactory) DecoderFactory {
+	return func() (codec.Decoder, error) {
+		d, err := f()
+		if err == nil {
+			g.install(d)
+		}
+		return d, err
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"sync"
-	"sync/atomic"
 
 	"hdvideobench/internal/codec"
 	"hdvideobench/internal/container"
@@ -20,47 +19,68 @@ import (
 //
 // Segment boundaries are detected on the fly: a mid-stream I packet
 // whose display index exceeds everything seen so far opens a new
-// segment. That is exactly where the container's version-2 closed-GOP
-// semantics guarantee a reference reset, so each segment decodes
-// independently; a packet that displays before its segment's I frame
-// (an open GOP the version-2 container forbids) fails with a clean
-// error. A segment that reaches FallbackPackets packets without a
-// boundary — the paper's first-frame-only-intra setting, or any stream
-// whose I frames stop coming — switches the decoder to the serial
-// single-instance mode for the rest of the stream, preserving the
-// memory bound at the cost of parallelism.
+// segment. That is exactly where the container's closed-GOP semantics
+// guarantee a reference reset, so each segment decodes independently; a
+// packet that displays before its segment's I frame (an open GOP the
+// container forbids) fails with a clean error.
+//
+// A segment that reaches FallbackPackets packets without a boundary —
+// the paper's first-frame-only-intra setting, or any stream whose I
+// frames stop coming — switches the decoder to a serial single-instance
+// mode, preserving the memory bound; the serial decoder still scales
+// through slice-level parallelism when the stream was coded with
+// Slices > 1. The fallback is no longer forever: when a later boundary
+// I frame does arrive, the decoder re-arms — the serial instance is
+// flushed and a fresh segment pool takes over — so a stream with one
+// pathological segment pays for that segment only. The writer hands
+// each phase (pool or serial channel) to the reader in order through an
+// internal phase queue.
 type Decoder struct {
 	window  int
+	workers int
 	factory pipeline.DecoderFactory
+	// fbFactory builds the serial-fallback instance: its codecs run
+	// their per-frame slices on a gate with the full worker budget.
+	// Pool segment decoders use the plain factory instead — the pool's
+	// workers already consume the budget, so their slices run inline.
+	fbFactory pipeline.DecoderFactory
 
-	// chunked mode (workers > 1)
+	// Writer-side state. Exactly one of pool/dec is active at a time in
+	// chunked mode; serialOnly (workers <= 1) keeps dec forever.
 	pool       *pipeline.OrderedPool[decSegment, []*frame.Frame]
-	cur        []container.Packet // segment being collected (writer goroutine only)
-	maxDisplay int                // highest display index seen (writer goroutine only)
-	submitted  int                // segments handed to the pool (writer goroutine only)
-	fellBack   atomic.Bool        // writer→reader signal: serial fallback engaged
+	cur        []container.Packet // segment being collected
+	maxDisplay int                // highest display index seen
+	dec        codec.Decoder      // serial instance (fallback or serialOnly)
+	out        chan *frame.Frame  // serial phase channel
+	serialBase int                // display rebase for the serial instance
+	serialOnly bool
+	rearms     int
+	closed     bool
+	closeErr   error
 
-	// serial mode: one persistent decoder driven inline by Write. Also
-	// the landing spot of the chunked mode's boundary-less fallback;
-	// serialBase rebases display stamps when that takeover happens
-	// mid-stream (the codec's reorder buffer counts from zero).
-	dec        codec.Decoder
-	out        chan *frame.Frame
-	serialBase int
+	// phases hands each decode phase to the reader in consumption order.
+	phases chan decPhase
 
 	// reader-side state
-	pending   []*frame.Frame
-	useSerial bool // reader observed the fallback
-	rerr      error
+	rp      decPhase
+	haveRP  bool
+	pending []*frame.Frame
+	rerr    error
 
-	closed   bool
-	closeErr error
+	poolsMu sync.Mutex
+	pools   []*pipeline.OrderedPool[decSegment, []*frame.Frame]
 
-	closeOut sync.Once
 	aborted  chan struct{}
 	abortOne sync.Once
 
 	resident gauge
+}
+
+// decPhase is one reader-visible stage of the stream: a segment pool or
+// a serial frame channel.
+type decPhase struct {
+	pool *pipeline.OrderedPool[decSegment, []*frame.Frame]
+	out  chan *frame.Frame
 }
 
 type decSegment struct {
@@ -72,12 +92,15 @@ type decSegment struct {
 // number of segment workers and window the maximum segments in flight
 // (<= 0 selects 2×workers). workers <= 1 selects the serial
 // single-instance mode, which handles any stream — including open-ended
-// single-segment ones — at the codec's own constant memory.
+// single-segment ones — at the codec's own constant memory. With
+// workers > 1, the serial-fallback instance runs its per-frame slices
+// on a gate with the full worker budget (the pool is closed by then),
+// so sliced boundary-less streams keep scaling inside the fallback.
 func NewDecoder(factory pipeline.DecoderFactory, workers, window int) (*Decoder, error) {
 	d := &Decoder{
-		factory:    factory,
 		maxDisplay: -1,
 		aborted:    make(chan struct{}),
+		phases:     make(chan decPhase, 16),
 	}
 	if workers <= 1 {
 		dec, err := factory()
@@ -85,12 +108,26 @@ func NewDecoder(factory pipeline.DecoderFactory, workers, window int) (*Decoder,
 			return nil, err
 		}
 		d.window = normWindow(window, 1)
+		d.factory = factory
+		d.serialOnly = true
 		d.dec = dec
 		d.out = make(chan *frame.Frame, d.window)
+		d.phases <- decPhase{out: d.out}
 		return d, nil
 	}
+	d.factory = factory
+	d.fbFactory = pipeline.NewSliceGate(workers).Decoders(factory)
+	d.workers = workers
 	d.window = normWindow(window, workers)
-	d.pool = pipeline.NewOrderedPool(workers, d.window,
+	d.pool = d.newPool()
+	d.phases <- decPhase{pool: d.pool}
+	return d, nil
+}
+
+// newPool starts a fresh segment pool (the initial one, or a re-armed
+// one after a serial fallback ends at a boundary I frame).
+func (d *Decoder) newPool() *pipeline.OrderedPool[decSegment, []*frame.Frame] {
+	p := pipeline.NewOrderedPool(d.workers, d.window,
 		func(s decSegment) ([]*frame.Frame, error) {
 			base := s.pkts[0].DisplayIndex
 			for _, p := range s.pkts {
@@ -99,7 +136,7 @@ func NewDecoder(factory pipeline.DecoderFactory, workers, window int) (*Decoder,
 						p.Type, p.DisplayIndex, base)
 				}
 			}
-			dec, err := factory()
+			dec, err := d.factory()
 			if err != nil {
 				return nil, err
 			}
@@ -114,18 +151,39 @@ func NewDecoder(factory pipeline.DecoderFactory, workers, window int) (*Decoder,
 		},
 		nil,
 	)
-	return d, nil
+	d.poolsMu.Lock()
+	d.pools = append(d.pools, p)
+	select {
+	case <-d.aborted:
+		p.Abort()
+	default:
+	}
+	d.poolsMu.Unlock()
+	return p
+}
+
+// pushPhase queues a phase for the reader, honoring aborts.
+func (d *Decoder) pushPhase(ph decPhase) error {
+	select {
+	case d.phases <- ph:
+		return nil
+	case <-d.aborted:
+		return ErrAborted
+	}
 }
 
 // Window reports the resolved segment window.
 func (d *Decoder) Window() int { return d.window }
 
 // PeakResident reports the high-water mark of decoded frames held by the
-// decoder (chunked mode), bounded by (Window+1)×GOP for a closed-GOP
-// stream. In serial mode frames flow through a small channel and this
-// reports zero; after a boundary-less fallback only the segments decoded
-// before the switch are counted.
+// decoder's segment pools, bounded by (Window+1)×GOP for a closed-GOP
+// stream. Frames flowing through a serial phase move one at a time and
+// are not counted.
 func (d *Decoder) PeakResident() int { return d.resident.high() }
+
+// Rearms reports how many times the decoder returned from the serial
+// fallback to chunked mode at a boundary I frame.
+func (d *Decoder) Rearms() int { return d.rearms }
 
 // Write accepts the next coding-order packet, blocking while the segment
 // window is full. It returns ErrAborted once the stream is torn down.
@@ -133,12 +191,24 @@ func (d *Decoder) Write(p container.Packet) error {
 	if d.closed {
 		return ErrClosed
 	}
-	if d.dec != nil {
+	if d.serialOnly {
+		return d.writeSerial(p)
+	}
+	if d.dec != nil { // serial fallback active
+		if d.closeErr != nil {
+			return d.closeErr
+		}
+		if p.Type == container.FrameI && p.DisplayIndex > d.maxDisplay {
+			return d.rearm(p)
+		}
+		if p.DisplayIndex > d.maxDisplay {
+			d.maxDisplay = p.DisplayIndex
+		}
 		return d.writeSerial(p)
 	}
 	// A closed-GOP boundary: an I packet that displays after everything
-	// seen so far. The version-2 container guarantees no references
-	// cross it, so the collected segment is complete.
+	// seen so far. The container's closed-GOP semantics guarantee no
+	// references cross it, so the collected segment is complete.
 	if len(d.cur) > 0 && p.Type == container.FrameI && p.DisplayIndex > d.maxDisplay {
 		if err := d.submit(); err != nil {
 			return err
@@ -167,25 +237,27 @@ func (d *Decoder) writeSerial(p container.Packet) error {
 	return d.push(frames)
 }
 
-// fallBackToSerial abandons GOP parallelism for the rest of this
-// stream: FallbackPackets packets of the current segment arrived
-// without a closed-GOP boundary, so segment decoding would buffer
-// without bound. The segment always starts at a reference reset (the
-// stream head or a boundary I frame), so a persistent serial decoder —
-// rebased to the segment's first display index — replays the
-// compressed prefix and takes over. The pool is closed; earlier
-// segments drain to the reader in order, and the pool's EOF plus the
-// fallback flag tell it to switch to the serial channel.
+// fallBackToSerial abandons GOP parallelism for the current segment:
+// FallbackPackets packets arrived without a closed-GOP boundary, so
+// segment decoding would buffer without bound. The segment always starts
+// at a reference reset (the stream head, a boundary I frame, or a
+// re-armed pool's first segment), so a persistent serial decoder —
+// rebased to the segment's first display index — replays the compressed
+// prefix and takes over. The current pool is closed; its segments drain
+// to the reader in order before the serial phase begins.
 func (d *Decoder) fallBackToSerial() error {
-	dec, err := d.factory()
+	dec, err := d.fbFactory()
 	if err != nil {
 		return err
 	}
 	d.dec = dec
 	d.serialBase = d.cur[0].DisplayIndex
 	d.out = make(chan *frame.Frame, d.window)
-	d.fellBack.Store(true)
 	d.pool.Close()
+	d.pool = nil
+	if err := d.pushPhase(decPhase{out: d.out}); err != nil {
+		return err
+	}
 	pkts := d.cur
 	d.cur = nil
 	for _, p := range pkts {
@@ -196,14 +268,35 @@ func (d *Decoder) fallBackToSerial() error {
 	return nil
 }
 
+// rearm ends the serial fallback at a boundary I frame: the serial
+// decoder is flushed and retired, a fresh segment pool opens, and the
+// boundary packet starts its first segment — the stream is chunk-
+// parallel again (ROADMAP: closed-GOP streams with one over-long segment
+// no longer decode single-threaded forever).
+func (d *Decoder) rearm(p container.Packet) error {
+	if err := d.push(d.dec.Flush()); err != nil {
+		return err
+	}
+	close(d.out)
+	d.dec = nil
+	d.out = nil
+	d.rearms++
+	d.pool = d.newPool()
+	if err := d.pushPhase(decPhase{pool: d.pool}); err != nil {
+		return err
+	}
+	d.cur = append(d.cur[:0:0], p)
+	d.maxDisplay = p.DisplayIndex
+	return nil
+}
+
 func (d *Decoder) submit() error {
 	s := decSegment{pkts: d.cur}
 	d.cur = nil
-	d.submitted++
 	return d.pool.Submit(s)
 }
 
-// push queues serial-mode frames for the reader, restoring the global
+// push queues serial-phase frames for the reader, restoring the global
 // display stamps a mid-stream fallback rebased away and honoring aborts.
 func (d *Decoder) push(frames []*frame.Frame) error {
 	for _, f := range frames {
@@ -217,29 +310,30 @@ func (d *Decoder) push(frames []*frame.Frame) error {
 	return nil
 }
 
-// Close flushes the final segment and marks the end of input; ReadFrame
-// drains the remaining frames and then reports io.EOF. Close must be
-// called exactly once from the writer side, even after an error or an
-// Abort.
+// Close flushes the final segment (or the serial decoder) and marks the
+// end of input; ReadFrame drains the remaining frames and then reports
+// io.EOF. Close must be called exactly once from the writer side, even
+// after an error or an Abort.
 func (d *Decoder) Close() error {
 	if d.closed {
 		return ErrClosed
 	}
 	d.closed = true
-	if d.dec != nil { // serial mode, or chunked mode after the fallback
-		err := d.closeErr
+	var err error
+	if d.dec != nil { // serial-only mode, or chunked mode inside a fallback
+		err = d.closeErr
 		if err == nil {
 			err = d.push(d.dec.Flush())
 			d.closeErr = err
 		}
-		d.closeOut.Do(func() { close(d.out) })
-		return err
+		close(d.out)
+	} else if d.pool != nil {
+		if len(d.cur) > 0 {
+			err = d.submit()
+		}
+		d.pool.Close()
 	}
-	var err error
-	if len(d.cur) > 0 {
-		err = d.submit()
-	}
-	d.pool.Close()
+	close(d.phases)
 	return err
 }
 
@@ -257,48 +351,57 @@ func (d *Decoder) ReadFrame() (*frame.Frame, error) {
 		return nil, d.rerr
 	default:
 	}
-	if d.pool == nil || d.useSerial {
-		return d.readSerial()
-	}
-	for len(d.pending) == 0 {
-		frames, err := d.pool.Next()
-		if err != nil {
-			if err == io.EOF {
-				if d.fellBack.Load() {
-					// The writer switched to the serial fallback; all
-					// frames now arrive on the serial channel.
-					d.useSerial = true
-					return d.readSerial()
+	for {
+		if !d.haveRP {
+			select {
+			case ph, ok := <-d.phases:
+				if !ok {
+					d.rerr = io.EOF
+					if d.closeErr != nil {
+						d.rerr = d.closeErr
+					}
+					return nil, d.rerr
 				}
-				d.rerr = io.EOF
-			} else {
-				d.rerr = err
-				d.Abort()
+				d.rp = ph
+				d.haveRP = true
+			case <-d.aborted:
+				d.rerr = ErrAborted
+				return nil, d.rerr
 			}
+		}
+		if d.rp.pool != nil {
+			for len(d.pending) == 0 {
+				frames, err := d.rp.pool.Next()
+				if err == io.EOF {
+					d.haveRP = false
+					break
+				}
+				if err != nil {
+					d.rerr = err
+					d.Abort()
+					return nil, d.rerr
+				}
+				d.pending = frames
+			}
+			if len(d.pending) == 0 {
+				continue // pool drained; move to the next phase
+			}
+			f := d.pending[0]
+			d.pending = d.pending[1:]
+			d.resident.add(-1)
+			return f, nil
+		}
+		select {
+		case f, ok := <-d.rp.out:
+			if !ok {
+				d.haveRP = false
+				continue // serial phase ended (re-arm or Close)
+			}
+			return f, nil
+		case <-d.aborted:
+			d.rerr = ErrAborted
 			return nil, d.rerr
 		}
-		d.pending = frames
-	}
-	f := d.pending[0]
-	d.pending = d.pending[1:]
-	d.resident.add(-1)
-	return f, nil
-}
-
-func (d *Decoder) readSerial() (*frame.Frame, error) {
-	select {
-	case f, ok := <-d.out:
-		if !ok {
-			d.rerr = io.EOF
-			if d.closeErr != nil {
-				d.rerr = d.closeErr
-			}
-			return nil, d.rerr
-		}
-		return f, nil
-	case <-d.aborted:
-		d.rerr = ErrAborted
-		return nil, d.rerr
 	}
 }
 
@@ -307,7 +410,9 @@ func (d *Decoder) readSerial() (*frame.Frame, error) {
 // goroutine; idempotent. The writer must still call Close.
 func (d *Decoder) Abort() {
 	d.abortOne.Do(func() { close(d.aborted) })
-	if d.pool != nil {
-		d.pool.Abort()
+	d.poolsMu.Lock()
+	for _, p := range d.pools {
+		p.Abort()
 	}
+	d.poolsMu.Unlock()
 }

@@ -54,6 +54,14 @@ type encChunk struct {
 // maximum chunks in flight (<= 0 selects 2×workers). workers <= 1 or
 // gop <= 0 selects the serial single-instance mode.
 func NewEncoder(factory pipeline.EncoderFactory, gop, workers, window int) (*Encoder, error) {
+	if workers > 1 && gop <= 0 {
+		// With no chunk boundaries the serial single-instance mode below
+		// is the whole pipeline; a slice gate with the full budget is
+		// what lets it scale past one core. In chunked mode the pool's
+		// workers already consume the budget, so slices run inline on
+		// the chunk workers (no gate — the total stays at `workers`).
+		factory = pipeline.NewSliceGate(workers).Encoders(factory)
+	}
 	enc, err := factory()
 	if err != nil {
 		return nil, err

@@ -42,7 +42,13 @@
 // engine degrades to a single persistent codec instance driven inline by
 // Write, which is still constant-memory (the codec buffers only its
 // B-frame lookahead and reference frames) and still byte-identical to
-// the batch serial path.
+// the batch serial path. With Workers > 1 that single instance is not
+// the end of parallelism: codec instances run their per-frame
+// macroblock-row slices on a shared pipeline.SliceGate, so streams coded
+// with Slices > 1 scale inside each frame even when the GOP gives the
+// window scheduler nothing to chunk — including inside the decoder's
+// serial-fallback window, which now also re-arms to chunked mode at the
+// next closed-GOP boundary (see Decoder).
 package stream
 
 import (
@@ -72,7 +78,10 @@ const DefaultWindowPerWorker = 2
 // compressed packets — never decoded frames — are buffered up to this
 // point, and serial decode of the replayed prefix is bit-identical, so
 // the fallback trades parallelism for the memory bound, not
-// correctness.
+// correctness. Two mitigations keep the fallback cheap: sliced frames
+// still decode in parallel inside it, and the decoder re-arms to
+// chunked mode at the next boundary I frame, so the serial window is
+// bounded by the pathological segment rather than the stream.
 const FallbackPackets = 256
 
 // normWindow resolves a window option against a worker count: non-positive

@@ -474,3 +474,63 @@ func TestDecoderMidStreamFallback(t *testing.T) {
 		t.Fatalf("pool residency %d, want within (0, %d] (head only)", peak, (dec.Window()+1)*gop)
 	}
 }
+
+// TestDecoderRearmsAfterFallback covers the inverse of the mid-stream
+// fallback: a boundary-less head longer than FallbackPackets (serial
+// fallback engages) followed by a closed-GOP tail. At the tail's first
+// boundary I frame the decoder must re-arm — flush the serial instance
+// and hand the remaining segments to a fresh pool — instead of staying
+// serial forever, and the output must still match the batch decode
+// frame for frame.
+func TestDecoderRearmsAfterFallback(t *testing.T) {
+	const w, h, gop = 96, 80, 3
+	headFrames := stream.FallbackPackets + 10
+	const tailFrames = 9
+
+	headCfg := eqConfig(w, h)
+	headCfg.IntraPeriod = 0 // boundary-less: forces the fallback
+	head, hdr, err := core.EncodeSequence(core.MPEG2, headCfg, seqgen.New(seqgen.BlueSky, w, h).Generate(headFrames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailCfg := eqConfig(w, h)
+	tailCfg.IntraPeriod = gop // boundaries return: the decoder must re-arm
+	tail, _, err := core.EncodeSequence(core.MPEG2, tailCfg, seqgen.New(seqgen.RushHour, w, h).Generate(tailFrames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := append([]container.Packet{}, head...)
+	for _, p := range tail {
+		p.DisplayIndex += headFrames
+		pkts = append(pkts, p)
+	}
+
+	batchFrames, err := core.DecodePackets(hdr, headCfg.Kernels, pkts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchFrames) != headFrames+tailFrames {
+		t.Fatalf("batch decoded %d frames, want %d", len(batchFrames), headFrames+tailFrames)
+	}
+
+	decoded, dec := streamDecode(t, hdr, headCfg, pkts, 4, 2)
+	if len(decoded) != len(batchFrames) {
+		t.Fatalf("decoded %d frames, batch has %d", len(decoded), len(batchFrames))
+	}
+	for i := range decoded {
+		if decoded[i].PTS != batchFrames[i].PTS {
+			t.Fatalf("frame %d: PTS %d, batch has %d", i, decoded[i].PTS, batchFrames[i].PTS)
+		}
+		if !bytes.Equal(decoded[i].Y, batchFrames[i].Y) {
+			t.Fatalf("frame %d: luma differs from batch decode", i)
+		}
+	}
+	if got := dec.Rearms(); got != 1 {
+		t.Fatalf("decoder re-armed %d times, want 1", got)
+	}
+	// The tail's segments went through the re-armed pool, so pool
+	// residency is visible again after the fallback window.
+	if peak := dec.PeakResident(); peak == 0 {
+		t.Fatal("no pool residency after re-arm: tail decoded serially")
+	}
+}
