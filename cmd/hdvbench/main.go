@@ -20,6 +20,10 @@
 // (quantizer, default 5), -res 576p25,720p25,1088p25, -seqs a,b,
 // -codecs mpeg2,mpeg4,h264.
 //
+// Profiling: -cpuprofile f / -memprofile f write pprof profiles of the
+// selected run (CPU for the whole run, heap at exit), so performance work
+// on the codecs can be driven by `go tool pprof` instead of guesswork.
+//
 // Parallelism flags: -workers N runs the codecs' GOP-parallel pipeline
 // on N goroutines (default runtime.NumCPU(); 1 = legacy serial path);
 // -gop N sets the intra period that defines the closed GOP chunks
@@ -35,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hdvideobench"
@@ -60,8 +65,41 @@ func main() {
 		resList  = flag.String("res", "", "comma-separated resolutions (default: all three)")
 		seqList  = flag.String("seqs", "", "comma-separated sequences (default: all four)")
 		cdcList  = flag.String("codecs", "", "comma-separated codecs (default: all three)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	// Profiling hooks: perf PRs should be driven by profiles, not
+	// guesswork — `hdvbench -fig1c -cpuprofile cpu.pb.gz` then
+	// `go tool pprof cpu.pb.gz`.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// Report failures without os.Exit: exiting here would skip the
+		// still-pending StopCPUProfile defer and truncate the CPU profile.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hdvbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "hdvbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	opts := hdvideobench.SuiteOptions{
 		Frames: *frames, Q: *q, Repeats: *repeats,

@@ -1,0 +1,112 @@
+package hdvideobench
+
+// Equivalence matrix for the motion-search hot-path overhaul (PR 4).
+//
+// The early-termination SAD, the per-reference half-pel planes and the
+// SWAR residual/reconstruction kernels are pure speed work: every one of
+// them must leave the encoded bitstream byte-for-byte unchanged. This
+// test pins that property against golden SHA-256 digests captured from
+// the pre-overhaul encoder (the PR 3 tree), over the full decision
+// surface: all three codecs, two resolutions, both kernel sets and two
+// worker counts (workers never change bytes, so both worker counts must
+// land on the same digest).
+//
+// If an intentional bitstream change ever happens (new syntax, different
+// mode decision), re-capture the digests by running the test with
+// -update-golden and paste the printed map — but for a perf-only PR a
+// digest mismatch means a real regression.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "print golden stream digests instead of asserting them")
+
+// goldenStreams maps codec/resolution/kernels to the SHA-256 of the
+// encoded packet sequence, captured at the PR 3 tree (seed path for the
+// PR 4 hot-path overhaul).
+var goldenStreams = map[string]string{
+	"MPEG-2/576p/Scalar": "bc4b841cb952f85f729f0db286d736ff90ef3bf636f36bd505a4b39969f19509",
+	"MPEG-2/576p/SIMD":   "bc4b841cb952f85f729f0db286d736ff90ef3bf636f36bd505a4b39969f19509",
+	"MPEG-2/720p/Scalar": "f3dbff32729fc3508a9f056bd25a07f981f4f797d20d20f2e534838eee968b3e",
+	"MPEG-2/720p/SIMD":   "f3dbff32729fc3508a9f056bd25a07f981f4f797d20d20f2e534838eee968b3e",
+	"MPEG-4/576p/Scalar": "145cbb66850de51ab7604f03d2a76aceb8fd5a07c431fea86d004b55d45e9031",
+	"MPEG-4/576p/SIMD":   "145cbb66850de51ab7604f03d2a76aceb8fd5a07c431fea86d004b55d45e9031",
+	"MPEG-4/720p/Scalar": "684f31d6e430dee10eda1763e61759aea2dbef9257f56fdac7d2e2ab64c2273c",
+	"MPEG-4/720p/SIMD":   "684f31d6e430dee10eda1763e61759aea2dbef9257f56fdac7d2e2ab64c2273c",
+	"H.264/576p/Scalar":  "e9a89549e0a5c717657925cfb8a0529d8589bf5bc62e38bc081e7b2d243b4815",
+	"H.264/576p/SIMD":    "e9a89549e0a5c717657925cfb8a0529d8589bf5bc62e38bc081e7b2d243b4815",
+	"H.264/720p/Scalar":  "27e02184810d1ed69a36b3bcbfa7034df365a5a69c5bee19356aa227cf9dd19b",
+	"H.264/720p/SIMD":    "27e02184810d1ed69a36b3bcbfa7034df365a5a69c5bee19356aa227cf9dd19b",
+}
+
+// digestPackets hashes everything a decoder sees: per packet the frame
+// type, display index, payload length and payload bytes.
+func digestPackets(pkts []Packet) string {
+	h := sha256.New()
+	var tmp [16]byte
+	for _, p := range pkts {
+		binary.LittleEndian.PutUint32(tmp[0:], uint32(p.Type))
+		binary.LittleEndian.PutUint32(tmp[4:], uint32(p.DisplayIndex))
+		binary.LittleEndian.PutUint64(tmp[8:], uint64(len(p.Payload)))
+		h.Write(tmp[:])
+		h.Write(p.Payload)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestEncodeEquivalenceMatrix pins byte-identical bitstreams between the
+// seed encoder path and the optimized hot path.
+func TestEncodeEquivalenceMatrix(t *testing.T) {
+	resolutions := []struct {
+		name string
+		w, h int
+	}{
+		{"576p", 720, 576},
+		{"720p", 1280, 720},
+	}
+	const frames = 5 // one full I-P-B-B GOP plus the trailing P
+	for _, c := range []Codec{MPEG2, MPEG4, H264} {
+		for _, res := range resolutions {
+			inputs := NewSequence(PedestrianArea, res.w, res.h).Generate(frames)
+			for _, simd := range []bool{false, true} {
+				kname := "Scalar"
+				if simd {
+					kname = "SIMD"
+				}
+				key := fmt.Sprintf("%v/%s/%s", c, res.name, kname)
+				t.Run(key, func(t *testing.T) {
+					var digests [2]string
+					for i, workers := range []int{1, 4} {
+						pkts, _, err := EncodeFramesParallel(c, EncoderOptions{
+							Width: res.w, Height: res.h, SIMD: simd, Workers: workers,
+						}, inputs)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						digests[i] = digestPackets(pkts)
+					}
+					if digests[0] != digests[1] {
+						t.Fatalf("workers=1 and workers=4 disagree: %s vs %s", digests[0], digests[1])
+					}
+					if *updateGolden {
+						t.Logf("golden %q: %s", key, digests[0])
+						return
+					}
+					want, ok := goldenStreams[key]
+					if !ok || want == "" {
+						t.Fatalf("no golden digest for %q (run with -update-golden)", key)
+					}
+					if digests[0] != want {
+						t.Errorf("bitstream changed: got %s, golden %s", digests[0], want)
+					}
+				})
+			}
+		}
+	}
+}

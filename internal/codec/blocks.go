@@ -3,6 +3,16 @@ package codec
 // Pixel-block helpers shared by the macroblock loops of all three codecs.
 // Offsets follow the plane+offset convention of the frame package: sample
 // (r,c) of a block based at off is plane[off + r*stride + c].
+//
+// The residual (cur − pred) and reconstruction (clamp(pred + residual))
+// helpers dispatch on the kernel set: the SWAR rows (swar.DiffRow /
+// swar.AddClampRow) are bit-exact with the scalar loops, so the selection
+// follows the session-wide scalar-vs-SIMD axis without touching output.
+
+import (
+	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/swar"
+)
 
 // LoadBlock8 copies an 8×8 pixel block into an int32 coefficient block.
 func LoadBlock8(dst *[64]int32, plane []byte, off, stride int) {
@@ -15,7 +25,13 @@ func LoadBlock8(dst *[64]int32, plane []byte, off, stride int) {
 }
 
 // Residual8 computes cur − pred into an 8×8 coefficient block.
-func Residual8(dst *[64]int32, cur []byte, co, cStride int, pred []byte, po, pStride int) {
+func Residual8(dst *[64]int32, cur []byte, co, cStride int, pred []byte, po, pStride int, k kernel.Set) {
+	if k == kernel.SWAR {
+		for r := 0; r < 8; r++ {
+			swar.DiffRow(dst[r*8:r*8+8], cur[co+r*cStride:], pred[po+r*pStride:], 8)
+		}
+		return
+	}
 	for r := 0; r < 8; r++ {
 		cb := co + r*cStride
 		pb := po + r*pStride
@@ -38,7 +54,13 @@ func Store8Clip(plane []byte, off, stride int, blk *[64]int32) {
 
 // Add8Clip writes pred + residual into a plane with clamping (inter
 // reconstruction).
-func Add8Clip(plane []byte, off, stride int, pred []byte, po, pStride int, res *[64]int32) {
+func Add8Clip(plane []byte, off, stride int, pred []byte, po, pStride int, res *[64]int32, k kernel.Set) {
+	if k == kernel.SWAR {
+		for r := 0; r < 8; r++ {
+			swar.AddClampRow(plane[off+r*stride:], pred[po+r*pStride:], res[r*8:r*8+8], 8)
+		}
+		return
+	}
 	for r := 0; r < 8; r++ {
 		base := off + r*stride
 		pb := po + r*pStride
@@ -56,7 +78,13 @@ func Copy8(dst []byte, do, dStride int, src []byte, so, sStride int) {
 }
 
 // Residual4 computes cur − pred into a 4×4 coefficient block.
-func Residual4(dst *[16]int32, cur []byte, co, cStride int, pred []byte, po, pStride int) {
+func Residual4(dst *[16]int32, cur []byte, co, cStride int, pred []byte, po, pStride int, k kernel.Set) {
+	if k == kernel.SWAR {
+		for r := 0; r < 4; r++ {
+			swar.DiffRow(dst[r*4:r*4+4], cur[co+r*cStride:], pred[po+r*pStride:], 4)
+		}
+		return
+	}
 	for r := 0; r < 4; r++ {
 		cb := co + r*cStride
 		pb := po + r*pStride
@@ -67,7 +95,13 @@ func Residual4(dst *[16]int32, cur []byte, co, cStride int, pred []byte, po, pSt
 }
 
 // Add4Clip writes pred + residual into a plane with clamping.
-func Add4Clip(plane []byte, off, stride int, pred []byte, po, pStride int, res *[16]int32) {
+func Add4Clip(plane []byte, off, stride int, pred []byte, po, pStride int, res *[16]int32, k kernel.Set) {
+	if k == kernel.SWAR {
+		for r := 0; r < 4; r++ {
+			swar.AddClampRow(plane[off+r*stride:], pred[po+r*pStride:], res[r*4:r*4+4], 4)
+		}
+		return
+	}
 	for r := 0; r < 4; r++ {
 		base := off + r*stride
 		pb := po + r*pStride

@@ -1,10 +1,13 @@
 package codec
 
 import (
+	"bytes"
+	"math/rand"
 	"testing"
 
 	"hdvideobench/internal/container"
 	"hdvideobench/internal/frame"
+	"hdvideobench/internal/kernel"
 )
 
 func TestDefaultConfigMatchesPaper(t *testing.T) {
@@ -207,32 +210,82 @@ func TestBlockHelpers(t *testing.T) {
 	for i := range pred {
 		pred[i] = 100
 	}
-	var res [64]int32
-	Residual8(&res, plane, 0, 32, pred, 0, 8)
-	if res[0] != int32(plane[0])-100 {
-		t.Fatalf("Residual8: %d", res[0])
-	}
+	for _, k := range []kernel.Set{kernel.Scalar, kernel.SWAR} {
+		var res [64]int32
+		Residual8(&res, plane, 0, 32, pred, 0, 8, k)
+		if res[0] != int32(plane[0])-100 {
+			t.Fatalf("%v Residual8: %d", k, res[0])
+		}
 
-	out := make([]byte, 8*8)
-	for i := range res {
-		res[i] = 300 // force clipping
-	}
-	Add8Clip(out, 0, 8, pred, 0, 8, &res)
-	if out[0] != 255 {
-		t.Fatalf("Add8Clip must clip to 255, got %d", out[0])
-	}
-	for i := range res {
-		res[i] = -300
-	}
-	Add8Clip(out, 0, 8, pred, 0, 8, &res)
-	if out[0] != 0 {
-		t.Fatalf("Add8Clip must clip to 0, got %d", out[0])
-	}
+		out := make([]byte, 8*8)
+		for i := range res {
+			res[i] = 300 // force clipping
+		}
+		Add8Clip(out, 0, 8, pred, 0, 8, &res, k)
+		if out[0] != 255 {
+			t.Fatalf("%v Add8Clip must clip to 255, got %d", k, out[0])
+		}
+		for i := range res {
+			res[i] = -300
+		}
+		Add8Clip(out, 0, 8, pred, 0, 8, &res, k)
+		if out[0] != 0 {
+			t.Fatalf("%v Add8Clip must clip to 0, got %d", k, out[0])
+		}
 
-	var blk4 [16]int32
-	Residual4(&blk4, plane, 0, 32, pred, 0, 8)
-	if blk4[15] != int32(plane[3*32+3])-100 {
-		t.Fatal("Residual4 wrong")
+		var blk4 [16]int32
+		Residual4(&blk4, plane, 0, 32, pred, 0, 8, k)
+		if blk4[15] != int32(plane[3*32+3])-100 {
+			t.Fatalf("%v Residual4 wrong", k)
+		}
+	}
+}
+
+// TestBlockHelpersKernelEquivalence pins scalar/SWAR bit-exactness of the
+// residual and reconstruction helpers on random content.
+func TestBlockHelpersKernelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cur := make([]byte, 32*32)
+	pred := make([]byte, 16*16)
+	for trial := 0; trial < 50; trial++ {
+		for i := range cur {
+			cur[i] = byte(rng.Intn(256))
+		}
+		for i := range pred {
+			pred[i] = byte(rng.Intn(256))
+		}
+		var r8s, r8w [64]int32
+		Residual8(&r8s, cur, 7, 32, pred, 3, 16, kernel.Scalar)
+		Residual8(&r8w, cur, 7, 32, pred, 3, 16, kernel.SWAR)
+		if r8s != r8w {
+			t.Fatal("Residual8 scalar/SWAR diverge")
+		}
+		var r4s, r4w [16]int32
+		Residual4(&r4s, cur, 5, 32, pred, 1, 16, kernel.Scalar)
+		Residual4(&r4w, cur, 5, 32, pred, 1, 16, kernel.SWAR)
+		if r4s != r4w {
+			t.Fatal("Residual4 scalar/SWAR diverge")
+		}
+		var res8 [64]int32
+		for i := range res8 {
+			res8[i] = int32(rng.Intn(1400) - 700)
+		}
+		outS := make([]byte, 32*32)
+		outW := make([]byte, 32*32)
+		Add8Clip(outS, 9, 32, pred, 2, 16, &res8, kernel.Scalar)
+		Add8Clip(outW, 9, 32, pred, 2, 16, &res8, kernel.SWAR)
+		if !bytes.Equal(outS, outW) {
+			t.Fatal("Add8Clip scalar/SWAR diverge")
+		}
+		var res4 [16]int32
+		for i := range res4 {
+			res4[i] = int32(rng.Intn(1400) - 700)
+		}
+		Add4Clip(outS, 11, 32, pred, 6, 16, &res4, kernel.Scalar)
+		Add4Clip(outW, 11, 32, pred, 6, 16, &res4, kernel.SWAR)
+		if !bytes.Equal(outS, outW) {
+			t.Fatal("Add4Clip scalar/SWAR diverge")
+		}
 	}
 }
 

@@ -35,6 +35,26 @@ type Frame struct {
 
 	// PTS is the display index of the frame within its sequence.
 	PTS int
+
+	// HpelBilin and Hpel6 cache the bilinear (MPEG-2-style) and 6-tap
+	// (H.264/MPEG-4-style) half-sample luma planes of a reference frame.
+	// Derived data, nil until built: encoders fill them via
+	// interp.BuildHalfPelBilin / interp.BuildHalfPel6 once a
+	// reconstruction becomes a reference, so motion search scores
+	// sub-pel candidates straight from plane memory instead of
+	// re-interpolating per candidate. Clone and CopyFrom do not carry
+	// them (they are recomputed where needed).
+	HpelBilin, Hpel6 *HalfPlanes
+}
+
+// HalfPlanes holds half-sample interpolated copies of a padded luma plane,
+// geometry-identical to it (same stride, origin and padding): H[p] is the
+// half sample between p and p+1, V[p] between p and p+stride, and HV[p]
+// the centre sample between all four. Only the region reachable by a
+// clamped motion vector (everything but the outermost pad ring, see
+// motion.Estimator.Window) is guaranteed to be filled.
+type HalfPlanes struct {
+	H, V, HV []byte
 }
 
 // ChromaWidth returns the width of the Cb/Cr planes.

@@ -278,7 +278,7 @@ func (s *sliceDec) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 			blk := md.luma[bi]
 			quant.H264Dequant(&blk, s.d.qp)
 			dct.Inverse4(&blk)
-			codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk)
+			codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk, s.d.kern)
 		} else {
 			for r := 0; r < 4; r++ {
 				copy(recon.Y[ro+r*recon.YStride:ro+r*recon.YStride+4],
@@ -315,7 +315,7 @@ func (s *sliceDec) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 			blk[0] = dc[ci]
 			if md.cbpChroma >= 1 {
 				dct.Inverse4(&blk)
-				codec.Add4Clip(plane, ro, recon.CStride, s.predC[pl][:], po, 8, &blk)
+				codec.Add4Clip(plane, ro, recon.CStride, s.predC[pl][:], po, 8, &blk, s.d.kern)
 			} else {
 				for r := 0; r < 4; r++ {
 					copy(plane[ro+r*recon.CStride:ro+r*recon.CStride+4],
@@ -356,7 +356,7 @@ func (s *sliceDec) reconI16(recon *frame.Frame, px, py int, md *mbData) {
 		quant.H264Dequant(&blk, s.d.qp)
 		blk[0] = dcRec[bi]
 		dct.Inverse4(&blk)
-		codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk)
+		codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk, s.d.kern)
 	}
 }
 
@@ -372,7 +372,7 @@ func (s *sliceDec) reconI4(recon *frame.Frame, px, py int, md *mbData) {
 		blk := md.luma[bi]
 		quant.H264Dequant(&blk, s.d.qp)
 		dct.Inverse4(&blk)
-		codec.Add4Clip(recon.Y, ro, recon.YStride, pred[:], 0, 4, &blk)
+		codec.Add4Clip(recon.Y, ro, recon.YStride, pred[:], 0, 4, &blk, s.d.kern)
 	}
 }
 

@@ -73,7 +73,6 @@ type sliceEnc struct {
 	w   symWriter
 	ctx *contexts
 
-	qpel  interp.QPel
 	predY [256]byte
 	predC [2][64]byte
 	tmpY  [256]byte
@@ -178,6 +177,9 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 		e.refs.Reset()
 	}
 	if ftype != container.FrameB {
+		// Interpolate the new reference once; every future search against
+		// it scores candidates straight from these planes.
+		interp.BuildHalfPel6(recon, e.cfg.Kernels)
 		e.refs.Add(recon)
 	}
 
@@ -248,12 +250,25 @@ func mvdBits(mv, pred motion.MV) int {
 
 // --- motion search ------------------------------------------------------------
 
-// mcLumaInto fills dst (stride 16) with the quarter-pel prediction.
+// mcLumaInto fills dst (stride 16) with the quarter-pel prediction from
+// the reference's half-pel planes (every encoder reference has them —
+// BuildHalfPel6 runs before refs.Add; the decoder keeps the per-block
+// QPel path, which is bit-exact with this one).
 func (s *sliceEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
-	s.qpel.Luma(dst, 16, ref.Y, so, ref.YStride, w, h, fx, fy, s.e.cfg.Kernels)
+	interp.LumaPlanes(dst, 16, ref.Y, ref.Hpel6, so, ref.YStride, w, h, fx, fy, s.e.cfg.Kernels)
+}
+
+// sadQPel scores one quarter-pel candidate against the precomputed half
+// planes, early-terminating once the partial SAD reaches max.
+func (s *sliceEnc) sadQPel(src, ref *frame.Frame, px, py, w, h int, mv motion.MV, max int) int {
+	ix, fx := splitQuarter(int(mv.X))
+	iy, fy := splitQuarter(int(mv.Y))
+	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
+	co := src.YOrigin + py*src.YStride + px
+	return motion.SADQPel(s.e.cfg.Kernels, src.Y[co:], src.YStride, ref, so, w, h, fx, fy, s.candY[:], max)
 }
 
 // searchRef runs seed selection + hexagon + two-stage quarter-pel
@@ -292,12 +307,14 @@ func (s *sliceEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motio
 		ns++
 	}
 	res := est.EPZS(seeds[:ns], 0)
-	res = est.HexagonSearch(res.MV)
+	res = est.HexagonFrom(res)
 
-	// Quarter-pel refinement (step 2 then 1) on plain SAD.
+	// Quarter-pel refinement (step 2 then 1) on plain SAD, scored
+	// against the reference's precomputed 6-tap half planes with early
+	// termination; only the winner is materialized. Same candidate order
+	// and strict comparisons as the per-block path — bytes unchanged.
 	bestMV := motion.MV{X: res.MV.X * 4, Y: res.MV.Y * 4}
-	s.mcLumaInto(ref, px, py, w, h, bestMV, pred)
-	bestSAD := s.sadBlock(src, px, py, w, h, pred, 16)
+	bestSAD := res.Cost - est.MVCost(int(res.MV.X), int(res.MV.Y))
 	for _, step := range []int{2, 1} {
 		center := bestMV
 		for dy := -step; dy <= step; dy += step {
@@ -306,15 +323,14 @@ func (s *sliceEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motio
 					continue
 				}
 				mv := motion.MV{X: center.X + int16(dx), Y: center.Y + int16(dy)}
-				s.mcLumaInto(ref, px, py, w, h, mv, s.candY[:])
-				if sad := s.sadBlock(src, px, py, w, h, s.candY[:], 16); sad < bestSAD {
+				if sad := s.sadQPel(src, ref, px, py, w, h, mv, bestSAD); sad < bestSAD {
 					bestSAD = sad
 					bestMV = mv
-					copy(pred[:h*16], s.candY[:h*16])
 				}
 			}
 		}
 	}
+	s.mcLumaInto(ref, px, py, w, h, bestMV, pred)
 	return bestMV, bestSAD
 }
 
@@ -349,7 +365,7 @@ func (s *sliceEnc) transformLumaInter(src *frame.Frame, px, py int, md *mbData) 
 		bx, by := 4*(bi%4), 4*(bi/4)
 		var blk [16]int32
 		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride,
-			s.predY[:], by*16+bx, 16)
+			s.predY[:], by*16+bx, 16, s.e.cfg.Kernels)
 		dct.Forward4(&blk)
 		nz := quant.H264Quant(&blk, s.e.qp, false)
 		md.luma[bi] = blk
@@ -375,7 +391,7 @@ func (s *sliceEnc) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 			blk := md.luma[bi]
 			quant.H264Dequant(&blk, s.e.qp)
 			dct.Inverse4(&blk)
-			codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk)
+			codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk, s.e.cfg.Kernels)
 		} else {
 			for r := 0; r < 4; r++ {
 				copy(recon.Y[ro+r*recon.YStride:ro+r*recon.YStride+4],
@@ -400,7 +416,7 @@ func (s *sliceEnc) transformChroma(src *frame.Frame, px, py int, intra bool, md 
 			ox, oy := 4*(ci%2), 4*(ci/2)
 			var blk [16]int32
 			codec.Residual4(&blk, plane, src.COrigin+(cy+oy)*src.CStride+cx+ox, src.CStride,
-				s.predC[pl][:], oy*8+ox, 8)
+				s.predC[pl][:], oy*8+ox, 8, s.e.cfg.Kernels)
 			dct.Forward4(&blk)
 			dc[ci] = blk[0]
 			blk[0] = 0
@@ -453,7 +469,7 @@ func (s *sliceEnc) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 			blk[0] = dc[ci]
 			if md.cbpChroma >= 1 {
 				dct.Inverse4(&blk)
-				codec.Add4Clip(plane, ro, recon.CStride, s.predC[pl][:], po, 8, &blk)
+				codec.Add4Clip(plane, ro, recon.CStride, s.predC[pl][:], po, 8, &blk, s.e.cfg.Kernels)
 			} else {
 				for r := 0; r < 4; r++ {
 					copy(plane[ro+r*recon.CStride:ro+r*recon.CStride+4],
@@ -552,7 +568,7 @@ func (s *sliceEnc) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *
 		bx, by := 4*(bi%4), 4*(bi/4)
 		var blk [16]int32
 		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride,
-			s.predY[:], by*16+bx, 16)
+			s.predY[:], by*16+bx, 16, s.e.cfg.Kernels)
 		dct.Forward4(&blk)
 		dcs[bi] = blk[0]
 		blk[0] = 0
@@ -586,7 +602,7 @@ func (s *sliceEnc) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *
 		quant.H264Dequant(&blk, s.e.qp)
 		blk[0] = dcRec[bi]
 		dct.Inverse4(&blk)
-		codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk)
+		codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk, s.e.cfg.Kernels)
 	}
 }
 
@@ -617,7 +633,7 @@ func (s *sliceEnc) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData)
 		md.i4Modes[bi] = bestMode
 
 		var blk [16]int32
-		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride, best[:], 0, 4)
+		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride, best[:], 0, 4, s.e.cfg.Kernels)
 		dct.Forward4(&blk)
 		nz := quant.H264Quant(&blk, s.e.qp, true)
 		md.luma[bi] = blk
@@ -628,7 +644,7 @@ func (s *sliceEnc) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData)
 		rblk := blk
 		quant.H264Dequant(&rblk, s.e.qp)
 		dct.Inverse4(&rblk)
-		codec.Add4Clip(recon.Y, ro, recon.YStride, best[:], 0, 4, &rblk)
+		codec.Add4Clip(recon.Y, ro, recon.YStride, best[:], 0, 4, &rblk, s.e.cfg.Kernels)
 	}
 	for g := 0; g < 4; g++ {
 		for _, bi := range lumaGroupBlocks[g] {
@@ -822,12 +838,13 @@ func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	s.updateMetaNZ(px, py, &md, false)
 }
 
-// mcLumaPart motion-compensates one luma partition into predY.
+// mcLumaPart motion-compensates one luma partition into predY (via the
+// reference's half-pel planes, like mcLumaInto).
 func (s *sliceEnc) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+oy+iy)*ref.YStride + px + ox + ix
-	s.qpel.Luma(s.predY[oy*16+ox:], 16, ref.Y, so, ref.YStride, w, h, fx, fy, s.e.cfg.Kernels)
+	interp.LumaPlanes(s.predY[oy*16+ox:], 16, ref.Y, ref.Hpel6, so, ref.YStride, w, h, fx, fy, s.e.cfg.Kernels)
 }
 
 // --- B macroblocks ---------------------------------------------------------------

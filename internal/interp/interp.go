@@ -9,6 +9,16 @@
 // Every routine has a scalar and a SWAR implementation selected by
 // kernel.Set; the two are bit-exact (verified by exhaustive tests), so
 // kernel choice affects speed only.
+//
+// The per-block routines have plane-at-a-time twins (see planes.go): the
+// encoders interpolate each reference frame once into H/V/HV half-sample
+// planes and derive every sub-pel candidate from plane memory — a copy
+// for half-pel positions, a rounded two-plane average for quarter-pel
+// positions. Each plane sample is computed by the same filter expression
+// as its per-block counterpart, so the two paths are bit-exact and the
+// choice between them is invisible in the bitstream; the decoders keep
+// the cheap per-block path (one interpolation per macroblock partition,
+// not hundreds of candidates).
 package interp
 
 import (

@@ -30,59 +30,60 @@ func (q *QPel) Luma(dst []byte, dStride int, src []byte, so, sStride, w, h, fx, 
 		Copy(dst, dStride, src[so:], sStride, w, h)
 	case 1: // a = avg(G, b)
 		filterH(q.bbuf[:], 16, src, so, sStride, w, h, k)
-		avg2(dst, dStride, src[so:], sStride, q.bbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, src[so:], sStride, q.bbuf[:], 16, w, h, k)
 	case 2: // b
 		filterH(dst, dStride, src, so, sStride, w, h, k)
 	case 3: // c = avg(b, H)
 		filterH(q.bbuf[:], 16, src, so, sStride, w, h, k)
-		avg2(dst, dStride, src[so+1:], sStride, q.bbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, src[so+1:], sStride, q.bbuf[:], 16, w, h, k)
 	case 4: // d = avg(G, h)
 		filterV(q.hbuf[:], 16, src, so, sStride, w, h, k)
-		avg2(dst, dStride, src[so:], sStride, q.hbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, src[so:], sStride, q.hbuf[:], 16, w, h, k)
 	case 5: // e = avg(b, h)
 		filterH(q.bbuf[:], 16, src, so, sStride, w, h, k)
 		filterV(q.hbuf[:], 16, src, so, sStride, w, h, k)
-		avg2(dst, dStride, q.bbuf[:], 16, q.hbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, q.bbuf[:], 16, q.hbuf[:], 16, w, h, k)
 	case 6: // f = avg(b, j)
 		filterH(q.bbuf[:], 16, src, so, sStride, w, h, k)
 		q.filterHV(q.jbuf[:], 16, src, so, sStride, w, h)
-		avg2(dst, dStride, q.bbuf[:], 16, q.jbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, q.bbuf[:], 16, q.jbuf[:], 16, w, h, k)
 	case 7: // g = avg(b, m)  [m = h one column right]
 		filterH(q.bbuf[:], 16, src, so, sStride, w, h, k)
 		filterV(q.hbuf[:], 16, src, so+1, sStride, w, h, k)
-		avg2(dst, dStride, q.bbuf[:], 16, q.hbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, q.bbuf[:], 16, q.hbuf[:], 16, w, h, k)
 	case 8: // h
 		filterV(dst, dStride, src, so, sStride, w, h, k)
 	case 9: // i = avg(h, j)
 		filterV(q.hbuf[:], 16, src, so, sStride, w, h, k)
 		q.filterHV(q.jbuf[:], 16, src, so, sStride, w, h)
-		avg2(dst, dStride, q.hbuf[:], 16, q.jbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, q.hbuf[:], 16, q.jbuf[:], 16, w, h, k)
 	case 10: // j
 		q.filterHV(dst, dStride, src, so, sStride, w, h)
 	case 11: // k = avg(j, m)
 		q.filterHV(q.jbuf[:], 16, src, so, sStride, w, h)
 		filterV(q.hbuf[:], 16, src, so+1, sStride, w, h, k)
-		avg2(dst, dStride, q.jbuf[:], 16, q.hbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, q.jbuf[:], 16, q.hbuf[:], 16, w, h, k)
 	case 12: // n = avg(h, M)  [M = G one row down]
 		filterV(q.hbuf[:], 16, src, so, sStride, w, h, k)
-		avg2(dst, dStride, src[so+sStride:], sStride, q.hbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, src[so+sStride:], sStride, q.hbuf[:], 16, w, h, k)
 	case 13: // p = avg(h, s)  [s = b one row down]
 		filterV(q.hbuf[:], 16, src, so, sStride, w, h, k)
 		filterH(q.bbuf[:], 16, src, so+sStride, sStride, w, h, k)
-		avg2(dst, dStride, q.hbuf[:], 16, q.bbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, q.hbuf[:], 16, q.bbuf[:], 16, w, h, k)
 	case 14: // q = avg(j, s)
 		q.filterHV(q.jbuf[:], 16, src, so, sStride, w, h)
 		filterH(q.bbuf[:], 16, src, so+sStride, sStride, w, h, k)
-		avg2(dst, dStride, q.jbuf[:], 16, q.bbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, q.jbuf[:], 16, q.bbuf[:], 16, w, h, k)
 	default: // 15: r = avg(m, s)
 		filterV(q.hbuf[:], 16, src, so+1, sStride, w, h, k)
 		filterH(q.bbuf[:], 16, src, so+sStride, sStride, w, h, k)
-		avg2(dst, dStride, q.hbuf[:], 16, q.bbuf[:], 16, w, h, k)
+		Avg2(dst, dStride, q.hbuf[:], 16, q.bbuf[:], 16, w, h, k)
 	}
 }
 
-// avg2 writes the rounded average of two blocks into dst.
-func avg2(dst []byte, dStride int, a []byte, aStride int, b []byte, bStride, w, h int, k kernel.Set) {
+// Avg2 writes the rounded average of two blocks into dst (also the
+// quarter-pel combiner of LumaPlanes).
+func Avg2(dst []byte, dStride int, a []byte, aStride int, b []byte, bStride, w, h int, k kernel.Set) {
 	if k == kernel.SWAR {
 		swar.AvgBlockRound(dst, dStride, a, aStride, b, bStride, w, h)
 		return

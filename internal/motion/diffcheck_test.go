@@ -1,0 +1,140 @@
+package motion
+
+// Differential harness: verbatim copies of the pre-overhaul (PR 3)
+// searchers versus the optimized ones. The early-termination + dedupe
+// rewrite claims bit-identical search results (see the package comment);
+// this test checks that claim directly on randomized workloads, so a
+// future edit that breaks the strict-comparison invariants fails here
+// with the exact diverging search, not just as a digest mismatch in the
+// root equivalence matrix.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func seedDiamond(e *Estimator, start MV) Result {
+	cur := e.clampMV(start)
+	best := Result{cur, e.Cost(int(cur.X), int(cur.Y))}
+	for {
+		improved := false
+		for _, d := range smallDiamond {
+			x := int(best.MV.X) + int(d.X)
+			y := int(best.MV.Y) + int(d.Y)
+			if !e.inWindow(x, y) {
+				continue
+			}
+			if c := e.Cost(x, y); c < best.Cost {
+				best = Result{MV{int16(x), int16(y)}, c}
+				improved = true
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+func seedHexagon(e *Estimator, start MV) Result {
+	cur := e.clampMV(start)
+	best := Result{cur, e.Cost(int(cur.X), int(cur.Y))}
+	for steps := 0; steps < 64; steps++ {
+		improved := false
+		center := best.MV
+		for _, d := range hexPattern {
+			x := int(center.X) + int(d.X)
+			y := int(center.Y) + int(d.Y)
+			if !e.inWindow(x, y) {
+				continue
+			}
+			if c := e.Cost(x, y); c < best.Cost {
+				best = Result{MV{int16(x), int16(y)}, c}
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return seedDiamond(e, best.MV)
+}
+
+func seedEPZS(e *Estimator, preds []MV, earlyExit int) Result {
+	best := Result{Cost: 1 << 30}
+	var seen [12]MV
+	n := 0
+	try := func(v MV) {
+		v = e.clampMV(v)
+		for i := 0; i < n; i++ {
+			if seen[i] == v {
+				return
+			}
+		}
+		if n < len(seen) {
+			seen[n] = v
+			n++
+		}
+		if c := e.Cost(int(v.X), int(v.Y)); c < best.Cost {
+			best = Result{v, c}
+		}
+	}
+	try(MV{0, 0})
+	try(e.Pred)
+	for _, p := range preds {
+		try(p)
+	}
+	if best.Cost <= earlyExit {
+		return best
+	}
+	return seedDiamond(e, best.MV)
+}
+
+func TestDifferentialSearches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w, h, pad := 128, 128, 32
+	stride := w + 2*pad
+	ref := make([]byte, stride*(h+2*pad))
+	for i := range ref {
+		ref[i] = byte(rng.Intn(256))
+	}
+	origin := pad*stride + pad
+	cur := make([]byte, w*h)
+	for trial := 0; trial < 300; trial++ {
+		dx, dy := rng.Intn(17)-8, rng.Intn(17)-8
+		for r := 0; r < h; r++ {
+			for c := 0; c < w; c++ {
+				v := int(ref[origin+(r+dy)*stride+c+dx]) + rng.Intn(7) - 3
+				if v < 0 {
+					v = 0
+				} else if v > 255 {
+					v = 255
+				}
+				cur[r*w+c] = byte(v)
+			}
+		}
+		e := &Estimator{
+			Cur: cur, CurOff: 48*w + 48, CurStride: w,
+			Ref: ref, RefOrigin: origin, RefStride: stride,
+			PosX: 48, PosY: 48, W: 16, H: 16,
+			Lambda: 1 + rng.Intn(8),
+			Pred:   MV{int16(rng.Intn(9) - 4), int16(rng.Intn(9) - 4)},
+		}
+		e.Window(24, w, h, pad)
+		preds := []MV{
+			{int16(rng.Intn(9) - 4), int16(rng.Intn(9) - 4)},
+			{int16(rng.Intn(33) - 16), int16(rng.Intn(33) - 16)},
+		}
+		start := MV{int16(rng.Intn(9) - 4), int16(rng.Intn(9) - 4)}
+
+		if a, b := seedDiamond(e, start), e.DiamondSearch(start); a != b {
+			t.Fatalf("trial %d diamond: seed %+v new %+v", trial, a, b)
+		}
+		if a, b := seedHexagon(e, start), e.HexagonSearch(start); a != b {
+			t.Fatalf("trial %d hexagon: seed %+v new %+v", trial, a, b)
+		}
+		ee := rng.Intn(2000)
+		if a, b := seedEPZS(e, preds, ee), e.EPZS(preds, ee); a != b {
+			t.Fatalf("trial %d epzs(exit=%d): seed %+v new %+v", trial, ee, a, b)
+		}
+	}
+}

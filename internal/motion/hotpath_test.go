@@ -1,0 +1,227 @@
+package motion
+
+// PR 4 hot-path coverage: early-termination SAD exactness on the scalar
+// twin, the FullSearch predictor seed, the zero-allocation guarantee of
+// the searches (asserted here so CI fails on accidental hot-path
+// allocations, not just reports them), and the BenchmarkMotionSearch
+// micro-benchmarks comparing thresholded vs full SAD and plane-based vs
+// per-candidate interpolation.
+
+import (
+	"math/rand"
+	"testing"
+
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/interp"
+	"hdvideobench/internal/kernel"
+)
+
+// TestSADMaxExactness pins the SADMax contract on both kernel sets:
+// exact below the threshold, >= threshold on bail, never above the
+// true SAD.
+func TestSADMaxExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	w, h, pad := 64, 64, 32
+	stride := w + 2*pad
+	ref := make([]byte, stride*(h+2*pad))
+	cur := make([]byte, w*h)
+	for i := range ref {
+		ref[i] = byte(rng.Intn(256))
+	}
+	for i := range cur {
+		cur[i] = byte(rng.Intn(256))
+	}
+	for _, k := range []kernel.Set{kernel.Scalar, kernel.SWAR} {
+		e := &Estimator{
+			Kern: k,
+			Cur:  cur, CurOff: 16*w + 16, CurStride: w,
+			Ref: ref, RefOrigin: pad*stride + pad, RefStride: stride,
+			PosX: 16, PosY: 16, W: 16, H: 16,
+		}
+		e.Window(8, w, h, pad)
+		for trial := 0; trial < 200; trial++ {
+			x := rng.Intn(e.MaxX-e.MinX+1) + e.MinX
+			y := rng.Intn(e.MaxY-e.MinY+1) + e.MinY
+			exact := e.SAD(x, y)
+			for _, max := range []int{1, exact / 2, exact, exact + 1, 1 << 30} {
+				got := e.SADMax(x, y, max)
+				if exact < max && got != exact {
+					t.Fatalf("k=%v (%d,%d) max=%d: got %d, want %d", k, x, y, max, got, exact)
+				}
+				if exact >= max && got < max {
+					t.Fatalf("k=%v (%d,%d) max=%d: got %d < max, exact %d", k, x, y, max, got, exact)
+				}
+				if got > exact {
+					t.Fatalf("k=%v (%d,%d) max=%d: got %d > exact %d", k, x, y, max, got, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestFullSearchDegenerateWindow pins the predictor-seed fix: with an
+// inverted (empty) window, FullSearch must return a vector it actually
+// evaluated — the clamped predictor with its true cost — never an
+// untested zero MV behind a 1<<30 sentinel.
+func TestFullSearchDegenerateWindow(t *testing.T) {
+	w, h, pad := 64, 64, 32
+	stride := w + 2*pad
+	ref := make([]byte, stride*(h+2*pad))
+	cur := make([]byte, w*h)
+	for i := range ref {
+		ref[i] = byte(i % 251)
+	}
+	for i := range cur {
+		cur[i] = byte((i * 3) % 239)
+	}
+	e := &Estimator{
+		Cur: cur, CurOff: 16*w + 16, CurStride: w,
+		Ref: ref, RefOrigin: pad*stride + pad, RefStride: stride,
+		PosX: 16, PosY: 16, W: 16, H: 16,
+		Lambda: 4, Pred: MV{7, -3},
+	}
+	// Inverted x-range: the scan body never runs.
+	e.MinX, e.MaxX, e.MinY, e.MaxY = 2, 1, -1, 1
+	res := e.FullSearch()
+	want := e.clampMV(e.Pred)
+	if res.MV != want {
+		t.Fatalf("MV = %+v, want clamped predictor %+v", res.MV, want)
+	}
+	if res.Cost >= 1<<30 {
+		t.Fatalf("cost is the untested sentinel: %d", res.Cost)
+	}
+	if got := e.Cost(int(want.X), int(want.Y)); res.Cost != got {
+		t.Fatalf("cost = %d, want evaluated cost %d", res.Cost, got)
+	}
+}
+
+// TestSearchAllocs asserts the motion-search hot path performs zero
+// allocations — the regular-test twin of the benchmark-smoke CI step.
+func TestSearchAllocs(t *testing.T) {
+	e, _ := benchWorkload()
+	preds := []MV{{-7, 5}, {3, 1}}
+	for name, fn := range map[string]func(){
+		"EPZS":       func() { e.EPZS(preds, 0) },
+		"Hexagon":    func() { e.HexagonSearch(MV{}) },
+		"Diamond":    func() { e.DiamondSearch(MV{}) },
+		"FullSearch": func() { e.FullSearch() },
+	} {
+		if allocs := testing.AllocsPerRun(20, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f times per run; the search hot path must be allocation-free", name, allocs)
+		}
+	}
+}
+
+// benchWorkload builds a realistic block-matching workload: smooth
+// texture, moderate motion, 16×16 block, ±24 window.
+func benchWorkload() (*Estimator, *frame.Frame) {
+	rng := rand.New(rand.NewSource(5))
+	w, h := 192, 192
+	f := frame.NewPadded(w, h, 32)
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			f.SetLuma(r, c, byte((r*7+c*13)%251)^byte(rng.Intn(8)))
+		}
+	}
+	f.ExtendBorders()
+	cur := make([]byte, w*h)
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			src := f.Y[f.YOrigin+(r+5)*f.YStride+(c-7)]
+			cur[r*w+c] = src + byte(rng.Intn(5))
+		}
+	}
+	e := &Estimator{
+		Kern: kernel.SWAR,
+		Cur:  cur, CurOff: 64*w + 64, CurStride: w,
+		Ref: f.Y, RefOrigin: f.YOrigin, RefStride: f.YStride,
+		PosX: 64, PosY: 64, W: 16, H: 16,
+		Lambda: 4, Pred: MV{-7, 5},
+	}
+	e.Window(24, w, h, 32)
+	return e, f
+}
+
+// BenchmarkMotionSearch measures the hot-path pieces this PR optimized:
+// the exhaustive window scan with and without best-so-far threading, and
+// quarter-pel candidate scoring via per-candidate 6-tap interpolation vs
+// the precomputed half-pel planes.
+func BenchmarkMotionSearch(b *testing.B) {
+	e, f := benchWorkload()
+
+	b.Run("FullSearchExhaustive", func(b *testing.B) {
+		// The seed behaviour: every window position fully evaluated.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			best := Result{Cost: 1 << 30}
+			for y := e.MinY; y <= e.MaxY; y++ {
+				for x := e.MinX; x <= e.MaxX; x++ {
+					if c := e.Cost(x, y); c < best.Cost {
+						best = Result{MV{int16(x), int16(y)}, c}
+					}
+				}
+			}
+		}
+	})
+	b.Run("FullSearchThresholded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.FullSearch()
+		}
+	})
+	preds := []MV{{-7, 5}, {3, 1}}
+	b.Run("EPZS", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.EPZS(preds, 0)
+		}
+	})
+	b.Run("Hexagon", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e.HexagonSearch(MV{})
+		}
+	})
+
+	// Quarter-pel candidate scoring: the 16 sub-pel candidates of the
+	// two-stage refinement, per-candidate interpolation vs planes.
+	interp.BuildHalfPel6(f, kernel.SWAR)
+	cand := make([]byte, 256)
+	so := f.YOrigin + 64*f.YStride + 64
+	cur := e.Cur[e.CurOff:]
+	b.Run("QPelPerCandidate", func(b *testing.B) {
+		var q interp.QPel
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for fy := 0; fy < 4; fy++ {
+				for fx := 0; fx < 4; fx++ {
+					q.Luma(cand, 16, f.Y, so, f.YStride, 16, 16, fx, fy, kernel.SWAR)
+					SADBlockMax(kernel.SWAR, cur, e.CurStride, cand, 16, 16, 16, 1<<30)
+				}
+			}
+		}
+	})
+	b.Run("QPelPlanes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for fy := 0; fy < 4; fy++ {
+				for fx := 0; fx < 4; fx++ {
+					a, ao, b2, bo := interp.QPelSources(f.Y, f.Hpel6, so, f.YStride, fx, fy)
+					if b2 == nil {
+						SADBlockMax(kernel.SWAR, cur, e.CurStride, a[ao:], f.YStride, 16, 16, 1<<30)
+						continue
+					}
+					interp.Avg2(cand, 16, a[ao:], f.YStride, b2[bo:], f.YStride, 16, 16, kernel.SWAR)
+					SADBlockMax(kernel.SWAR, cur, e.CurStride, cand, 16, 16, 16, 1<<30)
+				}
+			}
+		}
+	})
+	b.Run("PlaneBuild6Tap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Hpel6 = nil
+			interp.BuildHalfPel6(f, kernel.SWAR)
+		}
+	})
+}

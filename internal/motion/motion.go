@@ -6,9 +6,33 @@
 //
 // The SAD cost kernel follows the session-wide scalar/SWAR selection, which
 // is the single largest SIMD lever in the encoders.
+//
+// # Early termination is invisible in the bitstream
+//
+// Every searcher threads its best-so-far cost into the candidate
+// evaluation (CostMax): the λ·mvbits term is computed first and the SAD is
+// skipped entirely when that term alone already reaches the budget;
+// otherwise the SAD kernel bails as soon as its partial row-group sum
+// reaches budget−mvbits. This cannot change any decision, because
+//
+//   - a candidate is accepted only under the strict test cost < best, and
+//   - the partial SAD sum is monotone, so a bail at partial ≥ threshold
+//     proves the true cost is ≥ best — exactly the candidates the full
+//     evaluation would have rejected, and
+//   - a candidate that is accepted never bailed, so its recorded cost (the
+//     next budget) is exact.
+//
+// The same argument covers the duplicate-probe skipping in the diamond and
+// hexagon descents: a vector probed earlier has cost ≥ the current best
+// (best is the running minimum of everything probed), so re-evaluating it
+// can never pass the strict test. Encoded streams are therefore
+// byte-identical with and without these optimizations — pinned by the
+// equivalence matrix in the repository root.
 package motion
 
 import (
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/interp"
 	"hdvideobench/internal/kernel"
 	"hdvideobench/internal/swar"
 )
@@ -30,7 +54,9 @@ type Estimator struct {
 	CurStride int
 
 	// Ref addresses the reference plane: sample (y,x) of the picture is
-	// Ref[RefOrigin + y*RefStride + x]. The plane must be padded.
+	// Ref[RefOrigin + y*RefStride + x]. The plane must be padded. Codecs
+	// may repoint Ref at a precomputed half-pel plane of the same
+	// geometry to score sub-pel candidates without interpolating.
 	Ref       []byte
 	RefOrigin int
 	RefStride int
@@ -77,6 +103,44 @@ func (e *Estimator) SAD(x, y int) int {
 	return sadScalar(e.Cur[e.CurOff:], e.CurStride, e.Ref[so:], e.RefStride, e.W, e.H)
 }
 
+// SADMax returns the SAD at (x, y) with early termination: the result is
+// exact when it is < max, and some partial sum >= max otherwise, so
+// `sad < max` tests decide exactly as a full SAD would.
+func (e *Estimator) SADMax(x, y, max int) int {
+	so := e.RefOrigin + (e.PosY+y)*e.RefStride + (e.PosX + x)
+	if e.Kern == kernel.SWAR {
+		return swar.SADBlockMax(e.Cur[e.CurOff:], e.CurStride, e.Ref[so:], e.RefStride, e.W, e.H, max)
+	}
+	return sadScalarMax(e.Cur[e.CurOff:], e.CurStride, e.Ref[so:], e.RefStride, e.W, e.H, max)
+}
+
+// SADBlockMax dispatches the early-termination SAD kernel on the kernel
+// set, for codecs scoring candidates in scratch buffers (sub-pel
+// refinement) outside an Estimator.
+func SADBlockMax(k kernel.Set, a []byte, aStride int, b []byte, bStride, w, h, max int) int {
+	if k == kernel.SWAR {
+		return swar.SADBlockMax(a, aStride, b, bStride, w, h, max)
+	}
+	return sadScalarMax(a, aStride, b, bStride, w, h, max)
+}
+
+// SADQPel scores one quarter-pel candidate against a reference's
+// precomputed 6-tap half planes (the shared core of the MPEG-4 and H.264
+// sub-pel refinements): half positions SAD directly against a plane,
+// quarter positions assemble the two-plane rounded average into scratch
+// (stride 16, at least h*16 bytes) first. Early-terminates at max like
+// SADBlockMax. cur addresses the current block at curStride; so is the
+// integer-pel top-left offset into the reference's (plane-geometry)
+// luma, fx/fy the quarter-pel fractions.
+func SADQPel(k kernel.Set, cur []byte, curStride int, ref *frame.Frame, so, w, h, fx, fy int, scratch []byte, max int) int {
+	a, ao, b, bo := interp.QPelSources(ref.Y, ref.Hpel6, so, ref.YStride, fx, fy)
+	if b == nil {
+		return SADBlockMax(k, cur, curStride, a[ao:], ref.YStride, w, h, max)
+	}
+	interp.Avg2(scratch, 16, a[ao:], ref.YStride, b[bo:], ref.YStride, w, h, k)
+	return SADBlockMax(k, cur, curStride, scratch, 16, w, h, max)
+}
+
 func sadScalar(a []byte, aStride int, b []byte, bStride, w, h int) int {
 	sad := 0
 	for r := 0; r < h; r++ {
@@ -93,10 +157,55 @@ func sadScalar(a []byte, aStride int, b []byte, bStride, w, h int) int {
 	return sad
 }
 
+// sadScalarMax is the scalar twin of swar.SADBlockMax: exact below max,
+// bails on complete row groups once the partial sum reaches max.
+func sadScalarMax(a []byte, aStride int, b []byte, bStride, w, h, max int) int {
+	sad := 0
+	for r := 0; r < h; {
+		lim := min(r+4, h)
+		for ; r < lim; r++ {
+			ar := a[r*aStride : r*aStride+w]
+			br := b[r*bStride : r*bStride+w]
+			for i := 0; i < w; i++ {
+				d := int(ar[i]) - int(br[i])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		if sad >= max {
+			return sad
+		}
+	}
+	return sad
+}
+
 // Cost returns SAD plus the λ-weighted estimated bit cost of coding
 // (x,y) − Pred.
 func (e *Estimator) Cost(x, y int) int {
 	return e.SAD(x, y) + e.Lambda*mvBits(x-int(e.Pred.X), y-int(e.Pred.Y))
+}
+
+// CostMax returns Cost(x, y) with the best-so-far cost as a budget: the
+// result is exact whenever it is < budget. When the true cost is >= budget
+// it may return early — skipping the SAD entirely if λ·mvbits alone
+// already loses — with some value >= budget, so the strict acceptance test
+// `cost < budget` decides exactly as the full evaluation would.
+func (e *Estimator) CostMax(x, y, budget int) int {
+	mvCost := e.Lambda * mvBits(x-int(e.Pred.X), y-int(e.Pred.Y))
+	if mvCost >= budget {
+		return mvCost
+	}
+	return e.SADMax(x, y, budget-mvCost) + mvCost
+}
+
+// MVCost returns the λ-weighted vector-bit cost of (x, y) — the non-SAD
+// term of Cost. A search winner's cost is always exact (an accepted
+// candidate never bailed), so callers recover its exact SAD as
+// Result.Cost − MVCost(Result.MV) without re-reading a single pixel.
+func (e *Estimator) MVCost(x, y int) int {
+	return e.Lambda * mvBits(x-int(e.Pred.X), y-int(e.Pred.Y))
 }
 
 // mvBits estimates the Exp-Golomb bit cost of a motion vector difference.
@@ -135,14 +244,52 @@ type Result struct {
 	Cost int
 }
 
+// probeRing remembers recently probed vectors so the refinement descents
+// skip re-evaluating them. The dedupe is best-effort (a bounded ring):
+// missing a duplicate merely costs a redundant evaluation whose strict
+// `cost < best` test cannot change the outcome, so search results are
+// identical with or without it (see the package comment).
+type probeRing struct {
+	mvs  [16]MV
+	n    int
+	head int
+}
+
+func (p *probeRing) seen(v MV) bool {
+	for i := 0; i < p.n; i++ {
+		if p.mvs[i] == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *probeRing) add(v MV) {
+	p.mvs[p.head] = v
+	p.head++
+	if p.head == len(p.mvs) {
+		p.head = 0
+	}
+	if p.n < len(p.mvs) {
+		p.n++
+	}
+}
+
 // FullSearch exhaustively scans the window. It is the reference searcher
 // (and the ablation baseline — the paper's codecs use fast searches
-// precisely because full search is unusably slow at HD).
+// precisely because full search is unusably slow at HD). The scan is
+// seeded from the clamped predictor, so a degenerate (empty or
+// single-point) window can never report an untested vector with a
+// sentinel cost.
 func (e *Estimator) FullSearch() Result {
-	best := Result{Cost: 1 << 30}
+	start := e.clampMV(e.Pred)
+	best := Result{start, e.Cost(int(start.X), int(start.Y))}
 	for y := e.MinY; y <= e.MaxY; y++ {
 		for x := e.MinX; x <= e.MaxX; x++ {
-			if c := e.Cost(x, y); c < best.Cost {
+			if x == int(start.X) && y == int(start.Y) {
+				continue // seeded
+			}
+			if c := e.CostMax(x, y, best.Cost); c < best.Cost {
 				best = Result{MV{int16(x), int16(y)}, c}
 			}
 		}
@@ -156,17 +303,34 @@ var smallDiamond = [4]MV{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
 // improves the cost.
 func (e *Estimator) DiamondSearch(start MV) Result {
 	cur := e.clampMV(start)
-	best := Result{cur, e.Cost(int(cur.X), int(cur.Y))}
+	var ring probeRing
+	return e.diamondFrom(Result{cur, e.Cost(int(cur.X), int(cur.Y))}, &ring)
+}
+
+// diamondFrom runs the small-diamond descent from an already-evaluated
+// result (MV inside the window, Cost exact). ring carries the vectors
+// probed so far by the caller.
+func (e *Estimator) diamondFrom(best Result, ring *probeRing) Result {
+	if !ring.seen(best.MV) {
+		ring.add(best.MV)
+	}
 	for {
 		improved := false
+		// Candidates are relative to best.MV, which moves mid-iteration:
+		// the descent greedily re-centers as soon as a probe improves.
 		for _, d := range smallDiamond {
 			x := int(best.MV.X) + int(d.X)
 			y := int(best.MV.Y) + int(d.Y)
 			if !e.inWindow(x, y) {
 				continue
 			}
-			if c := e.Cost(x, y); c < best.Cost {
-				best = Result{MV{int16(x), int16(y)}, c}
+			v := MV{int16(x), int16(y)}
+			if ring.seen(v) {
+				continue
+			}
+			ring.add(v)
+			if c := e.CostMax(x, y, best.Cost); c < best.Cost {
+				best = Result{v, c}
 				improved = true
 			}
 		}
@@ -184,7 +348,15 @@ var hexPattern = [6]MV{{-2, 0}, {-1, -2}, {1, -2}, {2, 0}, {1, 2}, {-1, 2}}
 // configuration (Zhu/Lin/Chau hexagon-based search).
 func (e *Estimator) HexagonSearch(start MV) Result {
 	cur := e.clampMV(start)
-	best := Result{cur, e.Cost(int(cur.X), int(cur.Y))}
+	return e.HexagonFrom(Result{cur, e.Cost(int(cur.X), int(cur.Y))})
+}
+
+// HexagonFrom is HexagonSearch continuing from an already-evaluated result
+// (MV inside the window, Cost exact): callers chaining searches (EPZS →
+// hexagon) avoid re-evaluating the start vector.
+func (e *Estimator) HexagonFrom(best Result) Result {
+	var ring probeRing
+	ring.add(best.MV)
 	for steps := 0; steps < 64; steps++ {
 		improved := false
 		center := best.MV
@@ -194,8 +366,13 @@ func (e *Estimator) HexagonSearch(start MV) Result {
 			if !e.inWindow(x, y) {
 				continue
 			}
-			if c := e.Cost(x, y); c < best.Cost {
-				best = Result{MV{int16(x), int16(y)}, c}
+			v := MV{int16(x), int16(y)}
+			if ring.seen(v) {
+				continue // three of six points repeat after each move
+			}
+			ring.add(v)
+			if c := e.CostMax(x, y, best.Cost); c < best.Cost {
+				best = Result{v, c}
 				improved = true
 			}
 		}
@@ -203,15 +380,18 @@ func (e *Estimator) HexagonSearch(start MV) Result {
 			break
 		}
 	}
-	// Final small-diamond refinement.
-	return e.DiamondSearch(best.MV)
+	// Final small-diamond refinement (its ±1 candidates are disjoint from
+	// the hexagon's ±2 probes, so a fresh ring is enough).
+	var dring probeRing
+	return e.diamondFrom(best, &dring)
 }
 
 // EPZS implements Enhanced Predictive Zonal Search: evaluate a predictor
 // set (median/spatial neighbours, collocated, accelerated, zero), early-out
 // if the best predictor is already below the adaptive threshold, otherwise
 // refine with a small diamond. preds may contain duplicates; they are
-// deduplicated cheaply.
+// deduplicated cheaply, and the diamond refinement inherits the probed set
+// so it never re-scores a predictor.
 func (e *Estimator) EPZS(preds []MV, earlyExit int) Result {
 	best := Result{Cost: 1 << 30}
 	var seen [12]MV
@@ -227,7 +407,7 @@ func (e *Estimator) EPZS(preds []MV, earlyExit int) Result {
 			seen[n] = v
 			n++
 		}
-		if c := e.Cost(int(v.X), int(v.Y)); c < best.Cost {
+		if c := e.CostMax(int(v.X), int(v.Y), best.Cost); c < best.Cost {
 			best = Result{v, c}
 		}
 	}
@@ -239,7 +419,11 @@ func (e *Estimator) EPZS(preds []MV, earlyExit int) Result {
 	if best.Cost <= earlyExit {
 		return best
 	}
-	return e.DiamondSearch(best.MV)
+	var ring probeRing
+	for i := 0; i < n; i++ {
+		ring.add(seen[i])
+	}
+	return e.diamondFrom(best, &ring)
 }
 
 // MedianMV returns the component-wise median of three predictors, the

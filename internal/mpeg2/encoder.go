@@ -124,9 +124,11 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	case container.FrameI:
 		// Closed GOP: an I frame invalidates earlier references, so a
 		// chunk encoder starting here matches the serial stream exactly.
+		interp.BuildHalfPelBilin(recon, e.cfg.Kernels)
 		e.prevRef = nil
 		e.lastRef = recon
 	case container.FrameP:
+		interp.BuildHalfPelBilin(recon, e.cfg.Kernels)
 		e.prevRef = e.lastRef
 		e.lastRef = recon
 	}
@@ -281,6 +283,15 @@ func (s *sliceEnc) setupEstimator(est *motion.Estimator, src, ref *frame.Frame, 
 
 // searchLuma runs EPZS + half-pel refinement against ref and returns the
 // best half-pel MV, its SAD, and fills pred with the winning prediction.
+//
+// Hot-path shape: the full-pel stage threads its best-so-far cost into
+// the SAD kernel (motion.Estimator.CostMax inside EPZS), the full-pel
+// baseline SADs directly against the padded reference (no copy-then-SAD),
+// and the eight half-pel candidates score straight against the
+// reference's precomputed bilinear half planes with early termination —
+// no per-candidate interpolation. Every comparison is the same strict
+// `sad < best` as the per-block path, so decisions and bitstream bytes
+// are unchanged (pinned by the root equivalence matrix).
 func (s *sliceEnc) searchLuma(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV, pred []byte) (motion.MV, int) {
 	var est motion.Estimator
 	predFull := motion.MV{X: predHalf.X >> 1, Y: predHalf.Y >> 1}
@@ -296,13 +307,10 @@ func (s *sliceEnc) searchLuma(src, ref *frame.Frame, px, py, mbx int, predHalf m
 	}
 	res := est.EPZS(preds, 2*s.e.cfg.Q*16)
 
-	// Half-pel refinement around the full-pel winner.
+	// Half-pel refinement around the full-pel winner, scored against the
+	// bilinear half planes.
 	bestMV := motion.MV{X: res.MV.X * 2, Y: res.MV.Y * 2}
-	interp.HalfPel(pred, 16,
-		ref.Y[ref.YOrigin+(py+int(res.MV.Y))*ref.YStride+px+int(res.MV.X):],
-		ref.YStride, 16, 16, 0, 0, s.e.cfg.Kernels)
-	bestSAD := s.sadMB(src, px, py, pred)
-	var cand [256]byte
+	bestSAD := res.Cost - est.MVCost(int(res.MV.X), int(res.MV.Y))
 	for dy := -1; dy <= 1; dy++ {
 		for dx := -1; dx <= 1; dx++ {
 			if dx == 0 && dy == 0 {
@@ -312,15 +320,19 @@ func (s *sliceEnc) searchLuma(src, ref *frame.Frame, px, py, mbx int, predHalf m
 			hy := int(res.MV.Y)*2 + dy
 			ix, fx := splitHalf(hx)
 			iy, fy := splitHalf(hy)
-			so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
-			interp.HalfPel(cand[:], 16, ref.Y[so:], ref.YStride, 16, 16, fx, fy, s.e.cfg.Kernels)
-			if sad := s.sadMB(src, px, py, cand[:]); sad < bestSAD {
+			est.Ref = interp.BilinPlaneFor(ref, fx, fy)
+			if sad := est.SADMax(ix, iy, bestSAD); sad < bestSAD {
 				bestSAD = sad
 				bestMV = motion.MV{X: int16(hx), Y: int16(hy)}
-				copy(pred, cand[:])
 			}
 		}
 	}
+
+	// Materialize only the winning prediction, straight from its plane.
+	ix, fx := splitHalf(int(bestMV.X))
+	iy, fy := splitHalf(int(bestMV.Y))
+	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
+	swar.CopyBlock(pred, 16, interp.BilinPlaneFor(ref, fx, fy)[so:], ref.YStride, 16, 16)
 	return bestMV, bestSAD
 }
 
@@ -347,7 +359,7 @@ func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	for i := 0; i < 4; i++ {
 		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		po := 8*(i/2)*16 + 8*(i%2)
-		codec.Residual8(&blks[i], src.Y, co, src.YStride, s.pred.y[:], po, 16)
+		codec.Residual8(&blks[i], src.Y, co, src.YStride, s.pred.y[:], po, 16, s.e.cfg.Kernels)
 		dct.Forward8(&blks[i])
 		if quant.Mpeg2QuantInter(&blks[i], q) > 0 {
 			cbp |= 1 << (5 - i)
@@ -355,12 +367,12 @@ func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	}
 	cx, cy := px/2, py/2
 	co := src.COrigin + cy*src.CStride + cx
-	codec.Residual8(&blks[4], src.Cb, co, src.CStride, s.pred.cb[:], 0, 8)
+	codec.Residual8(&blks[4], src.Cb, co, src.CStride, s.pred.cb[:], 0, 8, s.e.cfg.Kernels)
 	dct.Forward8(&blks[4])
 	if quant.Mpeg2QuantInter(&blks[4], q) > 0 {
 		cbp |= 1 << 1
 	}
-	codec.Residual8(&blks[5], src.Cr, co, src.CStride, s.pred.cr[:], 0, 8)
+	codec.Residual8(&blks[5], src.Cr, co, src.CStride, s.pred.cr[:], 0, 8, s.e.cfg.Kernels)
 	dct.Forward8(&blks[5])
 	if quant.Mpeg2QuantInter(&blks[5], q) > 0 {
 		cbp |= 1
@@ -380,7 +392,7 @@ func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 		if cbp&(1<<(5-i)) != 0 {
 			quant.Mpeg2DequantInter(&blks[i], q)
 			dct.Inverse8(&blks[i])
-			codec.Add8Clip(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16, &blks[i])
+			codec.Add8Clip(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16, &blks[i], s.e.cfg.Kernels)
 		} else {
 			codec.Copy8(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16)
 		}
@@ -389,14 +401,14 @@ func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	if cbp&2 != 0 {
 		quant.Mpeg2DequantInter(&blks[4], q)
 		dct.Inverse8(&blks[4])
-		codec.Add8Clip(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8, &blks[4])
+		codec.Add8Clip(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8, &blks[4], s.e.cfg.Kernels)
 	} else {
 		codec.Copy8(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8)
 	}
 	if cbp&1 != 0 {
 		quant.Mpeg2DequantInter(&blks[5], q)
 		dct.Inverse8(&blks[5])
-		codec.Add8Clip(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8, &blks[5])
+		codec.Add8Clip(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8, &blks[5], s.e.cfg.Kernels)
 	} else {
 		codec.Copy8(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8)
 	}
@@ -411,7 +423,7 @@ func (s *sliceEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
 	for i := 0; i < 4; i++ {
 		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		po := 8*(i/2)*16 + 8*(i%2)
-		codec.Residual8(&blk, src.Y, co, src.YStride, s.pred.y[:], po, 16)
+		codec.Residual8(&blk, src.Y, co, src.YStride, s.pred.y[:], po, 16, s.e.cfg.Kernels)
 		dct.Forward8(&blk)
 		if quant.Mpeg2QuantInter(&blk, q) > 0 {
 			return false
@@ -419,12 +431,12 @@ func (s *sliceEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
 	}
 	cx, cy := px/2, py/2
 	co := src.COrigin + cy*src.CStride + cx
-	codec.Residual8(&blk, src.Cb, co, src.CStride, s.pred.cb[:], 0, 8)
+	codec.Residual8(&blk, src.Cb, co, src.CStride, s.pred.cb[:], 0, 8, s.e.cfg.Kernels)
 	dct.Forward8(&blk)
 	if quant.Mpeg2QuantInter(&blk, q) > 0 {
 		return false
 	}
-	codec.Residual8(&blk, src.Cr, co, src.CStride, s.pred.cr[:], 0, 8)
+	codec.Residual8(&blk, src.Cr, co, src.CStride, s.pred.cr[:], 0, 8, s.e.cfg.Kernels)
 	dct.Forward8(&blk)
 	return quant.Mpeg2QuantInter(&blk, q) == 0
 }

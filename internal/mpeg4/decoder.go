@@ -274,7 +274,7 @@ func (s *sliceDec) decodeResidualMB(recon *frame.Frame, px, py int, q int32) err
 			}
 			quant.Mpeg4DequantInter(&blk, q)
 			dct.Inverse8(&blk)
-			codec.Add8Clip(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16, &blk)
+			codec.Add8Clip(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16, &blk, s.d.kern)
 		} else {
 			codec.Copy8(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16)
 		}
@@ -288,7 +288,7 @@ func (s *sliceDec) decodeResidualMB(recon *frame.Frame, px, py int, q int32) err
 		}
 		quant.Mpeg4DequantInter(&blk, q)
 		dct.Inverse8(&blk)
-		codec.Add8Clip(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8, &blk)
+		codec.Add8Clip(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8, &blk, s.d.kern)
 	} else {
 		codec.Copy8(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8)
 	}
@@ -299,7 +299,7 @@ func (s *sliceDec) decodeResidualMB(recon *frame.Frame, px, py int, q int32) err
 		}
 		quant.Mpeg4DequantInter(&blk, q)
 		dct.Inverse8(&blk)
-		codec.Add8Clip(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8, &blk)
+		codec.Add8Clip(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8, &blk, s.d.kern)
 	} else {
 		codec.Copy8(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8)
 	}

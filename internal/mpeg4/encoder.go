@@ -43,8 +43,8 @@ type sliceEnc struct {
 	e  *Encoder
 	bw *bitstream.Writer
 
-	pred predBuf
-	qpel interp.QPel
+	pred       predBuf
+	avgScratch [256]byte // quarter-pel candidate assembly in sadQPel
 
 	dcPred  [3]int32
 	fwdPred motion.MV // quarter-pel forward predictor within the row
@@ -124,9 +124,11 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	case container.FrameI:
 		// Closed GOP: an I frame invalidates earlier references, so a
 		// chunk encoder starting here matches the serial stream exactly.
+		interp.BuildHalfPel6(recon, e.cfg.Kernels)
 		e.prevRef = nil
 		e.lastRef = recon
 	case container.FrameP:
+		interp.BuildHalfPel6(recon, e.cfg.Kernels)
 		e.prevRef = e.lastRef
 		e.lastRef = recon
 	}
@@ -291,11 +293,13 @@ func (s *sliceEnc) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx
 	}
 	res := est.EPZS(preds, 2*s.e.cfg.Q*blockW*blockH/16)
 
-	// Sub-pel refinement: half-pel stage (step 2) then quarter-pel (step 1).
+	// Sub-pel refinement: half-pel stage (step 2) then quarter-pel
+	// (step 1), scored against the reference's precomputed 6-tap half
+	// planes with early termination — no per-candidate filtering; only
+	// the winner is materialized. Same candidate order and strict
+	// comparisons as the per-block path, so output bytes are unchanged.
 	bestMV := motion.MV{X: res.MV.X * 4, Y: res.MV.Y * 4}
-	s.mcLumaInto(ref, px, py, blockW, blockH, bestMV, pred)
-	bestSAD := s.sadBlock(src, px, py, blockW, blockH, pred, 16)
-	var cand [256]byte
+	bestSAD := res.Cost - est.MVCost(int(res.MV.X), int(res.MV.Y))
 	for _, step := range []int{2, 1} {
 		center := bestMV
 		for dy := -step; dy <= step; dy += step {
@@ -304,24 +308,37 @@ func (s *sliceEnc) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx
 					continue
 				}
 				mv := motion.MV{X: center.X + int16(dx), Y: center.Y + int16(dy)}
-				s.mcLumaInto(ref, px, py, blockW, blockH, mv, cand[:])
-				if sad := s.sadBlock(src, px, py, blockW, blockH, cand[:], 16); sad < bestSAD {
+				if sad := s.sadQPel(src, ref, px, py, blockW, blockH, mv, bestSAD); sad < bestSAD {
 					bestSAD = sad
 					bestMV = mv
-					copy(pred[:blockH*16], cand[:blockH*16])
 				}
 			}
 		}
 	}
+	s.mcLumaInto(ref, px, py, blockW, blockH, bestMV, pred)
 	return bestMV, bestSAD
 }
 
-// mcLumaInto fills dst (stride 16) with the quarter-pel prediction for mv.
+// sadQPel scores one quarter-pel candidate against the precomputed half
+// planes, early-terminating once the partial SAD reaches max.
+func (s *sliceEnc) sadQPel(src, ref *frame.Frame, px, py, w, h int, mv motion.MV, max int) int {
+	ix, fx := splitQuarter(int(mv.X))
+	iy, fy := splitQuarter(int(mv.Y))
+	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
+	co := src.YOrigin + py*src.YStride + px
+	return motion.SADQPel(s.e.cfg.Kernels, src.Y[co:], src.YStride, ref, so, w, h, fx, fy, s.avgScratch[:], max)
+}
+
+// mcLumaInto fills dst (stride 16) with the quarter-pel prediction for mv
+// from the reference's half-pel planes (every encoder reference has them —
+// BuildHalfPel6 runs when a reconstruction becomes a reference; the
+// decoder keeps the per-block QPel path, which is bit-exact with this
+// one).
 func (s *sliceEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
-	s.qpel.Luma(dst, 16, ref.Y, so, ref.YStride, w, h, fx, fy, s.e.cfg.Kernels)
+	interp.LumaPlanes(dst, 16, ref.Y, ref.Hpel6, so, ref.YStride, w, h, fx, fy, s.e.cfg.Kernels)
 }
 
 // predictChroma fills 8×8 chroma predictions for a 16×16 quarter-pel MV.
@@ -356,7 +373,7 @@ func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	for i := 0; i < 4; i++ {
 		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		po := 8*(i/2)*16 + 8*(i%2)
-		codec.Residual8(&blks[i], src.Y, co, src.YStride, s.pred.y[:], po, 16)
+		codec.Residual8(&blks[i], src.Y, co, src.YStride, s.pred.y[:], po, 16, s.e.cfg.Kernels)
 		dct.Forward8(&blks[i])
 		if quant.Mpeg4QuantInter(&blks[i], q) > 0 {
 			cbp |= 1 << (5 - i)
@@ -364,12 +381,12 @@ func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	}
 	cx, cy := px/2, py/2
 	co := src.COrigin + cy*src.CStride + cx
-	codec.Residual8(&blks[4], src.Cb, co, src.CStride, s.pred.cb[:], 0, 8)
+	codec.Residual8(&blks[4], src.Cb, co, src.CStride, s.pred.cb[:], 0, 8, s.e.cfg.Kernels)
 	dct.Forward8(&blks[4])
 	if quant.Mpeg4QuantInter(&blks[4], q) > 0 {
 		cbp |= 2
 	}
-	codec.Residual8(&blks[5], src.Cr, co, src.CStride, s.pred.cr[:], 0, 8)
+	codec.Residual8(&blks[5], src.Cr, co, src.CStride, s.pred.cr[:], 0, 8, s.e.cfg.Kernels)
 	dct.Forward8(&blks[5])
 	if quant.Mpeg4QuantInter(&blks[5], q) > 0 {
 		cbp |= 1
@@ -388,7 +405,7 @@ func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 		if cbp&(1<<(5-i)) != 0 {
 			quant.Mpeg4DequantInter(&blks[i], q)
 			dct.Inverse8(&blks[i])
-			codec.Add8Clip(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16, &blks[i])
+			codec.Add8Clip(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16, &blks[i], s.e.cfg.Kernels)
 		} else {
 			codec.Copy8(recon.Y, ro, recon.YStride, s.pred.y[:], po, 16)
 		}
@@ -397,14 +414,14 @@ func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	if cbp&2 != 0 {
 		quant.Mpeg4DequantInter(&blks[4], q)
 		dct.Inverse8(&blks[4])
-		codec.Add8Clip(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8, &blks[4])
+		codec.Add8Clip(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8, &blks[4], s.e.cfg.Kernels)
 	} else {
 		codec.Copy8(recon.Cb, cro, recon.CStride, s.pred.cb[:], 0, 8)
 	}
 	if cbp&1 != 0 {
 		quant.Mpeg4DequantInter(&blks[5], q)
 		dct.Inverse8(&blks[5])
-		codec.Add8Clip(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8, &blks[5])
+		codec.Add8Clip(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8, &blks[5], s.e.cfg.Kernels)
 	} else {
 		codec.Copy8(recon.Cr, cro, recon.CStride, s.pred.cr[:], 0, 8)
 	}
@@ -417,7 +434,7 @@ func (s *sliceEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
 	for i := 0; i < 4; i++ {
 		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		po := 8*(i/2)*16 + 8*(i%2)
-		codec.Residual8(&blk, src.Y, co, src.YStride, s.pred.y[:], po, 16)
+		codec.Residual8(&blk, src.Y, co, src.YStride, s.pred.y[:], po, 16, s.e.cfg.Kernels)
 		dct.Forward8(&blk)
 		if quant.Mpeg4QuantInter(&blk, q) > 0 {
 			return false
@@ -425,12 +442,12 @@ func (s *sliceEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
 	}
 	cx, cy := px/2, py/2
 	co := src.COrigin + cy*src.CStride + cx
-	codec.Residual8(&blk, src.Cb, co, src.CStride, s.pred.cb[:], 0, 8)
+	codec.Residual8(&blk, src.Cb, co, src.CStride, s.pred.cb[:], 0, 8, s.e.cfg.Kernels)
 	dct.Forward8(&blk)
 	if quant.Mpeg4QuantInter(&blk, q) > 0 {
 		return false
 	}
-	codec.Residual8(&blk, src.Cr, co, src.CStride, s.pred.cr[:], 0, 8)
+	codec.Residual8(&blk, src.Cr, co, src.CStride, s.pred.cr[:], 0, 8, s.e.cfg.Kernels)
 	dct.Forward8(&blk)
 	return quant.Mpeg4QuantInter(&blk, q) == 0
 }

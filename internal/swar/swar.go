@@ -88,6 +88,39 @@ func SADBlock(a []byte, aStride int, b []byte, bStride, w, h int) int {
 	return sad
 }
 
+// sadGroupRows is the early-termination check granularity of SADBlockMax:
+// the partial sum is compared against the bail threshold after every group
+// of this many rows. Coarse enough that a winning candidate (which never
+// bails) pays almost nothing, fine enough that a clearly losing candidate
+// reads only a fraction of its pixels.
+const sadGroupRows = 4
+
+// SADBlockMax is SADBlock with early termination. It returns the exact SAD
+// whenever that SAD is < max; once the partial sum over complete row groups
+// reaches max it returns that partial sum (some value >= max) without
+// reading the remaining rows. Callers that only test `sad < max` therefore
+// make exactly the decisions the full SAD would — see the package comment
+// of internal/motion for why this keeps bitstreams byte-identical.
+func SADBlockMax(a []byte, aStride int, b []byte, bStride, w, h, max int) int {
+	if w == 16 {
+		return SAD16Max(a, aStride, b, bStride, h, max)
+	}
+	if w == 8 {
+		return SAD8xMax(a, aStride, b, bStride, h, max)
+	}
+	sad := 0
+	for r := 0; r < h; {
+		lim := min(r+sadGroupRows, h)
+		for ; r < lim; r++ {
+			sad += SADRow(a[r*aStride:], b[r*bStride:], w)
+		}
+		if sad >= max {
+			return sad
+		}
+	}
+	return sad
+}
+
 // SAD16 returns the SAD of a 16-wide, h-tall block. h must be ≤ 48 so the
 // packed accumulator lanes (≤ 1020 per row) cannot overflow.
 func SAD16(a []byte, aStride int, b []byte, bStride, h int) int {
@@ -112,6 +145,47 @@ func SAD8x(a []byte, aStride int, b []byte, bStride, h int) int {
 		acc += absDiff16(av&lo8, bv&lo8) + absDiff16((av>>8)&lo8, (bv>>8)&lo8)
 	}
 	return fold16(acc)
+}
+
+// SAD16Max is SAD16 with early termination at max (see SADBlockMax).
+func SAD16Max(a []byte, aStride int, b []byte, bStride, h, max int) int {
+	sad := 0
+	for r := 0; r < h; {
+		lim := min(r+sadGroupRows, h)
+		var acc uint64
+		for ; r < lim; r++ {
+			a0 := Load64(a[r*aStride:])
+			b0 := Load64(b[r*bStride:])
+			a1 := Load64(a[r*aStride+8:])
+			b1 := Load64(b[r*bStride+8:])
+			acc += absDiff16(a0&lo8, b0&lo8) + absDiff16((a0>>8)&lo8, (b0>>8)&lo8)
+			acc += absDiff16(a1&lo8, b1&lo8) + absDiff16((a1>>8)&lo8, (b1>>8)&lo8)
+		}
+		sad += fold16(acc)
+		if sad >= max {
+			return sad
+		}
+	}
+	return sad
+}
+
+// SAD8xMax is SAD8x with early termination at max (see SADBlockMax).
+func SAD8xMax(a []byte, aStride int, b []byte, bStride, h, max int) int {
+	sad := 0
+	for r := 0; r < h; {
+		lim := min(r+2*sadGroupRows, h)
+		var acc uint64
+		for ; r < lim; r++ {
+			av := Load64(a[r*aStride:])
+			bv := Load64(b[r*bStride:])
+			acc += absDiff16(av&lo8, bv&lo8) + absDiff16((av>>8)&lo8, (bv>>8)&lo8)
+		}
+		sad += fold16(acc)
+		if sad >= max {
+			return sad
+		}
+	}
+	return sad
 }
 
 // AvgRound8 returns per-byte (a+b+1)>>1 of the 8 packed bytes.
@@ -171,6 +245,89 @@ func Avg4RowRound2(dst, a, b, c, d []byte, n int) {
 	}
 	for ; i < n; i++ {
 		dst[i] = byte((int(a[i]) + int(b[i]) + int(c[i]) + int(d[i]) + 2) >> 2)
+	}
+}
+
+// spread4 distributes the 4 bytes of a 32-bit word into the low bytes of
+// the four 16-bit lanes of a uint64.
+func spread4(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000FFFF0000FFFF
+	return (v | v<<8) & lo8
+}
+
+// DiffRow writes dst[i] = int32(cur[i]) - int32(pred[i]) for i in [0, n):
+// the residual row of every codec's transform input. Differences are formed
+// in biased 16-bit lanes (eight at a time) and unpacked once per lane.
+func DiffRow(dst []int32, cur, pred []byte, n int) {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		c := Load64(cur[i:])
+		p := Load64(pred[i:])
+		de := (c & lo8) + bias16 - (p & lo8)               // even bytes: diff+256
+		do := ((c >> 8) & lo8) + bias16 - ((p >> 8) & lo8) // odd bytes
+		dst[i+0] = int32(de&0xFFFF) - 256
+		dst[i+1] = int32(do&0xFFFF) - 256
+		dst[i+2] = int32((de>>16)&0xFFFF) - 256
+		dst[i+3] = int32((do>>16)&0xFFFF) - 256
+		dst[i+4] = int32((de>>32)&0xFFFF) - 256
+		dst[i+5] = int32((do>>32)&0xFFFF) - 256
+		dst[i+6] = int32((de>>48)&0xFFFF) - 256
+		dst[i+7] = int32(do>>48) - 256
+	}
+	for ; i+4 <= n; i += 4 {
+		c := spread4(binary.LittleEndian.Uint32(cur[i:]))
+		p := spread4(binary.LittleEndian.Uint32(pred[i:]))
+		d := c + bias16 - p
+		dst[i+0] = int32(d&0xFFFF) - 256
+		dst[i+1] = int32((d>>16)&0xFFFF) - 256
+		dst[i+2] = int32((d>>32)&0xFFFF) - 256
+		dst[i+3] = int32(d>>48) - 256
+	}
+	for ; i < n; i++ {
+		dst[i] = int32(cur[i]) - int32(pred[i])
+	}
+}
+
+// AddClampRow writes dst[i] = clamp(int32(pred[i]) + res[i], 0, 255) for
+// i in [0, n): the inter-reconstruction row of every codec. Residuals are
+// pre-clamped to [-256, 256] (values outside cannot change the clipped
+// result), biased into 16-bit lanes and clamped branch-free four at a time.
+func AddClampRow(dst, pred []byte, res []int32, n int) {
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		var lanes uint64
+		for j := 0; j < 4; j++ {
+			v := res[i+j]
+			if v > 256 {
+				v = 256
+			} else if v < -256 {
+				v = -256
+			}
+			lanes |= uint64(v+256) << (16 * j) // biased: [0, 512]
+		}
+		p := spread4(binary.LittleEndian.Uint32(pred[i:]))
+		s := p + lanes // [0, 767], bias +256
+		// max(s, 256): lane >= 256 iff bit 9 of s+256 is set.
+		mLo := (((s + 256*lsb16) >> 9) & lsb16) * 0xFFFF
+		lo := (s & mLo) | ((256 * lsb16) &^ mLo)
+		// min(lo, 511): lane > 511 iff bit 10 of lo+512 is set.
+		mHi := (((lo + 512*lsb16) >> 10) & lsb16) * 0xFFFF
+		hi := (lo &^ mHi) | ((511 * lsb16) & mHi)
+		hi -= 256 * lsb16 // un-bias: lanes now in [0, 255]
+		dst[i+0] = byte(hi)
+		dst[i+1] = byte(hi >> 16)
+		dst[i+2] = byte(hi >> 32)
+		dst[i+3] = byte(hi >> 48)
+	}
+	for ; i < n; i++ {
+		v := int32(pred[i]) + res[i]
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		dst[i] = byte(v)
 	}
 }
 
