@@ -18,7 +18,10 @@ import (
 
 func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
 	t.Helper()
-	s := newServer(cfg)
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 	return s, ts

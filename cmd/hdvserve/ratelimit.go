@@ -1,0 +1,104 @@
+package main
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter: each client key
+// (the peer IP) owns a bucket holding up to burst tokens that refills
+// at rate tokens per second; a request spends one token or is turned
+// away. Buckets are created on first sight. Memory stays bounded in two
+// tiers: past pruneAbove clients, idle (fully refilled) buckets are
+// swept — lossless, since a full bucket is indistinguishable from a
+// fresh one — at most once per pruneEvery, so a storm of new IPs cannot
+// turn every allow into an O(n) scan under the mutex; and at hardCap
+// the map sheds arbitrary buckets, trading a reset burst for a few
+// clients against unbounded growth.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastPrune time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const (
+	// pruneAbove is the client count past which idle buckets are swept.
+	pruneAbove = 16384
+	// pruneEvery throttles full-map sweeps so new-client arrivals
+	// amortize the scan instead of each paying it.
+	pruneEvery = time.Second
+	// hardCap is the absolute bucket ceiling: beyond it, arbitrary
+	// buckets are dropped to admit new clients.
+	hardCap = 4 * pruneAbove
+)
+
+// newRateLimiter builds a limiter; rate <= 0 disables limiting (callers
+// hold a nil limiter instead, but the guard keeps misuse safe).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// allow reports whether the client identified by key may proceed at
+// time now, spending a token if so.
+func (l *rateLimiter) allow(key string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= pruneAbove && now.Sub(l.lastPrune) >= pruneEvery {
+			l.lastPrune = now
+			l.pruneLocked(now)
+		}
+		for k := range l.buckets { // hard ceiling: shed an arbitrary bucket
+			if len(l.buckets) < hardCap {
+				break
+			}
+			delete(l.buckets, k)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// retryAfterSeconds suggests a Retry-After for a rejected client: the
+// time one token takes to accrue, at least a second.
+func (l *rateLimiter) retryAfterSeconds() int {
+	s := int(1 / l.rate)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// pruneLocked drops buckets that have been idle long enough to refill
+// completely — indistinguishable from fresh ones.
+func (l *rateLimiter) pruneLocked(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(l.buckets, k)
+		}
+	}
+}

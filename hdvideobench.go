@@ -405,7 +405,36 @@ func EncodeStream(w io.Writer, c Codec, opts EncoderOptions, frames int, next fu
 	if err != nil {
 		return StreamStats{}, err
 	}
-	return core.EncodeStream(w, c, cfg, opts.Workers, opts.Window, frames, next)
+	return core.EncodeStream(w, c, cfg, opts.Workers, opts.Window, frames, next, nil)
+}
+
+// GOPIndex locates every closed GOP of a coded stream by byte offset —
+// the seek table behind cmd/hdvserve's HTTP Range support: any entry's
+// Offset is a safe point to start reading packets from, because closed
+// GOPs never reference across their boundary.
+type GOPIndex = container.GOPIndex
+
+// GOPIndexEntry is one GOPIndex row: the byte offset of a GOP's first
+// packet header and the display index of its first (I) frame.
+type GOPIndexEntry = container.GOPIndexEntry
+
+// EncodeStreamIndexed is EncodeStream plus a GOP index of the produced
+// container: the returned index records the byte offset and first frame
+// of every closed-GOP chunk, built on the fly without re-parsing the
+// stream. The container bytes are identical to EncodeStream's. Use a
+// bounded opts.IntraPeriod: indexing drains chunk-granularly, so a
+// boundary-less stream would buffer all its coded packets as one chunk.
+func EncodeStreamIndexed(w io.Writer, c Codec, opts EncoderOptions, frames int, next func() (*Frame, error)) (StreamStats, GOPIndex, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return StreamStats{}, GOPIndex{}, err
+	}
+	var idx GOPIndex
+	stats, err := core.EncodeStream(w, c, cfg, opts.Workers, opts.Window, frames, next, func(offset int64, frame int) {
+		idx.Entries = append(idx.Entries, GOPIndexEntry{Offset: offset, Frame: frame})
+	})
+	idx.Size = stats.Bytes
+	return stats, idx, err
 }
 
 // DecodeStream reads an HDVB container from r incrementally, decodes it,
@@ -432,8 +461,28 @@ func Transcode(r io.Reader, w io.Writer, c Codec, opts EncoderOptions) (Transcod
 	if opts.SIMD {
 		k = kernel.SWAR
 	}
-	return core.Transcode(r, w, c, k, opts.Workers, opts.Window, func(hdr container.Header) (codec.Config, error) {
-		o := opts
+	return core.Transcode(r, w, c, k, opts.Workers, opts.Window, opts.transcodeConfig())
+}
+
+// TranscodeReader is the pull-flavored Transcode: it returns a reader
+// producing the transcoded HDVB container while the four-stage pipeline
+// runs concurrently behind it. Reads surface the first pipeline failure
+// as their error (io.EOF on success); Close tears the pipeline down
+// early without leaking its goroutines — the natural shape for HTTP
+// handlers and io.Copy plumbing that want to stop mid-stream.
+func TranscodeReader(r io.Reader, c Codec, opts EncoderOptions) io.ReadCloser {
+	k := kernel.Scalar
+	if opts.SIMD {
+		k = kernel.SWAR
+	}
+	return core.TranscodeReader(r, c, k, opts.Workers, opts.Window, opts.transcodeConfig())
+}
+
+// transcodeConfig maps a parsed input header to the target coding
+// options shared by Transcode and TranscodeReader: zero Width/Height
+// copy the input's dimensions, and the input's frame rate carries over.
+func (o EncoderOptions) transcodeConfig() func(container.Header) (codec.Config, error) {
+	return func(hdr container.Header) (codec.Config, error) {
 		if o.Width == 0 {
 			o.Width = hdr.Width
 		}
@@ -448,7 +497,7 @@ func Transcode(r io.Reader, w io.Writer, c Codec, opts EncoderOptions) (Transcod
 			cfg.FPSNum, cfg.FPSDen = hdr.FPSNum, hdr.FPSDen
 		}
 		return cfg, nil
-	})
+	}
 }
 
 // RawFrameReader iterates a raw planar I420 stream frame by frame (the

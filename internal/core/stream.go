@@ -113,7 +113,17 @@ func drain[T any](next func() (T, error), sink func(T) error, onSinkFail ...func
 // perfectly complete. Pass 0 when the length is unknown (reading a file
 // of frames until EOF); readers then consume until EOF, matching the
 // batch path's header byte for byte.
-func EncodeStream(w io.Writer, id CodecID, cfg codec.Config, workers, window, frames int, next func() (*frame.Frame, error)) (StreamStats, error) {
+//
+// onGOP, when non-nil, is called once per closed-GOP chunk with the byte
+// offset its first packet begins at in the container stream and the
+// display index of its first (I) frame — the record the disk-backed GOP
+// cache appends to entries so ranged/seeking clients get GOP-aligned
+// spans. The output bytes are identical with and without the tap; only
+// the drain granularity changes (whole chunks instead of single packets,
+// so each chunk's coded packets are buffered before writing — use a
+// bounded IntraPeriod when tapping, or a boundary-less stream degrades
+// to one stream-sized chunk of coded bytes).
+func EncodeStream(w io.Writer, id CodecID, cfg codec.Config, workers, window, frames int, next func() (*frame.Frame, error), onGOP func(offset int64, frame int)) (StreamStats, error) {
 	enc, err := NewStreamEncoder(id, cfg, workers, window)
 	if err != nil {
 		return StreamStats{}, err
@@ -131,12 +141,27 @@ func EncodeStream(w io.Writer, id CodecID, cfg codec.Config, workers, window, fr
 
 	feedErr := make(chan error, 1)
 	go func() { feedErr <- feed(next, enc.Write, enc.Close, enc.Abort, nil) }()
-	werr := drain(enc.ReadPacket, func(p container.Packet) error {
-		if err := sw.WritePacket(p); err != nil {
-			return fmt.Errorf("core: writing stream: %w", err)
-		}
-		return nil
-	}, enc.Abort)
+	var werr error
+	if onGOP == nil {
+		werr = drain(enc.ReadPacket, func(p container.Packet) error {
+			if err := sw.WritePacket(p); err != nil {
+				return fmt.Errorf("core: writing stream: %w", err)
+			}
+			return nil
+		}, enc.Abort)
+	} else {
+		// Chunk-granular drain: record where each GOP starts before its
+		// first packet lands, still writing (and flushing) per packet.
+		werr = drain(enc.ReadChunk, func(pkts []container.Packet) error {
+			onGOP(sw.BytesWritten(), pkts[0].DisplayIndex)
+			for _, p := range pkts {
+				if err := sw.WritePacket(p); err != nil {
+					return fmt.Errorf("core: writing stream: %w", err)
+				}
+			}
+			return nil
+		}, enc.Abort)
+	}
 	ferr := <-feedErr
 	stats := StreamStats{Frames: sw.Count(), Bytes: sw.BytesWritten()}
 	return stats, firstError(werr, ferr)
@@ -243,6 +268,22 @@ func Transcode(r io.Reader, w io.Writer, target CodecID, kern kernel.Set, worker
 		BytesOut: sw.BytesWritten(),
 	}
 	return stats, firstError(werr, perr, rerr)
+}
+
+// TranscodeReader is the pull-flavored Transcode: it returns a reader
+// producing the transcoded HDVB container, running the four-stage
+// pipeline concurrently behind an io.Pipe. Reads see the first
+// mid-pipeline failure as their error (io.EOF on success); Close tears
+// the pipeline down early — the next pipe write fails, which aborts
+// every stage, so an abandoned reader never leaks the goroutine. The
+// shape HTTP handlers and io.Copy plumbing want.
+func TranscodeReader(r io.Reader, target CodecID, kern kernel.Set, workers, window int, cfgFor func(container.Header) (codec.Config, error)) io.ReadCloser {
+	pr, pw := io.Pipe()
+	go func() {
+		_, err := Transcode(r, pw, target, kern, workers, window, cfgFor)
+		pw.CloseWithError(err) // nil = clean EOF for the reader
+	}()
+	return pr
 }
 
 // firstError picks the most informative error of a torn-down pipeline:

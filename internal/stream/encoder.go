@@ -30,8 +30,9 @@ type Encoder struct {
 	out chan container.Packet
 
 	// reader-side state
-	pending []container.Packet
-	rerr    error
+	pending   []container.Packet
+	chunkHold []container.Packet // ReadChunk serial mode: held-back GOP opener
+	rerr      error
 
 	closed   bool
 	closeErr error // serial mode: set before out is closed
@@ -120,6 +121,15 @@ func (e *Encoder) PeakResident() int { return e.resident.high() }
 func (e *Encoder) Write(f *frame.Frame) error {
 	if e.closed {
 		return ErrClosed
+	}
+	select {
+	case <-e.aborted:
+		// A dead stream must not keep accumulating frames: without this
+		// check the chunked path would bump resident and buffer into the
+		// current chunk between an Abort and the writer noticing (the
+		// abort only surfaced at the next full-chunk Submit).
+		return ErrAborted
+	default:
 	}
 	if e.pool == nil {
 		if e.closeErr != nil {
@@ -234,6 +244,71 @@ func (e *Encoder) ReadPacket() (container.Packet, error) {
 	p := e.pending[0]
 	e.pending = e.pending[1:]
 	return p, nil
+}
+
+// ReadChunk returns the packets of the next whole closed-GOP chunk in
+// coding order — the chunk-granular tap that lets a caller observe GOP
+// boundaries without re-parsing the stream (the fill unit of the
+// hdvserve disk cache, which records each chunk's byte offset for
+// range/seek serving). In chunked mode a chunk is exactly the
+// scheduler's unit; in serial mode packets are grouped at the I packets
+// that open each closed GOP, so both modes agree for the same gop. With
+// gop <= 0 the whole stream is one chunk. Same contract as ReadPacket
+// (io.EOF after Close, sticky errors, abort on worker failure); do not
+// interleave ReadChunk and ReadPacket mid-chunk.
+func (e *Encoder) ReadChunk() ([]container.Packet, error) {
+	if e.pool != nil {
+		if e.rerr != nil {
+			return nil, e.rerr
+		}
+		select {
+		case <-e.aborted:
+			e.rerr = ErrAborted
+			return nil, e.rerr
+		default:
+		}
+		if len(e.pending) > 0 { // remainder of a ReadPacket-opened chunk
+			pkts := e.pending
+			e.pending = nil
+			return pkts, nil
+		}
+		for {
+			pkts, err := e.pool.Next()
+			if err != nil {
+				if err == io.EOF {
+					e.rerr = io.EOF
+				} else {
+					e.rerr = err
+					e.Abort() // unblock the writer; the stream is dead
+				}
+				return nil, e.rerr
+			}
+			if len(pkts) > 0 {
+				return pkts, nil
+			}
+		}
+	}
+	// Serial mode: group packets at GOP-opening I frames, holding the
+	// opener of the next chunk across calls.
+	chunk := e.chunkHold
+	e.chunkHold = nil
+	for {
+		p, err := e.ReadPacket()
+		if err == io.EOF {
+			if len(chunk) > 0 {
+				return chunk, nil
+			}
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		if p.Type == container.FrameI && len(chunk) > 0 {
+			e.chunkHold = append(e.chunkHold, p)
+			return chunk, nil
+		}
+		chunk = append(chunk, p)
+	}
 }
 
 // Abort tears the stream down early (client gone, downstream failure):
