@@ -62,8 +62,8 @@ func main() {
 		gop      = flag.Int("gop", 0, "intra period / closed-GOP length (0 = first frame only)")
 		slices   = flag.Int("slices", 0, "macroblock-row slices per frame (0 = 1, or the {1,2,4} sweep in -scaling mode)")
 		workers  = flag.Int("workers", runtime.NumCPU(), "GOP-parallel worker goroutines (1 = serial)")
-		resList  = flag.String("res", "", "comma-separated resolutions (default: all three)")
-		seqList  = flag.String("seqs", "", "comma-separated sequences (default: all four)")
+		resList  = flag.String("res", "", "comma-separated resolutions, up to 2160p25 (default: the paper's three)")
+		seqList  = flag.String("seqs", "", "comma-separated sequences, incl. sport_pan/scene_cut (default: the paper's four)")
 		cdcList  = flag.String("codecs", "", "comma-separated codecs (default: all three)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -107,16 +107,11 @@ func main() {
 	}
 	if *resList != "" {
 		for _, name := range strings.Split(*resList, ",") {
-			found := false
-			for _, r := range hdvideobench.Resolutions {
-				if strings.EqualFold(r.Name, name) {
-					opts.Resolutions = append(opts.Resolutions, r)
-					found = true
-				}
+			r, err := hdvideobench.ResolutionByName(name)
+			if err != nil {
+				fatalf("%v", err)
 			}
-			if !found {
-				fatalf("unknown resolution %q", name)
-			}
+			opts.Resolutions = append(opts.Resolutions, r)
 		}
 	}
 	if *seqList != "" {

@@ -4,6 +4,9 @@
 // from a disk-backed LRU cache of coded GOP streams so identical
 // requests are I/O-bound instead of CPU-bound — the serving-tier
 // workload the ROADMAP's north star asks for on top of the codec core.
+// The service itself lives in internal/serve so the SLO harness
+// (cmd/hdvslo) and the httptest suites can run it in-process; this
+// command only parses flags and owns the listener lifecycle.
 //
 // Start the server and request a stream:
 //
@@ -18,7 +21,10 @@
 //
 //	codec    target codec: mpeg2, mpeg4, h264 (default h264)
 //	seq      source sequence: blue_sky, pedestrian_area, riverbed,
-//	         rush_hour (default blue_sky)
+//	         rush_hour, sport_pan, scene_cut (default blue_sky)
+//	res      named resolution (576p25, 720p25, 1088p25, 2160p25, plus
+//	         aliases like 1080p and 4k); sets width and height, which
+//	         explicit width=/height= still override
 //	width    frame width, multiple of 16 (default 1280)
 //	height   frame height, multiple of 16 (default 720)
 //	frames   frames to encode, 1..-max-frames (default 250)
@@ -84,28 +90,17 @@ package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
-	"net"
 	"net/http"
-	"net/url"
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
-	"sync/atomic"
 	"syscall"
 	"time"
 
-	"hdvideobench"
-	"hdvideobench/internal/gopcache"
+	"hdvideobench/internal/serve"
 )
-
-const streamContentType = "application/x-hdvideobench"
 
 func main() {
 	var (
@@ -123,7 +118,7 @@ func main() {
 	)
 	flag.Parse()
 
-	srv, err := newServer(serverConfig{
+	srv, err := serve.New(serve.Config{
 		Workers:       *workers,
 		Window:        *window,
 		MaxConcurrent: *maxConc,
@@ -137,7 +132,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("hdvserve: %v", err)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Routes()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -158,693 +153,5 @@ func main() {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("hdvserve: shutdown: %v", err)
 		}
-	}
-}
-
-// serverConfig carries the per-process limits.
-type serverConfig struct {
-	Workers       int     // per-request worker budget
-	Window        int     // per-request chunk window (0 = default)
-	MaxConcurrent int     // concurrent encoding requests before 503
-	MaxFrames     int     // cap on the frames= parameter
-	MaxUpload     int64   // POST body cap in bytes
-	CacheDir      string  // GOP cache directory ("" = caching off)
-	CacheBytes    int64   // cache byte budget (<=0 = unlimited)
-	RateLimit     float64 // per-client requests/second (0 = off)
-	RateBurst     int     // per-client burst
-}
-
-// encodeFunc is the sequence-encoding entry point, a server field so the
-// httptest suite can count or fail encoder constructions (a cache hit
-// must never invoke it). indexed selects the GOP-index-building flavor;
-// without a cache fill to feed there is no reason to pay its
-// chunk-granular drain (serial mode would then hold a GOP of coded
-// packets before the first response byte).
-type encodeFunc func(w io.Writer, c hdvideobench.Codec, opts hdvideobench.EncoderOptions,
-	frames int, next func() (*hdvideobench.Frame, error), indexed bool) (hdvideobench.StreamStats, hdvideobench.GOPIndex, error)
-
-// defaultEncode backs encodeFunc with the library's streaming encoders.
-func defaultEncode(w io.Writer, c hdvideobench.Codec, opts hdvideobench.EncoderOptions,
-	frames int, next func() (*hdvideobench.Frame, error), indexed bool) (hdvideobench.StreamStats, hdvideobench.GOPIndex, error) {
-	if !indexed {
-		stats, err := hdvideobench.EncodeStream(w, c, opts, frames, next)
-		return stats, hdvideobench.GOPIndex{}, err
-	}
-	return hdvideobench.EncodeStreamIndexed(w, c, opts, frames, next)
-}
-
-// server is the HTTP transcoding service; it is constructed by
-// newServer so the httptest suite can drive the exact production
-// handler.
-type server struct {
-	cfg     serverConfig
-	sem     chan struct{}
-	cache   *gopcache.Cache // nil = caching off
-	limiter *rateLimiter    // nil = rate limiting off
-	encode  encodeFunc
-
-	// metrics
-	active      atomic.Int64
-	served      atomic.Int64 // completed GET streams (cold or cached)
-	transcoded  atomic.Int64 // completed POST transcodes
-	getReqs     atomic.Int64
-	postReqs    atomic.Int64
-	rateLimited atomic.Int64
-	capacity503 atomic.Int64
-	bytesServed atomic.Int64
-	encodeNanos atomic.Int64
-	encodes     atomic.Int64
-}
-
-func newServer(cfg serverConfig) (*server, error) {
-	if cfg.Workers < 1 {
-		cfg.Workers = 1
-	}
-	if cfg.MaxConcurrent < 1 {
-		cfg.MaxConcurrent = 1
-	}
-	if cfg.MaxFrames < 1 {
-		cfg.MaxFrames = 5000
-	}
-	if cfg.MaxUpload < 1 {
-		cfg.MaxUpload = 1 << 30
-	}
-	s := &server{
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst),
-		encode:  defaultEncode,
-	}
-	if cfg.CacheDir != "" {
-		cache, err := gopcache.Open(cfg.CacheDir, cfg.CacheBytes)
-		if err != nil {
-			return nil, err
-		}
-		s.cache = cache
-	}
-	return s, nil
-}
-
-func (s *server) routes() http.Handler {
-	mux := http.NewServeMux()
-	mux.Handle("GET /transcode", s.instrument(s.limit(s.handleTranscode)))
-	mux.Handle("POST /transcode", s.instrument(s.limit(s.handleTranscodePost)))
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
-}
-
-// instrument counts response bytes into the bytes-served total.
-func (s *server) instrument(next http.HandlerFunc) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		next(&countingResponseWriter{rw: w, n: &s.bytesServed}, r)
-	})
-}
-
-// limit applies the per-client token bucket, keyed by peer IP.
-func (s *server) limit(next http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if s.limiter != nil {
-			host, _, err := net.SplitHostPort(r.RemoteAddr)
-			if err != nil {
-				host = r.RemoteAddr
-			}
-			if !s.limiter.allow(host, time.Now()) {
-				s.rateLimited.Add(1)
-				w.Header().Set("Retry-After", strconv.Itoa(s.limiter.retryAfterSeconds()))
-				http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
-				return
-			}
-		}
-		next(w, r)
-	}
-}
-
-// intParam parses an integer query parameter with a default and bounds.
-func intParam(q url.Values, name string, def, lo, hi int) (int, error) {
-	vs, ok := q[name]
-	if !ok || len(vs) == 0 || vs[0] == "" {
-		return def, nil
-	}
-	v, err := strconv.Atoi(vs[0])
-	if err != nil {
-		return 0, fmt.Errorf("%s: not an integer: %q", name, vs[0])
-	}
-	if v < lo || v > hi {
-		return 0, fmt.Errorf("%s: %d out of range [%d,%d]", name, v, lo, hi)
-	}
-	return v, nil
-}
-
-// boolParam parses a boolean query parameter with strconv.ParseBool's
-// strictness: absent/empty is false, garbage is an error — matching
-// intParam, where a malformed value is a 400 rather than a silent
-// default.
-func boolParam(q url.Values, name string) (bool, error) {
-	v := q.Get(name)
-	if v == "" {
-		return false, nil
-	}
-	b, err := strconv.ParseBool(v)
-	if err != nil {
-		return false, fmt.Errorf("%s: not a boolean: %q", name, v)
-	}
-	return b, nil
-}
-
-// transcodeRequest is a validated /transcode query.
-type transcodeRequest struct {
-	codec  hdvideobench.Codec
-	seq    hdvideobench.Sequence
-	frames int
-	index  bool // GET: serve the GOP index instead of the stream
-	opts   hdvideobench.EncoderOptions
-}
-
-// cacheKey maps the request onto the GOP cache's key space: every field
-// that shapes the coded bytes, and nothing else (workers and window are
-// byte-identical by the pipeline's determinism guarantee).
-func (req transcodeRequest) cacheKey() gopcache.Key {
-	// Only H.264 has a selectable entropy coder; keying it for the other
-	// codecs would give byte-identical streams two cache entries.
-	entropy := ""
-	if req.codec == hdvideobench.H264 {
-		entropy = "cabac"
-		if req.opts.Entropy == hdvideobench.EntropyVLC {
-			entropy = "vlc"
-		}
-	}
-	return gopcache.Key{
-		Codec:   req.codec.String(),
-		Seq:     req.seq.String(),
-		Width:   req.opts.Width,
-		Height:  req.opts.Height,
-		Frames:  req.frames,
-		Q:       req.opts.Q,
-		GOP:     req.opts.IntraPeriod,
-		Slices:  req.opts.Slices,
-		Entropy: entropy,
-		SIMD:    req.opts.SIMD,
-	}
-}
-
-// parseCoding parses the coding options shared by GET and POST. width
-// and height of 0 mean "copy the input" (POST); GET overrides the
-// defaults before calling.
-func (s *server) parseCoding(q url.Values, defWidth, defHeight int) (hdvideobench.Codec, hdvideobench.EncoderOptions, error) {
-	var opts hdvideobench.EncoderOptions
-	codecName := q.Get("codec")
-	if codecName == "" {
-		codecName = "h264"
-	}
-	c, err := hdvideobench.ParseCodec(codecName)
-	if err != nil {
-		return c, opts, err
-	}
-
-	width, err := intParam(q, "width", defWidth, 16, 4096)
-	if err != nil {
-		return c, opts, err
-	}
-	height, err := intParam(q, "height", defHeight, 16, 4096)
-	if err != nil {
-		return c, opts, err
-	}
-	if width != 0 && height != 0 {
-		if err := hdvideobench.ValidateResolution(width, height); err != nil {
-			return c, opts, err
-		}
-	} else if width%16 != 0 || height%16 != 0 {
-		// POST may override just one dimension (the other copies the
-		// input's), so each is validated on its own here.
-		return c, opts, fmt.Errorf("width/height must be multiples of 16, got %dx%d", width, height)
-	}
-	qp, err := intParam(q, "q", 5, 1, 31)
-	if err != nil {
-		return c, opts, err
-	}
-	// The gop ceiling matches the streaming decoder's fallback
-	// threshold, so every stream this server emits stays fully
-	// GOP-parallel on the client's decode side.
-	gop, err := intParam(q, "gop", 8, 1, 255)
-	if err != nil {
-		return c, opts, err
-	}
-	// workers clamps to the server's budget rather than rejecting, so
-	// one client request works against any replica's CPU budget.
-	workers, err := intParam(q, "workers", s.cfg.Workers, 1, 4096)
-	if err != nil {
-		return c, opts, err
-	}
-	workers = min(workers, s.cfg.Workers)
-	// slices clamps to the request's worker budget: more slices than
-	// workers would pay the compression cost without buying speedup.
-	slices, err := intParam(q, "slices", 1, 1, 255)
-	if err != nil {
-		return c, opts, err
-	}
-	slices = min(slices, workers)
-	simd, err := boolParam(q, "simd")
-	if err != nil {
-		return c, opts, err
-	}
-	vlc, err := boolParam(q, "vlc")
-	if err != nil {
-		return c, opts, err
-	}
-
-	opts = hdvideobench.EncoderOptions{
-		Width: width, Height: height, Q: qp,
-		IntraPeriod: gop,
-		Slices:      slices,
-		Workers:     workers,
-		Window:      s.cfg.Window,
-		SIMD:        simd,
-	}
-	if vlc {
-		opts.Entropy = hdvideobench.EntropyVLC
-	}
-	return c, opts, nil
-}
-
-func (s *server) parseTranscode(r *http.Request) (transcodeRequest, error) {
-	q := r.URL.Query()
-	var req transcodeRequest
-	var err error
-
-	if req.codec, req.opts, err = s.parseCoding(q, 1280, 720); err != nil {
-		return req, err
-	}
-	seqName := q.Get("seq")
-	if seqName == "" {
-		seqName = "blue_sky"
-	}
-	if req.seq, err = hdvideobench.ParseSequence(seqName); err != nil {
-		return req, err
-	}
-	if req.frames, err = intParam(q, "frames", min(250, s.cfg.MaxFrames), 1, s.cfg.MaxFrames); err != nil {
-		return req, err
-	}
-	if req.index, err = boolParam(q, "index"); err != nil {
-		return req, err
-	}
-	return req, nil
-}
-
-// acquire takes an encoding slot or answers 503: hand back pressure
-// instead of queueing unbounded work — the client can retry against
-// another replica.
-func (s *server) acquire(w http.ResponseWriter) bool {
-	select {
-	case s.sem <- struct{}{}:
-		s.active.Add(1)
-		return true
-	default:
-		s.capacity503.Add(1)
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "transcoder at capacity", http.StatusServiceUnavailable)
-		return false
-	}
-}
-
-func (s *server) release() {
-	s.active.Add(-1)
-	<-s.sem
-}
-
-// frameFeed yields the request's generated frames, honoring the request
-// context so a dropped client aborts the encode from the input side.
-func frameFeed(ctx context.Context, req transcodeRequest) func() (*hdvideobench.Frame, error) {
-	gen := hdvideobench.NewSequence(req.seq, req.opts.Width, req.opts.Height)
-	i := 0
-	return func() (*hdvideobench.Frame, error) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if i >= req.frames {
-			return nil, io.EOF
-		}
-		f := gen.Frame(i)
-		i++
-		return f, nil
-	}
-}
-
-func (s *server) handleTranscode(w http.ResponseWriter, r *http.Request) {
-	s.getReqs.Add(1)
-	req, err := s.parseTranscode(r)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if req.index && s.cache == nil {
-		http.Error(w, "index requires caching (-cache-dir)", http.StatusBadRequest)
-		return
-	}
-
-	var key gopcache.Key
-	if s.cache != nil {
-		key = req.cacheKey()
-		if ent, ok := s.cache.Get(key); ok {
-			s.serveCached(w, r, req, ent, "hit")
-			return
-		}
-	}
-
-	if !s.acquire(w) {
-		return
-	}
-	defer s.release()
-
-	// Seek and index need the complete entry: encode it into the cache
-	// first, then serve the requested span off disk.
-	if s.cache != nil && (req.index || r.Header.Get("Range") != "") {
-		ent, ok := s.fillCache(w, r, req, key)
-		if !ok {
-			return
-		}
-		s.serveCached(w, r, req, ent, "miss")
-		return
-	}
-	s.streamCold(w, r, req, key)
-}
-
-// serveCached serves a request straight from an opened cache entry:
-// the index as JSON, or the container bytes with standard Range
-// support. state names how the entry got here ("hit" or "miss").
-func (s *server) serveCached(w http.ResponseWriter, r *http.Request, req transcodeRequest, ent *gopcache.Entry, state string) {
-	defer ent.Close()
-	if req.index {
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-HDVB-Cache", state)
-		writeIndexJSON(w, ent.Index)
-		return
-	}
-	h := w.Header()
-	h.Set("Content-Type", streamContentType)
-	h.Set("X-HDVB-Codec", req.codec.String())
-	h.Set("X-HDVB-Frames", strconv.Itoa(req.frames))
-	h.Set("X-HDVB-Cache", state)
-	// ServeContent handles Range/If-Range/HEAD and sets Content-Length
-	// and Accept-Ranges; the body is the exact byte stream a cold
-	// encode produces, so hits are byte-identical to misses.
-	http.ServeContent(w, r, "", ent.ModTime, ent.Body())
-	s.served.Add(1)
-}
-
-type indexJSON struct {
-	Size int64          `json:"size"`
-	GOPs []indexGOPJSON `json:"gops"`
-}
-
-type indexGOPJSON struct {
-	Offset int64 `json:"offset"`
-	Frame  int   `json:"frame"`
-}
-
-func writeIndexJSON(w io.Writer, idx hdvideobench.GOPIndex) {
-	out := indexJSON{Size: idx.Size, GOPs: make([]indexGOPJSON, len(idx.Entries))}
-	for i, e := range idx.Entries {
-		out.GOPs[i] = indexGOPJSON{Offset: e.Offset, Frame: e.Frame}
-	}
-	json.NewEncoder(w).Encode(out)
-}
-
-// fillCache encodes the request into the cache without streaming to the
-// client (the ranged/indexed miss path). On failure it writes the error
-// response and reports !ok.
-func (s *server) fillCache(w http.ResponseWriter, r *http.Request, req transcodeRequest, key gopcache.Key) (*gopcache.Entry, bool) {
-	fill, err := s.cache.NewFill(key)
-	if err != nil {
-		http.Error(w, "cache unavailable", http.StatusInternalServerError)
-		return nil, false
-	}
-	ctx := r.Context()
-	start := time.Now()
-	fw := &errTrackWriter{w: fill}
-	stats, idx, err := s.encode(fw, req.codec, req.opts, req.frames, frameFeed(ctx, req), true)
-	if err != nil {
-		fill.Abort()
-		if ctx.Err() != nil {
-			return nil, false // client gone; nobody is listening
-		}
-		switch {
-		case fw.err != nil:
-			// The request was fine; the cache disk was not. A zero-byte
-			// fill failure must not masquerade as a client error.
-			http.Error(w, "cache write failed", http.StatusInternalServerError)
-		case stats.Bytes == 0:
-			http.Error(w, err.Error(), http.StatusBadRequest)
-		default:
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-		return nil, false
-	}
-	s.encodes.Add(1)
-	s.encodeNanos.Add(int64(time.Since(start)))
-	ent, err := fill.Commit(idx)
-	if err != nil {
-		http.Error(w, "cache commit failed", http.StatusInternalServerError)
-		return nil, false
-	}
-	return ent, true
-}
-
-// streamCold encodes and streams the request with chunked transfer,
-// teeing the byte stream into a cache fill when caching is on. Stream
-// headers are deferred to the first body byte so pre-stream failures
-// (nothing on the wire yet) produce clean, headerless error statuses.
-func (s *server) streamCold(w http.ResponseWriter, r *http.Request, req transcodeRequest, key gopcache.Key) {
-	hw := &deferredHeaderWriter{rw: w, set: func(h http.Header) {
-		h.Set("Content-Type", streamContentType)
-		h.Set("X-HDVB-Codec", req.codec.String())
-		h.Set("X-HDVB-Frames", strconv.Itoa(req.frames))
-		if s.cache != nil {
-			h.Set("X-HDVB-Cache", "miss")
-		}
-	}}
-	var sink flushWriter = hw
-	var tee *cacheTeeWriter
-	if s.cache != nil {
-		// Cache trouble must never fail serving: no fill, no tee.
-		if fill, err := s.cache.NewFill(key); err == nil {
-			tee = &cacheTeeWriter{dst: hw, fill: fill}
-			sink = tee
-		}
-	}
-
-	ctx := r.Context()
-	start := time.Now()
-	// The GOP index only exists to be committed with the fill; without a
-	// tee the plain per-packet drain keeps first-byte latency at one
-	// packet, not one GOP.
-	stats, idx, err := s.encode(sink, req.codec, req.opts, req.frames, frameFeed(ctx, req), tee != nil)
-	abortTee := func() {
-		if tee != nil {
-			tee.fill.Abort()
-		}
-	}
-	switch {
-	case err == nil:
-		s.served.Add(1)
-		s.encodes.Add(1)
-		s.encodeNanos.Add(int64(time.Since(start)))
-		if tee != nil {
-			if tee.teeErr != nil {
-				tee.fill.Abort()
-			} else if ent, err := tee.fill.Commit(idx); err != nil {
-				log.Printf("hdvserve: cache commit: %v", err)
-			} else {
-				ent.Close() // already streamed; only fillCache serves off the commit
-			}
-		}
-		log.Printf("hdvserve: %s %s %dx%d frames=%d workers=%d: %d bytes in %v",
-			req.codec, req.seq, req.opts.Width, req.opts.Height,
-			req.frames, req.opts.Workers, stats.Bytes, time.Since(start).Round(time.Millisecond))
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil:
-		abortTee()
-		log.Printf("hdvserve: client gone after %d frames (%d bytes)", stats.Frames, stats.Bytes)
-	case !hw.wrote:
-		// Nothing on the wire yet: the error can still become a status,
-		// and since the stream headers are deferred, the 400 carries
-		// none of them.
-		abortTee()
-		http.Error(w, err.Error(), http.StatusBadRequest)
-	default:
-		// Mid-stream failure; the truncated body is the only signal.
-		abortTee()
-		log.Printf("hdvserve: stream failed after %d frames: %v", stats.Frames, err)
-	}
-}
-
-func (s *server) handleTranscodePost(w http.ResponseWriter, r *http.Request) {
-	s.postReqs.Add(1)
-	q := r.URL.Query()
-	codec, opts, err := s.parseCoding(q, 0, 0) // width/height 0: copy the input's
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if !s.acquire(w) {
-		return
-	}
-	defer s.release()
-
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUpload)
-	hw := &deferredHeaderWriter{rw: w, set: func(h http.Header) {
-		h.Set("Content-Type", streamContentType)
-		h.Set("X-HDVB-Codec", codec.String())
-	}}
-	ctx := r.Context()
-	start := time.Now()
-	stats, err := hdvideobench.Transcode(body, hw, codec, opts)
-	switch {
-	case err == nil:
-		s.transcoded.Add(1)
-		s.encodes.Add(1)
-		s.encodeNanos.Add(int64(time.Since(start)))
-		log.Printf("hdvserve: transcode %s -> %s: %d frames, %d -> %d bytes in %v",
-			stats.In, stats.Out, stats.Frames, stats.BytesIn, stats.BytesOut,
-			time.Since(start).Round(time.Millisecond))
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil:
-		log.Printf("hdvserve: transcode client gone after %d frames", stats.Frames)
-	case !hw.wrote:
-		// A bad upload (wrong magic, unsupported version, bad config)
-		// fails before the output container opens.
-		http.Error(w, err.Error(), http.StatusBadRequest)
-	default:
-		log.Printf("hdvserve: transcode failed after %d frames: %v", stats.Frames, err)
-	}
-}
-
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	fmt.Fprintf(w, "# HELP hdvserve_requests_total Requests by endpoint and method.\n# TYPE hdvserve_requests_total counter\n")
-	fmt.Fprintf(w, "hdvserve_requests_total{endpoint=\"transcode\",method=\"GET\"} %d\n", s.getReqs.Load())
-	fmt.Fprintf(w, "hdvserve_requests_total{endpoint=\"transcode\",method=\"POST\"} %d\n", s.postReqs.Load())
-	gauge("hdvserve_active_requests", "Encoding requests in flight.", s.active.Load())
-	counter("hdvserve_streams_served_total", "Completed GET /transcode streams (cold or cached).", s.served.Load())
-	counter("hdvserve_uploads_transcoded_total", "Completed POST /transcode transcodes.", s.transcoded.Load())
-	counter("hdvserve_encodes_total", "Encoder pipeline runs (cache hits never add here).", s.encodes.Load())
-	fmt.Fprintf(w, "# HELP hdvserve_encode_seconds_total Cumulative wall-clock seconds spent encoding.\n# TYPE hdvserve_encode_seconds_total counter\nhdvserve_encode_seconds_total %f\n",
-		time.Duration(s.encodeNanos.Load()).Seconds())
-	counter("hdvserve_bytes_served_total", "Response bytes written on /transcode.", s.bytesServed.Load())
-	counter("hdvserve_rate_limited_total", "Requests rejected by the per-client rate limit.", s.rateLimited.Load())
-	counter("hdvserve_capacity_rejections_total", "Requests rejected with 503 at the encode semaphore.", s.capacity503.Load())
-	if s.cache != nil {
-		cs := s.cache.Stats()
-		counter("hdvserve_cache_hits_total", "GOP cache hits.", cs.Hits)
-		counter("hdvserve_cache_misses_total", "GOP cache misses.", cs.Misses)
-		counter("hdvserve_cache_evictions_total", "GOP cache entries evicted for budget.", cs.Evictions)
-		gauge("hdvserve_cache_entries", "GOP cache entries on disk.", int64(cs.Entries))
-		gauge("hdvserve_cache_bytes", "GOP cache bytes on disk.", cs.Bytes)
-		gauge("hdvserve_cache_budget_bytes", "GOP cache byte budget (0 = unlimited).", cs.Budget)
-	}
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"status":"ok","active":%d,"capacity":%d,"served":%d}`+"\n",
-		s.active.Load(), s.cfg.MaxConcurrent, s.served.Load())
-}
-
-// flushWriter is what the streaming paths need from their sink: the
-// container's StreamWriter flush-through triggers on the error-less
-// Flush flavor.
-type flushWriter interface {
-	io.Writer
-	Flush()
-}
-
-// deferredHeaderWriter postpones the stream headers to the first body
-// byte: a request that fails before producing any output (bad encoder
-// config, cache fill refusal) can then answer with a clean error status
-// instead of a 400 that carries X-HDVB-* stream headers.
-type deferredHeaderWriter struct {
-	rw    http.ResponseWriter
-	set   func(http.Header)
-	wrote bool
-}
-
-func (d *deferredHeaderWriter) Write(p []byte) (int, error) {
-	if !d.wrote {
-		d.wrote = true
-		if d.set != nil {
-			d.set(d.rw.Header())
-		}
-	}
-	return d.rw.Write(p)
-}
-
-func (d *deferredHeaderWriter) Flush() {
-	if f, ok := d.rw.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// errTrackWriter remembers the first write failure, letting fillCache
-// tell a cache-disk fault (500) apart from a request the encoder
-// rejected before producing bytes (400).
-type errTrackWriter struct {
-	w   io.Writer
-	err error
-}
-
-func (e *errTrackWriter) Write(p []byte) (int, error) {
-	n, err := e.w.Write(p)
-	if err != nil && e.err == nil {
-		e.err = err
-	}
-	return n, err
-}
-
-// cacheTeeWriter mirrors the response byte stream into a cache fill. A
-// fill failure (disk full) quietly stops the tee — caching is an
-// optimization, never a reason to fail the client's stream — and the
-// fill is aborted instead of committed.
-type cacheTeeWriter struct {
-	dst    *deferredHeaderWriter
-	fill   *gopcache.Fill
-	teeErr error
-}
-
-func (t *cacheTeeWriter) Write(p []byte) (int, error) {
-	n, err := t.dst.Write(p)
-	if n > 0 && t.teeErr == nil {
-		if _, werr := t.fill.Write(p[:n]); werr != nil {
-			t.teeErr = werr
-		}
-	}
-	return n, err
-}
-
-func (t *cacheTeeWriter) Flush() { t.dst.Flush() }
-
-// countingResponseWriter feeds the bytes-served metric, passing flushes
-// through so chunked streaming keeps its per-packet latency.
-type countingResponseWriter struct {
-	rw http.ResponseWriter
-	n  *atomic.Int64
-}
-
-func (c *countingResponseWriter) Header() http.Header { return c.rw.Header() }
-
-func (c *countingResponseWriter) WriteHeader(code int) { c.rw.WriteHeader(code) }
-
-func (c *countingResponseWriter) Write(p []byte) (int, error) {
-	n, err := c.rw.Write(p)
-	c.n.Add(int64(n))
-	return n, err
-}
-
-func (c *countingResponseWriter) Flush() {
-	if f, ok := c.rw.(http.Flusher); ok {
-		f.Flush()
 	}
 }

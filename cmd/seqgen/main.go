@@ -16,8 +16,8 @@ import (
 
 func main() {
 	var (
-		seqName = flag.String("seq", "blue_sky", "sequence: blue_sky, pedestrian_area, riverbed, rush_hour")
-		resName = flag.String("res", "", "benchmark resolution name (576p25, 720p25, 1088p25)")
+		seqName = flag.String("seq", "blue_sky", "sequence: blue_sky, pedestrian_area, riverbed, rush_hour, sport_pan, scene_cut")
+		resName = flag.String("res", "", "resolution name (576p25, 720p25, 1088p25, 2160p25; aliases like 1080p, 4k)")
 		width   = flag.Int("w", 0, "custom width (multiple of 16)")
 		height  = flag.Int("h", 0, "custom height (multiple of 16)")
 		frames  = flag.Int("frames", 100, "number of frames")
@@ -31,16 +31,11 @@ func main() {
 	}
 	w, h := *width, *height
 	if *resName != "" {
-		found := false
-		for _, r := range hdvideobench.Resolutions {
-			if r.Name == *resName {
-				w, h = r.Width, r.Height
-				found = true
-			}
+		r, err := hdvideobench.ResolutionByName(*resName)
+		if err != nil {
+			fatalf("%v", err)
 		}
-		if !found {
-			fatalf("unknown resolution %q", *resName)
-		}
+		w, h = r.Width, r.Height
 	}
 	if err := hdvideobench.ValidateResolution(w, h); err != nil {
 		fatalf("%v", err)

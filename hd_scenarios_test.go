@@ -1,0 +1,133 @@
+package hdvideobench
+
+import (
+	"testing"
+)
+
+// TestResolutionByName pins the extended resolution table and its
+// aliases: the paper's trio stays canonical, 2160p25 extends it, and
+// the "1080p" family lands on the macroblock-aligned 1088-line raster.
+func TestResolutionByName(t *testing.T) {
+	cases := map[string]string{
+		"576p25": "576p25", "sd": "576p25",
+		"720p25": "720p25", "hd": "720p25",
+		"1088p25": "1088p25", "1080p": "1088p25", "fullhd": "1088p25",
+		"2160p25": "2160p25", "4k": "2160p25", "uhd": "2160p25", "2160p": "2160p25",
+	}
+	for name, want := range cases {
+		r, err := ResolutionByName(name)
+		if err != nil {
+			t.Errorf("ResolutionByName(%q): %v", name, err)
+			continue
+		}
+		if r.Name != want {
+			t.Errorf("ResolutionByName(%q) = %q, want %q", name, r.Name, want)
+		}
+		if r.Width%16 != 0 || r.Height%16 != 0 {
+			t.Errorf("%q: %dx%d not macroblock aligned", name, r.Width, r.Height)
+		}
+	}
+	if _, err := ResolutionByName("8k"); err == nil {
+		t.Error("unknown resolution accepted")
+	}
+	if len(Resolutions) != 3 {
+		t.Fatalf("the paper's resolution list grew to %d — extensions belong in AllResolutions", len(Resolutions))
+	}
+	if n := len(AllResolutions); n != 4 {
+		t.Fatalf("AllResolutions has %d entries, want the paper's 3 plus 2160p25", n)
+	}
+}
+
+// TestHDScenarioRoundTrip drives the widened scenario axes end to end:
+// the two stressor scenes at 1088p and 2160p must encode and decode in
+// all three codecs with sane fidelity. Frame counts stay tiny — the
+// point is that the full pixel path works at these rasters, not speed.
+func TestHDScenarioRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-megapixel round trips are slow on -short")
+	}
+	points := []struct {
+		res Resolution
+		seq Sequence
+	}{
+		{mustRes(t, "1088p25"), SportPan},
+		{mustRes(t, "2160p25"), SceneCut},
+	}
+	for _, pt := range points {
+		for _, c := range []Codec{MPEG2, MPEG4, H264} {
+			frames := NewSequence(pt.seq, pt.res.Width, pt.res.Height).Generate(2)
+			enc, err := NewEncoder(c, EncoderOptions{
+				Width: pt.res.Width, Height: pt.res.Height, SearchRange: 8,
+			})
+			if err != nil {
+				t.Fatalf("%v %s: %v", c, pt.res.Name, err)
+			}
+			pkts, err := EncodeFrames(enc, frames)
+			if err != nil {
+				t.Fatalf("%v %s encode: %v", c, pt.res.Name, err)
+			}
+			dec, err := NewDecoder(enc.Header(), false)
+			if err != nil {
+				t.Fatalf("%v %s: %v", c, pt.res.Name, err)
+			}
+			out, err := DecodePackets(dec, pkts)
+			if err != nil {
+				t.Fatalf("%v %s decode: %v", c, pt.res.Name, err)
+			}
+			if len(out) != len(frames) {
+				t.Fatalf("%v %s: %d frames out, want %d", c, pt.res.Name, len(out), len(frames))
+			}
+			for i := range out {
+				if out[i].Width != pt.res.Width || out[i].Height != pt.res.Height {
+					t.Fatalf("%v %s frame %d: decoded %dx%d", c, pt.res.Name, i, out[i].Width, out[i].Height)
+				}
+				if p := PSNR(frames[i], out[i]); p < 25 {
+					t.Errorf("%v %s frame %d: PSNR %.2f below floor", c, pt.res.Name, i, p)
+				}
+			}
+		}
+	}
+}
+
+// TestStressorScenesAllCodecs round-trips both new scenes in every codec
+// at a small raster, so the cheap path runs even under -short.
+func TestStressorScenesAllCodecs(t *testing.T) {
+	for _, seq := range []Sequence{SportPan, SceneCut} {
+		for _, c := range []Codec{MPEG2, MPEG4, H264} {
+			frames := NewSequence(seq, 176, 144).Generate(3)
+			enc, err := NewEncoder(c, EncoderOptions{Width: 176, Height: 144})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkts, err := EncodeFrames(enc, frames)
+			if err != nil {
+				t.Fatalf("%v %v encode: %v", c, seq, err)
+			}
+			dec, err := NewDecoder(enc.Header(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := DecodePackets(dec, pkts)
+			if err != nil {
+				t.Fatalf("%v %v decode: %v", c, seq, err)
+			}
+			for i := range out {
+				if p := PSNR(frames[i], out[i]); p < 22 {
+					t.Errorf("%v %v frame %d: PSNR %.2f below floor", c, seq, i, p)
+				}
+			}
+		}
+	}
+	if len(AllSequences) != 6 {
+		t.Fatalf("AllSequences has %d entries, want the paper's 4 plus 2 stressors", len(AllSequences))
+	}
+}
+
+func mustRes(t *testing.T, name string) Resolution {
+	t.Helper()
+	r, err := ResolutionByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

@@ -103,16 +103,25 @@ func PSNR(ref, dist *Frame) float64 { return metrics.PSNRFrames(ref, dist) }
 // Sequence identifies one of the four benchmark input sequences (Table III).
 type Sequence = seqgen.Sequence
 
-// The four benchmark sequences.
+// The four benchmark sequences, plus the two scenario stressors
+// (SportPan: fast global camera pan; SceneCut: hard shot alternation
+// every seqgen.SceneCutPeriod frames).
 const (
 	BlueSky        = seqgen.BlueSky
 	PedestrianArea = seqgen.PedestrianArea
 	Riverbed       = seqgen.Riverbed
 	RushHour       = seqgen.RushHour
+	SportPan       = seqgen.SportPan
+	SceneCut       = seqgen.SceneCut
 )
 
-// Sequences lists all four in table order.
+// Sequences lists the paper's four in table order (the benchmark
+// default matrix).
 var Sequences = seqgen.All
+
+// AllSequences lists every available sequence: the paper's four plus
+// the scenario stressors.
+var AllSequences = seqgen.Extended
 
 // ParseSequence maps a sequence name ("blue_sky", ...) to its value.
 func ParseSequence(name string) (Sequence, error) { return seqgen.Parse(name) }
@@ -129,8 +138,18 @@ func NewSequence(s Sequence, width, height int) *SequenceGenerator {
 // Resolution is one of the benchmark picture sizes (§IV).
 type Resolution = core.Resolution
 
-// Resolutions lists the paper's three sizes: 576p25, 720p25, 1088p25.
+// Resolutions lists the paper's three sizes: 576p25, 720p25, 1088p25
+// (the benchmark default matrix).
 var Resolutions = core.Resolutions
+
+// AllResolutions lists every named resolution: the paper's three plus
+// 2160p25 (4K UHD).
+var AllResolutions = core.AllResolutions
+
+// ResolutionByName resolves a resolution name — canonical ("720p25",
+// "2160p25") or alias ("1080p", "4k"; 1080p maps to the 1088-row size,
+// heights must be multiples of 16).
+func ResolutionByName(name string) (Resolution, error) { return core.ResolutionByName(name) }
 
 // Packet is one coded frame in coding order.
 type Packet = container.Packet

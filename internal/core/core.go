@@ -75,10 +75,35 @@ var Resolutions = []Resolution{
 	{"1088p25", 1920, 1088},
 }
 
-// ResolutionByName finds a benchmark resolution.
+// UHD2160 extends the paper's set one HD generation up: 4K UHD, the
+// "as HD as it gets now" scenario point. 2160 is already a multiple of
+// 16, so no 1088-style rounding is needed.
+var UHD2160 = Resolution{"2160p25", 3840, 2160}
+
+// AllResolutions is every named resolution a front end accepts: the
+// paper's three plus UHD2160. Benchmark defaults stay on Resolutions —
+// the Table V / Figure 1 matrix is the paper's.
+var AllResolutions = append(append([]Resolution{}, Resolutions...), UHD2160)
+
+// resolutionAliases maps common spellings onto canonical names. 1080p
+// resolves to the 1088-row size for the same §IV multiple-of-16 reason
+// the paper's tables do.
+var resolutionAliases = map[string]string{
+	"576p": "576p25", "sd": "576p25", "dvd": "576p25",
+	"720p": "720p25", "hd": "720p25",
+	"1080p": "1088p25", "1080p25": "1088p25", "1088p": "1088p25", "fullhd": "1088p25",
+	"2160p": "2160p25", "4k": "2160p25", "uhd": "2160p25",
+}
+
+// ResolutionByName finds a named resolution, accepting the canonical
+// names ("576p25" ... "2160p25") and common aliases ("1080p", "4k").
 func ResolutionByName(name string) (Resolution, error) {
-	for _, r := range Resolutions {
-		if strings.EqualFold(r.Name, name) {
+	canon := name
+	if alias, ok := resolutionAliases[strings.ToLower(name)]; ok {
+		canon = alias
+	}
+	for _, r := range AllResolutions {
+		if strings.EqualFold(r.Name, canon) {
 			return r, nil
 		}
 	}

@@ -1,0 +1,178 @@
+package seqgen
+
+import "hdvideobench/internal/frame"
+
+// The two scenario-stressor sequences, written against the same virtual
+// 1920×1088 canvas as the paper's four (scenes.go):
+//
+//	sport_pan — a fast global camera pan across a detailed sports
+//	            pitch: the whole frame translates SportPanSpeed virtual
+//	            pixels every frame, so motion search must chase a large
+//	            uniform displacement (the televised-sport workload).
+//	scene_cut — shots alternate between two completely different scenes
+//	            every SceneCutPeriod frames: most of the picture changes
+//	            at each cut, the worst case for inter prediction and the
+//	            natural trigger for adaptive I-frame placement.
+
+// SportPanSpeed is the sport_pan camera's horizontal displacement in
+// virtual (1920-wide canvas) pixels per frame. At a rendered width w
+// the per-frame pixel shift is SportPanSpeed*w/1920 — an exact integer
+// whenever w is a multiple of 96, which every benchmark resolution is.
+const SportPanSpeed = 20
+
+// SceneCutPeriod is the shot length of scene_cut in frames: frame
+// k*SceneCutPeriod is the first frame of a new shot.
+const SceneCutPeriod = 16
+
+// renderSportPan: the camera pans right at SportPanSpeed virtual
+// px/frame over a pitch that is static in world coordinates — striped
+// turf with fine grain, white field lines, a crowd band across the top
+// — so consecutive frames are exact translations of each other apart
+// from the newly revealed strip. High global motion, high spatial
+// detail.
+func renderSportPan(f *frame.Frame, idx int) {
+	w, h := int32(f.Width), int32(f.Height)
+	pan := int32(idx) * SportPanSpeed
+	for r := int32(0); r < h; r++ {
+		vy := r * 1088 / h
+		rowY := f.YOrigin + int(r)*f.YStride
+		for c := int32(0); c < w; c++ {
+			wx := c*1920/w + pan // world coordinate: content pans left
+			f.Y[rowY+int(c)] = clampB(pitchY(wx, vy))
+		}
+	}
+	cw, ch := int32(f.ChromaWidth()), int32(f.ChromaHeight())
+	for r := int32(0); r < ch; r++ {
+		vy := r * 2 * 1088 / h
+		rowC := f.COrigin + int(r)*f.CStride
+		for c := int32(0); c < cw; c++ {
+			wx := c*2*1920/w + pan
+			if vy < 300 { // crowd: desaturated
+				f.Cb[rowC+int(c)] = clampB(126 + (noiseByte(uint32(wx/4), uint32(vy/4), 61)-128)/16)
+				f.Cr[rowC+int(c)] = 130
+			} else { // turf: green
+				f.Cb[rowC+int(c)] = 108
+				f.Cr[rowC+int(c)] = 112
+			}
+		}
+	}
+}
+
+// pitchY is the sport_pan world: crowd band, striped turf, field lines.
+// Pure function of world coordinates, so the pan is an exact translate.
+func pitchY(wx, vy int32) int32 {
+	if vy < 300 {
+		// Crowd: dense uncorrelated speckle (faces and shirts).
+		return 90 + (noiseByte(uint32(wx/6), uint32(vy/6), 57)-128)/2
+	}
+	// Mowing stripes alternate every 96 virtual px; fine blade grain on top.
+	y := int32(95)
+	if (wx/96)%2 == 0 {
+		y = 115
+	}
+	y += (fbm2(wx, vy, 7, 58) - 128) / 4
+	// Vertical field lines every 480 px and a halfway horizontal at 700.
+	lx := wx % 480
+	if lx < 0 {
+		lx += 480
+	}
+	if lx < 8 || (vy > 696 && vy < 706) {
+		y = 225
+	}
+	return y
+}
+
+// renderSceneCut alternates between two unrelated shots every
+// SceneCutPeriod frames. Motion inside each shot is moderate (a prop
+// orbits in shot A, light streaks drift in shot B) but the cut replaces
+// nearly every pixel: shot A is bright and warm, shot B dark and cool.
+func renderSceneCut(f *frame.Frame, idx int) {
+	if (idx/SceneCutPeriod)%2 == 0 {
+		renderCutShotA(f, idx)
+	} else {
+		renderCutShotB(f, idx)
+	}
+}
+
+// renderCutShotA: bright studio — light gradient backdrop with gentle
+// texture and a large dark panel orbiting the centre.
+func renderCutShotA(f *frame.Frame, idx int) {
+	w, h := int32(f.Width), int32(f.Height)
+	// Panel centre orbits on a small square path, 4 virtual px/frame.
+	t := int32(idx) * 4 % 512
+	ox, oy := orbit(t)
+	px, py := int32(960)+ox, int32(544)+oy
+	for r := int32(0); r < h; r++ {
+		vy := r * 1088 / h
+		rowY := f.YOrigin + int(r)*f.YStride
+		for c := int32(0); c < w; c++ {
+			vx := c * 1920 / w
+			y := 190 + vy*30/1088 + (fbm2(vx, vy, 60, 71)-128)/8
+			if abs32(vx-px) < 260 && abs32(vy-py) < 180 {
+				y = 55 + (fbm2(vx, vy, 24, 72)-128)/6
+			}
+			f.Y[rowY+int(c)] = clampB(y)
+		}
+	}
+	fillChroma(f, 118, 138) // warm
+}
+
+// renderCutShotB: night road — near-black backdrop with a dim ground
+// texture and three bright light streaks drifting left.
+func renderCutShotB(f *frame.Frame, idx int) {
+	w, h := int32(f.Width), int32(f.Height)
+	drift := int32(idx) * 6
+	for r := int32(0); r < h; r++ {
+		vy := r * 1088 / h
+		rowY := f.YOrigin + int(r)*f.YStride
+		for c := int32(0); c < w; c++ {
+			vx := c * 1920 / w
+			y := 22 + (fbm2(vx, vy, 90, 81)-128)/16
+			for lane := int32(0); lane < 3; lane++ {
+				ly := 300 + lane*250
+				lx := (lane*640 - drift) % 1920
+				if lx < 0 {
+					lx += 1920
+				}
+				if abs32(vy-ly) < 30 && abs32(vx-lx) < 110 {
+					y = 210 - abs32(vx-lx)/2
+				}
+			}
+			f.Y[rowY+int(c)] = clampB(y)
+		}
+	}
+	fillChroma(f, 140, 118) // cool
+}
+
+// orbit maps t in [0,512) onto a square path of half-side 64: four
+// 128-step edges, so the prop moves 1 unit per t step.
+func orbit(t int32) (int32, int32) {
+	switch {
+	case t < 128:
+		return t - 64, -64
+	case t < 256:
+		return 64, t - 128 - 64
+	case t < 384:
+		return 64 - (t - 256), 64
+	default:
+		return -64, 64 - (t - 384)
+	}
+}
+
+func fillChroma(f *frame.Frame, cb, cr byte) {
+	cw, ch := f.ChromaWidth(), f.ChromaHeight()
+	for r := 0; r < ch; r++ {
+		rowC := f.COrigin + r*f.CStride
+		for c := 0; c < cw; c++ {
+			f.Cb[rowC+c] = cb
+			f.Cr[rowC+c] = cr
+		}
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

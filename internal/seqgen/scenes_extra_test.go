@@ -1,0 +1,107 @@
+package seqgen
+
+import (
+	"testing"
+)
+
+// TestSceneCutLumaDiscontinuity pins the property scene_cut exists for:
+// crossing a cut boundary replaces most of the picture, while adjacent
+// frames inside a shot barely change. "Changed" means a luma delta of
+// more than 32 levels — far past any dithering noise.
+func TestSceneCutLumaDiscontinuity(t *testing.T) {
+	const w, h = 384, 320
+	g := New(SceneCut, w, h)
+	changed := func(i, j int) float64 {
+		a, b := g.Frame(i), g.Frame(j)
+		n := 0
+		for r := 0; r < h; r++ {
+			for c := 0; c < w; c++ {
+				d := int(a.LumaAt(r, c)) - int(b.LumaAt(r, c))
+				if d < -32 || d > 32 {
+					n++
+				}
+			}
+		}
+		return float64(n) / float64(w*h)
+	}
+	// Frames 15 and 16 straddle the first cut (SceneCutPeriod = 16).
+	if cut := changed(SceneCutPeriod-1, SceneCutPeriod); cut < 0.5 {
+		t.Errorf("cut frame changed only %.0f%% of luma, want > 50%%", 100*cut)
+	}
+	// Frames 14 and 15 sit inside one shot: only the orbiting prop moves.
+	if within := changed(SceneCutPeriod-2, SceneCutPeriod-1); within > 0.2 {
+		t.Errorf("within-shot frames changed %.0f%% of luma, want < 20%%", 100*within)
+	}
+	// Shots alternate: two frames a full period apart cut back just as hard.
+	if cut2 := changed(SceneCutPeriod, 2*SceneCutPeriod); cut2 < 0.5 {
+		t.Errorf("second cut changed only %.0f%% of luma, want > 50%%", 100*cut2)
+	}
+}
+
+// TestSportPanGlobalMotion pins sport_pan's defining property: the scene
+// is a pure horizontal camera pan, so frame t+1 is frame t translated by
+// SportPanSpeed*w/1920 pixels. The argmin over candidate shifts of the
+// overlap SAD must land exactly there, and the zero-shift SAD (what a
+// skip/no-motion predictor sees) must be far worse.
+func TestSportPanGlobalMotion(t *testing.T) {
+	const w, h = 384, 320 // w*SportPanSpeed/1920 = 4: exact integer shift
+	shift := SportPanSpeed * w / 1920
+	g := New(SportPan, w, h)
+	a, b := g.Frame(5), g.Frame(6)
+	// sad(s): compare frame 6 at column c with frame 5 at column c+s
+	// over the overlap region.
+	sad := func(s int) int {
+		sum := 0
+		for r := 0; r < h; r++ {
+			for c := 0; c < w-8; c++ {
+				d := int(b.LumaAt(r, c)) - int(a.LumaAt(r, c+s))
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+		}
+		return sum
+	}
+	best, bestS := -1, 0
+	for s := 0; s <= 8; s++ {
+		if v := sad(s); best < 0 || v < best {
+			best, bestS = v, s
+		}
+	}
+	if bestS != shift {
+		t.Fatalf("best global shift = %d px, want %d (pan speed)", bestS, shift)
+	}
+	if best != 0 {
+		t.Errorf("SAD at the true shift = %d, want 0 (pan is an exact translate)", best)
+	}
+	if zero := sad(0); zero < 100*(w*h)/10 {
+		t.Errorf("zero-shift SAD %d suspiciously low — pan has no global motion", zero)
+	}
+}
+
+// TestExtendedSequencesParseAndRender: the two new scenes are reachable
+// through the same Parse/New/FrameInto path as the paper's four, render
+// deterministically, and keep the paper's All list untouched.
+func TestExtendedSequencesParseAndRender(t *testing.T) {
+	if len(All) != 4 {
+		t.Fatalf("len(All) = %d: the paper's sequence list must stay at 4", len(All))
+	}
+	if len(Extended) != 6 {
+		t.Fatalf("len(Extended) = %d, want the paper's 4 plus 2 stressors", len(Extended))
+	}
+	for _, s := range []Sequence{SportPan, SceneCut} {
+		got, err := Parse(s.String())
+		if err != nil || got != s {
+			t.Errorf("Parse(%q) = %v, %v", s.String(), got, err)
+		}
+		g := New(s, 176, 144)
+		x, y := g.Frame(2), g.Frame(2)
+		if planeSAD(x, y) != 0 {
+			t.Errorf("%v: rendering is not deterministic", s)
+		}
+		if planeSAD(g.Frame(0), g.Frame(10)) == 0 {
+			t.Errorf("%v: frames 0 and 10 identical — no motion", s)
+		}
+	}
+}

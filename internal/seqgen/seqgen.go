@@ -25,7 +25,7 @@ import (
 	"hdvideobench/internal/frame"
 )
 
-// Sequence identifies one of the four benchmark input sequences.
+// Sequence identifies one of the benchmark input sequences.
 type Sequence int
 
 const (
@@ -33,10 +33,21 @@ const (
 	PedestrianArea
 	Riverbed
 	RushHour
+	// SportPan and SceneCut extend the paper's four captures with two
+	// serving-scenario stressors (see scenes_extra.go): a high-motion
+	// global camera pan and a hard-cut shot alternation. They are not
+	// part of All — the paper's Table III/V matrix stays canonical.
+	SportPan
+	SceneCut
 )
 
 // All lists the four sequences in the paper's Table III/V order.
 var All = []Sequence{BlueSky, PedestrianArea, Riverbed, RushHour}
+
+// Extended lists every sequence: the paper's four plus the scenario
+// stressors. Front ends that accept a sequence name resolve over this
+// set; benchmark defaults stay on All.
+var Extended = []Sequence{BlueSky, PedestrianArea, Riverbed, RushHour, SportPan, SceneCut}
 
 // String returns the sequence name as used in the paper's tables.
 func (s Sequence) String() string {
@@ -49,6 +60,10 @@ func (s Sequence) String() string {
 		return "riverbed"
 	case RushHour:
 		return "rush_hour"
+	case SportPan:
+		return "sport_pan"
+	case SceneCut:
+		return "scene_cut"
 	}
 	return fmt.Sprintf("Sequence(%d)", int(s))
 }
@@ -64,6 +79,10 @@ func Parse(name string) (Sequence, error) {
 		return Riverbed, nil
 	case "rush_hour", "rushhour", "rush-hour":
 		return RushHour, nil
+	case "sport_pan", "sportpan", "sport-pan":
+		return SportPan, nil
+	case "scene_cut", "scenecut", "scene-cut":
+		return SceneCut, nil
 	}
 	return 0, fmt.Errorf("seqgen: unknown sequence %q", name)
 }
@@ -105,6 +124,10 @@ func (g *Generator) FrameInto(f *frame.Frame, idx int) {
 		renderRiverbed(f, idx)
 	case RushHour:
 		renderRushHour(f, idx)
+	case SportPan:
+		renderSportPan(f, idx)
+	case SceneCut:
+		renderSceneCut(f, idx)
 	default:
 		panic(fmt.Sprintf("seqgen: unknown sequence %d", int(g.Seq)))
 	}

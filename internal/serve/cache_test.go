@@ -2,7 +2,7 @@
 // cache (hit/miss equivalence, no-encoder-on-hit, Range/seek over the
 // GOP index), POST /transcode, /metrics, per-client rate limiting, and
 // the error-path header fixes.
-package main
+package serve
 
 import (
 	"bytes"
@@ -21,9 +21,9 @@ import (
 	"hdvideobench/internal/container"
 )
 
-func cachedServerConfig(t *testing.T) serverConfig {
+func cachedServerConfig(t *testing.T) Config {
 	t.Helper()
-	return serverConfig{
+	return Config{
 		Workers:       2,
 		MaxConcurrent: 2,
 		MaxFrames:     100,
@@ -35,7 +35,7 @@ func cachedServerConfig(t *testing.T) serverConfig {
 // countEncodes wraps the server's encode hook with an invocation
 // counter — the "factory call counter" that pins cache hits to zero
 // encoder constructions.
-func countEncodes(s *server) *atomic.Int64 {
+func countEncodes(s *Server) *atomic.Int64 {
 	var n atomic.Int64
 	inner := s.encode
 	s.encode = func(w io.Writer, c hdvideobench.Codec, opts hdvideobench.EncoderOptions,
@@ -280,7 +280,7 @@ func TestRangeOnColdCache(t *testing.T) {
 // output) must answer without Content-Type: application/x-hdvideobench
 // or any X-HDVB-* header.
 func TestErrorResponsesCarryNoStreamHeaders(t *testing.T) {
-	s, ts := testServer(t, serverConfig{Workers: 2, MaxConcurrent: 2, MaxFrames: 100})
+	s, ts := testServer(t, Config{Workers: 2, MaxConcurrent: 2, MaxFrames: 100})
 	assertClean := func(resp *http.Response, wantStatus int) {
 		t.Helper()
 		if resp.StatusCode != wantStatus {
@@ -291,7 +291,7 @@ func TestErrorResponsesCarryNoStreamHeaders(t *testing.T) {
 				t.Fatalf("error response carries stream header %s", name)
 			}
 		}
-		if ct := resp.Header.Get("Content-Type"); ct == streamContentType {
+		if ct := resp.Header.Get("Content-Type"); ct == StreamContentType {
 			t.Fatalf("error response carries stream Content-Type %q", ct)
 		}
 	}
@@ -314,7 +314,7 @@ func TestErrorResponsesCarryNoStreamHeaders(t *testing.T) {
 // TestBoolParamsStrict pins the ParseBool fix: malformed booleans are
 // 400s, not silently false, and every ParseBool spelling is accepted.
 func TestBoolParamsStrict(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 2, MaxConcurrent: 2, MaxFrames: 100})
+	_, ts := testServer(t, Config{Workers: 2, MaxConcurrent: 2, MaxFrames: 100})
 	base := ts.URL + "/transcode?width=96&height=80&frames=2&gop=2"
 
 	for _, bad := range []string{"simd=yes", "vlc=off", "simd=2", "vlc=maybe", "index=si"} {
@@ -337,7 +337,7 @@ func TestBoolParamsStrict(t *testing.T) {
 // TestPostTranscode uploads an HDVB stream and checks the response is
 // its decodable transcode into the requested codec.
 func TestPostTranscode(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 2, MaxConcurrent: 2, MaxFrames: 100})
+	_, ts := testServer(t, Config{Workers: 2, MaxConcurrent: 2, MaxFrames: 100})
 	const w, h, frames, gop = 96, 80, 6, 3
 
 	var upload bytes.Buffer
@@ -357,7 +357,7 @@ func TestPostTranscode(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := http.Post(ts.URL+"/transcode?codec=h264&gop=3", streamContentType,
+	resp, err := http.Post(ts.URL+"/transcode?codec=h264&gop=3", StreamContentType,
 		bytes.NewReader(upload.Bytes()))
 	if err != nil {
 		t.Fatal(err)
@@ -393,7 +393,7 @@ func TestPostTranscode(t *testing.T) {
 // of width/height (the other copies the input's), and a non-multiple
 // dimension is still a 400.
 func TestPostTranscodeSingleDimensionOverride(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1, MaxFrames: 100})
+	_, ts := testServer(t, Config{Workers: 1, MaxConcurrent: 1, MaxFrames: 100})
 	const w, h, frames = 96, 80, 2
 	var upload bytes.Buffer
 	gen := hdvideobench.NewSequence(hdvideobench.BlueSky, w, h)
@@ -411,7 +411,7 @@ func TestPostTranscodeSingleDimensionOverride(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := http.Post(ts.URL+"/transcode?codec=mpeg4&width=96", streamContentType,
+	resp, err := http.Post(ts.URL+"/transcode?codec=mpeg4&width=96", StreamContentType,
 		bytes.NewReader(upload.Bytes()))
 	if err != nil {
 		t.Fatal(err)
@@ -430,7 +430,7 @@ func TestPostTranscodeSingleDimensionOverride(t *testing.T) {
 		t.Fatalf("served %dx%d, want %dx%d (height from the input)", hdr.Width, hdr.Height, w, h)
 	}
 
-	resp2, err := http.Post(ts.URL+"/transcode?codec=mpeg4&height=100", streamContentType,
+	resp2, err := http.Post(ts.URL+"/transcode?codec=mpeg4&height=100", StreamContentType,
 		bytes.NewReader(upload.Bytes()))
 	if err != nil {
 		t.Fatal(err)
@@ -444,8 +444,8 @@ func TestPostTranscodeSingleDimensionOverride(t *testing.T) {
 // TestPostTranscodeBadUpload: garbage uploads fail with a clean
 // headerless 400 before any stream bytes.
 func TestPostTranscodeBadUpload(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1, MaxFrames: 100})
-	resp, err := http.Post(ts.URL+"/transcode?codec=mpeg4", streamContentType,
+	_, ts := testServer(t, Config{Workers: 1, MaxConcurrent: 1, MaxFrames: 100})
+	resp, err := http.Post(ts.URL+"/transcode?codec=mpeg4", StreamContentType,
 		strings.NewReader("this is not an HDVB container"))
 	if err != nil {
 		t.Fatal(err)
@@ -464,7 +464,7 @@ func TestPostTranscodeBadUpload(t *testing.T) {
 // TestRateLimit429: with a tiny per-client budget the second immediate
 // request is rejected with 429 + Retry-After, and /metrics counts it.
 func TestRateLimit429(t *testing.T) {
-	_, ts := testServer(t, serverConfig{
+	_, ts := testServer(t, Config{
 		Workers: 1, MaxConcurrent: 2, MaxFrames: 100,
 		RateLimit: 0.01, RateBurst: 1, // one request, then a 100s refill
 	})
@@ -597,7 +597,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 // TestIndexRequiresCache: index=1 without -cache-dir is a clean 400.
 func TestIndexRequiresCache(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1, MaxFrames: 100})
+	_, ts := testServer(t, Config{Workers: 1, MaxConcurrent: 1, MaxFrames: 100})
 	resp, body := get(t, ts.URL+"/transcode?width=96&height=80&frames=2&gop=2&index=1")
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status %d, want 400 (%s)", resp.StatusCode, body)

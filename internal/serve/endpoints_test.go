@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bytes"
@@ -16,13 +16,13 @@ import (
 	"hdvideobench/internal/container"
 )
 
-func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(cfg)
+	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.routes())
+	ts := httptest.NewServer(s.Routes())
 	t.Cleanup(ts.Close)
 	return s, ts
 }
@@ -31,7 +31,7 @@ func testServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
 // the body with the streaming decoder: the served container must be
 // complete, well formed, and match the sequence it claims to carry.
 func TestTranscodeEndToEnd(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 2, MaxConcurrent: 2, MaxFrames: 100})
+	_, ts := testServer(t, Config{Workers: 2, MaxConcurrent: 2, MaxFrames: 100})
 	const w, h, frames, gop = 96, 80, 8, 4
 
 	for _, codec := range []string{"mpeg2", "mpeg4", "h264"} {
@@ -89,7 +89,7 @@ func TestTranscodeEndToEnd(t *testing.T) {
 // TestTranscodeBadParams checks every malformed query is rejected with
 // 400 before any bytes hit the wire.
 func TestTranscodeBadParams(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 2, MaxConcurrent: 2, MaxFrames: 100})
+	_, ts := testServer(t, Config{Workers: 2, MaxConcurrent: 2, MaxFrames: 100})
 	cases := []struct{ name, query string }{
 		{"unknown codec", "codec=vp9&width=96&height=80&frames=2"},
 		{"unknown sequence", "seq=big_buck_bunny&width=96&height=80&frames=2"},
@@ -119,7 +119,7 @@ func TestTranscodeBadParams(t *testing.T) {
 // full the handler answers 503 + Retry-After immediately, and serves
 // again once capacity frees up.
 func TestTranscodeCapacity503(t *testing.T) {
-	s, ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1, MaxFrames: 100})
+	s, ts := testServer(t, Config{Workers: 1, MaxConcurrent: 1, MaxFrames: 100})
 	s.sem <- struct{}{} // occupy the only slot
 
 	resp, err := http.Get(ts.URL + "/transcode?width=96&height=80&frames=2")
@@ -152,7 +152,7 @@ func TestTranscodeCapacity503(t *testing.T) {
 // connection after the first bytes, and checks the handler aborts the
 // encode and releases its capacity slot so the next request succeeds.
 func TestClientDisconnectMidStream(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 2, MaxConcurrent: 1, MaxFrames: 5000})
+	_, ts := testServer(t, Config{Workers: 2, MaxConcurrent: 1, MaxFrames: 5000})
 
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, "GET",
@@ -198,7 +198,7 @@ func TestClientDisconnectMidStream(t *testing.T) {
 
 // TestHealthz checks the readiness endpoint shape.
 func TestHealthz(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 3, MaxFrames: 10})
+	_, ts := testServer(t, Config{Workers: 1, MaxConcurrent: 3, MaxFrames: 10})
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -218,7 +218,7 @@ func TestHealthz(t *testing.T) {
 // the client's decode with io.ErrUnexpectedEOF instead of passing as a
 // complete (shorter) stream.
 func TestServedStreamTruncationDetectable(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 1, MaxConcurrent: 1, MaxFrames: 100})
+	_, ts := testServer(t, Config{Workers: 1, MaxConcurrent: 1, MaxFrames: 100})
 	resp, err := http.Get(ts.URL + "/transcode?codec=mpeg2&width=96&height=80&frames=6&gop=3")
 	if err != nil {
 		t.Fatal(err)
@@ -254,7 +254,7 @@ func TestServedStreamTruncationDetectable(t *testing.T) {
 // with the budget rather than rejected, so clients need not know the
 // replica's CPU count.
 func TestWorkersParamClamped(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 2, MaxConcurrent: 1, MaxFrames: 100})
+	_, ts := testServer(t, Config{Workers: 2, MaxConcurrent: 1, MaxFrames: 100})
 	resp, err := http.Get(ts.URL + "/transcode?width=96&height=80&frames=2&gop=2&workers=64")
 	if err != nil {
 		t.Fatal(err)
@@ -274,7 +274,7 @@ func TestWorkersParamClamped(t *testing.T) {
 // out-of-range values are 400s, and the sliced stream stays decodable
 // end to end.
 func TestSlicesParamServedAndClamped(t *testing.T) {
-	_, ts := testServer(t, serverConfig{Workers: 2, MaxConcurrent: 1, MaxFrames: 100})
+	_, ts := testServer(t, Config{Workers: 2, MaxConcurrent: 1, MaxFrames: 100})
 	const w, h, frames = 96, 80, 3
 
 	fetch := func(query string) (hdvideobench.StreamHeader, []hdvideobench.Packet) {

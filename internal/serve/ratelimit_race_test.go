@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestRateLimitConcurrentAccounting hammers one peer IP with 50
+// concurrent requests against a burst-3, near-zero-refill bucket and
+// checks the books balance exactly: 3 streams succeed, 47 are turned
+// away with 429 + Retry-After, and /metrics agrees to the request —
+// rate-limited rejections never reach the handler, so requests_total
+// counts only the admitted three. The refill rate (0.001/s) cannot
+// accrue a fourth token within any plausible test runtime, which is
+// what makes the split deterministic. Run under -race this also
+// exercises the limiter's mutex and the metrics counters concurrently.
+func TestRateLimitConcurrentAccounting(t *testing.T) {
+	const (
+		total = 50
+		burst = 3
+	)
+	_, ts := testServer(t, Config{
+		Workers:       1,
+		MaxConcurrent: burst, // all admitted requests may encode at once
+		MaxFrames:     100,
+		RateLimit:     0.001,
+		RateBurst:     burst,
+	})
+	url := ts.URL + "/transcode?codec=mpeg2&seq=blue_sky&width=96&height=80&frames=4&gop=2"
+
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxConnsPerHost = 0
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = total
+
+	type outcome struct {
+		status     int
+		retryAfter string
+		body       []byte
+		err        error
+	}
+	outcomes := make([]outcome, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Get(url)
+			if err != nil {
+				outcomes[i] = outcome{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			outcomes[i] = outcome{
+				status:     resp.StatusCode,
+				retryAfter: resp.Header.Get("Retry-After"),
+				body:       body,
+				err:        err,
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	ok, limited := 0, 0
+	for i, o := range outcomes {
+		switch {
+		case o.err != nil:
+			t.Fatalf("request %d: %v", i, o.err)
+		case o.status == http.StatusOK:
+			ok++
+			if len(o.body) == 0 {
+				t.Errorf("request %d: 200 with empty body", i)
+			}
+		case o.status == http.StatusTooManyRequests:
+			limited++
+			// Retry-After must be the one-token accrual time: 1/0.001s.
+			if o.retryAfter != "1000" {
+				t.Errorf("request %d: Retry-After = %q, want %q", i, o.retryAfter, "1000")
+			}
+		default:
+			t.Fatalf("request %d: unexpected status %d: %s", i, o.status, o.body)
+		}
+	}
+	if ok != burst || limited != total-burst {
+		t.Fatalf("ok/limited = %d/%d, want %d/%d", ok, limited, burst, total-burst)
+	}
+
+	// The metrics endpoint (not rate limited) must agree exactly.
+	m := fetchMetrics(t, ts.URL)
+	checks := map[string]int{
+		`hdvserve_rate_limited_total`:                                total - burst,
+		`hdvserve_requests_total{endpoint="transcode",method="GET"}`: burst,
+		`hdvserve_streams_served_total`:                              burst,
+	}
+	for metric, want := range checks {
+		if got := metricValue(t, m, metric); got != want {
+			t.Errorf("%s = %d, want %d\nmetrics:\n%s", metric, got, want, m)
+		}
+	}
+}
+
+func fetchMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricValue extracts an integer metric sample by its exact exposition
+// name (labels included).
+func metricValue(t *testing.T, metrics, name string) int {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	match := re.FindStringSubmatch(metrics)
+	if match == nil {
+		t.Fatalf("metric %q not found", name)
+	}
+	v, err := strconv.Atoi(match[1])
+	if err != nil {
+		t.Fatalf("metric %q: %v", name, err)
+	}
+	return v
+}

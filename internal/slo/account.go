@@ -1,0 +1,113 @@
+package slo
+
+import (
+	"sort"
+	"time"
+)
+
+// Schedule is the deadline model of one paced stream.
+type Schedule struct {
+	// Period is the display interval, 1/fps.
+	Period time.Duration
+	// DropAfter is the lateness at which a frame counts dropped rather
+	// than late. Zero means one Period.
+	DropAfter time.Duration
+}
+
+func (s Schedule) dropAfter() time.Duration {
+	if s.DropAfter > 0 {
+		return s.DropAfter
+	}
+	return s.Period
+}
+
+// Quantiles are nearest-rank percentiles over a latency population:
+// q(p) is the ceil(p·n)-th smallest value, so every reported figure is
+// an actually observed latency and the computation is exact and
+// deterministic.
+type Quantiles struct {
+	P50 time.Duration
+	P95 time.Duration
+	P99 time.Duration
+}
+
+// quantiles computes nearest-rank P50/P95/P99 without mutating vals.
+// An empty population yields zeros.
+func quantiles(vals []time.Duration) Quantiles {
+	if len(vals) == 0 {
+		return Quantiles{}
+	}
+	sorted := append([]time.Duration(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(p float64) time.Duration {
+		// Nearest rank: ceil(p*n), computed in integer math to keep the
+		// result exact for the p values used here.
+		n := len(sorted)
+		k := (int(p*100)*n + 99) / 100
+		if k < 1 {
+			k = 1
+		}
+		return sorted[k-1]
+	}
+	return Quantiles{P50: rank(0.50), P95: rank(0.95), P99: rank(0.99)}
+}
+
+// FrameStats classifies one stream's frames against its schedule.
+type FrameStats struct {
+	// Frames is the count of frames actually delivered.
+	Frames int
+	// Expected is the count the container header declared (>= Frames
+	// when the stream was truncated; 0 when the header never arrived).
+	Expected int
+	// Late frames arrived past their deadline but within DropAfter.
+	Late int
+	// Dropped frames arrived DropAfter or more past their deadline, or
+	// were never delivered at all.
+	Dropped int
+	// Latency summarizes max(0, lateness) over delivered frames.
+	Latency Quantiles
+	// MaxLateness is the worst lateness of any delivered frame. Frame 0
+	// anchors playback at lateness zero, so a fully on-time stream
+	// reports exactly zero.
+	MaxLateness time.Duration
+}
+
+// Misses returns late + dropped.
+func (f FrameStats) Misses() int { return f.Late + f.Dropped }
+
+// Tally classifies a stream's arrival schedule. arrivals[i] is frame
+// i's delivery completion relative to frame 0's (so arrivals[0] == 0
+// and frame 0 is by construction on time — startup cost is TTFB's
+// business, not the deadline model's). Frame i's deadline is
+// i·s.Period; its lateness is arrivals[i] minus that. expected is the
+// header-declared frame count: the expected - len(arrivals) frames a
+// truncated stream never delivered all count dropped.
+//
+// The second result is max(0, lateness) per delivered frame, in
+// arrival order — the population behind FrameStats.Latency, returned
+// so a multi-client run can merge populations before taking quantiles.
+func Tally(arrivals []time.Duration, expected int, s Schedule) (FrameStats, []time.Duration) {
+	drop := s.dropAfter()
+	stats := FrameStats{Frames: len(arrivals), Expected: expected}
+	lat := make([]time.Duration, len(arrivals))
+	for i, a := range arrivals {
+		lateness := a - time.Duration(i)*s.Period
+		if i == 0 || lateness > stats.MaxLateness {
+			stats.MaxLateness = lateness
+		}
+		switch {
+		case lateness >= drop:
+			stats.Dropped++
+		case lateness > 0:
+			stats.Late++
+		}
+		if lateness > 0 {
+			lat[i] = lateness
+		}
+	}
+	if expected > len(arrivals) {
+		stats.Dropped += expected - len(arrivals)
+	}
+	stats.Latency = quantiles(lat)
+	return stats, lat
+}

@@ -1,0 +1,181 @@
+package slo
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+const msec = time.Millisecond
+
+func d(vals ...int) []time.Duration {
+	out := make([]time.Duration, len(vals))
+	for i, v := range vals {
+		out[i] = time.Duration(v) * msec
+	}
+	return out
+}
+
+func TestTallyAllOnTime(t *testing.T) {
+	// Frames arriving exactly at (or ahead of) their deadlines: clean.
+	arr := d(0, 5, 20, 28, 40)
+	stats, lat := Tally(arr, 5, Schedule{Period: 10 * msec})
+	// Frame 0 anchors playback, so its lateness is zero by construction
+	// and MaxLateness of a fully on-time stream is exactly zero.
+	want := FrameStats{Frames: 5, Expected: 5, MaxLateness: 0}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+	if !reflect.DeepEqual(lat, d(0, 0, 0, 0, 0)) {
+		t.Fatalf("latency population = %v, want zeros", lat)
+	}
+}
+
+func TestTallyLateAndDropped(t *testing.T) {
+	// Deliveries at 15ms/frame against a 10ms period: lateness 5i ms.
+	// With DropAfter = one period (10ms): frame 1 is late (5ms), frames
+	// 2..5 are dropped (10, 15, 20, 25ms).
+	arr := d(0, 15, 30, 45, 60, 75)
+	stats, lat := Tally(arr, 6, Schedule{Period: 10 * msec})
+	want := FrameStats{
+		Frames: 6, Expected: 6, Late: 1, Dropped: 4,
+		// Sorted population [0 5 10 15 20 25]: nearest-rank p50 = 3rd
+		// value, p95 and p99 = 6th.
+		Latency:     Quantiles{P50: 10 * msec, P95: 25 * msec, P99: 25 * msec},
+		MaxLateness: 25 * msec,
+	}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+	if !reflect.DeepEqual(lat, d(0, 5, 10, 15, 20, 25)) {
+		t.Fatalf("latency population = %v, want 5ms steps", lat)
+	}
+	if got := stats.Misses(); got != 5 {
+		t.Fatalf("Misses() = %d, want 5", got)
+	}
+}
+
+func TestTallyDropAfterWidensLateWindow(t *testing.T) {
+	// Same schedule, DropAfter = 25ms: only frame 5 (25ms late) reaches
+	// the drop threshold; frames 1..4 are merely late.
+	arr := d(0, 15, 30, 45, 60, 75)
+	stats, _ := Tally(arr, 6, Schedule{Period: 10 * msec, DropAfter: 25 * msec})
+	if stats.Late != 4 || stats.Dropped != 1 {
+		t.Fatalf("late/dropped = %d/%d, want 4/1", stats.Late, stats.Dropped)
+	}
+}
+
+func TestTallyTruncatedStreamDropsUndelivered(t *testing.T) {
+	// 3 of 10 declared frames delivered, all on time: the missing 7
+	// count dropped.
+	stats, _ := Tally(d(0, 10, 20), 10, Schedule{Period: 10 * msec})
+	if stats.Frames != 3 || stats.Expected != 10 || stats.Late != 0 || stats.Dropped != 7 {
+		t.Fatalf("stats = %+v, want 3/10 frames, 0 late, 7 dropped", stats)
+	}
+}
+
+func TestTallyEmpty(t *testing.T) {
+	stats, lat := Tally(nil, 0, Schedule{Period: 10 * msec})
+	if stats != (FrameStats{}) || len(lat) != 0 {
+		t.Fatalf("empty tally = %+v, %v", stats, lat)
+	}
+}
+
+func TestQuantilesNearestRank(t *testing.T) {
+	cases := []struct {
+		pop  []time.Duration
+		want Quantiles
+	}{
+		// Single value: every percentile is it.
+		{d(7), Quantiles{7 * msec, 7 * msec, 7 * msec}},
+		// 1..100: textbook nearest rank — p50=50th, p95=95th, p99=99th.
+		{func() []time.Duration {
+			v := make([]time.Duration, 100)
+			for i := range v {
+				v[i] = time.Duration(i+1) * msec
+			}
+			return v
+		}(), Quantiles{50 * msec, 95 * msec, 99 * msec}},
+		// Unsorted input, n=4: p50 = ceil(2)=2nd, p95/p99 = 4th.
+		{d(40, 10, 30, 20), Quantiles{20 * msec, 40 * msec, 40 * msec}},
+		// Empty population.
+		{nil, Quantiles{}},
+	}
+	for i, c := range cases {
+		if got := quantiles(c.pop); got != c.want {
+			t.Errorf("case %d: quantiles = %+v, want %+v", i, got, c.want)
+		}
+	}
+	// quantiles must not mutate its input.
+	pop := d(30, 10, 20)
+	quantiles(pop)
+	if !reflect.DeepEqual(pop, d(30, 10, 20)) {
+		t.Fatalf("quantiles mutated its input: %v", pop)
+	}
+}
+
+func TestSearchMax(t *testing.T) {
+	cases := []struct {
+		threshold int // ok(n) means n <= threshold
+		limit     int
+		want      int
+	}{
+		{0, 32, 0},   // even 1 client fails
+		{1, 32, 1},   // only 1 sustains
+		{5, 32, 5},   // interior value, not a power of two
+		{8, 32, 8},   // power of two
+		{32, 32, 32}, // everything sustains: answer is the cap
+		{100, 32, 32},
+		{3, 3, 3},
+		{7, 4, 4},
+	}
+	for _, c := range cases {
+		probes := 0
+		got := searchMax(func(n int) bool { probes++; return n <= c.threshold }, c.limit)
+		if got != c.want {
+			t.Errorf("searchMax(threshold=%d, limit=%d) = %d, want %d", c.threshold, c.limit, got, c.want)
+		}
+		if probes > 12 {
+			t.Errorf("searchMax(threshold=%d, limit=%d) used %d probes, want O(log n)", c.threshold, c.limit, probes)
+		}
+	}
+}
+
+func TestSearchRecordsProbes(t *testing.T) {
+	// Miss rate grows with load: 0.005·n against a 0.01 budget → max 2.
+	res := Search(func(n int) RunResult {
+		return RunResult{Clients: n, MissRate: 0.005 * float64(n)}
+	}, 0.01, 16)
+	if res.MaxStreams != 2 {
+		t.Fatalf("MaxStreams = %d, want 2", res.MaxStreams)
+	}
+	if len(res.Probes) == 0 || res.Probes[0].Clients != 1 {
+		t.Fatalf("probes = %+v, want first probe at 1 client", res.Probes)
+	}
+	for _, p := range res.Probes {
+		if p.MissRate != 0.005*float64(p.Clients) {
+			t.Fatalf("probe %+v lost its miss rate", p)
+		}
+	}
+	// Errors disqualify regardless of miss rate.
+	res = Search(func(n int) RunResult {
+		return RunResult{Clients: n, Errors: 1}
+	}, 0.01, 16)
+	if res.MaxStreams != 0 {
+		t.Fatalf("MaxStreams with errors = %d, want 0", res.MaxStreams)
+	}
+}
+
+func TestRunResultSustained(t *testing.T) {
+	r := RunResult{Expected: 100, MissRate: 0.01}
+	if !r.Sustained(0.01) {
+		t.Fatal("miss rate exactly at budget should sustain")
+	}
+	if r.Sustained(0.009) {
+		t.Fatal("miss rate above budget should not sustain")
+	}
+	r.Errors = 1
+	if r.Sustained(0.5) {
+		t.Fatal("errors should disqualify even under a loose budget")
+	}
+}

@@ -1,0 +1,154 @@
+package slo
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hdvideobench/internal/container"
+)
+
+// StreamConfig configures one synthetic viewer.
+type StreamConfig struct {
+	// URL is the full /transcode URL to stream.
+	URL string
+	// FPS is the display rate the viewer plays at.
+	FPS int
+	// DropAfter is the Schedule drop threshold; zero means one period.
+	DropAfter time.Duration
+	// ReadAhead caps how many frames the viewer buffers past the
+	// playhead. 0 means one second's worth (FPS frames); negative
+	// disables pacing (a greedy reader, no backpressure).
+	ReadAhead int
+}
+
+// StreamResult is one viewer's outcome.
+type StreamResult struct {
+	FrameStats
+	// TTFB is request start to first response body byte.
+	TTFB time.Duration
+	// Bytes is the stream payload size read.
+	Bytes int64
+	// Cache is the server's X-HDVB-Cache verdict ("hit", "miss", or ""
+	// for servers without the header).
+	Cache string
+	// Lateness is the per-frame max(0, lateness) population, kept for
+	// merging across viewers.
+	Lateness []time.Duration `json:"-"`
+}
+
+// ConsumeStream plays cfg.URL as a paced viewer on clk and tallies the
+// result. A partial result accompanies any error: frames delivered
+// before the failure stay classified, and undelivered frames count
+// dropped via the header's expected count.
+func ConsumeStream(ctx context.Context, clk Clock, hc *http.Client, cfg StreamConfig) (StreamResult, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	period := time.Second / time.Duration(cfg.FPS)
+	cons := consumer{
+		clk:       clk,
+		period:    period,
+		readAhead: cfg.ReadAhead,
+	}
+	if cons.readAhead == 0 {
+		cons.readAhead = cfg.FPS
+	}
+
+	var res StreamResult
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.URL, nil)
+	if err != nil {
+		return res, err
+	}
+	start := clk.Now()
+	resp, err := hc.Do(req)
+	if err != nil {
+		return res, err
+	}
+	defer resp.Body.Close()
+	res.Cache = resp.Header.Get("X-HDVB-Cache")
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return res, fmt.Errorf("GET %s: %s: %s", cfg.URL, resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	fb := &firstByteReader{r: resp.Body, clk: clk}
+	arrivals, expected, err := cons.consume(ctx, fb)
+	if fb.seen {
+		res.TTFB = fb.first.Sub(start)
+	} else {
+		res.TTFB = clk.Now().Sub(start)
+	}
+	res.Bytes = fb.n
+	res.FrameStats, res.Lateness = Tally(arrivals, expected, Schedule{Period: period, DropAfter: cfg.DropAfter})
+	return res, err
+}
+
+// consumer is the pacing core, separated from HTTP so tests can feed it
+// synthetic streams on a fake clock.
+type consumer struct {
+	clk       Clock
+	period    time.Duration
+	readAhead int // <0 = greedy
+}
+
+// consume reads every container packet on r, pacing so the viewer never
+// holds more than readAhead frames past the playhead, and returns each
+// frame's arrival time relative to frame 0's. Container packets arrive
+// in coding order, so packet i stands in for display slot i — exact for
+// MPEG-2/MPEG-4 here and a one-GOP-bounded reorder approximation for
+// H.264 B-frames.
+func (c consumer) consume(ctx context.Context, r io.Reader) (arrivals []time.Duration, expected int, err error) {
+	sr, err := container.NewStreamReader(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("stream header: %w", err)
+	}
+	expected = sr.Header().Frames
+	var anchor time.Time
+	for i := 0; ; i++ {
+		if i > c.readAhead && c.readAhead >= 0 {
+			// The playhead shows frame (now-anchor)/period; frame i may
+			// only be buffered once the playhead reaches i - readAhead.
+			target := anchor.Add(time.Duration(i-c.readAhead) * c.period)
+			if d := target.Sub(c.clk.Now()); d > 0 {
+				if err := c.clk.Sleep(ctx, d); err != nil {
+					return arrivals, expected, err
+				}
+			}
+		}
+		if _, err := sr.Next(); err != nil {
+			if err == io.EOF {
+				return arrivals, expected, nil
+			}
+			return arrivals, expected, fmt.Errorf("frame %d: %w", i, err)
+		}
+		now := c.clk.Now()
+		if i == 0 {
+			anchor = now
+		}
+		arrivals = append(arrivals, now.Sub(anchor))
+	}
+}
+
+// firstByteReader records when the first body byte lands and counts the
+// total read, using the injected clock so TTFB stays testable.
+type firstByteReader struct {
+	r     io.Reader
+	clk   Clock
+	seen  bool
+	first time.Time
+	n     int64
+}
+
+func (f *firstByteReader) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	if n > 0 && !f.seen {
+		f.seen = true
+		f.first = f.clk.Now()
+	}
+	f.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,212 @@
+package slo
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"hdvideobench/internal/container"
+)
+
+// fakeClock is a deterministic Clock: time only moves when Sleep is
+// called (which completes instantly) or a test reader advances it.
+type fakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	f.slept = append(f.slept, d)
+	return ctx.Err()
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+// synthStream builds an HDVB container stream of n tiny fake packets
+// and returns the raw bytes plus the cumulative byte offset at which
+// each packet ends (the moment consume observes its arrival).
+func synthStream(t *testing.T, n int) (raw []byte, ends []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := container.NewStreamWriter(&buf, container.Header{
+		Codec: container.CodecMPEG2, Width: 96, Height: 80,
+		FPSNum: 25, FPSDen: 1, Frames: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.WritePacket(container.Packet{
+			Type: container.FrameI, DisplayIndex: i,
+			Payload: bytes.Repeat([]byte{byte(i)}, 50+i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, int(w.BytesWritten()))
+	}
+	return buf.Bytes(), ends
+}
+
+// timedReader serves raw stream bytes but never across a packet
+// boundary, advancing the fake clock by step each time a packet
+// completes — a deterministic model of a server delivering one frame
+// every step.
+type timedReader struct {
+	data []byte
+	pos  int
+	ends []int
+	next int // index of the next boundary to cross
+	clk  *fakeClock
+	step time.Duration
+}
+
+func newTimedReader(data []byte, ends []int, clk *fakeClock, step time.Duration) *timedReader {
+	return &timedReader{data: data, ends: ends, clk: clk, step: step}
+}
+
+func (r *timedReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	limit := len(r.data)
+	if r.next < len(r.ends) {
+		limit = r.ends[r.next]
+	}
+	n := len(p)
+	if max := limit - r.pos; n > max {
+		n = max
+	}
+	copy(p, r.data[r.pos:r.pos+n])
+	r.pos += n
+	if r.next < len(r.ends) && r.pos == r.ends[r.next] {
+		r.clk.advance(r.step)
+		r.next++
+	}
+	return n, nil
+}
+
+func TestConsumeDelayedDelivery(t *testing.T) {
+	// 6 frames delivered one every 15ms against a 10ms period: frame i
+	// arrives 5i ms late. Greedy reader (no pacing), so delivery time is
+	// the only variable — lateness is exact.
+	raw, ends := synthStream(t, 6)
+	clk := newFakeClock()
+	cons := consumer{clk: clk, period: 10 * msec, readAhead: -1}
+	arrivals, expected, err := cons.consume(context.Background(), newTimedReader(raw, ends, clk, 15*msec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expected != 6 {
+		t.Fatalf("expected = %d, want 6", expected)
+	}
+	if !reflect6(arrivals, d(0, 15, 30, 45, 60, 75)) {
+		t.Fatalf("arrivals = %v, want 15ms steps", arrivals)
+	}
+	stats, _ := Tally(arrivals, expected, Schedule{Period: 10 * msec})
+	if stats.Late != 1 || stats.Dropped != 4 {
+		t.Fatalf("late/dropped = %d/%d, want 1/4", stats.Late, stats.Dropped)
+	}
+	if len(clk.slept) != 0 {
+		t.Fatalf("greedy consumer slept %v, want no sleeps", clk.slept)
+	}
+}
+
+func reflect6(got, want []time.Duration) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConsumePacingSleepTargets(t *testing.T) {
+	// Instant delivery, readAhead 2, period 10ms: frames 0..2 are read
+	// immediately; before frame i >= 3 (and the EOF probe at i == 6) the
+	// pacer sleeps until the playhead reaches i-2 — four exact 10ms
+	// sleeps, and every frame lands well ahead of its deadline.
+	raw, ends := synthStream(t, 6)
+	clk := newFakeClock()
+	cons := consumer{clk: clk, period: 10 * msec, readAhead: 2}
+	arrivals, expected, err := cons.consume(context.Background(), newTimedReader(raw, ends, clk, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expected != 6 {
+		t.Fatalf("expected = %d, want 6", expected)
+	}
+	if !reflect6(clk.slept, d(10, 10, 10, 10)) {
+		t.Fatalf("sleeps = %v, want four 10ms sleeps", clk.slept)
+	}
+	if !reflect6(arrivals, d(0, 0, 0, 10, 20, 30)) {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	stats, _ := Tally(arrivals, expected, Schedule{Period: 10 * msec})
+	if stats.Misses() != 0 {
+		t.Fatalf("paced on-time stream tallied %d misses: %+v", stats.Misses(), stats)
+	}
+}
+
+func TestConsumeCancellation(t *testing.T) {
+	// A cancelled context surfaces from the pacer's sleep; frames read
+	// so far are retained for partial accounting.
+	raw, ends := synthStream(t, 6)
+	clk := newFakeClock()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cons := consumer{clk: clk, period: 10 * msec, readAhead: 1}
+	arrivals, expected, err := cons.consume(ctx, newTimedReader(raw, ends, clk, 0))
+	if err == nil {
+		t.Fatal("cancelled consume returned nil error")
+	}
+	if expected != 6 {
+		t.Fatalf("expected = %d, want 6", expected)
+	}
+	if len(arrivals) == 0 || len(arrivals) >= 6 {
+		t.Fatalf("arrivals = %v, want a strict prefix", arrivals)
+	}
+}
+
+func TestConsumeTruncatedStream(t *testing.T) {
+	// A stream cut mid-flight errors (ErrUnexpectedEOF inside) and keeps
+	// the delivered prefix, so the tally can drop the rest.
+	raw, ends := synthStream(t, 6)
+	cut := raw[:ends[2]]
+	clk := newFakeClock()
+	cons := consumer{clk: clk, period: 10 * msec, readAhead: -1}
+	arrivals, expected, err := cons.consume(context.Background(), newTimedReader(cut, ends[:2], clk, 0))
+	if err == nil {
+		t.Fatal("truncated stream returned nil error")
+	}
+	if expected != 6 || len(arrivals) != 3 {
+		t.Fatalf("expected/arrivals = %d/%d, want 6/3", expected, len(arrivals))
+	}
+	stats, _ := Tally(arrivals, expected, Schedule{Period: 10 * msec})
+	if stats.Dropped != 3 {
+		t.Fatalf("dropped = %d, want the 3 undelivered frames", stats.Dropped)
+	}
+}

@@ -1,0 +1,173 @@
+package slo_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"hdvideobench/internal/serve"
+	"hdvideobench/internal/slo"
+)
+
+// TestWarmPathMeetsDeadlines runs four paced viewers against the
+// production handler in-process, on the warm gopcache path at a
+// deliberately sustainable deadline: serving cached bytes at 20fps for
+// a 96x80 stream must not drop a single frame, even on a loaded 1-core
+// CI box. The pacer's sleeps dominate the wall clock (~300ms), so a
+// drop here means the harness or the serving path is broken, not that
+// the machine was busy — a frame only drops after a >200ms stall.
+func TestWarmPathMeetsDeadlines(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := serve.New(serve.Config{Workers: 1, MaxConcurrent: 8, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Routes())
+	defer ts.Close()
+
+	q := url.Values{
+		"codec": {"mpeg2"}, "seq": {"blue_sky"},
+		"width": {"96"}, "height": {"80"},
+		"frames": {"10"}, "gop": {"5"},
+	}
+	streamURL := ts.URL + "/transcode?" + q.Encode()
+
+	// Prime the cache: the measured viewers must all hit it.
+	resp, err := http.Get(streamURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prime: %s", resp.Status)
+	}
+
+	res := slo.Run(context.Background(), slo.RunConfig{
+		URL:       streamURL,
+		Clients:   4,
+		FPS:       20,
+		ReadAhead: 4,
+	})
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (result %+v)", res.Errors, res)
+	}
+	if res.Frames != 40 || res.Expected != 40 {
+		t.Fatalf("frames = %d/%d, want 40/40", res.Frames, res.Expected)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped = %d on the warm path at a sustainable deadline, want 0 (%+v)", res.Dropped, res)
+	}
+	if res.CacheHits != 4 {
+		t.Fatalf("cache hits = %d, want all 4 viewers served warm", res.CacheHits)
+	}
+	if res.MissRate != float64(res.Late+res.Dropped)/40 {
+		t.Fatalf("miss rate %v inconsistent with late=%d dropped=%d", res.MissRate, res.Late, res.Dropped)
+	}
+	if res.Bytes == 0 || res.TTFB.P95 <= 0 {
+		t.Fatalf("bytes=%d ttfb=%+v, want nonzero transfer metrics", res.Bytes, res.TTFB)
+	}
+	// The pacer must actually have paced: 10 frames minus 4 read-ahead
+	// at 50ms is 300ms of mandatory playhead waiting.
+	if res.WallSeconds < 0.25 {
+		t.Fatalf("wall = %.3fs, want >= 0.25s of paced playback", res.WallSeconds)
+	}
+
+	// The result embeds into a report that survives the JSON round trip.
+	rep := slo.Report{
+		Benchmark: "hdvslo",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Config: slo.ReportConfig{
+			Codec: "MPEG-2", Seq: "blue_sky", Width: 96, Height: 80,
+			Frames: 10, Q: 5, GOP: 5, Clients: 4,
+		},
+		Runs: []slo.ReportRun{{Path: "warm", RunResult: res}},
+	}
+	b, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := slo.ParseReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("report round trip diverged:\n got %+v\nwant %+v", back, rep)
+	}
+}
+
+// TestColdPathStreams checks the cold (encoding) path end to end with a
+// single viewer at a loose deadline: the stream must complete with
+// every frame delivered and classified, whatever the lateness.
+func TestColdPathStreams(t *testing.T) {
+	srv, err := serve.New(serve.Config{Workers: 1, MaxConcurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Routes())
+	defer ts.Close()
+
+	q := url.Values{
+		"codec": {"mpeg2"}, "seq": {"rush_hour"},
+		"width": {"96"}, "height": {"80"}, "frames": {"6"}, "gop": {"3"},
+	}
+	res, err := slo.ConsumeStream(context.Background(), slo.Real, ts.Client(), slo.StreamConfig{
+		URL: ts.URL + "/transcode?" + q.Encode(),
+		FPS: 5, // 200ms periods: roomy even for a cold encode of 96x80
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 6 || res.Expected != 6 {
+		t.Fatalf("frames = %d/%d, want 6/6", res.Frames, res.Expected)
+	}
+	if res.Cache == "hit" {
+		t.Fatal("cold request reported a cache hit")
+	}
+	if res.Frames != res.Late+res.Dropped+(res.Frames-res.Misses()) {
+		t.Fatalf("classification doesn't partition: %+v", res.FrameStats)
+	}
+	if res.TTFB <= 0 || res.Bytes == 0 {
+		t.Fatalf("ttfb=%v bytes=%d, want nonzero", res.TTFB, res.Bytes)
+	}
+}
+
+// TestParseReportRejectsGarbage pins the report validator.
+func TestParseReportRejectsGarbage(t *testing.T) {
+	if _, err := slo.ParseReport([]byte(`{"benchmark":"other","runs":[{}]}`)); err == nil {
+		t.Fatal("wrong benchmark name accepted")
+	}
+	if _, err := slo.ParseReport([]byte(`{"benchmark":"hdvslo"}`)); err == nil {
+		t.Fatal("empty report accepted")
+	}
+	if _, err := slo.ParseReport([]byte(`not json`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}
+
+// TestRunAggregatesErrors points viewers at a refusing server: every
+// viewer errors, nothing sustains.
+func TestRunAggregatesErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	res := slo.Run(context.Background(), slo.RunConfig{
+		URL: ts.URL + "/transcode", Clients: 3, FPS: 30,
+	})
+	if res.Errors != 3 || res.Frames != 0 {
+		t.Fatalf("errors/frames = %d/%d, want 3/0", res.Errors, res.Frames)
+	}
+	if res.Sustained(1.0) {
+		t.Fatal("all-error run must not sustain any budget")
+	}
+}

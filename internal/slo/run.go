@@ -1,0 +1,208 @@
+package slo
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RunConfig configures one load point: Clients concurrent viewers all
+// streaming URL at FPS.
+type RunConfig struct {
+	URL       string
+	Clients   int
+	FPS       int
+	DropAfter time.Duration
+	ReadAhead int
+	// Client is the HTTP client to stream with; nil means a dedicated
+	// client with enough idle connections for the viewer count.
+	Client *http.Client
+	// Clock is the pacing clock; nil means Real.
+	Clock Clock
+}
+
+// RunResult aggregates one load point across its viewers. Latency
+// fields are merged populations, not averages of per-viewer quantiles.
+type RunResult struct {
+	Clients int `json:"clients"`
+	FPS     int `json:"fps"`
+	// Frames delivered / expected, summed over viewers.
+	Frames   int `json:"frames"`
+	Expected int `json:"expected_frames"`
+	Late     int `json:"late"`
+	Dropped  int `json:"dropped"`
+	// Errors counts viewers whose stream failed (refused, truncated,
+	// non-200); their delivered frames still tally above.
+	Errors int `json:"errors"`
+	// CacheHits counts viewers served from the GOP cache.
+	CacheHits int `json:"cache_hits"`
+	// MissRate is (late+dropped)/expected over all viewers.
+	MissRate float64 `json:"miss_rate"`
+	// TTFB quantiles are over the per-viewer TTFB population.
+	TTFB LatencyMS `json:"ttfb"`
+	// FrameLatency quantiles are over every delivered frame of every
+	// viewer (max(0, lateness) per frame).
+	FrameLatency  LatencyMS `json:"frame_latency"`
+	MaxLatenessMS float64   `json:"max_lateness_ms"`
+	Bytes         int64     `json:"bytes"`
+	WallSeconds   float64   `json:"wall_seconds"`
+}
+
+// Sustained reports whether the run stayed within a deadline-miss
+// budget (misses as a fraction of expected frames). Any viewer error
+// disqualifies the run outright.
+func (r RunResult) Sustained(budget float64) bool {
+	return r.Errors == 0 && r.MissRate <= budget
+}
+
+// LatencyMS is a Quantiles rendered as milliseconds for JSON reports.
+type LatencyMS struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// MS converts q to milliseconds.
+func (q Quantiles) MS() LatencyMS {
+	return LatencyMS{P50: ms(q.P50), P95: ms(q.P95), P99: ms(q.P99)}
+}
+
+// Run drives cfg.Clients concurrent paced viewers against cfg.URL and
+// merges their results.
+func Run(ctx context.Context, cfg RunConfig) RunResult {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = Real
+	}
+	hc := cfg.Client
+	if hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = cfg.Clients
+		hc = &http.Client{Transport: tr}
+		defer tr.CloseIdleConnections()
+	}
+
+	results := make([]StreamResult, cfg.Clients)
+	errs := make([]error, cfg.Clients)
+	start := clk.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = ConsumeStream(ctx, clk, hc, StreamConfig{
+				URL:       cfg.URL,
+				FPS:       cfg.FPS,
+				DropAfter: cfg.DropAfter,
+				ReadAhead: cfg.ReadAhead,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	out := RunResult{
+		Clients:     cfg.Clients,
+		FPS:         cfg.FPS,
+		WallSeconds: clk.Now().Sub(start).Seconds(),
+	}
+	var ttfbs, lat []time.Duration
+	var maxLate time.Duration
+	for i, r := range results {
+		out.Frames += r.Frames
+		out.Expected += r.Expected
+		out.Late += r.Late
+		out.Dropped += r.Dropped
+		out.Bytes += r.Bytes
+		if errs[i] != nil {
+			out.Errors++
+		}
+		if r.Cache == "hit" {
+			out.CacheHits++
+		}
+		if r.Frames > 0 {
+			ttfbs = append(ttfbs, r.TTFB)
+			lat = append(lat, r.Lateness...)
+			if r.MaxLateness > maxLate {
+				maxLate = r.MaxLateness
+			}
+		}
+	}
+	if out.Expected > 0 {
+		out.MissRate = float64(out.Late+out.Dropped) / float64(out.Expected)
+	}
+	out.TTFB = quantiles(ttfbs).MS()
+	out.FrameLatency = quantiles(lat).MS()
+	out.MaxLatenessMS = ms(maxLate)
+	return out
+}
+
+// Probe is one search-mode data point.
+type Probe struct {
+	Clients  int     `json:"clients"`
+	MissRate float64 `json:"miss_rate"`
+	Errors   int     `json:"errors"`
+	Dropped  int     `json:"dropped"`
+}
+
+// SearchResult is the outcome of a max-sustainable-streams search.
+type SearchResult struct {
+	MissBudget float64 `json:"miss_budget"`
+	// MaxStreams is the largest probed client count within budget; 0
+	// means even one viewer missed it.
+	MaxStreams int     `json:"max_streams"`
+	Probes     []Probe `json:"probes"`
+}
+
+// Search finds the maximum concurrent viewer count that stays within
+// the miss budget, assuming sustainability is monotone in load. run
+// executes one load point at n clients; giving each probe fresh
+// conditions (e.g. an empty cache for cold-path searches) is the
+// caller's business.
+func Search(run func(clients int) RunResult, budget float64, limit int) SearchResult {
+	out := SearchResult{MissBudget: budget}
+	ok := func(n int) bool {
+		r := run(n)
+		out.Probes = append(out.Probes, Probe{
+			Clients: n, MissRate: r.MissRate, Errors: r.Errors, Dropped: r.Dropped,
+		})
+		return r.Sustained(budget)
+	}
+	out.MaxStreams = searchMax(ok, limit)
+	return out
+}
+
+// searchMax returns the largest n in [1, limit] with ok(n), or 0 when
+// ok(1) fails, probing O(log limit) points: doubling up from 1 until a
+// failure or the limit, then bisecting the open gap.
+func searchMax(ok func(int) bool, limit int) int {
+	if limit < 1 {
+		limit = 1
+	}
+	if !ok(1) {
+		return 0
+	}
+	good, bad := 1, 0 // bad == 0: no failure seen yet
+	for good < limit && bad == 0 {
+		n := good * 2
+		if n > limit {
+			n = limit
+		}
+		if ok(n) {
+			good = n
+		} else {
+			bad = n
+		}
+	}
+	for bad != 0 && bad-good > 1 {
+		mid := good + (bad-good)/2
+		if ok(mid) {
+			good = mid
+		} else {
+			bad = mid
+		}
+	}
+	return good
+}
