@@ -72,10 +72,26 @@
 //
 // # Operations
 //
-// GET /metrics exposes Prometheus-style text metrics: request counts,
-// cache hits/misses/evictions/bytes, active and completed streams,
-// bytes served, cumulative encode seconds, and rate-limit rejections.
-// GET /healthz reports readiness and current load.
+// GET /metrics exposes Prometheus text metrics: request counts, cache
+// hits/misses/evictions/bytes, active and completed streams, bytes
+// served, cumulative encode seconds, rate-limit rejections, and latency
+// histograms labeled by {endpoint, codec, res, cache} plus the encode
+// pipeline's chunk/queue/gate series (see the README's Observability
+// section for the full catalogue). GET /healthz reports readiness and
+// current load as JSON.
+//
+// Every /transcode response carries an X-Request-ID (propagated from
+// the request or generated) and a Server-Timing header; cold chunked
+// streams add a Server-Timing trailer with the encode phases. Logs are
+// structured (log/slog, text): stream completions at info, per-request
+// summaries at debug (-v), failures at warn, each line keyed by the
+// request id.
+//
+// -debug-addr starts a second listener (bind it to loopback) with the
+// private diagnostics: /debug/pprof/* for CPU/heap/goroutine profiling
+// and /debug/requests, a JSON ring of the last 64 completed requests
+// with per-phase timings. Neither is ever served on the public -addr
+// listener.
 //
 // Per-client (peer IP) token-bucket rate limiting is enabled with
 // -rate-limit requests/second and -rate-burst; excess requests get 429
@@ -91,7 +107,7 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -105,6 +121,8 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		debugAddr   = flag.String("debug-addr", "", "listen address for /debug/pprof/* and /debug/requests (empty = off; keep it loopback)")
+		verbose     = flag.Bool("v", false, "log per-request debug lines (request id, status, bytes, phases)")
 		workers     = flag.Int("workers", runtime.NumCPU(), "per-request worker-goroutine budget")
 		window      = flag.Int("window", 0, "per-request chunk window (0 = 2x workers)")
 		maxConc     = flag.Int("max-concurrent", 4, "max concurrent encoding requests (excess get 503; cache hits bypass)")
@@ -118,6 +136,12 @@ func main() {
 	)
 	flag.Parse()
 
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	srv, err := serve.New(serve.Config{
 		Workers:       *workers,
 		Window:        *window,
@@ -128,9 +152,11 @@ func main() {
 		CacheBytes:    *cacheBytes,
 		RateLimit:     *rateLimit,
 		RateBurst:     *rateBurst,
+		Logger:        logger,
 	})
 	if err != nil {
-		log.Fatalf("hdvserve: %v", err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Routes()}
 
@@ -138,20 +164,33 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("hdvserve: listening on %s (workers=%d window=%d max-concurrent=%d cache=%q rate=%g/s)",
-			*addr, *workers, *window, *maxConc, *cacheDir, *rateLimit)
+		logger.Info("listening", "addr", *addr, "workers", *workers, "window", *window,
+			"max_concurrent", *maxConc, "cache", *cacheDir, "rate", *rateLimit)
 		done <- httpSrv.ListenAndServe()
 	}()
+	if *debugAddr != "" {
+		// The debug mux never joins the public handler: a separate
+		// listener is what lets operators firewall it to loopback.
+		debugSrv := &http.Server{Addr: *debugAddr, Handler: srv.DebugRoutes()}
+		go func() {
+			logger.Info("debug listener", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
+		defer debugSrv.Close()
+	}
 
 	select {
 	case err := <-done:
-		log.Fatalf("hdvserve: %v", err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
-		log.Printf("hdvserve: shutting down, draining in-flight streams")
+		logger.Info("shutting down, draining in-flight streams")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Duration(*shutdownSec)*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("hdvserve: shutdown: %v", err)
+			logger.Warn("shutdown", "err", err)
 		}
 	}
 }

@@ -4,7 +4,10 @@
 // deadline model), and reports dropped/late frame counts, TTFB and
 // per-frame latency quantiles, bytes served, and — in -search mode —
 // the maximum concurrent stream count that sustains a deadline-miss
-// budget.
+// budget. Each fixed-load point also scrapes the server's /metrics
+// before and after the run, embedding the counter movement (encoder
+// runs, cache hits/misses, bytes served) in the report — the
+// server-side receipt that a warm point really served from cache.
 //
 //	hdvslo                          # in-process server, cold+warm at 24/30fps
 //	hdvslo -fps 24,30,60 -clients 8
@@ -149,31 +152,56 @@ func main() {
 	}
 
 	ctx := context.Background()
-	runPoint := func(path string, fps, n int) slo.RunResult {
-		streamURL, shutdown := lab.prepare(ctx, path)
+	// runPoint measures one load point; when withDelta is true it also
+	// scrapes the server's /metrics around the run and returns the
+	// counter movement (nil on scrape failure — the delta is garnish,
+	// never a reason to fail the run).
+	runPoint := func(path string, fps, n int, withDelta bool) (slo.RunResult, *slo.ServerDelta) {
+		base, streamURL, shutdown := lab.prepare(ctx, path)
 		defer shutdown()
-		return slo.Run(ctx, slo.RunConfig{
+		var before slo.ServerStats
+		scraped := false
+		if withDelta {
+			// Scraped after prepare, so a warm path's priming request
+			// does not pollute the delta.
+			if s, err := slo.ScrapeServer(ctx, base); err == nil {
+				before, scraped = s, true
+			}
+		}
+		r := slo.Run(ctx, slo.RunConfig{
 			URL: streamURL, Clients: n, FPS: fps,
 			DropAfter: *dropAfter, ReadAhead: *readAhead,
 		})
+		var delta *slo.ServerDelta
+		if scraped {
+			if after, err := slo.ScrapeServer(ctx, base); err == nil {
+				delta = after.Delta(before)
+			}
+		}
+		return r, delta
 	}
 
 	for _, path := range paths {
 		for _, fps := range rates {
-			r := runPoint(path, fps, *clients)
-			report.Runs = append(report.Runs, slo.ReportRun{Path: path, RunResult: r})
+			r, delta := runPoint(path, fps, *clients, true)
+			report.Runs = append(report.Runs, slo.ReportRun{Path: path, RunResult: r, Server: delta})
+			srv := ""
+			if delta != nil {
+				srv = fmt.Sprintf(", server: %d encodes %d hits %d misses", delta.Encodes, delta.CacheHits, delta.CacheMisses)
+			}
 			fmt.Fprintf(os.Stderr,
 				"hdvslo: %-4s %2dfps %2d clients: %d/%d frames, %d late, %d dropped (miss %.2f%%), "+
-					"ttfb p95 %.1fms, frame p99 %.1fms, %d cache hits, %.1fs\n",
+					"ttfb p95 %.1fms, frame p99 %.1fms, %d cache hits, %.1fs%s\n",
 				path, fps, r.Clients, r.Frames, r.Expected, r.Late, r.Dropped, 100*r.MissRate,
-				r.TTFB.P95, r.FrameLatency.P99, r.CacheHits, r.WallSeconds)
+				r.TTFB.P95, r.FrameLatency.P99, r.CacheHits, r.WallSeconds, srv)
 		}
 	}
 	if *search {
 		for _, path := range paths {
 			for _, fps := range rates {
 				sr := slo.Search(func(n int) slo.RunResult {
-					return runPoint(path, fps, n)
+					r, _ := runPoint(path, fps, n, false) // probes skip the scrape
+					return r
 				}, *missBudget, *maxStreams)
 				report.Searches = append(report.Searches,
 					slo.ReportSearch{Path: path, FPS: fps, SearchResult: sr})
@@ -205,14 +233,15 @@ type harness struct {
 	query   url.Values
 }
 
-// prepare returns the stream URL for one run on the requested path and
-// a shutdown func. In-process, "cold" gets a brand-new server and cache
-// so every stream pays the encode, and "warm" gets a new server whose
-// cache is primed by one greedy request. Against a remote server the
-// cache is whatever the server already holds: "cold" runs as-is (first
-// contact genuinely cold), "warm" still primes first.
-func (l harness) prepare(ctx context.Context, path string) (streamURL string, shutdown func()) {
-	base := l.remote
+// prepare returns the server base URL and stream URL for one run on the
+// requested path, plus a shutdown func. In-process, "cold" gets a
+// brand-new server and cache so every stream pays the encode, and
+// "warm" gets a new server whose cache is primed by one greedy request.
+// Against a remote server the cache is whatever the server already
+// holds: "cold" runs as-is (first contact genuinely cold), "warm" still
+// primes first.
+func (l harness) prepare(ctx context.Context, path string) (base, streamURL string, shutdown func()) {
+	base = l.remote
 	shutdown = func() {}
 	if l.remote == "" {
 		base, shutdown = l.startServer()
@@ -224,7 +253,7 @@ func (l harness) prepare(ctx context.Context, path string) (streamURL string, sh
 			fatalf("priming cache: %v", err)
 		}
 	}
-	return streamURL, shutdown
+	return base, streamURL, shutdown
 }
 
 // startServer brings up the production handler on a loopback listener

@@ -70,6 +70,7 @@ import (
 	"hdvideobench/internal/frame"
 	"hdvideobench/internal/kernel"
 	"hdvideobench/internal/metrics"
+	"hdvideobench/internal/obs"
 	"hdvideobench/internal/seqgen"
 	"hdvideobench/internal/stream"
 )
@@ -218,6 +219,13 @@ type EncoderOptions struct {
 	// O(Window × IntraPeriod) frames regardless of sequence length.
 	// 0 selects 2×Workers. It does not affect the batch entry points.
 	Window int
+	// Collector, when non-nil, receives the encode pipeline's
+	// self-measurements on the streaming paths: per-chunk encode wall
+	// time, pool queue depth, ordered-drain stalls, and slice-gate
+	// spawn/wait accounting. The serving tier wires one backed by its
+	// metrics registry; nil (the default) disables collection with zero
+	// per-frame overhead.
+	Collector *Collector
 }
 
 // config converts public options to the internal configuration.
@@ -382,6 +390,12 @@ type StreamDecoder = stream.Decoder
 // client).
 var ErrStreamAborted = stream.ErrAborted
 
+// Collector is the encode pipeline's observability hook (see
+// EncoderOptions.Collector). Its fields are metric cells owned by a
+// registry in the serving tier; a nil *Collector disables collection
+// everywhere it is threaded.
+type Collector = obs.Collector
+
 // StreamStats summarizes one streaming pass.
 type StreamStats = core.StreamStats
 
@@ -398,7 +412,7 @@ func NewStreamEncoder(c Codec, opts EncoderOptions) (*StreamEncoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewStreamEncoder(c, cfg, opts.Workers, opts.Window)
+	return core.NewStreamEncoder(c, cfg, opts.Workers, opts.Window, opts.Collector)
 }
 
 // NewStreamDecoder builds a streaming decoder for a coded stream. simd
@@ -424,7 +438,7 @@ func EncodeStream(w io.Writer, c Codec, opts EncoderOptions, frames int, next fu
 	if err != nil {
 		return StreamStats{}, err
 	}
-	return core.EncodeStream(w, c, cfg, opts.Workers, opts.Window, frames, next, nil)
+	return core.EncodeStream(w, c, cfg, opts.Workers, opts.Window, frames, next, nil, opts.Collector)
 }
 
 // GOPIndex locates every closed GOP of a coded stream by byte offset —
@@ -451,7 +465,7 @@ func EncodeStreamIndexed(w io.Writer, c Codec, opts EncoderOptions, frames int, 
 	var idx GOPIndex
 	stats, err := core.EncodeStream(w, c, cfg, opts.Workers, opts.Window, frames, next, func(offset int64, frame int) {
 		idx.Entries = append(idx.Entries, GOPIndexEntry{Offset: offset, Frame: frame})
-	})
+	}, opts.Collector)
 	idx.Size = stats.Bytes
 	return stats, idx, err
 }
@@ -480,7 +494,7 @@ func Transcode(r io.Reader, w io.Writer, c Codec, opts EncoderOptions) (Transcod
 	if opts.SIMD {
 		k = kernel.SWAR
 	}
-	return core.Transcode(r, w, c, k, opts.Workers, opts.Window, opts.transcodeConfig())
+	return core.Transcode(r, w, c, k, opts.Workers, opts.Window, opts.transcodeConfig(), opts.Collector)
 }
 
 // TranscodeReader is the pull-flavored Transcode: it returns a reader
@@ -494,7 +508,7 @@ func TranscodeReader(r io.Reader, c Codec, opts EncoderOptions) io.ReadCloser {
 	if opts.SIMD {
 		k = kernel.SWAR
 	}
-	return core.TranscodeReader(r, c, k, opts.Workers, opts.Window, opts.transcodeConfig())
+	return core.TranscodeReader(r, c, k, opts.Workers, opts.Window, opts.transcodeConfig(), opts.Collector)
 }
 
 // transcodeConfig maps a parsed input header to the target coding

@@ -27,7 +27,7 @@ func TestEncodeStreamGOPTap(t *testing.T) {
 
 	var plain bytes.Buffer
 	if _, err := core.EncodeStream(&plain, core.MPEG2, cfg, 1, 0, n,
-		frameFeeder(seqgen.BlueSky, w, h, n), nil); err != nil {
+		frameFeeder(seqgen.BlueSky, w, h, n), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -40,7 +40,7 @@ func TestEncodeStreamGOPTap(t *testing.T) {
 		var taps []gopStart
 		stats, err := core.EncodeStream(&buf, core.MPEG2, cfg, workers, 0, n,
 			frameFeeder(seqgen.BlueSky, w, h, n),
-			func(offset int64, frame int) { taps = append(taps, gopStart{offset, frame}) })
+			func(offset int64, frame int) { taps = append(taps, gopStart{offset, frame}) }, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +92,7 @@ func TestTranscodeReaderMatchesTranscode(t *testing.T) {
 	cfg := streamCfg(w, h, gop)
 	var src bytes.Buffer
 	if _, err := core.EncodeStream(&src, core.MPEG2, cfg, 1, 0, n,
-		frameFeeder(seqgen.BlueSky, w, h, n), nil); err != nil {
+		frameFeeder(seqgen.BlueSky, w, h, n), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	cfgFor := func(hdr container.Header) (codec.Config, error) {
@@ -100,10 +100,10 @@ func TestTranscodeReaderMatchesTranscode(t *testing.T) {
 	}
 	var push bytes.Buffer
 	if _, err := core.Transcode(bytes.NewReader(src.Bytes()), &push, core.H264,
-		kernel.Scalar, 2, 0, cfgFor); err != nil {
+		kernel.Scalar, 2, 0, cfgFor, nil); err != nil {
 		t.Fatal(err)
 	}
-	rc := core.TranscodeReader(bytes.NewReader(src.Bytes()), core.H264, kernel.Scalar, 2, 0, cfgFor)
+	rc := core.TranscodeReader(bytes.NewReader(src.Bytes()), core.H264, kernel.Scalar, 2, 0, cfgFor, nil)
 	pull, err := io.ReadAll(rc)
 	if err != nil {
 		t.Fatalf("reading TranscodeReader: %v", err)
@@ -123,11 +123,11 @@ func TestTranscodeReaderEarlyClose(t *testing.T) {
 	cfg := streamCfg(w, h, gop)
 	var src bytes.Buffer
 	if _, err := core.EncodeStream(&src, core.MPEG2, cfg, 1, 0, n,
-		frameFeeder(seqgen.RushHour, w, h, n), nil); err != nil {
+		frameFeeder(seqgen.RushHour, w, h, n), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	rc := core.TranscodeReader(bytes.NewReader(src.Bytes()), core.MPEG4, kernel.Scalar, 2, 0,
-		func(hdr container.Header) (codec.Config, error) { return streamCfg(hdr.Width, hdr.Height, gop), nil })
+		func(hdr container.Header) (codec.Config, error) { return streamCfg(hdr.Width, hdr.Height, gop), nil }, nil)
 	if _, err := io.ReadFull(rc, make([]byte, 64)); err != nil {
 		t.Fatalf("reading stream head: %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"hdvideobench/internal/container"
 	"hdvideobench/internal/frame"
 	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/obs"
 	"hdvideobench/internal/pipeline"
 	"hdvideobench/internal/stream"
 )
@@ -18,8 +19,10 @@ import (
 // frames each) are in flight at once. workers <= 1 or
 // cfg.IntraPeriod <= 0 runs the serial single-instance mode; negative
 // workers selects runtime.NumCPU(). Output is byte-identical to the
-// batch path for every worker count and window.
-func NewStreamEncoder(id CodecID, cfg codec.Config, workers, window int) (*stream.Encoder, error) {
+// batch path for every worker count and window. col, when non-nil,
+// receives the pipeline's self-measurements (chunk encode time, queue
+// depth, drain stalls, slice-gate waits); nil disables collection.
+func NewStreamEncoder(id CodecID, cfg codec.Config, workers, window int, col *obs.Collector) (*stream.Encoder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -28,7 +31,7 @@ func NewStreamEncoder(id CodecID, cfg codec.Config, workers, window int) (*strea
 	}
 	return stream.NewEncoder(func() (codec.Encoder, error) {
 		return NewEncoder(id, cfg)
-	}, cfg.IntraPeriod, workers, window)
+	}, cfg.IntraPeriod, workers, window, col)
 }
 
 // NewStreamDecoder builds the streaming decoder for a coded stream
@@ -123,8 +126,8 @@ func drain[T any](next func() (T, error), sink func(T) error, onSinkFail ...func
 // so each chunk's coded packets are buffered before writing — use a
 // bounded IntraPeriod when tapping, or a boundary-less stream degrades
 // to one stream-sized chunk of coded bytes).
-func EncodeStream(w io.Writer, id CodecID, cfg codec.Config, workers, window, frames int, next func() (*frame.Frame, error), onGOP func(offset int64, frame int)) (StreamStats, error) {
-	enc, err := NewStreamEncoder(id, cfg, workers, window)
+func EncodeStream(w io.Writer, id CodecID, cfg codec.Config, workers, window, frames int, next func() (*frame.Frame, error), onGOP func(offset int64, frame int), col *obs.Collector) (StreamStats, error) {
+	enc, err := NewStreamEncoder(id, cfg, workers, window, col)
 	if err != nil {
 		return StreamStats{}, err
 	}
@@ -211,7 +214,7 @@ type TranscodeStats struct {
 // cfgFor maps the parsed input header to the target coding options
 // (dimensions normally copy the input's). workers/window as in
 // NewStreamEncoder; the same budget is applied to both codec stages.
-func Transcode(r io.Reader, w io.Writer, target CodecID, kern kernel.Set, workers, window int, cfgFor func(container.Header) (codec.Config, error)) (TranscodeStats, error) {
+func Transcode(r io.Reader, w io.Writer, target CodecID, kern kernel.Set, workers, window int, cfgFor func(container.Header) (codec.Config, error), col *obs.Collector) (TranscodeStats, error) {
 	sr, err := container.NewStreamReader(r)
 	if err != nil {
 		return TranscodeStats{}, err
@@ -225,7 +228,7 @@ func Transcode(r io.Reader, w io.Writer, target CodecID, kern kernel.Set, worker
 	if err != nil {
 		return TranscodeStats{}, err
 	}
-	enc, err := NewStreamEncoder(target, cfg, workers, window)
+	enc, err := NewStreamEncoder(target, cfg, workers, window, col)
 	if err != nil {
 		dec.Abort()
 		dec.Close()
@@ -277,10 +280,10 @@ func Transcode(r io.Reader, w io.Writer, target CodecID, kern kernel.Set, worker
 // the pipeline down early — the next pipe write fails, which aborts
 // every stage, so an abandoned reader never leaks the goroutine. The
 // shape HTTP handlers and io.Copy plumbing want.
-func TranscodeReader(r io.Reader, target CodecID, kern kernel.Set, workers, window int, cfgFor func(container.Header) (codec.Config, error)) io.ReadCloser {
+func TranscodeReader(r io.Reader, target CodecID, kern kernel.Set, workers, window int, cfgFor func(container.Header) (codec.Config, error), col *obs.Collector) io.ReadCloser {
 	pr, pw := io.Pipe()
 	go func() {
-		_, err := Transcode(r, pw, target, kern, workers, window, cfgFor)
+		_, err := Transcode(r, pw, target, kern, workers, window, cfgFor, col)
 		pw.CloseWithError(err) // nil = clean EOF for the reader
 	}()
 	return pr

@@ -61,7 +61,7 @@ func TestEncodeStreamMatchesBatchContainer(t *testing.T) {
 	}
 
 	var streamed bytes.Buffer
-	stats, err := core.EncodeStream(&streamed, core.H264, cfg, 4, 0, 0, frameFeeder(seqgen.BlueSky, w, h, n), nil)
+	stats, err := core.EncodeStream(&streamed, core.H264, cfg, 4, 0, 0, frameFeeder(seqgen.BlueSky, w, h, n), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestDecodeStreamRoundTrip(t *testing.T) {
 	const w, h, n, gop = 96, 80, 10, 3
 	cfg := streamCfg(w, h, gop)
 	var buf bytes.Buffer
-	if _, err := core.EncodeStream(&buf, core.MPEG4, cfg, 2, 0, 0, frameFeeder(seqgen.RushHour, w, h, n), nil); err != nil {
+	if _, err := core.EncodeStream(&buf, core.MPEG4, cfg, 2, 0, 0, frameFeeder(seqgen.RushHour, w, h, n), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	coded := buf.Bytes()
@@ -148,7 +148,7 @@ func TestTranscodeStreaming(t *testing.T) {
 	var src bytes.Buffer
 	// Declare the length on the source container so Transcode can pass
 	// it through.
-	enc, err := core.NewStreamEncoder(core.MPEG2, cfg, 2, 0)
+	enc, err := core.NewStreamEncoder(core.MPEG2, cfg, 2, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestTranscodeStreaming(t *testing.T) {
 		func(in container.Header) (codec.Config, error) {
 			out := streamCfg(in.Width, in.Height, gop)
 			return out, nil
-		})
+		}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestTranscodeBadInput(t *testing.T) {
 	_, err := core.Transcode(strings.NewReader("not a container, just twenty-plus bytes"), &dst, core.H264, kernel.Scalar, 2, 0,
 		func(in container.Header) (codec.Config, error) {
 			return streamCfg(in.Width, in.Height, 4), nil
-		})
+		}, nil)
 	if !errors.Is(err, container.ErrBadMagic) {
 		t.Fatalf("err = %v, want ErrBadMagic", err)
 	}
@@ -252,7 +252,7 @@ func TestTranscodeTruncatedInput(t *testing.T) {
 	const w, h, n, gop = 96, 80, 8, 4
 	cfg := streamCfg(w, h, gop)
 	var src bytes.Buffer
-	if _, err := core.EncodeStream(&src, core.MPEG2, cfg, 1, 0, 0, frameFeeder(seqgen.BlueSky, w, h, n), nil); err != nil {
+	if _, err := core.EncodeStream(&src, core.MPEG2, cfg, 1, 0, 0, frameFeeder(seqgen.BlueSky, w, h, n), nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Rewrite the header to declare more frames than the stream holds,
@@ -263,7 +263,7 @@ func TestTranscodeTruncatedInput(t *testing.T) {
 	_, err := core.Transcode(bytes.NewReader(full), &dst, core.MPEG4, kernel.Scalar, 2, 0,
 		func(in container.Header) (codec.Config, error) {
 			return streamCfg(in.Width, in.Height, gop), nil
-		})
+		}, nil)
 	if !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
 	}

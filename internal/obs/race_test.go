@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryHammer drives every registry surface from many goroutines
+// at once — updates, series creation, and scrapes — so `go test -race`
+// proves the locking. Values are also checked: the counter total must
+// equal exactly what was added.
+func TestRegistryHammer(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "Hammered counter.", "worker")
+	g := r.Gauge("hammer_gauge", "Hammered gauge.")
+	h := r.Histogram("hammer_seconds", "Hammered histogram.", nil, "worker")
+	r.GaugeFunc("hammer_fn", "Scrape-time.", func() float64 { return 1 })
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := string(rune('a' + w))
+			for i := 0; i < iters; i++ {
+				c.With(lbl).Inc()
+				g.With().Add(1)
+				g.With().Add(-1)
+				h.With(lbl).Observe(float64(i%10) / 1000)
+			}
+		}(w)
+	}
+	// Concurrent scrapers: output is discarded here; a final scrape is
+	// linted after the writers join.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.WriteText(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total float64
+	for w := 0; w < workers; w++ {
+		lbl := string(rune('a' + w))
+		v := c.With(lbl).Value()
+		if v != iters {
+			t.Errorf("worker %s counter = %v, want %d", lbl, v, iters)
+		}
+		total += v
+		if n := h.With(lbl).Count(); n != iters {
+			t.Errorf("worker %s histogram count = %d, want %d", lbl, n, iters)
+		}
+	}
+	if total != workers*iters {
+		t.Errorf("counter total = %v, want %d", total, workers*iters)
+	}
+	if v := g.With().Value(); v != 0 {
+		t.Errorf("gauge = %v, want 0", v)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintText([]byte(sb.String())); err != nil {
+		t.Fatalf("post-hammer scrape failed lint: %v", err)
+	}
+}
+
+// TestRequestLogHammer races Add against Snapshot/ServeHTTP.
+func TestRequestLogHammer(t *testing.T) {
+	l := NewRequestLog(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Add(RequestRecord{ID: "x", Status: 200, Bytes: int64(i)})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if got := len(l.Snapshot()); got > 16 {
+				t.Errorf("snapshot len %d > ring size", got)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := len(l.Snapshot()); got != 16 {
+		t.Errorf("final snapshot len = %d, want 16", got)
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RequestRecord is one completed request as exposed by /debug/requests.
+type RequestRecord struct {
+	ID         string  `json:"id"`
+	Time       string  `json:"time"` // RFC 3339, start of request
+	Method     string  `json:"method"`
+	Path       string  `json:"path"` // request URI including query (the stream parameters)
+	Status     int     `json:"status"`
+	Bytes      int64   `json:"bytes"`
+	Cache      string  `json:"cache"` // hit, miss, or none
+	DurationMS float64 `json:"duration_ms"`
+	Phases     []Phase `json:"phases,omitempty"`
+}
+
+// RequestLog is a fixed-size ring of the last N completed requests. Add
+// and Snapshot are safe for concurrent use; it also serves itself as
+// JSON (`{"requests":[...]}`, newest first) for the debug mux.
+type RequestLog struct {
+	mu   sync.Mutex
+	ring []RequestRecord
+	next int
+	full bool
+}
+
+// NewRequestLog returns a ring holding the last n requests (minimum 1).
+func NewRequestLog(n int) *RequestLog {
+	if n < 1 {
+		n = 1
+	}
+	return &RequestLog{ring: make([]RequestRecord, n)}
+}
+
+// Add records one completed request, evicting the oldest when full.
+func (l *RequestLog) Add(rec RequestRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ring[l.next] = rec
+	l.next++
+	if l.next == len(l.ring) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns the recorded requests, newest first.
+func (l *RequestLog) Snapshot() []RequestRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.ring)
+	}
+	out := make([]RequestRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+// ServeHTTP renders the ring as JSON for the debug mux.
+func (l *RequestLog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	recs := l.Snapshot()
+	if recs == nil {
+		recs = []RequestRecord{}
+	}
+	json.NewEncoder(w).Encode(struct {
+		Requests []RequestRecord `json:"requests"`
+	}{recs})
+}
+
+// StartTime formats a request start for RequestRecord.Time.
+func StartTime(t time.Time) string { return t.UTC().Format(time.RFC3339Nano) }

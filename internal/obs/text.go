@@ -1,0 +1,398 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextSample is one parsed exposition sample.
+type TextSample struct {
+	Name   string
+	Labels []TextLabel // declaration order
+	Value  float64
+}
+
+// TextLabel is one name="value" pair of a sample.
+type TextLabel struct {
+	Name, Value string
+}
+
+// Get returns the value of the named label and whether it was present.
+func (s TextSample) Get(name string) (string, bool) {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// TextFamily is one parsed metric family: its HELP/TYPE metadata and
+// samples. Samples of a histogram family include the _bucket/_sum/
+// _count expansions.
+type TextFamily struct {
+	Name, Help, Type string
+	Samples          []TextSample
+}
+
+// ParseText parses a Prometheus text-format (0.0.4) exposition. It is
+// strict about line grammar — any malformed line is an error — but does
+// not judge semantics; LintText layers those checks on top.
+func ParseText(b []byte) ([]TextFamily, error) {
+	var (
+		fams  []TextFamily
+		index = map[string]int{} // family name -> fams index
+		cur   = -1               // index of the family open for sample attachment
+	)
+	family := func(name string) int {
+		i, ok := index[name]
+		if !ok {
+			i = len(fams)
+			index[name] = i
+			fams = append(fams, TextFamily{Name: name})
+		}
+		return i
+	}
+	for ln, line := range strings.Split(string(b), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest, kind := "", ""
+			switch {
+			case strings.HasPrefix(line, "# HELP "):
+				rest, kind = line[len("# HELP "):], "HELP"
+			case strings.HasPrefix(line, "# TYPE "):
+				rest, kind = line[len("# TYPE "):], "TYPE"
+			default:
+				continue // plain comment
+			}
+			name, tail, ok := strings.Cut(rest, " ")
+			if kind == "TYPE" && !ok {
+				return nil, fmt.Errorf("line %d: TYPE without a type", lineNo)
+			}
+			if !nameRE.MatchString(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			i := family(name)
+			if kind == "HELP" {
+				fams[i].Help = unescapeHelp(tail)
+			} else {
+				switch tail {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, tail)
+				}
+				if fams[i].Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				fams[i].Type = tail
+			}
+			cur = i
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		i := -1
+		if cur >= 0 && sampleBelongs(fams[cur], s.Name) {
+			i = cur
+		} else {
+			i = family(s.Name)
+			cur = i
+		}
+		fams[i].Samples = append(fams[i].Samples, s)
+	}
+	return fams, nil
+}
+
+// sampleBelongs reports whether a sample named n attaches to family f —
+// either the exact name or, for histograms/summaries, the expanded
+// _bucket/_sum/_count (_quantile rides on the base name) series.
+func sampleBelongs(f TextFamily, n string) bool {
+	if n == f.Name {
+		return true
+	}
+	switch f.Type {
+	case "histogram":
+		return n == f.Name+"_bucket" || n == f.Name+"_sum" || n == f.Name+"_count"
+	case "summary":
+		return n == f.Name+"_sum" || n == f.Name+"_count"
+	}
+	return false
+}
+
+// parseSample parses `name[{labels}] value [timestamp]`.
+func parseSample(line string) (TextSample, error) {
+	var s TextSample
+	rest := line
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return s, fmt.Errorf("sample %q: no value", line)
+	}
+	s.Name = rest[:end]
+	if !nameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("sample %q: invalid metric name %q", line, s.Name)
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		s.Labels, rest = labels, tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	valStr, ts, _ := strings.Cut(rest, " ")
+	if valStr == "" {
+		return s, fmt.Errorf("sample %q: no value", line)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q", line, valStr)
+	}
+	s.Value = v
+	if ts != "" {
+		if _, err := strconv.ParseInt(strings.TrimSpace(ts), 10, 64); err != nil {
+			return s, fmt.Errorf("sample %q: bad timestamp %q", line, ts)
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses `{k="v",...}` (trailing comma allowed, escapes
+// \\ \" \n in values) and returns the remainder of the line.
+func parseLabels(rest string) ([]TextLabel, string, error) {
+	var labels []TextLabel
+	i := 1 // past '{'
+	for {
+		if i >= len(rest) {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if rest[i] == '}' {
+			return labels, rest[i+1:], nil
+		}
+		eq := strings.IndexByte(rest[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := rest[i : i+eq]
+		if !labelRE.MatchString(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		i += eq + 1
+		if i >= len(rest) || rest[i] != '"' {
+			return nil, "", fmt.Errorf("label %q: unquoted value", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return nil, "", fmt.Errorf("label %q: unterminated value", name)
+			}
+			c := rest[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, "", fmt.Errorf("label %q: dangling escape", name)
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %q: bad escape \\%c", name, rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, TextLabel{Name: name, Value: val.String()})
+		if i < len(rest) && rest[i] == ',' {
+			i++
+		} else if i >= len(rest) || rest[i] != '}' {
+			return nil, "", fmt.Errorf("label %q: expected ',' or '}'", name)
+		}
+	}
+}
+
+func unescapeHelp(v string) string {
+	var out strings.Builder
+	for i := 0; i < len(v); i++ {
+		if v[i] == '\\' && i+1 < len(v) {
+			switch v[i+1] {
+			case '\\':
+				out.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				out.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		out.WriteByte(v[i])
+	}
+	return out.String()
+}
+
+// LintText parses an exposition and checks the semantics our registry
+// promises: every family typed (counter/gauge/histogram) with HELP, no
+// duplicate series, non-negative counters, and internally consistent
+// histograms — le labels parse and strictly ascend, bucket counts are
+// cumulative, the +Inf bucket exists and equals _count, and _sum/_count
+// are present exactly once per label set.
+func LintText(b []byte) error {
+	fams, err := ParseText(b)
+	if err != nil {
+		return err
+	}
+	for _, f := range fams {
+		if f.Type == "" || f.Type == "untyped" {
+			return fmt.Errorf("%s: missing TYPE", f.Name)
+		}
+		if f.Help == "" {
+			return fmt.Errorf("%s: missing HELP", f.Name)
+		}
+		seen := map[string]bool{}
+		for _, s := range f.Samples {
+			key := s.Name + seriesKey(s.Labels)
+			if seen[key] {
+				return fmt.Errorf("%s: duplicate series %s", f.Name, key)
+			}
+			seen[key] = true
+			if f.Type == "counter" && s.Value < 0 {
+				return fmt.Errorf("%s: negative counter %s = %v", f.Name, key, s.Value)
+			}
+		}
+		if f.Type == "histogram" {
+			if err := lintHistogram(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// lintHistogram checks one histogram family, grouping its samples by
+// label set minus le.
+func lintHistogram(f TextFamily) error {
+	type group struct {
+		les     []float64
+		counts  []float64
+		sum     *float64
+		count   *float64
+		infSeen bool
+	}
+	groups := map[string]*group{}
+	get := func(labels []TextLabel) *group {
+		var rest []TextLabel
+		for _, l := range labels {
+			if l.Name != "le" {
+				rest = append(rest, l)
+			}
+		}
+		k := seriesKey(rest)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{}
+			groups[k] = g
+		}
+		return g
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			g := get(s.Labels)
+			leStr, ok := s.Get("le")
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, leStr)
+			}
+			if math.IsInf(le, 1) {
+				g.infSeen = true
+			}
+			g.les = append(g.les, le)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_sum":
+			v := s.Value
+			get(s.Labels).sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			get(s.Labels).count = &v
+		default:
+			return fmt.Errorf("%s: stray sample %s in histogram family", f.Name, s.Name)
+		}
+	}
+	for k, g := range groups {
+		if len(g.les) == 0 {
+			return fmt.Errorf("%s%s: no buckets", f.Name, k)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("%s%s: le not ascending (%v after %v)", f.Name, k, g.les[i], g.les[i-1])
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("%s%s: bucket counts not cumulative at le=%v", f.Name, k, g.les[i])
+			}
+		}
+		if !g.infSeen {
+			return fmt.Errorf("%s%s: missing +Inf bucket", f.Name, k)
+		}
+		if g.sum == nil || g.count == nil {
+			return fmt.Errorf("%s%s: missing _sum or _count", f.Name, k)
+		}
+		if *g.count != g.counts[len(g.counts)-1] {
+			return fmt.Errorf("%s%s: _count %v != +Inf bucket %v", f.Name, k, *g.count, g.counts[len(g.counts)-1])
+		}
+	}
+	return nil
+}
+
+// seriesKey renders a label set sorted by name: `{a="1",b="2"}`, "" for
+// no labels.
+func seriesKey(labels []TextLabel) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]TextLabel(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	out := "{"
+	for i, l := range ls {
+		if i > 0 {
+			out += ","
+		}
+		out += l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	return out + "}"
+}
+
+// Values flattens parsed families into a series-key → value map. Keys
+// are the bare metric name for unlabeled series and name{labels sorted
+// by name} otherwise — histogram expansions appear under their
+// _bucket/_sum/_count names. The shape hdvslo diffs scrapes with.
+func Values(fams []TextFamily) map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			out[s.Name+seriesKey(s.Labels)] = s.Value
+		}
+	}
+	return out
+}

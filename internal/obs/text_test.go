@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLintOwnOutput is the closing of the loop: everything the registry
+// can emit must pass the linter.
+func TestLintOwnOutput(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("t_reqs_total", "Requests.", "method", "path")
+	reqs.With("GET", "/a\"b").Add(2)
+	reqs.With("POST", "line\nbreak").Inc()
+	r.Gauge("t_depth", "Depth.").With().Set(-3)
+	h := r.Histogram("t_lat_seconds", "Latency.", nil, "codec")
+	h.With("h264").Observe(0.01)
+	h.With("mpeg2").Observe(4)
+	r.CounterFunc("t_fn_total", "Fn.", func() float64 { return 1 })
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintText([]byte(sb.String())); err != nil {
+		t.Fatalf("own output failed lint: %v\n%s", err, sb.String())
+	}
+}
+
+func TestParseTextSamples(t *testing.T) {
+	in := `# HELP x_total Things.
+# TYPE x_total counter
+x_total{a="1",b="two"} 5 1700000000000
+x_total{a="2"} 0.5
+# TYPE y gauge
+# HELP y A gauge.
+y -2.5
+`
+	fams, err := ParseText([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	x := fams[0]
+	if x.Name != "x_total" || x.Type != "counter" || x.Help != "Things." || len(x.Samples) != 2 {
+		t.Fatalf("x family: %+v", x)
+	}
+	if v, _ := x.Samples[0].Get("b"); v != "two" || x.Samples[0].Value != 5 {
+		t.Fatalf("x sample 0: %+v", x.Samples[0])
+	}
+	if fams[1].Samples[0].Value != -2.5 {
+		t.Fatalf("y sample: %+v", fams[1].Samples[0])
+	}
+	vals := Values(fams)
+	if vals[`x_total{a="2"}`] != 0.5 || vals["y"] != -2.5 {
+		t.Fatalf("Values: %v", vals)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"x_total{a=1} 5\n",          // unquoted label value
+		"x_total{a=\"1\" 5\n",       // unterminated label set
+		"x_total{a=\"\\x\"} 5\n",    // bad escape
+		"x_total\n",                 // no value
+		"x_total notanumber\n",      // bad value
+		"# TYPE x_total notatype\n", // unknown type
+		"# TYPE x_total counter\n# TYPE x_total counter\n", // duplicate TYPE
+		"0bad 5\n", // invalid metric name
+	}
+	for _, in := range bad {
+		if _, err := ParseText([]byte(in)); err == nil {
+			t.Errorf("ParseText accepted %q", in)
+		}
+	}
+}
+
+func TestLintCatchesBrokenHistograms(t *testing.T) {
+	cases := map[string]string{
+		"non-monotone le": `# HELP h Latency.
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="0.5"} 1
+h_bucket{le="+Inf"} 1
+h_sum 1
+h_count 1
+`,
+		"non-cumulative counts": `# HELP h Latency.
+# TYPE h histogram
+h_bucket{le="1"} 3
+h_bucket{le="2"} 2
+h_bucket{le="+Inf"} 3
+h_sum 1
+h_count 3
+`,
+		"missing +Inf": `# HELP h Latency.
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_sum 1
+h_count 1
+`,
+		"count mismatch": `# HELP h Latency.
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_bucket{le="+Inf"} 2
+h_sum 1
+h_count 3
+`,
+		"missing sum": `# HELP h Latency.
+# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_count 1
+`,
+		"duplicate series": `# HELP c Total.
+# TYPE c counter
+c{a="1"} 1
+c{a="1"} 2
+`,
+		"negative counter": `# HELP c Total.
+# TYPE c counter
+c -1
+`,
+		"missing help": `# TYPE c counter
+c 1
+`,
+	}
+	for name, in := range cases {
+		if err := LintText([]byte(in)); err == nil {
+			t.Errorf("%s: lint passed", name)
+		}
+	}
+}
+
+func TestLintAcceptsLabeledHistogramGroups(t *testing.T) {
+	in := `# HELP h Latency.
+# TYPE h histogram
+h_bucket{c="a",le="1"} 1
+h_bucket{c="a",le="+Inf"} 2
+h_sum{c="a"} 3
+h_count{c="a"} 2
+h_bucket{c="b",le="1"} 0
+h_bucket{c="b",le="+Inf"} 1
+h_sum{c="b"} 9
+h_count{c="b"} 1
+`
+	if err := LintText([]byte(in)); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}

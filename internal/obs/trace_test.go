@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per reading, so phase durations are
+// exact and no test sleeps.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func TestTracePhasesAndServerTiming(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0), step: 10 * time.Millisecond}
+	tr := NewTraceClock(clk.now)
+	tr.Start("cache").End() // start+end = one step = 10ms
+	sp := tr.Start("enc")
+	inner := tr.Start("sub") // interleaved span
+	inner.End()
+	sp.End() // 3 steps = 30ms
+	got := tr.ServerTiming()
+	want := "cache;dur=10.000, sub;dur=10.000, enc;dur=30.000"
+	if got != want {
+		t.Errorf("ServerTiming = %q, want %q", got, want)
+	}
+	ph := tr.Phases()
+	if len(ph) != 3 || ph[2].Name != "enc" || ph[2].MS != 30 {
+		t.Errorf("Phases = %+v", ph)
+	}
+}
+
+func TestSpanEndIdempotentAndNilSafe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0), step: time.Millisecond}
+	tr := NewTraceClock(clk.now)
+	sp := tr.Start("x")
+	if d := sp.End(); d != time.Millisecond {
+		t.Errorf("first End = %v", d)
+	}
+	if d := sp.End(); d != 0 {
+		t.Errorf("second End = %v, want 0", d)
+	}
+	var nilSpan *Span
+	nilSpan.End()
+	var nilTrace *Trace
+	if nilTrace.Start("x") != nil || nilTrace.ServerTiming() != "" || nilTrace.Phases() != nil {
+		t.Error("nil trace not inert")
+	}
+	if tr2 := NewTrace(); tr2.ServerTiming() != "" {
+		t.Error("empty trace should render empty")
+	}
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("ids: %q %q", a, b)
+	}
+}
+
+func TestRequestLogRingAndJSON(t *testing.T) {
+	l := NewRequestLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Add(RequestRecord{ID: fmt.Sprintf("r%d", i), Status: 200})
+	}
+	recs := l.Snapshot()
+	if len(recs) != 3 || recs[0].ID != "r5" || recs[2].ID != "r3" {
+		t.Fatalf("Snapshot = %+v", recs)
+	}
+	rec := httptest.NewRecorder()
+	l.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var body struct {
+		Requests []RequestRecord `json:"requests"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(body.Requests) != 3 || body.Requests[0].ID != "r5" {
+		t.Fatalf("JSON requests = %+v", body.Requests)
+	}
+	// Empty ring must serve [] rather than null.
+	rec2 := httptest.NewRecorder()
+	NewRequestLog(2).ServeHTTP(rec2, httptest.NewRequest("GET", "/debug/requests", nil))
+	if got := rec2.Body.String(); got != "{\"requests\":[]}\n" {
+		t.Errorf("empty ring body = %q", got)
+	}
+}

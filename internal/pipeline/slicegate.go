@@ -2,8 +2,10 @@ package pipeline
 
 import (
 	"sync"
+	"time"
 
 	"hdvideobench/internal/codec"
+	"hdvideobench/internal/obs"
 )
 
 // SliceGate schedules the codecs' per-frame slice jobs onto a bounded
@@ -24,6 +26,7 @@ import (
 // wall-clock changes.
 type SliceGate struct {
 	tokens chan struct{}
+	col    *obs.Collector
 }
 
 // NewSliceGate returns a gate with a total budget of workers goroutines
@@ -38,6 +41,18 @@ func NewSliceGate(workers int) *SliceGate {
 	for i := 0; i < extra; i++ {
 		g.tokens <- struct{}{}
 	}
+	return g
+}
+
+// Observe points the gate's measurements at a collector (nil disables
+// them, the default) and returns the gate for chaining at construction:
+// spawned-vs-inline slice counts and the dispatcher's straggler wait.
+// The gate hands out tokens with a non-blocking select — a slice never
+// waits for one, it runs inline instead — so "time lost to the token
+// budget" surfaces as the post-dispatch wait for spawned slices plus
+// the inline share, not as an acquire latency.
+func (g *SliceGate) Observe(col *obs.Collector) *SliceGate {
+	g.col = col
 	return g
 }
 
@@ -71,6 +86,7 @@ func (g *SliceGate) Run(n int, job func(i int)) {
 	for i := 1; i < n; i++ {
 		select {
 		case <-g.tokens:
+			g.col.SliceSpawned()
 			wg.Add(1)
 			go func(i int) {
 				defer func() {
@@ -80,11 +96,18 @@ func (g *SliceGate) Run(n int, job func(i int)) {
 				job(i)
 			}(i)
 		default:
+			g.col.SliceInline()
 			job(i)
 		}
 	}
 	job(0)
+	if g.col == nil {
+		wg.Wait()
+		return
+	}
+	t0 := time.Now()
 	wg.Wait()
+	g.col.ObserveGateWait(time.Since(t0))
 }
 
 // install points a codec instance's slice scheduling at the gate, when

@@ -1,0 +1,23 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugRoutes hands back the private diagnostics mux: the Go pprof
+// endpoints and the /debug/requests ring of recently completed
+// requests. It is deliberately a separate handler from Routes — the
+// profiling surface exposes heap contents and CPU samples, so
+// cmd/hdvserve binds it only to the operator-chosen -debug-addr
+// listener (usually loopback) and never to the public one.
+func (s *Server) DebugRoutes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/requests", s.reqLog)
+	return mux
+}

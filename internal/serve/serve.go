@@ -5,6 +5,18 @@
 // cmd/hdvslo) and the httptest suites can run the exact production
 // handler in-process; cmd/hdvserve is a thin flag-parsing front end.
 // See cmd/hdvserve's command documentation for the HTTP API.
+//
+// Observability (PR 7): every series lives on an internal/obs registry —
+// the original flat counters keep their exact names, joined by labeled
+// latency histograms ({endpoint, codec, res, cache}) and the pipeline's
+// chunk/queue/gate series fed through an obs.Collector threaded into
+// EncoderOptions. Each /transcode request carries an X-Request-ID
+// (propagated from the client or generated), emits a Server-Timing
+// header (and, on cold chunked streams, a Server-Timing trailer with
+// the encode phases that only finish after the first byte), and lands
+// in a last-N ring served at /debug/requests on the DebugRoutes mux —
+// which, with /debug/pprof/*, binds only to the separate -debug-addr
+// listener, never the public one.
 package serve
 
 import (
@@ -13,20 +25,23 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/url"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"hdvideobench"
 	"hdvideobench/internal/gopcache"
+	"hdvideobench/internal/obs"
 )
 
 // StreamContentType is the media type of a served HDVB container.
 const StreamContentType = "application/x-hdvideobench"
+
+// requestRingSize is how many completed requests /debug/requests holds.
+const requestRingSize = 64
 
 // Config carries the per-process limits.
 type Config struct {
@@ -39,6 +54,11 @@ type Config struct {
 	CacheBytes    int64   // cache byte budget (<=0 = unlimited)
 	RateLimit     float64 // per-client requests/second (0 = off)
 	RateBurst     int     // per-client burst
+	// Logger receives the server's leveled logs (request summaries at
+	// debug, stream completions at info, failures at warn). nil discards
+	// everything — the default keeps in-process harnesses and tests
+	// quiet; cmd/hdvserve wires a real handler.
+	Logger *slog.Logger
 }
 
 // encodeFunc is the sequence-encoding entry point, a Server field so the
@@ -69,18 +89,34 @@ type Server struct {
 	cache   *gopcache.Cache // nil = caching off
 	limiter *rateLimiter    // nil = rate limiting off
 	encode  encodeFunc
+	log     *slog.Logger
 
-	// metrics
-	active      atomic.Int64
-	served      atomic.Int64 // completed GET streams (cold or cached)
-	transcoded  atomic.Int64 // completed POST transcodes
-	getReqs     atomic.Int64
-	postReqs    atomic.Int64
-	rateLimited atomic.Int64
-	capacity503 atomic.Int64
-	bytesServed atomic.Int64
-	encodeNanos atomic.Int64
-	encodes     atomic.Int64
+	reg    *obs.Registry
+	reqLog *obs.RequestLog
+	col    *obs.Collector // threaded into every encode via EncoderOptions
+	m      serverMetrics
+}
+
+// serverMetrics holds the registry handles the handlers update. The
+// names (and zero-label shapes) of the first block predate the registry
+// and are pinned by the endpoint tests and any deployed scrape config —
+// do not rename them.
+type serverMetrics struct {
+	getReqs     *obs.Counter // hdvserve_requests_total{endpoint="transcode",method="GET"}
+	postReqs    *obs.Counter // hdvserve_requests_total{endpoint="transcode",method="POST"}
+	active      *obs.Gauge
+	served      *obs.Counter
+	transcoded  *obs.Counter
+	encodes     *obs.Counter
+	encSeconds  *obs.Counter
+	bytesServed *obs.Counter
+	rateLimited *obs.Counter
+	capacity503 *obs.Counter
+
+	reqSeconds *obs.HistogramVec // {endpoint, codec, res, cache}
+	ttfb       *obs.HistogramVec
+	coldEnc    *obs.HistogramVec
+	cacheFill  *obs.HistogramVec
 }
 
 func New(cfg Config) (*Server, error) {
@@ -101,6 +137,12 @@ func New(cfg Config) (*Server, error) {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst),
 		encode:  defaultEncode,
+		log:     cfg.Logger,
+		reg:     obs.NewRegistry(),
+		reqLog:  obs.NewRequestLog(requestRingSize),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
 	}
 	if cfg.CacheDir != "" {
 		cache, err := gopcache.Open(cfg.CacheDir, cfg.CacheBytes)
@@ -109,22 +151,185 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.cache = cache
 	}
+	s.registerMetrics()
 	return s, nil
+}
+
+// registerMetrics builds every family. Registration order is exposition
+// order; the pre-registry names come first, in their historical order.
+func (s *Server) registerMetrics() {
+	m := &s.m
+	reqs := s.reg.Counter("hdvserve_requests_total", "Requests by endpoint and method.", "endpoint", "method")
+	// Touch both series now so a fresh server exposes them at zero.
+	m.getReqs = reqs.With("transcode", "GET")
+	m.postReqs = reqs.With("transcode", "POST")
+	m.active = s.reg.Gauge("hdvserve_active_requests", "Encoding requests in flight.").With()
+	m.served = s.reg.Counter("hdvserve_streams_served_total", "Completed GET /transcode streams (cold or cached).").With()
+	m.transcoded = s.reg.Counter("hdvserve_uploads_transcoded_total", "Completed POST /transcode transcodes.").With()
+	m.encodes = s.reg.Counter("hdvserve_encodes_total", "Encoder pipeline runs (cache hits never add here).").With()
+	m.encSeconds = s.reg.Counter("hdvserve_encode_seconds_total", "Cumulative wall-clock seconds spent encoding.").With()
+	m.bytesServed = s.reg.Counter("hdvserve_bytes_served_total", "Response bytes written on /transcode.").With()
+	m.rateLimited = s.reg.Counter("hdvserve_rate_limited_total", "Requests rejected by the per-client rate limit.").With()
+	m.capacity503 = s.reg.Counter("hdvserve_capacity_rejections_total", "Requests rejected with 503 at the encode semaphore.").With()
+	if s.cache != nil {
+		// The cache owns its counters; scrape-time funcs read them
+		// instead of mirroring through writable cells that could skew.
+		s.reg.CounterFunc("hdvserve_cache_hits_total", "GOP cache hits.",
+			func() float64 { return float64(s.cache.Stats().Hits) })
+		s.reg.CounterFunc("hdvserve_cache_misses_total", "GOP cache misses.",
+			func() float64 { return float64(s.cache.Stats().Misses) })
+		s.reg.CounterFunc("hdvserve_cache_evictions_total", "GOP cache entries evicted for budget.",
+			func() float64 { return float64(s.cache.Stats().Evictions) })
+		s.reg.GaugeFunc("hdvserve_cache_entries", "GOP cache entries on disk.",
+			func() float64 { return float64(s.cache.Stats().Entries) })
+		s.reg.GaugeFunc("hdvserve_cache_bytes", "GOP cache bytes on disk.",
+			func() float64 { return float64(s.cache.Stats().Bytes) })
+		s.reg.GaugeFunc("hdvserve_cache_budget_bytes", "GOP cache byte budget (0 = unlimited).",
+			func() float64 { return float64(s.cache.Stats().Budget) })
+	}
+
+	// Request-shape latency histograms. res is "WxH" ("input" when a
+	// POST copies the upload's dimensions); cache is hit/miss/none.
+	lbls := []string{"endpoint", "codec", "res", "cache"}
+	m.reqSeconds = s.reg.Histogram("hdvserve_request_seconds", "Request wall time by endpoint, codec, resolution and cache disposition.", nil, lbls...)
+	m.ttfb = s.reg.Histogram("hdvserve_ttfb_seconds", "Time to first response body byte.", nil, lbls...)
+	m.coldEnc = s.reg.Histogram("hdvserve_cold_encode_seconds", "Encode wall time of cache-miss and uncached requests.", nil, lbls...)
+	m.cacheFill = s.reg.Histogram("hdvserve_cache_fill_seconds", "Wall time from encode start to cache commit for completed fills.", nil, lbls...)
+
+	// Pipeline self-measurements, reported by every encode this server
+	// runs through the Collector in EncoderOptions.
+	gate := s.reg.Counter("hdvserve_gate_slices_total", "Slice jobs by dispatch mode (spawned onto a gate token vs inline).", "mode")
+	s.col = &obs.Collector{
+		ChunkEncode: s.reg.Histogram("hdvserve_chunk_encode_seconds", "Per closed-GOP chunk encode wall time inside the worker pool.", nil).With(),
+		DrainStall:  s.reg.Histogram("hdvserve_drain_stall_seconds", "Reader wait on the ordered drain for the oldest in-flight chunk.", nil).With(),
+		QueueDepth:  s.reg.Gauge("hdvserve_chunk_queue_depth", "Chunks submitted to the encode pool and not yet coded.").With(),
+		GateWait:    s.reg.Histogram("hdvserve_gate_wait_seconds", "Slice-gate dispatcher wait for spawned slice stragglers.", nil).With(),
+		GateSpawned: gate.With("spawned"),
+		GateInline:  gate.With("inline"),
+	}
 }
 
 func (s *Server) Routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /transcode", s.instrument(s.limit(s.handleTranscode)))
-	mux.Handle("POST /transcode", s.instrument(s.limit(s.handleTranscodePost)))
+	mux.Handle("GET /transcode", s.instrument("transcode", s.limit(s.handleTranscode)))
+	mux.Handle("POST /transcode", s.instrument("transcode", s.limit(s.handleTranscodePost)))
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
-// instrument counts response bytes into the bytes-served total.
-func (s *Server) instrument(next http.HandlerFunc) http.Handler {
+// reqTrack is the per-request instrumentation carrier: a ResponseWriter
+// wrapper recording status, bytes, and first-byte time, plus the trace
+// and label fields the middleware turns into histograms and a ring
+// record when the handler returns. Handlers reach it via track(w).
+type reqTrack struct {
+	rw    http.ResponseWriter
+	bytes *obs.Counter // global bytes-served total
+
+	id        string
+	start     time.Time
+	trace     *obs.Trace
+	status    int
+	written   int64
+	firstByte time.Time
+	codec     string // "" until the request parses
+	res       string
+	cache     string // hit, miss, or none
+}
+
+func (t *reqTrack) Header() http.Header { return t.rw.Header() }
+
+func (t *reqTrack) WriteHeader(code int) {
+	if t.status == 0 {
+		t.status = code
+	}
+	t.rw.WriteHeader(code)
+}
+
+func (t *reqTrack) Write(p []byte) (int, error) {
+	if t.status == 0 {
+		t.status = http.StatusOK
+	}
+	if t.firstByte.IsZero() {
+		t.firstByte = time.Now()
+	}
+	n, err := t.rw.Write(p)
+	t.written += int64(n)
+	t.bytes.Add(float64(n))
+	return n, err
+}
+
+func (t *reqTrack) Flush() {
+	if f, ok := t.rw.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// setStream records the parsed stream shape on the track's labels.
+func (t *reqTrack) setStream(c hdvideobench.Codec, opts hdvideobench.EncoderOptions) {
+	t.codec = c.String()
+	if opts.Width > 0 && opts.Height > 0 {
+		t.res = strconv.Itoa(opts.Width) + "x" + strconv.Itoa(opts.Height)
+	} else {
+		t.res = "input" // POST copying the upload's dimensions
+	}
+}
+
+// serverTiming renders the completed phases plus the cache disposition
+// as a Server-Timing value — the disposition marker is what makes a
+// warm hit and a cold miss distinguishable at header time, before the
+// cold path's encode phases have finished.
+func (t *reqTrack) serverTiming() string {
+	st := t.trace.ServerTiming()
+	if t.cache == "none" {
+		return st
+	}
+	if st != "" {
+		st += ", "
+	}
+	return st + t.cache
+}
+
+// track returns the request's instrumentation carrier. Handlers only
+// run wrapped by instrument, so the assertion holds; the fallback keeps
+// a directly-invoked handler (subtests poking internals) functional.
+func track(w http.ResponseWriter) *reqTrack {
+	if t, ok := w.(*reqTrack); ok {
+		return t
+	}
+	return &reqTrack{rw: w, bytes: nil, start: time.Now(), trace: obs.NewTrace(), cache: "none"}
+}
+
+// instrument wraps a /transcode handler with the per-request
+// observability: request-ID generation/propagation/echo, byte and
+// latency accounting, the /debug/requests ring, and the debug log line.
+func (s *Server) instrument(endpoint string, next http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		next(&countingResponseWriter{rw: w, n: &s.bytesServed}, r)
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		t := &reqTrack{
+			rw: w, bytes: s.m.bytesServed,
+			id: id, start: time.Now(), trace: obs.NewTrace(), cache: "none",
+		}
+		next(t, r)
+		if t.status == 0 {
+			t.status = http.StatusOK // handler wrote nothing at all
+		}
+		dur := time.Since(t.start)
+		s.m.reqSeconds.With(endpoint, t.codec, t.res, t.cache).Observe(dur.Seconds())
+		if !t.firstByte.IsZero() {
+			s.m.ttfb.With(endpoint, t.codec, t.res, t.cache).Observe(t.firstByte.Sub(t.start).Seconds())
+		}
+		s.reqLog.Add(obs.RequestRecord{
+			ID: id, Time: obs.StartTime(t.start), Method: r.Method, Path: r.URL.RequestURI(),
+			Status: t.status, Bytes: t.written, Cache: t.cache,
+			DurationMS: float64(dur) / float64(time.Millisecond), Phases: t.trace.Phases(),
+		})
+		s.log.Debug("request done", "id", id, "method", r.Method, "uri", r.URL.RequestURI(),
+			"status", t.status, "bytes", t.written, "cache", t.cache, "dur", dur.Round(time.Microsecond))
 	})
 }
 
@@ -137,7 +342,7 @@ func (s *Server) limit(next http.HandlerFunc) http.HandlerFunc {
 				host = r.RemoteAddr
 			}
 			if !s.limiter.allow(host, time.Now()) {
-				s.rateLimited.Add(1)
+				s.m.rateLimited.Inc()
 				w.Header().Set("Retry-After", strconv.Itoa(s.limiter.retryAfterSeconds()))
 				http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 				return
@@ -287,6 +492,7 @@ func (s *Server) parseCoding(q url.Values, defWidth, defHeight int) (hdvideobenc
 		Workers:     workers,
 		Window:      s.cfg.Window,
 		SIMD:        simd,
+		Collector:   s.col, // pipeline series land on this server's registry
 	}
 	if vlc {
 		opts.Entropy = hdvideobench.EntropyVLC
@@ -335,10 +541,10 @@ func (s *Server) parseTranscode(r *http.Request) (transcodeRequest, error) {
 func (s *Server) acquire(w http.ResponseWriter) bool {
 	select {
 	case s.sem <- struct{}{}:
-		s.active.Add(1)
+		s.m.active.Add(1)
 		return true
 	default:
-		s.capacity503.Add(1)
+		s.m.capacity503.Inc()
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "transcoder at capacity", http.StatusServiceUnavailable)
 		return false
@@ -346,7 +552,7 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 }
 
 func (s *Server) release() {
-	s.active.Add(-1)
+	s.m.active.Add(-1)
 	<-s.sem
 }
 
@@ -369,12 +575,14 @@ func frameFeed(ctx context.Context, req transcodeRequest) func() (*hdvideobench.
 }
 
 func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
-	s.getReqs.Add(1)
+	s.m.getReqs.Inc()
+	t := track(w)
 	req, err := s.parseTranscode(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	t.setStream(req.codec, req.opts)
 	if req.index && s.cache == nil {
 		http.Error(w, "index requires caching (-cache-dir)", http.StatusBadRequest)
 		return
@@ -383,10 +591,15 @@ func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
 	var key gopcache.Key
 	if s.cache != nil {
 		key = req.cacheKey()
-		if ent, ok := s.cache.Get(key); ok {
+		sp := t.trace.Start("cache")
+		ent, ok := s.cache.Get(key)
+		sp.End()
+		if ok {
+			t.cache = "hit"
 			s.serveCached(w, r, req, ent, "hit")
 			return
 		}
+		t.cache = "miss"
 	}
 
 	if !s.acquire(w) {
@@ -412,9 +625,11 @@ func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
 // support. state names how the entry got here ("hit" or "miss").
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, req transcodeRequest, ent *gopcache.Entry, state string) {
 	defer ent.Close()
+	t := track(w)
 	if req.index {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-HDVB-Cache", state)
+		w.Header().Set("Server-Timing", t.serverTiming())
 		writeIndexJSON(w, ent.Index)
 		return
 	}
@@ -423,11 +638,16 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, req transco
 	h.Set("X-HDVB-Codec", req.codec.String())
 	h.Set("X-HDVB-Frames", strconv.Itoa(req.frames))
 	h.Set("X-HDVB-Cache", state)
+	// The phases completed so far: the cache lookup on a hit, plus the
+	// full encode/fill on a ranged or indexed miss.
+	h.Set("Server-Timing", t.serverTiming())
 	// ServeContent handles Range/If-Range/HEAD and sets Content-Length
 	// and Accept-Ranges; the body is the exact byte stream a cold
 	// encode produces, so hits are byte-identical to misses.
+	sp := t.trace.Start("write")
 	http.ServeContent(w, r, "", ent.ModTime, ent.Body())
-	s.served.Add(1)
+	sp.End()
+	s.m.served.Inc()
 }
 
 type indexJSON struct {
@@ -452,6 +672,7 @@ func writeIndexJSON(w io.Writer, idx hdvideobench.GOPIndex) {
 // client (the ranged/indexed miss path). On failure it writes the error
 // response and reports !ok.
 func (s *Server) fillCache(w http.ResponseWriter, r *http.Request, req transcodeRequest, key gopcache.Key) (*gopcache.Entry, bool) {
+	t := track(w)
 	fill, err := s.cache.NewFill(key)
 	if err != nil {
 		http.Error(w, "cache unavailable", http.StatusInternalServerError)
@@ -460,7 +681,9 @@ func (s *Server) fillCache(w http.ResponseWriter, r *http.Request, req transcode
 	ctx := r.Context()
 	start := time.Now()
 	fw := &errTrackWriter{w: fill}
+	sp := t.trace.Start("enc")
 	stats, idx, err := s.encode(fw, req.codec, req.opts, req.frames, frameFeed(ctx, req), true)
+	encDur := sp.End()
 	if err != nil {
 		fill.Abort()
 		if ctx.Err() != nil {
@@ -478,13 +701,19 @@ func (s *Server) fillCache(w http.ResponseWriter, r *http.Request, req transcode
 		}
 		return nil, false
 	}
-	s.encodes.Add(1)
-	s.encodeNanos.Add(int64(time.Since(start)))
+	s.m.encodes.Inc()
+	s.m.encSeconds.Add(encDur.Seconds())
+	s.m.coldEnc.With("transcode", t.codec, t.res, t.cache).Observe(encDur.Seconds())
+	csp := t.trace.Start("commit")
 	ent, err := fill.Commit(idx)
+	csp.End()
 	if err != nil {
 		http.Error(w, "cache commit failed", http.StatusInternalServerError)
 		return nil, false
 	}
+	// Fill time spans encode start through commit: the window during
+	// which a second request for the same key would find no entry.
+	s.m.cacheFill.With("transcode", t.codec, t.res, t.cache).Observe(time.Since(start).Seconds())
 	return ent, true
 }
 
@@ -493,6 +722,7 @@ func (s *Server) fillCache(w http.ResponseWriter, r *http.Request, req transcode
 // headers are deferred to the first body byte so pre-stream failures
 // (nothing on the wire yet) produce clean, headerless error statuses.
 func (s *Server) streamCold(w http.ResponseWriter, r *http.Request, req transcodeRequest, key gopcache.Key) {
+	t := track(w)
 	hw := &deferredHeaderWriter{rw: w, set: func(h http.Header) {
 		h.Set("Content-Type", StreamContentType)
 		h.Set("X-HDVB-Codec", req.codec.String())
@@ -500,6 +730,10 @@ func (s *Server) streamCold(w http.ResponseWriter, r *http.Request, req transcod
 		if s.cache != nil {
 			h.Set("X-HDVB-Cache", "miss")
 		}
+		// Only the phases finished before the first byte (the cache
+		// lookup) can go in the header; the encode phases arrive in the
+		// Server-Timing trailer once the chunked stream completes.
+		h.Set("Server-Timing", t.serverTiming())
 	}}
 	var sink flushWriter = hw
 	var tee *cacheTeeWriter
@@ -516,7 +750,9 @@ func (s *Server) streamCold(w http.ResponseWriter, r *http.Request, req transcod
 	// The GOP index only exists to be committed with the fill; without a
 	// tee the plain per-packet drain keeps first-byte latency at one
 	// packet, not one GOP.
+	sp := t.trace.Start("enc")
 	stats, idx, err := s.encode(sink, req.codec, req.opts, req.frames, frameFeed(ctx, req), tee != nil)
+	encDur := sp.End()
 	abortTee := func() {
 		if tee != nil {
 			tee.fill.Abort()
@@ -524,24 +760,37 @@ func (s *Server) streamCold(w http.ResponseWriter, r *http.Request, req transcod
 	}
 	switch {
 	case err == nil:
-		s.served.Add(1)
-		s.encodes.Add(1)
-		s.encodeNanos.Add(int64(time.Since(start)))
+		s.m.served.Inc()
+		s.m.encodes.Inc()
+		s.m.encSeconds.Add(encDur.Seconds())
+		s.m.coldEnc.With("transcode", t.codec, t.res, t.cache).Observe(encDur.Seconds())
 		if tee != nil {
 			if tee.teeErr != nil {
 				tee.fill.Abort()
-			} else if ent, err := tee.fill.Commit(idx); err != nil {
-				log.Printf("hdvserve: cache commit: %v", err)
 			} else {
-				ent.Close() // already streamed; only fillCache serves off the commit
+				csp := t.trace.Start("commit")
+				ent, err := tee.fill.Commit(idx)
+				csp.End()
+				if err != nil {
+					s.log.Warn("cache commit failed", "id", t.id, "err", err)
+				} else {
+					ent.Close() // already streamed; only fillCache serves off the commit
+					s.m.cacheFill.With("transcode", t.codec, t.res, t.cache).Observe(time.Since(start).Seconds())
+				}
 			}
 		}
-		log.Printf("hdvserve: %s %s %dx%d frames=%d workers=%d: %d bytes in %v",
-			req.codec, req.seq, req.opts.Width, req.opts.Height,
-			req.frames, req.opts.Workers, stats.Bytes, time.Since(start).Round(time.Millisecond))
+		if hw.wrote {
+			// The response is chunked (no Content-Length), so the encode
+			// phases can still reach the client as a trailer.
+			w.Header().Set(http.TrailerPrefix+"Server-Timing", t.serverTiming())
+		}
+		s.log.Info("stream served",
+			"id", t.id, "codec", req.codec.String(), "seq", req.seq.String(),
+			"res", t.res, "frames", req.frames, "workers", req.opts.Workers,
+			"bytes", stats.Bytes, "dur", time.Since(start).Round(time.Millisecond))
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil:
 		abortTee()
-		log.Printf("hdvserve: client gone after %d frames (%d bytes)", stats.Frames, stats.Bytes)
+		s.log.Debug("client gone", "id", t.id, "frames", stats.Frames, "bytes", stats.Bytes)
 	case !hw.wrote:
 		// Nothing on the wire yet: the error can still become a status,
 		// and since the stream headers are deferred, the 400 carries
@@ -551,18 +800,20 @@ func (s *Server) streamCold(w http.ResponseWriter, r *http.Request, req transcod
 	default:
 		// Mid-stream failure; the truncated body is the only signal.
 		abortTee()
-		log.Printf("hdvserve: stream failed after %d frames: %v", stats.Frames, err)
+		s.log.Warn("stream failed mid-flight", "id", t.id, "frames", stats.Frames, "err", err)
 	}
 }
 
 func (s *Server) handleTranscodePost(w http.ResponseWriter, r *http.Request) {
-	s.postReqs.Add(1)
+	s.m.postReqs.Inc()
+	t := track(w)
 	q := r.URL.Query()
 	codec, opts, err := s.parseCoding(q, 0, 0) // width/height 0: copy the input's
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	t.setStream(codec, opts)
 	if !s.acquire(w) {
 		return
 	}
@@ -572,64 +823,55 @@ func (s *Server) handleTranscodePost(w http.ResponseWriter, r *http.Request) {
 	hw := &deferredHeaderWriter{rw: w, set: func(h http.Header) {
 		h.Set("Content-Type", StreamContentType)
 		h.Set("X-HDVB-Codec", codec.String())
+		h.Set("Server-Timing", t.serverTiming())
 	}}
 	ctx := r.Context()
 	start := time.Now()
+	sp := t.trace.Start("enc")
 	stats, err := hdvideobench.Transcode(body, hw, codec, opts)
+	encDur := sp.End()
 	switch {
 	case err == nil:
-		s.transcoded.Add(1)
-		s.encodes.Add(1)
-		s.encodeNanos.Add(int64(time.Since(start)))
-		log.Printf("hdvserve: transcode %s -> %s: %d frames, %d -> %d bytes in %v",
-			stats.In, stats.Out, stats.Frames, stats.BytesIn, stats.BytesOut,
-			time.Since(start).Round(time.Millisecond))
+		s.m.transcoded.Inc()
+		s.m.encodes.Inc()
+		s.m.encSeconds.Add(encDur.Seconds())
+		s.m.coldEnc.With("transcode", t.codec, t.res, t.cache).Observe(encDur.Seconds())
+		if hw.wrote {
+			w.Header().Set(http.TrailerPrefix+"Server-Timing", t.serverTiming())
+		}
+		s.log.Info("upload transcoded",
+			"id", t.id, "in", stats.In.String(), "out", stats.Out.String(),
+			"frames", stats.Frames, "bytes_in", stats.BytesIn, "bytes_out", stats.BytesOut,
+			"dur", time.Since(start).Round(time.Millisecond))
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil:
-		log.Printf("hdvserve: transcode client gone after %d frames", stats.Frames)
+		s.log.Debug("transcode client gone", "id", t.id, "frames", stats.Frames)
 	case !hw.wrote:
 		// A bad upload (wrong magic, unsupported version, bad config)
 		// fails before the output container opens.
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	default:
-		log.Printf("hdvserve: transcode failed after %d frames: %v", stats.Frames, err)
+		s.log.Warn("transcode failed mid-flight", "id", t.id, "frames", stats.Frames, "err", err)
 	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	fmt.Fprintf(w, "# HELP hdvserve_requests_total Requests by endpoint and method.\n# TYPE hdvserve_requests_total counter\n")
-	fmt.Fprintf(w, "hdvserve_requests_total{endpoint=\"transcode\",method=\"GET\"} %d\n", s.getReqs.Load())
-	fmt.Fprintf(w, "hdvserve_requests_total{endpoint=\"transcode\",method=\"POST\"} %d\n", s.postReqs.Load())
-	gauge("hdvserve_active_requests", "Encoding requests in flight.", s.active.Load())
-	counter("hdvserve_streams_served_total", "Completed GET /transcode streams (cold or cached).", s.served.Load())
-	counter("hdvserve_uploads_transcoded_total", "Completed POST /transcode transcodes.", s.transcoded.Load())
-	counter("hdvserve_encodes_total", "Encoder pipeline runs (cache hits never add here).", s.encodes.Load())
-	fmt.Fprintf(w, "# HELP hdvserve_encode_seconds_total Cumulative wall-clock seconds spent encoding.\n# TYPE hdvserve_encode_seconds_total counter\nhdvserve_encode_seconds_total %f\n",
-		time.Duration(s.encodeNanos.Load()).Seconds())
-	counter("hdvserve_bytes_served_total", "Response bytes written on /transcode.", s.bytesServed.Load())
-	counter("hdvserve_rate_limited_total", "Requests rejected by the per-client rate limit.", s.rateLimited.Load())
-	counter("hdvserve_capacity_rejections_total", "Requests rejected with 503 at the encode semaphore.", s.capacity503.Load())
-	if s.cache != nil {
-		cs := s.cache.Stats()
-		counter("hdvserve_cache_hits_total", "GOP cache hits.", cs.Hits)
-		counter("hdvserve_cache_misses_total", "GOP cache misses.", cs.Misses)
-		counter("hdvserve_cache_evictions_total", "GOP cache entries evicted for budget.", cs.Evictions)
-		gauge("hdvserve_cache_entries", "GOP cache entries on disk.", int64(cs.Entries))
-		gauge("hdvserve_cache_bytes", "GOP cache bytes on disk.", cs.Bytes)
-		gauge("hdvserve_cache_budget_bytes", "GOP cache byte budget (0 = unlimited).", cs.Budget)
-	}
+	s.reg.WriteText(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"status":"ok","active":%d,"capacity":%d,"served":%d}`+"\n",
-		s.active.Load(), s.cfg.MaxConcurrent, s.served.Load())
+	json.NewEncoder(w).Encode(struct {
+		Status   string `json:"status"`
+		Active   int64  `json:"active"`
+		Capacity int    `json:"capacity"`
+		Served   int64  `json:"served"`
+	}{
+		Status:   "ok",
+		Active:   int64(s.m.active.Value()),
+		Capacity: s.cfg.MaxConcurrent,
+		Served:   int64(s.m.served.Value()),
+	})
 }
 
 // flushWriter is what the streaming paths need from their sink: the
@@ -703,26 +945,3 @@ func (t *cacheTeeWriter) Write(p []byte) (int, error) {
 }
 
 func (t *cacheTeeWriter) Flush() { t.dst.Flush() }
-
-// countingResponseWriter feeds the bytes-served metric, passing flushes
-// through so chunked streaming keeps its per-packet latency.
-type countingResponseWriter struct {
-	rw http.ResponseWriter
-	n  *atomic.Int64
-}
-
-func (c *countingResponseWriter) Header() http.Header { return c.rw.Header() }
-
-func (c *countingResponseWriter) WriteHeader(code int) { c.rw.WriteHeader(code) }
-
-func (c *countingResponseWriter) Write(p []byte) (int, error) {
-	n, err := c.rw.Write(p)
-	c.n.Add(int64(n))
-	return n, err
-}
-
-func (c *countingResponseWriter) Flush() {
-	if f, ok := c.rw.(http.Flusher); ok {
-		f.Flush()
-	}
-}

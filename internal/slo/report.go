@@ -46,6 +46,10 @@ type ReportConfig struct {
 type ReportRun struct {
 	Path string `json:"path"`
 	RunResult
+	// Server is the server-side counter movement over the run (scraped
+	// from /metrics before and after); nil when the scrape failed or the
+	// server predates the registry.
+	Server *ServerDelta `json:"server,omitempty"`
 }
 
 // ReportSearch is one search-mode result for a path × fps point.

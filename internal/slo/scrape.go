@@ -1,0 +1,77 @@
+package slo
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"hdvideobench/internal/obs"
+)
+
+// ServerStats is one scrape of the hdvserve counters the harness cares
+// about. Values are the raw cumulative counters; subtract two scrapes
+// (Delta) to attribute activity to one load point.
+type ServerStats struct {
+	Encodes     float64
+	CacheHits   float64
+	CacheMisses float64
+	BytesServed float64
+}
+
+// ServerDelta is the server-side view of one load point, embedded in
+// the report next to the client-side deadline results: how many encoder
+// runs the point actually cost, how the cache split, and the bytes the
+// server believes it wrote. A warm run with Encodes != 0 or a cold run
+// with CacheHits != 0 means the harness didn't measure the path it
+// claims.
+type ServerDelta struct {
+	Encodes     int64 `json:"encodes"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	BytesServed int64 `json:"bytes_served"`
+}
+
+// ScrapeServer fetches and parses base+"/metrics". Cache series are
+// absent when the server runs uncached; they read as zero.
+func ScrapeServer(ctx context.Context, base string) (ServerStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ServerStats{}, fmt.Errorf("GET %s/metrics: %s", base, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	fams, err := obs.ParseText(body)
+	if err != nil {
+		return ServerStats{}, fmt.Errorf("parse %s/metrics: %w", base, err)
+	}
+	vals := obs.Values(fams)
+	return ServerStats{
+		Encodes:     vals["hdvserve_encodes_total"],
+		CacheHits:   vals["hdvserve_cache_hits_total"],
+		CacheMisses: vals["hdvserve_cache_misses_total"],
+		BytesServed: vals["hdvserve_bytes_served_total"],
+	}, nil
+}
+
+// Delta returns the counter movement from before to s.
+func (s ServerStats) Delta(before ServerStats) *ServerDelta {
+	round := func(v float64) int64 { return int64(math.Round(v)) }
+	return &ServerDelta{
+		Encodes:     round(s.Encodes - before.Encodes),
+		CacheHits:   round(s.CacheHits - before.CacheHits),
+		CacheMisses: round(s.CacheMisses - before.CacheMisses),
+		BytesServed: round(s.BytesServed - before.BytesServed),
+	}
+}

@@ -1,0 +1,76 @@
+package slo
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+const cannedMetrics = `# HELP hdvserve_encodes_total Encoder pipeline runs (cache hits never add here).
+# TYPE hdvserve_encodes_total counter
+hdvserve_encodes_total 7
+# HELP hdvserve_bytes_served_total Response bytes written on /transcode.
+# TYPE hdvserve_bytes_served_total counter
+hdvserve_bytes_served_total 123456
+# HELP hdvserve_cache_hits_total GOP cache hits.
+# TYPE hdvserve_cache_hits_total counter
+hdvserve_cache_hits_total 3
+# HELP hdvserve_cache_misses_total GOP cache misses.
+# TYPE hdvserve_cache_misses_total counter
+hdvserve_cache_misses_total 4
+`
+
+func TestScrapeServer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write([]byte(cannedMetrics))
+	}))
+	defer ts.Close()
+
+	got, err := ScrapeServer(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ServerStats{Encodes: 7, CacheHits: 3, CacheMisses: 4, BytesServed: 123456}
+	if got != want {
+		t.Errorf("ScrapeServer = %+v, want %+v", got, want)
+	}
+
+	d := ServerStats{Encodes: 9, CacheHits: 15, CacheMisses: 4, BytesServed: 200000}.Delta(got)
+	if d.Encodes != 2 || d.CacheHits != 12 || d.CacheMisses != 0 || d.BytesServed != 76544 {
+		t.Errorf("Delta = %+v", d)
+	}
+}
+
+// TestScrapeServerUncached: a server without a cache exposes no cache
+// series; they must read zero, not error.
+func TestScrapeServerUncached(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("# HELP hdvserve_encodes_total x.\n# TYPE hdvserve_encodes_total counter\nhdvserve_encodes_total 2\n"))
+	}))
+	defer ts.Close()
+	got, err := ScrapeServer(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Encodes != 2 || got.CacheHits != 0 || got.CacheMisses != 0 {
+		t.Errorf("ScrapeServer = %+v", got)
+	}
+}
+
+func TestScrapeServerErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	if _, err := ScrapeServer(context.Background(), ts.URL); err == nil {
+		t.Error("expected error on 500")
+	}
+	if _, err := ScrapeServer(context.Background(), "http://127.0.0.1:0"); err == nil {
+		t.Error("expected error on unreachable server")
+	}
+}

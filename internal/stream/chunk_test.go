@@ -20,7 +20,7 @@ func streamEncodeChunks(t *testing.T, id core.CodecID, cfg codec.Config, n, work
 	t.Helper()
 	const w, h = 96, 80
 	frames := seqgen.New(seqgen.BlueSky, w, h).Generate(n)
-	enc, err := stream.NewEncoder(encFactory(id, cfg), cfg.IntraPeriod, workers, window)
+	enc, err := stream.NewEncoder(encFactory(id, cfg), cfg.IntraPeriod, workers, window, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestWriteAfterAbortRejected(t *testing.T) {
 	const w, h, gop = 96, 80, 4
 	cfg := eqConfig(w, h)
 	cfg.IntraPeriod = gop
-	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), gop, 2, 2)
+	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), gop, 2, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

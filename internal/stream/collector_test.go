@@ -1,0 +1,168 @@
+package stream_test
+
+import (
+	"io"
+	"testing"
+
+	"hdvideobench/internal/core"
+	"hdvideobench/internal/obs"
+	"hdvideobench/internal/seqgen"
+	"hdvideobench/internal/stream"
+)
+
+// testCollector builds a fully populated collector on a throwaway
+// registry, returning both so assertions can read the cells directly.
+func testCollector() *obs.Collector {
+	r := obs.NewRegistry()
+	gate := r.Counter("gate_slices_total", "x.", "mode")
+	return &obs.Collector{
+		ChunkEncode: r.Histogram("chunk_seconds", "x.", nil).With(),
+		DrainStall:  r.Histogram("stall_seconds", "x.", nil).With(),
+		QueueDepth:  r.Gauge("queue_depth", "x.").With(),
+		GateWait:    r.Histogram("gate_seconds", "x.", nil).With(),
+		GateSpawned: gate.With("spawned"),
+		GateInline:  gate.With("inline"),
+	}
+}
+
+// TestCollectorChunkedMode: a chunked encode must account every chunk
+// exactly once in the encode histogram, balance the queue-depth gauge
+// back to zero, and record one drain wait per reader pull — all
+// deterministic counts, no timing assertions.
+func TestCollectorChunkedMode(t *testing.T) {
+	const n, gop = 8, 2 // 4 chunks
+	w, h := 96, 80
+	cfg := eqConfig(w, h)
+	cfg.IntraPeriod = gop
+	col := testCollector()
+	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), gop, 2, 0, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := seqgen.New(seqgen.BlueSky, w, h).Generate(n)
+	done := make(chan error, 1)
+	go func() {
+		for _, f := range frames {
+			if err := enc.Write(f); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- enc.Close()
+	}()
+	var drains int
+	for {
+		_, err := enc.ReadChunk()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		drains++
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := col.ChunkEncode.Count(); got != 4 {
+		t.Errorf("ChunkEncode count = %d, want 4", got)
+	}
+	if got := col.QueueDepth.Value(); got != 0 {
+		t.Errorf("QueueDepth at rest = %v, want 0", got)
+	}
+	// One drain observation per pool pull: the 4 chunks plus the EOF pull.
+	if got := col.DrainStall.Count(); got < int64(drains) {
+		t.Errorf("DrainStall count = %d, want >= %d", got, drains)
+	}
+	// Chunked mode installs no gate: slices run inline on chunk workers.
+	if col.GateWait.Count() != 0 || col.GateSpawned.Value() != 0 {
+		t.Errorf("gate series moved in chunked mode: wait=%d spawned=%v",
+			col.GateWait.Count(), col.GateSpawned.Value())
+	}
+}
+
+// TestCollectorAbortBalancesQueue: chunks dropped by an abort must still
+// decrement the queue gauge.
+func TestCollectorAbortBalancesQueue(t *testing.T) {
+	const gop = 2
+	w, h := 96, 80
+	cfg := eqConfig(w, h)
+	cfg.IntraPeriod = gop
+	col := testCollector()
+	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), gop, 2, 2, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The writer pushes more chunks than the window holds with nothing
+	// draining, so it blocks mid-sequence; Abort from the test goroutine
+	// unblocks it with ErrAborted and routes queued chunks through the
+	// pool's drop callback. Whatever the interleaving — chunks coded,
+	// dropped, or never submitted — the gauge must end at zero.
+	frames := seqgen.New(seqgen.BlueSky, w, h).Generate(12)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, f := range frames {
+			if err := enc.Write(f); err != nil {
+				break
+			}
+		}
+		enc.Close()
+	}()
+	enc.Abort()
+	<-done
+	if _, err := enc.ReadChunk(); err != stream.ErrAborted {
+		t.Fatalf("ReadChunk after abort: %v", err)
+	}
+	if got := col.QueueDepth.Value(); got != 0 {
+		t.Errorf("QueueDepth after abort = %v, want 0", got)
+	}
+}
+
+// TestCollectorSerialGateMode: workers > 1 with no GOP boundaries runs
+// the serial slice-gate mode; the gate series must move and the chunk
+// series must not.
+func TestCollectorSerialGateMode(t *testing.T) {
+	const n = 4
+	w, h := 96, 80
+	cfg := eqConfig(w, h)
+	cfg.IntraPeriod = 0 // first-frame-only intra: the serial gate shape
+	cfg.Slices = 2
+	col := testCollector()
+	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), 0, 2, 0, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := seqgen.New(seqgen.BlueSky, w, h).Generate(n)
+	done := make(chan error, 1)
+	go func() {
+		for _, f := range frames {
+			if err := enc.Write(f); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- enc.Close()
+	}()
+	for {
+		if _, err := enc.ReadPacket(); err != nil {
+			if err != io.EOF {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	slices := col.GateSpawned.Value() + col.GateInline.Value()
+	if slices == 0 {
+		t.Error("no slice jobs accounted in serial gate mode")
+	}
+	if got := col.GateWait.Count(); got == 0 {
+		t.Error("no gate waits observed in serial gate mode")
+	}
+	if got := col.ChunkEncode.Count(); got != 0 {
+		t.Errorf("ChunkEncode moved in serial mode: %d", got)
+	}
+}

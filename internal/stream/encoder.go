@@ -3,10 +3,12 @@ package stream
 import (
 	"io"
 	"sync"
+	"time"
 
 	"hdvideobench/internal/codec"
 	"hdvideobench/internal/container"
 	"hdvideobench/internal/frame"
+	"hdvideobench/internal/obs"
 	"hdvideobench/internal/pipeline"
 )
 
@@ -42,6 +44,7 @@ type Encoder struct {
 	abortOne sync.Once
 
 	resident gauge
+	col      *obs.Collector // nil = no collection
 }
 
 type encChunk struct {
@@ -53,15 +56,18 @@ type encChunk struct {
 // instances (one per chunk in chunked mode); gop is the closed-GOP chunk
 // length in frames, workers the number of chunk workers, and window the
 // maximum chunks in flight (<= 0 selects 2×workers). workers <= 1 or
-// gop <= 0 selects the serial single-instance mode.
-func NewEncoder(factory pipeline.EncoderFactory, gop, workers, window int) (*Encoder, error) {
+// gop <= 0 selects the serial single-instance mode. col, when non-nil,
+// receives pipeline measurements (chunk encode time, queue depth, drain
+// stalls, slice-gate waits); it must be a constructor parameter because
+// the serial-mode slice gate is built right here.
+func NewEncoder(factory pipeline.EncoderFactory, gop, workers, window int, col *obs.Collector) (*Encoder, error) {
 	if workers > 1 && gop <= 0 {
 		// With no chunk boundaries the serial single-instance mode below
 		// is the whole pipeline; a slice gate with the full budget is
 		// what lets it scale past one core. In chunked mode the pool's
 		// workers already consume the budget, so slices run inline on
 		// the chunk workers (no gate — the total stays at `workers`).
-		factory = pipeline.NewSliceGate(workers).Encoders(factory)
+		factory = pipeline.NewSliceGate(workers).Observe(col).Encoders(factory)
 	}
 	enc, err := factory()
 	if err != nil {
@@ -71,6 +77,7 @@ func NewEncoder(factory pipeline.EncoderFactory, gop, workers, window int) (*Enc
 		hdr:     enc.Header(),
 		gop:     gop,
 		aborted: make(chan struct{}),
+		col:     col,
 	}
 	if workers <= 1 || gop <= 0 {
 		e.window = normWindow(window, 1)
@@ -83,18 +90,24 @@ func NewEncoder(factory pipeline.EncoderFactory, gop, workers, window int) (*Enc
 	e.window = normWindow(window, workers)
 	e.pool = pipeline.NewOrderedPool(workers, e.window,
 		func(c encChunk) ([]container.Packet, error) {
+			defer col.ChunkDone()
 			ce, err := factory()
 			if err != nil {
 				e.resident.add(-len(c.frames))
 				return nil, err
 			}
+			t0 := time.Now()
 			pkts, err := pipeline.EncodeChunk(ce, c.frames, c.base)
+			col.ObserveChunkEncode(time.Since(t0))
 			// The chunk's raw frames are released here, whether or not
 			// the encode succeeded; only coded bytes travel onward.
 			e.resident.add(-len(c.frames))
 			return pkts, err
 		},
-		func(c encChunk) { e.resident.add(-len(c.frames)) },
+		func(c encChunk) { // dropped on abort, never coded
+			e.resident.add(-len(c.frames))
+			col.ChunkDone()
+		},
 	)
 	return e, nil
 }
@@ -154,6 +167,9 @@ func (e *Encoder) Write(f *frame.Frame) error {
 func (e *Encoder) submit() error {
 	c := encChunk{base: e.written - len(e.cur), frames: e.cur}
 	e.cur = nil
+	// Queued before Submit so the gauge pairs with exactly one ChunkDone:
+	// a rejected Submit routes the chunk through the pool's drop callback.
+	e.col.ChunkQueued()
 	return e.pool.Submit(c)
 }
 
@@ -229,7 +245,7 @@ func (e *Encoder) ReadPacket() (container.Packet, error) {
 		}
 	}
 	for len(e.pending) == 0 {
-		pkts, err := e.pool.Next()
+		pkts, err := e.next()
 		if err != nil {
 			if err == io.EOF {
 				e.rerr = io.EOF
@@ -273,7 +289,7 @@ func (e *Encoder) ReadChunk() ([]container.Packet, error) {
 			return pkts, nil
 		}
 		for {
-			pkts, err := e.pool.Next()
+			pkts, err := e.next()
 			if err != nil {
 				if err == io.EOF {
 					e.rerr = io.EOF
@@ -309,6 +325,19 @@ func (e *Encoder) ReadChunk() ([]container.Packet, error) {
 		}
 		chunk = append(chunk, p)
 	}
+}
+
+// next pulls the next chunk off the ordered drain, timing the wait when
+// a collector is attached: near-zero when the pool runs ahead of the
+// consumer, the head-of-line stall otherwise.
+func (e *Encoder) next() ([]container.Packet, error) {
+	if e.col == nil {
+		return e.pool.Next()
+	}
+	t0 := time.Now()
+	pkts, err := e.pool.Next()
+	e.col.ObserveDrainStall(time.Since(t0))
+	return pkts, err
 }
 
 // Abort tears the stream down early (client gone, downstream failure):

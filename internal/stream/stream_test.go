@@ -56,7 +56,7 @@ func decFactory(hdr container.Header, cfg codec.Config) func() (codec.Decoder, e
 // goroutine and drains the packets from the test goroutine.
 func streamEncode(t *testing.T, id core.CodecID, cfg codec.Config, frames []*frame.Frame, workers, window int) ([]container.Packet, *stream.Encoder) {
 	t.Helper()
-	enc, err := stream.NewEncoder(encFactory(id, cfg), cfg.IntraPeriod, workers, window)
+	enc, err := stream.NewEncoder(encFactory(id, cfg), cfg.IntraPeriod, workers, window, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestBoundedResidency(t *testing.T) {
 	cfg.IntraPeriod = gop
 	gen := seqgen.New(seqgen.RushHour, w, h)
 
-	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), gop, workers, window)
+	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), gop, workers, window, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +271,7 @@ func TestBoundedResidency(t *testing.T) {
 func TestEncoderAbortUnblocksWriter(t *testing.T) {
 	const w, h = 96, 80
 	cfg := eqConfig(w, h)
-	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), eqGOP, 2, 2)
+	enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), eqGOP, 2, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestEncoderErrorPropagates(t *testing.T) {
 	cfg := eqConfig(96, 80)
 	for _, workers := range eqWorkers {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), eqGOP, workers, 0)
+			enc, err := stream.NewEncoder(encFactory(core.MPEG2, cfg), eqGOP, workers, 0, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
