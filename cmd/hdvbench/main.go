@@ -32,6 +32,10 @@
 // axis that parallelizes encode and decode even at -gop 0 (default 1;
 // in -scaling mode 0 means "sweep {1,2,4}"). Output streams are
 // byte-identical for every -workers value at a fixed -slices count.
+// -wavefront adds the third axis: 2D wavefront scheduling of the
+// macroblocks inside every slice, which parallelizes encode even at
+// -gop 0 -slices 1 with zero compression cost — the bitstream is
+// byte-identical with the flag on or off.
 package main
 
 import (
@@ -61,6 +65,7 @@ func main() {
 		q        = flag.Int("q", 5, "quantizer, MPEG scale 1..31 (paper: 5)")
 		gop      = flag.Int("gop", 0, "intra period / closed-GOP length (0 = first frame only)")
 		slices   = flag.Int("slices", 0, "macroblock-row slices per frame (0 = 1, or the {1,2,4} sweep in -scaling mode)")
+		wavefrnt = flag.Bool("wavefront", false, "wavefront (2D) macroblock scheduling inside each slice (encode; bytes unchanged)")
 		workers  = flag.Int("workers", runtime.NumCPU(), "GOP-parallel worker goroutines (1 = serial)")
 		resList  = flag.String("res", "", "comma-separated resolutions, up to 2160p25 (default: the paper's three)")
 		seqList  = flag.String("seqs", "", "comma-separated sequences, incl. sport_pan/scene_cut (default: the paper's four)")
@@ -104,6 +109,7 @@ func main() {
 	opts := hdvideobench.SuiteOptions{
 		Frames: *frames, Q: *q, Repeats: *repeats,
 		IntraPeriod: *gop, Workers: *workers, Slices: *slices,
+		Wavefront: *wavefrnt,
 	}
 	if *resList != "" {
 		for _, name := range strings.Split(*resList, ",") {

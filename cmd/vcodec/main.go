@@ -25,7 +25,9 @@
 // coded macroblock-row slices that spread across the workers, at a
 // small compression cost. Decoding picks the slice count up from the
 // stream automatically. For a fixed -slices value the output bytes are
-// identical at every -workers count.
+// identical at every -workers count. -wavefront additionally schedules
+// the macroblocks inside each slice as a 2D wavefront during encoding,
+// a zero-compression-cost axis that is also byte-identical on or off.
 package main
 
 import (
@@ -56,6 +58,7 @@ func main() {
 		refs      = flag.Int("refs", 4, "H.264 reference frames")
 		gop       = flag.Int("gop", 0, "intra period / closed-GOP length (0 = first frame only)")
 		slices    = flag.Int("slices", 1, "macroblock-row slices per frame (encode; parallelizes inside frames even with -gop 0, small quality cost)")
+		wavefrnt  = flag.Bool("wavefront", false, "wavefront (2D) macroblock scheduling inside each slice (encode; bytes unchanged)")
 		workers   = flag.Int("workers", runtime.NumCPU(), "GOP-parallel worker goroutines (1 = serial)")
 		window    = flag.Int("window", 0, "closed-GOP chunks in flight (0 = 2x workers); caps peak memory")
 		simd      = flag.Bool("simd", false, "use the SIMD (SWAR) kernels")
@@ -88,7 +91,8 @@ func main() {
 		runEncode(bufio.NewReaderSize(in, 1<<20), bw, encodeParams{
 			codec: *codecName, w: *width, h: *height, q: *q,
 			frames: *frames, bframes: *bframes, refs: *refs,
-			gop: *gop, slices: *slices, workers: *workers, window: *window,
+			gop: *gop, slices: *slices, wavefront: *wavefrnt,
+			workers: *workers, window: *window,
 			simd: *simd, vlc: *vlc, bench: *bench,
 		})
 		return
@@ -104,6 +108,7 @@ type encodeParams struct {
 	refs      int
 	gop       int
 	slices    int
+	wavefront bool
 	workers   int
 	window    int
 	simd, vlc bool
@@ -121,7 +126,7 @@ func runEncode(in io.Reader, out io.Writer, p encodeParams) {
 	opts := hdvideobench.EncoderOptions{
 		Width: p.w, Height: p.h, Q: p.q,
 		BFrames: p.bframes, Refs: p.refs, SIMD: p.simd,
-		IntraPeriod: p.gop, Slices: p.slices,
+		IntraPeriod: p.gop, Slices: p.slices, Wavefront: p.wavefront,
 		Workers: p.workers, Window: p.window,
 	}
 	if p.bframes == 0 {

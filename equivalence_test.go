@@ -81,29 +81,38 @@ func TestEncodeEquivalenceMatrix(t *testing.T) {
 				}
 				key := fmt.Sprintf("%v/%s/%s", c, res.name, kname)
 				t.Run(key, func(t *testing.T) {
-					var digests [2]string
-					for i, workers := range []int{1, 4} {
-						pkts, _, err := EncodeFramesParallel(c, EncoderOptions{
-							Width: res.w, Height: res.h, SIMD: simd, Workers: workers,
-						}, inputs)
-						if err != nil {
-							t.Fatalf("workers=%d: %v", workers, err)
+					// Wavefront is a pure scheduling axis (PR 8): it must
+					// land on the same golden digest as the serial path at
+					// every worker count, with the flag on or off.
+					var first string
+					for _, wavefront := range []bool{false, true} {
+						for _, workers := range []int{1, 4} {
+							pkts, _, err := EncodeFramesParallel(c, EncoderOptions{
+								Width: res.w, Height: res.h, SIMD: simd,
+								Workers: workers, Wavefront: wavefront,
+							}, inputs)
+							if err != nil {
+								t.Fatalf("workers=%d wavefront=%v: %v", workers, wavefront, err)
+							}
+							d := digestPackets(pkts)
+							if first == "" {
+								first = d
+							} else if d != first {
+								t.Fatalf("workers=%d wavefront=%v diverges: %s vs %s",
+									workers, wavefront, d, first)
+							}
 						}
-						digests[i] = digestPackets(pkts)
-					}
-					if digests[0] != digests[1] {
-						t.Fatalf("workers=1 and workers=4 disagree: %s vs %s", digests[0], digests[1])
 					}
 					if *updateGolden {
-						t.Logf("golden %q: %s", key, digests[0])
+						t.Logf("golden %q: %s", key, first)
 						return
 					}
 					want, ok := goldenStreams[key]
 					if !ok || want == "" {
 						t.Fatalf("no golden digest for %q (run with -update-golden)", key)
 					}
-					if digests[0] != want {
-						t.Errorf("bitstream changed: got %s, golden %s", digests[0], want)
+					if first != want {
+						t.Errorf("bitstream changed: got %s, golden %s", first, want)
 					}
 				})
 			}

@@ -214,6 +214,20 @@ type EncoderOptions struct {
 	// the paper's IntraPeriod == 0 default — and for a fixed slice
 	// count output stays byte-identical at every worker count.
 	Slices int
+	// Wavefront enables wavefront (2D) macroblock scheduling inside each
+	// slice: macroblock rows run concurrently as soon as their left and
+	// top-right dependencies are met, drawing goroutines from the same
+	// Workers budget as GOP chunks and slices. Unlike Slices it never
+	// changes the bitstream — output stays byte-identical with the flag
+	// on or off, at every worker count — so it is the axis that scales a
+	// single-slice, IntraPeriod == 0 stream without any compression cost.
+	Wavefront bool
+	// SceneCutIntra enables adaptive I-frame placement: a subsampled-luma
+	// SAD spike between consecutive input frames restarts the GOP with an
+	// I frame at the cut instead of waiting for the next IntraPeriod
+	// boundary. Opt-in because it moves frame types (the bitstream
+	// changes); off, streams are exactly the fixed-GOP ones.
+	SceneCutIntra bool
 	// Window caps the closed-GOP chunks in flight on the streaming paths
 	// (NewStreamEncoder, EncodeStream, Transcode): peak memory is
 	// O(Window × IntraPeriod) frames regardless of sequence length.
@@ -252,6 +266,8 @@ func (o EncoderOptions) config() (codec.Config, error) {
 	}
 	cfg.Entropy = o.Entropy
 	cfg.Slices = o.Slices
+	cfg.Wavefront = o.Wavefront
+	cfg.SceneCutIntra = o.SceneCutIntra
 	if err := cfg.Validate(); err != nil {
 		return codec.Config{}, err
 	}
@@ -567,6 +583,10 @@ type SuiteOptions struct {
 	// scales the paper's IntraPeriod == 0 default — at a small,
 	// documented prediction-efficiency cost.
 	Slices int
+	// Wavefront enables wavefront (2D) macroblock scheduling inside each
+	// slice for the suite's encode passes — frame-internal parallelism
+	// with no bitstream change (see EncoderOptions.Wavefront).
+	Wavefront bool
 	// Repeats is the number of timing repetitions for speed runs (the
 	// fastest is kept); the paper used five runs of each application.
 	Repeats int
@@ -587,6 +607,7 @@ func (o SuiteOptions) core() core.Options {
 		IntraPeriod: o.IntraPeriod,
 		Workers:     o.Workers,
 		Slices:      o.Slices,
+		Wavefront:   o.Wavefront,
 		Repeats:     o.Repeats,
 	}
 }

@@ -73,6 +73,26 @@ func (w *Writer) AlignByte() {
 	}
 }
 
+// AppendWriter appends src's entire bit sequence — complete bytes plus any
+// pending partial byte — to w, without aligning either writer. The result
+// is bit-for-bit what a single writer would hold after replaying both
+// write sequences in order, which is what lets per-row writers concatenate
+// into one slice stream. src is not modified and stays usable.
+func (w *Writer) AppendWriter(src *Writer) {
+	if w.n == 0 {
+		// Byte-aligned destination: complete bytes copy wholesale.
+		w.buf = append(w.buf, src.buf...)
+		w.bits += 8 * len(src.buf)
+	} else {
+		for _, b := range src.buf {
+			w.WriteBits(uint64(b), 8)
+		}
+	}
+	if src.n > 0 {
+		w.WriteBits(src.acc, src.n)
+	}
+}
+
 // Reset clears the writer for reuse, keeping the allocated buffer.
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]

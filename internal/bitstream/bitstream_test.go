@@ -144,6 +144,75 @@ func TestWriterReset(t *testing.T) {
 	}
 }
 
+// TestAppendWriter proves bit-level concatenation of independent writers
+// reproduces the single-writer bit sequence exactly — the property the
+// wavefront row writers rely on. Random token streams are split at random
+// boundaries across several writers and reassembled with AppendWriter; the
+// result must be byte-identical (including the final alignment padding) to
+// one writer taking every token.
+func TestAppendWriter(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		parts := 1 + rng.Intn(6)
+		ref := NewWriter(64)
+		ws := make([]*Writer, parts)
+		for i := range ws {
+			ws[i] = NewWriter(16)
+		}
+		for i := 0; i < n; i++ {
+			bits := uint(1 + rng.Intn(57))
+			v := rng.Uint64() & ((1 << bits) - 1)
+			ref.WriteBits(v, bits)
+			ws[i*parts/n].WriteBits(v, bits)
+		}
+		cat := NewWriter(64)
+		for _, w := range ws {
+			cat.AppendWriter(w)
+		}
+		if cat.BitsWritten() != ref.BitsWritten() {
+			return false
+		}
+		got, want := cat.Bytes(), ref.Bytes()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendWriterEmpty covers the degenerate shapes: empty source, empty
+// destination, and both partial.
+func TestAppendWriterEmpty(t *testing.T) {
+	w := NewWriter(4)
+	w.AppendWriter(NewWriter(0))
+	if w.BitsWritten() != 0 {
+		t.Fatalf("append empty onto empty: bits = %d", w.BitsWritten())
+	}
+	src := NewWriter(4)
+	src.WriteBits(0b101, 3)
+	w.AppendWriter(src)
+	if w.BitsWritten() != 3 {
+		t.Fatalf("append partial onto empty: bits = %d", w.BitsWritten())
+	}
+	w.AppendWriter(NewWriter(0))
+	if w.BitsWritten() != 3 {
+		t.Fatalf("append empty onto partial: bits = %d", w.BitsWritten())
+	}
+	r := NewReader(w.Bytes())
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Fatalf("got %b", got)
+	}
+}
+
 // TestRoundTripProperty writes a random token sequence and reads it back.
 func TestRoundTripProperty(t *testing.T) {
 	check := func(seed int64) bool {

@@ -65,6 +65,22 @@ type Config struct {
 	// slice count is byte-identical at every worker count. More slices
 	// buy intra-frame parallelism at a small prediction-efficiency cost.
 	Slices int
+
+	// Wavefront enables wavefront (2D) macroblock scheduling inside each
+	// slice: macroblock compute runs as soon as its left and top-right
+	// neighbours are done, spreading the rows of one slice across the
+	// installed WavefrontRunner's workers. Unlike Slices it never touches
+	// the bitstream — dependency-order execution reproduces exactly the
+	// raster-order values, and emission stays in raster order — so output
+	// is byte-identical with the flag on or off at every worker count.
+	Wavefront bool
+
+	// SceneCutIntra enables adaptive I-frame placement: a luma-SAD spike
+	// between consecutive input frames (a scene cut) restarts the GOP with
+	// an I frame at the cut instead of waiting for the next IntraPeriod
+	// boundary. Opt-in because it changes the bitstream (frame types move);
+	// off, streams are untouched.
+	SceneCutIntra bool
 }
 
 // Default returns the paper's coding options for a given resolution.

@@ -25,9 +25,65 @@ type GOPScheduler struct {
 	BFrames     int
 	IntraPeriod int
 
+	// SceneCut enables adaptive I-frame placement (Config.SceneCutIntra):
+	// a frame whose subsampled-luma SAD against the previous input spikes
+	// far above the running intra-shot average is promoted to a closed-GOP
+	// I frame, exactly as if an IntraPeriod boundary fell there. Detection
+	// state is local to this scheduler, so with GOP-chunk parallelism each
+	// chunk detects cuts against its own history.
+	SceneCut bool
+
 	pending  []*frame.Frame // buffered B candidates
 	count    int            // display frames consumed
 	gopStart int            // display index of the current GOP's I frame
+
+	prevGrid []byte // 1/8-subsampled luma of the previous pushed frame
+	sadSum   int    // running sum of intra-shot grid SADs
+	sadN     int
+}
+
+// The spike rule for SceneCut: a cut needs a mean absolute grid
+// difference above sceneCutFloor AND sceneCutRatio times the running
+// intra-shot average — the floor rejects global flicker on near-static
+// shots, the ratio tracks each shot's own motion level.
+const (
+	sceneCutFloor = 12
+	sceneCutRatio = 3
+)
+
+// observeCut folds one input frame into the detector and reports
+// whether it starts a new shot.
+func (g *GOPScheduler) observeCut(f *frame.Frame) bool {
+	gw := (f.Width + 7) / 8
+	gh := (f.Height + 7) / 8
+	grid := make([]byte, gw*gh)
+	for y := 0; y < gh; y++ {
+		row := f.YOrigin + y*8*f.YStride
+		for x := 0; x < gw; x++ {
+			grid[y*gw+x] = f.Y[row+x*8]
+		}
+	}
+	cut := false
+	if len(g.prevGrid) == len(grid) {
+		sad := 0
+		for i, v := range grid {
+			d := int(v) - int(g.prevGrid[i])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+		if g.sadN > 0 && sad > sceneCutFloor*len(grid) && sad > sceneCutRatio*(g.sadSum/g.sadN) {
+			cut = true
+		} else {
+			// Only intra-shot SADs feed the running average, so one cut
+			// does not desensitize the detector to the next.
+			g.sadSum += sad
+			g.sadN++
+		}
+	}
+	g.prevGrid = grid
+	return cut
 }
 
 // Push accepts the next display-order frame and returns the entries that
@@ -35,7 +91,11 @@ type GOPScheduler struct {
 func (g *GOPScheduler) Push(f *frame.Frame) []GOPEntry {
 	idx := g.count
 	g.count++
-	if idx == 0 || (g.IntraPeriod > 0 && idx%g.IntraPeriod == 0) {
+	cut := false
+	if g.SceneCut {
+		cut = g.observeCut(f)
+	}
+	if idx == 0 || (g.IntraPeriod > 0 && idx%g.IntraPeriod == 0) || cut {
 		// Closed-GOP boundary: drain B candidates as trailing P pictures,
 		// then open the new GOP with an I frame.
 		entries := make([]GOPEntry, 0, len(g.pending)+1)

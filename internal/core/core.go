@@ -169,6 +169,12 @@ type Options struct {
 	// paper's IntraPeriod == 0 setting where GOP chunking cannot.
 	Slices int
 
+	// Wavefront enables wavefront (2D) macroblock scheduling inside each
+	// slice: rows run concurrently in dependency order, funded by the
+	// same Workers budget as chunks and slices. It never changes the
+	// bitstream — the scheduling axis with zero compression cost.
+	Wavefront bool
+
 	// Repeats is the number of timing repetitions per speed measurement;
 	// the fastest run is reported (filters scheduler/steal noise on shared
 	// machines). Zero means one run.
@@ -211,6 +217,7 @@ func (o Options) Config(res Resolution) codec.Config {
 	cfg.Entropy = o.Entropy
 	cfg.IntraPeriod = o.IntraPeriod
 	cfg.Slices = o.Slices
+	cfg.Wavefront = o.Wavefront
 	return cfg
 }
 
@@ -365,9 +372,10 @@ type SpeedResult struct {
 	Codec      CodecID
 	Direction  Direction
 	Kernels    kernel.Set
-	Workers    int // goroutines used (0/1 = serial path)
-	Slices     int // macroblock-row slices per frame (0/1 = one slice)
-	GOP        int // effective intra period (0 = first frame only)
+	Workers    int  // goroutines used (0/1 = serial path)
+	Slices     int  // macroblock-row slices per frame (0/1 = one slice)
+	Wavefront  bool // wavefront (2D) macroblock scheduling inside slices
+	GOP        int  // effective intra period (0 = first frame only)
 	FPS        float64
 	Frames     int
 }
@@ -427,6 +435,7 @@ func RunSpeed(o Options, dir Direction) ([]SpeedResult, error) {
 				Kernels:    o.Kernels,
 				Workers:    o.Workers,
 				Slices:     max(o.Slices, 1),
+				Wavefront:  o.Wavefront,
 				GOP:        o.IntraPeriod,
 				FPS:        fps,
 				Frames:     totalFrames,

@@ -108,7 +108,11 @@ func FormatFigure1(results []SpeedResult, title string) string {
 // per second and, beyond one worker, the speed-up over the one-worker run.
 func FormatScaling(results []SpeedResult, title string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s (frames per second by worker count; identical bitstreams per slice count)\n", title)
+	note := ""
+	if len(results) > 0 && results[0].Wavefront {
+		note = "; wavefront MB scheduling on"
+	}
+	fmt.Fprintf(&b, "%s (frames per second by worker count; identical bitstreams per slice count%s)\n", title, note)
 
 	var counts []int
 	seen := map[int]bool{}
@@ -198,6 +202,7 @@ type ScalingRecord struct {
 	Kernels    string  `json:"kernels"`
 	Workers    int     `json:"workers"`
 	Slices     int     `json:"slices"`
+	Wavefront  bool    `json:"wavefront"`
 	GOP        int     `json:"gop"` // effective intra period of this run
 	FPS        float64 `json:"fps"`
 	Frames     int     `json:"frames"`
@@ -243,6 +248,7 @@ func FormatScalingJSON(o Options, results []SpeedResult) ([]byte, error) {
 			Kernels:    r.Kernels.String(),
 			Workers:    r.Workers,
 			Slices:     max(r.Slices, 1),
+			Wavefront:  r.Wavefront,
 			GOP:        r.GOP,
 			FPS:        r.FPS,
 			Frames:     r.Frames,

@@ -37,6 +37,29 @@ type mbData struct {
 	lumaNZ    [16]bool
 }
 
+// mbRec is one macroblock's complete syntax record, produced by the
+// decision phase (which may run on the wavefront) and replayed serially
+// through the entropy coder. kind selects the emission sequence; pmvp
+// holds the MV predictors exactly as the serial code observed them when
+// it wrote the mvd fields (for B MBs, pmvp[0] is the forward predictor
+// and pmvp[1] the row-local backward predictor at decision time).
+type mbRec struct {
+	md   mbData
+	kind int8
+	pmvp [4]motion.MV
+}
+
+// mbRec kinds — one per distinct syntax shape.
+const (
+	recI4     = int8(iota) // I-frame I4×4: mbType bit + 16 modes + residual
+	recI16                 // I-frame I16×16: mbType bit + mode + residual
+	recSkip                // P/B skip: a single skip bit
+	recPIntra              // intra in P: skip0 + mbType + i16 mode + residual
+	recBIntra              // intra in B: skip0 + mbType + i16 mode + residual
+	recPInter              // inter P: skip0 + mbType + ref + mvds + residual
+	recBInter              // inter B: skip0 + mbType + mvds + residual
+)
+
 // Encoder is the H.264-class encoder (the paper's x264 role).
 //
 // Frames are coded as cfg.Slices independent macroblock-row slices (see
@@ -53,6 +76,7 @@ type Encoder struct {
 	qpc    int // chroma QP
 	lambda int
 	runner codec.SliceRunner
+	wfRun  codec.WavefrontRunner
 
 	gop  codec.GOPScheduler
 	refs codec.RefList
@@ -65,24 +89,42 @@ type Encoder struct {
 	inCount int
 }
 
-// sliceEnc carries the per-slice encoder state: entropy writer, context
-// models, interpolation scratch and the backward MV predictor, all of
-// which reset at the slice boundary.
+// sliceEnc carries the per-slice encoder state. Entropy coding is the
+// one part of H.264 that cannot ride the wavefront — CABAC context
+// adaptation (and the VLC writer's bit position) chains across every
+// macroblock of the slice — so the slice runs in two phases: rowEnc
+// coders make all decisions and reconstruct on the (possibly
+// wavefront-scheduled) front, recording per-MB syntax in mbRec, and the
+// sliceEnc then replays the records through w/ctx in raster order.
+// Both phases execute the same value sequence the serial encoder did,
+// so the slice bytes are identical for every schedule.
 type sliceEnc struct {
 	e   *Encoder
 	w   symWriter
 	ctx *contexts
 
+	rows []*rowEnc // one decision coder per MB row of the span
+
+	body []byte // finished slice bytes for the frame being assembled
+}
+
+// rowEnc is the decision-phase coder for one macroblock row: prediction
+// scratch, the row-local backward MV predictor and the row's syntax
+// records. Rows of a slice may run concurrently under the wavefront, so
+// nothing here is shared across rows.
+type rowEnc struct {
+	e *Encoder
+
 	predY [256]byte
 	predC [2][64]byte
 	tmpY  [256]byte
-	candY [256]byte // sub-pel candidate buffer inside searchRef
 
 	bwdPredRow motion.MV // backward MV predictor within a B row
 
-	top4  int    // slice top row in 4×4-block units
-	topPx int    // slice top row in pixels
-	body  []byte // finished slice bytes for the frame being assembled
+	top4  int // slice top row in 4×4-block units
+	topPx int // slice top row in pixels
+
+	recs []mbRec // per-MB records for this row, one per MB column
 }
 
 // NewEncoder returns an H.264 encoder for cfg. The MPEG-scale quantizer
@@ -101,7 +143,7 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 		qp:     qp,
 		qpc:    quant.H264ChromaQP(qp),
 		lambda: lambda,
-		gop:    codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
+		gop:    codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod, SceneCut: cfg.SceneCutIntra},
 		refs:   codec.RefList{Max: cfg.Refs},
 		meta:   newFrameMeta(cfg.Width, cfg.Height),
 	}
@@ -115,6 +157,15 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 		} else {
 			s.w = cabacWriter{entropy.NewEncoder(hint)}
 		}
+		s.rows = make([]*rowEnc, e.spans[i].Rows)
+		for y := range s.rows {
+			s.rows[y] = &rowEnc{
+				e:     e,
+				top4:  e.spans[i].Row * 4,
+				topPx: e.spans[i].Row * 16,
+				recs:  make([]mbRec, cfg.MBCols()),
+			}
+		}
 		e.slices[i] = s
 	}
 	return e, nil
@@ -124,6 +175,11 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 // run on r (nil restores the serial default). Output bytes do not depend
 // on the runner.
 func (e *Encoder) SetSliceRunner(r codec.SliceRunner) { e.runner = r }
+
+// SetWavefrontRunner implements codec.WavefrontScheduler: when
+// cfg.Wavefront is set, the decision phase of each slice runs its MB
+// rows on r's 2D wavefront. Output bytes do not depend on the runner.
+func (e *Encoder) SetWavefrontRunner(r codec.WavefrontRunner) { e.wfRun = r }
 
 // QP returns the mapped H.264 quantizer (exported for the harness report).
 func (e *Encoder) QP() int { return e.qp }
@@ -200,30 +256,109 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 }
 
 // run codes one slice's macroblock rows with slice-local entropy state.
+//
+// Phase 1 — decisions, reconstruction and meta-grid updates run on the
+// wavefront: MB (x,y) starts once its left neighbour (x−1,y) and the
+// top-right MB (x+1,y−1) are done, which covers every cross-MB read
+// below (intra prediction pixels, MV predictors, search seeds, NZ
+// flags). Each row coder records its per-MB syntax instead of writing
+// bits. With the flag off or no runner installed the front degenerates
+// to the same raster loop the serial encoder ran.
+//
+// Phase 2 — entropy coding replays the records in raster order on the
+// slice's single writer: CABAC/VLC state chains across the whole slice,
+// so this part is inherently serial and the emitted bytes match the
+// serial schedule exactly.
 func (s *sliceEnc) run(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan) {
-	s.top4 = span.Row * 4
-	s.topPx = span.Row * 16
+	cols := s.e.cfg.MBCols()
+	var wf codec.WavefrontRunner
+	if s.e.cfg.Wavefront {
+		wf = s.e.wfRun
+	}
+	codec.RunWavefront(wf, span.Rows, cols, func(x, y int) bool {
+		r := s.rows[y]
+		if x == 0 {
+			r.bwdPredRow = motion.MV{}
+		}
+		rec := &r.recs[x]
+		*rec = mbRec{}
+		mby := span.Row + y
+		switch ftype {
+		case container.FrameI:
+			r.decideIMB(src, recon, x, mby, rec)
+		case container.FrameP:
+			r.decidePMB(src, recon, x, mby, rec)
+		default:
+			r.decideBMB(src, recon, x, mby, rec)
+		}
+		return true
+	})
+
 	s.ctx.reset()
 	s.w.reset()
-	for mby := span.Row; mby < span.Row+span.Rows; mby++ {
-		s.bwdPredRow = motion.MV{}
-		for mbx := 0; mbx < s.e.cfg.MBCols(); mbx++ {
-			switch ftype {
-			case container.FrameI:
-				s.encodeIMB(src, recon, mbx, mby)
-			case container.FrameP:
-				s.encodePMB(src, recon, mbx, mby)
-			default:
-				s.encodeBMB(src, recon, mbx, mby)
-			}
+	for y := 0; y < span.Rows; y++ {
+		for x := 0; x < cols; x++ {
+			s.emitMB(&s.rows[y].recs[x])
 		}
 	}
 	s.body = s.w.finish()
 }
 
+// emitMB replays one macroblock record through the entropy coder,
+// reproducing the exact symbol sequence of the serial encoder.
+func (s *sliceEnc) emitMB(rec *mbRec) {
+	md := &rec.md
+	switch rec.kind {
+	case recI4:
+		s.w.bit(&s.ctx.mbType[0], 1) // 1 = I4x4
+		for bi := 0; bi < 16; bi++ {
+			s.w.ue(s.ctx.i4Mode[:], 3, uint32(md.i4Modes[bi]))
+		}
+		s.writeResidual(md, false)
+	case recI16:
+		s.w.bit(&s.ctx.mbType[0], 0) // 0 = I16x16
+		s.w.ue(s.ctx.i16Mode[:], 2, uint32(md.i16Mode))
+		s.writeResidual(md, true)
+	case recSkip:
+		s.w.bit(&s.ctx.skip[0], 1)
+	case recPIntra, recBIntra:
+		s.w.bit(&s.ctx.skip[0], 0)
+		mt := mI16x16
+		if rec.kind == recBIntra {
+			mt = mBI16x16
+		}
+		s.w.ue(s.ctx.mbType[:], 3, uint32(mt))
+		s.w.ue(s.ctx.i16Mode[:], 2, uint32(md.i16Mode))
+		s.writeResidual(md, true)
+	case recPInter:
+		s.w.bit(&s.ctx.skip[0], 0)
+		s.w.ue(s.ctx.mbType[:], 3, uint32(md.mode))
+		if s.e.refs.Len() > 1 {
+			s.w.ue(s.ctx.refIdx[:], 2, uint32(md.ref))
+		}
+		for pi := range partGeom[md.mode] {
+			s.w.se(s.ctx.mvd[:], 8, int32(md.mvs[pi].X)-int32(rec.pmvp[pi].X))
+			s.w.se(s.ctx.mvd[:], 8, int32(md.mvs[pi].Y)-int32(rec.pmvp[pi].Y))
+		}
+		s.writeResidual(md, false)
+	case recBInter:
+		s.w.bit(&s.ctx.skip[0], 0)
+		s.w.ue(s.ctx.mbType[:], 3, uint32(md.mode))
+		if md.mode == mBFwd || md.mode == mBBi {
+			s.w.se(s.ctx.mvd[:], 8, int32(md.mvs[0].X)-int32(rec.pmvp[0].X))
+			s.w.se(s.ctx.mvd[:], 8, int32(md.mvs[0].Y)-int32(rec.pmvp[0].Y))
+		}
+		if md.mode == mBBwd || md.mode == mBBi {
+			s.w.se(s.ctx.mvd[:], 8, int32(md.mvs[1].X)-int32(rec.pmvp[1].X))
+			s.w.se(s.ctx.mvd[:], 8, int32(md.mvs[1].Y)-int32(rec.pmvp[1].Y))
+		}
+		s.writeResidual(md, false)
+	}
+}
+
 // --- cost helpers -------------------------------------------------------------
 
-func (s *sliceEnc) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
+func (s *rowEnc) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
 	off := src.YOrigin + py*src.YStride + px
 	if s.e.cfg.Kernels == kernel.SWAR {
 		return swar.SADBlock(src.Y[off:], src.YStride, pred, pstride, w, h)
@@ -254,7 +389,7 @@ func mvdBits(mv, pred motion.MV) int {
 // the reference's half-pel planes (every encoder reference has them —
 // BuildHalfPel6 runs before refs.Add; the decoder keeps the per-block
 // QPel path, which is bit-exact with this one).
-func (s *sliceEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
+func (s *rowEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
@@ -263,17 +398,17 @@ func (s *sliceEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, 
 
 // sadQPel scores one quarter-pel candidate against the precomputed half
 // planes, early-terminating once the partial SAD reaches max.
-func (s *sliceEnc) sadQPel(src, ref *frame.Frame, px, py, w, h int, mv motion.MV, max int) int {
+func (s *rowEnc) sadQPel(src, ref *frame.Frame, px, py, w, h int, mv motion.MV, max int) int {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
 	co := src.YOrigin + py*src.YStride + px
-	return motion.SADQPel(s.e.cfg.Kernels, src.Y[co:], src.YStride, ref, so, w, h, fx, fy, s.candY[:], max)
+	return motion.SADQPel(s.e.cfg.Kernels, src.Y[co:], src.YStride, ref, so, w, h, fx, fy, max)
 }
 
 // searchRef runs seed selection + hexagon + two-stage quarter-pel
 // refinement against one reference, filling pred with the winner.
-func (s *sliceEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.MV, pred []byte) (motion.MV, int) {
+func (s *rowEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.MV, pred []byte) (motion.MV, int) {
 	var est motion.Estimator
 	est.Kern = s.e.cfg.Kernels
 	est.Cur = src.Y
@@ -337,7 +472,7 @@ func (s *sliceEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motio
 // mcChromaPart motion-compensates one chroma partition region for both
 // planes into predC with stride 8. (ox, oy, w, h) are luma-partition pixel
 // geometry relative to the MB origin.
-func (s *sliceEnc) mcChromaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
+func (s *rowEnc) mcChromaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
 	cx := (px + ox) / 2
 	cy := (py + oy) / 2
 	ix := int(mv.X) >> 3
@@ -359,7 +494,7 @@ var lumaGroupBlocks = [4][4]int{
 
 // transformLumaInter quantizes the luma residual of an inter (or I4-less)
 // MB against predY and fills md.luma/cbpLuma/lumaNZ.
-func (s *sliceEnc) transformLumaInter(src *frame.Frame, px, py int, md *mbData) {
+func (s *rowEnc) transformLumaInter(src *frame.Frame, px, py int, md *mbData) {
 	md.cbpLuma = 0
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
@@ -382,7 +517,7 @@ func (s *sliceEnc) transformLumaInter(src *frame.Frame, px, py int, md *mbData) 
 }
 
 // reconLumaInter reconstructs the luma of an inter MB from md into recon.
-func (s *sliceEnc) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
+func (s *rowEnc) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
@@ -403,7 +538,7 @@ func (s *sliceEnc) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 
 // transformChroma quantizes both chroma planes against predC and fills
 // md.chroma/chromaDC/cbpChroma.
-func (s *sliceEnc) transformChroma(src *frame.Frame, px, py int, intra bool, md *mbData) {
+func (s *rowEnc) transformChroma(src *frame.Frame, px, py int, intra bool, md *mbData) {
 	cx, cy := px/2, py/2
 	anyAC, anyDC := false, false
 	for pl := 0; pl < 2; pl++ {
@@ -442,7 +577,7 @@ func (s *sliceEnc) transformChroma(src *frame.Frame, px, py int, intra bool, md 
 }
 
 // reconChroma reconstructs both chroma planes from md into recon.
-func (s *sliceEnc) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
+func (s *rowEnc) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 	cx, cy := px/2, py/2
 	for pl := 0; pl < 2; pl++ {
 		plane := recon.Cb
@@ -523,7 +658,7 @@ func (s *sliceEnc) writeResidual(md *mbData, i16 bool) {
 }
 
 // updateMetaNZ records per-4×4 non-zero flags for deblocking.
-func (s *sliceEnc) updateMetaNZ(px, py int, md *mbData, i16 bool) {
+func (s *rowEnc) updateMetaNZ(px, py int, md *mbData, i16 bool) {
 	m := s.e.meta
 	bx4, by4 := px/4, py/4
 	for bi := 0; bi < 16; bi++ {
@@ -538,7 +673,7 @@ func (s *sliceEnc) updateMetaNZ(px, py int, md *mbData, i16 bool) {
 // --- intra coding ----------------------------------------------------------------
 
 // bestI16 selects the best I16×16 mode by SAD and returns (mode, cost).
-func (s *sliceEnc) bestI16(src, recon *frame.Frame, px, py int) (int, int) {
+func (s *rowEnc) bestI16(src, recon *frame.Frame, px, py int) (int, int) {
 	availLeft := px > 0
 	availTop := py > s.topPx
 	bestMode, bestCost := -1, 1<<30
@@ -556,7 +691,7 @@ func (s *sliceEnc) bestI16(src, recon *frame.Frame, px, py int) (int, int) {
 // encodeI16Into performs the full I16 pipeline: prediction, transform with
 // DC Hadamard, quantization, reconstruction, and meta update. The caller
 // writes the syntax.
-func (s *sliceEnc) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *mbData) {
+func (s *rowEnc) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *mbData) {
 	availLeft := px > 0
 	availTop := py > s.topPx
 	predI16(s.predY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, mode, availLeft, availTop)
@@ -608,7 +743,7 @@ func (s *sliceEnc) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *
 
 // encodeI4Into performs the sequential I4×4 pipeline, choosing a mode per
 // block and reconstructing as it goes.
-func (s *sliceEnc) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) {
+func (s *rowEnc) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) {
 	md.cbpLuma = 0
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
@@ -658,7 +793,7 @@ func (s *sliceEnc) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData)
 
 // intraChroma predicts chroma with the DC mode and runs the chroma
 // residual pipeline.
-func (s *sliceEnc) intraChroma(src, recon *frame.Frame, px, py int, md *mbData) {
+func (s *rowEnc) intraChroma(src, recon *frame.Frame, px, py int, md *mbData) {
 	cx, cy := px/2, py/2
 	availTop := py > s.topPx
 	predChromaDC(s.predC[0][:], recon.Cb, recon.COrigin, recon.CStride, cx, cy, px > 0, availTop)
@@ -669,7 +804,7 @@ func (s *sliceEnc) intraChroma(src, recon *frame.Frame, px, py int, md *mbData) 
 // i4CostEstimate returns the summed best-mode SAD over the 16 blocks,
 // predicting from the source (cheap approximation used only for the
 // I4-vs-I16 decision).
-func (s *sliceEnc) i4CostEstimate(src, recon *frame.Frame, px, py int) int {
+func (s *rowEnc) i4CostEstimate(src, recon *frame.Frame, px, py int) int {
 	total := 0
 	var cand [16]byte
 	for bi := 0; bi < 16; bi++ {
@@ -691,9 +826,9 @@ func (s *sliceEnc) i4CostEstimate(src, recon *frame.Frame, px, py int) int {
 
 // --- I macroblocks ---------------------------------------------------------------
 
-func (s *sliceEnc) encodeIMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *rowEnc) decideIMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	px, py := mbx*16, mby*16
-	var md mbData
+	md := &rec.md
 
 	i16Mode, i16Cost := s.bestI16(src, recon, px, py)
 	// The I4 estimate predicts from already-reconstructed pixels only
@@ -701,24 +836,19 @@ func (s *sliceEnc) encodeIMB(src, recon *frame.Frame, mbx, mby int) {
 	i4Cost := s.i4CostEstimate(src, recon, px, py) + s.e.lambda*24
 
 	if i4Cost < i16Cost {
-		s.w.bit(&s.ctx.mbType[0], 1) // 1 = I4x4
-		s.encodeI4Into(src, recon, px, py, &md)
-		for bi := 0; bi < 16; bi++ {
-			s.w.ue(s.ctx.i4Mode[:], 3, uint32(md.i4Modes[bi]))
-		}
+		rec.kind = recI4
+		s.encodeI4Into(src, recon, px, py, md)
 		md.mode = mI4x4
 	} else {
-		s.w.bit(&s.ctx.mbType[0], 0) // 0 = I16x16
-		s.w.ue(s.ctx.i16Mode[:], 2, uint32(i16Mode))
-		s.encodeI16Into(src, recon, px, py, i16Mode, &md)
+		rec.kind = recI16
+		s.encodeI16Into(src, recon, px, py, i16Mode, md)
 		md.mode = mI16x16
 	}
-	s.intraChroma(src, recon, px, py, &md)
-	s.writeResidual(&md, md.mode == mI16x16)
-	s.reconChroma(recon, px, py, &md)
+	s.intraChroma(src, recon, px, py, md)
+	s.reconChroma(recon, px, py, md)
 
 	s.e.meta.setBlock(px/4, py/4, 4, 4, motion.MV{}, -1)
-	s.updateMetaNZ(px, py, &md, md.mode == mI16x16)
+	s.updateMetaNZ(px, py, md, md.mode == mI16x16)
 }
 
 // --- P macroblocks ---------------------------------------------------------------
@@ -735,7 +865,7 @@ var partGeom = map[int][][4]int{
 // residual energy, in decision order.
 var partModes = [3]int{mP16x8, mP8x16, mP8x8}
 
-func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *rowEnc) decidePMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	px, py := mbx*16, mby*16
 	bx4, by4 := px/4, py/4
 	nRefs := s.e.refs.Len()
@@ -780,19 +910,16 @@ func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	}
 
 	// Intra hypothesis.
+	md := &rec.md
 	i16Mode, i16Cost := s.bestI16(src, recon, px, py)
 	if i16Cost+s.e.lambda*16 < bestCost {
-		s.w.bit(&s.ctx.skip[0], 0)
-		s.w.ue(s.ctx.mbType[:], 3, uint32(mI16x16))
-		s.w.ue(s.ctx.i16Mode[:], 2, uint32(i16Mode))
-		var md mbData
+		rec.kind = recPIntra
 		md.mode = mI16x16
-		s.encodeI16Into(src, recon, px, py, i16Mode, &md)
-		s.intraChroma(src, recon, px, py, &md)
-		s.writeResidual(&md, true)
-		s.reconChroma(recon, px, py, &md)
+		s.encodeI16Into(src, recon, px, py, i16Mode, md)
+		s.intraChroma(src, recon, px, py, md)
+		s.reconChroma(recon, px, py, md)
 		s.e.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
-		s.updateMetaNZ(px, py, &md, true)
+		s.updateMetaNZ(px, py, md, true)
 		return
 	}
 
@@ -803,44 +930,39 @@ func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 		s.mcChromaPart(ref, px, py, g[0], g[1], g[2], g[3], mvs[pi])
 	}
 
-	var md mbData
 	md.mode = mode
 	md.ref = bestRef
 	md.mvs = mvs
-	s.transformLumaInter(src, px, py, &md)
-	s.transformChroma(src, px, py, false, &md)
+	s.transformLumaInter(src, px, py, md)
+	s.transformChroma(src, px, py, false, md)
 
 	// P-skip: 16×16, ref 0, MV == predictor, no residual.
 	if mode == mP16x16 && bestRef == 0 && bestMV == mvp &&
 		md.cbpLuma == 0 && md.cbpChroma == 0 {
-		s.w.bit(&s.ctx.skip[0], 1)
-		s.reconLumaInter(recon, px, py, &md)
-		s.reconChroma(recon, px, py, &md)
+		rec.kind = recSkip
+		s.reconLumaInter(recon, px, py, md)
+		s.reconChroma(recon, px, py, md)
 		s.e.meta.setBlock(bx4, by4, 4, 4, mvp, 0)
-		s.updateMetaNZ(px, py, &md, false)
+		s.updateMetaNZ(px, py, md, false)
 		return
 	}
 
-	s.w.bit(&s.ctx.skip[0], 0)
-	s.w.ue(s.ctx.mbType[:], 3, uint32(mode))
-	if nRefs > 1 {
-		s.w.ue(s.ctx.refIdx[:], 2, uint32(bestRef))
-	}
+	rec.kind = recPInter
+	// The predictor for each partition is sampled between setBlock calls,
+	// exactly where the serial code wrote the mvd fields — the recorded
+	// pmvp values reproduce that interleaving at emission time.
 	for pi, g := range parts {
-		pmvp := s.e.meta.predictMV(bx4+g[0]/4, by4+g[1]/4, g[2]/4, s.top4)
-		s.w.se(s.ctx.mvd[:], 8, int32(mvs[pi].X)-int32(pmvp.X))
-		s.w.se(s.ctx.mvd[:], 8, int32(mvs[pi].Y)-int32(pmvp.Y))
+		rec.pmvp[pi] = s.e.meta.predictMV(bx4+g[0]/4, by4+g[1]/4, g[2]/4, s.top4)
 		s.e.meta.setBlock(bx4+g[0]/4, by4+g[1]/4, g[2]/4, g[3]/4, mvs[pi], bestRef)
 	}
-	s.writeResidual(&md, false)
-	s.reconLumaInter(recon, px, py, &md)
-	s.reconChroma(recon, px, py, &md)
-	s.updateMetaNZ(px, py, &md, false)
+	s.reconLumaInter(recon, px, py, md)
+	s.reconChroma(recon, px, py, md)
+	s.updateMetaNZ(px, py, md, false)
 }
 
 // mcLumaPart motion-compensates one luma partition into predY (via the
 // reference's half-pel planes, like mcLumaInto).
-func (s *sliceEnc) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
+func (s *rowEnc) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+oy+iy)*ref.YStride + px + ox + ix
@@ -849,7 +971,7 @@ func (s *sliceEnc) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv mot
 
 // --- B macroblocks ---------------------------------------------------------------
 
-func (s *sliceEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *rowEnc) decideBMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	px, py := mbx*16, mby*16
 	bx4, by4 := px/4, py/4
 	fwdRef := s.e.refs.Get(1)
@@ -878,19 +1000,16 @@ func (s *sliceEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 		mode, best = mBBi, biCost
 	}
 
+	md := &rec.md
 	i16Mode, i16Cost := s.bestI16(src, recon, px, py)
 	if i16Cost+s.e.lambda*16 < best {
-		s.w.bit(&s.ctx.skip[0], 0)
-		s.w.ue(s.ctx.mbType[:], 3, uint32(mBI16x16))
-		s.w.ue(s.ctx.i16Mode[:], 2, uint32(i16Mode))
-		var md mbData
+		rec.kind = recBIntra
 		md.mode = mI16x16
-		s.encodeI16Into(src, recon, px, py, i16Mode, &md)
-		s.intraChroma(src, recon, px, py, &md)
-		s.writeResidual(&md, true)
-		s.reconChroma(recon, px, py, &md)
+		s.encodeI16Into(src, recon, px, py, i16Mode, md)
+		s.intraChroma(src, recon, px, py, md)
+		s.reconChroma(recon, px, py, md)
 		s.e.meta.setBlock(bx4, by4, 4, 4, motion.MV{}, -1)
-		s.updateMetaNZ(px, py, &md, true)
+		s.updateMetaNZ(px, py, md, true)
 		return
 	}
 
@@ -913,30 +1032,26 @@ func (s *sliceEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 		interp.Avg(s.predC[1][:], 8, crF[:], 8, 8, 8, s.e.cfg.Kernels)
 	}
 
-	var md mbData
 	md.mode = mode
-	s.transformLumaInter(src, px, py, &md)
-	s.transformChroma(src, px, py, false, &md)
+	s.transformLumaInter(src, px, py, md)
+	s.transformChroma(src, px, py, false, md)
 
 	// B-skip: forward, MV == predictor, no residual.
 	if mode == mBFwd && fwdMV == mvpF && md.cbpLuma == 0 && md.cbpChroma == 0 {
-		s.w.bit(&s.ctx.skip[0], 1)
-		s.reconLumaInter(recon, px, py, &md)
-		s.reconChroma(recon, px, py, &md)
+		rec.kind = recSkip
+		s.reconLumaInter(recon, px, py, md)
+		s.reconChroma(recon, px, py, md)
 		s.e.meta.setBlock(bx4, by4, 4, 4, mvpF, 0)
-		s.updateMetaNZ(px, py, &md, false)
+		s.updateMetaNZ(px, py, md, false)
 		return
 	}
 
-	s.w.bit(&s.ctx.skip[0], 0)
-	s.w.ue(s.ctx.mbType[:], 3, uint32(mode))
-	if mode == mBFwd || mode == mBBi {
-		s.w.se(s.ctx.mvd[:], 8, int32(fwdMV.X)-int32(mvpF.X))
-		s.w.se(s.ctx.mvd[:], 8, int32(fwdMV.Y)-int32(mvpF.Y))
-	}
+	rec.kind = recBInter
+	md.mvs[0] = fwdMV
+	md.mvs[1] = bwdMV
+	rec.pmvp[0] = mvpF
+	rec.pmvp[1] = s.bwdPredRow
 	if mode == mBBwd || mode == mBBi {
-		s.w.se(s.ctx.mvd[:], 8, int32(bwdMV.X)-int32(s.bwdPredRow.X))
-		s.w.se(s.ctx.mvd[:], 8, int32(bwdMV.Y)-int32(s.bwdPredRow.Y))
 		s.bwdPredRow = bwdMV
 	}
 	switch mode {
@@ -945,8 +1060,7 @@ func (s *sliceEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 	default:
 		s.e.meta.setBlock(bx4, by4, 4, 4, bwdMV, 0)
 	}
-	s.writeResidual(&md, false)
-	s.reconLumaInter(recon, px, py, &md)
-	s.reconChroma(recon, px, py, &md)
-	s.updateMetaNZ(px, py, &md, false)
+	s.reconLumaInter(recon, px, py, md)
+	s.reconChroma(recon, px, py, md)
+	s.updateMetaNZ(px, py, md, false)
 }

@@ -1,0 +1,76 @@
+package interp
+
+import (
+	"testing"
+
+	"hdvideobench/internal/kernel"
+)
+
+// BenchmarkChromaInterp sizes the "per-reference chroma planes" idea —
+// precompute every eighth-pel chroma sub-position once per reference
+// (like BuildHalfPel6 does for luma) so motion compensation becomes a
+// copy — by measuring both sides of the trade at 720p chroma geometry
+// (640×360 per plane).
+//
+// Measured verdict (Xeon 2.10 GHz, 1-core container): NEGATIVE — the
+// planes do not pay for themselves, so they were not landed.
+//
+//   - OnDemandMB:  ~0.30 µs per 8×8 two-plane MC (one MB's chroma)
+//   - BuildPlanes: ~60 ms per reference (63 sub-positions × 2 planes)
+//
+// Chroma interpolation only runs for each MB's *winning* vector — the
+// search loop scores luma only — so a 720p frame does ~3 600 on-demand
+// MC calls ≈ 1.1 ms total, while precomputing planes for one new
+// reference costs ~60 ms and ~29 MB of extra memory (63 full
+// sub-position planes). Every coded P/I frame adds a reference, so the
+// build cost recurs per frame and is ~55× the total work it replaces;
+// break-even would need each reference's chroma to be re-read dozens of
+// times at every sub-position. The luma case is different in kind:
+// half-pel planes sit inside the search loop and are read hundreds of
+// times per MB, which is why BuildHalfPel6 wins and this doesn't.
+func BenchmarkChromaInterp(b *testing.B) {
+	const (
+		cw, ch = 640, 360 // 720p chroma plane (1280×720 ÷ 2)
+		stride = cw + 16
+	)
+	src := make([]byte, stride*(ch+16))
+	for i := range src {
+		src[i] = byte(i*31 + i/stride*17)
+	}
+
+	for _, k := range []kernel.Set{kernel.Scalar, kernel.SWAR} {
+		name := "Scalar"
+		if k == kernel.SWAR {
+			name = "SWAR"
+		}
+
+		// One macroblock's chroma MC as the encoder issues it: two 8×8
+		// regions (Cb+Cr) at a non-trivial eighth-pel position.
+		b.Run("OnDemandMB/"+name, func(b *testing.B) {
+			var dst [64]byte
+			b.SetBytes(2 * 64)
+			for i := 0; i < b.N; i++ {
+				ChromaBilin(dst[:], 8, src[5*stride+5:], stride, 8, 8, 3, 5, k)
+				ChromaBilin(dst[:], 8, src[9*stride+9:], stride, 8, 8, 3, 5, k)
+			}
+		})
+
+		// The hypothetical per-reference build: all 63 fractional
+		// sub-positions for both planes, full plane each.
+		b.Run("BuildPlanes/"+name, func(b *testing.B) {
+			dst := make([]byte, cw*ch)
+			b.SetBytes(2 * 63 * cw * ch)
+			for i := 0; i < b.N; i++ {
+				for dy := 0; dy < 8; dy++ {
+					for dx := 0; dx < 8; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						ChromaBilin(dst, cw, src, stride, cw, ch, dx, dy, k) // Cb
+						ChromaBilin(dst, cw, src, stride, cw, ch, dx, dy, k) // Cr
+					}
+				}
+			}
+		})
+	}
+}

@@ -127,18 +127,23 @@ func SADBlockMax(k kernel.Set, a []byte, aStride int, b []byte, bStride, w, h, m
 // SADQPel scores one quarter-pel candidate against a reference's
 // precomputed 6-tap half planes (the shared core of the MPEG-4 and H.264
 // sub-pel refinements): half positions SAD directly against a plane,
-// quarter positions assemble the two-plane rounded average into scratch
-// (stride 16, at least h*16 bytes) first. Early-terminates at max like
-// SADBlockMax. cur addresses the current block at curStride; so is the
-// integer-pel top-left offset into the reference's (plane-geometry)
-// luma, fx/fy the quarter-pel fractions.
-func SADQPel(k kernel.Set, cur []byte, curStride int, ref *frame.Frame, so, w, h, fx, fy int, scratch []byte, max int) int {
+// quarter positions score through the fused SAD-of-average kernel — the
+// |cur − avg(a,b)| sum is formed inline from the two source planes, so
+// the averaged candidate block is never materialized and the early
+// termination at max reaches through the averaging too. Same exactness
+// contract as SADBlockMax: exact when the result is < max, some partial
+// sum >= max otherwise. cur addresses the current block at curStride; so
+// is the integer-pel top-left offset into the reference's
+// (plane-geometry) luma, fx/fy the quarter-pel fractions.
+func SADQPel(k kernel.Set, cur []byte, curStride int, ref *frame.Frame, so, w, h, fx, fy, max int) int {
 	a, ao, b, bo := interp.QPelSources(ref.Y, ref.Hpel6, so, ref.YStride, fx, fy)
 	if b == nil {
 		return SADBlockMax(k, cur, curStride, a[ao:], ref.YStride, w, h, max)
 	}
-	interp.Avg2(scratch, 16, a[ao:], ref.YStride, b[bo:], ref.YStride, w, h, k)
-	return SADBlockMax(k, cur, curStride, scratch, 16, w, h, max)
+	if k == kernel.SWAR {
+		return swar.SADAvg2Max(cur, curStride, a[ao:], ref.YStride, b[bo:], ref.YStride, w, h, max)
+	}
+	return sadAvg2ScalarMax(cur, curStride, a[ao:], ref.YStride, b[bo:], ref.YStride, w, h, max)
 }
 
 func sadScalar(a []byte, aStride int, b []byte, bStride, w, h int) int {
@@ -168,6 +173,32 @@ func sadScalarMax(a []byte, aStride int, b []byte, bStride, w, h, max int) int {
 			br := b[r*bStride : r*bStride+w]
 			for i := 0; i < w; i++ {
 				d := int(ar[i]) - int(br[i])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		if sad >= max {
+			return sad
+		}
+	}
+	return sad
+}
+
+// sadAvg2ScalarMax is the scalar twin of swar.SADAvg2Max: the SAD of cur
+// against the rounded average of a and b, exact below max, bailing on
+// complete row groups once the partial sum reaches max.
+func sadAvg2ScalarMax(cur []byte, curStride int, a []byte, aStride int, b []byte, bStride, w, h, max int) int {
+	sad := 0
+	for r := 0; r < h; {
+		lim := min(r+4, h)
+		for ; r < lim; r++ {
+			cr := cur[r*curStride : r*curStride+w]
+			ar := a[r*aStride : r*aStride+w]
+			br := b[r*bStride : r*bStride+w]
+			for i := 0; i < w; i++ {
+				d := int(cr[i]) - (int(ar[i])+int(br[i])+1)>>1
 				if d < 0 {
 					d = -d
 				}

@@ -22,11 +22,14 @@ import (
 // (see internal/codec's slice layer): each slice has its own bitstream,
 // DC predictors and MV predictors, so the slices of one frame can run
 // concurrently on the SliceRunner while the merged payload stays
-// byte-identical for every schedule.
+// byte-identical for every schedule. Inside each slice the macroblock
+// rows are coded by per-row coders (rowEnc) that can additionally run on
+// a wavefront runner when cfg.Wavefront is set — see sliceEnc.encode.
 type Encoder struct {
 	cfg    codec.Config
 	gop    codec.GOPScheduler
 	runner codec.SliceRunner
+	wfRun  codec.WavefrontRunner
 
 	prevRef, lastRef *frame.Frame // reconstructed references, coding order
 
@@ -37,11 +40,29 @@ type Encoder struct {
 	frames  int // frames coded
 }
 
-// sliceEnc carries the per-slice encoder state: the slice's bitstream
-// plus every predictor that must reset at the slice boundary. Slices of
-// one frame write disjoint macroblock rows of the shared reconstruction,
-// so concurrent slices never touch each other's state.
+// sliceEnc codes one slice as a stack of per-row coders. Slices of one
+// frame write disjoint macroblock rows of the shared reconstruction, so
+// concurrent slices never touch each other's state; rows inside a slice
+// only couple through the parity MV predictor buffers, whose access
+// pattern is exactly the wavefront dependency shape.
 type sliceEnc struct {
+	e    *Encoder
+	bw   *bitstream.Writer // final slice stream: row writers concatenated
+	rows []*rowEnc         // per-row coders, index = row within the slice
+
+	// mvBuf is the pair of full-pel MV predictor buffers the rows
+	// alternate between: row y writes mvBuf[y%2] and reads the row
+	// above from mvBuf[(y+1)%2]. Reads are {x-1 same row, x and x+1 row
+	// above} — the wavefront dependency rule — so under a wavefront
+	// runner every access is ordered by the front's progress counters.
+	mvBuf [2][]motion.MV
+}
+
+// rowEnc carries the state of one macroblock row: the row's bitstream
+// plus every predictor that resets at the row boundary. One goroutine
+// owns a row for its whole left-to-right walk (serially or on the
+// wavefront), so none of this needs synchronization.
+type rowEnc struct {
 	e  *Encoder
 	bw *bitstream.Writer
 
@@ -63,18 +84,24 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 	}
 	e := &Encoder{
 		cfg: cfg,
-		gop: codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
+		gop: codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod, SceneCut: cfg.SceneCutIntra},
 	}
 	e.spans = codec.SliceRows(cfg.MBRows(), cfg.Slices)
 	e.slices = make([]*sliceEnc, len(e.spans))
 	hint := cfg.Width*cfg.Height/4/len(e.spans) + 64
+	rowHint := cfg.Width*cfg.Height/4/cfg.MBRows() + 64
 	for i := range e.slices {
-		e.slices[i] = &sliceEnc{
-			e:       e,
-			bw:      bitstream.NewWriter(hint),
-			mvRow:   make([]motion.MV, cfg.MBCols()),
-			mvAbove: make([]motion.MV, cfg.MBCols()),
+		s := &sliceEnc{
+			e:    e,
+			bw:   bitstream.NewWriter(hint),
+			rows: make([]*rowEnc, e.spans[i].Rows),
 		}
+		s.mvBuf[0] = make([]motion.MV, cfg.MBCols())
+		s.mvBuf[1] = make([]motion.MV, cfg.MBCols())
+		for r := range s.rows {
+			s.rows[r] = &rowEnc{e: e, bw: bitstream.NewWriter(rowHint)}
+		}
+		e.slices[i] = s
 	}
 	return e, nil
 }
@@ -83,6 +110,12 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 // run on r (nil restores the serial default). Output bytes do not depend
 // on the runner.
 func (e *Encoder) SetSliceRunner(r codec.SliceRunner) { e.runner = r }
+
+// SetWavefrontRunner implements codec.WavefrontScheduler: when
+// cfg.Wavefront is set, each slice's macroblock grid runs on r (nil
+// restores the serial default). Output bytes depend on neither the
+// runner nor cfg.Wavefront.
+func (e *Encoder) SetWavefrontRunner(r codec.WavefrontRunner) { e.wfRun = r }
 
 // Header implements codec.Encoder.
 func (e *Encoder) Header() container.Header { return header(e.cfg, 0) }
@@ -152,36 +185,58 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 
 // encode codes one slice: the macroblock rows [span.Row, span.Row+span.Rows)
 // with all prediction state starting from the slice-boundary reset.
+//
+// Each row is coded by its own rowEnc into its own bitstream; the row
+// streams are concatenated bit-exactly afterwards, so the slice bytes
+// are those of a single raster-order pass regardless of schedule. With
+// cfg.Wavefront set and a runner installed, the rows run concurrently in
+// wavefront dependency order — which is exactly the order the EPZS
+// predictor reads (left, above, above-right) require.
 func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan) {
-	s.bw.Reset()
-	for i := range s.mvAbove {
-		s.mvAbove[i] = motion.MV{}
+	cols := s.e.cfg.MBCols()
+	// Row 0 reads a zeroed "row above" (the slice-boundary reset); every
+	// later row fully overwrites its write buffer before it is read.
+	for i := range s.mvBuf[1] {
+		s.mvBuf[1][i] = motion.MV{}
 	}
-	for mby := span.Row; mby < span.Row+span.Rows; mby++ {
-		s.resetRowState()
-		for mbx := 0; mbx < s.e.cfg.MBCols(); mbx++ {
-			switch ftype {
-			case container.FrameI:
-				s.encodeIntraMB(src, recon, mbx, mby)
-			case container.FrameP:
-				s.encodePMB(src, recon, mbx, mby)
-			default:
-				s.encodeBMB(src, recon, mbx, mby)
-			}
+	var run codec.WavefrontRunner
+	if s.e.cfg.Wavefront {
+		run = s.e.wfRun
+	}
+	codec.RunWavefront(run, span.Rows, cols, func(x, y int) bool {
+		r := s.rows[y]
+		if x == 0 {
+			r.bw.Reset()
+			r.resetRowState()
+			r.mvRow = s.mvBuf[y%2]
+			r.mvAbove = s.mvBuf[(y+1)%2]
 		}
-		s.mvRow, s.mvAbove = s.mvAbove, s.mvRow
+		mby := span.Row + y
+		switch ftype {
+		case container.FrameI:
+			r.encodeIntraMB(src, recon, x, mby)
+		case container.FrameP:
+			r.encodePMB(src, recon, x, mby)
+		default:
+			r.encodeBMB(src, recon, x, mby)
+		}
+		return true
+	})
+	s.bw.Reset()
+	for y := 0; y < span.Rows; y++ {
+		s.bw.AppendWriter(s.rows[y].bw)
 	}
 	s.bw.AlignByte()
 }
 
-func (s *sliceEnc) resetRowState() {
+func (s *rowEnc) resetRowState() {
 	s.dcPred = [3]int32{dcPredInit, dcPredInit, dcPredInit}
 	s.fwdPred = motion.MV{}
 	s.bwdPred = motion.MV{}
 }
 
 // encodeIntraMB codes all six blocks of a macroblock in intra mode.
-func (s *sliceEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *rowEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	q := int32(s.e.cfg.Q)
 	// Luma blocks Y0..Y3.
@@ -200,7 +255,7 @@ func (s *sliceEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 
 // intraBlock transforms, quantizes, writes and reconstructs one 8×8 intra
 // block. comp selects the DC predictor (0=Y, 1=Cb, 2=Cr).
-func (s *sliceEnc) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
+func (s *rowEnc) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
 	var blk [64]int32
 	codec.LoadBlock8(&blk, plane, off, stride)
 	dct.Forward8(&blk)
@@ -234,7 +289,7 @@ func writeRunLevels(bw *bitstream.Writer, blk *[64]int32, start int, eob uint32)
 
 // sadMB computes SAD between the current 16×16 luma block and a prediction
 // buffer using the configured kernel set.
-func (s *sliceEnc) sadMB(src *frame.Frame, px, py int, pred []byte) int {
+func (s *rowEnc) sadMB(src *frame.Frame, px, py int, pred []byte) int {
 	off := src.YOrigin + py*src.YStride + px
 	if s.e.cfg.Kernels == kernel.SWAR {
 		return swar.SADBlock(src.Y[off:], src.YStride, pred, 16, 16, 16)
@@ -266,7 +321,7 @@ func intraCostMB(src *frame.Frame, px, py int) int {
 }
 
 // setupEstimator points the shared estimator at the current luma block.
-func (s *sliceEnc) setupEstimator(est *motion.Estimator, src, ref *frame.Frame, px, py int, predFull motion.MV) {
+func (s *rowEnc) setupEstimator(est *motion.Estimator, src, ref *frame.Frame, px, py int, predFull motion.MV) {
 	est.Kern = s.e.cfg.Kernels
 	est.Cur = src.Y
 	est.CurOff = src.YOrigin + py*src.YStride + px
@@ -292,7 +347,7 @@ func (s *sliceEnc) setupEstimator(est *motion.Estimator, src, ref *frame.Frame, 
 // no per-candidate interpolation. Every comparison is the same strict
 // `sad < best` as the per-block path, so decisions and bitstream bytes
 // are unchanged (pinned by the root equivalence matrix).
-func (s *sliceEnc) searchLuma(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV, pred []byte) (motion.MV, int) {
+func (s *rowEnc) searchLuma(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV, pred []byte) (motion.MV, int) {
 	var est motion.Estimator
 	predFull := motion.MV{X: predHalf.X >> 1, Y: predHalf.Y >> 1}
 	s.setupEstimator(&est, src, ref, px, py, predFull)
@@ -351,7 +406,7 @@ func predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte, k 
 // codeResidualMB writes CBP and residual blocks for an inter MB, using the
 // prediction in s.pred (y/cb/cr), and reconstructs into recon.
 // Returns the CBP.
-func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
+func (s *rowEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	q := int32(s.e.cfg.Q)
 	// First pass: find CBP.
 	var blks [6][64]int32
@@ -417,7 +472,7 @@ func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 
 // residualWouldBeZero checks cheaply whether the quantized residual of the
 // MB would be all zero for the current prediction (used for skip decisions).
-func (s *sliceEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
+func (s *rowEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
 	q := int32(s.e.cfg.Q)
 	var blk [64]int32
 	for i := 0; i < 4; i++ {
@@ -443,7 +498,7 @@ func (s *sliceEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
 
 // copyPredToRecon writes the current prediction unchanged into recon
 // (skip macroblocks).
-func (s *sliceEnc) copyPredToRecon(recon *frame.Frame, px, py int) {
+func (s *rowEnc) copyPredToRecon(recon *frame.Frame, px, py int) {
 	for r := 0; r < 16; r++ {
 		ro := recon.YOrigin + (py+r)*recon.YStride + px
 		copy(recon.Y[ro:ro+16], s.pred.y[r*16:r*16+16])
@@ -457,7 +512,7 @@ func (s *sliceEnc) copyPredToRecon(recon *frame.Frame, px, py int) {
 }
 
 // encodePMB codes one macroblock of a P frame.
-func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *rowEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	ref := s.e.lastRef
 
@@ -494,7 +549,7 @@ func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 }
 
 // encodeBMB codes one macroblock of a B frame.
-func (s *sliceEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *rowEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	fwdRef, bwdRef := s.e.prevRef, s.e.lastRef
 
@@ -573,6 +628,6 @@ func (s *sliceEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 }
 
 // searchLumaAlt is searchLuma writing its prediction into pred.yAlt.
-func (s *sliceEnc) searchLumaAlt(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV) (motion.MV, int) {
+func (s *rowEnc) searchLumaAlt(src, ref *frame.Frame, px, py, mbx int, predHalf motion.MV) (motion.MV, int) {
 	return s.searchLuma(src, ref, px, py, mbx, predHalf, s.pred.yAlt[:])
 }

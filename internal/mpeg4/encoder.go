@@ -21,11 +21,15 @@ import (
 // Frames are coded as cfg.Slices independent macroblock-row slices (see
 // internal/codec's slice layer): each slice has its own bitstream, DC
 // and MV predictors, so slices run concurrently on the SliceRunner while
-// the merged payload stays byte-identical for every schedule.
+// the merged payload stays byte-identical for every schedule. Inside
+// each slice the macroblock rows are coded by per-row coders (rowEnc)
+// that can additionally run on a wavefront runner when cfg.Wavefront is
+// set — see sliceEnc.encode.
 type Encoder struct {
 	cfg    codec.Config
 	gop    codec.GOPScheduler
 	runner codec.SliceRunner
+	wfRun  codec.WavefrontRunner
 
 	prevRef, lastRef *frame.Frame
 
@@ -37,14 +41,35 @@ type Encoder struct {
 	inCount int
 }
 
-// sliceEnc carries the per-slice encoder state (bitstream, prediction
-// buffers and every predictor that resets at the slice boundary).
+// sliceEnc codes one slice as a stack of per-row coders. Rows inside a
+// slice only couple through the parity MV predictor buffers, whose
+// access pattern is exactly the wavefront dependency shape.
 type sliceEnc struct {
+	e    *Encoder
+	bw   *bitstream.Writer // final slice stream: row writers concatenated
+	rows []*rowEnc         // per-row coders, index = row within the slice
+
+	// mvBuf is the pair of full-pel MV predictor buffers the rows
+	// alternate between: row y of a frame starting at phase p writes
+	// mvBuf[(p+y)%2] and reads the row above from mvBuf[(p+y+1)%2].
+	// mvPhase carries the alternation across frames, mirroring the
+	// serial row swap exactly: B-intra macroblocks leave their mvRow
+	// entry unwritten (a deliberate quirk of this encoder), so which
+	// physical buffer holds which stale value is part of the bitstream
+	// and must match the serial history frame over frame.
+	mvBuf   [2][]motion.MV
+	mvPhase int
+}
+
+// rowEnc carries the state of one macroblock row: the row's bitstream,
+// prediction buffers and every predictor that resets at the row
+// boundary. One goroutine owns a row for its whole left-to-right walk
+// (serially or on the wavefront), so none of this needs synchronization.
+type rowEnc struct {
 	e  *Encoder
 	bw *bitstream.Writer
 
-	pred       predBuf
-	avgScratch [256]byte // quarter-pel candidate assembly in sadQPel
+	pred predBuf
 
 	dcPred  [3]int32
 	fwdPred motion.MV // quarter-pel forward predictor within the row
@@ -62,19 +87,25 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 	}
 	e := &Encoder{
 		cfg:    cfg,
-		gop:    codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod},
+		gop:    codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod, SceneCut: cfg.SceneCutIntra},
 		dcInit: 1024 / quant.Mpeg4DCScaler(int32(cfg.Q)),
 	}
 	e.spans = codec.SliceRows(cfg.MBRows(), cfg.Slices)
 	e.slices = make([]*sliceEnc, len(e.spans))
 	hint := cfg.Width*cfg.Height/4/len(e.spans) + 64
+	rowHint := cfg.Width*cfg.Height/4/cfg.MBRows() + 64
 	for i := range e.slices {
-		e.slices[i] = &sliceEnc{
-			e:       e,
-			bw:      bitstream.NewWriter(hint),
-			mvRow:   make([]motion.MV, cfg.MBCols()),
-			mvAbove: make([]motion.MV, cfg.MBCols()),
+		s := &sliceEnc{
+			e:    e,
+			bw:   bitstream.NewWriter(hint),
+			rows: make([]*rowEnc, e.spans[i].Rows),
 		}
+		s.mvBuf[0] = make([]motion.MV, cfg.MBCols())
+		s.mvBuf[1] = make([]motion.MV, cfg.MBCols())
+		for r := range s.rows {
+			s.rows[r] = &rowEnc{e: e, bw: bitstream.NewWriter(rowHint)}
+		}
+		e.slices[i] = s
 	}
 	return e, nil
 }
@@ -83,6 +114,12 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 // run on r (nil restores the serial default). Output bytes do not depend
 // on the runner.
 func (e *Encoder) SetSliceRunner(r codec.SliceRunner) { e.runner = r }
+
+// SetWavefrontRunner implements codec.WavefrontScheduler: when
+// cfg.Wavefront is set, each slice's macroblock grid runs on r (nil
+// restores the serial default). Output bytes depend on neither the
+// runner nor cfg.Wavefront.
+func (e *Encoder) SetWavefrontRunner(r codec.WavefrontRunner) { e.wfRun = r }
 
 // Header implements codec.Encoder.
 func (e *Encoder) Header() container.Header { return header(e.cfg, 0) }
@@ -150,41 +187,67 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 }
 
 // encode codes one slice's macroblock rows with slice-local state.
+//
+// Each row is coded by its own rowEnc into its own bitstream; the row
+// streams are concatenated bit-exactly afterwards, so the slice bytes
+// are those of a single raster-order pass regardless of schedule. With
+// cfg.Wavefront set and a runner installed, the rows run concurrently in
+// wavefront dependency order — the order the EPZS predictor reads (left,
+// above, above-right) require.
 func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan) {
-	s.bw.Reset()
-	for i := range s.mvAbove {
-		s.mvAbove[i] = motion.MV{}
+	cols := s.e.cfg.MBCols()
+	p := s.mvPhase
+	// Row 0 reads a zeroed "row above" (the slice-boundary reset); the
+	// write buffers keep their prior contents — B-intra macroblocks read
+	// stale entries through them, matching the serial swap history.
+	above0 := s.mvBuf[(p+1)%2]
+	for i := range above0 {
+		above0[i] = motion.MV{}
 	}
-	for mby := span.Row; mby < span.Row+span.Rows; mby++ {
-		s.resetRowState()
-		for mbx := 0; mbx < s.e.cfg.MBCols(); mbx++ {
-			switch ftype {
-			case container.FrameI:
-				s.encodeIntraMB(src, recon, mbx, mby)
-			case container.FrameP:
-				s.encodePMB(src, recon, mbx, mby)
-			default:
-				s.encodeBMB(src, recon, mbx, mby)
-			}
+	var run codec.WavefrontRunner
+	if s.e.cfg.Wavefront {
+		run = s.e.wfRun
+	}
+	codec.RunWavefront(run, span.Rows, cols, func(x, y int) bool {
+		r := s.rows[y]
+		if x == 0 {
+			r.bw.Reset()
+			r.resetRowState()
+			r.mvRow = s.mvBuf[(p+y)%2]
+			r.mvAbove = s.mvBuf[(p+y+1)%2]
 		}
-		s.mvRow, s.mvAbove = s.mvAbove, s.mvRow
+		mby := span.Row + y
+		switch ftype {
+		case container.FrameI:
+			r.encodeIntraMB(src, recon, x, mby)
+		case container.FrameP:
+			r.encodePMB(src, recon, x, mby)
+		default:
+			r.encodeBMB(src, recon, x, mby)
+		}
+		return true
+	})
+	s.mvPhase = (p + span.Rows) % 2
+	s.bw.Reset()
+	for y := 0; y < span.Rows; y++ {
+		s.bw.AppendWriter(s.rows[y].bw)
 	}
 	s.bw.AlignByte()
 }
 
-func (s *sliceEnc) resetRowState() {
+func (s *rowEnc) resetRowState() {
 	s.dcPred = [3]int32{s.e.dcInit, s.e.dcInit, s.e.dcInit}
 	s.fwdPred = motion.MV{}
 	s.bwdPred = motion.MV{}
 }
 
-func (s *sliceEnc) resetDCPred() {
+func (s *rowEnc) resetDCPred() {
 	s.dcPred = [3]int32{s.e.dcInit, s.e.dcInit, s.e.dcInit}
 }
 
 // --- intra ------------------------------------------------------------------
 
-func (s *sliceEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *rowEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	q := int32(s.e.cfg.Q)
 	for i := 0; i < 4; i++ {
@@ -200,7 +263,7 @@ func (s *sliceEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 	s.mvRow[mbx] = motion.MV{}
 }
 
-func (s *sliceEnc) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
+func (s *rowEnc) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
 	var blk [64]int32
 	codec.LoadBlock8(&blk, plane, off, stride)
 	dct.Forward8(&blk)
@@ -232,7 +295,7 @@ func writeRunLevels(bw *bitstream.Writer, blk *[64]int32, start int, eob uint32)
 
 // --- motion search -----------------------------------------------------------
 
-func (s *sliceEnc) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
+func (s *rowEnc) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
 	off := src.YOrigin + py*src.YStride + px
 	if s.e.cfg.Kernels == kernel.SWAR {
 		return swar.SADBlock(src.Y[off:], src.YStride, pred, pstride, w, h)
@@ -265,7 +328,7 @@ func intraCostMB(src *frame.Frame, px, py int) int {
 // quarter-pel domain, filling pred (stride 16) with the winning prediction.
 // blockW/blockH select 16×16 or 8×8 partitions; (px,py) addresses the
 // block, predQ is the quarter-pel MV predictor.
-func (s *sliceEnc) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx int, predQ motion.MV, pred []byte, usePreds bool) (motion.MV, int) {
+func (s *rowEnc) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx int, predQ motion.MV, pred []byte, usePreds bool) (motion.MV, int) {
 	var est motion.Estimator
 	est.Kern = s.e.cfg.Kernels
 	est.Cur = src.Y
@@ -321,12 +384,12 @@ func (s *sliceEnc) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx
 
 // sadQPel scores one quarter-pel candidate against the precomputed half
 // planes, early-terminating once the partial SAD reaches max.
-func (s *sliceEnc) sadQPel(src, ref *frame.Frame, px, py, w, h int, mv motion.MV, max int) int {
+func (s *rowEnc) sadQPel(src, ref *frame.Frame, px, py, w, h int, mv motion.MV, max int) int {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
 	co := src.YOrigin + py*src.YStride + px
-	return motion.SADQPel(s.e.cfg.Kernels, src.Y[co:], src.YStride, ref, so, w, h, fx, fy, s.avgScratch[:], max)
+	return motion.SADQPel(s.e.cfg.Kernels, src.Y[co:], src.YStride, ref, so, w, h, fx, fy, max)
 }
 
 // mcLumaInto fills dst (stride 16) with the quarter-pel prediction for mv
@@ -334,7 +397,7 @@ func (s *sliceEnc) sadQPel(src, ref *frame.Frame, px, py, w, h int, mv motion.MV
 // BuildHalfPel6 runs when a reconstruction becomes a reference; the
 // decoder keeps the per-block QPel path, which is bit-exact with this
 // one).
-func (s *sliceEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
+func (s *rowEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
 	so := ref.YOrigin + (py+iy)*ref.YStride + px + ix
@@ -342,7 +405,7 @@ func (s *sliceEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, 
 }
 
 // predictChroma fills 8×8 chroma predictions for a 16×16 quarter-pel MV.
-func (s *sliceEnc) predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte) {
+func (s *rowEnc) predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte) {
 	cvx := chromaFromLuma(int(mv.X))
 	cvy := chromaFromLuma(int(mv.Y))
 	ix, fx := splitHalf(cvx)
@@ -354,7 +417,7 @@ func (s *sliceEnc) predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb,
 }
 
 // predictChroma4MV derives chroma from the sum of four 8×8 vectors.
-func (s *sliceEnc) predictChroma4MV(ref *frame.Frame, px, py int, mvs *[4]motion.MV, cb, cr []byte) {
+func (s *rowEnc) predictChroma4MV(ref *frame.Frame, px, py int, mvs *[4]motion.MV, cb, cr []byte) {
 	sx, sy := 0, 0
 	for _, v := range mvs {
 		sx += int(v.X)
@@ -366,7 +429,7 @@ func (s *sliceEnc) predictChroma4MV(ref *frame.Frame, px, py int, mvs *[4]motion
 
 // --- residual ----------------------------------------------------------------
 
-func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
+func (s *rowEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	q := int32(s.e.cfg.Q)
 	var blks [6][64]int32
 	cbp := 0
@@ -428,7 +491,7 @@ func (s *sliceEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	return cbp
 }
 
-func (s *sliceEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
+func (s *rowEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
 	q := int32(s.e.cfg.Q)
 	var blk [64]int32
 	for i := 0; i < 4; i++ {
@@ -452,7 +515,7 @@ func (s *sliceEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
 	return quant.Mpeg4QuantInter(&blk, q) == 0
 }
 
-func (s *sliceEnc) copyPredToRecon(recon *frame.Frame, px, py int) {
+func (s *rowEnc) copyPredToRecon(recon *frame.Frame, px, py int) {
 	for r := 0; r < 16; r++ {
 		ro := recon.YOrigin + (py+r)*recon.YStride + px
 		copy(recon.Y[ro:ro+16], s.pred.y[r*16:r*16+16])
@@ -484,7 +547,7 @@ func seBits(v int) int {
 	return n
 }
 
-func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *rowEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	ref := s.e.lastRef
 	lambda := lambdaFor(s.e.cfg.Q)
@@ -560,7 +623,7 @@ func (s *sliceEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 
 // --- B macroblocks -------------------------------------------------------------
 
-func (s *sliceEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
+func (s *rowEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	fwdRef, bwdRef := s.e.prevRef, s.e.lastRef
 	lambda := lambdaFor(s.e.cfg.Q)

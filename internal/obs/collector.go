@@ -26,6 +26,16 @@ type Collector struct {
 	// (ran on their own goroutine) vs ran inline on the dispatcher.
 	GateSpawned *Counter
 	GateInline  *Counter
+	// WavefrontWait observes the seconds a wavefront row worker spent
+	// parked waiting for its top-right dependency (the row above) — the
+	// scheduler's stall signal: near-zero when rows stay staggered, the
+	// dependency-chain cost otherwise.
+	WavefrontWait *Histogram
+	// FrontDepth observes the goroutines participating in one wavefront
+	// front (caller plus token-funded helpers) — how wide the diagonal
+	// actually ran, bounded by rows and by the tokens the slice/chunk
+	// levels left available.
+	FrontDepth *Histogram
 }
 
 // ChunkQueued notes one chunk entering the encode pool.
@@ -75,5 +85,20 @@ func (c *Collector) SliceSpawned() {
 func (c *Collector) SliceInline() {
 	if c != nil {
 		c.GateInline.Inc()
+	}
+}
+
+// ObserveWavefrontWait records one parked dependency wait of a wavefront
+// row worker.
+func (c *Collector) ObserveWavefrontWait(d time.Duration) {
+	if c != nil {
+		c.WavefrontWait.Observe(d.Seconds())
+	}
+}
+
+// ObserveFrontDepth records the goroutine count of one wavefront front.
+func (c *Collector) ObserveFrontDepth(n int) {
+	if c != nil {
+		c.FrontDepth.Observe(float64(n))
 	}
 }

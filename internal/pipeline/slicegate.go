@@ -110,11 +110,17 @@ func (g *SliceGate) Run(n int, job func(i int)) {
 	g.col.ObserveGateWait(time.Since(t0))
 }
 
-// install points a codec instance's slice scheduling at the gate, when
-// the codec supports it.
+// install points a codec instance's slice scheduling — and, for encoders
+// that support it, its wavefront scheduling — at the gate. Both runners
+// draw from the same token bank, so slice goroutines and wavefront row
+// helpers share one budget. Installing the wavefront runner is
+// unconditional; codecs use it only when Config.Wavefront is set.
 func (g *SliceGate) install(v any) {
 	if s, ok := v.(codec.SliceScheduler); ok {
 		s.SetSliceRunner(g.Run)
+	}
+	if s, ok := v.(codec.WavefrontScheduler); ok {
+		s.SetWavefrontRunner(g.Wavefront().Run)
 	}
 }
 

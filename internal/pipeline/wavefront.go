@@ -1,0 +1,211 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdvideobench/internal/obs"
+)
+
+// Wavefront schedules one slice's macroblock grid in 2D dependency order
+// (codec.WavefrontRunner): macroblock (x, y) runs once (x-1, y) and
+// (x+1, y-1) are done. It is the third level of the pipeline's
+// parallelism — GOP chunks spread across the worker pool, slices across
+// the gate, and the rows *inside* one slice across the front — and the
+// only level that parallelizes a frame without touching the bitstream:
+// slices pay a prediction reset at every boundary, the wavefront computes
+// exactly the serial values in a compatible order.
+//
+// Scheduling is row-ownership based: each participating goroutine claims
+// the lowest unclaimed row and walks it left-to-right, publishing its
+// progress after every macroblock and waiting (spin, then park on a
+// shared Cond) until the row above is two macroblocks ahead. Rows are
+// claimed in increasing order, so the goroutine owning the lowest
+// incomplete row never waits — the front cannot deadlock — and cells of
+// one row always run on one goroutine, so row-local codec state needs no
+// synchronization.
+//
+// A Wavefront built from a SliceGate shares the gate's token bank:
+// helper goroutines for extra rows are funded by the same tokens that
+// fund concurrent slices, so chunk workers + slice goroutines + row
+// helpers never exceed the requested worker budget. Tokens are taken
+// non-blocking — with none available the caller simply walks the rows
+// serially (raster order satisfies the dependency rule trivially).
+type Wavefront struct {
+	tokens chan struct{}
+	col    *obs.Collector
+}
+
+// NewWavefront returns a standalone Wavefront with a budget of workers
+// goroutines (the caller counts as one, so workers-1 helper tokens are
+// banked). Use SliceGate.Wavefront to share a gate's budget instead.
+func NewWavefront(workers int) *Wavefront {
+	extra := workers - 1
+	if extra < 0 {
+		extra = 0
+	}
+	w := &Wavefront{tokens: make(chan struct{}, extra)}
+	for i := 0; i < extra; i++ {
+		w.tokens <- struct{}{}
+	}
+	return w
+}
+
+// Observe points the wavefront's measurements at a collector (nil
+// disables them) and returns the receiver for chaining.
+func (w *Wavefront) Observe(col *obs.Collector) *Wavefront {
+	w.col = col
+	return w
+}
+
+// Wavefront returns a runner sharing the gate's token bank (and its
+// collector), so slice-level and row-level goroutines draw from one
+// budget.
+func (g *SliceGate) Wavefront() *Wavefront {
+	return &Wavefront{tokens: g.tokens, col: g.col}
+}
+
+// wfState is the shared state of one running front.
+type wfState struct {
+	cols     int
+	rows     int
+	nextRow  atomic.Int32   // next unclaimed row
+	progress []atomic.Int32 // macroblocks completed per row
+	aborted  atomic.Bool
+
+	mu      sync.Mutex
+	cond    sync.Cond
+	waiters atomic.Int32
+}
+
+// wfSpin is how many progress polls a dependency wait burns before
+// parking on the Cond. Macroblocks take microseconds, so a short spin
+// almost always observes the row above advancing without a syscall.
+const wfSpin = 256
+
+// Run implements codec.WavefrontRunner. See the type comment for the
+// schedule; Run returns only after every spawned helper has exited, so an
+// abort (mb returning false) cannot leak goroutines.
+func (w *Wavefront) Run(rows, cols int, mb func(x, y int) bool) bool {
+	if rows <= 0 || cols <= 0 {
+		return true
+	}
+	if rows == 1 {
+		for x := 0; x < cols; x++ {
+			if !mb(x, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	st := &wfState{cols: cols, rows: rows, progress: make([]atomic.Int32, rows)}
+	st.cond.L = &st.mu
+
+	// Fund helpers with whatever tokens are free right now; the caller is
+	// always a participant, so zero tokens degrades to serial raster order.
+	var wg sync.WaitGroup
+	helpers := 0
+spawn:
+	for helpers < rows-1 {
+		select {
+		case <-w.tokens:
+			helpers++
+			wg.Add(1)
+			go func() {
+				defer func() {
+					w.tokens <- struct{}{}
+					wg.Done()
+				}()
+				st.work(mb, w.col)
+			}()
+		default:
+			break spawn // no token free
+		}
+	}
+	if w.col != nil {
+		w.col.ObserveFrontDepth(helpers + 1)
+	}
+	st.work(mb, w.col)
+	wg.Wait()
+	return !st.aborted.Load()
+}
+
+// work claims rows in increasing order and walks each left-to-right.
+func (st *wfState) work(mb func(x, y int) bool, col *obs.Collector) {
+	for {
+		r := int(st.nextRow.Add(1)) - 1
+		if r >= st.rows || st.aborted.Load() {
+			return
+		}
+		for x := 0; x < st.cols; x++ {
+			if r > 0 {
+				// Top-right dependency: (x+1, r-1) done, i.e. the row above
+				// has completed at least x+2 macroblocks (clamped at the
+				// right edge, where the dependency falls off the grid).
+				need := x + 2
+				if need > st.cols {
+					need = st.cols
+				}
+				if !st.waitAbove(r, need, col) {
+					return
+				}
+			}
+			if !mb(x, r) {
+				st.abort()
+				return
+			}
+			st.progress[r].Store(int32(x + 1))
+			if st.waiters.Load() > 0 {
+				st.wake()
+			}
+		}
+	}
+}
+
+// waitAbove blocks until progress[r-1] >= need or the front aborts,
+// returning false on abort. It spins briefly (the common case — rows stay
+// staggered by a couple of macroblocks) and then parks on the Cond.
+func (st *wfState) waitAbove(r, need int, col *obs.Collector) bool {
+	p := &st.progress[r-1]
+	if int(p.Load()) >= need {
+		return true
+	}
+	for i := 0; i < wfSpin; i++ {
+		if int(p.Load()) >= need {
+			return true
+		}
+		if st.aborted.Load() {
+			return false
+		}
+	}
+	var t0 time.Time
+	if col != nil {
+		t0 = time.Now()
+	}
+	st.mu.Lock()
+	st.waiters.Add(1)
+	for int(p.Load()) < need && !st.aborted.Load() {
+		st.cond.Wait()
+	}
+	st.waiters.Add(-1)
+	st.mu.Unlock()
+	if col != nil {
+		col.ObserveWavefrontWait(time.Since(t0))
+	}
+	return !st.aborted.Load()
+}
+
+// wake broadcasts to parked waiters. The empty critical section orders
+// the broadcast after any waiter that registered itself but has not yet
+// released the lock in Wait, closing the lost-wakeup window.
+func (st *wfState) wake() {
+	st.mu.Lock()
+	st.mu.Unlock() //nolint:staticcheck // empty section is the handoff barrier
+	st.cond.Broadcast()
+}
+
+func (st *wfState) abort() {
+	st.aborted.Store(true)
+	st.wake()
+}

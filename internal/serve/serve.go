@@ -206,6 +206,10 @@ func (s *Server) registerMetrics() {
 		GateWait:    s.reg.Histogram("hdvserve_gate_wait_seconds", "Slice-gate dispatcher wait for spawned slice stragglers.", nil).With(),
 		GateSpawned: gate.With("spawned"),
 		GateInline:  gate.With("inline"),
+		WavefrontWait: s.reg.Histogram("hdvserve_wavefront_wait_seconds",
+			"Parked waits of wavefront row coders on their top-right dependency.", nil).With(),
+		FrontDepth: s.reg.Histogram("hdvserve_wavefront_front_depth",
+			"Concurrent row coders per wavefront launch (1 = degenerate serial front).", nil).With(),
 	}
 }
 
@@ -484,11 +488,18 @@ func (s *Server) parseCoding(q url.Values, defWidth, defHeight int) (hdvideobenc
 	if err != nil {
 		return c, opts, err
 	}
+	// wavefront stays out of the cache key: like workers, it is a pure
+	// scheduling knob — the coded bytes are identical on or off.
+	wavefront, err := boolParam(q, "wavefront")
+	if err != nil {
+		return c, opts, err
+	}
 
 	opts = hdvideobench.EncoderOptions{
 		Width: width, Height: height, Q: qp,
 		IntraPeriod: gop,
 		Slices:      slices,
+		Wavefront:   wavefront,
 		Workers:     workers,
 		Window:      s.cfg.Window,
 		SIMD:        simd,

@@ -77,6 +77,63 @@ func TestSADBlockMaxBails(t *testing.T) {
 	}
 }
 
+func refSADAvg2(cur []byte, curStride int, a []byte, aStride int, b []byte, bStride, w, h int) int {
+	sad := 0
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			avg := (int(a[r*aStride+c]) + int(b[r*bStride+c]) + 1) >> 1
+			d := int(cur[r*curStride+c]) - avg
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// TestSADAvg2MaxExact pins the fused SAD-of-average kernel to the same
+// early-termination contract as SADBlockMax: exact below max, some
+// partial >= max otherwise, never above the true SAD.
+func TestSADAvg2MaxExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, dims := range [][2]int{{16, 16}, {16, 8}, {8, 8}, {8, 16}, {4, 4}, {12, 7}} {
+		w, h := dims[0], dims[1]
+		cs, as, bs := w+5, w+3, w+9
+		cur := make([]byte, cs*h+16)
+		a := make([]byte, as*h+16)
+		b := make([]byte, bs*h+16)
+		for trial := 0; trial < 200; trial++ {
+			for i := range cur {
+				cur[i] = byte(rng.Intn(256))
+			}
+			for i := range a {
+				a[i] = byte(rng.Intn(256))
+			}
+			for i := range b {
+				b[i] = byte(rng.Intn(256))
+			}
+			if trial%4 == 0 { // near-identical: the low-SAD regime
+				copy(a, cur)
+				copy(b, cur)
+			}
+			exact := refSADAvg2(cur, cs, a, as, b, bs, w, h)
+			for _, max := range []int{0, 1, exact / 2, exact, exact + 1, 1 << 30} {
+				got := SADAvg2Max(cur, cs, a, as, b, bs, w, h, max)
+				if exact < max && got != exact {
+					t.Fatalf("%dx%d max=%d: got %d, want exact %d", w, h, max, got, exact)
+				}
+				if exact >= max && got < max {
+					t.Fatalf("%dx%d max=%d: got %d < max but exact is %d", w, h, max, got, exact)
+				}
+				if got > exact {
+					t.Fatalf("%dx%d max=%d: got %d exceeds exact %d", w, h, max, got, exact)
+				}
+			}
+		}
+	}
+}
+
 func TestDiffRow(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for _, n := range []int{0, 1, 3, 4, 5, 7, 8, 9, 12, 15, 16, 31} {

@@ -188,6 +188,80 @@ func SAD8xMax(a []byte, aStride int, b []byte, bStride, h, max int) int {
 	return sad
 }
 
+// SADAvg2Max returns the SAD between a w×h block at cur and the rounded
+// per-byte average of the blocks at a and b — sum |cur − (a+b+1)>>1| —
+// with early termination at max, same contract as SADBlockMax: exact
+// whenever the true SAD is < max, some partial sum >= max otherwise. It
+// fuses interp.Avg2 + SADBlockMax for quarter-pel candidate scoring, so
+// the 256-byte averaged block is never materialized and a losing
+// candidate stops averaging as soon as its partial sum crosses the bail
+// threshold.
+func SADAvg2Max(cur []byte, curStride int, a []byte, aStride int, b []byte, bStride, w, h, max int) int {
+	if w == 16 {
+		return sadAvg216Max(cur, curStride, a, aStride, b, bStride, h, max)
+	}
+	if w == 8 {
+		return sadAvg28Max(cur, curStride, a, aStride, b, bStride, h, max)
+	}
+	sad := 0
+	for r := 0; r < h; {
+		lim := min(r+sadGroupRows, h)
+		for ; r < lim; r++ {
+			ca, aa, ba := cur[r*curStride:], a[r*aStride:], b[r*bStride:]
+			for i := 0; i < w; i++ {
+				d := int(ca[i]) - (int(aa[i])+int(ba[i])+1)>>1
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		if sad >= max {
+			return sad
+		}
+	}
+	return sad
+}
+
+func sadAvg216Max(cur []byte, curStride int, a []byte, aStride int, b []byte, bStride, h, max int) int {
+	sad := 0
+	for r := 0; r < h; {
+		lim := min(r+sadGroupRows, h)
+		var acc uint64
+		for ; r < lim; r++ {
+			c0 := Load64(cur[r*curStride:])
+			c1 := Load64(cur[r*curStride+8:])
+			v0 := AvgRound8(Load64(a[r*aStride:]), Load64(b[r*bStride:]))
+			v1 := AvgRound8(Load64(a[r*aStride+8:]), Load64(b[r*bStride+8:]))
+			acc += absDiff16(c0&lo8, v0&lo8) + absDiff16((c0>>8)&lo8, (v0>>8)&lo8)
+			acc += absDiff16(c1&lo8, v1&lo8) + absDiff16((c1>>8)&lo8, (v1>>8)&lo8)
+		}
+		sad += fold16(acc)
+		if sad >= max {
+			return sad
+		}
+	}
+	return sad
+}
+
+func sadAvg28Max(cur []byte, curStride int, a []byte, aStride int, b []byte, bStride, h, max int) int {
+	sad := 0
+	for r := 0; r < h; {
+		lim := min(r+2*sadGroupRows, h)
+		var acc uint64
+		for ; r < lim; r++ {
+			cv := Load64(cur[r*curStride:])
+			av := AvgRound8(Load64(a[r*aStride:]), Load64(b[r*bStride:]))
+			acc += absDiff16(cv&lo8, av&lo8) + absDiff16((cv>>8)&lo8, (av>>8)&lo8)
+		}
+		sad += fold16(acc)
+		if sad >= max {
+			return sad
+		}
+	}
+	return sad
+}
+
 // AvgRound8 returns per-byte (a+b+1)>>1 of the 8 packed bytes.
 func AvgRound8(a, b uint64) uint64 {
 	return (a | b) - (((a ^ b) >> 1) & low7)
