@@ -45,6 +45,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"hdvideobench"
 )
@@ -58,6 +59,8 @@ func main() {
 		fig1c    = flag.Bool("fig1c", false, "encode fps, scalar kernels (Figure 1c)")
 		fig1d    = flag.Bool("fig1d", false, "encode fps, SIMD kernels (Figure 1d)")
 		scaling  = flag.Bool("scaling", false, "fps at 1,2,4,NumCPU workers (Figure 1 scaling dimension)")
+		ladder   = flag.String("ladder", "", "rendition-ladder encode, e.g. 240p,576p@1200,720p: decode once, share the top rung's motion analysis down the ladder")
+		kbps     = flag.Int("kbps", 0, "with -ladder: default bitrate target for rungs without an explicit @kbps (0 = constant-Q)")
 		jsonPath = flag.String("json", "", "with -scaling: write machine-readable results to this file (\"-\" = stdout)")
 		summary  = flag.Bool("summary", false, "compression gains and SIMD speed-ups (§VI)")
 		frames   = flag.Int("frames", 25, "frames per sequence (paper: 100)")
@@ -218,6 +221,10 @@ func main() {
 		}
 		ran = true
 	}
+	if *ladder != "" {
+		runLadder(opts, *ladder, *kbps, *frames, *q, *gop, *slices, *wavefrnt, *workers)
+		ran = true
+	}
 	if *summary {
 		rs, err := hdvideobench.RunTableV(opts)
 		if err != nil {
@@ -244,6 +251,87 @@ func main() {
 	if !ran {
 		fmt.Print(hdvideobench.Describe())
 		fmt.Println("\nrun with -table5, -fig1a..-fig1d or -summary; see -help")
+	}
+}
+
+// runLadder drives the one-mezzanine-N-renditions path: generate the
+// mezzanine once (first -res entry, default 720p25; first -seqs entry,
+// default blue_sky), encode every rung with the top rung's motion
+// analysis shared down the ladder, and report per-rung size, achieved
+// bitrate, and PSNR against the downscaled mezzanine.
+func runLadder(opts hdvideobench.SuiteOptions, spec string, defKbps, nFrames, q, gop, slices int, wavefront bool, workers int) {
+	mezz := hdvideobench.Resolutions[1] // 720p25
+	if len(opts.Resolutions) > 0 {
+		mezz = opts.Resolutions[0]
+	}
+	seq := hdvideobench.BlueSky
+	if len(opts.Sequences) > 0 {
+		seq = opts.Sequences[0]
+	}
+	codecs := opts.Codecs
+	if len(codecs) == 0 {
+		codecs = []hdvideobench.Codec{hdvideobench.MPEG2, hdvideobench.MPEG4, hdvideobench.H264}
+	}
+	rungs, err := hdvideobench.ParseLadder(spec, mezz.Width, mezz.Height)
+	if err != nil {
+		fatalf("ladder: %v", err)
+	}
+	if defKbps > 0 {
+		for i := range rungs {
+			if rungs[i].Kbps == 0 {
+				rungs[i].Kbps = defKbps
+			}
+		}
+	}
+	frames := hdvideobench.NewSequence(seq, mezz.Width, mezz.Height).Generate(nFrames)
+	for _, c := range codecs {
+		eo := hdvideobench.EncoderOptions{
+			Width: mezz.Width, Height: mezz.Height, Q: q,
+			IntraPeriod: gop, Slices: slices, Wavefront: wavefront,
+			Workers: workers,
+		}
+		start := time.Now()
+		rends, err := hdvideobench.EncodeLadder(c, eo, frames, rungs)
+		if err != nil {
+			fatalf("ladder: %v", err)
+		}
+		wall := time.Since(start)
+		fmt.Printf("Ladder %v: %s mezzanine, %v, %d frames, %.2fs wall\n",
+			c, mezz.Name, seq, len(frames), wall.Seconds())
+		fmt.Printf("  %-8s %-10s %8s %10s %8s %8s\n",
+			"rung", "geometry", "target", "bytes", "kbps", "psnr")
+		for _, r := range rends {
+			bytes := 0
+			for _, p := range r.Packets {
+				bytes += len(p.Payload)
+			}
+			dec, err := hdvideobench.NewDecoder(r.Header, false)
+			if err != nil {
+				fatalf("ladder: %v", err)
+			}
+			out, err := hdvideobench.DecodePackets(dec, r.Packets)
+			if err != nil {
+				fatalf("ladder rung %s: %v", r.Rung.Name, err)
+			}
+			psnr := 0.0
+			for i := range out {
+				ref := frames[i]
+				if r.Rung.Width != mezz.Width || r.Rung.Height != mezz.Height {
+					ref = hdvideobench.DownscaleFrame(ref, r.Rung.Width, r.Rung.Height)
+				}
+				psnr += hdvideobench.PSNR(ref, out[i])
+			}
+			psnr /= float64(len(out))
+			fps := float64(r.Header.FPSNum) / float64(r.Header.FPSDen)
+			achieved := float64(bytes) * 8 * fps / float64(len(frames)) / 1000
+			target := "const-q"
+			if r.Rung.Kbps > 0 {
+				target = fmt.Sprintf("%d", r.Rung.Kbps)
+			}
+			fmt.Printf("  %-8s %-10s %8s %10d %8.0f %8.2f\n",
+				r.Rung.Name, fmt.Sprintf("%dx%d", r.Rung.Width, r.Rung.Height),
+				target, bytes, achieved, psnr)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ func TestResolutionByName(t *testing.T) {
 		"720p25": "720p25", "hd": "720p25",
 		"1088p25": "1088p25", "1080p": "1088p25", "fullhd": "1088p25",
 		"2160p25": "2160p25", "4k": "2160p25", "uhd": "2160p25", "2160p": "2160p25",
+		"240p25": "240p25", "240p": "240p25", "ld": "240p25",
 	}
 	for name, want := range cases {
 		r, err := ResolutionByName(name)
@@ -33,8 +34,8 @@ func TestResolutionByName(t *testing.T) {
 	if len(Resolutions) != 3 {
 		t.Fatalf("the paper's resolution list grew to %d — extensions belong in AllResolutions", len(Resolutions))
 	}
-	if n := len(AllResolutions); n != 4 {
-		t.Fatalf("AllResolutions has %d entries, want the paper's 3 plus 2160p25", n)
+	if n := len(AllResolutions); n != 5 {
+		t.Fatalf("AllResolutions has %d entries, want the paper's 3 plus 2160p25 and 240p25", n)
 	}
 }
 
@@ -92,7 +93,7 @@ func TestHDScenarioRoundTrip(t *testing.T) {
 // TestStressorScenesAllCodecs round-trips both new scenes in every codec
 // at a small raster, so the cheap path runs even under -short.
 func TestStressorScenesAllCodecs(t *testing.T) {
-	for _, seq := range []Sequence{SportPan, SceneCut} {
+	for _, seq := range []Sequence{SportPan, SceneCut, FilmGrain} {
 		for _, c := range []Codec{MPEG2, MPEG4, H264} {
 			frames := NewSequence(seq, 176, 144).Generate(3)
 			enc, err := NewEncoder(c, EncoderOptions{Width: 176, Height: 144})
@@ -118,8 +119,8 @@ func TestStressorScenesAllCodecs(t *testing.T) {
 			}
 		}
 	}
-	if len(AllSequences) != 6 {
-		t.Fatalf("AllSequences has %d entries, want the paper's 4 plus 2 stressors", len(AllSequences))
+	if len(AllSequences) != 7 {
+		t.Fatalf("AllSequences has %d entries, want the paper's 4 plus 3 stressors", len(AllSequences))
 	}
 }
 

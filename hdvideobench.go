@@ -97,6 +97,14 @@ func NewFrame(width, height int) *Frame { return frame.New(width, height) }
 // RawFrameSize returns the byte size of one raw I420 frame.
 func RawFrameSize(width, height int) int { return frame.RawSize(width, height) }
 
+// DownscaleFrame returns src resized to width×height — a box filter
+// when both axes shrink by an integer factor, center-aligned bilinear
+// otherwise (the ladder downscaler). Both dimensions must be even and
+// no larger than the source; there is no upscaler.
+func DownscaleFrame(src *Frame, width, height int) *Frame {
+	return frame.DownscaleNew(src, width, height)
+}
+
 // PSNR returns the luma peak signal-to-noise ratio between two frames in
 // decibels (the paper's Table V quality metric).
 func PSNR(ref, dist *Frame) float64 { return metrics.PSNRFrames(ref, dist) }
@@ -104,9 +112,10 @@ func PSNR(ref, dist *Frame) float64 { return metrics.PSNRFrames(ref, dist) }
 // Sequence identifies one of the four benchmark input sequences (Table III).
 type Sequence = seqgen.Sequence
 
-// The four benchmark sequences, plus the two scenario stressors
+// The four benchmark sequences, plus the scenario stressors
 // (SportPan: fast global camera pan; SceneCut: hard shot alternation
-// every seqgen.SceneCutPeriod frames).
+// every seqgen.SceneCutPeriod frames; FilmGrain: temporally
+// decorrelated grain over a static scene, the rate-control stressor).
 const (
 	BlueSky        = seqgen.BlueSky
 	PedestrianArea = seqgen.PedestrianArea
@@ -114,6 +123,7 @@ const (
 	RushHour       = seqgen.RushHour
 	SportPan       = seqgen.SportPan
 	SceneCut       = seqgen.SceneCut
+	FilmGrain      = seqgen.FilmGrain
 )
 
 // Sequences lists the paper's four in table order (the benchmark
@@ -187,6 +197,14 @@ type EncoderOptions struct {
 	Width, Height int
 	// Q is the quantizer in MPEG scale 1..31; H.264 maps it via Eq. 1.
 	Q int
+	// Kbps, when > 0, switches the encoder from constant-Q to
+	// rate-targeted coding: a per-frame quantizer controller steers the
+	// stream toward this average bitrate (at the configured frame rate),
+	// and with Slices > 1 each slice additionally carries its own
+	// quantizer, rebalanced from the previous frame's per-slice spend.
+	// Q then only seeds the controller. 0 (the default) keeps exact
+	// constant-Q streams.
+	Kbps int
 	// BFrames is the number of consecutive B pictures (paper: 2).
 	// Set to -1 for no B frames.
 	BFrames int
@@ -254,6 +272,7 @@ func (o EncoderOptions) config() (codec.Config, error) {
 	case o.BFrames > 0:
 		cfg.BFrames = o.BFrames
 	}
+	cfg.TargetKbps = o.Kbps
 	cfg.IntraPeriod = o.IntraPeriod
 	if o.SearchRange != 0 {
 		cfg.SearchRange = o.SearchRange
@@ -372,6 +391,41 @@ func EncodeFramesParallel(c Codec, opts EncoderOptions, frames []*Frame) ([]Pack
 		return nil, StreamHeader{}, err
 	}
 	return core.EncodeSequenceParallel(c, cfg, frames, opts.Workers)
+}
+
+// LadderRung is one output rendition of EncodeLadder: a target geometry
+// (a named resolution no larger than the mezzanine) plus an optional
+// bitrate in kbps (0 = constant-Q at the mezzanine's Q).
+type LadderRung = core.LadderRung
+
+// LadderRendition is one finished ladder rung: its coded packets and
+// the stream header that decodes them.
+type LadderRendition = core.LadderRendition
+
+// ParseLadder parses a rendition-ladder spec like "240p,576p@1200,720p"
+// — comma-separated resolution names, each optionally suffixed with
+// "@kbps" — and validates it against the mezzanine geometry: known
+// names only, no duplicates, no rung larger than the mezzanine.
+func ParseLadder(spec string, mezzWidth, mezzHeight int) ([]LadderRung, error) {
+	return core.ParseLadder(spec, mezzWidth, mezzHeight)
+}
+
+// EncodeLadder encodes one mezzanine sequence into every rung of a
+// rendition ladder with shared motion analysis: the largest rung
+// encodes first and its per-frame motion fields, scaled down, seed the
+// motion searches of every smaller rung, which therefore early-
+// terminate far sooner than a cold search. Frames are downscaled from
+// the mezzanine once per rung. opts describes the mezzanine (Width and
+// Height must match frames); each rung inherits its coding options,
+// overridden per rung by the rung's geometry and Kbps. Every rung's
+// stream is byte-identical at every Workers count and Wavefront
+// setting.
+func EncodeLadder(c Codec, opts EncoderOptions, frames []*Frame, rungs []LadderRung) ([]LadderRendition, error) {
+	cfg, err := opts.config()
+	if err != nil {
+		return nil, err
+	}
+	return core.EncodeLadder(c, cfg, frames, rungs, opts.Workers)
 }
 
 // DecodePacketsParallel decodes a coding-order packet stream with workers

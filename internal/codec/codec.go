@@ -11,6 +11,7 @@ import (
 	"hdvideobench/internal/container"
 	"hdvideobench/internal/frame"
 	"hdvideobench/internal/kernel"
+	"hdvideobench/internal/motion"
 )
 
 // EntropyMode selects the H.264 entropy coder (the MPEG-2/-4 codecs always
@@ -81,6 +82,45 @@ type Config struct {
 	// boundary. Opt-in because it changes the bitstream (frame types move);
 	// off, streams are untouched.
 	SceneCutIntra bool
+
+	// TargetKbps, when positive, replaces constant-Q coding with a
+	// rate-targeted mode: a per-frame quantizer controller (see
+	// RateController) steers the stream toward TargetKbps kilobits per
+	// second at the configured frame rate, and Q becomes the controller's
+	// starting point instead of a constant. The per-frame quantizer
+	// travels in the packet payload's existing leading q byte, so rate-
+	// targeted streams decode with unchanged decoders; with Slices > 1
+	// the controller also rebalances budget between slices, which adds a
+	// per-slice q byte gated by container.FlagSliceQ. 0 keeps constant-Q
+	// coding byte-identical to previous trees.
+	TargetKbps int
+
+	// MotionTap, when non-nil, receives each inter frame's full-pel
+	// forward motion field right after the frame is coded, keyed by
+	// display PTS. The field is freshly allocated per frame and never
+	// written again after the call. Ladder encoding uses it to capture
+	// the full-resolution rung's motion analysis.
+	MotionTap func(pts int, field *motion.Field)
+
+	// MotionHints, when non-nil, supplies a previously captured motion
+	// field for the frame at the given display PTS (nil = no hint). The
+	// encoder scales the field to its own geometry and injects the
+	// per-macroblock vector as one extra EPZS/seed predictor in every
+	// forward motion search — a near-optimal seed that lets the
+	// early-termination machinery skip most of the search. Hints steer
+	// where the search looks, so they can change the bitstream; ladder
+	// determinism holds because the hint source itself is deterministic.
+	MotionHints func(pts int) *motion.Field
+}
+
+// PTSRebaser is implemented by encoders whose MotionTap/MotionHints
+// callbacks must see global display stamps. The GOP-parallel pipeline
+// restamps Frame.PTS chunk-locally (arrival order within the chunk), so
+// it announces each chunk's offset in the global timeline here; the
+// encoder adds it when keying the callbacks. Serial encoding leaves the
+// base at zero.
+type PTSRebaser interface {
+	SetPTSBase(base int)
 }
 
 // Default returns the paper's coding options for a given resolution.
@@ -127,8 +167,16 @@ func (c Config) Validate() error {
 	if c.Slices < 0 || c.Slices > MaxSlices {
 		return fmt.Errorf("codec: slices %d out of range [0,%d]", c.Slices, MaxSlices)
 	}
+	if c.TargetKbps < 0 {
+		return fmt.Errorf("codec: target bitrate %d kbps must be >= 0 (0 = constant Q)", c.TargetKbps)
+	}
 	return nil
 }
+
+// SliceQ reports whether streams under this configuration carry a
+// per-slice quantizer byte (container.FlagSliceQ): rate-targeted coding
+// with more than one slice per frame.
+func (c Config) SliceQ() bool { return c.TargetKbps > 0 && c.Slices > 1 }
 
 // MBCols returns the number of macroblock columns.
 func (c Config) MBCols() int { return c.Width / 16 }

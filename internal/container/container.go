@@ -60,6 +60,16 @@ type Header struct {
 	Frames         int
 }
 
+// FlagSliceQ (bit 15 of Header.Flags) marks streams whose slices each
+// carry their own quantizer: the first byte of every slice body is that
+// slice's q, overriding the frame quantizer in the packet's first
+// payload byte for that slice's coefficients. Rate-targeted encodes with
+// more than one slice set it (per-slice budget rebalancing); all other
+// streams leave it clear, so their bytes are unchanged. The low flag
+// bits stay codec-private (H.264 uses bits 0-4 for entropy mode and
+// reference count).
+const FlagSliceQ = 1 << 15
+
 // Packet is one coded frame.
 type Packet struct {
 	Type         FrameType

@@ -80,15 +80,21 @@ var Resolutions = []Resolution{
 // 16, so no 1088-style rounding is needed.
 var UHD2160 = Resolution{"2160p25", 3840, 2160}
 
+// LD240 extends the set one generation down: the low-bandwidth ladder
+// rung (416×240 — both multiples of 16, 240p's usual 426 width rounded
+// to the macroblock grid).
+var LD240 = Resolution{"240p25", 416, 240}
+
 // AllResolutions is every named resolution a front end accepts: the
-// paper's three plus UHD2160. Benchmark defaults stay on Resolutions —
-// the Table V / Figure 1 matrix is the paper's.
-var AllResolutions = append(append([]Resolution{}, Resolutions...), UHD2160)
+// paper's three plus UHD2160 and LD240. Benchmark defaults stay on
+// Resolutions — the Table V / Figure 1 matrix is the paper's.
+var AllResolutions = append(append([]Resolution{}, Resolutions...), UHD2160, LD240)
 
 // resolutionAliases maps common spellings onto canonical names. 1080p
 // resolves to the 1088-row size for the same §IV multiple-of-16 reason
 // the paper's tables do.
 var resolutionAliases = map[string]string{
+	"240p": "240p25", "ld": "240p25",
 	"576p": "576p25", "sd": "576p25", "dvd": "576p25",
 	"720p": "720p25", "hd": "720p25",
 	"1080p": "1088p25", "1080p25": "1088p25", "1088p": "1088p25", "fullhd": "1088p25",

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hdvideobench/internal/codec"
+	"hdvideobench/internal/container"
+	"hdvideobench/internal/frame"
+	"hdvideobench/internal/motion"
+)
+
+// LadderRung is one output rendition of a ladder encode: a target
+// geometry plus an optional bitrate. Kbps > 0 selects rate-targeted
+// coding for that rung (codec.Config.TargetKbps); 0 keeps constant-Q.
+type LadderRung struct {
+	Name          string
+	Width, Height int
+	Kbps          int
+}
+
+// LadderRendition is one finished rung: its coded packets and the
+// stream header that decodes them.
+type LadderRendition struct {
+	Rung    LadderRung
+	Header  container.Header
+	Packets []container.Packet
+}
+
+// ParseLadder parses a rung list like "240p,576p@1200,720p" — comma-
+// separated resolution names (canonical or alias, see ResolutionByName),
+// each optionally suffixed with "@kbps" for a rate-targeted rung — and
+// validates it against the mezzanine geometry.
+func ParseLadder(spec string, mezzW, mezzH int) ([]LadderRung, error) {
+	parts := strings.Split(spec, ",")
+	rungs := make([]LadderRung, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("core: empty rung in ladder %q", spec)
+		}
+		name := p
+		kbps := 0
+		if i := strings.IndexByte(p, '@'); i >= 0 {
+			name = p[:i]
+			v, err := strconv.Atoi(p[i+1:])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("core: invalid rung bitrate %q (want e.g. 576p@1200)", p)
+			}
+			kbps = v
+		}
+		r, err := ResolutionByName(name)
+		if err != nil {
+			return nil, err
+		}
+		rungs = append(rungs, LadderRung{Name: r.Name, Width: r.Width, Height: r.Height, Kbps: kbps})
+	}
+	if err := ValidateLadder(rungs, mezzW, mezzH); err != nil {
+		return nil, err
+	}
+	return rungs, nil
+}
+
+// ValidateLadder checks a rung list against the mezzanine geometry:
+// at least one rung, multiple-of-16 dimensions, no rung exceeding the
+// mezzanine in either dimension (hints flow down the ladder only, and
+// there is no upscaler), and no duplicate geometries.
+func ValidateLadder(rungs []LadderRung, mezzW, mezzH int) error {
+	if len(rungs) == 0 {
+		return fmt.Errorf("core: ladder needs at least one rung")
+	}
+	seen := make(map[[2]int]bool, len(rungs))
+	for _, r := range rungs {
+		if r.Width <= 0 || r.Height <= 0 || r.Width%16 != 0 || r.Height%16 != 0 {
+			return fmt.Errorf("core: ladder rung %s: dimensions %dx%d must be positive multiples of 16",
+				r.Name, r.Width, r.Height)
+		}
+		if r.Width > mezzW || r.Height > mezzH {
+			return fmt.Errorf("core: ladder rung %s (%dx%d) exceeds mezzanine %dx%d",
+				r.Name, r.Width, r.Height, mezzW, mezzH)
+		}
+		if r.Kbps < 0 {
+			return fmt.Errorf("core: ladder rung %s: bitrate %d kbps must be >= 0", r.Name, r.Kbps)
+		}
+		key := [2]int{r.Width, r.Height}
+		if seen[key] {
+			return fmt.Errorf("core: duplicate ladder rung %s (%dx%d)", r.Name, r.Width, r.Height)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// EncodeLadder encodes one mezzanine sequence into every rung of a
+// rendition ladder, sharing the motion analysis of the largest rung:
+//
+//   - the largest rung encodes first, capturing its per-frame full-pel
+//     forward motion fields (codec.Config.MotionTap);
+//   - every smaller rung downscales the mezzanine frames once
+//     (frame.Downscale — box for integer ratios, bilinear otherwise)
+//     and encodes with the captured fields injected, geometry-scaled,
+//     as extra motion-search seed predictors (MotionHints), so its
+//     searches start near the answer and early-terminate cheaply;
+//   - a rung with Kbps > 0 is rate-targeted (codec.RateController).
+//
+// cfg describes the mezzanine: its Width/Height bound the rungs, and
+// its coding options (Q, GOP shape, kernels, slices, wavefront) apply
+// to every rung. Each rung's stream is byte-identical at every worker
+// count and wavefront setting — the analysis rung is deterministic, so
+// the hint fields, and therefore the seeded searches, are too.
+func EncodeLadder(id CodecID, cfg codec.Config, frames []*frame.Frame, rungs []LadderRung, workers int) ([]LadderRendition, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ValidateLadder(rungs, cfg.Width, cfg.Height); err != nil {
+		return nil, err
+	}
+	top := 0
+	for i, r := range rungs {
+		if r.Width*r.Height > rungs[top].Width*rungs[top].Height {
+			top = i
+		}
+	}
+
+	// Motion fields of the analysis rung, keyed by display PTS. Written
+	// under the mutex (GOP-parallel chunk encoders tap concurrently),
+	// read lock-free afterwards — the pipeline join orders the accesses.
+	var mu sync.Mutex
+	fields := make(map[int]*motion.Field, len(frames))
+
+	out := make([]LadderRendition, len(rungs))
+	encodeRung := func(i int) error {
+		r := rungs[i]
+		rcfg := cfg
+		rcfg.Width, rcfg.Height = r.Width, r.Height
+		rcfg.TargetKbps = r.Kbps
+		rcfg.MotionTap, rcfg.MotionHints = nil, nil
+		if i == top {
+			rcfg.MotionTap = func(pts int, f *motion.Field) {
+				mu.Lock()
+				fields[pts] = f
+				mu.Unlock()
+			}
+		} else {
+			rcfg.MotionHints = func(pts int) *motion.Field { return fields[pts] }
+		}
+		in := frames
+		if r.Width != cfg.Width || r.Height != cfg.Height {
+			in = make([]*frame.Frame, len(frames))
+			for j, f := range frames {
+				in[j] = frame.DownscaleNew(f, r.Width, r.Height)
+			}
+		}
+		pkts, hdr, err := EncodeSequenceParallel(id, rcfg, in, workers)
+		if err != nil {
+			return fmt.Errorf("core: ladder rung %s: %w", r.Name, err)
+		}
+		out[i] = LadderRendition{Rung: r, Header: hdr, Packets: pkts}
+		return nil
+	}
+
+	// The analysis rung must finish before any seeded rung starts: the
+	// seeded searches read its complete motion-field map.
+	if err := encodeRung(top); err != nil {
+		return nil, err
+	}
+	for i := range rungs {
+		if i == top {
+			continue
+		}
+		if err := encodeRung(i); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

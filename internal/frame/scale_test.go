@@ -1,0 +1,132 @@
+package frame
+
+import (
+	"testing"
+)
+
+// ramp fills f with a deterministic gradient-plus-texture pattern.
+func ramp(f *Frame) {
+	for r := 0; r < f.Height; r++ {
+		for c := 0; c < f.Width; c++ {
+			f.Y[f.YOrigin+r*f.YStride+c] = byte((r*3 + c*5) % 256)
+		}
+	}
+	for r := 0; r < f.ChromaHeight(); r++ {
+		for c := 0; c < f.ChromaWidth(); c++ {
+			f.Cb[f.COrigin+r*f.CStride+c] = byte((r*7 + c) % 256)
+			f.Cr[f.COrigin+r*f.CStride+c] = byte((r + c*11) % 256)
+		}
+	}
+}
+
+func TestDownscaleConstantStaysConstant(t *testing.T) {
+	src := New(64, 48)
+	src.Fill(120, 90, 200)
+	for _, d := range []struct{ w, h int }{{32, 24}, {48, 32}, {16, 16}} {
+		dst := DownscaleNew(src, d.w, d.h)
+		for r := 0; r < d.h; r++ {
+			for c := 0; c < d.w; c++ {
+				if got := dst.Y[dst.YOrigin+r*dst.YStride+c]; got != 120 {
+					t.Fatalf("%dx%d luma (%d,%d) = %d, want 120", d.w, d.h, r, c, got)
+				}
+			}
+		}
+		if dst.Cb[dst.COrigin] != 90 || dst.Cr[dst.COrigin] != 200 {
+			t.Fatalf("%dx%d chroma = %d/%d, want 90/200", d.w, d.h, dst.Cb[dst.COrigin], dst.Cr[dst.COrigin])
+		}
+	}
+}
+
+func TestDownscaleBoxAverages(t *testing.T) {
+	// 2:1 both axes: each output pixel must be the rounded mean of its
+	// 2×2 source block.
+	src := New(8, 8)
+	ramp(src)
+	dst := DownscaleNew(src, 4, 4)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			sum := 0
+			for y := 0; y < 2; y++ {
+				for x := 0; x < 2; x++ {
+					sum += int(src.Y[src.YOrigin+(2*r+y)*src.YStride+2*c+x])
+				}
+			}
+			want := byte((sum + 2) / 4)
+			if got := dst.Y[dst.YOrigin+r*dst.YStride+c]; got != want {
+				t.Fatalf("luma (%d,%d) = %d, want %d", r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestDownscaleBilinearGradientMonotone(t *testing.T) {
+	// Fractional ratio (1280→720-ish shrunk down): a horizontal luma ramp
+	// must stay monotone non-decreasing after bilinear resampling — any
+	// phase error or wraparound shows up as an inversion.
+	src := New(40, 30)
+	for r := 0; r < src.Height; r++ {
+		for c := 0; c < src.Width; c++ {
+			src.Y[src.YOrigin+r*src.YStride+c] = byte(c * 6)
+		}
+	}
+	dst := DownscaleNew(src, 24, 18)
+	for r := 0; r < dst.Height; r++ {
+		prev := -1
+		for c := 0; c < dst.Width; c++ {
+			v := int(dst.Y[dst.YOrigin+r*dst.YStride+c])
+			if v < prev {
+				t.Fatalf("row %d not monotone at col %d: %d after %d", r, c, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestDownscaleSameSizeCopies(t *testing.T) {
+	src := New(32, 16)
+	ramp(src)
+	src.PTS = 7
+	dst := New(32, 16)
+	Downscale(dst, src)
+	if dst.PTS != 7 {
+		t.Fatalf("PTS not carried: %d", dst.PTS)
+	}
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 32; c++ {
+			if dst.Y[dst.YOrigin+r*dst.YStride+c] != src.Y[src.YOrigin+r*src.YStride+c] {
+				t.Fatalf("pixel (%d,%d) differs", r, c)
+			}
+		}
+	}
+}
+
+func TestDownscaleUpscalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("upscale did not panic")
+		}
+	}()
+	Downscale(New(64, 64), New(32, 32))
+}
+
+// BenchmarkDownscale records the box-vs-bilinear cost gap (the measured
+// rationale for preferring integer-ratio ladder rungs): at the same
+// output size the box path is the one to beat.
+func BenchmarkDownscale(b *testing.B) {
+	src := New(1280, 720)
+	ramp(src)
+	b.Run("box2x", func(b *testing.B) {
+		dst := New(640, 360) // exact 2:1 → box
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Downscale(dst, src)
+		}
+	})
+	b.Run("bilinear", func(b *testing.B) {
+		dst := New(720, 576) // fractional → bilinear
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Downscale(dst, src)
+		}
+	})
+}

@@ -63,13 +63,15 @@ type Key struct {
 	Slices  int    // effective slice count (slices change the bitstream)
 	Entropy string // H.264 entropy coder ("", "cabac", "vlc")
 	SIMD    bool   // kernel set (bit-exact today, keyed defensively)
+	Rung    string // ladder rung name ("" = plain single-stream encode)
+	Kbps    int    // bitrate target in kbps (0 = constant-Q)
 }
 
 // id returns the entry filename stem: a hash of the canonical key
 // string, so keys never need escaping and filenames stay fixed-length.
 func (k Key) id() string {
-	s := fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%s|%t",
-		k.Codec, k.Seq, k.Width, k.Height, k.Frames, k.Q, k.GOP, k.Slices, k.Entropy, k.SIMD)
+	s := fmt.Sprintf("%s|%s|%d|%d|%d|%d|%d|%d|%s|%t|%s|%d",
+		k.Codec, k.Seq, k.Width, k.Height, k.Frames, k.Q, k.GOP, k.Slices, k.Entropy, k.SIMD, k.Rung, k.Kbps)
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:16])
 }

@@ -53,6 +53,8 @@ type sliceDec struct {
 
 	top4  int
 	topPx int
+
+	qp, qpc int // this slice's quantizers (frame QP, or FlagSliceQ override)
 }
 
 // NewDecoder returns a decoder for the stream described by hdr.
@@ -140,12 +142,31 @@ func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 	recon := frame.NewPadded(d.hdr.Width, d.hdr.Height, codec.RefPad)
 	recon.PTS = p.DisplayIndex
 
+	sliceQ := d.hdr.Flags&container.FlagSliceQ != 0
 	codec.RunSlices(d.runner, len(spans), func(i int) {
 		lo := 0
 		for _, s := range spans[:i] {
 			lo += s.Size
 		}
-		d.errs[i] = d.slices[i].decode(body[lo:lo+spans[i].Size], recon, p.Type, spans[i])
+		bits := body[lo : lo+spans[i].Size]
+		s := d.slices[i]
+		s.qp, s.qpc = d.qp, d.qpc
+		if sliceQ {
+			// FlagSliceQ streams open every slice body with its own QP
+			// byte, overriding the frame QP for this slice.
+			if len(bits) < 1 {
+				d.errs[i] = fmt.Errorf("empty slice body")
+				return
+			}
+			s.qp = int(bits[0])
+			if s.qp > 51 {
+				d.errs[i] = fmt.Errorf("invalid slice QP %d", s.qp)
+				return
+			}
+			s.qpc = quant.H264ChromaQP(s.qp)
+			bits = bits[1:]
+		}
+		d.errs[i] = s.decode(bits, recon, p.Type, spans[i])
 	})
 	for i, err := range d.errs {
 		if err != nil {
@@ -276,7 +297,7 @@ func (s *sliceDec) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 		po := by*16 + bx
 		if md.lumaNZ[bi] {
 			blk := md.luma[bi]
-			quant.H264Dequant(&blk, s.d.qp)
+			quant.H264Dequant(&blk, s.qp)
 			dct.Inverse4(&blk)
 			codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk, s.d.kern)
 		} else {
@@ -298,7 +319,7 @@ func (s *sliceDec) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 		dc := md.chromaDC[pl]
 		if md.cbpChroma >= 1 {
 			dct.Hadamard2(&dc)
-			quant.H264DequantChromaDC(&dc, s.d.qpc)
+			quant.H264DequantChromaDC(&dc, s.qpc)
 		} else {
 			dc = [4]int32{}
 		}
@@ -308,7 +329,7 @@ func (s *sliceDec) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 			po := oy*8 + ox
 			blk := md.chroma[pl][ci]
 			if md.cbpChroma == 2 {
-				quant.H264Dequant(&blk, s.d.qpc)
+				quant.H264Dequant(&blk, s.qpc)
 			} else {
 				blk = [16]int32{}
 			}
@@ -347,13 +368,13 @@ func (s *sliceDec) reconI16(recon *frame.Frame, px, py int, md *mbData) {
 	predI16(s.predY[:], recon.Y, recon.YOrigin, recon.YStride, px, py, md.i16Mode, availLeft, availTop)
 	dcRec := md.lumaDC
 	dct.Hadamard4(&dcRec, false)
-	quant.H264DequantDC(&dcRec, s.d.qp)
+	quant.H264DequantDC(&dcRec, s.qp)
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
 		po := by*16 + bx
 		blk := md.luma[bi]
-		quant.H264Dequant(&blk, s.d.qp)
+		quant.H264Dequant(&blk, s.qp)
 		blk[0] = dcRec[bi]
 		dct.Inverse4(&blk)
 		codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk, s.d.kern)
@@ -370,7 +391,7 @@ func (s *sliceDec) reconI4(recon *frame.Frame, px, py int, md *mbData) {
 		predI4(pred[:], 4, recon.Y, recon.YOrigin, recon.YStride, px+bx, py+by, md.i4Modes[bi], av)
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
 		blk := md.luma[bi]
-		quant.H264Dequant(&blk, s.d.qp)
+		quant.H264Dequant(&blk, s.qp)
 		dct.Inverse4(&blk)
 		codec.Add4Clip(recon.Y, ro, recon.YStride, pred[:], 0, 4, &blk, s.d.kern)
 	}

@@ -72,7 +72,7 @@ const (
 // byte-identical for every schedule.
 type Encoder struct {
 	cfg    codec.Config
-	qp     int // H.264 luma QP via Eq. 1
+	qp     int // current frame's luma QP (constant via Eq. 1, or rate-controlled)
 	qpc    int // chroma QP
 	lambda int
 	runner codec.SliceRunner
@@ -87,6 +87,19 @@ type Encoder struct {
 	slices []*sliceEnc
 
 	inCount int
+	ptsBase int // chunk offset in the global timeline (codec.PTSRebaser)
+
+	// Rate control (nil/zero when cfg.TargetKbps == 0). The controller
+	// works in the MPEG 1..31 quantizer scale shared with the other
+	// codecs; its output maps through Eq. 1 to the frame QP above and,
+	// when cfg.SliceQ(), to the per-slice QPs here.
+	rc       *codec.RateController
+	sliceQPs []int
+	sliceBuf []int
+
+	// Ladder motion plumbing (see codec.Config.MotionTap/MotionHints).
+	tap  *motion.Field
+	hint *motion.Field
 }
 
 // sliceEnc carries the per-slice encoder state. Entropy coding is the
@@ -124,7 +137,21 @@ type rowEnc struct {
 	top4  int // slice top row in 4×4-block units
 	topPx int // slice top row in pixels
 
+	// Per-slice coding parameters, set by sliceEnc.run before any
+	// macroblock runs: with rate control off they mirror the encoder's
+	// constructor values.
+	qp, qpc, lambda int
+
 	recs []mbRec // per-MB records for this row, one per MB column
+}
+
+// lambdaForQP maps an H.264 QP to the motion/mode λ (SAD units per bit).
+func lambdaForQP(qp int) int {
+	l := (1 << uint(qp/6)) >> 2
+	if l < 1 {
+		l = 1
+	}
+	return l
 }
 
 // NewEncoder returns an H.264 encoder for cfg. The MPEG-scale quantizer
@@ -134,18 +161,15 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 		return nil, fmt.Errorf("h264: %w", err)
 	}
 	qp := quant.H264QPFromMPEG(cfg.Q)
-	lambda := (1 << uint(qp/6)) >> 2
-	if lambda < 1 {
-		lambda = 1
-	}
 	e := &Encoder{
 		cfg:    cfg,
 		qp:     qp,
 		qpc:    quant.H264ChromaQP(qp),
-		lambda: lambda,
+		lambda: lambdaForQP(qp),
 		gop:    codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod, SceneCut: cfg.SceneCutIntra},
 		refs:   codec.RefList{Max: cfg.Refs},
 		meta:   newFrameMeta(cfg.Width, cfg.Height),
+		rc:     codec.NewRateController(cfg),
 	}
 	e.spans = codec.SliceRows(cfg.MBRows(), cfg.Slices)
 	e.slices = make([]*sliceEnc, len(e.spans))
@@ -180,6 +204,11 @@ func (e *Encoder) SetSliceRunner(r codec.SliceRunner) { e.runner = r }
 // cfg.Wavefront is set, the decision phase of each slice runs its MB
 // rows on r's 2D wavefront. Output bytes do not depend on the runner.
 func (e *Encoder) SetWavefrontRunner(r codec.WavefrontRunner) { e.wfRun = r }
+
+// SetPTSBase implements codec.PTSRebaser: the GOP-parallel pipeline
+// announces the chunk's offset in the global display timeline so the
+// motion tap/hint callbacks key on global stamps.
+func (e *Encoder) SetPTSBase(base int) { e.ptsBase = base }
 
 // QP returns the mapped H.264 quantizer (exported for the harness report).
 func (e *Encoder) QP() int { return e.qp }
@@ -216,8 +245,33 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	recon.PTS = src.PTS
 	e.meta.reset()
 
+	if e.rc != nil {
+		q := e.rc.FrameQ(ftype)
+		e.qp = quant.H264QPFromMPEG(q)
+		e.qpc = quant.H264ChromaQP(e.qp)
+		e.lambda = lambdaForQP(e.qp)
+		if e.cfg.SliceQ() {
+			e.sliceQPs = e.sliceQPs[:0]
+			for _, sq := range e.rc.SliceQs(q, len(e.spans)) {
+				e.sliceQPs = append(e.sliceQPs, quant.H264QPFromMPEG(sq))
+			}
+		} else {
+			e.sliceQPs = nil
+		}
+	}
+	if ftype != container.FrameI {
+		if e.cfg.MotionTap != nil {
+			e.tap = motion.NewField(e.cfg.Width, e.cfg.Height)
+		}
+		if e.cfg.MotionHints != nil {
+			e.hint = e.cfg.MotionHints(src.PTS + e.ptsBase)
+		}
+	} else {
+		e.tap, e.hint = nil, nil
+	}
+
 	codec.RunSlices(e.runner, len(e.spans), func(i int) {
-		e.slices[i].run(src, recon, ftype, e.spans[i])
+		e.slices[i].run(src, recon, ftype, e.spans[i], i)
 	})
 
 	// Deblocking is a frame-level pass over the merged reconstruction and
@@ -240,17 +294,39 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	}
 
 	// Payload layout: one QP byte, the slice table, then the per-slice
-	// entropy-coded macroblock data in row order.
+	// entropy-coded macroblock data in row order. FlagSliceQ streams
+	// prepend each slice body with its own QP byte (counted in Size).
+	extra := 0
+	if e.sliceQPs != nil {
+		extra = 1
+	}
 	total := 1 + codec.SliceTableSize(len(e.spans))
 	for i, s := range e.slices {
-		e.spans[i].Size = len(s.body)
+		e.spans[i].Size = len(s.body) + extra
 		total += e.spans[i].Size
 	}
 	payload := make([]byte, 0, total)
 	payload = append(payload, byte(e.qp))
 	payload = codec.AppendSliceTable(payload, e.spans)
-	for _, s := range e.slices {
+	for i, s := range e.slices {
+		if e.sliceQPs != nil {
+			payload = append(payload, byte(e.sliceQPs[i]))
+		}
 		payload = append(payload, s.body...)
+	}
+	if e.rc != nil {
+		e.rc.AddFrame(ftype, 8*len(payload))
+		if e.sliceQPs != nil {
+			e.sliceBuf = e.sliceBuf[:0]
+			for i := range e.spans {
+				e.sliceBuf = append(e.sliceBuf, 8*e.spans[i].Size)
+			}
+			e.rc.AddSlices(e.sliceBuf)
+		}
+	}
+	if e.tap != nil {
+		e.cfg.MotionTap(src.PTS+e.ptsBase, e.tap)
+		e.tap = nil
 	}
 	return container.Packet{Type: ftype, DisplayIndex: src.PTS, Payload: payload}
 }
@@ -269,8 +345,18 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 // slice's single writer: CABAC/VLC state chains across the whole slice,
 // so this part is inherently serial and the emitted bytes match the
 // serial schedule exactly.
-func (s *sliceEnc) run(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan) {
+func (s *sliceEnc) run(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan, idx int) {
 	cols := s.e.cfg.MBCols()
+	qp, qpc, lambda := s.e.qp, s.e.qpc, s.e.lambda
+	if s.e.sliceQPs != nil {
+		qp = s.e.sliceQPs[idx]
+		qpc = quant.H264ChromaQP(qp)
+		lambda = lambdaForQP(qp)
+	}
+	for _, r := range s.rows[:span.Rows] {
+		r.qp, r.qpc, r.lambda = qp, qpc, lambda
+	}
+	tap := s.e.tap
 	var wf codec.WavefrontRunner
 	if s.e.cfg.Wavefront {
 		wf = s.e.wfRun
@@ -290,6 +376,15 @@ func (s *sliceEnc) run(src, recon *frame.Frame, ftype container.FrameType, span 
 			r.decidePMB(src, recon, x, mby, rec)
 		default:
 			r.decideBMB(src, recon, x, mby, rec)
+		}
+		if tap != nil {
+			// Capture the winning forward vector (quarter-pel → full-pel);
+			// intra and skip macroblocks record zero, a harmless hint.
+			var mv motion.MV
+			if rec.kind == recPInter || rec.kind == recBInter {
+				mv = motion.MV{X: rec.md.mvs[0].X >> 2, Y: rec.md.mvs[0].Y >> 2}
+			}
+			tap.Set(x, mby, mv)
 		}
 		return true
 	})
@@ -419,7 +514,7 @@ func (s *rowEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.
 	est.RefStride = ref.YStride
 	est.PosX, est.PosY = px, py
 	est.W, est.H = w, h
-	est.Lambda = s.e.lambda
+	est.Lambda = s.lambda
 	est.Pred = motion.MV{X: mvpQ.X >> 2, Y: mvpQ.Y >> 2}
 	est.Window(s.e.cfg.SearchRange, s.e.cfg.Width, s.e.cfg.Height, codec.RefPad)
 
@@ -427,7 +522,7 @@ func (s *rowEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.
 	// never reaching above the slice's top row.
 	m := s.e.meta
 	bx4, by4 := px/4, py/4
-	var seeds [3]motion.MV
+	var seeds [4]motion.MV
 	ns := 0
 	seeds[ns] = est.Pred
 	ns++
@@ -441,8 +536,24 @@ func (s *rowEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.
 		seeds[ns] = motion.MV{X: v.X >> 2, Y: v.Y >> 2}
 		ns++
 	}
-	res := est.EPZS(seeds[:ns], 0)
-	res = est.HexagonFrom(res)
+	if h264hint := s.e.hint; h264hint != nil {
+		// Cross-rung seed from the full-resolution rung, scaled to this
+		// geometry (see motion.Field.Sample).
+		seeds[ns] = h264hint.Sample(px/16, py/16, s.e.cfg.Width, s.e.cfg.Height)
+		ns++
+	}
+	exitT := 0
+	if s.e.hint != nil {
+		// With a trusted cross-rung seed among the candidates the search
+		// earns a real early-exit threshold (cold keeps 0: always refine),
+		// and a seed below it skips the hexagon walk entirely; the ladder
+		// PSNR guard bounds the quality cost.
+		exitT = 2 * s.qp * w * h / 16
+	}
+	res := est.EPZS(seeds[:ns], exitT)
+	if exitT == 0 || res.Cost > exitT {
+		res = est.HexagonFrom(res)
+	}
 
 	// Quarter-pel refinement (step 2 then 1) on plain SAD, scored
 	// against the reference's precomputed 6-tap half planes with early
@@ -502,7 +613,7 @@ func (s *rowEnc) transformLumaInter(src *frame.Frame, px, py int, md *mbData) {
 		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride,
 			s.predY[:], by*16+bx, 16, s.e.cfg.Kernels)
 		dct.Forward4(&blk)
-		nz := quant.H264Quant(&blk, s.e.qp, false)
+		nz := quant.H264Quant(&blk, s.qp, false)
 		md.luma[bi] = blk
 		md.lumaNZ[bi] = nz > 0
 	}
@@ -524,7 +635,7 @@ func (s *rowEnc) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 		po := by*16 + bx
 		if md.lumaNZ[bi] {
 			blk := md.luma[bi]
-			quant.H264Dequant(&blk, s.e.qp)
+			quant.H264Dequant(&blk, s.qp)
 			dct.Inverse4(&blk)
 			codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk, s.e.cfg.Kernels)
 		} else {
@@ -555,13 +666,13 @@ func (s *rowEnc) transformChroma(src *frame.Frame, px, py int, intra bool, md *m
 			dct.Forward4(&blk)
 			dc[ci] = blk[0]
 			blk[0] = 0
-			if quant.H264Quant(&blk, s.e.qpc, intra) > 0 {
+			if quant.H264Quant(&blk, s.qpc, intra) > 0 {
 				anyAC = true
 			}
 			md.chroma[pl][ci] = blk
 		}
 		dct.Hadamard2(&dc)
-		if quant.H264QuantChromaDC(&dc, s.e.qpc, intra) > 0 {
+		if quant.H264QuantChromaDC(&dc, s.qpc, intra) > 0 {
 			anyDC = true
 		}
 		md.chromaDC[pl] = dc
@@ -587,7 +698,7 @@ func (s *rowEnc) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 		dc := md.chromaDC[pl]
 		if md.cbpChroma >= 1 {
 			dct.Hadamard2(&dc)
-			quant.H264DequantChromaDC(&dc, s.e.qpc)
+			quant.H264DequantChromaDC(&dc, s.qpc)
 		} else {
 			dc = [4]int32{}
 		}
@@ -597,7 +708,7 @@ func (s *rowEnc) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 			po := oy*8 + ox
 			blk := md.chroma[pl][ci]
 			if md.cbpChroma == 2 {
-				quant.H264Dequant(&blk, s.e.qpc)
+				quant.H264Dequant(&blk, s.qpc)
 			} else {
 				blk = [16]int32{}
 			}
@@ -707,14 +818,14 @@ func (s *rowEnc) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *mb
 		dct.Forward4(&blk)
 		dcs[bi] = blk[0]
 		blk[0] = 0
-		nz := quant.H264Quant(&blk, s.e.qp, true)
+		nz := quant.H264Quant(&blk, s.qp, true)
 		md.luma[bi] = blk
 		md.lumaNZ[bi] = nz > 0
 	}
 	// Reorder DCs to raster 4×4 of the DC block: dcs are already in raster
 	// block order, matching the Hadamard layout.
 	dct.Hadamard4(&dcs, true)
-	md.lumaDCNZ = quant.H264QuantDC(&dcs, s.e.qp) > 0
+	md.lumaDCNZ = quant.H264QuantDC(&dcs, s.qp) > 0
 	md.lumaDC = dcs
 	for g := 0; g < 4; g++ {
 		for _, bi := range lumaGroupBlocks[g] {
@@ -728,13 +839,13 @@ func (s *rowEnc) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *mb
 	// Reconstruction.
 	dcRec := md.lumaDC
 	dct.Hadamard4(&dcRec, false)
-	quant.H264DequantDC(&dcRec, s.e.qp)
+	quant.H264DequantDC(&dcRec, s.qp)
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
 		po := by*16 + bx
 		blk := md.luma[bi]
-		quant.H264Dequant(&blk, s.e.qp)
+		quant.H264Dequant(&blk, s.qp)
 		blk[0] = dcRec[bi]
 		dct.Inverse4(&blk)
 		codec.Add4Clip(recon.Y, ro, recon.YStride, s.predY[:], po, 16, &blk, s.e.cfg.Kernels)
@@ -755,9 +866,9 @@ func (s *rowEnc) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) {
 		var cands [numI4Modes]int
 		for _, mode := range i4Candidates(av, &cands) {
 			predI4(cand[:], 4, recon.Y, recon.YOrigin, recon.YStride, px+bx, py+by, mode, av)
-			cost := s.sadBlock(src, px+bx, py+by, 4, 4, cand[:], 4) + s.e.lambda*2
+			cost := s.sadBlock(src, px+bx, py+by, 4, 4, cand[:], 4) + s.lambda*2
 			if mode == i4DC {
-				cost -= s.e.lambda * 2 // cheap-mode bias
+				cost -= s.lambda * 2 // cheap-mode bias
 			}
 			if cost < bestCost {
 				bestCost = cost
@@ -770,14 +881,14 @@ func (s *rowEnc) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) {
 		var blk [16]int32
 		codec.Residual4(&blk, src.Y, src.YOrigin+(py+by)*src.YStride+px+bx, src.YStride, best[:], 0, 4, s.e.cfg.Kernels)
 		dct.Forward4(&blk)
-		nz := quant.H264Quant(&blk, s.e.qp, true)
+		nz := quant.H264Quant(&blk, s.qp, true)
 		md.luma[bi] = blk
 		md.lumaNZ[bi] = nz > 0
 
 		// Immediate reconstruction: later blocks predict from it.
 		ro := recon.YOrigin + (py+by)*recon.YStride + px + bx
 		rblk := blk
-		quant.H264Dequant(&rblk, s.e.qp)
+		quant.H264Dequant(&rblk, s.qp)
 		dct.Inverse4(&rblk)
 		codec.Add4Clip(recon.Y, ro, recon.YStride, best[:], 0, 4, &rblk, s.e.cfg.Kernels)
 	}
@@ -819,7 +930,7 @@ func (s *rowEnc) i4CostEstimate(src, recon *frame.Frame, px, py int) int {
 				best = sad
 			}
 		}
-		total += best + s.e.lambda*3
+		total += best + s.lambda*3
 	}
 	return total
 }
@@ -833,7 +944,7 @@ func (s *rowEnc) decideIMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	i16Mode, i16Cost := s.bestI16(src, recon, px, py)
 	// The I4 estimate predicts from already-reconstructed pixels only
 	// approximately (blocks inside the MB are not yet coded), so bias I16.
-	i4Cost := s.i4CostEstimate(src, recon, px, py) + s.e.lambda*24
+	i4Cost := s.i4CostEstimate(src, recon, px, py) + s.lambda*24
 
 	if i4Cost < i16Cost {
 		rec.kind = recI4
@@ -878,7 +989,7 @@ func (s *rowEnc) decidePMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	bestSAD := 0
 	for ri := 0; ri < nRefs; ri++ {
 		mv, sad := s.searchRef(src, s.e.refs.Get(ri), px, py, 16, 16, mvp, s.tmpY[:])
-		cost := sad + s.e.lambda*(mvdBits(mv, mvp)+2*ri)
+		cost := sad + s.lambda*(mvdBits(mv, mvp)+2*ri)
 		if cost < bestCost {
 			bestCost = cost
 			bestSAD = sad
@@ -894,12 +1005,12 @@ func (s *rowEnc) decidePMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	if bestSAD > 16*16*3 {
 		for _, m := range partModes {
 			parts := partGeom[m]
-			total := s.e.lambda * 4 // mode overhead
+			total := s.lambda * 4 // mode overhead
 			var pmvs [4]motion.MV
 			for pi, g := range parts {
 				mv, sad := s.searchRef(src, ref, px+g[0], py+g[1], g[2], g[3], bestMV, s.tmpY[:])
 				pmvs[pi] = mv
-				total += sad + s.e.lambda*mvdBits(mv, bestMV)
+				total += sad + s.lambda*mvdBits(mv, bestMV)
 			}
 			if total < bestCost {
 				bestCost = total
@@ -912,7 +1023,7 @@ func (s *rowEnc) decidePMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	// Intra hypothesis.
 	md := &rec.md
 	i16Mode, i16Cost := s.bestI16(src, recon, px, py)
-	if i16Cost+s.e.lambda*16 < bestCost {
+	if i16Cost+s.lambda*16 < bestCost {
 		rec.kind = recPIntra
 		md.mode = mI16x16
 		s.encodeI16Into(src, recon, px, py, i16Mode, md)
@@ -987,9 +1098,9 @@ func (s *rowEnc) decideBMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	interp.Avg(bi[:], 16, bwdPred[:], 16, 16, 16, s.e.cfg.Kernels)
 	biSAD := s.sadBlock(src, px, py, 16, 16, bi[:], 16)
 
-	fwdCost := fwdSAD + s.e.lambda*mvdBits(fwdMV, mvpF)
-	bwdCost := bwdSAD + s.e.lambda*mvdBits(bwdMV, s.bwdPredRow)
-	biCost := biSAD + s.e.lambda*(mvdBits(fwdMV, mvpF)+mvdBits(bwdMV, s.bwdPredRow)+4)
+	fwdCost := fwdSAD + s.lambda*mvdBits(fwdMV, mvpF)
+	bwdCost := bwdSAD + s.lambda*mvdBits(bwdMV, s.bwdPredRow)
+	biCost := biSAD + s.lambda*(mvdBits(fwdMV, mvpF)+mvdBits(bwdMV, s.bwdPredRow)+4)
 
 	mode := mBFwd
 	best := fwdCost
@@ -1002,7 +1113,7 @@ func (s *rowEnc) decideBMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 
 	md := &rec.md
 	i16Mode, i16Cost := s.bestI16(src, recon, px, py)
-	if i16Cost+s.e.lambda*16 < best {
+	if i16Cost+s.lambda*16 < best {
 		rec.kind = recBIntra
 		md.mode = mI16x16
 		s.encodeI16Into(src, recon, px, py, i16Mode, md)

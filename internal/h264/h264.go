@@ -76,6 +76,9 @@ func header(cfg codec.Config, frames int) container.Header {
 	if cfg.Entropy == codec.EntropyVLC {
 		flags |= flagVLC
 	}
+	if cfg.SliceQ() {
+		flags |= container.FlagSliceQ
+	}
 	return container.Header{
 		Codec:  container.CodecH264,
 		Flags:  flags,

@@ -1,0 +1,55 @@
+package motion
+
+import "fmt"
+
+// Field is a per-macroblock full-pel forward motion field: the winning
+// 16×16 luma vector of every macroblock of one coded frame, in the
+// reference-frame pixel units of the frame it was measured at. Ladder
+// encoding captures a Field per inter frame of the full-resolution rung
+// (codec.Config.MotionTap) and replays it, geometry-scaled, as an extra
+// EPZS predictor for each smaller rung (codec.Config.MotionHints): a
+// near-optimal seed makes the early-termination machinery (CostMax /
+// thresholded SAD) cut most of the search work.
+//
+// Writes go to disjoint macroblock cells, so slice- and wavefront-
+// parallel encoders can fill one Field without synchronization.
+type Field struct {
+	Width, Height int // frame geometry the field was measured at
+	MBW, MBH      int // macroblock grid: MBW*MBH cells
+	MVs           []MV
+}
+
+// NewField allocates a zeroed field for a width×height frame.
+func NewField(width, height int) *Field {
+	mbw, mbh := width/16, height/16
+	return &Field{Width: width, Height: height, MBW: mbw, MBH: mbh, MVs: make([]MV, mbw*mbh)}
+}
+
+// Set records the full-pel vector of macroblock (mbx, mby).
+func (f *Field) Set(mbx, mby int, mv MV) { f.MVs[mby*f.MBW+mbx] = mv }
+
+// Sample returns the field's vector for the macroblock at (mbx, mby) of
+// a w×h frame, rescaled from the field's native geometry: the target
+// macroblock's center pixel maps into the source frame to pick the
+// source macroblock, and the source vector scales by the dimension
+// ratio. w and h must not exceed the field's geometry (hints flow from
+// the large rung down the ladder, never up).
+func (f *Field) Sample(mbx, mby, w, h int) MV {
+	if w > f.Width || h > f.Height {
+		panic(fmt.Sprintf("motion: hint field is %dx%d, cannot seed %dx%d", f.Width, f.Height, w, h))
+	}
+	// Target MB center → source pixel → source MB, clamped to the grid.
+	sx := (mbx*16 + 8) * f.Width / w / 16
+	sy := (mby*16 + 8) * f.Height / h / 16
+	if sx >= f.MBW {
+		sx = f.MBW - 1
+	}
+	if sy >= f.MBH {
+		sy = f.MBH - 1
+	}
+	mv := f.MVs[sy*f.MBW+sx]
+	return MV{
+		X: int16(int(mv.X) * w / f.Width),
+		Y: int16(int(mv.Y) * h / f.Height),
+	}
+}

@@ -115,12 +115,29 @@ func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 	recon := frame.NewPadded(d.hdr.Width, d.hdr.Height, codec.RefPad)
 	recon.PTS = p.DisplayIndex
 
+	sliceQ := d.hdr.Flags&container.FlagSliceQ != 0
 	codec.RunSlices(d.runner, len(spans), func(i int) {
 		lo := 0
 		for _, s := range spans[:i] {
 			lo += s.Size
 		}
-		d.errs[i] = d.slices[i].decode(body[lo:lo+spans[i].Size], recon, p.Type, spans[i], q)
+		bits := body[lo : lo+spans[i].Size]
+		sq := q
+		if sliceQ {
+			// FlagSliceQ streams open every slice body with its own
+			// quantizer byte, overriding the frame q for this slice.
+			if len(bits) < 1 {
+				d.errs[i] = fmt.Errorf("empty slice body")
+				return
+			}
+			sq = int32(bits[0])
+			if sq < 1 || sq > 31 {
+				d.errs[i] = fmt.Errorf("invalid slice quantizer %d", sq)
+				return
+			}
+			bits = bits[1:]
+		}
+		d.errs[i] = d.slices[i].decode(bits, recon, p.Type, spans[i], sq)
 	})
 	for i, err := range d.errs {
 		if err != nil {

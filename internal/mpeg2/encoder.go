@@ -37,7 +37,15 @@ type Encoder struct {
 	slices []*sliceEnc       // per-slice coders, reused across frames
 
 	inCount int // display frames accepted
+	ptsBase int // chunk offset in the global timeline (codec.PTSRebaser)
 	frames  int // frames coded
+
+	rc       *codec.RateController // nil = constant Q
+	frameQ   int                   // quantizer of the frame being coded
+	sliceQs  []int                 // per-slice quantizers (nil unless cfg.SliceQ())
+	tap      *motion.Field         // capture target for cfg.MotionTap, per frame
+	hint     *motion.Field         // hint field for the frame being coded
+	sliceBuf []int                 // scratch: per-slice bits for the controller
 }
 
 // sliceEnc codes one slice as a stack of per-row coders. Slices of one
@@ -68,13 +76,16 @@ type rowEnc struct {
 
 	pred predBuf
 
+	q      int32 // quantizer for the row's slice (frame or rebalanced slice q)
+	lambda int   // motion λ derived from q
+
 	dcPred  [3]int32
 	fwdPred motion.MV   // half-pel forward MV predictor within the row
 	bwdPred motion.MV   // half-pel backward MV predictor within the row
 	mvRow   []motion.MV // full-pel MVs of the current row (predictor source)
 	mvAbove []motion.MV // full-pel MVs of the row above
 
-	epzsPreds [3]motion.MV // scratch for the EPZS candidate list
+	epzsPreds [4]motion.MV // scratch for the EPZS candidate list (3 spatial + hint)
 }
 
 // NewEncoder returns an MPEG-2 encoder for cfg.
@@ -85,6 +96,7 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 	e := &Encoder{
 		cfg: cfg,
 		gop: codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod, SceneCut: cfg.SceneCutIntra},
+		rc:  codec.NewRateController(cfg),
 	}
 	e.spans = codec.SliceRows(cfg.MBRows(), cfg.Slices)
 	e.slices = make([]*sliceEnc, len(e.spans))
@@ -117,6 +129,11 @@ func (e *Encoder) SetSliceRunner(r codec.SliceRunner) { e.runner = r }
 // runner nor cfg.Wavefront.
 func (e *Encoder) SetWavefrontRunner(r codec.WavefrontRunner) { e.wfRun = r }
 
+// SetPTSBase implements codec.PTSRebaser: the GOP-parallel pipeline
+// announces the chunk's offset in the global display timeline so the
+// motion tap/hint callbacks key on global stamps.
+func (e *Encoder) SetPTSBase(base int) { e.ptsBase = base }
+
 // Header implements codec.Encoder.
 func (e *Encoder) Header() container.Header { return header(e.cfg, 0) }
 
@@ -148,8 +165,25 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	recon := frame.NewPadded(e.cfg.Width, e.cfg.Height, codec.RefPad)
 	recon.PTS = src.PTS
 
+	e.frameQ = e.cfg.Q
+	if e.rc != nil {
+		e.frameQ = e.rc.FrameQ(ftype)
+		if e.cfg.SliceQ() {
+			e.sliceQs = e.rc.SliceQs(e.frameQ, len(e.spans))
+		}
+	}
+	e.tap, e.hint = nil, nil
+	if ftype != container.FrameI {
+		if e.cfg.MotionTap != nil {
+			e.tap = motion.NewField(e.cfg.Width, e.cfg.Height)
+		}
+		if e.cfg.MotionHints != nil {
+			e.hint = e.cfg.MotionHints(src.PTS + e.ptsBase)
+		}
+	}
+
 	codec.RunSlices(e.runner, len(e.spans), func(i int) {
-		e.slices[i].encode(src, recon, ftype, e.spans[i])
+		e.slices[i].encode(src, recon, ftype, e.spans[i], i)
 	})
 
 	recon.ExtendBorders()
@@ -175,10 +209,25 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 		total += e.spans[i].Size
 	}
 	payload := make([]byte, 0, total)
-	payload = append(payload, byte(e.cfg.Q))
+	payload = append(payload, byte(e.frameQ))
 	payload = codec.AppendSliceTable(payload, e.spans)
 	for _, s := range e.slices {
 		payload = append(payload, s.bw.Bytes()...)
+	}
+
+	if e.rc != nil {
+		e.rc.AddFrame(ftype, 8*len(payload))
+		if e.cfg.SliceQ() {
+			e.sliceBuf = e.sliceBuf[:0]
+			for i := range e.spans {
+				e.sliceBuf = append(e.sliceBuf, 8*e.spans[i].Size)
+			}
+			e.rc.AddSlices(e.sliceBuf)
+		}
+	}
+	if e.tap != nil {
+		e.cfg.MotionTap(src.PTS+e.ptsBase, e.tap)
+		e.tap = nil
 	}
 	return container.Packet{Type: ftype, DisplayIndex: src.PTS, Payload: payload}
 }
@@ -192,8 +241,18 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 // cfg.Wavefront set and a runner installed, the rows run concurrently in
 // wavefront dependency order — which is exactly the order the EPZS
 // predictor reads (left, above, above-right) require.
-func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan) {
+func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan, idx int) {
 	cols := s.e.cfg.MBCols()
+	// The slice quantizer: the frame q, or the rebalanced per-slice q
+	// when rate control is slicing the budget.
+	q := int32(s.e.frameQ)
+	if s.e.sliceQs != nil {
+		q = int32(s.e.sliceQs[idx])
+	}
+	lambda := lambdaFor(int(q))
+	for _, r := range s.rows {
+		r.q, r.lambda = q, lambda
+	}
 	// Row 0 reads a zeroed "row above" (the slice-boundary reset); every
 	// later row fully overwrites its write buffer before it is read.
 	for i := range s.mvBuf[1] {
@@ -203,6 +262,7 @@ func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, sp
 	if s.e.cfg.Wavefront {
 		run = s.e.wfRun
 	}
+	tap := s.e.tap
 	codec.RunWavefront(run, span.Rows, cols, func(x, y int) bool {
 		r := s.rows[y]
 		if x == 0 {
@@ -220,9 +280,18 @@ func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, sp
 		default:
 			r.encodeBMB(src, recon, x, mby)
 		}
+		if tap != nil {
+			// Winning full-pel vector of the macroblock just coded:
+			// disjoint cells, safe under any schedule.
+			tap.Set(x, mby, r.mvRow[x])
+		}
 		return true
 	})
 	s.bw.Reset()
+	if s.e.sliceQs != nil {
+		// FlagSliceQ layout: the slice body leads with its own q byte.
+		s.bw.WriteBits(uint64(q), 8)
+	}
 	for y := 0; y < span.Rows; y++ {
 		s.bw.AppendWriter(s.rows[y].bw)
 	}
@@ -238,7 +307,7 @@ func (s *rowEnc) resetRowState() {
 // encodeIntraMB codes all six blocks of a macroblock in intra mode.
 func (s *rowEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
-	q := int32(s.e.cfg.Q)
+	q := s.q
 	// Luma blocks Y0..Y3.
 	for i := 0; i < 4; i++ {
 		off := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
@@ -331,7 +400,7 @@ func (s *rowEnc) setupEstimator(est *motion.Estimator, src, ref *frame.Frame, px
 	est.RefStride = ref.YStride
 	est.PosX, est.PosY = px, py
 	est.W, est.H = 16, 16
-	est.Lambda = lambdaFor(s.e.cfg.Q)
+	est.Lambda = s.lambda
 	est.Pred = predFull
 	est.Window(s.e.cfg.SearchRange, s.e.cfg.Width, s.e.cfg.Height, codec.RefPad)
 }
@@ -360,7 +429,20 @@ func (s *rowEnc) searchLuma(src, ref *frame.Frame, px, py, mbx int, predHalf mot
 	if mbx+1 < len(s.mvAbove) {
 		preds = append(preds, s.mvAbove[mbx+1])
 	}
-	res := est.EPZS(preds, 2*s.e.cfg.Q*16)
+	if h := s.e.hint; h != nil {
+		// Cross-rung seed: the full-resolution rung's vector for this
+		// macroblock, scaled to our geometry. Near-optimal, so the
+		// early-termination threshold usually fires almost immediately.
+		preds = append(preds, h.Sample(mbx, py/16, s.e.cfg.Width, s.e.cfg.Height))
+	}
+	exitT := 2 * int(s.q) * 16
+	if s.e.hint != nil {
+		// A trusted cross-rung seed is in the candidate list, so accept a
+		// looser match without the diamond walk (EPZS's adaptive-threshold
+		// move); the ladder PSNR guard bounds the quality cost.
+		exitT *= 4
+	}
+	res := est.EPZS(preds, exitT)
 
 	// Half-pel refinement around the full-pel winner, scored against the
 	// bilinear half planes.
@@ -407,7 +489,7 @@ func predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte, k 
 // prediction in s.pred (y/cb/cr), and reconstructs into recon.
 // Returns the CBP.
 func (s *rowEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
-	q := int32(s.e.cfg.Q)
+	q := s.q
 	// First pass: find CBP.
 	var blks [6][64]int32
 	cbp := 0
@@ -473,7 +555,7 @@ func (s *rowEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 // residualWouldBeZero checks cheaply whether the quantized residual of the
 // MB would be all zero for the current prediction (used for skip decisions).
 func (s *rowEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
-	q := int32(s.e.cfg.Q)
+	q := s.q
 	var blk [64]int32
 	for i := 0; i < 4; i++ {
 		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
@@ -561,7 +643,7 @@ func (s *rowEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 	var bi [256]byte
 	copy(bi[:], s.pred.y[:])
 	interp.Avg(bi[:], 16, s.pred.yAlt[:], 16, 16, 16, s.e.cfg.Kernels)
-	biSAD := s.sadMB(src, px, py, bi[:]) + 2*lambdaFor(s.e.cfg.Q) // extra MV cost
+	biSAD := s.sadMB(src, px, py, bi[:]) + 2*s.lambda // extra MV cost
 
 	intraCost := intraCostMB(src, px, py)
 

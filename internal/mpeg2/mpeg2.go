@@ -69,8 +69,13 @@ func lambdaFor(q int) int {
 
 // header builds the container header for a config.
 func header(cfg codec.Config, frames int) container.Header {
+	var flags uint16
+	if cfg.SliceQ() {
+		flags |= container.FlagSliceQ
+	}
 	return container.Header{
 		Codec:  container.CodecMPEG2,
+		Flags:  flags,
 		Width:  cfg.Width,
 		Height: cfg.Height,
 		FPSNum: cfg.FPSNum,

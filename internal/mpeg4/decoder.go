@@ -27,8 +27,6 @@ type Decoder struct {
 	prevRef, lastRef *frame.Frame
 	reorder          codec.DisplayReorderer
 
-	dcInit int32
-
 	slices []*sliceDec
 	errs   []error
 }
@@ -41,6 +39,7 @@ type sliceDec struct {
 	pred predBuf
 	qpel interp.QPel
 
+	dcInit  int32 // DC predictor reset value, derived from the slice's q
 	dcPred  [3]int32
 	fwdPred motion.MV
 	bwdPred motion.MV
@@ -103,8 +102,6 @@ func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 	default:
 		return nil, fmt.Errorf("mpeg4: unknown frame type %c", p.Type)
 	}
-	d.dcInit = 1024 / quant.Mpeg4DCScaler(q)
-
 	spans, off, err := codec.ParseSliceTable(p.Payload[1:], d.hdr.Height/16)
 	if err != nil {
 		return nil, fmt.Errorf("mpeg4: %w", err)
@@ -115,12 +112,29 @@ func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 	recon := frame.NewPadded(d.hdr.Width, d.hdr.Height, codec.RefPad)
 	recon.PTS = p.DisplayIndex
 
+	sliceQ := d.hdr.Flags&container.FlagSliceQ != 0
 	codec.RunSlices(d.runner, len(spans), func(i int) {
 		lo := 0
 		for _, s := range spans[:i] {
 			lo += s.Size
 		}
-		d.errs[i] = d.slices[i].decode(body[lo:lo+spans[i].Size], recon, p.Type, spans[i], q)
+		bits := body[lo : lo+spans[i].Size]
+		sq := q
+		if sliceQ {
+			// FlagSliceQ streams open every slice body with its own
+			// quantizer byte, overriding the frame q for this slice.
+			if len(bits) < 1 {
+				d.errs[i] = fmt.Errorf("empty slice body")
+				return
+			}
+			sq = int32(bits[0])
+			if sq < 1 || sq > 31 {
+				d.errs[i] = fmt.Errorf("invalid slice quantizer %d", sq)
+				return
+			}
+			bits = bits[1:]
+		}
+		d.errs[i] = d.slices[i].decode(bits, recon, p.Type, spans[i], sq)
 	})
 	for i, err := range d.errs {
 		if err != nil {
@@ -145,9 +159,10 @@ func (d *Decoder) decodeFrame(p container.Packet) (*frame.Frame, error) {
 // decode parses one slice bitstream into its macroblock rows.
 func (s *sliceDec) decode(buf []byte, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan, q int32) error {
 	s.br.Reset(buf)
+	s.dcInit = 1024 / quant.Mpeg4DCScaler(q)
 	mbCols := s.d.hdr.Width / 16
 	for mby := span.Row; mby < span.Row+span.Rows; mby++ {
-		s.dcPred = [3]int32{s.d.dcInit, s.d.dcInit, s.d.dcInit}
+		s.dcPred = [3]int32{s.dcInit, s.dcInit, s.dcInit}
 		s.fwdPred = motion.MV{}
 		s.bwdPred = motion.MV{}
 		for mbx := 0; mbx < mbCols; mbx++ {
@@ -172,7 +187,7 @@ func (s *sliceDec) decode(buf []byte, recon *frame.Frame, ftype container.FrameT
 }
 
 func (s *sliceDec) resetDCPred() {
-	s.dcPred = [3]int32{s.d.dcInit, s.d.dcInit, s.d.dcInit}
+	s.dcPred = [3]int32{s.dcInit, s.dcInit, s.dcInit}
 }
 
 func (s *sliceDec) decodeIntraMB(recon *frame.Frame, mbx, mby int, q int32) error {

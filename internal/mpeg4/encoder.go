@@ -39,6 +39,21 @@ type Encoder struct {
 	slices []*sliceEnc
 
 	inCount int
+	ptsBase int // chunk offset in the global timeline (codec.PTSRebaser)
+
+	// Rate control (nil/zero when cfg.TargetKbps == 0): frameQ is the
+	// current frame's controller-chosen quantizer, sliceQs the per-slice
+	// overrides when cfg.SliceQ().
+	rc       *codec.RateController
+	frameQ   int
+	sliceQs  []int
+	sliceBuf []int
+
+	// Ladder motion plumbing: tap collects this frame's full-pel forward
+	// field for cfg.MotionTap; hint is the cross-rung seed field for the
+	// frame being coded (see codec.Config.MotionHints).
+	tap  *motion.Field
+	hint *motion.Field
 }
 
 // sliceEnc codes one slice as a stack of per-row coders. Rows inside a
@@ -77,7 +92,13 @@ type rowEnc struct {
 	mvRow   []motion.MV // full-pel MVs for EPZS predictors
 	mvAbove []motion.MV
 
-	epzsPreds [3]motion.MV // scratch for the EPZS candidate list
+	// Per-slice coding parameters, set by sliceEnc.encode before any
+	// macroblock runs: with rate control off they mirror cfg.Q.
+	q      int32
+	lambda int
+	dcInit int32
+
+	epzsPreds [4]motion.MV // scratch for the EPZS candidate list (+1 hint slot)
 }
 
 // NewEncoder returns an MPEG-4 encoder for cfg.
@@ -89,6 +110,7 @@ func NewEncoder(cfg codec.Config) (*Encoder, error) {
 		cfg:    cfg,
 		gop:    codec.GOPScheduler{BFrames: cfg.BFrames, IntraPeriod: cfg.IntraPeriod, SceneCut: cfg.SceneCutIntra},
 		dcInit: 1024 / quant.Mpeg4DCScaler(int32(cfg.Q)),
+		rc:     codec.NewRateController(cfg),
 	}
 	e.spans = codec.SliceRows(cfg.MBRows(), cfg.Slices)
 	e.slices = make([]*sliceEnc, len(e.spans))
@@ -121,6 +143,11 @@ func (e *Encoder) SetSliceRunner(r codec.SliceRunner) { e.runner = r }
 // runner nor cfg.Wavefront.
 func (e *Encoder) SetWavefrontRunner(r codec.WavefrontRunner) { e.wfRun = r }
 
+// SetPTSBase implements codec.PTSRebaser: the GOP-parallel pipeline
+// announces the chunk's offset in the global display timeline so the
+// motion tap/hint callbacks key on global stamps.
+func (e *Encoder) SetPTSBase(base int) { e.ptsBase = base }
+
 // Header implements codec.Encoder.
 func (e *Encoder) Header() container.Header { return header(e.cfg, 0) }
 
@@ -152,8 +179,29 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 	recon := frame.NewPadded(e.cfg.Width, e.cfg.Height, codec.RefPad)
 	recon.PTS = src.PTS
 
+	if e.rc != nil {
+		e.frameQ = e.rc.FrameQ(ftype)
+	} else {
+		e.frameQ = e.cfg.Q
+	}
+	if e.cfg.SliceQ() {
+		e.sliceQs = e.rc.SliceQs(e.frameQ, len(e.spans))
+	} else {
+		e.sliceQs = nil
+	}
+	if ftype != container.FrameI {
+		if e.cfg.MotionTap != nil {
+			e.tap = motion.NewField(e.cfg.Width, e.cfg.Height)
+		}
+		if e.cfg.MotionHints != nil {
+			e.hint = e.cfg.MotionHints(src.PTS + e.ptsBase)
+		}
+	} else {
+		e.tap, e.hint = nil, nil
+	}
+
 	codec.RunSlices(e.runner, len(e.spans), func(i int) {
-		e.slices[i].encode(src, recon, ftype, e.spans[i])
+		e.slices[i].encode(src, recon, ftype, e.spans[i], i)
 	})
 
 	recon.ExtendBorders()
@@ -178,10 +226,24 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 		total += e.spans[i].Size
 	}
 	payload := make([]byte, 0, total)
-	payload = append(payload, byte(e.cfg.Q))
+	payload = append(payload, byte(e.frameQ))
 	payload = codec.AppendSliceTable(payload, e.spans)
 	for _, s := range e.slices {
 		payload = append(payload, s.bw.Bytes()...)
+	}
+	if e.rc != nil {
+		e.rc.AddFrame(ftype, 8*len(payload))
+		if e.sliceQs != nil {
+			e.sliceBuf = e.sliceBuf[:0]
+			for i := range e.spans {
+				e.sliceBuf = append(e.sliceBuf, 8*e.spans[i].Size)
+			}
+			e.rc.AddSlices(e.sliceBuf)
+		}
+	}
+	if e.tap != nil {
+		e.cfg.MotionTap(src.PTS+e.ptsBase, e.tap)
+		e.tap = nil
 	}
 	return container.Packet{Type: ftype, DisplayIndex: src.PTS, Payload: payload}
 }
@@ -194,8 +256,21 @@ func (e *Encoder) encodeFrame(src *frame.Frame, ftype container.FrameType) conta
 // cfg.Wavefront set and a runner installed, the rows run concurrently in
 // wavefront dependency order — the order the EPZS predictor reads (left,
 // above, above-right) require.
-func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan) {
+func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, span codec.SliceSpan, idx int) {
 	cols := s.e.cfg.MBCols()
+	q := int32(s.e.frameQ)
+	if s.e.sliceQs != nil {
+		q = int32(s.e.sliceQs[idx])
+	}
+	lambda := lambdaFor(int(q))
+	dcInit := s.e.dcInit
+	if q != int32(s.e.cfg.Q) {
+		dcInit = 1024 / quant.Mpeg4DCScaler(q)
+	}
+	for _, r := range s.rows[:span.Rows] {
+		r.q, r.lambda, r.dcInit = q, lambda, dcInit
+	}
+	tap := s.e.tap
 	p := s.mvPhase
 	// Row 0 reads a zeroed "row above" (the slice-boundary reset); the
 	// write buffers keep their prior contents — B-intra macroblocks read
@@ -225,10 +300,17 @@ func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, sp
 		default:
 			r.encodeBMB(src, recon, x, mby)
 		}
+		if tap != nil && ftype != container.FrameI {
+			tap.Set(x, mby, r.mvRow[x])
+		}
 		return true
 	})
 	s.mvPhase = (p + span.Rows) % 2
 	s.bw.Reset()
+	if s.e.sliceQs != nil {
+		// FlagSliceQ layout: the slice body opens with its quantizer byte.
+		s.bw.WriteBits(uint64(q), 8)
+	}
 	for y := 0; y < span.Rows; y++ {
 		s.bw.AppendWriter(s.rows[y].bw)
 	}
@@ -236,20 +318,20 @@ func (s *sliceEnc) encode(src, recon *frame.Frame, ftype container.FrameType, sp
 }
 
 func (s *rowEnc) resetRowState() {
-	s.dcPred = [3]int32{s.e.dcInit, s.e.dcInit, s.e.dcInit}
+	s.dcPred = [3]int32{s.dcInit, s.dcInit, s.dcInit}
 	s.fwdPred = motion.MV{}
 	s.bwdPred = motion.MV{}
 }
 
 func (s *rowEnc) resetDCPred() {
-	s.dcPred = [3]int32{s.e.dcInit, s.e.dcInit, s.e.dcInit}
+	s.dcPred = [3]int32{s.dcInit, s.dcInit, s.dcInit}
 }
 
 // --- intra ------------------------------------------------------------------
 
 func (s *rowEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
-	q := int32(s.e.cfg.Q)
+	q := s.q
 	for i := 0; i < 4; i++ {
 		off := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
 		roff := recon.YOrigin + (py+8*(i/2))*recon.YStride + px + 8*(i%2)
@@ -339,7 +421,7 @@ func (s *rowEnc) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx i
 	est.RefStride = ref.YStride
 	est.PosX, est.PosY = px, py
 	est.W, est.H = blockW, blockH
-	est.Lambda = lambdaFor(s.e.cfg.Q)
+	est.Lambda = s.lambda
 	est.Pred = motion.MV{X: predQ.X >> 2, Y: predQ.Y >> 2}
 	est.Window(s.e.cfg.SearchRange, s.e.cfg.Width, s.e.cfg.Height, codec.RefPad)
 
@@ -353,8 +435,20 @@ func (s *rowEnc) searchQPel(src, ref *frame.Frame, px, py, blockW, blockH, mbx i
 		if mbx+1 < len(s.mvAbove) {
 			preds = append(preds, s.mvAbove[mbx+1])
 		}
+		if h := s.e.hint; h != nil {
+			// Cross-rung seed from the full-resolution rung, scaled to
+			// this geometry (see motion.Field.Sample).
+			preds = append(preds, h.Sample(mbx, py/16, s.e.cfg.Width, s.e.cfg.Height))
+		}
 	}
-	res := est.EPZS(preds, 2*s.e.cfg.Q*blockW*blockH/16)
+	exitT := 2 * int(s.q) * blockW * blockH / 16
+	if s.e.hint != nil {
+		// A trusted cross-rung seed is in the candidate list, so accept a
+		// looser match without the diamond walk (EPZS's adaptive-threshold
+		// move); the ladder PSNR guard bounds the quality cost.
+		exitT *= 4
+	}
+	res := est.EPZS(preds, exitT)
 
 	// Sub-pel refinement: half-pel stage (step 2) then quarter-pel
 	// (step 1), scored against the reference's precomputed 6-tap half
@@ -430,7 +524,7 @@ func (s *rowEnc) predictChroma4MV(ref *frame.Frame, px, py int, mvs *[4]motion.M
 // --- residual ----------------------------------------------------------------
 
 func (s *rowEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
-	q := int32(s.e.cfg.Q)
+	q := s.q
 	var blks [6][64]int32
 	cbp := 0
 	for i := 0; i < 4; i++ {
@@ -492,7 +586,7 @@ func (s *rowEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 }
 
 func (s *rowEnc) residualWouldBeZero(src *frame.Frame, px, py int) bool {
-	q := int32(s.e.cfg.Q)
+	q := s.q
 	var blk [64]int32
 	for i := 0; i < 4; i++ {
 		co := src.YOrigin + (py+8*(i/2))*src.YStride + px + 8*(i%2)
@@ -550,7 +644,7 @@ func seBits(v int) int {
 func (s *rowEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	ref := s.e.lastRef
-	lambda := lambdaFor(s.e.cfg.Q)
+	lambda := s.lambda
 
 	// 16×16 hypothesis.
 	mv16, sad16 := s.searchQPel(src, ref, px, py, 16, 16, mbx, s.fwdPred, s.pred.y[:], true)
@@ -626,7 +720,7 @@ func (s *rowEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 func (s *rowEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	fwdRef, bwdRef := s.e.prevRef, s.e.lastRef
-	lambda := lambdaFor(s.e.cfg.Q)
+	lambda := s.lambda
 
 	fwdMV, fwdSAD := s.searchQPel(src, fwdRef, px, py, 16, 16, mbx, s.fwdPred, s.pred.y[:], true)
 	bwdMV, bwdSAD := s.searchQPel(src, bwdRef, px, py, 16, 16, mbx, s.bwdPred, s.pred.yAlt[:], true)

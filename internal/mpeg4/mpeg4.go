@@ -74,8 +74,13 @@ func lambdaFor(q int) int {
 }
 
 func header(cfg codec.Config, frames int) container.Header {
+	var flags uint16
+	if cfg.SliceQ() {
+		flags |= container.FlagSliceQ
+	}
 	return container.Header{
 		Codec:  container.CodecMPEG4,
+		Flags:  flags,
 		Width:  cfg.Width,
 		Height: cfg.Height,
 		FPSNum: cfg.FPSNum,

@@ -199,6 +199,11 @@ func encodeAll(enc codec.Encoder, frames []*frame.Frame) ([]container.Packet, er
 // It is the unit of work of both the batch scheduler above and the
 // bounded-window streaming scheduler in internal/stream.
 func EncodeChunk(enc codec.Encoder, frames []*frame.Frame, base int) ([]container.Packet, error) {
+	// The encoder stamps chunk-local display indices; its motion
+	// tap/hint callbacks need the global timeline to key their fields.
+	if r, ok := enc.(codec.PTSRebaser); ok {
+		r.SetPTSBase(base)
+	}
 	pkts, err := encodeAll(enc, frames)
 	if err != nil {
 		return nil, err

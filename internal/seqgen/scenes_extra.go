@@ -176,3 +176,36 @@ func abs32(v int32) int32 {
 	}
 	return v
 }
+
+// GrainAmplitude is the peak luma excursion of film_grain's noise layer
+// (the grain is roughly uniform in ±GrainAmplitude around the static
+// base picture).
+const GrainAmplitude = 16
+
+// renderFilmGrain: a completely static interior scene — smooth wall
+// gradient, a dark framed rectangle, soft large-scale texture — overlaid
+// with dense grain that is re-drawn from an independent seed every frame.
+// The base never moves, so the true global motion is zero; the grain
+// never correlates between frames, so inter SAD stays high no matter
+// what vector motion search tries. This is the rate-control stressor:
+// residual cost is irreducible and every frame costs about the same.
+func renderFilmGrain(f *frame.Frame, idx int) {
+	w, h := int32(f.Width), int32(f.Height)
+	seed := 0xF11F ^ uint32(idx)*0x9E3779B9 // per-frame grain seed
+	for r := int32(0); r < h; r++ {
+		vy := r * 1088 / h
+		rowY := f.YOrigin + int(r)*f.YStride
+		for c := int32(0); c < w; c++ {
+			vx := c * 1920 / w
+			// Static base: lit wall with coarse texture and a dark frame.
+			y := 150 - vy*40/1088 + (fbm2(vx, vy, 120, 91)-128)/10
+			if vx > 600 && vx < 1300 && vy > 250 && vy < 800 {
+				y = 70 + (fbm2(vx, vy, 48, 92)-128)/12
+			}
+			// Decorrelated grain, uniform in ±GrainAmplitude.
+			g := (noiseByte(uint32(c), uint32(r), seed) - 128) * GrainAmplitude / 128
+			f.Y[rowY+int(c)] = clampB(y + g)
+		}
+	}
+	fillChroma(f, 128, 128) // grain is luma-only, chroma neutral
+}

@@ -80,6 +80,51 @@ func TestSportPanGlobalMotion(t *testing.T) {
 	}
 }
 
+// TestFilmGrainDecorrelated pins film_grain's two defining properties:
+// the grain never correlates between frames, so inter SAD stays high at
+// every candidate motion vector, while the underlying scene is static,
+// so the zero vector is still the best one (global motion is zero).
+func TestFilmGrainDecorrelated(t *testing.T) {
+	const w, h = 384, 320
+	g := New(FilmGrain, w, h)
+	a, b := g.Frame(3), g.Frame(4)
+	// sad(sx, sy): compare frame 4 at (r, c) with frame 3 at (r+sy, c+sx)
+	// over the interior (margin keeps every shift in bounds).
+	const m = 4
+	sad := func(sx, sy int) int {
+		sum := 0
+		for r := m; r < h-m; r++ {
+			for c := m; c < w-m; c++ {
+				d := int(b.LumaAt(r, c)) - int(a.LumaAt(r+sy, c+sx))
+				if d < 0 {
+					d = -d
+				}
+				sum += d
+			}
+		}
+		return sum
+	}
+	zero := sad(0, 0)
+	// Two independent uniform ±GrainAmplitude draws differ by ~2/3 of the
+	// amplitude on average; require at least a third per pixel so the SAD
+	// floor is unmistakably grain, not dithering.
+	pixels := (h - 2*m) * (w - 2*m)
+	if floor := pixels * GrainAmplitude / 3; zero < floor {
+		t.Errorf("zero-shift SAD %d below grain floor %d — grain correlates between frames", zero, floor)
+	}
+	// The static base makes (0,0) the global argmin: no shift may beat it.
+	for sy := -3; sy <= 3; sy++ {
+		for sx := -3; sx <= 3; sx++ {
+			if sx == 0 && sy == 0 {
+				continue
+			}
+			if v := sad(sx, sy); v < zero {
+				t.Errorf("shift (%d,%d) SAD %d beats zero shift %d — global motion not zero", sx, sy, v, zero)
+			}
+		}
+	}
+}
+
 // TestExtendedSequencesParseAndRender: the two new scenes are reachable
 // through the same Parse/New/FrameInto path as the paper's four, render
 // deterministically, and keep the paper's All list untouched.
@@ -87,10 +132,10 @@ func TestExtendedSequencesParseAndRender(t *testing.T) {
 	if len(All) != 4 {
 		t.Fatalf("len(All) = %d: the paper's sequence list must stay at 4", len(All))
 	}
-	if len(Extended) != 6 {
-		t.Fatalf("len(Extended) = %d, want the paper's 4 plus 2 stressors", len(Extended))
+	if len(Extended) != 7 {
+		t.Fatalf("len(Extended) = %d, want the paper's 4 plus 3 stressors", len(Extended))
 	}
-	for _, s := range []Sequence{SportPan, SceneCut} {
+	for _, s := range []Sequence{SportPan, SceneCut, FilmGrain} {
 		got, err := Parse(s.String())
 		if err != nil || got != s {
 			t.Errorf("Parse(%q) = %v, %v", s.String(), got, err)

@@ -33,12 +33,14 @@ const (
 	PedestrianArea
 	Riverbed
 	RushHour
-	// SportPan and SceneCut extend the paper's four captures with two
-	// serving-scenario stressors (see scenes_extra.go): a high-motion
-	// global camera pan and a hard-cut shot alternation. They are not
+	// SportPan, SceneCut and FilmGrain extend the paper's four captures
+	// with serving-scenario stressors (see scenes_extra.go): a
+	// high-motion global camera pan, a hard-cut shot alternation, and a
+	// static scene under temporally-decorrelated grain. They are not
 	// part of All — the paper's Table III/V matrix stays canonical.
 	SportPan
 	SceneCut
+	FilmGrain
 )
 
 // All lists the four sequences in the paper's Table III/V order.
@@ -47,7 +49,7 @@ var All = []Sequence{BlueSky, PedestrianArea, Riverbed, RushHour}
 // Extended lists every sequence: the paper's four plus the scenario
 // stressors. Front ends that accept a sequence name resolve over this
 // set; benchmark defaults stay on All.
-var Extended = []Sequence{BlueSky, PedestrianArea, Riverbed, RushHour, SportPan, SceneCut}
+var Extended = []Sequence{BlueSky, PedestrianArea, Riverbed, RushHour, SportPan, SceneCut, FilmGrain}
 
 // String returns the sequence name as used in the paper's tables.
 func (s Sequence) String() string {
@@ -64,6 +66,8 @@ func (s Sequence) String() string {
 		return "sport_pan"
 	case SceneCut:
 		return "scene_cut"
+	case FilmGrain:
+		return "film_grain"
 	}
 	return fmt.Sprintf("Sequence(%d)", int(s))
 }
@@ -83,6 +87,8 @@ func Parse(name string) (Sequence, error) {
 		return SportPan, nil
 	case "scene_cut", "scenecut", "scene-cut":
 		return SceneCut, nil
+	case "film_grain", "filmgrain", "film-grain":
+		return FilmGrain, nil
 	}
 	return 0, fmt.Errorf("seqgen: unknown sequence %q", name)
 }
@@ -128,6 +134,8 @@ func (g *Generator) FrameInto(f *frame.Frame, idx int) {
 		renderSportPan(f, idx)
 	case SceneCut:
 		renderSceneCut(f, idx)
+	case FilmGrain:
+		renderFilmGrain(f, idx)
 	default:
 		panic(fmt.Sprintf("seqgen: unknown sequence %d", int(g.Seq)))
 	}

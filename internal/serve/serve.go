@@ -30,6 +30,8 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"hdvideobench"
@@ -42,6 +44,11 @@ const StreamContentType = "application/x-hdvideobench"
 
 // requestRingSize is how many completed requests /debug/requests holds.
 const requestRingSize = 64
+
+// maxLadderFrames caps frames= on ladder requests: the ladder encoder
+// is a batch path (every rung's packets are held in memory before the
+// first response byte), unlike the constant-memory streaming paths.
+const maxLadderFrames = 250
 
 // Config carries the per-process limits.
 type Config struct {
@@ -80,6 +87,12 @@ func defaultEncode(w io.Writer, c hdvideobench.Codec, opts hdvideobench.EncoderO
 	return hdvideobench.EncodeStreamIndexed(w, c, opts, frames, next)
 }
 
+// ladderFunc is the rendition-ladder encoding entry point, a Server
+// field for the same reason as encodeFunc: the httptest suite counts
+// invocations to prove singleflight coalescing and cache hits.
+type ladderFunc func(c hdvideobench.Codec, opts hdvideobench.EncoderOptions,
+	frames []*hdvideobench.Frame, rungs []hdvideobench.LadderRung) ([]hdvideobench.LadderRendition, error)
+
 // Server is the HTTP transcoding service; New constructs it, Routes
 // hands back its handler, and the httptest suites (and cmd/hdvslo) can
 // drive the exact production handler in-process.
@@ -89,6 +102,8 @@ type Server struct {
 	cache   *gopcache.Cache // nil = caching off
 	limiter *rateLimiter    // nil = rate limiting off
 	encode  encodeFunc
+	ladder  ladderFunc
+	flights flightGroup
 	log     *slog.Logger
 
 	reg    *obs.Registry
@@ -112,6 +127,7 @@ type serverMetrics struct {
 	bytesServed *obs.Counter
 	rateLimited *obs.Counter
 	capacity503 *obs.Counter
+	sfShared    *obs.Counter
 
 	reqSeconds *obs.HistogramVec // {endpoint, codec, res, cache}
 	ttfb       *obs.HistogramVec
@@ -137,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst),
 		encode:  defaultEncode,
+		ladder:  hdvideobench.EncodeLadder,
 		log:     cfg.Logger,
 		reg:     obs.NewRegistry(),
 		reqLog:  obs.NewRequestLog(requestRingSize),
@@ -171,6 +188,7 @@ func (s *Server) registerMetrics() {
 	m.bytesServed = s.reg.Counter("hdvserve_bytes_served_total", "Response bytes written on /transcode.").With()
 	m.rateLimited = s.reg.Counter("hdvserve_rate_limited_total", "Requests rejected by the per-client rate limit.").With()
 	m.capacity503 = s.reg.Counter("hdvserve_capacity_rejections_total", "Requests rejected with 503 at the encode semaphore.").With()
+	m.sfShared = s.reg.Counter("hdvserve_singleflight_shared_total", "Requests served from another request's concurrent cache fill instead of encoding.").With()
 	if s.cache != nil {
 		// The cache owns its counters; scrape-time funcs read them
 		// instead of mirroring through writable cells that could skew.
@@ -388,6 +406,41 @@ func boolParam(q url.Values, name string) (bool, error) {
 	return b, nil
 }
 
+// flightGroup deduplicates concurrent cold fills of one cache key: the
+// first request for a key becomes the leader and encodes; followers
+// wait on the leader's done channel and then serve the entry its fill
+// committed. A leader that aborts without committing closes the channel
+// anyway, and followers race to become the next leader.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[gopcache.Key]chan struct{}
+}
+
+// begin registers the caller as leader for key (second return true) or
+// hands back the in-flight leader's done channel.
+func (g *flightGroup) begin(key gopcache.Key) (chan struct{}, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ch, ok := g.m[key]; ok {
+		return ch, false
+	}
+	if g.m == nil {
+		g.m = make(map[gopcache.Key]chan struct{})
+	}
+	ch := make(chan struct{})
+	g.m[key] = ch
+	return ch, true
+}
+
+// finish releases the leadership for key and wakes every follower.
+func (g *flightGroup) finish(key gopcache.Key) {
+	g.mu.Lock()
+	ch := g.m[key]
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(ch)
+}
+
 // transcodeRequest is a validated /transcode query.
 type transcodeRequest struct {
 	codec  hdvideobench.Codec
@@ -395,6 +448,16 @@ type transcodeRequest struct {
 	frames int
 	index  bool // GET: serve the GOP index instead of the stream
 	opts   hdvideobench.EncoderOptions
+
+	// Ladder mode (GET only): ladder holds the validated rung list when
+	// the ladder= parameter is present, rung the index of the rendition
+	// selected with rung= (-1 = none: serve the JSON manifest), and
+	// ladderSpec the canonical "name@kbps,..." form shared by the flight
+	// key, so concurrent requests for different rungs of the same ladder
+	// coalesce onto one EncodeLadder run.
+	ladder     []hdvideobench.LadderRung
+	rung       int
+	ladderSpec string
 }
 
 // cacheKey maps the request onto the GOP cache's key space: every field
@@ -421,7 +484,30 @@ func (req transcodeRequest) cacheKey() gopcache.Key {
 		Slices:  req.opts.Slices,
 		Entropy: entropy,
 		SIMD:    req.opts.SIMD,
+		Kbps:    req.opts.Kbps,
 	}
+}
+
+// rungKey maps one ladder rendition onto the cache key space: the base
+// key's Width/Height stay the mezzanine's (the rung's bytes depend on
+// the analysis rung encoded at that geometry), and the rung's own name
+// and bitrate distinguish it. Sibling rungs deliberately do not appear:
+// a rung's bytes depend only on the top rung's motion field, which the
+// ladder composition cannot change.
+func (req transcodeRequest) rungKey(i int) gopcache.Key {
+	k := req.cacheKey()
+	k.Rung = req.ladder[i].Name
+	k.Kbps = req.ladder[i].Kbps
+	return k
+}
+
+// ladderFlightKey is the singleflight key of the whole ladder run: one
+// EncodeLadder call fills every rung's entry, so concurrent requests
+// for any rung of the same ladder coalesce onto it.
+func (req transcodeRequest) ladderFlightKey() gopcache.Key {
+	k := req.cacheKey()
+	k.Rung = "ladder:" + req.ladderSpec
+	return k
 }
 
 // parseCoding parses the coding options shared by GET and POST. width
@@ -456,6 +542,13 @@ func (s *Server) parseCoding(q url.Values, defWidth, defHeight int) (hdvideobenc
 		return c, opts, fmt.Errorf("width/height must be multiples of 16, got %dx%d", width, height)
 	}
 	qp, err := intParam(q, "q", 5, 1, 31)
+	if err != nil {
+		return c, opts, err
+	}
+	// kbps switches the stream to rate-targeted coding; q then only
+	// seeds the controller (kbps takes precedence, q keeps its default
+	// so the two parameters compose instead of conflicting).
+	kbps, err := intParam(q, "kbps", 0, 0, 1_000_000)
 	if err != nil {
 		return c, opts, err
 	}
@@ -496,7 +589,7 @@ func (s *Server) parseCoding(q url.Values, defWidth, defHeight int) (hdvideobenc
 	}
 
 	opts = hdvideobench.EncoderOptions{
-		Width: width, Height: height, Q: qp,
+		Width: width, Height: height, Q: qp, Kbps: kbps,
 		IntraPeriod: gop,
 		Slices:      slices,
 		Wavefront:   wavefront,
@@ -542,6 +635,57 @@ func (s *Server) parseTranscode(r *http.Request) (transcodeRequest, error) {
 	}
 	if req.index, err = boolParam(q, "index"); err != nil {
 		return req, err
+	}
+	req.rung = -1
+	if spec := q.Get("ladder"); spec != "" {
+		// The rung list validates against the request's mezzanine: unknown
+		// names, duplicates, and rungs exceeding the mezzanine are 400s.
+		req.ladder, err = hdvideobench.ParseLadder(spec, req.opts.Width, req.opts.Height)
+		if err != nil {
+			return req, err
+		}
+		// A bare kbps= is the default budget for rungs without their own
+		// @kbps, mirroring hdvbench -ladder -kbps.
+		if req.opts.Kbps > 0 {
+			for i := range req.ladder {
+				if req.ladder[i].Kbps == 0 {
+					req.ladder[i].Kbps = req.opts.Kbps
+				}
+			}
+		}
+		var parts []string
+		for _, lr := range req.ladder {
+			p := lr.Name
+			if lr.Kbps > 0 {
+				p += "@" + strconv.Itoa(lr.Kbps)
+			}
+			parts = append(parts, p)
+		}
+		req.ladderSpec = strings.Join(parts, ",")
+		if req.index {
+			return req, fmt.Errorf("index is not supported with ladder")
+		}
+		// Every rung is held in memory as packets before serving starts,
+		// so the ladder path caps frames below the streaming paths' limit.
+		if req.frames > maxLadderFrames {
+			return req, fmt.Errorf("ladder is limited to %d frames, got %d", maxLadderFrames, req.frames)
+		}
+		if name := q.Get("rung"); name != "" {
+			res, err := hdvideobench.ResolutionByName(name)
+			if err != nil {
+				return req, err
+			}
+			for i, lr := range req.ladder {
+				if lr.Name == res.Name {
+					req.rung = i
+				}
+			}
+			if req.rung < 0 {
+				return req, fmt.Errorf("rung %q is not in ladder %q", name, spec)
+			}
+		}
+	} else if q.Get("rung") != "" {
+		return req, fmt.Errorf("rung requires ladder")
 	}
 	return req, nil
 }
@@ -598,6 +742,14 @@ func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "index requires caching (-cache-dir)", http.StatusBadRequest)
 		return
 	}
+	if len(req.ladder) > 0 {
+		if req.rung < 0 {
+			s.writeLadderManifest(w, r, req)
+			return
+		}
+		s.handleLadderRung(w, r, req)
+		return
+	}
 
 	var key gopcache.Key
 	if s.cache != nil {
@@ -611,6 +763,13 @@ func (s *Server) handleTranscode(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		t.cache = "miss"
+		if ent, ok := s.waitFlight(w, r, key, key); ok {
+			if ent != nil {
+				s.serveCached(w, r, req, ent, "shared")
+			}
+			return
+		}
+		defer s.flights.finish(key)
 	}
 
 	if !s.acquire(w) {
@@ -813,6 +972,201 @@ func (s *Server) streamCold(w http.ResponseWriter, r *http.Request, req transcod
 		abortTee()
 		s.log.Warn("stream failed mid-flight", "id", t.id, "frames", stats.Frames, "err", err)
 	}
+}
+
+// waitFlight applies singleflight to a cold fill. If another request is
+// already encoding flightKey, it blocks until that fill commits and
+// hands back the freshly cached entry for cacheKey; (nil, true) means
+// the client vanished while waiting. (nil, false) means the caller is
+// now the leader and must s.flights.finish(flightKey) when done.
+func (s *Server) waitFlight(w http.ResponseWriter, r *http.Request, flightKey, cacheKey gopcache.Key) (*gopcache.Entry, bool) {
+	t := track(w)
+	for {
+		ch, leader := s.flights.begin(flightKey)
+		if leader {
+			return nil, false
+		}
+		sp := t.trace.Start("flight")
+		select {
+		case <-ch:
+			sp.End()
+		case <-r.Context().Done():
+			sp.End()
+			return nil, true
+		}
+		if ent, ok := s.cache.Get(cacheKey); ok {
+			s.m.sfShared.Inc()
+			t.cache = "shared"
+			return ent, true
+		}
+		// The leader aborted without committing; race for leadership.
+	}
+}
+
+// ladderManifestJSON is the GET /transcode?ladder= response when no
+// rung is selected: the validated rendition list, each with the URL
+// that serves it.
+type ladderManifestJSON struct {
+	Codec     string           `json:"codec"`
+	Seq       string           `json:"seq"`
+	Frames    int              `json:"frames"`
+	Mezzanine string           `json:"mezzanine"`
+	Rungs     []ladderRungJSON `json:"rungs"`
+}
+
+type ladderRungJSON struct {
+	Name   string `json:"name"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	Kbps   int    `json:"kbps,omitempty"`
+	URL    string `json:"url"`
+}
+
+func (s *Server) writeLadderManifest(w http.ResponseWriter, r *http.Request, req transcodeRequest) {
+	out := ladderManifestJSON{
+		Codec:     req.codec.String(),
+		Seq:       req.seq.String(),
+		Frames:    req.frames,
+		Mezzanine: strconv.Itoa(req.opts.Width) + "x" + strconv.Itoa(req.opts.Height),
+	}
+	u := *r.URL
+	for _, lr := range req.ladder {
+		q := u.Query()
+		q.Set("rung", lr.Name)
+		u.RawQuery = q.Encode()
+		out.Rungs = append(out.Rungs, ladderRungJSON{
+			Name: lr.Name, Width: lr.Width, Height: lr.Height, Kbps: lr.Kbps,
+			URL: u.RequestURI(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleLadderRung serves one rendition of a ladder request. Cache hits
+// serve the rung's entry directly; a miss runs one EncodeLadder pass —
+// coalesced across concurrent requests for any rung of the same ladder
+// by the flight group — and commits every rung it produced, so the
+// sibling rungs of the first request are hits for the rest of the
+// playlist.
+func (s *Server) handleLadderRung(w http.ResponseWriter, r *http.Request, req transcodeRequest) {
+	t := track(w)
+	rung := req.ladder[req.rung]
+	t.res = strconv.Itoa(rung.Width) + "x" + strconv.Itoa(rung.Height)
+	w.Header().Set("X-HDVB-Rung", rung.Name)
+
+	var key gopcache.Key
+	if s.cache != nil {
+		key = req.rungKey(req.rung)
+		sp := t.trace.Start("cache")
+		ent, ok := s.cache.Get(key)
+		sp.End()
+		if ok {
+			t.cache = "hit"
+			s.serveCached(w, r, req, ent, "hit")
+			return
+		}
+		t.cache = "miss"
+		flightKey := req.ladderFlightKey()
+		if ent, ok := s.waitFlight(w, r, flightKey, key); ok {
+			if ent != nil {
+				s.serveCached(w, r, req, ent, "shared")
+			}
+			return
+		}
+		defer s.flights.finish(flightKey)
+	}
+
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+
+	ctx := r.Context()
+	start := time.Now()
+	gsp := t.trace.Start("gen")
+	frames := make([]*hdvideobench.Frame, req.frames)
+	gen := hdvideobench.NewSequence(req.seq, req.opts.Width, req.opts.Height)
+	for i := range frames {
+		frames[i] = gen.Frame(i)
+	}
+	gsp.End()
+	sp := t.trace.Start("enc")
+	rends, err := s.ladder(req.codec, req.opts, frames, req.ladder)
+	encDur := sp.End()
+	if err != nil {
+		if ctx.Err() != nil {
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.m.encodes.Inc()
+	s.m.encSeconds.Add(encDur.Seconds())
+	s.m.coldEnc.With("transcode", t.codec, t.res, t.cache).Observe(encDur.Seconds())
+
+	// Commit every rung; cache trouble downgrades to serving the
+	// requested rung from memory, never to failing the request.
+	var serveEnt *gopcache.Entry
+	if s.cache != nil {
+		csp := t.trace.Start("commit")
+		for i, rend := range rends {
+			fill, err := s.cache.NewFill(req.rungKey(i))
+			if err != nil {
+				continue
+			}
+			cw := &countWriter{w: fill}
+			if err := hdvideobench.WriteStream(cw, rend.Header, rend.Packets); err != nil {
+				fill.Abort()
+				continue
+			}
+			ent, err := fill.Commit(hdvideobench.GOPIndex{Size: cw.n})
+			if err != nil {
+				continue
+			}
+			if i == req.rung {
+				serveEnt = ent
+			} else {
+				ent.Close()
+			}
+		}
+		csp.End()
+		s.m.cacheFill.With("transcode", t.codec, t.res, t.cache).Observe(time.Since(start).Seconds())
+	}
+	if serveEnt != nil {
+		s.serveCached(w, r, req, serveEnt, "miss")
+	} else {
+		h := w.Header()
+		h.Set("Content-Type", StreamContentType)
+		h.Set("X-HDVB-Codec", req.codec.String())
+		h.Set("X-HDVB-Frames", strconv.Itoa(req.frames))
+		h.Set("Server-Timing", t.serverTiming())
+		wsp := t.trace.Start("write")
+		werr := hdvideobench.WriteStream(w, rends[req.rung].Header, rends[req.rung].Packets)
+		wsp.End()
+		if werr != nil {
+			s.log.Warn("ladder stream failed mid-flight", "id", t.id, "rung", rung.Name, "err", werr)
+			return
+		}
+		s.m.served.Inc()
+	}
+	s.log.Info("ladder rung served",
+		"id", t.id, "codec", req.codec.String(), "seq", req.seq.String(),
+		"ladder", req.ladderSpec, "rung", rung.Name, "frames", req.frames,
+		"dur", time.Since(start).Round(time.Millisecond))
+}
+
+// countWriter counts bytes through to w (the cache fill needs the body
+// size for the index trailer's Size field).
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (s *Server) handleTranscodePost(w http.ResponseWriter, r *http.Request) {

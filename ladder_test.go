@@ -1,0 +1,160 @@
+package hdvideobench
+
+// Ladder-mode acceptance tests: per-rung byte determinism across every
+// parallelism setting, the quality guard on hint-seeded motion search,
+// and the rate controller's CBR tolerance.
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// ladderDigest hashes a rendition's header and packet bytes.
+func ladderDigest(r LadderRendition) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%v|%d|%d|%d|", r.Header.Codec, r.Header.Width, r.Header.Height, r.Header.Flags)
+	for _, p := range r.Packets {
+		fmt.Fprintf(h, "%d|%d|", p.Type, p.DisplayIndex)
+		h.Write(p.Payload)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestLadderDeterministicAcrossParallelism pins the tentpole guarantee:
+// every rung's bytes are identical at every worker count and wavefront
+// setting, because the analysis rung is deterministic and so are the
+// hint fields it feeds the seeded rungs.
+func TestLadderDeterministicAcrossParallelism(t *testing.T) {
+	const w, h = 192, 160
+	rungs := []LadderRung{
+		{Name: "low", Width: 96, Height: 80},
+		{Name: "full", Width: w, Height: h, Kbps: 300},
+	}
+	frames := NewSequence(PedestrianArea, w, h).Generate(9)
+	for _, c := range []Codec{MPEG2, MPEG4, H264} {
+		var want []string
+		for _, workers := range []int{1, 4} {
+			for _, wavefront := range []bool{false, true} {
+				rends, err := EncodeLadder(c, EncoderOptions{
+					Width: w, Height: h, IntraPeriod: 4,
+					Workers: workers, Wavefront: wavefront,
+				}, frames, rungs)
+				if err != nil {
+					t.Fatalf("%v workers=%d wavefront=%v: %v", c, workers, wavefront, err)
+				}
+				got := make([]string, len(rends))
+				for i, r := range rends {
+					got[i] = ladderDigest(r)
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("%v workers=%d wavefront=%v: rung %s bytes differ from workers=1 wavefront=off",
+							c, workers, wavefront, rends[i].Rung.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLadderSeededPSNRGuard bounds the quality cost of cross-rung
+// seeding: the seeded rung must land within 0.2 dB of the same rung
+// encoded cold (no hints) at the same quantizer — the seed is one extra
+// predictor feeding the same RD decisions, so it may shift individual
+// vector choices but not degrade the operating point.
+func TestLadderSeededPSNRGuard(t *testing.T) {
+	const mezzW, mezzH = 352, 288
+	const rungW, rungH = 176, 144
+	frames := NewSequence(PedestrianArea, mezzW, mezzH).Generate(9)
+	small := make([]*Frame, len(frames))
+	for i, f := range frames {
+		small[i] = DownscaleFrame(f, rungW, rungH)
+	}
+	opts := EncoderOptions{Width: mezzW, Height: mezzH, IntraPeriod: 4}
+	rungs := []LadderRung{
+		{Name: "low", Width: rungW, Height: rungH},
+		{Name: "top", Width: mezzW, Height: mezzH},
+	}
+	for _, c := range []Codec{MPEG2, MPEG4, H264} {
+		rends, err := EncodeLadder(c, opts, frames, rungs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeded := rends[0]
+		coldOpts := opts
+		coldOpts.Width, coldOpts.Height = rungW, rungH
+		coldPkts, coldHdr, err := EncodeFramesParallel(c, coldOpts, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnr := func(hdr StreamHeader, pkts []Packet) float64 {
+			dec, err := NewDecoder(hdr, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := DecodePackets(dec, pkts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != len(small) {
+				t.Fatalf("decoded %d frames, want %d", len(out), len(small))
+			}
+			sum := 0.0
+			for i := range out {
+				sum += PSNR(small[i], out[i])
+			}
+			return sum / float64(len(out))
+		}
+		seededPSNR := psnr(seeded.Header, seeded.Packets)
+		coldPSNR := psnr(coldHdr, coldPkts)
+		if diff := coldPSNR - seededPSNR; diff > 0.2 {
+			t.Errorf("%v: seeded rung %.2f dB vs cold %.2f dB — %.2f dB worse, want <= 0.2",
+				c, seededPSNR, coldPSNR, diff)
+		}
+	}
+}
+
+// TestLadderCBRWithinTolerance pins the rate controller's acceptance
+// bound: a rate-targeted rung's achieved bitrate lands within 10% of
+// the declared budget at the paper's first-frame-only-intra default.
+func TestLadderCBRWithinTolerance(t *testing.T) {
+	const mezzW, mezzH = 352, 288
+	frames := NewSequence(PedestrianArea, mezzW, mezzH).Generate(25)
+	rungs := []LadderRung{
+		{Name: "low", Width: 176, Height: 144, Kbps: 300},
+		{Name: "top", Width: mezzW, Height: mezzH, Kbps: 900},
+	}
+	for _, c := range []Codec{MPEG2, MPEG4, H264} {
+		rends, err := EncodeLadder(c, EncoderOptions{Width: mezzW, Height: mezzH}, frames, rungs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rends {
+			bytes := 0
+			for _, p := range r.Packets {
+				bytes += len(p.Payload)
+			}
+			fps := float64(r.Header.FPSNum) / float64(r.Header.FPSDen)
+			achieved := float64(bytes) * 8 * fps / float64(len(frames)) / 1000
+			target := float64(r.Rung.Kbps)
+			if ratio := achieved / target; ratio < 0.9 || ratio > 1.1 {
+				t.Errorf("%v rung %s: achieved %.0f kbps vs %.0f target (%.0f%%), want within 10%%",
+					c, r.Rung.Name, achieved, target, 100*ratio)
+			}
+			// The rate-targeted stream must still decode cleanly (the
+			// per-slice quantizer bytes round-trip).
+			dec, err := NewDecoder(r.Header, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := DecodePackets(dec, r.Packets); err != nil {
+				t.Fatalf("%v rung %s decode: %v", c, r.Rung.Name, err)
+			}
+		}
+	}
+}
