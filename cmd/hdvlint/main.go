@@ -1,0 +1,61 @@
+// Command hdvlint is the repository's multichecker: it runs the four
+// internal/lint analyzers (determinism, noalloc, lockcheck, metriclint)
+// over the given package patterns and exits nonzero on any finding.
+// CI runs `hdvlint ./...` as its own leg; the tree is expected to stay
+// clean — legitimate exceptions carry a per-line
+// `//hdvlint:allow <analyzer> -- <reason>` annotation, and the
+// annotation grammar itself is linted (stale or malformed annotations
+// are findings too).
+//
+// Usage:
+//
+//	hdvlint [-list] [packages...]
+//
+// With no patterns it lints ./.... Run it from the module root (it
+// drives `go list`, so it needs the module context).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hdvideobench/internal/lint"
+	"hdvideobench/internal/lint/loader"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "print the analyzer catalogue and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hdvlint [-list] [packages...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Static checks for the invariants this repository runs on.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		os.Exit(0)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l := loader.New(".")
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdvlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.Analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "hdvlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,8 @@
 package codec
 
 import (
+	"sort"
+
 	"hdvideobench/internal/container"
 	"hdvideobench/internal/frame"
 )
@@ -163,18 +165,17 @@ func (d *DisplayReorderer) Add(f *frame.Frame) []*frame.Frame {
 // Flush returns any frames still buffered, in display order (gaps are
 // skipped — they indicate a truncated stream).
 func (d *DisplayReorderer) Flush() []*frame.Frame {
-	var out []*frame.Frame
-	for len(d.pending) > 0 {
-		// Find the smallest pending index.
-		best := -1
-		for idx := range d.pending {
-			if best == -1 || idx < best {
-				best = idx
-			}
-		}
-		out = append(out, d.pending[best])
-		delete(d.pending, best)
-		d.next = best + 1
+	keys := make([]int, 0, len(d.pending))
+	//hdvlint:allow determinism -- key order is fixed by the sort below
+	for idx := range d.pending {
+		keys = append(keys, idx)
+	}
+	sort.Ints(keys)
+	out := make([]*frame.Frame, 0, len(keys))
+	for _, idx := range keys {
+		out = append(out, d.pending[idx])
+		delete(d.pending, idx)
+		d.next = idx + 1
 	}
 	return out
 }

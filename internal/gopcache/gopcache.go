@@ -94,9 +94,9 @@ type Cache struct {
 	budget int64 // byte budget; <= 0 means unlimited
 
 	mu      sync.Mutex
-	entries map[string]*entry // by Key.id()
-	lru     *list.List        // front = oldest, back = most recent; values are *entry
-	bytes   int64
+	entries map[string]*entry // guarded by mu; by Key.id()
+	lru     *list.List        // guarded by mu; front = oldest, back = most recent; values are *entry
+	bytes   int64             // guarded by mu
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -250,6 +250,8 @@ func (c *Cache) open(e *entry) (*Entry, error) {
 // races against a same-key Commit that already replaced the entry, and
 // dropping the replacement here would corrupt the byte accounting and
 // strand its LRU element.
+//
+//hdvlint:locked mu
 func (c *Cache) dropLocked(e *entry) {
 	if c.entries[e.id] != e {
 		return
@@ -261,6 +263,8 @@ func (c *Cache) dropLocked(e *entry) {
 
 // evictLocked removes oldest entries until the byte budget holds,
 // sparing keep (the entry just admitted).
+//
+//hdvlint:locked mu
 func (c *Cache) evictLocked(keep *entry) {
 	if c.budget <= 0 {
 		return

@@ -453,6 +453,7 @@ func (s *sliceEnc) emitMB(rec *mbRec) {
 
 // --- cost helpers -------------------------------------------------------------
 
+//hdvlint:noalloc
 func (s *rowEnc) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
 	off := src.YOrigin + py*src.YStride + px
 	if s.e.cfg.Kernels == kernel.SWAR {
@@ -484,6 +485,8 @@ func mvdBits(mv, pred motion.MV) int {
 // the reference's half-pel planes (every encoder reference has them —
 // BuildHalfPel6 runs before refs.Add; the decoder keeps the per-block
 // QPel path, which is bit-exact with this one).
+//
+//hdvlint:noalloc
 func (s *rowEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, dst []byte) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
@@ -493,6 +496,8 @@ func (s *rowEnc) mcLumaInto(ref *frame.Frame, px, py, w, h int, mv motion.MV, ds
 
 // sadQPel scores one quarter-pel candidate against the precomputed half
 // planes, early-terminating once the partial SAD reaches max.
+//
+//hdvlint:noalloc
 func (s *rowEnc) sadQPel(src, ref *frame.Frame, px, py, w, h int, mv motion.MV, max int) int {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
@@ -503,6 +508,8 @@ func (s *rowEnc) sadQPel(src, ref *frame.Frame, px, py, w, h int, mv motion.MV, 
 
 // searchRef runs seed selection + hexagon + two-stage quarter-pel
 // refinement against one reference, filling pred with the winner.
+//
+//hdvlint:noalloc
 func (s *rowEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.MV, pred []byte) (motion.MV, int) {
 	var est motion.Estimator
 	est.Kern = s.e.cfg.Kernels
@@ -561,7 +568,7 @@ func (s *rowEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.
 	// and strict comparisons as the per-block path — bytes unchanged.
 	bestMV := motion.MV{X: res.MV.X * 4, Y: res.MV.Y * 4}
 	bestSAD := res.Cost - est.MVCost(int(res.MV.X), int(res.MV.Y))
-	for _, step := range []int{2, 1} {
+	for _, step := range [2]int{2, 1} {
 		center := bestMV
 		for dy := -step; dy <= step; dy += step {
 			for dx := -step; dx <= step; dx += step {
@@ -583,6 +590,8 @@ func (s *rowEnc) searchRef(src, ref *frame.Frame, px, py, w, h int, mvpQ motion.
 // mcChromaPart motion-compensates one chroma partition region for both
 // planes into predC with stride 8. (ox, oy, w, h) are luma-partition pixel
 // geometry relative to the MB origin.
+//
+//hdvlint:noalloc
 func (s *rowEnc) mcChromaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
 	cx := (px + ox) / 2
 	cy := (py + oy) / 2
@@ -605,6 +614,8 @@ var lumaGroupBlocks = [4][4]int{
 
 // transformLumaInter quantizes the luma residual of an inter (or I4-less)
 // MB against predY and fills md.luma/cbpLuma/lumaNZ.
+//
+//hdvlint:noalloc
 func (s *rowEnc) transformLumaInter(src *frame.Frame, px, py int, md *mbData) {
 	md.cbpLuma = 0
 	for bi := 0; bi < 16; bi++ {
@@ -628,6 +639,8 @@ func (s *rowEnc) transformLumaInter(src *frame.Frame, px, py int, md *mbData) {
 }
 
 // reconLumaInter reconstructs the luma of an inter MB from md into recon.
+//
+//hdvlint:noalloc
 func (s *rowEnc) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 	for bi := 0; bi < 16; bi++ {
 		bx, by := 4*(bi%4), 4*(bi/4)
@@ -649,6 +662,8 @@ func (s *rowEnc) reconLumaInter(recon *frame.Frame, px, py int, md *mbData) {
 
 // transformChroma quantizes both chroma planes against predC and fills
 // md.chroma/chromaDC/cbpChroma.
+//
+//hdvlint:noalloc
 func (s *rowEnc) transformChroma(src *frame.Frame, px, py int, intra bool, md *mbData) {
 	cx, cy := px/2, py/2
 	anyAC, anyDC := false, false
@@ -688,6 +703,8 @@ func (s *rowEnc) transformChroma(src *frame.Frame, px, py int, intra bool, md *m
 }
 
 // reconChroma reconstructs both chroma planes from md into recon.
+//
+//hdvlint:noalloc
 func (s *rowEnc) reconChroma(recon *frame.Frame, px, py int, md *mbData) {
 	cx, cy := px/2, py/2
 	for pl := 0; pl < 2; pl++ {
@@ -769,6 +786,8 @@ func (s *sliceEnc) writeResidual(md *mbData, i16 bool) {
 }
 
 // updateMetaNZ records per-4×4 non-zero flags for deblocking.
+//
+//hdvlint:noalloc
 func (s *rowEnc) updateMetaNZ(px, py int, md *mbData, i16 bool) {
 	m := s.e.meta
 	bx4, by4 := px/4, py/4
@@ -784,6 +803,8 @@ func (s *rowEnc) updateMetaNZ(px, py int, md *mbData, i16 bool) {
 // --- intra coding ----------------------------------------------------------------
 
 // bestI16 selects the best I16×16 mode by SAD and returns (mode, cost).
+//
+//hdvlint:noalloc
 func (s *rowEnc) bestI16(src, recon *frame.Frame, px, py int) (int, int) {
 	availLeft := px > 0
 	availTop := py > s.topPx
@@ -802,6 +823,8 @@ func (s *rowEnc) bestI16(src, recon *frame.Frame, px, py int) (int, int) {
 // encodeI16Into performs the full I16 pipeline: prediction, transform with
 // DC Hadamard, quantization, reconstruction, and meta update. The caller
 // writes the syntax.
+//
+//hdvlint:noalloc
 func (s *rowEnc) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *mbData) {
 	availLeft := px > 0
 	availTop := py > s.topPx
@@ -854,6 +877,8 @@ func (s *rowEnc) encodeI16Into(src, recon *frame.Frame, px, py, mode int, md *mb
 
 // encodeI4Into performs the sequential I4×4 pipeline, choosing a mode per
 // block and reconstructing as it goes.
+//
+//hdvlint:noalloc
 func (s *rowEnc) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) {
 	md.cbpLuma = 0
 	for bi := 0; bi < 16; bi++ {
@@ -904,6 +929,8 @@ func (s *rowEnc) encodeI4Into(src, recon *frame.Frame, px, py int, md *mbData) {
 
 // intraChroma predicts chroma with the DC mode and runs the chroma
 // residual pipeline.
+//
+//hdvlint:noalloc
 func (s *rowEnc) intraChroma(src, recon *frame.Frame, px, py int, md *mbData) {
 	cx, cy := px/2, py/2
 	availTop := py > s.topPx
@@ -915,6 +942,8 @@ func (s *rowEnc) intraChroma(src, recon *frame.Frame, px, py int, md *mbData) {
 // i4CostEstimate returns the summed best-mode SAD over the 16 blocks,
 // predicting from the source (cheap approximation used only for the
 // I4-vs-I16 decision).
+//
+//hdvlint:noalloc
 func (s *rowEnc) i4CostEstimate(src, recon *frame.Frame, px, py int) int {
 	total := 0
 	var cand [16]byte
@@ -937,6 +966,7 @@ func (s *rowEnc) i4CostEstimate(src, recon *frame.Frame, px, py int) int {
 
 // --- I macroblocks ---------------------------------------------------------------
 
+//hdvlint:noalloc
 func (s *rowEnc) decideIMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	px, py := mbx*16, mby*16
 	md := &rec.md
@@ -976,6 +1006,7 @@ var partGeom = map[int][][4]int{
 // residual energy, in decision order.
 var partModes = [3]int{mP16x8, mP8x16, mP8x8}
 
+//hdvlint:noalloc
 func (s *rowEnc) decidePMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	px, py := mbx*16, mby*16
 	bx4, by4 := px/4, py/4
@@ -1073,6 +1104,8 @@ func (s *rowEnc) decidePMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 
 // mcLumaPart motion-compensates one luma partition into predY (via the
 // reference's half-pel planes, like mcLumaInto).
+//
+//hdvlint:noalloc
 func (s *rowEnc) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motion.MV) {
 	ix, fx := splitQuarter(int(mv.X))
 	iy, fy := splitQuarter(int(mv.Y))
@@ -1082,6 +1115,7 @@ func (s *rowEnc) mcLumaPart(ref *frame.Frame, px, py, ox, oy, w, h int, mv motio
 
 // --- B macroblocks ---------------------------------------------------------------
 
+//hdvlint:noalloc
 func (s *rowEnc) decideBMB(src, recon *frame.Frame, mbx, mby int, rec *mbRec) {
 	px, py := mbx*16, mby*16
 	bx4, by4 := px/4, py/4

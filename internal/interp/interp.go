@@ -37,6 +37,8 @@ func clip255(v int32) byte {
 }
 
 // Copy copies a w×h block.
+//
+//hdvlint:noalloc
 func Copy(dst []byte, dStride int, src []byte, sStride, w, h int) {
 	for r := 0; r < h; r++ {
 		copy(dst[r*dStride:r*dStride+w], src[r*sStride:r*sStride+w])
@@ -45,6 +47,8 @@ func Copy(dst []byte, dStride int, src []byte, sStride, w, h int) {
 
 // Avg overwrites dst with the rounded average of dst and src (used for
 // bi-directional prediction in B frames).
+//
+//hdvlint:noalloc
 func Avg(dst []byte, dStride int, src []byte, sStride, w, h int, k kernel.Set) {
 	if k == kernel.SWAR {
 		for r := 0; r < h; r++ {
@@ -64,6 +68,8 @@ func Avg(dst []byte, dStride int, src []byte, sStride, w, h int, k kernel.Set) {
 // HalfPel performs MPEG-2-style bilinear motion compensation. fx and fy are
 // the half-pel fraction bits (0 or 1); src addresses the integer-pel
 // top-left sample of the reference block.
+//
+//hdvlint:noalloc
 func HalfPel(dst []byte, dStride int, src []byte, sStride, w, h, fx, fy int, k kernel.Set) {
 	switch {
 	case fx == 0 && fy == 0:
@@ -119,6 +125,8 @@ func HalfPel(dst []byte, dStride int, src []byte, sStride, w, h, fx, fy int, k k
 
 // ChromaBilin performs H.264-style weighted bilinear chroma interpolation
 // with eighth-pel fractions dx, dy ∈ [0, 8).
+//
+//hdvlint:noalloc
 func ChromaBilin(dst []byte, dStride int, src []byte, sStride, w, h, dx, dy int, k kernel.Set) {
 	if dx == 0 && dy == 0 {
 		Copy(dst, dStride, src, sStride, w, h)

@@ -24,6 +24,8 @@ type QPel struct {
 
 // Luma writes the w×h luma prediction for quarter-pel fractions
 // fx, fy ∈ [0, 3]. src[so] is the integer-pel top-left reference sample.
+//
+//hdvlint:noalloc
 func (q *QPel) Luma(dst []byte, dStride int, src []byte, so, sStride, w, h, fx, fy int, k kernel.Set) {
 	switch fy*4 + fx {
 	case 0: // G
@@ -83,6 +85,8 @@ func (q *QPel) Luma(dst []byte, dStride int, src []byte, so, sStride, w, h, fx, 
 
 // Avg2 writes the rounded average of two blocks into dst (also the
 // quarter-pel combiner of LumaPlanes).
+//
+//hdvlint:noalloc
 func Avg2(dst []byte, dStride int, a []byte, aStride int, b []byte, bStride, w, h int, k kernel.Set) {
 	if k == kernel.SWAR {
 		swar.AvgBlockRound(dst, dStride, a, aStride, b, bStride, w, h)
@@ -104,6 +108,8 @@ func sixTap(e, f, g, h, i, j int32) int32 {
 }
 
 // filterH computes horizontal half-pel samples: clip((6tap+16)>>5).
+//
+//hdvlint:noalloc
 func filterH(dst []byte, dStride int, src []byte, so, sStride, w, h int, k kernel.Set) {
 	if k == kernel.SWAR && w >= 8 {
 		filterHSWAR(dst, dStride, src, so, sStride, w, h)
@@ -122,6 +128,8 @@ func filterH(dst []byte, dStride int, src []byte, so, sStride, w, h int, k kerne
 }
 
 // filterV computes vertical half-pel samples.
+//
+//hdvlint:noalloc
 func filterV(dst []byte, dStride int, src []byte, so, sStride, w, h int, k kernel.Set) {
 	if k == kernel.SWAR && w >= 8 {
 		filterVSWAR(dst, dStride, src, so, sStride, w, h)
@@ -143,6 +151,8 @@ func filterV(dst []byte, dStride int, src []byte, so, sStride, w, h int, k kerne
 // unrounded horizontal 6-tap intermediates, clip((v+512)>>10). The
 // intermediates exceed 16-bit lanes, so scalar and SWAR kernel sets share
 // this implementation (centre positions are the rarest in real streams).
+//
+//hdvlint:noalloc
 func (q *QPel) filterHV(dst []byte, dStride int, src []byte, so, sStride, w, h int) {
 	ib := q.ibuf[:]
 	rows := h + 5
@@ -190,6 +200,7 @@ func sixTapLanes(e, f, g, h, i, j uint64) uint64 {
 	return hi - lane80 // lanes now hold clip255 results
 }
 
+//hdvlint:noalloc
 func filterHSWAR(dst []byte, dStride int, src []byte, so, sStride, w, h int) {
 	for r := 0; r < h; r++ {
 		row := so + r*sStride
@@ -214,6 +225,7 @@ func filterHSWAR(dst []byte, dStride int, src []byte, so, sStride, w, h int) {
 	}
 }
 
+//hdvlint:noalloc
 func filterVSWAR(dst []byte, dStride int, src []byte, so, sStride, w, h int) {
 	for r := 0; r < h; r++ {
 		base := so + r*sStride

@@ -1,0 +1,61 @@
+// Package analysis is a deliberately small, dependency-free mirror of
+// the golang.org/x/tools/go/analysis API: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics. The
+// container this repository builds in bakes in no modules beyond the
+// standard library, so rather than importing the x/tools framework the
+// hdvlint suite carries the ~hundred lines of it that the four
+// analyzers actually need. The shapes are kept intentionally
+// compatible: an analyzer written against this package ports to the
+// real framework by changing one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //hdvlint:allow annotations. It must be a valid identifier.
+	Name string
+
+	// Doc is the one-paragraph description printed by hdvlint -list:
+	// the invariant the analyzer protects and what it flags.
+	Doc string
+
+	// Scoped, when non-nil, restricts the analyzer to packages for
+	// which it returns true (the determinism analyzer only patrols the
+	// bitstream-affecting packages). Nil means every package.
+	Scoped func(pkgPath string) bool
+
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package into an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The runner owns filtering
+	// (//hdvlint:allow) and ordering; analyzers just report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The analyzer
+// name is attached by the runner.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

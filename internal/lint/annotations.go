@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The //hdvlint annotation grammar. Three directives exist:
+//
+//	//hdvlint:allow <analyzer> -- <reason>
+//	//hdvlint:noalloc
+//	//hdvlint:locked <mutexField>
+//
+// allow suppresses findings from exactly one named analyzer on the
+// comment's own line and the line directly below it (so it works both
+// as a trailing comment and on its own line above the finding). The
+// reason is mandatory: an annotation is a reviewed exception, and the
+// justification travels with it. noalloc marks a function whose body
+// the noalloc analyzer patrols; locked documents a function as
+// caller-locked for the named mutex (lockcheck treats its guarded-field
+// accesses as held). Both attach to the function declaration's doc
+// comment.
+//
+// The grammar itself is linted: an unknown directive verb, an allow
+// naming an unknown analyzer, a missing reason, a misplaced noalloc or
+// locked, and — the important one — a stale allow whose lines carry no
+// finding anymore are all findings in their own right, so annotations
+// cannot rot silently.
+const directivePrefix = "//hdvlint:"
+
+var allowRE = regexp.MustCompile(`^//hdvlint:allow\s+([A-Za-z_]\w*)\s+--\s+(\S.*)$`)
+
+// allowAnn is one parsed //hdvlint:allow.
+type allowAnn struct {
+	analyzer string
+	pos      token.Pos
+	line     int
+	used     bool
+}
+
+// annotations is the per-package directive harvest.
+type annotations struct {
+	allows   []*allowAnn
+	problems []Finding // grammar findings, attributed to "hdvlint"
+}
+
+// parseAnnotations scans every comment in the package for hdvlint
+// directives, validating the grammar. knownAnalyzers is the set of
+// names an allow may legally reference.
+func parseAnnotations(fset *token.FileSet, files []*ast.File, known map[string]bool) *annotations {
+	a := &annotations{}
+	for _, f := range files {
+		docSpans := funcDocSpans(f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				verb := strings.TrimPrefix(text, directivePrefix)
+				if i := strings.IndexAny(verb, " \t"); i >= 0 {
+					verb = verb[:i]
+				}
+				switch verb {
+				case "allow":
+					m := allowRE.FindStringSubmatch(text)
+					if m == nil {
+						a.problem(pos, "malformed %sallow: want %sallow <analyzer> -- <reason>", directivePrefix, directivePrefix)
+						continue
+					}
+					if !known[m[1]] {
+						a.problem(pos, "%sallow names unknown analyzer %q", directivePrefix, m[1])
+						continue
+					}
+					a.allows = append(a.allows, &allowAnn{analyzer: m[1], pos: c.Pos(), line: pos.Line})
+				case "noalloc":
+					if text != directivePrefix+"noalloc" {
+						a.problem(pos, "malformed %snoalloc: the directive takes no arguments", directivePrefix)
+						continue
+					}
+					if !inSpans(c.Pos(), docSpans) {
+						a.problem(pos, "misplaced %snoalloc: it must sit in a function's doc comment", directivePrefix)
+					}
+				case "locked":
+					rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix+"locked"))
+					if rest == "" || strings.ContainsAny(rest, " \t") {
+						a.problem(pos, "malformed %slocked: want %slocked <mutexField>", directivePrefix, directivePrefix)
+						continue
+					}
+					if !inSpans(c.Pos(), docSpans) {
+						a.problem(pos, "misplaced %slocked: it must sit in a function's doc comment", directivePrefix)
+					}
+				default:
+					a.problem(pos, "unknown hdvlint directive %q", verb)
+				}
+			}
+		}
+	}
+	return a
+}
+
+func (a *annotations) problem(pos token.Position, format string, args ...any) {
+	a.problems = append(a.problems, Finding{
+		Analyzer: grammarAnalyzer,
+		Pos:      pos,
+		Message:  sprintf(format, args...),
+	})
+}
+
+// suppresses reports whether an allow for the analyzer covers the line,
+// marking the matching annotation used (for stale detection).
+func (a *annotations) suppresses(analyzer string, line int) bool {
+	hit := false
+	for _, al := range a.allows {
+		if al.analyzer == analyzer && (al.line == line || al.line == line-1) {
+			al.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// stale returns a finding for every allow that suppressed nothing.
+func (a *annotations) stale(fset *token.FileSet) []Finding {
+	var out []Finding
+	for _, al := range a.allows {
+		if !al.used {
+			out = append(out, Finding{
+				Analyzer: grammarAnalyzer,
+				Pos:      fset.Position(al.pos),
+				Message: sprintf("stale %sallow %s: no %s finding on this line or the next",
+					directivePrefix, al.analyzer, al.analyzer),
+			})
+		}
+	}
+	return out
+}
+
+// funcDocSpans returns the position ranges of every function doc
+// comment in the file, the only legal home for noalloc/locked.
+func funcDocSpans(f *ast.File) [][2]token.Pos {
+	var spans [][2]token.Pos
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+			spans = append(spans, [2]token.Pos{fd.Doc.Pos(), fd.Doc.End()})
+		}
+	}
+	return spans
+}
+
+func inSpans(pos token.Pos, spans [][2]token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s[0] && pos <= s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether a doc comment group carries the given
+// bare directive (e.g. "noalloc"), and directiveArg returns the single
+// argument of an argumented directive ("locked mu" -> "mu").
+func hasDirective(doc *ast.CommentGroup, verb string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directivePrefix+verb {
+			return true
+		}
+	}
+	return false
+}
+
+func directiveArgs(doc *ast.CommentGroup, verb string) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, directivePrefix+verb+" "); ok {
+			if arg := strings.TrimSpace(rest); arg != "" && !strings.ContainsAny(arg, " \t") {
+				out = append(out, arg)
+			}
+		}
+	}
+	return out
+}

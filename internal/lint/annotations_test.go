@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"hdvideobench/internal/lint"
+)
+
+// TestAnnotationGrammar pins the grammar linting: unknown directives,
+// allows naming unknown analyzers, allows without a reason, misplaced
+// function directives, and stale allows are all findings, attributed to
+// the "hdvlint" pseudo-analyzer. Expectations are explicit here rather
+// than want comments because several findings land on the directive's
+// own line, where a want comment cannot sit.
+func TestAnnotationGrammar(t *testing.T) {
+	findings := runFixture(t, "grammar", "hdvideobench/internal/lint/fixture/grammar")
+
+	wants := []string{
+		`unknown hdvlint directive "frobnicate"`,
+		`names unknown analyzer "nosuch"`,
+		"malformed //hdvlint:allow",
+		"stale //hdvlint:allow noalloc",
+		"misplaced //hdvlint:noalloc",
+		"malformed //hdvlint:locked",
+	}
+	for _, want := range wants {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f.Message, want) {
+				found = true
+				if f.Analyzer != "hdvlint" {
+					t.Errorf("finding %q attributed to %q, want the hdvlint pseudo-analyzer", f.Message, f.Analyzer)
+				}
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding containing %q; got:\n%s", want, findingList(findings))
+		}
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("got %d findings, want %d:\n%s", len(findings), len(wants), findingList(findings))
+	}
+}
+
+func findingList(fs []lint.Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hdvideobench/internal/lint"
+	"hdvideobench/internal/lint/loader"
+)
+
+// fixtures shares one loader across every fixture test, so the standard
+// library closure the fixtures import is type-checked once per run.
+var fixtures = loader.New("../..")
+
+// runFixture type-checks testdata/src/<name> under importPath — chosen
+// per test so scoped analyzers (determinism) see the package path they
+// gate on — and runs the full suite over it.
+func runFixture(t *testing.T, name, importPath string) []lint.Finding {
+	t.Helper()
+	pkg, err := fixtures.CheckDir(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return lint.RunPackage(pkg, lint.Analyzers)
+}
+
+// wantRE extracts the backtick-quoted regexes of a `// want` comment.
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// parseWants reads the fixture sources and returns the expected-finding
+// regexes keyed by (file, line). The convention is analysistest's: a
+// comment `// want `regex1` `regex2“ on the line the findings land on.
+func parseWants(t *testing.T, dir string) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[wantKey][]*regexp.Regexp)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "want `")
+			if idx < 0 {
+				continue
+			}
+			k := wantKey{file: path, line: i + 1}
+			for _, m := range wantRE.FindAllStringSubmatch(line[idx:], -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", path, i+1, m[1], err)
+				}
+				out[k] = append(out[k], re)
+			}
+		}
+	}
+	return out
+}
+
+// checkFixture runs the suite over a fixture and compares the findings
+// against its want comments: every finding must be expected on its
+// line, and every want must match a finding on its line.
+func checkFixture(t *testing.T, name, importPath string) {
+	t.Helper()
+	findings := runFixture(t, name, importPath)
+	wants := parseWants(t, filepath.Join("testdata", "src", name))
+
+	byKey := make(map[wantKey][]string)
+	for _, f := range findings {
+		k := wantKey{file: f.Pos.Filename, line: f.Pos.Line}
+		byKey[k] = append(byKey[k], f.Message)
+		matched := false
+		for _, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			matched := false
+			for _, msg := range byKey[k] {
+				if re.MatchString(msg) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no finding matching %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	checkFixture(t, "determinism/bad", "hdvideobench/internal/codec")
+	checkFixture(t, "determinism/allowed", "hdvideobench/internal/motion")
+	checkFixture(t, "determinism/clean", "hdvideobench/internal/h264")
+}
+
+// TestDeterminismScope pins the scoping: the same forbidden constructs
+// are not findings outside the bitstream-affecting package set.
+func TestDeterminismScope(t *testing.T) {
+	findings := runFixture(t, "determinism/bad", "hdvideobench/internal/lint/fixture/unscoped")
+	for _, f := range findings {
+		t.Errorf("out-of-scope package produced finding: %s", f)
+	}
+}
+
+func TestNoAllocFixtures(t *testing.T) {
+	checkFixture(t, "noalloc/bad", "hdvideobench/internal/lint/fixture/noalloc/bad")
+	checkFixture(t, "noalloc/allowed", "hdvideobench/internal/lint/fixture/noalloc/allowed")
+	checkFixture(t, "noalloc/clean", "hdvideobench/internal/lint/fixture/noalloc/clean")
+}
+
+func TestLockCheckFixtures(t *testing.T) {
+	checkFixture(t, "lockcheck/bad", "hdvideobench/internal/lint/fixture/lockcheck/bad")
+	checkFixture(t, "lockcheck/allowed", "hdvideobench/internal/lint/fixture/lockcheck/allowed")
+	checkFixture(t, "lockcheck/clean", "hdvideobench/internal/lint/fixture/lockcheck/clean")
+}
+
+func TestMetricLintFixtures(t *testing.T) {
+	checkFixture(t, "metriclint/bad", "hdvideobench/internal/lint/fixture/metriclint/bad")
+	checkFixture(t, "metriclint/allowed", "hdvideobench/internal/lint/fixture/metriclint/allowed")
+	checkFixture(t, "metriclint/clean", "hdvideobench/internal/lint/fixture/metriclint/clean")
+}
+
+// TestTreeClean is the acceptance gate in test form: the whole module
+// lints clean, so `hdvlint ./...` exits 0.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l := loader.New("../..")
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range lint.Run(pkgs, lint.Analyzers) {
+		t.Errorf("tree not lint-clean: %s", f)
+	}
+}

@@ -1,0 +1,133 @@
+// Package lint is the hdvlint suite: four static analyzers that turn
+// this repository's load-bearing runtime invariants into
+// compiler-adjacent checks, rejecting the regression pattern before it
+// merges instead of catching it in a test after the fact.
+//
+//   - determinism: the bitstream must be byte-identical across workers,
+//     slices, wavefront and ladder runs. In the bitstream-affecting
+//     packages, anything order- or clock-dependent (map iteration,
+//     time.Now/Since, math/rand, racing selects) is a finding.
+//   - noalloc: the macroblock/motion hot paths are allocation-free
+//     (TestSearchAllocs proves it at runtime for the searchers);
+//     functions marked //hdvlint:noalloc are statically screened for
+//     allocation-causing constructs.
+//   - lockcheck: fields annotated "// guarded by mu" may only be
+//     touched by functions that (flow-insensitively) hold mu, are
+//     documented caller-locked, or are still constructing the value.
+//   - metriclint: registry registration sites must carry statically
+//     valid Prometheus names, non-empty HELP, and legal labels/buckets,
+//     so a malformed series fails the lint run instead of a scrape.
+//
+// Findings are suppressed one line at a time with
+// `//hdvlint:allow <analyzer> -- <reason>`; the annotation grammar is
+// itself linted (see annotations.go), so unknown analyzers, missing
+// reasons and stale annotations are findings too.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"hdvideobench/internal/lint/analysis"
+	"hdvideobench/internal/lint/loader"
+)
+
+// grammarAnalyzer is the pseudo-analyzer name annotation-grammar
+// findings are attributed to. They are never suppressible.
+const grammarAnalyzer = "hdvlint"
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	Determinism,
+	NoAlloc,
+	LockCheck,
+	MetricLint,
+}
+
+// Finding is one reported diagnostic after annotation filtering.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// Run applies the analyzers to every package and returns the surviving
+// findings in file/line order.
+func Run(pkgs []*loader.Package, analyzers []*analysis.Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		out = append(out, RunPackage(pkg, analyzers)...)
+	}
+	sortFindings(out)
+	return out
+}
+
+// RunPackage applies the analyzers to one package: runs each in-scope
+// analyzer, filters its diagnostics through the //hdvlint:allow
+// annotations, and appends the annotation-grammar findings (malformed
+// or stale annotations). Allow names are validated against the full
+// suite plus whatever extra analyzers were passed, so running a subset
+// (as the fixture tests do) never misreports a legitimate allow as
+// unknown.
+func RunPackage(pkg *loader.Package, analyzers []*analysis.Analyzer) []Finding {
+	known := make(map[string]bool)
+	for _, a := range Analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	anns := parseAnnotations(pkg.Fset, pkg.Files, known)
+
+	var out []Finding
+	for _, a := range analyzers {
+		if a.Scoped != nil && !a.Scoped(pkg.Path) {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if anns.suppresses(name, pos.Line) {
+				return
+			}
+			out = append(out, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			out = append(out, Finding{Analyzer: name, Message: sprintf("analyzer error: %v", err)})
+		}
+	}
+	out = append(out, anns.problems...)
+	out = append(out, anns.stale(pkg.Fset)...)
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

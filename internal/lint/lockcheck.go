@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"hdvideobench/internal/lint/analysis"
+)
+
+// LockCheck enforces the "// guarded by <mu>" discipline: a struct
+// field whose doc or trailing comment says it is guarded by a mutex
+// field may only be accessed in functions that visibly hold that
+// mutex. The check is flow-insensitive by design — it asks "does this
+// function lock the right mutex at all?", not "does the lock dominate
+// the access?" — which is exactly the strength of the comments it
+// replaces and catches the real regression: a new method that touches
+// shared state with no locking anywhere in sight.
+//
+// An access is accepted when any enclosing function (literal or
+// declaration):
+//
+//   - calls <expr>.<mu>.Lock() or .RLock() on an expression of the
+//     guarded struct's type (defer'd unlocks ride along for free);
+//   - carries the //hdvlint:locked <mu> directive, the machine-readable
+//     spelling of "caller must hold mu" (dropLocked, evictLocked,
+//     pruneLocked);
+//   - or constructed the value itself: the receiver of the access is a
+//     local variable initialized from a fresh composite literal or
+//     new(T) in the same function — the Open/NewX constructor pattern,
+//     where the value has not escaped yet and locking would be noise.
+var LockCheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "require functions that touch a `// guarded by mu` field to hold mu, " +
+		"be marked //hdvlint:locked mu, or still be constructing the value",
+	Run: runLockCheck,
+}
+
+var guardedRE = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
+
+// lockGuard records one guarded field: the mutex field's name and the
+// named struct type both fields live in.
+type lockGuard struct {
+	mu    string
+	owner *types.Named
+}
+
+func runLockCheck(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLockFunc(pass, fd, guards)
+			}
+		}
+	}
+	return nil
+}
+
+// collectGuards finds every "// guarded by mu" field annotation in the
+// package and resolves it to (field object -> guard). A guard naming a
+// mutex field that does not exist in the same struct is itself a
+// finding — the annotation would otherwise silently protect nothing.
+func collectGuards(pass *analysis.Pass) map[*types.Var]lockGuard {
+	guards := make(map[*types.Var]lockGuard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			named, _ := pass.TypesInfo.Defs[ts.Name].Type().(*types.Named)
+			if named == nil {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := guardComment(fld)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(fld.Pos(), "field is '// guarded by %s' but struct %s has no field %q", mu, ts.Name.Name, mu)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[obj] = lockGuard{mu: mu, owner: named}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardComment(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockFrame is the flow-insensitive fact set of one function body.
+type lockFrame struct {
+	node ast.Node
+	// locked: mutex field name -> owner types locked anywhere in the
+	// body via <expr>.<mu>.Lock()/.RLock().
+	locked map[string][]types.Type
+	// directives: mu names from //hdvlint:locked (FuncDecl only).
+	directives map[string]bool
+	// fresh: local objects initialized from a fresh composite literal
+	// or new(T) in this body — values still under construction.
+	fresh map[types.Object]bool
+}
+
+func checkLockFunc(pass *analysis.Pass, fd *ast.FuncDecl, guards map[*types.Var]lockGuard) {
+	info := pass.TypesInfo
+
+	// Phase 1: collect facts for the declaration and every nested
+	// literal, attributed to the innermost enclosing function body.
+	frames := map[ast.Node]*lockFrame{}
+	newFrame := func(n ast.Node) *lockFrame {
+		fr := &lockFrame{
+			node:       n,
+			locked:     map[string][]types.Type{},
+			directives: map[string]bool{},
+			fresh:      map[types.Object]bool{},
+		}
+		frames[n] = fr
+		return fr
+	}
+	root := newFrame(fd)
+	for _, mu := range directiveArgs(fd.Doc, "locked") {
+		root.directives[mu] = true
+	}
+
+	var stack []*lockFrame
+	stack = append(stack, root)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m == n {
+					return true
+				}
+				stack = append(stack, newFrame(m))
+				walk(m.Body)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.CallExpr:
+				recordLock(info, stack[len(stack)-1], m)
+			case *ast.AssignStmt:
+				recordFresh(info, stack[len(stack)-1], m)
+			case *ast.ValueSpec:
+				recordFreshSpec(info, stack[len(stack)-1], m)
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+
+	// Phase 2: check every guarded-field access against the facts of
+	// its enclosing function chain.
+	var chain []*lockFrame
+	chain = append(chain, root)
+	var check func(n ast.Node)
+	check = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m == n {
+					return true
+				}
+				chain = append(chain, frames[m])
+				check(m.Body)
+				chain = chain[:len(chain)-1]
+				return false
+			case *ast.SelectorExpr:
+				sel := info.Selections[m]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				fieldVar, ok := sel.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				g, guarded := guards[fieldVar]
+				if !guarded {
+					return true
+				}
+				if !accessAllowed(info, chain, m, g) {
+					pass.Reportf(m.Pos(), "%s.%s is guarded by %s, but %s neither locks it, nor is marked //hdvlint:locked %s, nor is constructing the value",
+						g.owner.Obj().Name(), fieldVar.Name(), g.mu, funcDesc(fd), g.mu)
+				}
+			}
+			return true
+		})
+	}
+	check(fd.Body)
+}
+
+// recordLock matches <base>.<mu>.Lock() / .RLock() and records the
+// mutex name with the base expression's (pointer-stripped) type.
+func recordLock(info *types.Info, fr *lockFrame, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return
+	}
+	muSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base := info.TypeOf(muSel.X)
+	if base == nil {
+		return
+	}
+	fr.locked[muSel.Sel.Name] = append(fr.locked[muSel.Sel.Name], deref(base))
+}
+
+// recordFresh marks `x := &T{...}`, `x := T{...}` and `x := new(T)`.
+func recordFresh(info *types.Info, fr *lockFrame, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil && isFreshExpr(info, as.Rhs[i]) {
+			fr.fresh[obj] = true
+		}
+	}
+}
+
+func recordFreshSpec(info *types.Info, fr *lockFrame, vs *ast.ValueSpec) {
+	if len(vs.Values) != len(vs.Names) {
+		return
+	}
+	for i, name := range vs.Names {
+		if obj := info.Defs[name]; obj != nil && isFreshExpr(info, vs.Values[i]) {
+			fr.fresh[obj] = true
+		}
+	}
+}
+
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, lit := e.X.(*ast.CompositeLit)
+		return e.Op.String() == "&" && lit
+	case *ast.CallExpr:
+		if id := calleeIdent(e.Fun); id != nil {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// accessAllowed walks the enclosing chain innermost-out looking for a
+// reason the guarded access is fine.
+func accessAllowed(info *types.Info, chain []*lockFrame, sel *ast.SelectorExpr, g lockGuard) bool {
+	for i := len(chain) - 1; i >= 0; i-- {
+		fr := chain[i]
+		if fr == nil {
+			continue
+		}
+		if fr.directives[g.mu] {
+			return true
+		}
+		for _, t := range fr.locked[g.mu] {
+			if sameNamed(t, g.owner) {
+				return true
+			}
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if obj != nil && fr.fresh[obj] && sameNamed(deref(obj.Type()), g.owner) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sameNamed(t types.Type, owner *types.Named) bool {
+	n, ok := deref(t).(*types.Named)
+	return ok && n.Obj() == owner.Obj()
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func funcDesc(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		return "method " + fd.Name.Name
+	}
+	return "function " + fd.Name.Name
+}

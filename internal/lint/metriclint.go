@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"hdvideobench/internal/lint/analysis"
+)
+
+// MetricLint is the static companion to obs.LintText: the runtime
+// linter validates a scrape that already happened, this analyzer
+// validates the registration sites that produce it, so a malformed
+// series fails `hdvlint ./...` instead of the first scrape in
+// production. Every call to the obs.Registry registration methods
+// (Counter, Gauge, Histogram, CounterFunc, GaugeFunc) must pass a
+// compile-time-constant metric name matching the Prometheus grammar, a
+// constant non-empty HELP string, label names that are constant, legal,
+// non-duplicate and never the reserved "le", and — for histograms —
+// bucket bounds that are statically checkable (nil for the default
+// layout, obs.DefTimeBuckets, obs.ExpBuckets with valid constant
+// arguments, or an ascending []float64 literal).
+var MetricLint = &analysis.Analyzer{
+	Name: "metriclint",
+	Doc: "require statically valid Prometheus names, HELP strings, labels and " +
+		"buckets at every obs.Registry registration site",
+	Run: runMetricLint,
+}
+
+const obsPkgPath = "hdvideobench/internal/obs"
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// registryMethods maps method name -> index of the first label argument
+// (-1 when the method takes no labels).
+var registryMethods = map[string]int{
+	"Counter":     2,
+	"Gauge":       2,
+	"Histogram":   3,
+	"CounterFunc": -1,
+	"GaugeFunc":   -1,
+}
+
+func runMetricLint(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			labelStart, isReg := registryMethods[sel.Sel.Name]
+			if !isReg || !isRegistryMethod(pass, sel) {
+				return true
+			}
+			checkRegistration(pass, call, sel.Sel.Name, labelStart)
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistryMethod reports whether the selector resolves to a method on
+// the obs.Registry type.
+func isRegistryMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath {
+		return false
+	}
+	recv, ok := deref(s.Recv()).(*types.Named)
+	return ok && recv.Obj().Name() == "Registry"
+}
+
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr, method string, labelStart int) {
+	if len(call.Args) < 2 {
+		return // does not compile anyway
+	}
+	// Metric name: constant, Prometheus grammar.
+	if name, ok := constString(pass, call.Args[0]); !ok {
+		pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant so it can be checked against the Prometheus grammar")
+	} else if !metricNameRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(), "metric name %q does not match the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*", name)
+	}
+	// HELP: constant, non-empty.
+	if help, ok := constString(pass, call.Args[1]); !ok {
+		pass.Reportf(call.Args[1].Pos(), "HELP string must be a compile-time constant")
+	} else if help == "" {
+		pass.Reportf(call.Args[1].Pos(), "HELP string must not be empty; say what the series measures")
+	}
+	// Histogram bounds.
+	if method == "Histogram" && len(call.Args) >= 3 {
+		checkBounds(pass, call.Args[2])
+	}
+	// Labels.
+	if labelStart < 0 {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		pass.Reportf(call.Ellipsis, "label names must be listed literally, not spread from a slice")
+		return
+	}
+	seen := make(map[string]bool)
+	for _, arg := range call.Args[labelStart:] {
+		l, ok := constString(pass, arg)
+		if !ok {
+			pass.Reportf(arg.Pos(), "label name must be a compile-time constant")
+			continue
+		}
+		switch {
+		case !labelNameRE.MatchString(l):
+			pass.Reportf(arg.Pos(), "label name %q does not match the Prometheus grammar [a-zA-Z_][a-zA-Z0-9_]*", l)
+		case l == "le":
+			pass.Reportf(arg.Pos(), "label name \"le\" is reserved for histogram buckets")
+		case seen[l]:
+			pass.Reportf(arg.Pos(), "duplicate label name %q", l)
+		}
+		seen[l] = true
+	}
+}
+
+// checkBounds accepts the statically checkable bucket spellings and
+// flags everything else.
+func checkBounds(pass *analysis.Pass, arg ast.Expr) {
+	info := pass.TypesInfo
+	// nil: the registry substitutes DefTimeBuckets.
+	if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+		return
+	}
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Pkg().Path() == obsPkgPath && v.Name() == "DefTimeBuckets" {
+			return
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil &&
+			v.Pkg().Path() == obsPkgPath && v.Name() == "DefTimeBuckets" {
+			return
+		}
+	case *ast.CallExpr:
+		if fn := calledObsFunc(pass, e); fn == "ExpBuckets" {
+			checkExpBuckets(pass, e)
+			return
+		}
+	case *ast.CompositeLit:
+		prev := 0.0
+		first := true
+		for _, el := range e.Elts {
+			v := constFloat(pass, el)
+			if v == nil {
+				pass.Reportf(el.Pos(), "histogram bucket bounds must be compile-time constants")
+				return
+			}
+			if !first && *v <= prev {
+				pass.Reportf(el.Pos(), "histogram bucket bounds must be strictly ascending (%v after %v)", *v, prev)
+				return
+			}
+			prev, first = *v, false
+		}
+		if len(e.Elts) == 0 {
+			pass.Reportf(e.Pos(), "histogram needs at least one bucket bound (or nil for the default layout)")
+		}
+		return
+	}
+	pass.Reportf(arg.Pos(), "histogram bounds are not statically checkable; use nil, obs.DefTimeBuckets, obs.ExpBuckets with constant arguments, or a []float64 literal")
+}
+
+func checkExpBuckets(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 3 {
+		return
+	}
+	start := constFloat(pass, call.Args[0])
+	factor := constFloat(pass, call.Args[1])
+	n := constFloat(pass, call.Args[2])
+	if start == nil || factor == nil || n == nil {
+		pass.Reportf(call.Pos(), "obs.ExpBuckets arguments must be compile-time constants")
+		return
+	}
+	if *start <= 0 || *factor <= 1 || *n < 1 {
+		pass.Reportf(call.Pos(), "obs.ExpBuckets(%v, %v, %v) panics at registration: need start > 0, factor > 1, n >= 1", *start, *factor, *n)
+	}
+}
+
+func calledObsFunc(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[f.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == obsPkgPath {
+			return fn.Name()
+		}
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[f].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == obsPkgPath {
+			return fn.Name()
+		}
+	}
+	return ""
+}
+
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func constFloat(pass *analysis.Pass, e ast.Expr) *float64 {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return nil
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() == constant.Unknown {
+		return nil
+	}
+	// Float64Val's second result reports exactness, which constants
+	// like 0.001 legitimately lack; nearest is good enough to lint.
+	f, _ := constant.Float64Val(v)
+	return &f
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hdvideobench/internal/lint/analysis"
+)
+
+// NoAlloc statically screens functions marked //hdvlint:noalloc for
+// allocation-causing constructs. It is the static complement to
+// TestSearchAllocs: the runtime test proves the motion-search hot path
+// allocates zero bytes today, the analyzer rejects the constructs that
+// would change that — in the searchers and in the per-macroblock codec
+// loops the alloc test never reaches.
+//
+// Flagged inside a marked function: closure literals and goroutine
+// launches (closure + stack), append (growth reallocates; appending
+// into an explicit reslice like buf[:0] is permitted), make/new,
+// map/slice composite literals and &composite (escape), fmt calls,
+// string concatenation and string<->[]byte/[]rune conversions, and
+// interface boxing (a concrete value passed, assigned or returned as
+// an interface allocates when it escapes). The check is intentionally
+// conservative and per-function: callees are not followed, so marking
+// a function is a statement about its own body.
+var NoAlloc = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: "forbid allocation-causing constructs in functions marked //hdvlint:noalloc " +
+		"(the motion searchers, SWAR kernels and per-macroblock codec loops)",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "noalloc") {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAlloc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	sig, _ := info.Defs[fd.Name].Type().(*types.Signature)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal allocates (func value + captured variables)")
+			return false // the closure's own body is already off the hot path
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine")
+			return false
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, n)
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates its backing array")
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n.X)) {
+				pass.Reportf(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.Pos(), "string concatenation allocates")
+			}
+			checkNoAllocAssign(pass, n)
+		case *ast.ReturnStmt:
+			if sig != nil {
+				checkNoAllocReturn(pass, n, sig)
+			}
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Conversions: T(x) where Fun denotes a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		dst := tv.Type
+		if len(call.Args) == 1 {
+			src := info.TypeOf(call.Args[0])
+			if isString(dst) != isString(src) {
+				pass.Reportf(call.Pos(), "conversion between string and byte/rune forms copies and allocates")
+				return
+			}
+			reportBox(pass, call.Args[0].Pos(), dst, src, "conversion")
+		}
+		return
+	}
+
+	// Builtins.
+	if id := calleeIdent(call.Fun); id != nil {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				if len(call.Args) > 0 {
+					if _, resliced := call.Args[0].(*ast.SliceExpr); !resliced {
+						pass.Reportf(call.Pos(), "append may grow its backing array; append into an explicit reslice (buf[:0]) or preallocate outside the hot path")
+					}
+				}
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates")
+			}
+			return
+		}
+	}
+
+	// fmt is wholesale interface boxing plus formatting buffers.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates (formatting state and boxed arguments)", fn.Name())
+			return
+		}
+	}
+
+	// Interface boxing through ordinary call arguments.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return // spread call passes the slice through unboxed
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, ok := last.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			reportBox(pass, arg.Pos(), pt, info.TypeOf(arg), "argument")
+		}
+	}
+}
+
+func checkNoAllocAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	info := pass.TypesInfo
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		dst := info.TypeOf(as.Lhs[i])
+		reportBox(pass, as.Rhs[i].Pos(), dst, info.TypeOf(as.Rhs[i]), "assignment")
+	}
+}
+
+func checkNoAllocReturn(pass *analysis.Pass, ret *ast.ReturnStmt, sig *types.Signature) {
+	res := sig.Results()
+	if len(ret.Results) != res.Len() {
+		return // naked return or comma-ok mismatch: nothing to box
+	}
+	for i, e := range ret.Results {
+		reportBox(pass, e.Pos(), res.At(i).Type(), pass.TypesInfo.TypeOf(e), "return value")
+	}
+}
+
+// reportBox flags a concrete value landing in an interface slot.
+func reportBox(pass *analysis.Pass, pos token.Pos, dst, src types.Type, what string) {
+	if dst == nil || src == nil {
+		return
+	}
+	if !types.IsInterface(dst) || types.IsInterface(src) {
+		return
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(pos, "%s boxes %s into interface %s (allocates when it escapes)", what, src, dst)
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f
+	case *ast.ParenExpr:
+		return calleeIdent(f.X)
+	}
+	return nil
+}

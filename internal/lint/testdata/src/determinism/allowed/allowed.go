@@ -1,0 +1,12 @@
+// Package det (allowed fixture): the sanctioned collector-timing
+// pattern — wall-clock reads behind explicit per-line allows.
+package det
+
+import "time"
+
+func collect(observe func(time.Duration)) {
+	//hdvlint:allow determinism -- collector timing fixture; the duration never reaches the bitstream
+	t0 := time.Now()
+	//hdvlint:allow determinism -- collector timing fixture; the duration never reaches the bitstream
+	observe(time.Since(t0))
+}

@@ -1,0 +1,35 @@
+// Package det is a determinism fixture: every construct the analyzer
+// forbids in a bitstream-affecting package, with want expectations.
+package det
+
+import (
+	"math/rand" // want `import of math/rand`
+	"time"
+)
+
+func shuffle(m map[int]int) int {
+	s := 0
+	for k := range m { // want `map iteration order varies run to run`
+		s += k
+	}
+	return s + rand.Int()
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `time.Since reads the wall clock`
+}
+
+func race(a, b chan int) (int, int) {
+	var x, y int
+	for i := 0; i < 2; i++ {
+		select { // want `select binds results from 2 channels`
+		case x = <-a:
+		case y = <-b:
+		}
+	}
+	return x, y
+}

@@ -1,0 +1,32 @@
+// Package det (clean fixture): deterministic code the analyzer must
+// not flag — slice ranges, single-binding selects, sorted map keys.
+package det
+
+import "sort"
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func one(a chan int, done chan struct{}) int {
+	select {
+	case v := <-a:
+		return v
+	case <-done:
+		return 0
+	}
+}
+
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	//hdvlint:allow determinism -- key order is fixed by the sort below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

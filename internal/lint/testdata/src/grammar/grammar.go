@@ -1,0 +1,25 @@
+// Package gr exercises the annotation grammar linting: unknown
+// directives, unknown analyzers, missing reasons, misplaced function
+// directives, and a stale allow. Expectations live in
+// annotations_test.go, not in want comments — several findings land on
+// the directive's own line, where a want comment cannot.
+package gr
+
+//hdvlint:frobnicate
+var a = 1
+
+//hdvlint:allow nosuch -- the analyzer does not exist
+var b = 2
+
+//hdvlint:allow determinism
+var c = 3
+
+//hdvlint:allow noalloc -- nothing on this line allocates
+var d = 4
+
+var e = 5 //hdvlint:noalloc
+
+//hdvlint:locked
+func misplacedArgless() {}
+
+var _ = []any{a, b, c, d, e}

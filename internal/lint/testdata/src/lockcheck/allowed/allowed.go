@@ -1,0 +1,35 @@
+// Package lc (allowed fixture): every sanctioned way to touch a
+// guarded field — holding the lock, the caller-locked directive, the
+// constructor pattern, and a reviewed per-line allow.
+package lc
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// bumpLocked requires c.mu held.
+//
+//hdvlint:locked mu
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func fresh() *counter {
+	c := &counter{}
+	c.n = 1 // still constructing: c has not escaped
+	return c
+}
+
+func racyPeek(c *counter) int {
+	//hdvlint:allow lockcheck -- deliberately racy read; fixture for the allow grammar
+	return c.n
+}

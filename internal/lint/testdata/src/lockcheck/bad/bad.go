@@ -1,0 +1,23 @@
+// Package lc is a lockcheck fixture: guarded fields touched without
+// the mutex, and a guard annotation naming a nonexistent mutex.
+package lc
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bump() {
+	c.n++ // want `counter.n is guarded by mu`
+}
+
+func drain(c *counter) int {
+	v := c.n // want `counter.n is guarded by mu`
+	return v
+}
+
+type broken struct {
+	x int // guarded by lock; want `struct broken has no field "lock"`
+}

@@ -1,0 +1,14 @@
+// Package lc (clean fixture): no guard annotations, so lockcheck has
+// nothing to enforce — unannotated fields stay unconstrained.
+package lc
+
+import "sync"
+
+type plain struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (p *plain) bump() {
+	p.n++
+}

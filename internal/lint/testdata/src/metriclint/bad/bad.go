@@ -1,0 +1,22 @@
+// Package ml is a metriclint fixture: every statically detectable
+// registration mistake.
+package ml
+
+import "hdvideobench/internal/obs"
+
+func register(r *obs.Registry, dyn string) {
+	r.Counter(dyn, "dynamically named")                 // want `metric name must be a compile-time constant`
+	r.Counter("bad-name", "dashes are illegal")         // want `does not match the Prometheus grammar`
+	r.Gauge("empty_help", "")                           // want `HELP string must not be empty`
+	r.Counter("dup_labels", "doubled label", "a", "a")  // want `duplicate label name "a"`
+	r.Counter("reserved_label", "le is reserved", "le") // want `label name "le" is reserved`
+	r.Counter("bad_label", "bad grammar", "with-dash")  // want `label name "with-dash" does not match`
+	labels := []string{"endpoint"}
+	r.Counter("spread_labels", "spread", labels...)                 // want `label names must be listed literally`
+	r.Histogram("desc_bounds", "descending", []float64{2, 1})       // want `strictly ascending`
+	r.Histogram("empty_bounds", "no buckets", []float64{})          // want `at least one bucket bound`
+	r.Histogram("exp_bad", "invalid args", obs.ExpBuckets(0, 2, 4)) // want `panics at registration`
+	r.Histogram("opaque_bounds", "not static", dynBounds())         // want `not statically checkable`
+}
+
+func dynBounds() []float64 { return nil }

@@ -1,0 +1,16 @@
+// Package ml (clean fixture): every statically checkable registration
+// spelling the analyzer accepts.
+package ml
+
+import "hdvideobench/internal/obs"
+
+func register(r *obs.Registry) {
+	r.Counter("fixture_total", "Things counted.", "kind")
+	r.Gauge("fixture_depth", "Queue depth.")
+	r.Histogram("fixture_seconds", "Latency.", obs.DefTimeBuckets, "endpoint")
+	r.Histogram("fixture_bytes", "Sizes.", obs.ExpBuckets(1, 2, 8))
+	r.Histogram("fixture_ratio", "Ratios.", []float64{0.1, 0.5, 1})
+	r.Histogram("fixture_wait", "Wait time, default buckets.", nil)
+	r.CounterFunc("fixture_uptime", "Uptime.", func() float64 { return 0 })
+	r.GaugeFunc("fixture_load", "Load.", func() float64 { return 0 })
+}

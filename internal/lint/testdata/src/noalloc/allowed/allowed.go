@@ -1,0 +1,10 @@
+// Package na (allowed fixture): a construct the compiler keeps on the
+// stack, suppressed with a reviewed per-line allow.
+package na
+
+//hdvlint:noalloc
+func allowedClosure(x int) int {
+	//hdvlint:allow noalloc -- f never escapes, so the closure stays on the stack
+	f := func() int { return x }
+	return f()
+}

@@ -1,0 +1,38 @@
+// Package na is a noalloc fixture: a marked function exhibiting every
+// allocation-causing construct the analyzer screens for.
+package na
+
+import "fmt"
+
+type sink interface{ put(x any) }
+
+type impl struct{}
+
+func (impl) put(x any) {}
+
+//hdvlint:noalloc
+func hot(xs []int, name string) string {
+	buf := make([]int, 0, 8) // want `make allocates`
+	for _, x := range xs {
+		buf = append(buf, x) // want `append may grow its backing array`
+	}
+	s := sink(impl{})   // want `conversion boxes`
+	s.put(len(buf))     // want `argument boxes int into interface`
+	fmt.Println(name)   // want `fmt.Println allocates`
+	return name + "!!!" // want `string concatenation allocates`
+}
+
+//hdvlint:noalloc
+func spawn(f func()) {
+	go f() // want `go statement allocates a goroutine`
+}
+
+//hdvlint:noalloc
+func capture(x int) func() int {
+	return func() int { return x } // want `closure literal allocates`
+}
+
+//hdvlint:noalloc
+func toBytes(s string) []byte {
+	return []byte(s) // want `conversion between string and byte/rune forms`
+}

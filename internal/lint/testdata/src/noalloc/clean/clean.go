@@ -1,0 +1,33 @@
+// Package na (clean fixture): an alloc-free marked kernel, plus an
+// unmarked function that may allocate freely.
+package na
+
+//hdvlint:noalloc
+func dot(a, b []int32) int64 {
+	var s int64
+	for i := range a {
+		s += int64(a[i]) * int64(b[i])
+	}
+	return s
+}
+
+//hdvlint:noalloc
+func fill(dst []byte, v byte) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+//hdvlint:noalloc
+func reslice(buf []int, xs []int) []int {
+	out := buf[:0]
+	for _, x := range xs {
+		out = append(out[:len(out)], x)
+	}
+	return out
+}
+
+// unmarked functions are not patrolled.
+func unmarked(n int) []int {
+	return make([]int, n)
+}

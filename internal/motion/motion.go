@@ -95,6 +95,8 @@ func (e *Estimator) Window(searchRange, width, height, pad int) {
 }
 
 // SAD returns the sum of absolute differences at motion vector (x, y).
+//
+//hdvlint:noalloc
 func (e *Estimator) SAD(x, y int) int {
 	so := e.RefOrigin + (e.PosY+y)*e.RefStride + (e.PosX + x)
 	if e.Kern == kernel.SWAR {
@@ -106,6 +108,8 @@ func (e *Estimator) SAD(x, y int) int {
 // SADMax returns the SAD at (x, y) with early termination: the result is
 // exact when it is < max, and some partial sum >= max otherwise, so
 // `sad < max` tests decide exactly as a full SAD would.
+//
+//hdvlint:noalloc
 func (e *Estimator) SADMax(x, y, max int) int {
 	so := e.RefOrigin + (e.PosY+y)*e.RefStride + (e.PosX + x)
 	if e.Kern == kernel.SWAR {
@@ -117,6 +121,8 @@ func (e *Estimator) SADMax(x, y, max int) int {
 // SADBlockMax dispatches the early-termination SAD kernel on the kernel
 // set, for codecs scoring candidates in scratch buffers (sub-pel
 // refinement) outside an Estimator.
+//
+//hdvlint:noalloc
 func SADBlockMax(k kernel.Set, a []byte, aStride int, b []byte, bStride, w, h, max int) int {
 	if k == kernel.SWAR {
 		return swar.SADBlockMax(a, aStride, b, bStride, w, h, max)
@@ -135,6 +141,8 @@ func SADBlockMax(k kernel.Set, a []byte, aStride int, b []byte, bStride, w, h, m
 // sum >= max otherwise. cur addresses the current block at curStride; so
 // is the integer-pel top-left offset into the reference's
 // (plane-geometry) luma, fx/fy the quarter-pel fractions.
+//
+//hdvlint:noalloc
 func SADQPel(k kernel.Set, cur []byte, curStride int, ref *frame.Frame, so, w, h, fx, fy, max int) int {
 	a, ao, b, bo := interp.QPelSources(ref.Y, ref.Hpel6, so, ref.YStride, fx, fy)
 	if b == nil {
@@ -146,6 +154,7 @@ func SADQPel(k kernel.Set, cur []byte, curStride int, ref *frame.Frame, so, w, h
 	return sadAvg2ScalarMax(cur, curStride, a[ao:], ref.YStride, b[bo:], ref.YStride, w, h, max)
 }
 
+//hdvlint:noalloc
 func sadScalar(a []byte, aStride int, b []byte, bStride, w, h int) int {
 	sad := 0
 	for r := 0; r < h; r++ {
@@ -164,6 +173,8 @@ func sadScalar(a []byte, aStride int, b []byte, bStride, w, h int) int {
 
 // sadScalarMax is the scalar twin of swar.SADBlockMax: exact below max,
 // bails on complete row groups once the partial sum reaches max.
+//
+//hdvlint:noalloc
 func sadScalarMax(a []byte, aStride int, b []byte, bStride, w, h, max int) int {
 	sad := 0
 	for r := 0; r < h; {
@@ -189,6 +200,8 @@ func sadScalarMax(a []byte, aStride int, b []byte, bStride, w, h, max int) int {
 // sadAvg2ScalarMax is the scalar twin of swar.SADAvg2Max: the SAD of cur
 // against the rounded average of a and b, exact below max, bailing on
 // complete row groups once the partial sum reaches max.
+//
+//hdvlint:noalloc
 func sadAvg2ScalarMax(cur []byte, curStride int, a []byte, aStride int, b []byte, bStride, w, h, max int) int {
 	sad := 0
 	for r := 0; r < h; {
@@ -214,6 +227,8 @@ func sadAvg2ScalarMax(cur []byte, curStride int, a []byte, aStride int, b []byte
 
 // Cost returns SAD plus the λ-weighted estimated bit cost of coding
 // (x,y) − Pred.
+//
+//hdvlint:noalloc
 func (e *Estimator) Cost(x, y int) int {
 	return e.SAD(x, y) + e.Lambda*mvBits(x-int(e.Pred.X), y-int(e.Pred.Y))
 }
@@ -223,6 +238,8 @@ func (e *Estimator) Cost(x, y int) int {
 // it may return early — skipping the SAD entirely if λ·mvbits alone
 // already loses — with some value >= budget, so the strict acceptance test
 // `cost < budget` decides exactly as the full evaluation would.
+//
+//hdvlint:noalloc
 func (e *Estimator) CostMax(x, y, budget int) int {
 	mvCost := e.Lambda * mvBits(x-int(e.Pred.X), y-int(e.Pred.Y))
 	if mvCost >= budget {
@@ -235,6 +252,8 @@ func (e *Estimator) CostMax(x, y, budget int) int {
 // term of Cost. A search winner's cost is always exact (an accepted
 // candidate never bailed), so callers recover its exact SAD as
 // Result.Cost − MVCost(Result.MV) without re-reading a single pixel.
+//
+//hdvlint:noalloc
 func (e *Estimator) MVCost(x, y int) int {
 	return e.Lambda * mvBits(x-int(e.Pred.X), y-int(e.Pred.Y))
 }
@@ -312,6 +331,8 @@ func (p *probeRing) add(v MV) {
 // seeded from the clamped predictor, so a degenerate (empty or
 // single-point) window can never report an untested vector with a
 // sentinel cost.
+//
+//hdvlint:noalloc
 func (e *Estimator) FullSearch() Result {
 	start := e.clampMV(e.Pred)
 	best := Result{start, e.Cost(int(start.X), int(start.Y))}
@@ -332,6 +353,8 @@ var smallDiamond = [4]MV{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
 
 // DiamondSearch refines start with a small-diamond pattern until no move
 // improves the cost.
+//
+//hdvlint:noalloc
 func (e *Estimator) DiamondSearch(start MV) Result {
 	cur := e.clampMV(start)
 	var ring probeRing
@@ -341,6 +364,8 @@ func (e *Estimator) DiamondSearch(start MV) Result {
 // diamondFrom runs the small-diamond descent from an already-evaluated
 // result (MV inside the window, Cost exact). ring carries the vectors
 // probed so far by the caller.
+//
+//hdvlint:noalloc
 func (e *Estimator) diamondFrom(best Result, ring *probeRing) Result {
 	if !ring.seen(best.MV) {
 		ring.add(best.MV)
@@ -377,6 +402,8 @@ var hexPattern = [6]MV{{-2, 0}, {-1, -2}, {1, -2}, {2, 0}, {1, 2}, {-1, 2}}
 // HexagonSearch runs a large-hexagon descent from start followed by
 // small-diamond refinement — the `--me hex` algorithm of the paper's x264
 // configuration (Zhu/Lin/Chau hexagon-based search).
+//
+//hdvlint:noalloc
 func (e *Estimator) HexagonSearch(start MV) Result {
 	cur := e.clampMV(start)
 	return e.HexagonFrom(Result{cur, e.Cost(int(cur.X), int(cur.Y))})
@@ -385,6 +412,8 @@ func (e *Estimator) HexagonSearch(start MV) Result {
 // HexagonFrom is HexagonSearch continuing from an already-evaluated result
 // (MV inside the window, Cost exact): callers chaining searches (EPZS →
 // hexagon) avoid re-evaluating the start vector.
+//
+//hdvlint:noalloc
 func (e *Estimator) HexagonFrom(best Result) Result {
 	var ring probeRing
 	ring.add(best.MV)
@@ -423,10 +452,13 @@ func (e *Estimator) HexagonFrom(best Result) Result {
 // refine with a small diamond. preds may contain duplicates; they are
 // deduplicated cheaply, and the diamond refinement inherits the probed set
 // so it never re-scores a predictor.
+//
+//hdvlint:noalloc
 func (e *Estimator) EPZS(preds []MV, earlyExit int) Result {
 	best := Result{Cost: 1 << 30}
 	var seen [12]MV
 	n := 0
+	//hdvlint:allow noalloc -- try never escapes, so it stays on the stack; TestSearchAllocs pins EPZS at 0 allocs/op
 	try := func(v MV) {
 		v = e.clampMV(v)
 		for i := 0; i < n; i++ {

@@ -305,6 +305,8 @@ func (s *rowEnc) resetRowState() {
 }
 
 // encodeIntraMB codes all six blocks of a macroblock in intra mode.
+//
+//hdvlint:noalloc
 func (s *rowEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	q := s.q
@@ -324,6 +326,8 @@ func (s *rowEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 
 // intraBlock transforms, quantizes, writes and reconstructs one 8×8 intra
 // block. comp selects the DC predictor (0=Y, 1=Cb, 2=Cr).
+//
+//hdvlint:noalloc
 func (s *rowEnc) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
 	var blk [64]int32
 	codec.LoadBlock8(&blk, plane, off, stride)
@@ -358,6 +362,8 @@ func writeRunLevels(bw *bitstream.Writer, blk *[64]int32, start int, eob uint32)
 
 // sadMB computes SAD between the current 16×16 luma block and a prediction
 // buffer using the configured kernel set.
+//
+//hdvlint:noalloc
 func (s *rowEnc) sadMB(src *frame.Frame, px, py int, pred []byte) int {
 	off := src.YOrigin + py*src.YStride + px
 	if s.e.cfg.Kernels == kernel.SWAR {
@@ -368,6 +374,8 @@ func (s *rowEnc) sadMB(src *frame.Frame, px, py int, pred []byte) int {
 
 // intraCostMB estimates the intra coding cost of a macroblock as the mean
 // absolute deviation from the block mean (plus a fixed mode bias).
+//
+//hdvlint:noalloc
 func intraCostMB(src *frame.Frame, px, py int) int {
 	off := src.YOrigin + py*src.YStride + px
 	sum := 0
@@ -488,6 +496,8 @@ func predictChroma(ref *frame.Frame, px, py int, mv motion.MV, cb, cr []byte, k 
 // codeResidualMB writes CBP and residual blocks for an inter MB, using the
 // prediction in s.pred (y/cb/cr), and reconstructs into recon.
 // Returns the CBP.
+//
+//hdvlint:noalloc
 func (s *rowEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	q := s.q
 	// First pass: find CBP.
@@ -594,6 +604,8 @@ func (s *rowEnc) copyPredToRecon(recon *frame.Frame, px, py int) {
 }
 
 // encodePMB codes one macroblock of a P frame.
+//
+//hdvlint:noalloc
 func (s *rowEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	ref := s.e.lastRef
@@ -631,6 +643,8 @@ func (s *rowEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 }
 
 // encodeBMB codes one macroblock of a B frame.
+//
+//hdvlint:noalloc
 func (s *rowEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	fwdRef, bwdRef := s.e.prevRef, s.e.lastRef

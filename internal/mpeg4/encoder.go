@@ -329,6 +329,7 @@ func (s *rowEnc) resetDCPred() {
 
 // --- intra ------------------------------------------------------------------
 
+//hdvlint:noalloc
 func (s *rowEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	q := s.q
@@ -345,6 +346,7 @@ func (s *rowEnc) encodeIntraMB(src, recon *frame.Frame, mbx, mby int) {
 	s.mvRow[mbx] = motion.MV{}
 }
 
+//hdvlint:noalloc
 func (s *rowEnc) intraBlock(plane []byte, off, stride int, rec []byte, roff, rstride int, q int32, comp int) {
 	var blk [64]int32
 	codec.LoadBlock8(&blk, plane, off, stride)
@@ -377,6 +379,7 @@ func writeRunLevels(bw *bitstream.Writer, blk *[64]int32, start int, eob uint32)
 
 // --- motion search -----------------------------------------------------------
 
+//hdvlint:noalloc
 func (s *rowEnc) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstride int) int {
 	off := src.YOrigin + py*src.YStride + px
 	if s.e.cfg.Kernels == kernel.SWAR {
@@ -385,6 +388,7 @@ func (s *rowEnc) sadBlock(src *frame.Frame, px, py, w, h int, pred []byte, pstri
 	return codec.SADBlockBytes(src.Y, off, src.YStride, pred, 0, pstride, w, h)
 }
 
+//hdvlint:noalloc
 func intraCostMB(src *frame.Frame, px, py int) int {
 	off := src.YOrigin + py*src.YStride + px
 	sum := 0
@@ -523,6 +527,7 @@ func (s *rowEnc) predictChroma4MV(ref *frame.Frame, px, py int, mvs *[4]motion.M
 
 // --- residual ----------------------------------------------------------------
 
+//hdvlint:noalloc
 func (s *rowEnc) codeResidualMB(src, recon *frame.Frame, px, py int) int {
 	q := s.q
 	var blks [6][64]int32
@@ -641,6 +646,7 @@ func seBits(v int) int {
 	return n
 }
 
+//hdvlint:noalloc
 func (s *rowEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	ref := s.e.lastRef
@@ -717,6 +723,7 @@ func (s *rowEnc) encodePMB(src, recon *frame.Frame, mbx, mby int) {
 
 // --- B macroblocks -------------------------------------------------------------
 
+//hdvlint:noalloc
 func (s *rowEnc) encodeBMB(src, recon *frame.Frame, mbx, mby int) {
 	px, py := mbx*16, mby*16
 	fwdRef, bwdRef := s.e.prevRef, s.e.lastRef

@@ -178,8 +178,8 @@ var (
 // run concurrently with updates.
 type Registry struct {
 	mu    sync.Mutex
-	fams  []*family
-	names map[string]bool
+	fams  []*family       // guarded by mu
+	names map[string]bool // guarded by mu
 }
 
 type family struct {
@@ -189,7 +189,7 @@ type family struct {
 	fn               func() float64 // Func variants: evaluated at scrape
 
 	mu     sync.Mutex
-	series map[string]*series
+	series map[string]*series // guarded by mu
 }
 
 type series struct {
@@ -219,6 +219,7 @@ func (r *Registry) add(f *family) {
 		}
 	}
 	r.names[f.name] = true
+	//hdvlint:allow lockcheck -- f is not yet published; add is the registration point, no series reader exists
 	f.series = make(map[string]*series)
 	r.fams = append(r.fams, f)
 }

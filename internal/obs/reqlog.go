@@ -25,9 +25,9 @@ type RequestRecord struct {
 // JSON (`{"requests":[...]}`, newest first) for the debug mux.
 type RequestLog struct {
 	mu   sync.Mutex
-	ring []RequestRecord
-	next int
-	full bool
+	ring []RequestRecord // guarded by mu
+	next int             // guarded by mu
+	full bool            // guarded by mu
 }
 
 // NewRequestLog returns a ring holding the last n requests (minimum 1).

@@ -18,7 +18,7 @@ type Trace struct {
 	now func() time.Time
 
 	mu     sync.Mutex
-	phases []Phase
+	phases []Phase // guarded by mu
 }
 
 // Phase is one completed span, duration in milliseconds — the JSON shape

@@ -105,8 +105,10 @@ func (g *SliceGate) Run(n int, job func(i int)) {
 		wg.Wait()
 		return
 	}
+	//hdvlint:allow determinism -- collector timing only; the duration feeds metrics, never the bitstream
 	t0 := time.Now()
 	wg.Wait()
+	//hdvlint:allow determinism -- collector timing only; the duration feeds metrics, never the bitstream
 	g.col.ObserveGateWait(time.Since(t0))
 }
 

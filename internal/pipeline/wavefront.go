@@ -181,6 +181,7 @@ func (st *wfState) waitAbove(r, need int, col *obs.Collector) bool {
 	}
 	var t0 time.Time
 	if col != nil {
+		//hdvlint:allow determinism -- collector timing only; the duration feeds metrics, never the bitstream
 		t0 = time.Now()
 	}
 	st.mu.Lock()
@@ -191,6 +192,7 @@ func (st *wfState) waitAbove(r, need int, col *obs.Collector) bool {
 	st.waiters.Add(-1)
 	st.mu.Unlock()
 	if col != nil {
+		//hdvlint:allow determinism -- collector timing only; the duration feeds metrics, never the bitstream
 		col.ObserveWavefrontWait(time.Since(t0))
 	}
 	return !st.aborted.Load()

@@ -20,8 +20,8 @@ type rateLimiter struct {
 	burst float64
 
 	mu        sync.Mutex
-	buckets   map[string]*bucket
-	lastPrune time.Time
+	buckets   map[string]*bucket // guarded by mu
+	lastPrune time.Time          // guarded by mu
 }
 
 type bucket struct {
@@ -94,6 +94,8 @@ func (l *rateLimiter) retryAfterSeconds() int {
 
 // pruneLocked drops buckets that have been idle long enough to refill
 // completely — indistinguishable from fresh ones.
+//
+//hdvlint:locked mu
 func (l *rateLimiter) pruneLocked(now time.Time) {
 	idle := time.Duration(l.burst / l.rate * float64(time.Second))
 	for k, b := range l.buckets {

@@ -68,7 +68,7 @@ type Decoder struct {
 	rerr    error
 
 	poolsMu sync.Mutex
-	pools   []*pipeline.OrderedPool[decSegment, []*frame.Frame]
+	pools   []*pipeline.OrderedPool[decSegment, []*frame.Frame] // guarded by poolsMu
 
 	aborted  chan struct{}
 	abortOne sync.Once

@@ -96,8 +96,10 @@ func NewEncoder(factory pipeline.EncoderFactory, gop, workers, window int, col *
 				e.resident.add(-len(c.frames))
 				return nil, err
 			}
+			//hdvlint:allow determinism -- collector timing only; the duration feeds metrics, never the bitstream
 			t0 := time.Now()
 			pkts, err := pipeline.EncodeChunk(ce, c.frames, c.base)
+			//hdvlint:allow determinism -- collector timing only; the duration feeds metrics, never the bitstream
 			col.ObserveChunkEncode(time.Since(t0))
 			// The chunk's raw frames are released here, whether or not
 			// the encode succeeded; only coded bytes travel onward.
@@ -334,8 +336,10 @@ func (e *Encoder) next() ([]container.Packet, error) {
 	if e.col == nil {
 		return e.pool.Next()
 	}
+	//hdvlint:allow determinism -- collector timing only; the duration feeds metrics, never the bitstream
 	t0 := time.Now()
 	pkts, err := e.pool.Next()
+	//hdvlint:allow determinism -- collector timing only; the duration feeds metrics, never the bitstream
 	e.col.ObserveDrainStall(time.Since(t0))
 	return pkts, err
 }

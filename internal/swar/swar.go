@@ -48,6 +48,8 @@ func absDiff16(x, y uint64) uint64 {
 
 // SADRow returns the sum of absolute differences between a[:n] and b[:n].
 // n need not be a multiple of 8.
+//
+//hdvlint:noalloc
 func SADRow(a, b []byte, n int) int {
 	sad := 0
 	i := 0
@@ -74,6 +76,8 @@ func SADRow(a, b []byte, n int) int {
 
 // SADBlock returns the SAD between a w×h block at a (stride aStride) and the
 // corresponding block at b (stride bStride).
+//
+//hdvlint:noalloc
 func SADBlock(a []byte, aStride int, b []byte, bStride, w, h int) int {
 	if w == 16 {
 		return SAD16(a, aStride, b, bStride, h)
@@ -101,6 +105,8 @@ const sadGroupRows = 4
 // reading the remaining rows. Callers that only test `sad < max` therefore
 // make exactly the decisions the full SAD would — see the package comment
 // of internal/motion for why this keeps bitstreams byte-identical.
+//
+//hdvlint:noalloc
 func SADBlockMax(a []byte, aStride int, b []byte, bStride, w, h, max int) int {
 	if w == 16 {
 		return SAD16Max(a, aStride, b, bStride, h, max)
@@ -123,6 +129,8 @@ func SADBlockMax(a []byte, aStride int, b []byte, bStride, w, h, max int) int {
 
 // SAD16 returns the SAD of a 16-wide, h-tall block. h must be ≤ 48 so the
 // packed accumulator lanes (≤ 1020 per row) cannot overflow.
+//
+//hdvlint:noalloc
 func SAD16(a []byte, aStride int, b []byte, bStride, h int) int {
 	var acc uint64
 	for r := 0; r < h; r++ {
@@ -137,6 +145,8 @@ func SAD16(a []byte, aStride int, b []byte, bStride, h int) int {
 }
 
 // SAD8x returns the SAD of an 8-wide, h-tall block. h must be ≤ 96.
+//
+//hdvlint:noalloc
 func SAD8x(a []byte, aStride int, b []byte, bStride, h int) int {
 	var acc uint64
 	for r := 0; r < h; r++ {
@@ -148,6 +158,8 @@ func SAD8x(a []byte, aStride int, b []byte, bStride, h int) int {
 }
 
 // SAD16Max is SAD16 with early termination at max (see SADBlockMax).
+//
+//hdvlint:noalloc
 func SAD16Max(a []byte, aStride int, b []byte, bStride, h, max int) int {
 	sad := 0
 	for r := 0; r < h; {
@@ -170,6 +182,8 @@ func SAD16Max(a []byte, aStride int, b []byte, bStride, h, max int) int {
 }
 
 // SAD8xMax is SAD8x with early termination at max (see SADBlockMax).
+//
+//hdvlint:noalloc
 func SAD8xMax(a []byte, aStride int, b []byte, bStride, h, max int) int {
 	sad := 0
 	for r := 0; r < h; {
@@ -196,6 +210,8 @@ func SAD8xMax(a []byte, aStride int, b []byte, bStride, h, max int) int {
 // the 256-byte averaged block is never materialized and a losing
 // candidate stops averaging as soon as its partial sum crosses the bail
 // threshold.
+//
+//hdvlint:noalloc
 func SADAvg2Max(cur []byte, curStride int, a []byte, aStride int, b []byte, bStride, w, h, max int) int {
 	if w == 16 {
 		return sadAvg216Max(cur, curStride, a, aStride, b, bStride, h, max)
@@ -273,6 +289,8 @@ func AvgFloor8(a, b uint64) uint64 {
 }
 
 // AvgRowRound writes dst[i] = (a[i]+b[i]+1)>>1 for i in [0,n).
+//
+//hdvlint:noalloc
 func AvgRowRound(dst, a, b []byte, n int) {
 	i := 0
 	for ; i+8 <= n; i += 8 {
@@ -284,6 +302,8 @@ func AvgRowRound(dst, a, b []byte, n int) {
 }
 
 // AvgBlockRound averages two w×h blocks with rounding into dst.
+//
+//hdvlint:noalloc
 func AvgBlockRound(dst []byte, dStride int, a []byte, aStride int, b []byte, bStride, w, h int) {
 	for r := 0; r < h; r++ {
 		AvgRowRound(dst[r*dStride:], a[r*aStride:], b[r*bStride:], w)
@@ -291,6 +311,8 @@ func AvgBlockRound(dst []byte, dStride int, a []byte, aStride int, b []byte, bSt
 }
 
 // CopyBlock copies a w×h block from src to dst using 8-byte moves.
+//
+//hdvlint:noalloc
 func CopyBlock(dst []byte, dStride int, src []byte, sStride, w, h int) {
 	for r := 0; r < h; r++ {
 		d := dst[r*dStride : r*dStride+w]
@@ -312,6 +334,8 @@ func Avg4Round2(a, b, c, d uint64) uint64 {
 }
 
 // Avg4RowRound2 writes dst[i] = (a[i]+b[i]+c[i]+d[i]+2)>>2.
+//
+//hdvlint:noalloc
 func Avg4RowRound2(dst, a, b, c, d []byte, n int) {
 	i := 0
 	for ; i+8 <= n; i += 8 {
@@ -333,6 +357,8 @@ func spread4(x uint32) uint64 {
 // DiffRow writes dst[i] = int32(cur[i]) - int32(pred[i]) for i in [0, n):
 // the residual row of every codec's transform input. Differences are formed
 // in biased 16-bit lanes (eight at a time) and unpacked once per lane.
+//
+//hdvlint:noalloc
 func DiffRow(dst []int32, cur, pred []byte, n int) {
 	i := 0
 	for ; i+8 <= n; i += 8 {
@@ -367,6 +393,8 @@ func DiffRow(dst []int32, cur, pred []byte, n int) {
 // i in [0, n): the inter-reconstruction row of every codec. Residuals are
 // pre-clamped to [-256, 256] (values outside cannot change the clipped
 // result), biased into 16-bit lanes and clamped branch-free four at a time.
+//
+//hdvlint:noalloc
 func AddClampRow(dst, pred []byte, res []int32, n int) {
 	i := 0
 	for ; i+4 <= n; i += 4 {
@@ -407,6 +435,8 @@ func AddClampRow(dst, pred []byte, res []int32, n int) {
 
 // SumRow returns the sum of the first n bytes of a, using 16-bit lane
 // accumulation. Used by DC predictors and mean computations.
+//
+//hdvlint:noalloc
 func SumRow(a []byte, n int) int {
 	sum := 0
 	i := 0
